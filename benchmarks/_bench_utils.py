@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(EXPERIMENTS.md maps them).  Simulation-backed benches run once per
+measurement (``rounds=1``) — the interesting output is the *measured
+metric series* attached to ``benchmark.extra_info``, with assertions
+pinning the paper's qualitative shape (who wins, roughly by how much,
+where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.cluster import Cluster, ClusterConfig, RunResult
+from repro.workload.generator import WorkloadConfig, generate, op_counts
+
+PARTIAL = {"full-track", "opt-track"}
+
+
+def run_protocol(
+    protocol: str,
+    n: int = 10,
+    q: int = 40,
+    p: int = 3,
+    ops: int = 80,
+    write_rate: float = 0.4,
+    seed: int = 5,
+    **cluster_kw,
+) -> RunResult:
+    """One measured run of ``protocol`` on the standard workload."""
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=q,
+        protocol=protocol,
+        replication_factor=p if protocol in PARTIAL else None,
+        seed=seed,
+        think_time=2.0,
+        **cluster_kw,
+    )
+    cluster = Cluster(cfg)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=ops,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    result = cluster.run(workload, check=False)
+    return result
+
+
+def workload_counts(n, ops, write_rate, q, seed=5):
+    cfg = ClusterConfig(n_sites=n, n_variables=q, protocol="opt-track", seed=seed)
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=ops,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    return op_counts(wl)

@@ -1,0 +1,96 @@
+"""E12 — The paper's distributed write-processing variant (Section III-B).
+
+    "At the expense of slightly larger message overhead, we can distribute
+    the Write processing ... to the receivers' sites ...  This reduces the
+    time complexity of a write operation from O(n² p) to O(n²)."
+
+Both variants are implemented (``OptTrackProtocol(distributed_prune=...)``).
+Measured trade:
+
+  * write wall time: the distributed variant snapshots the log once
+    instead of building one pruned copy per destination — faster writes,
+    more so at higher replication factors;
+  * message bytes: the shared snapshot keeps records the per-destination
+    copies would have pruned — slightly larger updates;
+  * observable behaviour: identical (the property suite separately fuzzes
+    the variant for causal consistency).
+"""
+
+import time
+
+import pytest
+
+from repro.core.base import ProtocolConfig
+from repro.core.opt_track import OptTrackProtocol
+from repro.store.placement import round_robin
+
+from _bench_utils import run_protocol
+
+N, Q, P, OPS, WRITE_RATE = 10, 40, 5, 80, 0.5
+
+
+def write_time(distributed: bool, n: int = 16, p: int = 8, repeats: int = 300) -> float:
+    placement = round_robin(n, 30, p)
+    proto = OptTrackProtocol(
+        ProtocolConfig(n=n, site=0, replicas_of=placement),
+        distributed_prune=distributed,
+    )
+    # populate the log with knowledge from several senders so the
+    # per-destination pruning has real work to do
+    from repro.core import bitsets
+
+    for z in range(1, n):
+        proto.log.add(z, 3, bitsets.full_mask(n) & ~bitsets.singleton(0))
+    var = next(v for v in placement if proto.locally_replicates(v))
+    start = time.perf_counter()
+    for i in range(repeats):
+        proto.write(var, i)
+    return (time.perf_counter() - start) / repeats
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        dist: run_protocol(
+            "opt-track",
+            n=N,
+            q=Q,
+            p=P,
+            ops=OPS,
+            write_rate=WRITE_RATE,
+            protocol_kwargs={"distributed_prune": dist},
+        )
+        for dist in (False, True)
+    }
+
+
+class TestTrade:
+    def test_distributed_writes_are_faster(self):
+        plain = write_time(False)
+        dist = write_time(True)
+        assert dist < plain
+
+    def test_distributed_messages_not_smaller(self, runs):
+        plain = runs[False].metrics.message_bytes["update"]
+        dist = runs[True].metrics.message_bytes["update"]
+        assert dist >= plain  # "slightly larger message overhead"
+
+    def test_overhead_is_slight(self, runs):
+        plain = runs[False].metrics.message_bytes["update"]
+        dist = runs[True].metrics.message_bytes["update"]
+        assert dist <= plain * 1.6
+
+    def test_message_counts_identical(self, runs):
+        assert (
+            runs[False].metrics.message_counts == runs[True].metrics.message_counts
+        )
+
+
+def test_bench_ablation_distributed_prune(benchmark):
+    def once():
+        return write_time(False, repeats=200), write_time(True, repeats=200)
+
+    plain, dist = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["per_dest_prune_write_us"] = round(plain * 1e6, 2)
+    benchmark.extra_info["distributed_prune_write_us"] = round(dist * 1e6, 2)
+    benchmark.extra_info["write_speedup"] = round(plain / dist, 2)

@@ -1,0 +1,73 @@
+"""E9 — the amortized-O(n) claim for Opt-Track's logs (Section IV).
+
+Paper: although Opt-Track's worst-case log and message overhead is O(n²),
+Chandra et al.'s simulations of the underlying KS algorithm show the
+*amortized* size is O(n), because the optimality conditions keep only
+necessary destination information.  The paper transfers that claim to
+Opt-Track ("the same optimization techniques are used").
+
+We measure, across an n-sweep on long runs:
+  * mean log records per update message — must stay well below n
+    (each record is O(1) ids + its remaining destinations);
+  * mean metadata bytes per update — must grow far slower than the n²
+    growth of Full-Track's matrix clocks.
+"""
+
+import pytest
+
+from _bench_utils import run_protocol
+
+SWEEP = (6, 10, 14, 18, 22)
+Q, P, OPS, WRITE_RATE = 40, 3, 120, 0.5
+
+
+def per_update_bytes(protocol, n, seed=3):
+    r = run_protocol(protocol, n=n, q=Q, p=P, ops=OPS, write_rate=WRITE_RATE, seed=seed)
+    m = r.metrics
+    return m.message_bytes["update"] / max(m.message_counts["update"], 1)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (protocol, n): per_update_bytes(protocol, n)
+        for protocol in ("opt-track", "full-track")
+        for n in SWEEP
+    }
+
+
+class TestAmortizedGrowth:
+    def test_opt_track_growth_is_subquadratic(self, sweep):
+        lo, hi = SWEEP[0], SWEEP[-1]
+        growth = sweep[("opt-track", hi)] / sweep[("opt-track", lo)]
+        assert growth < (hi / lo) ** 2 * 0.5
+
+    def test_opt_track_growth_is_near_linear(self, sweep):
+        lo, hi = SWEEP[0], SWEEP[-1]
+        growth = sweep[("opt-track", hi)] / sweep[("opt-track", lo)]
+        # amortized O(n): within a generous factor of linear
+        assert growth <= (hi / lo) * 2.0
+
+    def test_full_track_growth_is_quadratic(self, sweep):
+        lo, hi = SWEEP[0], SWEEP[-1]
+        growth = sweep[("full-track", hi)] / sweep[("full-track", lo)]
+        assert growth == pytest.approx((hi / lo) ** 2, rel=0.3)
+
+    def test_gap_widens_monotonically(self, sweep):
+        gaps = [
+            sweep[("full-track", n)] / sweep[("opt-track", n)] for n in SWEEP
+        ]
+        assert all(b > a for a, b in zip(gaps, gaps[1:]))
+
+    def test_absolute_overhead_is_small(self, sweep):
+        # at n=22, p=3: an update's metadata fits in a few hundred bytes —
+        # the paper's "relatively low meta-data overheads"
+        assert sweep[("opt-track", 22)] < 1000
+
+
+def test_bench_amortized_log(benchmark):
+    def run():
+        return {n: per_update_bytes("opt-track", n) for n in SWEEP}
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bytes_per_update_by_n"] = series

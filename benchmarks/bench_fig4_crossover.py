@@ -1,0 +1,93 @@
+"""E5 — Figure 4: message count vs write rate, partial vs full replication.
+
+Paper (Section V): with n = 10 sites, partial replication sends fewer
+messages than full replication once ``w_rate > 2/(2+n) ≈ 0.167``; the plot
+shows the five lines for p ∈ {1, 3, 5, 7, 10} fanning out from the
+crossover region.
+
+We regenerate both the analytic curves and a fully simulated sweep and
+assert the shapes that define the figure:
+
+  * at the lowest write rate, full replication (p = 10) sends the fewest
+    messages; at high write rates the ordering fully inverts (lower p ⇒
+    fewer messages);
+  * each measured crossover falls in a band around the analytic 0.167
+    (the simulation's discrete grid and p−1-vs-p multicast counting make
+    it a band, not a point);
+  * the full-replication series grows linearly in the write rate.
+"""
+
+import pytest
+
+from repro.analysis.fig4 import fig4_analytic, fig4_simulated
+from repro.analysis.model import crossover_write_rate
+
+N = 10
+WRITE_RATES = (0.05, 0.15, 0.25, 0.35, 0.5, 0.65, 0.8, 0.95)
+PS = (1, 3, 5, 7, 10)
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    return fig4_simulated(
+        n=N, ps=PS, ops_per_site=40, write_rates=WRITE_RATES, q=30, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    return fig4_analytic(n=N, ps=PS, total_ops=400, write_rates=WRITE_RATES)
+
+
+class TestAnalytic:
+    def test_crossover_constant(self):
+        assert crossover_write_rate(N) == pytest.approx(1 / 6)
+
+    def test_lines_cross_exactly_once(self, analytic):
+        for p in (1, 3, 5, 7):
+            diffs = [
+                part - full
+                for part, full in zip(analytic.series[p], analytic.series[N])
+            ]
+            # sign changes from + to - exactly once
+            signs = [d > 0 for d in diffs]
+            assert signs[0] and not signs[-1]
+            assert sum(1 for a, b in zip(signs, signs[1:]) if a != b) == 1
+
+
+class TestSimulatedShape:
+    def test_full_cheapest_at_low_write_rate(self, simulated):
+        low = {p: simulated.series[p][0] for p in PS}
+        assert low[N] == min(low.values())
+
+    def test_ordering_inverts_at_high_write_rate(self, simulated):
+        high = {p: simulated.series[p][-1] for p in PS}
+        assert high[1] < high[3] < high[5] < high[7] < high[N]
+
+    def test_crossovers_bracket_the_paper_value(self, simulated):
+        for p in (1, 3, 5, 7):
+            wr = simulated.crossover_measured(p)
+            assert wr is not None, f"p={p} never beat full replication"
+            assert 0.05 <= wr <= 0.35, f"p={p} crossed at {wr}"
+
+    def test_full_series_roughly_linear_in_write_rate(self, simulated):
+        series = simulated.series[N]
+        # nw: doubling the write rate ~doubles the count
+        ratio = series[4] / max(series[1], 1)  # 0.5 vs 0.15
+        assert ratio == pytest.approx(0.5 / 0.15, rel=0.35)
+
+    def test_p1_series_decreases_with_write_rate(self, simulated):
+        series = simulated.series[1]
+        assert series[-1] < series[0]
+
+
+def test_bench_fig4(benchmark):
+    """Timed regeneration of the simulated Figure 4 sweep."""
+
+    def run():
+        return fig4_simulated(
+            n=N, ps=(3, 10), ops_per_site=30, write_rates=(0.1, 0.4, 0.8), q=20, seed=2
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["series"] = {str(p): s for p, s in result.series.items()}

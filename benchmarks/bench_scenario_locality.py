@@ -1,0 +1,105 @@
+"""E10 — Section V's systems argument: for write-intensive or
+locality-skewed workloads, partial replication beats full replication on
+*total* transmission, data payload included.
+
+Paper: "In modern social networks, multimedia files like images and videos
+are frequently shared...  full replication ... incurs a large overhead on
+the underlying system for transmitting and storing these files."  We price
+each update's data payload at 64 KiB (a photo) and measure total bytes on
+the wire for the social-network and HDFS-like scenarios, partial vs full.
+"""
+
+import pytest
+
+from repro.metrics.sizes import SizeModel
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.topology import evenly_spread
+from repro.workload.scenarios import hdfs_like, social_network
+
+N = 10
+PHOTO = SizeModel(value_bytes=64 * 1024)
+
+
+def run_scenario(name, protocol):
+    topology = evenly_spread(N)
+    if name == "social":
+        placement, wl = social_network(
+            N, n_users=40, ops_per_site=100, replication_factor=2, topology=topology
+        )
+    else:
+        placement, wl = hdfs_like(N, n_blocks=40, ops_per_site=100)
+    if protocol == "opt-track-crp":
+        placement = {k: tuple(range(N)) for k in placement}
+    cfg = ClusterConfig(
+        n_sites=N,
+        protocol=protocol,
+        placement=placement,
+        topology=topology,
+        seed=8,
+        size_model=PHOTO,
+        think_time=2.0,
+    )
+    result = Cluster(cfg).run(wl, check=False)
+    return result.metrics
+
+
+@pytest.fixture(scope="module")
+def social():
+    return {p: run_scenario("social", p) for p in ("opt-track", "opt-track-crp")}
+
+
+@pytest.fixture(scope="module")
+def hdfs():
+    return {p: run_scenario("hdfs", p) for p in ("opt-track", "opt-track-crp")}
+
+
+class TestSocialNetwork:
+    def test_partial_wins_on_total_bytes(self, social):
+        assert (
+            social["opt-track"].total_message_bytes
+            < social["opt-track-crp"].total_message_bytes
+        )
+
+    def test_partial_wins_on_message_count(self, social):
+        # locality keeps most reads local even at p = 2
+        assert (
+            social["opt-track"].total_messages
+            < social["opt-track-crp"].total_messages
+        )
+
+    def test_most_reads_are_local(self, social):
+        m = social["opt-track"]
+        assert m.ops["read-local"] > m.ops["read-remote"]
+
+
+class TestHdfsLike:
+    def test_partial_wins_big_on_write_heavy_load(self, hdfs):
+        # w_rate 0.6 with p=3 vs n=10: update fan-out dominates
+        partial = hdfs["opt-track"].total_message_bytes
+        full = hdfs["opt-track-crp"].total_message_bytes
+        assert partial < full / 2
+
+    def test_update_payload_dominates(self, hdfs):
+        m = hdfs["opt-track"]
+        assert m.message_bytes["update"] > 10 * (
+            m.message_bytes["fetch"] + m.message_bytes["fetch-reply"]
+        )
+
+
+def test_bench_scenario_locality(benchmark):
+    def run():
+        return {
+            "social-partial": run_scenario("social", "opt-track").total_message_bytes,
+            "social-full": run_scenario("social", "opt-track-crp").total_message_bytes,
+            "hdfs-partial": run_scenario("hdfs", "opt-track").total_message_bytes,
+            "hdfs-full": run_scenario("hdfs", "opt-track-crp").total_message_bytes,
+        }
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_bytes_on_wire"] = totals
+    benchmark.extra_info["social_savings"] = (
+        1 - totals["social-partial"] / totals["social-full"]
+    )
+    benchmark.extra_info["hdfs_savings"] = (
+        1 - totals["hdfs-partial"] / totals["hdfs-full"]
+    )

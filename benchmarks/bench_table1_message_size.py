@@ -1,0 +1,86 @@
+"""E2 — Table I, *message size* row.
+
+Paper: total control-metadata bytes are O(n²pw + nr(n−p)) for Full-Track,
+amortized O(npw + r(n−p)) for Opt-Track (the KS pruning keeps logs O(n)
+amortized), O(nwd) for Opt-Track-CRP and O(n²w) for OptP.
+
+Measured shapes:
+  * Opt-Track ≪ Full-Track at the same (n, p, workload);
+  * Opt-Track-CRP < OptP;
+  * across an n-sweep, Full-Track's *per-update* metadata grows ~n²
+    while Opt-Track's grows ~n.
+"""
+
+import pytest
+
+from _bench_utils import run_protocol
+
+N, Q, P, OPS, WRITE_RATE = 10, 40, 3, 80, 0.4
+SWEEP_NS = (6, 10, 14, 18)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {
+        protocol: run_protocol(protocol, n=N, q=Q, p=P, ops=OPS, write_rate=WRITE_RATE)
+        for protocol in ("full-track", "opt-track", "opt-track-crp", "optp")
+    }
+
+
+@pytest.fixture(scope="module")
+def n_sweep():
+    out = {}
+    for n in SWEEP_NS:
+        for protocol in ("full-track", "opt-track"):
+            r = run_protocol(
+                protocol, n=n, q=Q, p=P, ops=OPS, write_rate=WRITE_RATE, seed=2
+            )
+            m = r.metrics
+            out[(protocol, n)] = (
+                m.message_bytes["update"] / max(m.message_counts["update"], 1)
+            )
+    return out
+
+
+class TestShape:
+    def test_opt_track_much_smaller_than_full_track(self, measured):
+        ft = measured["full-track"].metrics.total_message_bytes
+        ot = measured["opt-track"].metrics.total_message_bytes
+        assert ot < ft / 2  # paper: n x n matrix vs amortized-O(n) log
+
+    def test_crp_smaller_than_optp(self, measured):
+        crp = measured["opt-track-crp"].metrics.total_message_bytes
+        optp = measured["optp"].metrics.total_message_bytes
+        assert crp < optp  # O(nwd), d << n, vs O(n^2 w)
+
+    def test_full_track_per_update_grows_quadratically(self, n_sweep):
+        lo, hi = SWEEP_NS[0], SWEEP_NS[-1]
+        growth = n_sweep[("full-track", hi)] / n_sweep[("full-track", lo)]
+        quadratic = (hi / lo) ** 2
+        assert growth == pytest.approx(quadratic, rel=0.30)
+
+    def test_opt_track_per_update_grows_subquadratically(self, n_sweep):
+        # amortized O(n): far below the matrix clock's n^2 growth
+        lo, hi = SWEEP_NS[0], SWEEP_NS[-1]
+        growth = n_sweep[("opt-track", hi)] / n_sweep[("opt-track", lo)]
+        quadratic = (hi / lo) ** 2
+        assert growth < quadratic * 0.6
+
+    def test_opt_track_always_below_full_track_in_sweep(self, n_sweep):
+        for n in SWEEP_NS:
+            assert n_sweep[("opt-track", n)] < n_sweep[("full-track", n)]
+
+
+def test_bench_table1_message_size(benchmark):
+    """Timed regeneration of the message-size comparison at n=10."""
+
+    def run():
+        return {
+            p: run_protocol(p, n=N, q=Q, p=P, ops=OPS, write_rate=WRITE_RATE)
+            for p in ("full-track", "opt-track")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bytes"] = {
+        p: r.metrics.total_message_bytes for p, r in results.items()
+    }

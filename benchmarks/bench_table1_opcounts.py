@@ -1,0 +1,120 @@
+"""E3b — Table I time complexity, verified in *operation counts*.
+
+Companion to bench_table1_time.py: wall-clock constants (numpy memcpy,
+Python object construction) mask the paper's asymptotics at realistic n,
+so here we count the abstract operations (clock cells + log records
+touched, via :mod:`repro.metrics.opcount`) that Section IV's analysis
+talks about, using the protocols' live structure sizes:
+
+  * full-track write/read  ~ n²            (matrix snapshot / merge)
+  * opt-track write        ~ |log|·p       (one pruned copy per replica)
+    with the *measured* |log| far below its O(n) worst case (the
+    amortized-O(n) message result transfers to op counts)
+  * opt-track-crp write    ~ n, read ~ 1
+  * optp write/read        ~ n
+"""
+
+import pytest
+
+from repro.core.base import ProtocolConfig, protocol_class
+from repro.metrics.opcount import OpCountingSession
+from repro.store.placement import full as full_placement
+from repro.store.placement import round_robin
+
+PARTIAL = {"full-track", "opt-track"}
+
+
+def run_session(protocol: str, n: int, p: int = 3, q: int = 30, rounds: int = 60):
+    placement = (
+        round_robin(n, q, p) if protocol in PARTIAL else full_placement(n, q)
+    )
+    proto = protocol_class(protocol)(
+        ProtocolConfig(n=n, site=0, replicas_of=placement)
+    )
+    session = OpCountingSession(proto)
+    local_vars = [v for v in placement if proto.locally_replicates(v)]
+    # warm up: touch every local variable so LastWriteOn is populated,
+    # then measure steady-state costs only
+    for var in local_vars:
+        session.write(var, "warm")
+        session.read_local(var)
+    from repro.metrics.opcount import OpCounts
+
+    session.counts = OpCounts()
+    for i in range(rounds):
+        var = local_vars[i % len(local_vars)]
+        session.write(var, i)
+        session.read_local(var)
+        session.read_local(local_vars[(i + 1) % len(local_vars)])
+    return session.counts
+
+
+class TestWriteCounts:
+    def test_full_track_write_is_n_squared(self):
+        for n in (8, 16, 32):
+            counts = run_session("full-track", n)
+            assert counts.mean_write_ops == pytest.approx(n * n, rel=0.05)
+
+    def test_crp_write_is_linear(self):
+        c8 = run_session("opt-track-crp", 8).mean_write_ops
+        c32 = run_session("opt-track-crp", 32).mean_write_ops
+        assert c32 / c8 == pytest.approx(32 / 8, rel=0.35)
+
+    def test_optp_write_is_linear(self):
+        c8 = run_session("optp", 8).mean_write_ops
+        c32 = run_session("optp", 32).mean_write_ops
+        assert c32 / c8 == pytest.approx(32 / 8, rel=0.15)
+
+    def test_opt_track_write_far_below_worst_case(self):
+        # worst case O(n^2 p); measured |log| stays small under pruning
+        n, p = 24, 3
+        counts = run_session("opt-track", n, p=p)
+        assert counts.mean_write_ops < n * n * p / 4
+
+    def test_opt_track_write_grows_slower_than_full_track(self):
+        ratios = []
+        for n in (8, 32):
+            ot = run_session("opt-track", n).mean_write_ops
+            ft = run_session("full-track", n).mean_write_ops
+            ratios.append(ft / ot)
+        assert ratios[1] > ratios[0]  # the n^2 matrix pulls away
+
+
+class TestReadCounts:
+    def test_crp_read_is_constant(self):
+        for n in (8, 32, 64):
+            counts = run_session("opt-track-crp", n)
+            assert counts.mean_read_ops == 1.0
+
+    def test_full_track_read_is_n_squared(self):
+        for n in (8, 32):
+            counts = run_session("full-track", n)
+            assert counts.mean_read_ops == pytest.approx(n * n, rel=0.05)
+
+    def test_optp_read_is_linear(self):
+        c8 = run_session("optp", 8).mean_read_ops
+        c32 = run_session("optp", 32).mean_read_ops
+        assert c32 / c8 == pytest.approx(4.0, rel=0.1)
+
+    def test_table_ordering_holds(self):
+        n = 16
+        crp = run_session("opt-track-crp", n).mean_read_ops
+        optp = run_session("optp", n).mean_read_ops
+        ft = run_session("full-track", n).mean_read_ops
+        assert crp < optp < ft
+
+
+def test_bench_table1_opcounts(benchmark):
+    def once():
+        return {
+            p: (
+                run_session(p, 16).mean_write_ops,
+                run_session(p, 16).mean_read_ops,
+            )
+            for p in ("full-track", "opt-track", "opt-track-crp", "optp")
+        }
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["mean_ops_write_read_n16"] = {
+        k: (round(w, 1), round(r, 1)) for k, (w, r) in result.items()
+    }

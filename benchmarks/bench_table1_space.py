@@ -1,0 +1,77 @@
+"""E4 — Table I, *space complexity* row.
+
+Paper: per-site control state is O(npq) worst / amortized O(pq) for the
+partial-replication protocols (Opt-Track's pruning keeps logs small),
+O(max(n, q)) for Opt-Track-CRP and O(nq) for OptP.
+
+Measured shapes:
+  * Opt-Track stores a fraction of Full-Track's bytes (pruned logs vs an
+    n x n matrix per locally replicated variable);
+  * Opt-Track-CRP ≪ OptP (2-tuples vs n-vectors per variable);
+  * OptP's footprint grows ~n at fixed q; CRP's stays ~flat.
+"""
+
+import pytest
+
+from _bench_utils import run_protocol
+
+N, Q, P, OPS, WRITE_RATE = 10, 40, 3, 80, 0.4
+
+
+def mean_space(protocol, n=N, q=Q, seed=5):
+    r = run_protocol(protocol, n=n, q=q, p=P, ops=OPS, write_rate=WRITE_RATE, seed=seed)
+    return r.metrics.space_bytes["mean_per_site"]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {
+        protocol: mean_space(protocol)
+        for protocol in ("full-track", "opt-track", "opt-track-crp", "optp")
+    }
+
+
+class TestShape:
+    def test_opt_track_below_full_track(self, measured):
+        assert measured["opt-track"] < measured["full-track"] / 1.5
+
+    def test_crp_below_optp(self, measured):
+        assert measured["opt-track-crp"] < measured["optp"] / 2
+
+    def test_crp_smallest_overall(self, measured):
+        assert measured["opt-track-crp"] == min(measured.values())
+
+    def test_optp_grows_with_n(self):
+        # O(nq): doubling n roughly doubles the per-site footprint
+        s8 = mean_space("optp", n=8)
+        s16 = mean_space("optp", n=16)
+        assert s16 > s8 * 1.5
+
+    def test_crp_flat_in_n(self):
+        # O(max(n, q)) with q = 40 dominating: n barely matters
+        s8 = mean_space("opt-track-crp", n=8)
+        s16 = mean_space("opt-track-crp", n=16)
+        assert s16 < s8 * 1.5
+
+    def test_full_track_grows_with_n(self):
+        # O(npq): an n x n matrix per locally replicated variable
+        s8 = mean_space("full-track", n=8)
+        s16 = mean_space("full-track", n=16)
+        assert s16 > s8 * 2
+
+    def test_opt_track_amortized_gap_widens_with_n(self):
+        # worst-case bounds are equal (O(npq)); the amortized gap is the
+        # pruning's doing and grows with n
+        gap8 = mean_space("full-track", n=8) / mean_space("opt-track", n=8)
+        gap16 = mean_space("full-track", n=16) / mean_space("opt-track", n=16)
+        assert gap16 > gap8
+
+
+def test_bench_table1_space(benchmark):
+    def run():
+        return {
+            p: mean_space(p) for p in ("full-track", "opt-track", "opt-track-crp", "optp")
+        }
+
+    spaces = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mean_space_per_site_bytes"] = spaces

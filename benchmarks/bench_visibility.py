@@ -1,0 +1,88 @@
+"""E13 — Visibility latency: partial vs full replication (Section V's
+latency discussion, measured from the other direction).
+
+Full replication's selling point is local reads everywhere; its cost,
+besides fan-out, is that every write must cross the *entire* WAN before it
+is fully visible.  Region-affine partial replication places the p replicas
+near the write's home, so full visibility arrives in regional time.
+
+We run identical region-homed write workloads over the default 5-region
+WAN and compare per-write full-visibility latency.
+"""
+
+import pytest
+
+from repro.metrics.visibility import summarize_visibility
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.topology import evenly_spread
+
+N = 10
+Q = 30
+
+
+def run(protocol, placement_strategy, p, seed=3):
+    topo = evenly_spread(N)
+    cluster = Cluster(
+        ClusterConfig(
+            n_sites=N,
+            n_variables=Q,
+            protocol=protocol,
+            replication_factor=p,
+            placement_strategy=placement_strategy,
+            topology=topo,
+            seed=seed,
+        )
+    )
+    # each variable written once, from its first replica (its home)
+    for var in cluster.variables:
+        writer = cluster.placement[var][0]
+        cluster.session(writer).write(var, f"v-{var}")
+    cluster.settle()
+    return summarize_visibility(cluster.history, cluster.placement)
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    return {
+        "partial-affine": run("opt-track", "region-affinity", 2),
+        "partial-scattered": run("opt-track", "hashed", 2),
+        "full": run("opt-track-crp", "round-robin", None),
+    }
+
+
+class TestShape:
+    def test_all_writes_fully_visible(self, summaries):
+        for name, s in summaries.items():
+            assert s.n_fully_visible == s.n_writes == Q, name
+
+    def test_affine_partial_beats_full(self, summaries):
+        assert (
+            summaries["partial-affine"].mean_latency
+            < summaries["full"].mean_latency / 2
+        )
+
+    def test_even_scattered_partial_beats_full_on_p99(self, summaries):
+        # fewer replicas to reach, even when placed blindly
+        assert (
+            summaries["partial-scattered"].p99_latency
+            <= summaries["full"].p99_latency
+        )
+
+    def test_affinity_placement_helps(self, summaries):
+        assert (
+            summaries["partial-affine"].mean_latency
+            <= summaries["partial-scattered"].mean_latency
+        )
+
+
+def test_bench_visibility(benchmark):
+    def once():
+        return {
+            "partial-affine": run("opt-track", "region-affinity", 2).mean_latency,
+            "full": run("opt-track-crp", "round-robin", None).mean_latency,
+        }
+
+    means = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["mean_full_visibility_ms"] = {
+        k: round(v, 1) for k, v in means.items()
+    }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A mobile client hopping between datacenters without losing its session
+guarantees.
+
+The paper's model pins each application process to one site; real clients
+roam.  ``repro.ext.sessions.MigratingClient`` carries a protocol-native
+causal token (a matrix clock / dependency log / clock vector, depending on
+the protocol) so that after re-attaching to a lagging datacenter:
+
+* monotonic reads   — the client never sees older state than it already saw,
+* read-your-writes  — its own writes stay visible,
+* writes-follow-reads — its post-migration writes carry its pre-migration
+  dependencies, so every datacenter orders them correctly.
+
+The demo makes datacenter 2 a slow, far-away region and shows the token
+forcing the exact wait causality requires — and a control read without the
+token seeing stale data.
+
+Run:  python examples/mobile_client.py
+"""
+
+import numpy as np
+
+from repro.ext.sessions import MigratingClient
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+
+
+def main() -> None:
+    # dc0 and dc1 are 1 ms apart; dc2 is 200 ms away from both
+    base = np.array(
+        [
+            [0.0, 1.0, 200.0],
+            [1.0, 0.0, 200.0],
+            [200.0, 200.0, 0.0],
+        ]
+    )
+    cluster = Cluster(
+        ClusterConfig(
+            n_sites=3,
+            protocol="opt-track",
+            placement={"timeline": (0, 2), "draft": (1, 2)},
+            latency=MatrixLatency(base, jitter_sigma=0.0),
+            seed=4,
+        )
+    )
+
+    phone = MigratingClient(cluster, site=0, name="phone")
+    phone.write("timeline", "post #1")
+    print(f"t={cluster.sim.now:7.1f}  phone @dc0 posts 'post #1'")
+    print(f"t={cluster.sim.now:7.1f}  phone @dc0 reads: {phone.read('timeline')!r}")
+
+    # control: dc2's replica is still stale (the update needs 200 ms)
+    stale = cluster.protocols[2].local_value("timeline")[0]
+    print(f"t={cluster.sim.now:7.1f}  dc2's raw replica right now: {stale!r}")
+
+    phone.migrate(2)
+    print(f"t={cluster.sim.now:7.1f}  phone lands in dc2's region and reads...")
+    value = phone.read("timeline")  # token blocks until dc2 catches up
+    print(
+        f"t={cluster.sim.now:7.1f}  phone @dc2 reads: {value!r} "
+        f"(waited for replication — read-your-writes preserved)"
+    )
+
+    # writes-follow-reads: a reply written at dc2 after reading the post
+    phone.write("draft", "reply to post #1")
+    cluster.settle()
+    print(f"t={cluster.sim.now:7.1f}  phone @dc2 writes a causally dependent reply")
+
+    from repro.verify.checker import check_history
+
+    report = check_history(cluster.history, cluster.placement)
+    print(f"\ncausal-consistency check over the whole run: "
+          f"{'OK' if report.ok else report.violations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation artifacts in one go.
+
+* Table I — measured message count / size / space / activation delay for
+  all four protocols on a matched workload, next to the closed-form
+  predictions (repro.analysis.model).
+* Figure 4 — message count vs write rate for n=10 and
+  p ∈ {1,3,5,7,10}, both the analytic curves and a simulated sweep, with
+  the measured crossover write rates against the paper's 2/(2+n).
+
+This is the script version of ``repro-sim table1`` / ``repro-sim fig4``.
+The full benchmark harness (benchmarks/) runs the same experiments under
+pytest-benchmark with assertions on the shapes.
+
+Run:  python examples/paper_evaluation.py           (~1 minute)
+"""
+
+from repro.analysis.fig4 import fig4_analytic, fig4_simulated, render_fig4
+from repro.analysis.model import crossover_write_rate
+from repro.analysis.tables import render_table1, run_table1
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Table I (Section IV) — measured")
+    print("=" * 72)
+    result = run_table1(n=10, q=50, p=3, ops_per_site=80, write_rate=0.4, seed=1)
+    print(render_table1(result))
+
+    print("=" * 72)
+    print("Figure 4 (Section V) — analytic")
+    print("=" * 72)
+    analytic = fig4_analytic(n=10)
+    print(render_fig4(analytic))
+
+    print("=" * 72)
+    print("Figure 4 — simulated (Opt-Track; p=10 runs Opt-Track-CRP)")
+    print("=" * 72)
+    simulated = fig4_simulated(n=10, ops_per_site=40, q=30, seed=1)
+    print(render_fig4(simulated))
+
+    print(f"paper's analytic crossover: w_rate = 2/(2+n) = "
+          f"{crossover_write_rate(10):.3f}")
+    for p in (1, 3, 5, 7):
+        wr = simulated.crossover_measured(p)
+        print(f"  measured crossover for p={p}: first win at w_rate = {wr}")
+
+
+if __name__ == "__main__":
+    main()

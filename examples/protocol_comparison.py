@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Head-to-head: all five causal-consistency protocols on one workload.
+
+Runs the paper's two partial-replication algorithms (Full-Track,
+Opt-Track), its full-replication specialization (Opt-Track-CRP) and the
+two literature baselines (OptP, Ahamad's original causal memory) on the
+same operation mix, and prints the Table-I metrics side by side — plus the
+activation-delay column that quantifies false causality (A_ORG vs A_OPT).
+
+Expected shape (Table I):
+  * message count: partial (p·w + 2·r·(n−p)/n)  <  full (n·w) at this
+    write rate;
+  * control bytes: Opt-Track ≪ Full-Track; Opt-Track-CRP < OptP;
+  * space: Opt-Track ≪ Full-Track (amortized O(pq) vs O(npq));
+    Opt-Track-CRP < OptP (O(max(n,q)) vs O(nq));
+  * activation delay: ahamad ≥ optp (false causality).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.topology import evenly_spread
+from repro.workload.generator import WorkloadConfig, generate, op_counts
+
+N = 10
+Q = 40
+P = 3
+OPS = 100
+WRITE_RATE = 0.4
+PROTOCOLS = ("full-track", "opt-track", "opt-track-crp", "optp", "ahamad")
+PARTIAL = {"full-track", "opt-track"}
+
+
+def main() -> None:
+    topology = evenly_spread(N)
+    rows = []
+    for protocol in PROTOCOLS:
+        cfg = ClusterConfig(
+            n_sites=N,
+            n_variables=Q,
+            protocol=protocol,
+            replication_factor=P if protocol in PARTIAL else None,
+            topology=topology,
+            seed=3,
+            think_time=2.0,
+        )
+        cluster = Cluster(cfg)
+        workload = generate(
+            WorkloadConfig(
+                n_sites=N,
+                ops_per_site=OPS,
+                write_rate=WRITE_RATE,
+                placement=cluster.placement,
+                seed=99,
+            )
+        )
+        w, r = op_counts(workload)
+        result = cluster.run(workload)
+        assert result.ok
+        rows.append((protocol, cluster, result, w, r))
+
+    w, r = rows[0][3], rows[0][4]
+    print(
+        f"n={N} sites, q={Q} vars, p={P} (partial), "
+        f"{w} writes / {r} reads (w_rate={w/(w+r):.2f})\n"
+    )
+    print(
+        f"{'protocol':<15}{'p':>4}{'msgs':>8}{'ctrl KiB':>10}"
+        f"{'space/site B':>14}{'act delay ms':>14}{'consistent':>12}"
+    )
+    for protocol, cluster, result, _, _ in rows:
+        m = result.metrics
+        p = P if protocol in PARTIAL else N
+        print(
+            f"{protocol:<15}{p:>4}{m.total_messages:>8}"
+            f"{m.total_message_bytes / 1024:>10.1f}"
+            f"{m.space_bytes['mean_per_site']:>14.0f}"
+            f"{m.activation_delay['mean']:>14.3f}"
+            f"{'yes' if result.ok else 'NO':>12}"
+        )
+
+    print(
+        "\nReading the table against the paper:"
+        "\n  - the two partial-replication rows send far fewer messages"
+        "\n    (Fig 4 regime: w_rate 0.40 > crossover 2/(2+n) = 0.17);"
+        "\n  - opt-track carries/stores a fraction of full-track's metadata"
+        "\n    (the KS-optimal log vs the n x n matrix clock);"
+        "\n  - opt-track-crp beats optp on message size and space;"
+        "\n  - ahamad's happened-before predicate buffers updates longer"
+        "\n    (false causality) than the ~>co-based protocols."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: a causally consistent, partially replicated key-value store.
+
+Builds a five-datacenter store where each key lives on only two
+datacenters (partial replication — the paper's contribution is making
+causal consistency work in exactly this setting), then walks through the
+canonical causality example: Alice posts a photo, Bob sees it and
+comments, and *no observer anywhere can see the comment without the
+photo*.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.store.datastore import CausalStore, StoreConfig
+
+
+def main() -> None:
+    store = CausalStore(
+        StoreConfig(
+            n_datacenters=5,
+            keys=["alice:photo", "bob:comment"],
+            protocol="opt-track",      # the paper's optimal algorithm
+            replication_factor=2,      # each key on 2 of 5 datacenters
+            seed=7,
+        )
+    )
+    print("replica placement:")
+    for key in store.keys:
+        print(f"  {key:14s} -> datacenters {store.replicas(key)}")
+
+    # Alice posts a photo from the first datacenter replicating it.
+    alice_dc = store.replicas("alice:photo")[0]
+    store.put(alice_dc, "alice:photo", "beach.jpg")
+    store.settle()  # drain the asynchronous replication
+
+    # Bob, somewhere else, sees the photo and comments on it.  His read
+    # may be a remote fetch — the store routes it transparently.
+    bob_dc = store.replicas("bob:comment")[0]
+    photo = store.get(bob_dc, "alice:photo")
+    print(f"\nbob sees: {photo!r}")
+    store.put(bob_dc, "bob:comment", f"nice {photo}!")
+    store.settle()
+
+    # Every datacenter that can see Bob's comment must also see the photo
+    # it causally depends on — even datacenters replicating neither key.
+    print("\nobservers:")
+    for dc in range(5):
+        comment = store.get(dc, "bob:comment")
+        photo = store.get(dc, "alice:photo")
+        print(f"  dc{dc}: comment={comment!r:18s} photo={photo!r}")
+        assert comment is None or photo is not None, "causality violated!"
+    store.settle()
+
+    # The independent checker replays the whole history against the
+    # paper's causal-memory definition.
+    report = store.check()
+    print(f"\ncausal-consistency check: {'OK' if report.ok else report.violations}")
+
+    m = store.cluster.metrics.summary()
+    print(
+        f"messages: {m.message_counts}  "
+        f"(control bytes: {m.total_message_bytes})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario (Section I): a social network whose
+users are viewed mostly from two regions.
+
+User data is placed with region affinity (replicas near the home region),
+the workload is read-heavy, Zipf-popular and strongly local.  We run the
+same workload under partial replication (Opt-Track, p=2) and full
+replication (Opt-Track-CRP, p=n) and compare the paper's headline metrics:
+message count, control bytes, and space.
+
+Expected shape (paper Sections I and V): even on a read-heavy workload,
+locality keeps most reads local, so partial replication sends roughly
+``p/n`` of the update traffic with only a small remote-read surcharge.
+
+Run:  python examples/social_network.py
+"""
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.topology import evenly_spread
+from repro.workload.generator import measured_write_rate
+from repro.workload.scenarios import social_network
+
+
+def run(protocol: str, placement, workload, topology, n: int):
+    cfg = ClusterConfig(
+        n_sites=n,
+        protocol=protocol,
+        # CRP needs every variable everywhere; reuse the same keys
+        placement=placement
+        if protocol != "opt-track-crp"
+        else {k: tuple(range(n)) for k in placement},
+        topology=topology,
+        seed=13,
+    )
+    cluster = Cluster(cfg)
+    result = cluster.run(workload)
+    assert result.ok, "causal consistency violated?!"
+    return result
+
+
+def main() -> None:
+    n = 10
+    topology = evenly_spread(n)
+    placement, workload = social_network(
+        n, n_users=60, ops_per_site=120, replication_factor=2, topology=topology
+    )
+    print(
+        f"{n} datacenters across {len(set(topology.site_regions))} regions, "
+        f"60 users, p=2 region-affine replicas"
+    )
+    print(f"workload: write rate {measured_write_rate(workload):.2f}, locality 0.85\n")
+
+    header = f"{'':22s}{'messages':>10}{'ctrl KiB':>10}{'space/site B':>14}{'read lat ms':>12}"
+    print(header)
+    for protocol in ("opt-track", "opt-track-crp"):
+        r = run(protocol, placement, workload, topology, n)
+        m = r.metrics
+        reads = m.op_latency["read-local"]["count"] + m.op_latency["read-remote"]["count"]
+        mean_read = (
+            m.op_latency["read-local"]["total"] + m.op_latency["read-remote"]["total"]
+        ) / max(reads, 1)
+        label = f"{protocol} (p={'2' if protocol == 'opt-track' else n})"
+        print(
+            f"{label:22s}{m.total_messages:>10}"
+            f"{m.total_message_bytes / 1024:>10.1f}"
+            f"{m.space_bytes['mean_per_site']:>14.0f}"
+            f"{mean_read:>12.2f}"
+        )
+
+    print(
+        "\npartial replication trades a small remote-read latency tail for a"
+        "\nlarge cut in update fan-out and on-the-wire control bytes — the"
+        "\npaper's Section V argument, measured.  (Full replication's CRP"
+        "\nlog is tiny per entry, which is why its *storage* is smaller —"
+        "\nexactly the Table I trade-off.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

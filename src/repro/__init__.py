@@ -1,0 +1,85 @@
+"""repro — Causal consistency for geo-replicated cloud storage under
+partial replication.
+
+A production-quality reproduction of Shen, Kshemkalyani & Hsu (IPPS 2015):
+the first causal-consistency algorithms for *partially replicated*
+distributed shared memory (Full-Track and Opt-Track), their full-replication
+specialization (Opt-Track-CRP), the baselines they are compared against
+(OptP, Ahamad et al.), a deterministic discrete-event geo-replication
+simulator, workload generators, a causal-consistency checker, and the
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import Cluster
+
+    cluster = Cluster(n_sites=5, n_variables=20, protocol="opt-track",
+                      replication_factor=3, seed=7)
+    s0, s4 = cluster.session(0), cluster.session(4)
+    s0.write("x3", "hello")
+    cluster.settle()               # drain in-flight updates
+    print(s4.read("x3"))           # -> "hello", causally consistent
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from repro.core import (
+    CausalProtocol,
+    ProtocolConfig,
+    available_protocols,
+    protocol_class,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConsistencyViolationError,
+    DeadlockError,
+    PlacementError,
+    ProtocolInvariantError,
+    ReproError,
+    SimulationError,
+    UnknownProtocolError,
+    UnknownVariableError,
+)
+from repro.types import BOTTOM, OpKind, Operation, OpRecord, WriteId
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "CausalProtocol",
+    "Cluster",
+    "ConfigurationError",
+    "ConsistencyViolationError",
+    "DeadlockError",
+    "OpKind",
+    "OpRecord",
+    "Operation",
+    "PlacementError",
+    "ProtocolConfig",
+    "ProtocolInvariantError",
+    "ReproError",
+    "SimulationError",
+    "UnknownProtocolError",
+    "UnknownVariableError",
+    "WriteId",
+    "available_protocols",
+    "protocol_class",
+    "run_workload",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports: the simulation layer pulls in the whole package; keep
+    # `import repro` cheap for users who only need the protocol layer.
+    if name == "Cluster":
+        from repro.sim.cluster import Cluster
+
+        return Cluster
+    if name == "run_workload":
+        from repro.sim.cluster import run_workload
+
+        return run_workload
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

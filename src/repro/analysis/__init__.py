@@ -1,0 +1,39 @@
+"""Analytical model (Table I, Figure 4) and empirical comparison harness."""
+
+from repro.analysis import model
+from repro.analysis.diagram import render, render_cluster
+from repro.analysis.fig4 import (
+    Fig4Result,
+    default_ps,
+    fig4_analytic,
+    fig4_simulated,
+    render_fig4,
+)
+from repro.analysis.report import ReportConfig, generate_report
+from repro.analysis.sweep import run_cell, sweep, to_csv
+from repro.analysis.tables import (
+    MeasuredRow,
+    Table1Result,
+    render_table1,
+    run_table1,
+)
+
+__all__ = [
+    "Fig4Result",
+    "MeasuredRow",
+    "ReportConfig",
+    "Table1Result",
+    "default_ps",
+    "fig4_analytic",
+    "fig4_simulated",
+    "generate_report",
+    "model",
+    "render",
+    "render_cluster",
+    "render_fig4",
+    "render_table1",
+    "run_cell",
+    "run_table1",
+    "sweep",
+    "to_csv",
+]

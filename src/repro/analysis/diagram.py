@@ -1,0 +1,119 @@
+"""ASCII space-time diagrams from execution traces.
+
+Renders a :class:`repro.sim.events.Tracer`'s event stream as a
+process-per-row timeline — the same visual language as the paper's
+Figures 1–3 — for debugging protocol behaviour and for documentation:
+
+::
+
+    s0 | W(x)=v1 ----------------------------------------
+    s1 | ------------- A(w0:1) R(x)=v1 W(y)=v2 ----------
+    s2 | ----------------------- A(w0:1) A(w1:1) --------
+
+Glyphs: ``W`` write issued, ``A`` update applied, ``F`` fetch sent,
+``S`` fetch served, ``R`` read returned.  Columns are proportional to
+simulated time (quantized to the configured resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.events import (
+    ApplyEvent,
+    FetchEvent,
+    RemoteReturnEvent,
+    ReturnEvent,
+    SendEvent,
+    TraceEvent,
+    Tracer,
+)
+
+
+@dataclass(frozen=True)
+class _Mark:
+    time: float
+    site: int
+    text: str
+
+
+def _label(event: TraceEvent) -> Optional[str]:
+    if isinstance(event, SendEvent):
+        return None  # sends duplicate the write's apply; skip for clarity
+    if isinstance(event, ApplyEvent):
+        return f"A({event.write_id})"
+    if isinstance(event, FetchEvent):
+        return f"F({event.var}->{event.server})"
+    if isinstance(event, RemoteReturnEvent):
+        return f"S({event.var}->{event.requester})"
+    if isinstance(event, ReturnEvent):
+        if event.write_id is None:
+            return f"R({event.var})=⊥"
+        return f"R({event.var})={event.value!r}"
+    return None
+
+
+def render(
+    tracer: Tracer,
+    n_sites: int,
+    width: int = 100,
+    include_sends: bool = False,
+) -> str:
+    """Render the trace as an ASCII space-time diagram.
+
+    ``width`` is the target character width of the timeline area; marks
+    that would collide are pushed right (the diagram is *ordinal* within a
+    row when dense, proportional when sparse).
+    """
+    marks: List[_Mark] = []
+    for ev in tracer.events:
+        if isinstance(ev, SendEvent):
+            if include_sends:
+                marks.append(
+                    _Mark(ev.time, ev.site, f"W({ev.var})->{ev.dest}")
+                )
+            continue
+        text = _label(ev)
+        if text is not None:
+            marks.append(_Mark(ev.time, ev.site, text))
+    if not marks:
+        return "\n".join(f"s{i} |" for i in range(n_sites))
+
+    t0 = min(m.time for m in marks)
+    t1 = max(m.time for m in marks)
+    span = max(t1 - t0, 1e-9)
+
+    rows: Dict[int, List[str]] = {i: [] for i in range(n_sites)}
+    cursor: Dict[int, int] = {i: 0 for i in range(n_sites)}
+    for m in sorted(marks, key=lambda m: (m.time, m.site)):
+        row = rows[m.site]
+        col = int((m.time - t0) / span * width)
+        pad = col - cursor[m.site]
+        if pad > 0:
+            row.append("-" * pad)
+            cursor[m.site] += pad
+        elif cursor[m.site] > 0:
+            row.append(" ")
+            cursor[m.site] += 1
+        row.append(m.text)
+        cursor[m.site] += len(m.text)
+
+    tail = max(cursor.values())
+    lines = []
+    for i in range(n_sites):
+        body = "".join(rows[i])
+        body += "-" * max(tail - cursor[i], 0)
+        lines.append(f"s{i} | {body}")
+    header = f"t={t0:.1f} .. {t1:.1f} ms"
+    return header + "\n" + "\n".join(lines)
+
+
+def render_cluster(cluster, **kwargs) -> str:
+    """Convenience: render a cluster's tracer (requires ``trace=True`` in
+    the ClusterConfig)."""
+    if cluster.tracer is None:
+        raise ValueError(
+            "cluster has no tracer; build it with ClusterConfig(trace=True)"
+        )
+    return render(cluster.tracer, cluster.n_sites, **kwargs)

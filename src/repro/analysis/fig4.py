@@ -1,0 +1,130 @@
+"""Figure 4: message count vs. write rate — partial vs. full replication.
+
+The paper's Figure 4 plots, for ``n = 10`` and replication factors
+``p ∈ {1, 3, 5, 7, 10}``, the message count as a function of the write
+rate ``w_rate = w/(w+r)``; ``p = 10`` is full replication.  Partial
+replication sends fewer messages whenever ``w_rate > 2/(2+n)`` (~0.167 at
+``n = 10``).
+
+:func:`fig4_analytic` evaluates the closed-form curves; :func:`fig4_simulated`
+measures the same series by actually running the Opt-Track protocol (and
+Opt-Track-CRP for ``p = n``) in the simulator; :func:`render_fig4` prints
+the aligned series the way the paper's plot reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import model
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+DEFAULT_PS: Tuple[int, ...] = (1, 3, 5, 7, 10)
+DEFAULT_WRITE_RATES: Tuple[float, ...] = tuple(np.round(np.linspace(0.05, 0.95, 10), 2))
+
+
+@dataclass
+class Fig4Result:
+    n: int
+    write_rates: List[float]
+    #: p -> series of message counts, aligned with write_rates
+    series: Dict[int, List[float]] = field(default_factory=dict)
+    kind: str = "analytic"
+
+    def crossover_measured(self, p: int) -> Optional[float]:
+        """First write rate at which the ``p`` series drops below the full
+        (``p = n``) series; None if it never does."""
+        full = self.series[self.n]
+        part = self.series[p]
+        for wr, f, q in zip(self.write_rates, full, part):
+            if q < f:
+                return wr
+        return None
+
+
+def default_ps(n: int) -> Tuple[int, ...]:
+    """The paper's p values, clamped to the cluster size, always including
+    the full-replication line ``p = n``."""
+    ps = tuple(p for p in DEFAULT_PS if p < n) + (n,)
+    return ps
+
+
+def fig4_analytic(
+    n: int = 10,
+    ps: Optional[Sequence[int]] = None,
+    total_ops: float = 1000.0,
+    write_rates: Sequence[float] = DEFAULT_WRITE_RATES,
+) -> Fig4Result:
+    """Closed-form Figure 4 series."""
+    if ps is None:
+        ps = default_ps(n)
+    result = Fig4Result(n=n, write_rates=list(write_rates), kind="analytic")
+    for p in ps:
+        result.series[p] = model.message_count_vs_write_rate(
+            n, p, total_ops, write_rates
+        )
+    return result
+
+
+def fig4_simulated(
+    n: int = 10,
+    ps: Optional[Sequence[int]] = None,
+    ops_per_site: int = 60,
+    write_rates: Sequence[float] = DEFAULT_WRITE_RATES,
+    q: int = 40,
+    seed: int = 0,
+    check: bool = False,
+) -> Fig4Result:
+    """Measured Figure 4 series: Opt-Track at each ``p < n``,
+    Opt-Track-CRP at ``p = n``."""
+    if ps is None:
+        ps = default_ps(n)
+    result = Fig4Result(n=n, write_rates=list(write_rates), kind="simulated")
+    for p in ps:
+        series: List[float] = []
+        for i, wr in enumerate(write_rates):
+            protocol = "opt-track-crp" if p == n else "opt-track"
+            cfg = ClusterConfig(
+                n_sites=n,
+                n_variables=q,
+                protocol=protocol,
+                replication_factor=None if p == n else p,
+                seed=seed,
+                think_time=2.0,
+                record_history=check,
+                space_probe_every=None,
+            )
+            cluster = Cluster(cfg)
+            workload = generate(
+                WorkloadConfig(
+                    n_sites=n,
+                    ops_per_site=ops_per_site,
+                    write_rate=wr,
+                    placement=cluster.placement,
+                    seed=seed + 31 * i,
+                )
+            )
+            run = cluster.run(workload, check=check)
+            series.append(float(run.metrics.total_messages))
+        result.series[p] = series
+    return result
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Print the series as an aligned table (one column per p)."""
+    ps = sorted(result.series)
+    lines = [
+        f"Figure 4 ({result.kind})  n={result.n}  "
+        f"analytic crossover w_rate={model.crossover_write_rate(result.n):.3f}\n",
+        f"{'w_rate':>8}" + "".join(f"{f'p={p}':>10}" for p in ps) + "\n",
+    ]
+    for idx, wr in enumerate(result.write_rates):
+        row = f"{wr:>8.2f}" + "".join(
+            f"{result.series[p][idx]:>10.0f}" for p in ps
+        )
+        lines.append(row + "\n")
+    return "".join(lines)

@@ -1,0 +1,228 @@
+"""Closed-form complexity model: Table I and Figure 4.
+
+Every formula in the paper's Section IV, as executable code, so the
+benchmark harness can print *paper-predicted vs. measured* side by side.
+
+Parameters (paper notation):
+
+=====  =======================================================
+``n``  number of sites
+``q``  number of variables
+``p``  replication factor
+``w``  number of write operations
+``r``  number of read operations
+``d``  log records per message under Opt-Track-CRP (#reads
+       since the sender's last write; bounded by ``n``)
+=====  =======================================================
+
+Message-count model (the paper's most important metric, Section V): under
+partial replication a write multicasts to the ``p`` replicas and a read is
+remote with probability ``(n-p)/n`` (uniform access), costing 2 messages;
+under full replication every write broadcasts to ``n`` sites and all reads
+are local.  Partial replication wins iff ``w_rate > 2/(2+n)`` — Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+PROTOCOLS = ("full-track", "opt-track", "opt-track-crp", "optp")
+
+
+# ----------------------------------------------------------------------
+# message count (Table I row 1, Figure 4)
+# ----------------------------------------------------------------------
+def message_count_partial(n: int, p: int, w: float, r: float) -> float:
+    """Full-Track / Opt-Track: ``p*w + 2*r*(n-p)/n``."""
+    if not (1 <= p <= n):
+        raise ValueError(f"replication factor p={p} must satisfy 1 <= p <= n={n}")
+    return p * w + 2.0 * r * (n - p) / n
+
+
+def message_count_full(n: int, w: float, r: float = 0.0) -> float:
+    """Opt-Track-CRP / OptP: ``n*w`` (the paper counts the multicast to all
+    ``n`` sites; reads are always local and free)."""
+    return n * w
+
+
+def message_count(protocol: str, n: int, p: int, w: float, r: float) -> float:
+    if protocol in ("full-track", "opt-track"):
+        return message_count_partial(n, p, w, r)
+    if protocol in ("opt-track-crp", "optp", "ahamad"):
+        return message_count_full(n, w, r)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def crossover_write_rate(n: int) -> float:
+    """The write rate above which partial replication sends fewer messages
+    than full replication: ``w_rate > 2/(2+n)`` (Section V)."""
+    return 2.0 / (2.0 + n)
+
+
+def message_count_vs_write_rate(
+    n: int, p: int, total_ops: float, write_rates: Sequence[float]
+) -> List[float]:
+    """One Figure-4 series: message count as a function of ``w_rate`` for a
+    fixed op budget.  ``p = n`` reproduces the full-replication line."""
+    out = []
+    for wr in write_rates:
+        w = wr * total_ops
+        r = (1.0 - wr) * total_ops
+        if p == n:
+            out.append(message_count_full(n, w, r))
+        else:
+            out.append(message_count_partial(n, p, w, r))
+    return out
+
+
+# ----------------------------------------------------------------------
+# message size (Table I row 2) — asymptotic totals
+# ----------------------------------------------------------------------
+def message_size_full_track(n: int, p: int, w: float, r: float) -> float:
+    """O(n^2 p w + n r (n - p)): each of the ``pw`` updates carries an
+    ``n^2`` matrix; each of the ``r(n-p)/n`` remote reads returns one."""
+    return n * n * p * w + n * r * (n - p)
+
+
+def message_size_opt_track_worst(n: int, p: int, w: float, r: float) -> float:
+    """Opt-Track's asymptotic upper bound — same as Full-Track."""
+    return n * n * p * w + n * r * (n - p)
+
+
+def message_size_opt_track_amortized(n: int, p: int, w: float, r: float) -> float:
+    """O(n p w + r (n - p)): Chandra et al.'s simulation result — the KS
+    pruning keeps the *amortized* log at O(n), not O(n^2)."""
+    return n * p * w + r * (n - p)
+
+
+def message_size_crp(n: int, w: float, d: float) -> float:
+    """O(n w d): ``n`` copies per write, each carrying ``d`` 2-tuples."""
+    return n * w * d
+
+
+def message_size_optp(n: int, w: float) -> float:
+    """O(n^2 w): ``n`` copies per write, each carrying an ``n``-vector."""
+    return n * n * w
+
+
+# ----------------------------------------------------------------------
+# time complexity (Table I row 3) — per-operation op counts
+# ----------------------------------------------------------------------
+TIME_COMPLEXITY: Dict[str, Dict[str, str]] = {
+    "full-track": {"write": "O(n^2)", "read": "O(n^2)"},
+    "opt-track": {"write": "O(n^2 p)", "read": "O(n^2)"},
+    "opt-track-crp": {"write": "O(n)", "read": "O(1)"},
+    "optp": {"write": "O(n)", "read": "O(n)"},
+}
+
+
+def time_write_ops(protocol: str, n: int, p: int) -> float:
+    """Model op count for one write (up to constants)."""
+    return {
+        "full-track": n * n,
+        "opt-track": n * n * p,
+        "opt-track-crp": n,
+        "optp": n,
+    }[protocol]
+
+
+def time_read_ops(protocol: str, n: int, p: int) -> float:
+    """Model op count for one read (up to constants)."""
+    return {
+        "full-track": n * n,
+        "opt-track": n * n,
+        "opt-track-crp": 1,
+        "optp": n,
+    }[protocol]
+
+
+# ----------------------------------------------------------------------
+# space complexity (Table I row 4)
+# ----------------------------------------------------------------------
+def space_full_track(n: int, p: int, q: int) -> float:
+    """O(npq): an n^2 matrix per locally replicated variable (pq/n of them
+    per site) plus the n^2 Write clock -> n*p*q total per site... the
+    paper's aggregate bound."""
+    return n * p * q
+
+
+def space_opt_track_worst(n: int, p: int, q: int) -> float:
+    """O(npq) worst case."""
+    return n * p * q
+
+
+def space_opt_track_amortized(n: int, p: int, q: int) -> float:
+    """O(pq) amortized (Chandra et al.)."""
+    return p * q
+
+
+def space_crp(n: int, q: int) -> float:
+    """O(max(n, q))."""
+    return max(n, q)
+
+
+def space_optp(n: int, q: int) -> float:
+    """O(nq): an n-vector per variable."""
+    return n * q
+
+
+@dataclass(frozen=True)
+class TableIRow:
+    """One protocol's Table-I row, instantiated for concrete parameters."""
+
+    protocol: str
+    message_count: float
+    message_size: float
+    message_size_amortized: float
+    write_time_ops: float
+    read_time_ops: float
+    space: float
+    space_amortized: float
+
+
+def table1(n: int, q: int, p: int, w: float, r: float, d: float = 2.0) -> List[TableIRow]:
+    """Instantiate every Table-I cell for the given parameters."""
+    rows = [
+        TableIRow(
+            "full-track",
+            message_count_partial(n, p, w, r),
+            message_size_full_track(n, p, w, r),
+            message_size_full_track(n, p, w, r),
+            time_write_ops("full-track", n, p),
+            time_read_ops("full-track", n, p),
+            space_full_track(n, p, q),
+            space_full_track(n, p, q),
+        ),
+        TableIRow(
+            "opt-track",
+            message_count_partial(n, p, w, r),
+            message_size_opt_track_worst(n, p, w, r),
+            message_size_opt_track_amortized(n, p, w, r),
+            time_write_ops("opt-track", n, p),
+            time_read_ops("opt-track", n, p),
+            space_opt_track_worst(n, p, q),
+            space_opt_track_amortized(n, p, q),
+        ),
+        TableIRow(
+            "opt-track-crp",
+            message_count_full(n, w, r),
+            message_size_crp(n, w, d),
+            message_size_crp(n, w, d),
+            time_write_ops("opt-track-crp", n, n),
+            time_read_ops("opt-track-crp", n, n),
+            space_crp(n, q),
+            space_crp(n, q),
+        ),
+        TableIRow(
+            "optp",
+            message_count_full(n, w, r),
+            message_size_optp(n, w),
+            message_size_optp(n, w),
+            time_write_ops("optp", n, n),
+            time_read_ops("optp", n, n),
+            space_optp(n, q),
+            space_optp(n, q),
+        ),
+    ]
+    return rows

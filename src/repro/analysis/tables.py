@@ -1,0 +1,155 @@
+"""Empirical Table I: run the protocols, measure, compare with the model.
+
+For each protocol we run the *same* logical workload (same seed, same op
+mix) on a matched cluster — the partial-replication protocols at the
+requested replication factor ``p``, the full-replication protocols at
+``p = n`` — and collect the four Table-I metrics from the metrics layer.
+The model predictions come from :mod:`repro.analysis.model`.
+
+Absolute constants differ from the asymptotic formulas by design; what must
+(and does) reproduce is the *ordering and scaling*: who wins each metric,
+and by roughly what factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.analysis import model
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate, op_counts
+
+
+@dataclass
+class MeasuredRow:
+    """One protocol's measured Table-I metrics for one run."""
+
+    protocol: str
+    p: int
+    messages: int
+    message_bytes: int
+    mean_space_per_site: float
+    max_space_per_site: float
+    predicted_messages: float
+    predicted_bytes_amortized: float
+    writes: int
+    reads: int
+    remote_reads: int
+    sim_time: float
+    activation_delay_mean: float
+
+
+@dataclass
+class Table1Result:
+    n: int
+    q: int
+    p: int
+    write_rate: float
+    ops_per_site: int
+    rows: List[MeasuredRow] = field(default_factory=list)
+
+    def row(self, protocol: str) -> MeasuredRow:
+        for r in self.rows:
+            if r.protocol == protocol:
+                return r
+        raise KeyError(protocol)
+
+
+def run_table1(
+    n: int = 10,
+    q: int = 50,
+    p: int = 3,
+    ops_per_site: int = 100,
+    write_rate: float = 0.4,
+    seed: int = 0,
+    protocols: Sequence[str] = ("full-track", "opt-track", "opt-track-crp", "optp"),
+    check: bool = True,
+) -> Table1Result:
+    """Run every protocol on a matched workload; measure the Table-I
+    metrics."""
+    result = Table1Result(n=n, q=q, p=p, write_rate=write_rate, ops_per_site=ops_per_site)
+    for proto in protocols:
+        cfg = ClusterConfig(
+            n_sites=n,
+            n_variables=q,
+            protocol=proto,
+            replication_factor=None if _full_only(proto) else p,
+            seed=seed,
+            think_time=2.0,
+        )
+        cluster = Cluster(cfg)
+        workload = generate(
+            WorkloadConfig(
+                n_sites=n,
+                ops_per_site=ops_per_site,
+                write_rate=write_rate,
+                placement=cluster.placement,
+                seed=seed + 17,
+            )
+        )
+        w, r = op_counts(workload)
+        run = cluster.run(workload, check=check)
+        m = run.metrics
+        eff_p = p if not _full_only(proto) else n
+        if _full_only(proto):
+            predicted_msgs = model.message_count_full(n, w, r)
+            predicted_bytes = (
+                model.message_size_optp(n, w)
+                if proto in ("optp", "ahamad")
+                else model.message_size_crp(n, w, d=2.0)
+            )
+        else:
+            predicted_msgs = model.message_count_partial(n, eff_p, w, r)
+            predicted_bytes = (
+                model.message_size_opt_track_amortized(n, eff_p, w, r)
+                if proto == "opt-track"
+                else model.message_size_full_track(n, eff_p, w, r)
+            )
+        result.rows.append(
+            MeasuredRow(
+                protocol=proto,
+                p=eff_p,
+                messages=m.total_messages,
+                message_bytes=m.total_message_bytes,
+                mean_space_per_site=m.space_bytes["mean_per_site"],
+                max_space_per_site=m.space_bytes["max_per_site"],
+                predicted_messages=predicted_msgs,
+                predicted_bytes_amortized=predicted_bytes,
+                writes=w,
+                reads=r,
+                remote_reads=m.ops["read-remote"],
+                sim_time=run.sim_time,
+                activation_delay_mean=m.activation_delay["mean"],
+            )
+        )
+    return result
+
+
+def _full_only(protocol: str) -> bool:
+    from repro.core.base import protocol_class
+
+    return protocol_class(protocol).full_replication_only
+
+
+def render_table1(result: Table1Result) -> str:
+    """Human-readable rendering, one protocol per row."""
+    header = (
+        f"Table I (measured)   n={result.n} q={result.q} p={result.p} "
+        f"w_rate={result.write_rate} ops/site={result.ops_per_site}\n"
+    )
+    cols = (
+        f"{'protocol':<15}{'p':>3}{'msgs':>9}{'pred':>10}{'ctrl KiB':>10}"
+        f"{'space/site B':>14}{'remote reads':>14}{'act.delay ms':>14}\n"
+    )
+    lines = [header, cols, "-" * len(cols) + "\n"]
+    for row in result.rows:
+        lines.append(
+            f"{row.protocol:<15}{row.p:>3}{row.messages:>9}"
+            f"{row.predicted_messages:>10.0f}"
+            f"{row.message_bytes / 1024:>10.1f}"
+            f"{row.mean_space_per_site:>14.0f}"
+            f"{row.remote_reads:>14}"
+            f"{row.activation_delay_mean:>14.3f}\n"
+        )
+    return "".join(lines)

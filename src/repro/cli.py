@@ -1,0 +1,258 @@
+"""Command-line entry point: ``repro-sim``.
+
+Subcommands::
+
+    repro-sim table1   [--n 10 --q 50 --p 3 --write-rate 0.4 --ops 100]
+    repro-sim fig4     [--n 10 --ops 60] [--analytic-only]
+    repro-sim run      --protocol opt-track --n 10 [--p 3 --ops 100 ...]
+    repro-sim protocols
+
+``table1`` and ``fig4`` regenerate the paper's evaluation artifacts;
+``run`` executes one ad-hoc simulation and prints its metric summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.fig4 import fig4_analytic, fig4_simulated, render_fig4
+from repro.analysis.tables import render_table1, run_table1
+from repro.core.base import available_protocols
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=10, help="number of sites")
+    p.add_argument("--q", type=int, default=50, help="number of variables")
+    p.add_argument("--ops", type=int, default=100, help="operations per site")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Causal consistency under partial replication — "
+        "simulation and evaluation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="measured Table I")
+    _add_common(t1)
+    t1.add_argument("--p", type=int, default=3, help="replication factor")
+    t1.add_argument("--write-rate", type=float, default=0.4)
+
+    f4 = sub.add_parser("fig4", help="Figure 4 series")
+    f4.add_argument("--n", type=int, default=10)
+    f4.add_argument("--ops", type=int, default=60)
+    f4.add_argument("--seed", type=int, default=0)
+    f4.add_argument(
+        "--analytic-only",
+        action="store_true",
+        help="skip the simulated series (fast)",
+    )
+
+    run = sub.add_parser("run", help="one ad-hoc simulation")
+    _add_common(run)
+    run.add_argument("--protocol", default="opt-track", choices=available_protocols())
+    run.add_argument("--p", type=int, default=None, help="replication factor")
+    run.add_argument("--write-rate", type=float, default=0.3)
+    run.add_argument("--json", action="store_true", help="JSON metric dump")
+
+    sub.add_parser("protocols", help="list available protocols")
+
+    scen = sub.add_parser("scenario", help="run a named workload scenario")
+    scen.add_argument("name", choices=["social-network", "hdfs-like", "write-intensive", "read-intensive"])
+    scen.add_argument("--n", type=int, default=10)
+    scen.add_argument("--protocol", default="opt-track", choices=available_protocols())
+    scen.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("report", help="regenerate the full measured evaluation report (markdown)")
+    rep.add_argument("--n", type=int, default=10)
+    rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument("--fast", action="store_true", help="skip the simulated Figure-4 sweep")
+    rep.add_argument("--out", default=None, help="write to file instead of stdout")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="parameter sweep over the cartesian grid; CSV output",
+        description="Comma-separate values to sweep a parameter, e.g. "
+        "repro-sim sweep --protocol opt-track,optp --write-rate 0.2,0.8 --n 8",
+    )
+    sw.add_argument("--protocol", default="opt-track", help="comma-separated")
+    sw.add_argument("--n", default="10", help="comma-separated site counts")
+    sw.add_argument("--p", default="3", help="comma-separated replication factors")
+    sw.add_argument("--write-rate", default="0.4", help="comma-separated")
+    sw.add_argument("--q", type=int, default=30)
+    sw.add_argument("--ops", type=int, default=60)
+    sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--out", default=None, help="CSV file (default: stdout)")
+    return parser
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    result = run_table1(
+        n=args.n,
+        q=args.q,
+        p=args.p,
+        ops_per_site=args.ops,
+        write_rate=args.write_rate,
+        seed=args.seed,
+    )
+    print(render_table1(result))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    print(render_fig4(fig4_analytic(n=args.n)))
+    if not args.analytic_only:
+        print(render_fig4(fig4_simulated(n=args.n, ops_per_site=args.ops, seed=args.seed)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = ClusterConfig(
+        n_sites=args.n,
+        n_variables=args.q,
+        protocol=args.protocol,
+        replication_factor=args.p,
+        seed=args.seed,
+    )
+    cluster = Cluster(cfg)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=args.n,
+            ops_per_site=args.ops,
+            write_rate=args.write_rate,
+            placement=cluster.placement,
+            seed=args.seed,
+        )
+    )
+    result = cluster.run(workload)
+    m = result.metrics
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "protocol": args.protocol,
+                    "messages": m.message_counts,
+                    "bytes": m.message_bytes,
+                    "ops": m.ops,
+                    "activation_delay": m.activation_delay,
+                    "space": m.space_bytes,
+                    "sim_time_ms": result.sim_time,
+                    "causally_consistent": result.ok,
+                },
+                indent=1,
+            )
+        )
+    else:
+        print(f"protocol            {args.protocol}")
+        print(f"messages            {m.message_counts} (total {m.total_messages})")
+        print(f"control bytes       {m.total_message_bytes}")
+        print(f"ops                 {m.ops}")
+        print(f"activation delay    mean {m.activation_delay['mean']:.3f} ms")
+        print(f"space/site          mean {m.space_bytes['mean_per_site']:.0f} B")
+        print(f"sim time            {result.sim_time:.1f} ms")
+        print(f"causally consistent {result.ok}")
+    return 0
+
+
+def cmd_protocols(_args: argparse.Namespace) -> int:
+    for name in available_protocols():
+        print(name)
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.sim.topology import evenly_spread
+    from repro.workload.scenarios import SCENARIOS
+
+    builder = SCENARIOS[args.name]
+    topology = evenly_spread(args.n)
+    if args.name == "social-network":
+        placement, workload = builder(args.n, topology=topology, seed=args.seed)
+    else:
+        placement, workload = builder(args.n, seed=args.seed)
+    if args.protocol in ("opt-track-crp", "optp", "ahamad"):
+        placement = {k: tuple(range(args.n)) for k in placement}
+    cluster = Cluster(
+        ClusterConfig(
+            n_sites=args.n,
+            protocol=args.protocol,
+            placement=placement,
+            topology=topology,
+            seed=args.seed,
+        )
+    )
+    result = cluster.run(workload)
+    m = result.metrics
+    print(f"scenario            {args.name} ({args.protocol}, n={args.n})")
+    print(f"messages            {m.message_counts} (total {m.total_messages})")
+    print(f"control bytes       {m.total_message_bytes}")
+    print(f"ops                 {m.ops}")
+    print(f"causally consistent {result.ok}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportConfig, generate_report
+
+    cfg = ReportConfig(
+        n=args.n, seed=args.seed, include_simulated_fig4=not args.fast
+    )
+    text = generate_report(cfg)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import sweep, to_csv
+
+    def ints(text: str) -> list:
+        return [int(x) for x in text.split(",")]
+
+    def floats(text: str) -> list:
+        return [float(x) for x in text.split(",")]
+
+    rows = sweep(
+        protocol=args.protocol.split(","),
+        n=ints(args.n),
+        p=ints(args.p),
+        write_rate=floats(args.write_rate),
+        q=args.q,
+        ops_per_site=args.ops,
+        seed=args.seed,
+    )
+    text = to_csv(rows, args.out)
+    if args.out:
+        print(f"wrote {len(rows)} rows to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "table1": cmd_table1,
+        "fig4": cmd_fig4,
+        "run": cmd_run,
+        "protocols": cmd_protocols,
+        "scenario": cmd_scenario,
+        "report": cmd_report,
+        "sweep": cmd_sweep,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

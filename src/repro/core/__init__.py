@@ -1,0 +1,61 @@
+"""Core protocol layer: the paper's three algorithms plus two baselines.
+
+All protocols implement :class:`repro.core.base.CausalProtocol` and are
+registered by name:
+
+==================  =============================================  ===========
+name                algorithm                                      replication
+==================  =============================================  ===========
+``full-track``      Full-Track (paper Alg. 1, matrix clocks)       partial
+``opt-track``       Opt-Track (paper Alg. 2+3, KS logs)            partial
+``opt-track-crp``   Opt-Track-CRP (paper Alg. 4)                   full only
+``optp``            OptP baseline (Baldoni et al. 2006)            full only
+``ahamad``          original causal memory (Ahamad et al. 1995)    full only
+==================  =============================================  ===========
+"""
+
+from repro.core.base import (
+    CausalProtocol,
+    ProtocolConfig,
+    available_protocols,
+    protocol_class,
+    register_protocol,
+)
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import DepLog, LogEntry
+from repro.core.messages import (
+    CrpMeta,
+    FetchReply,
+    FetchRequest,
+    OptTrackMeta,
+    UpdateMessage,
+    WriteResult,
+)
+from repro.core.ahamad import AhamadProtocol
+from repro.core.full_track import FullTrackProtocol
+from repro.core.opt_track import OptTrackProtocol
+from repro.core.opt_track_crp import OptTrackCrpProtocol
+from repro.core.optp import OptPProtocol
+
+__all__ = [
+    "AhamadProtocol",
+    "CausalProtocol",
+    "CrpMeta",
+    "DepLog",
+    "FetchReply",
+    "FetchRequest",
+    "FullTrackProtocol",
+    "LogEntry",
+    "MatrixClock",
+    "OptPProtocol",
+    "OptTrackCrpProtocol",
+    "OptTrackMeta",
+    "OptTrackProtocol",
+    "UpdateMessage",
+    "VectorClock",
+    "WriteResult",
+    "available_protocols",
+    "protocol_class",
+    "ProtocolConfig",
+    "register_protocol",
+]

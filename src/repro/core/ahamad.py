@@ -1,0 +1,85 @@
+"""Baseline: the original causal memory protocol (Ahamad et al. 1995).
+
+Full replication, vector clocks, and the **non-optimal** activation
+predicate ``A_ORG`` based on Lamport's happened-before relation: the
+piggybacked clock is merged into the local clock at *apply* time, so a
+site's subsequent writes appear to depend on every update it has applied —
+whether or not the application ever read those values.  This is *false
+causality* (Section II-C): two writes that are concurrent under ``~>co``
+can be ordered under happened-before, forcing receivers to buffer updates
+longer than necessary.
+
+The ablation benchmark (EXPERIMENTS.md E8) measures exactly this: with
+identical workloads and identical message schedules, ``A_ORG`` activation
+delays dominate ``A_OPT`` ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import CausalProtocol, ProtocolConfig, register_protocol
+from repro.core.clocks import VectorClock
+from repro.core.messages import UpdateMessage, WriteResult
+from repro.errors import ProtocolInvariantError
+from repro.types import VarId, WriteId
+
+
+@register_protocol
+class AhamadProtocol(CausalProtocol):
+    """Original causal memory: happened-before tracking (``A_ORG``)."""
+
+    name = "ahamad"
+    full_replication_only = True
+
+    def __init__(self, config: ProtocolConfig) -> None:
+        super().__init__(config)
+        self.vector_clock = VectorClock(config.n)
+        self.apply_counts = np.zeros(config.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def write(self, var: VarId, value: Any) -> WriteResult:
+        self.vector_clock.increment(self.site)
+        write_id = self._next_write_id()
+        snapshot = self.vector_clock.frozen_copy()
+        messages = [
+            UpdateMessage(var, value, write_id, self.site, dest, snapshot)
+            for dest in range(self.n)
+            if dest != self.site
+        ]
+        self._store_value(var, value, write_id)
+        self.apply_counts[self.site] += 1
+        return WriteResult(write_id, messages, True)
+
+    def read_local(self, var: VarId) -> Tuple[Any, Optional[WriteId]]:
+        # No merge here: under happened-before tracking the dependency was
+        # already created when the update was applied.
+        return self.local_value(var)
+
+    # ------------------------------------------------------------------
+    def can_apply(self, msg: UpdateMessage) -> bool:
+        w: VectorClock = msg.meta
+        j = msg.sender
+        if self.apply_counts[j] != w[j] - 1:
+            return False
+        mask = np.ones(self.n, dtype=bool)
+        mask[j] = False
+        return bool(np.all(self.apply_counts[mask] >= w.v[mask]))
+
+    def apply_update(self, msg: UpdateMessage) -> None:
+        if not self.can_apply(msg):
+            raise ProtocolInvariantError(
+                f"site {self.site}: update {msg} applied before activation"
+            )
+        self._store_value(msg.var, msg.value, msg.write_id)
+        self.apply_counts[msg.sender] += 1
+        # The happened-before merge: this is what manufactures false
+        # causality relative to ~>co.
+        self.vector_clock.merge(msg.meta)
+
+    # ------------------------------------------------------------------
+    def meta_objects(self) -> Iterable[Any]:
+        yield self.vector_clock
+        yield self.apply_counts

@@ -1,0 +1,287 @@
+"""Protocol interface shared by all five causal-consistency algorithms.
+
+Protocols are *pure state machines*: they hold one site's state, consume
+``write``/``read``/``deliver`` calls, and emit message descriptors.  They
+never touch time, sockets, or threads — the simulation layer owns transport
+and scheduling, and unit tests can drive a protocol directly (including
+through adversarial message orderings).
+
+The update path is split in two so the caller can buffer messages whose
+activation predicate is not yet true (the paper models this with one thread
+per pending update; we model it with a pending set re-evaluated after every
+state change):
+
+* :meth:`CausalProtocol.can_apply` — evaluate the activation predicate;
+* :meth:`CausalProtocol.apply_update` — apply an activated update.
+
+Remote reads are likewise split (``make_fetch_request`` / server-side
+``can_serve_fetch`` + ``serve_fetch`` / requester-side
+``complete_remote_read``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core import bitsets
+from repro.core.messages import FetchReply, FetchRequest, UpdateMessage, WriteResult
+from repro.errors import (
+    ConfigurationError,
+    ProtocolInvariantError,
+    UnknownProtocolError,
+    UnknownVariableError,
+)
+from repro.types import BOTTOM, SiteId, VarId, WriteId
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static configuration shared by every site's protocol instance.
+
+    ``replicas_of`` is the placement map: variable -> ordered tuple of the
+    sites replicating it (the paper's ``x_h.replicas``).  It must be the
+    same object (or an equal mapping) at every site.
+    """
+
+    n: int
+    site: SiteId
+    replicas_of: Mapping[VarId, Tuple[SiteId, ...]]
+    #: When True (default), remote reads piggyback the requester's causal
+    #: dependencies and the serving site defers the reply until they are
+    #: applied.  See DESIGN.md ("correctness completion of RemoteFetch").
+    strict_remote_reads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"need n >= 1 sites, got {self.n}")
+        if not (0 <= self.site < self.n):
+            raise ConfigurationError(
+                f"site id {self.site} out of range for n={self.n}"
+            )
+        for var, reps in self.replicas_of.items():
+            if len(reps) == 0:
+                raise ConfigurationError(f"variable {var!r} has no replicas")
+            if len(set(reps)) != len(reps):
+                raise ConfigurationError(f"variable {var!r} has duplicate replicas")
+            for s in reps:
+                if not (0 <= s < self.n):
+                    raise ConfigurationError(
+                        f"variable {var!r} replica {s} out of range for n={self.n}"
+                    )
+
+
+class CausalProtocol(ABC):
+    """Per-site protocol state machine (abstract base)."""
+
+    #: registry key, e.g. ``"full-track"``
+    name: ClassVar[str] = "abstract"
+    #: True for protocols that require every variable on every site
+    full_replication_only: ClassVar[bool] = False
+
+    def __init__(self, config: ProtocolConfig) -> None:
+        self.config = config
+        self.site: SiteId = config.site
+        self.n: int = config.n
+        if self.full_replication_only:
+            for var, reps in config.replicas_of.items():
+                if len(reps) != config.n:
+                    raise ConfigurationError(
+                        f"protocol {self.name!r} requires full replication, "
+                        f"but {var!r} is replicated on {len(reps)}/{config.n} sites"
+                    )
+        #: replica bitmask per variable (precomputed once)
+        self._replica_mask: Dict[VarId, int] = {
+            var: bitsets.mask_of(reps) for var, reps in config.replicas_of.items()
+        }
+        #: local copies of the locally replicated variables
+        self._values: Dict[VarId, Tuple[Any, Optional[WriteId]]] = {
+            var: (BOTTOM, None)
+            for var, reps in config.replicas_of.items()
+            if config.site in reps
+        }
+        #: per-site write counter; doubles as the Opt-Track ``clock_i``
+        self._wseq: int = 0
+        self._fetch_seq: int = 0
+        #: applies that overwrote a value *concurrent* with the incoming
+        #: update (neither causally precedes the other) — the causal
+        #: store's conflict rate.  Maintained by protocols whose stored
+        #: metadata can decide concurrency (all but Ahamad).
+        self.conflicts_detected: int = 0
+
+    # ------------------------------------------------------------------
+    # placement helpers
+    # ------------------------------------------------------------------
+    def replicas(self, var: VarId) -> Tuple[SiteId, ...]:
+        try:
+            return self.config.replicas_of[var]
+        except KeyError:
+            raise UnknownVariableError(var) from None
+
+    def replica_mask(self, var: VarId) -> int:
+        try:
+            return self._replica_mask[var]
+        except KeyError:
+            raise UnknownVariableError(var) from None
+
+    def locally_replicates(self, var: VarId) -> bool:
+        return var in self._values
+
+    def fetch_target(self, var: VarId, prefer: Optional[SiteId] = None) -> SiteId:
+        """The predesignated site serving remote reads of ``var``.
+
+        ``prefer`` (e.g. the topologically nearest replica, chosen by the
+        simulation layer) is used when it actually replicates ``var``;
+        otherwise the lowest-id replica is the deterministic default.
+        """
+        reps = self.replicas(var)
+        if prefer is not None and prefer in reps:
+            return prefer
+        return reps[0]
+
+    def next_fetch_id(self) -> int:
+        self._fetch_seq += 1
+        return self._fetch_seq
+
+    # ------------------------------------------------------------------
+    # local value store
+    # ------------------------------------------------------------------
+    def local_value(self, var: VarId) -> Tuple[Any, Optional[WriteId]]:
+        """Current local copy of ``var`` (value, producing write id)."""
+        try:
+            return self._values[var]
+        except KeyError:
+            raise UnknownVariableError(
+                f"{var!r} is not replicated at site {self.site}"
+            ) from None
+
+    def _store_value(self, var: VarId, value: Any, write_id: WriteId) -> None:
+        if var not in self._values:
+            raise ProtocolInvariantError(
+                f"site {self.site} asked to store non-local variable {var!r}"
+            )
+        self._values[var] = (value, write_id)
+
+    def _next_write_id(self) -> WriteId:
+        self._wseq += 1
+        return WriteId(self.site, self._wseq)
+
+    # ------------------------------------------------------------------
+    # application operations (abstract)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def write(self, var: VarId, value: Any) -> WriteResult:
+        """Perform a write: update local state, return the update messages
+        to multicast to the remote replicas of ``var``."""
+
+    @abstractmethod
+    def read_local(self, var: VarId) -> Tuple[Any, Optional[WriteId]]:
+        """Read a locally replicated variable (merges its ``LastWriteOn``
+        control data into the local causal state)."""
+
+    def can_read_local(self, var: VarId) -> bool:
+        """True when a local read of ``var`` is causally safe right now.
+
+        Under partial replication a remote read can advance this site's
+        causal past beyond its locally applied state: the fetched value may
+        originate from writes whose updates to *this* site are still in
+        flight.  A local read in that window can return a value the reader
+        has causally overseen — a consistency violation (see DESIGN.md and
+        tests/integration/test_strict_remote_reads.py).  Strict-mode
+        partial-replication protocols therefore hold local reads until
+        every causally known update destined here has been applied.  The
+        simulation layer polls this before serving a local read and blocks
+        the reader while it is False.
+
+        Full-replication protocols (and lenient mode) never block: their
+        reads are always local, so the causal past can never outrun the
+        applied state.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # remote read path — default implementations raise for protocols that
+    # never need them (full-replication protocols read locally always)
+    # ------------------------------------------------------------------
+    def make_fetch_request(self, var: VarId, server: SiteId) -> FetchRequest:
+        raise ProtocolInvariantError(
+            f"protocol {self.name!r} does not support remote reads"
+        )
+
+    def can_serve_fetch(self, req: FetchRequest) -> bool:
+        """True when the serving site may answer the fetch (strict mode
+        defers until the requester's piggybacked dependencies are applied
+        locally)."""
+        return True
+
+    def serve_fetch(self, req: FetchRequest) -> FetchReply:
+        raise ProtocolInvariantError(
+            f"protocol {self.name!r} does not support remote reads"
+        )
+
+    def complete_remote_read(
+        self, reply: FetchReply
+    ) -> Tuple[Any, Optional[WriteId]]:
+        raise ProtocolInvariantError(
+            f"protocol {self.name!r} does not support remote reads"
+        )
+
+    # ------------------------------------------------------------------
+    # update path (abstract)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def can_apply(self, msg: UpdateMessage) -> bool:
+        """Evaluate the activation predicate for a received update."""
+
+    @abstractmethod
+    def apply_update(self, msg: UpdateMessage) -> None:
+        """Apply an activated update to the local replica."""
+
+    # ------------------------------------------------------------------
+    # introspection / accounting
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def meta_objects(self) -> Iterable[Any]:
+        """Yield every control-metadata object this site currently stores
+        (clocks, logs, ``LastWriteOn`` entries, ``Apply`` arrays).  The
+        metrics layer sizes them to measure the space complexity row of
+        Table I."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} site={self.site} n={self.n}>"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, type[CausalProtocol]] = {}
+
+
+def register_protocol(cls: type[CausalProtocol]) -> type[CausalProtocol]:
+    """Class decorator: register a protocol under its ``name``."""
+    key = cls.name
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ConfigurationError(f"protocol name {key!r} already registered")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def protocol_class(name: str) -> type[CausalProtocol]:
+    """Look up a protocol class by registry name."""
+    # Import side effect: make sure the built-in protocols are registered
+    # even when the caller imported only repro.core.base.
+    from repro.core import ahamad, full_track, opt_track, opt_track_crp, optp  # noqa: F401
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownProtocolError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_protocols() -> list[str]:
+    from repro.core import ahamad, full_track, opt_track, opt_track_crp, optp  # noqa: F401
+
+    return sorted(_REGISTRY)

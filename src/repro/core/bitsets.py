@@ -1,0 +1,79 @@
+"""Small-integer set helpers backed by Python int bitmasks.
+
+Destination lists in the Opt-Track log (sets of site ids, all < n) are hot:
+they are copied onto every outgoing message and pruned on every write, read
+and apply.  Representing them as int bitmasks makes copy free (ints are
+immutable), difference/union/intersection single C-level operations, and
+cardinality a ``bit_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+EMPTY: int = 0
+
+
+def mask_of(sites: Iterable[int]) -> int:
+    """Bitmask with a bit set for every site id in ``sites``."""
+    m = 0
+    for s in sites:
+        if s < 0:
+            raise ValueError(f"site id must be >= 0, got {s}")
+        m |= 1 << s
+    return m
+
+
+def singleton(site: int) -> int:
+    if site < 0:
+        raise ValueError(f"site id must be >= 0, got {site}")
+    return 1 << site
+
+
+def full_mask(n: int) -> int:
+    """Bitmask of all sites ``0..n-1``."""
+    return (1 << n) - 1
+
+
+def contains(mask: int, site: int) -> bool:
+    return bool((mask >> site) & 1)
+
+
+def add(mask: int, site: int) -> int:
+    return mask | (1 << site)
+
+
+def remove(mask: int, site: int) -> int:
+    return mask & ~(1 << site)
+
+
+def difference(mask: int, other: int) -> int:
+    return mask & ~other
+
+
+def union(mask: int, other: int) -> int:
+    return mask | other
+
+
+def intersection(mask: int, other: int) -> int:
+    return mask & other
+
+
+def size(mask: int) -> int:
+    return mask.bit_count()
+
+
+def is_empty(mask: int) -> bool:
+    return mask == 0
+
+
+def iter_sites(mask: int) -> Iterator[int]:
+    """Yield the site ids present in ``mask``, in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def to_sorted_tuple(mask: int) -> tuple[int, ...]:
+    return tuple(iter_sites(mask))

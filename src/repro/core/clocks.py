@@ -1,0 +1,153 @@
+"""Matrix and vector clocks used by the Full-Track and OptP protocols.
+
+Algorithm Full-Track (paper Section III-A) maintains at every site an
+``n x n`` integer matrix ``Write`` where ``Write[j][k]`` is the number of
+updates sent by application process ``ap_j`` to site ``s_k`` that causally
+happened before under the |co| relation.  The crucial difference from a
+Lamport-style clock is *when* merging happens: a clock piggybacked on an
+update message is **not** merged at message receipt, but only when a later
+read returns the value carried by that message (delayed merge = tracking
+|co| instead of happened-before, which removes false causality).
+
+The clocks here are plain state containers; the delayed-merge discipline is
+enforced by the protocols that use them.  They are numpy-backed: merge is a
+vectorized elementwise maximum, which is the hot operation in long runs.
+
+.. |co| replace:: ``~>co``
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_DTYPE = np.int64
+
+
+class MatrixClock:
+    """An ``n x n`` Write matrix clock (Full-Track).
+
+    Entry ``[j, k]`` counts writes by process ``j`` destined to site ``k``
+    in the causal past under the |co| relation.
+    """
+
+    __slots__ = ("n", "m")
+
+    def __init__(self, n: int, m: np.ndarray | None = None) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"matrix clock needs n >= 1, got {n}")
+        self.n = n
+        if m is None:
+            self.m = np.zeros((n, n), dtype=_DTYPE)
+        else:
+            if m.shape != (n, n):
+                raise ConfigurationError(
+                    f"matrix clock shape {m.shape} != ({n}, {n})"
+                )
+            self.m = m.astype(_DTYPE, copy=True)
+
+    def increment(self, writer: int, dests: Iterable[int]) -> None:
+        """Record one write by ``writer`` multicast to sites ``dests``."""
+        idx = list(dests)
+        self.m[writer, idx] += 1
+
+    def merge(self, other: "MatrixClock") -> None:
+        """Entrywise maximum, in place (paper Alg. 1 lines 10 and 12)."""
+        np.maximum(self.m, other.m, out=self.m)
+
+    def copy(self) -> "MatrixClock":
+        return MatrixClock(self.n, self.m)
+
+    def frozen_copy(self) -> "MatrixClock":
+        """A copy whose buffer is marked read-only (safe to piggyback on
+        several messages without re-copying per destination)."""
+        c = self.copy()
+        c.m.setflags(write=False)
+        return c
+
+    def __getitem__(self, jk: tuple[int, int]) -> int:
+        return int(self.m[jk])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatrixClock):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self.m, other.m))
+
+    def __le__(self, other: "MatrixClock") -> bool:
+        """Pointwise dominance: every entry of self <= other."""
+        return bool(np.all(self.m <= other.m))
+
+    def dominates(self, other: "MatrixClock") -> bool:
+        return bool(np.all(self.m >= other.m))
+
+    def column(self, k: int) -> np.ndarray:
+        """Column ``k``: per-writer counts of updates destined to site
+        ``k``.  Used by strict remote reads (only the serving site's column
+        is needed, an O(n) vector rather than the O(n^2) matrix)."""
+        return self.m[:, k].copy()
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        """Size of this clock when piggybacked on a message."""
+        return self.n * self.n * entry_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatrixClock(n={self.n},\n{self.m})"
+
+
+class VectorClock:
+    """An ``n``-entry vector clock (OptP and Ahamad baselines).
+
+    Entry ``[j]`` counts writes by process ``j`` in the causal past.  Under
+    full replication every write goes to every site, so the Full-Track
+    matrix degenerates into this vector (every column is identical).
+    """
+
+    __slots__ = ("n", "v")
+
+    def __init__(self, n: int, v: np.ndarray | None = None) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"vector clock needs n >= 1, got {n}")
+        self.n = n
+        if v is None:
+            self.v = np.zeros(n, dtype=_DTYPE)
+        else:
+            if v.shape != (n,):
+                raise ConfigurationError(f"vector clock shape {v.shape} != ({n},)")
+            self.v = v.astype(_DTYPE, copy=True)
+
+    def increment(self, writer: int) -> None:
+        self.v[writer] += 1
+
+    def merge(self, other: "VectorClock") -> None:
+        np.maximum(self.v, other.v, out=self.v)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.n, self.v)
+
+    def frozen_copy(self) -> "VectorClock":
+        c = self.copy()
+        c.v.setflags(write=False)
+        return c
+
+    def __getitem__(self, j: int) -> int:
+        return int(self.v[j])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self.v, other.v))
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return bool(np.all(self.v <= other.v))
+
+    def dominates(self, other: "VectorClock") -> bool:
+        return bool(np.all(self.v >= other.v))
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        return self.n * entry_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorClock({self.v.tolist()})"

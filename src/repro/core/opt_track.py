@@ -1,0 +1,289 @@
+"""Algorithm Opt-Track (paper Algorithms 2 and 3).
+
+Message- and space-optimal causal consistency under **partial
+replication**.  Instead of Full-Track's ``n x n`` matrix, each site keeps a
+Kshemkalyani–Singhal-style log of ``<sender, clock, Dests>`` records —
+one per causally preceding write whose destination information is still
+relevant — pruned by the two KS optimality conditions (see
+:mod:`repro.core.log`).
+
+State at site ``s_i``:
+
+* ``clock_i`` — local write counter (inherited ``_wseq``);
+* ``Apply[1..n]`` — ``Apply[z]`` is the clock value of the most recent
+  update from ``ap_z`` applied locally (line 27).  Deviation from the
+  paper's line 16 (which increments): we set ``Apply[i] := clock_i`` on
+  *every* local write, including writes to variables not locally
+  replicated.  With the literal ``Apply[i]++`` the counter diverges from
+  ``clock_i`` whenever a site writes a variable it does not replicate, and
+  a later dependency ``<i, c>`` arriving from a third site would deadlock.
+  Algorithm 4 (Opt-Track-CRP, line 5) uses the assignment form, confirming
+  the intent.
+* ``LOG`` — the dependency log;
+* ``LastWriteOn{var -> log}`` — the piggybacked log of the most recent
+  update applied to each locally replicated variable; merged into ``LOG``
+  only when a read returns that variable (the delayed, ``~>co``-faithful
+  merge).
+
+Activation predicate (lines 24-25): for every piggybacked record
+``<z, c, Dests>`` with ``s_i ∈ Dests``, wait until ``c <= Apply[z]``.
+Records not listing ``s_i`` are transitively guaranteed and need no wait.
+
+``distributed_prune=True`` enables the paper's Section III-B variant that
+moves the per-destination pruning of lines 3-8 to the receivers: one shared
+log snapshot is piggybacked (write cost drops from O(n^2 p) to O(n^2)) at
+the expense of slightly larger messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core import bitsets
+from repro.core.base import CausalProtocol, ProtocolConfig, register_protocol
+from repro.core.log import DepLog
+from repro.core.messages import (
+    FetchReply,
+    FetchRequest,
+    OptTrackMeta,
+    UpdateMessage,
+    WriteResult,
+)
+from repro.errors import ProtocolInvariantError
+from repro.types import SiteId, VarId, WriteId
+
+
+@register_protocol
+class OptTrackProtocol(CausalProtocol):
+    """Partial-replication causal memory with KS-optimal dependency logs."""
+
+    name = "opt-track"
+    full_replication_only = False
+
+    def __init__(
+        self, config: ProtocolConfig, *, distributed_prune: bool = False
+    ) -> None:
+        super().__init__(config)
+        self.apply_clocks = np.zeros(config.n, dtype=np.int64)
+        self.log = DepLog()
+        self.last_write_on: Dict[VarId, DepLog] = {}
+        self.distributed_prune = distributed_prune
+        #: per local variable: {sender: max clock} over the knowledge of
+        #: every write stored to it here — the causal ceiling used to
+        #: reject regressions (see _dominated)
+        self._ceiling: Dict[VarId, Dict[int, int]] = {}
+
+    @property
+    def clock(self) -> int:
+        """The paper's ``clock_i`` (== the per-site write counter)."""
+        return self._wseq
+
+    # ------------------------------------------------------------------
+    # WRITE(x_h, v) — Alg. 2 lines 1-17
+    # ------------------------------------------------------------------
+    def write(self, var: VarId, value: Any) -> WriteResult:
+        reps = self.replicas(var)
+        reps_mask = self.replica_mask(var)
+        write_id = self._next_write_id()  # line 1: clock_i++
+        clock = self._wseq
+
+        # Condition-2 prune mask.  Deviation from the paper: the writer's
+        # own site is excluded.  Condition 2's transitivity argument
+        # assumes the covering update reaches the pruned destination
+        # through the activation predicate, but the writer applies its own
+        # update instantly — pruning "writer ∈ o.Dests" would erase the
+        # only record that the writer still owes itself update ``o``,
+        # letting a later local read return a value the writer has
+        # causally overseen via a remote read (see can_read_local and
+        # tests/integration/test_strict_remote_reads.py).  The retained bit
+        # clears through Condition 1 once the update actually applies at
+        # the writer; receivers' activation checks are unaffected.
+        prune_mask = bitsets.remove(reps_mask, self.site)
+
+        messages: list[UpdateMessage] = []
+        if self.distributed_prune:
+            # Variant (Section III-B closing remark): one shared snapshot,
+            # receivers prune.  The snapshot must be taken before the local
+            # pruning of lines 10-11.
+            shared = self.log.copy()
+            meta = OptTrackMeta(clock, reps_mask, shared)
+            messages = [
+                UpdateMessage(var, value, write_id, self.site, dest, meta)
+                for dest in reps
+                if dest != self.site
+            ]
+        else:
+            for dest in reps:  # lines 2-9
+                if dest == self.site:
+                    continue
+                l_w = self.log.copy_for_dest(dest, prune_mask)  # lines 3-8
+                meta = OptTrackMeta(clock, reps_mask, l_w)
+                messages.append(
+                    UpdateMessage(var, value, write_id, self.site, dest, meta)
+                )
+
+        # lines 10-11: Condition 2 at the sender — the new update will
+        # transitively carry every logged dependency to the replicas of x_h
+        self.log.prune_dests(prune_mask)
+        self.log.purge()  # line 12
+        # line 13: the new write joins the log
+        self.log.add(self.site, clock, bitsets.remove(reps_mask, self.site))
+        # deviation from line 16 (see module docstring): own writes are
+        # always in the local causal past, replicated here or not
+        self.apply_clocks[self.site] = clock
+
+        applied = False
+        if self.site in reps:  # lines 14-17
+            self._store_value(var, value, write_id)
+            self.last_write_on[var] = self.log.copy()
+            self._raise_ceiling(var, self.log)
+            applied = True
+        return WriteResult(write_id, messages, applied)
+
+    # ------------------------------------------------------------------
+    # READ(x_h) — Alg. 2 lines 18-23
+    # ------------------------------------------------------------------
+    def read_local(self, var: VarId) -> Tuple[Any, Optional[WriteId]]:
+        lw = self.last_write_on.get(var)
+        if lw is not None:
+            self.log.merge(lw)  # line 21
+        self.log.purge()  # line 22
+        return self.local_value(var)
+
+    def can_read_local(self, var: VarId) -> bool:
+        # Safe once every log record naming this site as a destination has
+        # been applied.  Records that pruned this site are transitively
+        # covered by ones that retain it (the KS invariant), exactly as in
+        # the server-side fetch wait.
+        if not self.config.strict_remote_reads:
+            return True
+        me = bitsets.singleton(self.site)
+        return all(
+            self.apply_clocks[z] >= c for (z, c), d in self.log if d & me
+        )
+
+    def make_fetch_request(self, var: VarId, server: SiteId) -> FetchRequest:
+        deps = None
+        if self.config.strict_remote_reads:
+            # Records naming the server: the server must have applied these
+            # before its copy of `var` is causally safe for us to read.
+            # (Records not naming the server are transitively covered by
+            # ones that do — the KS invariant.)
+            deps = tuple(
+                sorted(
+                    (z, c)
+                    for (z, c), d in self.log
+                    if bitsets.contains(d, server)
+                )
+            )
+        return FetchRequest(var, self.site, server, self.next_fetch_id(), deps)
+
+    def can_serve_fetch(self, req: FetchRequest) -> bool:
+        if req.deps is None:
+            return True
+        return all(self.apply_clocks[z] >= c for (z, c) in req.deps)
+
+    def serve_fetch(self, req: FetchRequest) -> FetchReply:
+        value, write_id = self.local_value(req.var)
+        meta = self.last_write_on.get(req.var)
+        return FetchReply(
+            req.var, value, write_id, self.site, req.requester, req.fetch_id, meta
+        )
+
+    def complete_remote_read(
+        self, reply: FetchReply
+    ) -> Tuple[Any, Optional[WriteId]]:
+        if reply.meta is not None:
+            self.log.merge(reply.meta)  # line 20
+            self.log.purge()  # line 22
+        return reply.value, reply.write_id
+
+    # ------------------------------------------------------------------
+    # update path — Alg. 2 lines 24-31
+    # ------------------------------------------------------------------
+    def can_apply(self, msg: UpdateMessage) -> bool:
+        meta: OptTrackMeta = msg.meta
+        me = bitsets.singleton(self.site)
+        for (z, c), dests in meta.log:
+            if dests & me and self.apply_clocks[z] < c:
+                return False
+        return True
+
+    def apply_update(self, msg: UpdateMessage) -> None:
+        if not self.can_apply(msg):
+            raise ProtocolInvariantError(
+                f"site {self.site}: update {msg} applied before activation"
+            )
+        meta: OptTrackMeta = msg.meta
+        if self.apply_clocks[msg.sender] >= meta.clock:
+            raise ProtocolInvariantError(
+                f"site {self.site}: non-monotonic apply from {msg.sender}: "
+                f"{meta.clock} after {self.apply_clocks[msg.sender]}"
+            )
+        self.apply_clocks[msg.sender] = meta.clock  # line 27
+        if self._dominated(msg):
+            # Same completion as Full-Track: the stored value causally
+            # follows this update (it raced a remote-read-informed local
+            # write); applying it would regress the replica.  Count it as
+            # applied, keep the newer value and log.
+            return
+        _, cur_wid = self._values.get(msg.var, (None, None))
+        if (
+            cur_wid is not None
+            and meta.log.latest_clock(cur_wid.site) < cur_wid.seq
+            and not (msg.sender == cur_wid.site and meta.clock > cur_wid.seq)
+        ):
+            # the stored write is unknown to the incoming one: concurrent
+            # conflict, resolved by overwrite
+            self.conflicts_detected += 1
+        self._store_value(msg.var, msg.value, msg.write_id)  # line 26
+
+        stored = meta.log.copy()
+        if self.distributed_prune:
+            # receiver-side Condition-2 pruning (sender skipped lines 3-8);
+            # the sender's own bit is excluded, as in the sender-side prune
+            stored.prune_dests(bitsets.remove(meta.replicas_mask, msg.sender))
+        # line 28: the update itself joins the stored log
+        stored.add(msg.sender, meta.clock, meta.replicas_mask)
+        # lines 29-30: Condition 1 — this site has now applied everything
+        # the stored log mentions as destined to it
+        stored.remove_site(self.site)
+        self.last_write_on[msg.var] = stored  # line 31
+        self._raise_ceiling(msg.var, stored)
+
+    def _raise_ceiling(self, var: VarId, log: DepLog) -> None:
+        ceiling = self._ceiling.setdefault(var, {})
+        for (z, c) in log.entries:
+            if c > ceiling.get(z, 0):
+                ceiling[z] = c
+
+    def _dominated(self, msg: UpdateMessage) -> bool:
+        """True when the incoming update is in the causal past of *some*
+        write previously stored to the variable at this site.
+
+        Each stored write's log keeps the newest record per sender its
+        writer ever learned of (PURGE and the per-destination copies both
+        retain the latest record even when its destination set empties),
+        so the per-variable ceiling — the per-sender maximum over the
+        stored writes' logs — satisfies ``ceiling[sender] >= clock``
+        exactly when some stored write knew of this update, i.e. the
+        update causally precedes it.  Testing only the *current* value is
+        not enough: chains of pairwise-concurrent overwrites can forget
+        knowledge an earlier stored write had.  A skipped update is never
+        causally newer than the current value: if it were, the current
+        value would itself have been skipped when it was stored.
+        """
+        ceiling = self._ceiling.get(msg.var)
+        if ceiling is None:
+            return False
+        meta: OptTrackMeta = msg.meta
+        return ceiling.get(msg.sender, 0) >= meta.clock
+
+    # ------------------------------------------------------------------
+    def meta_objects(self) -> Iterable[Any]:
+        yield self.log
+        yield self.apply_clocks
+        yield from self.last_write_on.values()
+        yield from self._ceiling.values()

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster, placement, protocol, or workload configuration."""
+
+
+class PlacementError(ConfigurationError):
+    """A variable placement is malformed (empty, out of range, duplicated)."""
+
+
+class UnknownVariableError(ReproError):
+    """An operation referenced a variable that is not part of the store."""
+
+
+class UnknownProtocolError(ConfigurationError):
+    """The requested protocol name is not registered."""
+
+
+class ProtocolInvariantError(ReproError):
+    """An internal protocol invariant was violated (indicates a bug)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an illegal state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation quiesced while updates or fetches were still pending.
+
+    This is raised when every application process has finished (or is
+    blocked) and no events remain, yet some update message never satisfied
+    its activation predicate or some remote fetch never completed.  For a
+    correct protocol this indicates a liveness bug; the failure-injection
+    tests trigger it deliberately.
+    """
+
+
+class ConsistencyViolationError(ReproError):
+    """The execution checker found a violation of causal consistency."""

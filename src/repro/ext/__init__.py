@@ -1,0 +1,24 @@
+"""Section-V extensions: causal+ convergence and availability failover."""
+
+from repro.ext.availability import FailoverReader, ReadOutcome
+from repro.ext.convergence import (
+    TerminationDetector,
+    converge,
+    final_values,
+    is_convergent,
+)
+from repro.ext.reconfig import add_replica, remove_replica, replication_factor_of
+from repro.ext.sessions import MigratingClient
+
+__all__ = [
+    "FailoverReader",
+    "MigratingClient",
+    "ReadOutcome",
+    "TerminationDetector",
+    "add_replica",
+    "converge",
+    "final_values",
+    "is_convergent",
+    "remove_replica",
+    "replication_factor_of",
+]

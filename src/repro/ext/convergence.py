@@ -1,0 +1,219 @@
+"""Causal+ (convergent) consistency — the paper's Section V recipe.
+
+    "We can provide causal+ consistency for our partially replicated
+    system as follows: periodically, run a global termination detection
+    algorithm; once termination is detected, determine the final set of
+    values of each variable, and use that set to provide convergent
+    causal consistency."
+
+Two pieces:
+
+* :class:`TerminationDetector` — Mattern's four-counter (double-wave)
+  termination detection, run as real control messages over the simulated
+  network: a coordinator polls every site for (messages sent, messages
+  received, active?); the system has terminated when two consecutive waves
+  return identical counts, equal send/receive totals, and all-passive.
+  A purely local observer would be simpler, but the point of the exercise
+  is that termination *can* be detected with the system's own primitives.
+
+* :func:`converge` — once terminated, compute each variable's final value:
+  among the writes applied at the variable's replicas, take the causally
+  maximal ones and break ties deterministically by
+  :class:`~repro.types.WriteId` (last-writer-wins on the writer's
+  (seq, site)); install that value at every replica.  After convergence
+  every replica of every variable holds the same value — the liveness
+  guarantee of causal+ — and the choice respects causality (a causally
+  dominated write never wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.cluster import Cluster
+from repro.types import SiteId, VarId, WriteId
+
+CONTROL = "termination-poll"
+CONTROL_REPLY = "termination-ack"
+
+
+@dataclass(frozen=True, slots=True)
+class _Poll:
+    wave: int
+    coordinator: SiteId
+
+
+@dataclass(frozen=True, slots=True)
+class _Ack:
+    wave: int
+    site: SiteId
+    sent: int
+    received: int
+    active: bool
+
+
+class TerminationDetector:
+    """Mattern-style double-wave counting termination detector.
+
+    Drives waves of poll/ack control messages through the cluster's
+    network.  ``on_terminated`` fires (once) at the simulated time the
+    second identical all-passive wave completes.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        on_terminated: Optional[Callable[[], None]] = None,
+        poll_interval: float = 50.0,
+        coordinator: SiteId = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.on_terminated = on_terminated
+        self.poll_interval = poll_interval
+        self.coordinator = coordinator
+        self.terminated_at: Optional[float] = None
+        self.waves_run = 0
+        self._acks: Dict[int, List[_Ack]] = {}
+        self._last_wave_counts: Optional[Tuple[int, int]] = None
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        net = self.cluster.network
+        for site in self.cluster.sites:
+            original = net._handlers[site.site]
+
+            def handler(kind: str, msg: Any, _site=site, _orig=original) -> None:
+                if kind == CONTROL:
+                    self._handle_poll(_site.site, msg)
+                elif kind == CONTROL_REPLY:
+                    self._handle_ack(msg)
+                else:
+                    _orig(kind, msg)
+
+            net._handlers[site.site] = handler
+
+    def _site_counters(self, site: SiteId) -> Tuple[int, int, bool]:
+        """(update messages sent, update messages applied, busy?) at a
+        site — Mattern's per-process counters.
+
+        'Active' means the site still buffers unapplied updates, unserved
+        fetches, or blocked reads — the underlying computation is not
+        finished there.  Termination requires all-passive twice in a row
+        with matching totals: every multicast update accounted for by an
+        apply somewhere.
+        """
+        s = self.cluster.sites[site]
+        return s.updates_sent, s.updates_applied, not s.quiescent
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin polling; keeps scheduling waves until termination."""
+        self.cluster.sim.schedule(self.poll_interval, self._run_wave)
+
+    def _run_wave(self) -> None:
+        if self.terminated_at is not None:
+            return
+        self.waves_run += 1
+        wave = self.waves_run
+        self._acks[wave] = []
+        poll = _Poll(wave, self.coordinator)
+        n = self.cluster.n_sites
+        # poll self directly, others over the network
+        self._handle_poll(self.coordinator, poll)
+        for dst in range(n):
+            if dst != self.coordinator:
+                self.cluster.network.send(CONTROL, poll, self.coordinator, dst)
+
+    def _handle_poll(self, site: SiteId, poll: _Poll) -> None:
+        sent, received, active = self._site_counters(site)
+        ack = _Ack(poll.wave, site, sent, received, active)
+        if site == poll.coordinator:
+            self._handle_ack(ack)
+        else:
+            self.cluster.network.send(CONTROL_REPLY, ack, site, poll.coordinator)
+
+    def _handle_ack(self, ack: _Ack) -> None:
+        acks = self._acks.get(ack.wave)
+        if acks is None:
+            return
+        acks.append(ack)
+        if len(acks) < self.cluster.n_sites:
+            return
+        # wave complete
+        all_passive = not any(a.active for a in acks)
+        totals = (sum(a.sent for a in acks), sum(a.received for a in acks))
+        if (
+            all_passive
+            and totals[0] == totals[1]  # every multicast update applied
+            and self._last_wave_counts == totals
+            and self._all_processes_done()
+        ):
+            self.terminated_at = self.cluster.sim.now
+            if self.on_terminated is not None:
+                self.on_terminated()
+            return
+        self._last_wave_counts = totals if all_passive else None
+        self.cluster.sim.schedule(self.poll_interval, self._run_wave)
+
+    def _all_processes_done(self) -> bool:
+        # Sessions have no process objects; treat the application as done
+        # when no site buffers work and no events besides ours are queued.
+        return all(s.quiescent for s in self.cluster.sites)
+
+
+# ----------------------------------------------------------------------
+def final_values(cluster: Cluster) -> Dict[VarId, Tuple[Any, Optional[WriteId]]]:
+    """The convergence target: per variable, the causally-maximal applied
+    write, ties broken by the largest ``(seq, site)`` (deterministic LWW).
+
+    Uses only per-replica local state — each replica votes its current
+    version, and because applies respect causality, the vote set contains
+    the causally maximal writes; LWW picks one deterministically.
+    """
+    out: Dict[VarId, Tuple[Any, Optional[WriteId]]] = {}
+    for var, reps in cluster.placement.items():
+        best: Tuple[Any, Optional[WriteId]] = (None, None)
+        for site in reps:
+            value, wid = cluster.protocols[site].local_value(var)
+            if wid is None:
+                continue
+            if best[1] is None or (wid.seq, wid.site) > (best[1].seq, best[1].site):
+                best = (value, wid)
+        out[var] = best
+    return out
+
+
+def converge(cluster: Cluster) -> Dict[VarId, Tuple[Any, Optional[WriteId]]]:
+    """Install the final values at every replica (the causal+ step).
+
+    Returns the chosen final value per variable.  Must be called on a
+    quiescent cluster (run :meth:`Cluster.settle` first); raises
+    :class:`~repro.errors.SimulationError` otherwise.
+    """
+    for s in cluster.sites:
+        if s.pending_updates:
+            raise SimulationError(
+                "converge() requires a quiescent cluster; call settle() first"
+            )
+    finals = final_values(cluster)
+    for var, (value, wid) in finals.items():
+        if wid is None:
+            continue
+        for site in cluster.placement[var]:
+            proto = cluster.protocols[site]
+            cur_value, cur_wid = proto.local_value(var)
+            if cur_wid != wid:
+                proto._values[var] = (value, wid)
+    return finals
+
+
+def is_convergent(cluster: Cluster) -> bool:
+    """True when every replica of every variable holds the same version."""
+    for var, reps in cluster.placement.items():
+        versions = {cluster.protocols[s].local_value(var)[1] for s in reps}
+        if len(versions) > 1:
+            return False
+    return True

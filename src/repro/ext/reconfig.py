@@ -1,0 +1,130 @@
+"""Quiesced replica reconfiguration: tune ``p`` at runtime, per variable.
+
+The paper motivates partial replication with "``p`` is a tunable
+parameter" — but its algorithms assume a *static* placement, and online
+reconfiguration under causal consistency is an open problem the paper
+explicitly leaves out.  This module provides the safe middle ground real
+operators use: **epoch-based reconfiguration on a quiescent system**.
+
+``add_replica(cluster, var, site)``:
+
+1. requires quiescence (no in-flight updates — call ``cluster.settle()``);
+2. transfers the variable's current value *and its causal metadata*
+   (``LastWriteOn``) from an existing replica to the new site, so reads
+   there merge the correct dependencies;
+3. installs the new placement at every site atomically (new epoch).
+
+``remove_replica`` is the inverse (dropping the local copy and metadata).
+Because the system is quiescent, no update message is ever in flight
+across the epoch change, which is precisely the hard case being dodged —
+DESIGN.md records this as a deliberate scope cut.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import bitsets
+from repro.core.full_track import FullTrackProtocol
+from repro.core.opt_track import OptTrackProtocol
+from repro.errors import ConfigurationError, SimulationError, UnknownVariableError
+from repro.sim.cluster import Cluster
+from repro.types import SiteId, VarId
+
+
+def _require_quiescent(cluster: Cluster) -> None:
+    stuck = [s.site for s in cluster.sites if not s.quiescent]
+    if stuck:
+        raise SimulationError(
+            f"reconfiguration requires quiescence; sites {stuck} have "
+            f"buffered work — call cluster.settle() first"
+        )
+
+
+def _install_placement(cluster: Cluster, var: VarId, replicas: Tuple[SiteId, ...]) -> None:
+    cluster.placement[var] = replicas
+    mask = bitsets.mask_of(replicas)
+    for proto in cluster.protocols:
+        # ProtocolConfig.replicas_of aliases cluster.placement (the same
+        # mapping object), so only the cached masks need refreshing
+        proto._replica_mask[var] = mask
+
+
+def add_replica(
+    cluster: Cluster, var: VarId, site: SiteId, source: Optional[SiteId] = None
+) -> None:
+    """Add ``site`` to ``var``'s replica set, with state + metadata
+    transfer from ``source`` (default: the first existing replica)."""
+    if var not in cluster.placement:
+        raise UnknownVariableError(var)
+    replicas = cluster.placement[var]
+    if site in replicas:
+        raise ConfigurationError(f"site {site} already replicates {var!r}")
+    if not (0 <= site < cluster.n_sites):
+        raise ConfigurationError(f"site {site} out of range")
+    _require_quiescent(cluster)
+
+    src = source if source is not None else replicas[0]
+    if src not in replicas:
+        raise ConfigurationError(f"source {src} does not replicate {var!r}")
+    src_proto = cluster.protocols[src]
+    dst_proto = cluster.protocols[site]
+
+    value, wid = src_proto.local_value(var)
+    dst_proto._values[var] = (value, wid)
+
+    # causal metadata transfer, per protocol family
+    if isinstance(src_proto, FullTrackProtocol):
+        meta = src_proto.last_write_on.get(var)
+        if meta is not None:
+            dst_proto.last_write_on[var] = meta  # frozen snapshot, shareable
+            dst_proto._raise_ceiling(var, meta)
+        # the new replica has (by fiat of the transfer) "applied" the
+        # current value; apply counters stay untouched because no update
+        # message was consumed — future updates still arrive in FIFO order
+    elif isinstance(src_proto, OptTrackProtocol):
+        meta = src_proto.last_write_on.get(var)
+        if meta is not None:
+            log = meta.copy()
+            log.remove_site(site)  # condition 1 for the new holder
+            dst_proto.last_write_on[var] = log
+            dst_proto._raise_ceiling(var, log)
+    else:
+        # full-replication protocols never reconfigure (p == n always)
+        raise ConfigurationError(
+            f"protocol {type(src_proto).__name__} does not support "
+            f"partial-replication reconfiguration"
+        )
+
+    _install_placement(cluster, var, tuple(sorted((*replicas, site))))
+
+
+def remove_replica(cluster: Cluster, var: VarId, site: SiteId) -> None:
+    """Remove ``site`` from ``var``'s replica set (drops the local copy)."""
+    if var not in cluster.placement:
+        raise UnknownVariableError(var)
+    replicas = cluster.placement[var]
+    if site not in replicas:
+        raise ConfigurationError(f"site {site} does not replicate {var!r}")
+    if len(replicas) == 1:
+        raise ConfigurationError(f"cannot remove the last replica of {var!r}")
+    _require_quiescent(cluster)
+
+    proto = cluster.protocols[site]
+    proto._values.pop(var, None)
+    if hasattr(proto, "last_write_on"):
+        proto.last_write_on.pop(var, None)
+    if hasattr(proto, "_ceiling"):
+        proto._ceiling.pop(var, None)
+
+    _install_placement(
+        cluster, var, tuple(s for s in replicas if s != site)
+    )
+
+
+def replication_factor_of(cluster: Cluster, var: VarId) -> int:
+    """Current number of replicas of ``var``."""
+    try:
+        return len(cluster.placement[var])
+    except KeyError:
+        raise UnknownVariableError(var) from None

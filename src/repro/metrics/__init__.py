@@ -1,0 +1,25 @@
+"""Metric collection: message counts/sizes, space, timing, activation delay."""
+
+from repro.metrics.collector import MetricsCollector, MetricsSummary, RunningStat
+from repro.metrics.opcount import OpCountingSession, OpCounts
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+from repro.metrics.visibility import (
+    VisibilitySummary,
+    WriteVisibility,
+    summarize_visibility,
+    write_visibilities,
+)
+
+__all__ = [
+    "DEFAULT_SIZE_MODEL",
+    "MetricsCollector",
+    "MetricsSummary",
+    "OpCountingSession",
+    "OpCounts",
+    "RunningStat",
+    "SizeModel",
+    "VisibilitySummary",
+    "WriteVisibility",
+    "summarize_visibility",
+    "write_visibilities",
+]

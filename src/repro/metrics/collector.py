@@ -1,0 +1,201 @@
+"""Run-time metric collection for the four Table-I complexity measures.
+
+The collector is wired into the simulation layer (network send hooks, site
+apply hooks, process op hooks) and accumulates:
+
+* **message count** — per message kind (update / fetch / fetch-reply), the
+  paper's most important metric (Section V);
+* **message size** — control-metadata bytes per kind, via
+  :class:`repro.metrics.sizes.SizeModel`;
+* **space** — bytes of control state (logs, clocks, LastWriteOn) per site,
+  sampled by :meth:`MetricsCollector.probe_space`;
+* **time** — simulated operation latencies, plus *activation delay* (how
+  long updates sat buffered waiting for their activation predicate — the
+  false-causality ablation measures this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable
+
+from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import CausalProtocol
+
+
+class RunningStat:
+    """Streaming count/sum/min/max/mean/variance (Welford)."""
+
+    __slots__ = ("count", "total", "min", "max", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "stdev": self.stdev,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningStat(count={self.count}, mean={self.mean:.3f})"
+
+
+@dataclass
+class MetricsSummary:
+    """Immutable snapshot of a finished run's metrics."""
+
+    message_counts: Dict[str, int]
+    message_bytes: Dict[str, int]
+    ops: Dict[str, int]
+    op_latency: Dict[str, Dict[str, float]]
+    activation_delay: Dict[str, float]
+    space_bytes: Dict[str, float]
+    sim_time: float = 0.0
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.message_counts.values())
+
+    @property
+    def total_message_bytes(self) -> int:
+        return sum(self.message_bytes.values())
+
+    def messages_per_op(self) -> float:
+        n_ops = sum(self.ops.values())
+        return self.total_messages / n_ops if n_ops else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON-serializable form (for CSV/JSON export and sweeps)."""
+        return {
+            "message_counts": dict(self.message_counts),
+            "message_bytes": dict(self.message_bytes),
+            "ops": dict(self.ops),
+            "op_latency": {k: dict(v) for k, v in self.op_latency.items()},
+            "activation_delay": dict(self.activation_delay),
+            "space_bytes": dict(self.space_bytes),
+            "sim_time": self.sim_time,
+            "total_messages": self.total_messages,
+            "total_message_bytes": self.total_message_bytes,
+        }
+
+
+class MetricsCollector:
+    """Accumulates metrics during one simulation run."""
+
+    #: message kinds
+    UPDATE = "update"
+    FETCH = "fetch"
+    REPLY = "fetch-reply"
+
+    def __init__(self, size_model: SizeModel | None = None) -> None:
+        self.size_model = size_model or DEFAULT_SIZE_MODEL
+        self.message_counts: Dict[str, int] = {
+            self.UPDATE: 0,
+            self.FETCH: 0,
+            self.REPLY: 0,
+        }
+        self.message_bytes: Dict[str, int] = {
+            self.UPDATE: 0,
+            self.FETCH: 0,
+            self.REPLY: 0,
+        }
+        self.ops: Dict[str, int] = {"write": 0, "read-local": 0, "read-remote": 0}
+        self.op_latency: Dict[str, RunningStat] = {
+            "write": RunningStat(),
+            "read-local": RunningStat(),
+            "read-remote": RunningStat(),
+        }
+        self.activation_delay = RunningStat()
+        self.space_samples: Dict[int, RunningStat] = {}
+        self._space_peak = 0
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_message(self, kind: str, msg: Any) -> None:
+        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+        try:
+            size = self.size_model.message_size(msg)
+        except TypeError:
+            # extension traffic (termination-detection polls etc.) sizes as
+            # a bare header
+            size = self.size_model.header_bytes
+        self.message_bytes[kind] = self.message_bytes.get(kind, 0) + size
+
+    def on_op(self, kind: str, latency: float) -> None:
+        self.ops[kind] += 1
+        self.op_latency[kind].add(latency)
+
+    def on_apply(self, delay: float) -> None:
+        self.activation_delay.add(delay)
+
+    def probe_space(self, protocols: Iterable["CausalProtocol"]) -> int:
+        """Sample the control-state footprint of every site; returns the
+        total bytes across sites at this instant."""
+        total = 0
+        for proto in protocols:
+            site_bytes = sum(
+                self.size_model.meta_size(obj) for obj in proto.meta_objects()
+            )
+            self.space_samples.setdefault(proto.site, RunningStat()).add(site_bytes)
+            total += site_bytes
+        if total > self._space_peak:
+            self._space_peak = total
+        return total
+
+    # ------------------------------------------------------------------
+    def summary(self, sim_time: float = 0.0) -> MetricsSummary:
+        per_site_mean = [s.mean for s in self.space_samples.values()]
+        per_site_max = [s.max for s in self.space_samples.values()]
+        space = {
+            "mean_per_site": (
+                sum(per_site_mean) / len(per_site_mean) if per_site_mean else 0.0
+            ),
+            "max_per_site": max(per_site_max) if per_site_max else 0.0,
+            "peak_total": float(self._space_peak),
+        }
+        return MetricsSummary(
+            message_counts=dict(self.message_counts),
+            message_bytes=dict(self.message_bytes),
+            ops=dict(self.ops),
+            op_latency={k: v.as_dict() for k, v in self.op_latency.items()},
+            activation_delay=self.activation_delay.as_dict(),
+            space_bytes=space,
+            sim_time=sim_time,
+        )

@@ -1,0 +1,123 @@
+"""Update-visibility latency: how long until a write is readable at its
+replicas.
+
+Section V's latency discussion weighs full replication's local-read
+latency against its fan-out cost.  The complementary metric is *visibility
+latency* — for each write, the time from issue until it has been applied
+at (all / a fraction of) its replicas.  Computed from the recorded
+history, so it composes with any protocol and topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.types import SiteId, VarId, WriteId
+from repro.verify.history import History
+
+
+@dataclass(frozen=True)
+class WriteVisibility:
+    """Visibility record for one write."""
+
+    write_id: WriteId
+    var: VarId
+    issued_at: float
+    #: apply time per replica that applied it (writer's local apply
+    #: included); replicas that never applied are absent
+    applied_at: Dict[SiteId, float]
+    n_replicas: int
+
+    @property
+    def fully_visible_at(self) -> Optional[float]:
+        """Simulated time the write reached every replica (None if it
+        never did)."""
+        if len(self.applied_at) < self.n_replicas:
+            return None
+        return max(self.applied_at.values())
+
+    @property
+    def full_visibility_latency(self) -> Optional[float]:
+        t = self.fully_visible_at
+        return None if t is None else t - self.issued_at
+
+    def visibility_latency(self, fraction: float = 1.0) -> Optional[float]:
+        """Time until ``fraction`` of the replicas applied the write."""
+        need = max(1, int(round(fraction * self.n_replicas)))
+        if len(self.applied_at) < need:
+            return None
+        times = sorted(self.applied_at.values())
+        return times[need - 1] - self.issued_at
+
+
+def write_visibilities(
+    history: History, replicas_of: Mapping[VarId, Tuple[SiteId, ...]]
+) -> List[WriteVisibility]:
+    """Per-write visibility records for a finished run."""
+    applied: Dict[WriteId, Dict[SiteId, float]] = {}
+    for a in history.applies:
+        applied.setdefault(a.write_id, {})[a.site] = a.time
+    out: List[WriteVisibility] = []
+    for w in history.writes:
+        reps = replicas_of.get(w.var, ())
+        out.append(
+            WriteVisibility(
+                write_id=w.write_id,
+                var=w.var,
+                issued_at=w.time,
+                applied_at=applied.get(w.write_id, {}),
+                n_replicas=len(reps),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class VisibilitySummary:
+    """Aggregate visibility statistics for one run."""
+
+    n_writes: int
+    n_fully_visible: int
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+    max_latency: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"visibility: {self.n_fully_visible}/{self.n_writes} complete, "
+            f"mean {self.mean_latency:.1f} ms, p99 {self.p99_latency:.1f} ms"
+        )
+
+
+def summarize_visibility(
+    history: History,
+    replicas_of: Mapping[VarId, Tuple[SiteId, ...]],
+    fraction: float = 1.0,
+) -> VisibilitySummary:
+    """Aggregate visibility latency at the given replica ``fraction``."""
+    latencies: List[float] = []
+    records = write_visibilities(history, replicas_of)
+    complete = 0
+    for rec in records:
+        lat = rec.visibility_latency(fraction)
+        if lat is not None:
+            complete += 1
+            latencies.append(lat)
+    if not latencies:
+        return VisibilitySummary(len(records), 0, 0.0, 0.0, 0.0, 0.0)
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        idx = min(len(latencies) - 1, int(p * (len(latencies) - 1)))
+        return latencies[idx]
+
+    return VisibilitySummary(
+        n_writes=len(records),
+        n_fully_visible=complete,
+        mean_latency=sum(latencies) / len(latencies),
+        p50_latency=pct(0.5),
+        p99_latency=pct(0.99),
+        max_latency=latencies[-1],
+    )

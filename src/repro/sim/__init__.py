@@ -1,0 +1,69 @@
+"""Discrete-event simulation substrate: engine, geo network, sites."""
+
+from repro.sim.batching import UpdateBatch, UpdateBatcher
+from repro.sim.cluster import Cluster, ClusterConfig, RunResult, Session, run_workload
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import (
+    ApplyEvent,
+    FetchEvent,
+    ReceiptEvent,
+    RemoteReturnEvent,
+    ReturnEvent,
+    SendEvent,
+    TraceEvent,
+    Tracer,
+)
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    MatrixLatency,
+    UniformLatency,
+    make_latency,
+    random_wan,
+)
+from repro.sim.network import Network
+from repro.sim.process import AppProcess
+from repro.sim.site import SimSite
+from repro.sim.topology import (
+    DEFAULT_REGION_DELAYS,
+    DEFAULT_REGIONS,
+    Topology,
+    evenly_spread,
+    single_region,
+)
+
+__all__ = [
+    "AppProcess",
+    "ApplyEvent",
+    "Cluster",
+    "ClusterConfig",
+    "ConstantLatency",
+    "DEFAULT_REGIONS",
+    "DEFAULT_REGION_DELAYS",
+    "EventHandle",
+    "FetchEvent",
+    "LatencyModel",
+    "LogNormalLatency",
+    "MatrixLatency",
+    "Network",
+    "ReceiptEvent",
+    "RemoteReturnEvent",
+    "ReturnEvent",
+    "RunResult",
+    "SendEvent",
+    "Session",
+    "SimSite",
+    "Simulator",
+    "Topology",
+    "TraceEvent",
+    "Tracer",
+    "UniformLatency",
+    "UpdateBatch",
+    "UpdateBatcher",
+    "evenly_spread",
+    "make_latency",
+    "random_wan",
+    "run_workload",
+    "single_region",
+]

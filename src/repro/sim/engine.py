@@ -1,0 +1,119 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal, fast event loop: a binary heap of ``(time, seq, callback)``
+entries.  ``seq`` is a global insertion counter, so events at equal
+simulated times fire in schedule order — together with seeded RNGs this
+makes every run bit-for-bit reproducible.
+
+Time is unitless; the latency models interpret it as milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, supporting cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Scheduled) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """The discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[_Scheduled] = []
+        self._seq: int = 0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        entry = _Scheduled(self.now + delay, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, fn)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Simulated time of the next event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            if entry.time < self.now:
+                raise SimulationError(
+                    f"time went backwards: {entry.time} < {self.now}"
+                )
+            self.now = entry.time
+            self.events_processed += 1
+            entry.fn()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run events until the queue empties, ``until`` time is reached,
+        ``max_events`` have fired, or ``stop_when()`` turns true (checked
+        after every event).  Returns the number of events processed."""
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                return fired
+            if stop_when is not None and stop_when():
+                return fired
+            nxt = self.peek_time()
+            if nxt is None:
+                return fired
+            if until is not None and nxt > until:
+                self.now = until
+                return fired
+            self.step()
+            fired += 1

@@ -1,0 +1,257 @@
+"""A simulated site: one protocol instance plus its pending buffers.
+
+The paper spawns a thread per received update that blocks until the
+activation predicate ``A(m, e)`` turns true (Section II-B).  The
+deterministic equivalent used here: updates whose predicate is false go to
+a pending buffer, and the buffer is re-scanned after every event that
+changes protocol state (an apply, a local write).  Scanning repeats until
+a fixed point, since one apply can activate several others.
+
+Fetch requests are buffered the same way when strict remote reads are on
+and the requester's dependencies have not yet been applied locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.base import CausalProtocol
+from repro.core.messages import FetchReply, FetchRequest, UpdateMessage, WriteResult
+from repro.errors import SimulationError
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    ApplyEvent,
+    ReceiptEvent,
+    RemoteReturnEvent,
+    SendEvent,
+    Tracer,
+)
+from repro.sim.network import Network
+from repro.types import SiteId, VarId
+from repro.verify.history import History
+
+
+class SimSite:
+    """Wires one :class:`CausalProtocol` instance into the simulation."""
+
+    def __init__(
+        self,
+        protocol: CausalProtocol,
+        sim: Simulator,
+        network: Network,
+        history: Optional[History] = None,
+        metrics: Optional[MetricsCollector] = None,
+        tracer: Optional[Tracer] = None,
+        batch_window: Optional[float] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.site: SiteId = protocol.site
+        self.sim = sim
+        self.network = network
+        self.history = history
+        self.metrics = metrics
+        self.tracer = tracer
+        self.batcher = None
+        if batch_window is not None:
+            from repro.sim.batching import UpdateBatcher
+
+            self.batcher = UpdateBatcher(
+                self.site,
+                batch_window,
+                lambda delay, fn: sim.schedule(delay, fn),
+                self._send_batch,
+            )
+        #: updates waiting for their activation predicate: (msg, recv time)
+        self.pending_updates: List[Tuple[UpdateMessage, float]] = []
+        #: fetch requests waiting for strict-mode dependencies
+        self.pending_fetches: List[Tuple[FetchRequest, float]] = []
+        #: fetch_id -> callback awaiting a FetchReply at this site
+        self._fetch_waiters: Dict[int, Callable[[FetchReply], None]] = {}
+        #: local reads blocked by can_read_local: (var, callback)
+        self._read_waiters: List[Tuple[VarId, Callable[[], None]]] = []
+        #: update messages multicast by this site (termination detection)
+        self.updates_sent: int = 0
+        #: update messages from other sites applied here
+        self.updates_applied: int = 0
+        network.register(self.site, self._on_message)
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    def broadcast_write(self, result: WriteResult, var: VarId) -> None:
+        """Hand a write's update messages to the network; record the local
+        apply if the variable is locally replicated."""
+        for msg in result.messages:
+            if self.tracer:
+                self.tracer.emit(
+                    SendEvent(self.sim.now, self.site, msg.dest, var, msg.write_id)
+                )
+            self.updates_sent += 1
+            if self.batcher is not None:
+                self.batcher.enqueue(msg)
+            else:
+                self.network.send(MetricsCollector.UPDATE, msg, self.site, msg.dest)
+        if result.applied_locally:
+            self._record_apply(var, result.write_id, self.sim.now)
+
+    def _send_batch(self, batch) -> None:
+        self.network.send("update-batch", batch, self.site, batch.dest)
+
+    def send_fetch(
+        self, req: FetchRequest, on_reply: Callable[[FetchReply], None]
+    ) -> None:
+        """Send a remote-read request and register the reply callback."""
+        self._fetch_waiters[req.fetch_id] = on_reply
+        self.network.send(MetricsCollector.FETCH, req, self.site, req.server)
+
+    def forget_fetch(self, fetch_id: int) -> None:
+        """Abandon an outstanding fetch (availability timeout path)."""
+        self._fetch_waiters.pop(fetch_id, None)
+
+    # ------------------------------------------------------------------
+    # inbound
+    # ------------------------------------------------------------------
+    def _on_message(self, kind: str, msg: Any) -> None:
+        if kind == MetricsCollector.UPDATE:
+            self._on_update(msg)
+        elif kind == "update-batch":
+            self._on_update_batch(msg)
+        elif kind == MetricsCollector.FETCH:
+            self._on_fetch_request(msg)
+        elif kind == MetricsCollector.REPLY:
+            self._on_fetch_reply(msg)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown message kind {kind!r}")
+
+    def _on_update_batch(self, batch) -> None:
+        if self.tracer:
+            self.tracer.emit(
+                ReceiptEvent(
+                    self.sim.now, self.site, batch.sender, "update-batch", "*"
+                )
+            )
+        for msg in batch.updates:
+            self.pending_updates.append((msg, self.sim.now))
+        self.drain()
+
+    def _on_update(self, msg: UpdateMessage) -> None:
+        if self.tracer:
+            self.tracer.emit(
+                ReceiptEvent(self.sim.now, self.site, msg.sender, "update", msg.var)
+            )
+        self.pending_updates.append((msg, self.sim.now))
+        self.drain()
+
+    def _on_fetch_request(self, req: FetchRequest) -> None:
+        if self.tracer:
+            self.tracer.emit(
+                ReceiptEvent(self.sim.now, self.site, req.requester, "fetch", req.var)
+            )
+        self.pending_fetches.append((req, self.sim.now))
+        self._serve_ready_fetches()
+
+    def _on_fetch_reply(self, reply: FetchReply) -> None:
+        if self.tracer:
+            self.tracer.emit(
+                ReceiptEvent(
+                    self.sim.now, self.site, reply.server, "fetch-reply", reply.var
+                )
+            )
+        waiter = self._fetch_waiters.pop(reply.fetch_id, None)
+        if waiter is not None:
+            waiter(reply)
+        # an unmatched reply is legal: the availability extension abandons
+        # fetches that timed out
+
+    # ------------------------------------------------------------------
+    # activation machinery
+    # ------------------------------------------------------------------
+    def drain(self) -> int:
+        """Apply every pending update whose activation predicate holds,
+        repeating to a fixed point; then serve unblocked fetches.
+        Returns the number of updates applied."""
+        applied_total = 0
+        progress = True
+        while progress:
+            progress = False
+            still: List[Tuple[UpdateMessage, float]] = []
+            for msg, recv_time in self.pending_updates:
+                if self.protocol.can_apply(msg):
+                    self.protocol.apply_update(msg)
+                    self._record_apply(msg.var, msg.write_id, recv_time)
+                    self.updates_applied += 1
+                    applied_total += 1
+                    progress = True
+                else:
+                    still.append((msg, recv_time))
+            self.pending_updates = still
+        if applied_total:
+            self._serve_ready_fetches()
+            self._wake_ready_reads()
+        return applied_total
+
+    def wait_local_read(self, var: VarId, callback: Callable[[], None]) -> None:
+        """Register a local read blocked by ``can_read_local``; the
+        callback fires once the local state has caught up (possibly
+        immediately)."""
+        if self.protocol.can_read_local(var):
+            callback()
+            return
+        self._read_waiters.append((var, callback))
+
+    def _wake_ready_reads(self) -> None:
+        still: List[Tuple[VarId, Callable[[], None]]] = []
+        for var, callback in self._read_waiters:
+            if self.protocol.can_read_local(var):
+                callback()
+            else:
+                still.append((var, callback))
+        self._read_waiters = still
+
+    def _serve_ready_fetches(self) -> None:
+        still: List[Tuple[FetchRequest, float]] = []
+        for req, recv_time in self.pending_fetches:
+            if self.protocol.can_serve_fetch(req):
+                reply = self.protocol.serve_fetch(req)
+                if self.tracer:
+                    self.tracer.emit(
+                        RemoteReturnEvent(
+                            self.sim.now, self.site, req.requester, req.var
+                        )
+                    )
+                self.network.send(
+                    MetricsCollector.REPLY, reply, self.site, req.requester
+                )
+            else:
+                still.append((req, recv_time))
+        self.pending_fetches = still
+
+    def _record_apply(self, var: VarId, write_id, recv_time: float) -> None:
+        now = self.sim.now
+        if self.history is not None:
+            self.history.record_apply(self.site, write_id, var, now, recv_time)
+        if self.metrics is not None:
+            self.metrics.on_apply(now - recv_time)
+        if self.tracer:
+            self.tracer.emit(
+                ApplyEvent(now, self.site, var, write_id, write_id.site)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        """True when nothing is buffered at this site."""
+        return (
+            not self.pending_updates
+            and not self.pending_fetches
+            and not self._fetch_waiters
+            and not self._read_waiters
+            and (self.batcher is None or self.batcher.pending == 0)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimSite {self.site} pending={len(self.pending_updates)}u/"
+            f"{len(self.pending_fetches)}f>"
+        )

@@ -1,0 +1,27 @@
+"""Replicated store layer: variable placement and the client-facing API."""
+
+from repro.store.placement import (
+    Placement,
+    default_variables,
+    full,
+    hashed,
+    make_placement,
+    region_affinity,
+    replication_factor,
+    round_robin,
+    var_name,
+    vars_at,
+)
+
+__all__ = [
+    "Placement",
+    "default_variables",
+    "full",
+    "hashed",
+    "make_placement",
+    "region_affinity",
+    "replication_factor",
+    "round_robin",
+    "var_name",
+    "vars_at",
+]

@@ -1,0 +1,78 @@
+"""The shared-memory specification: variables and their replica sets.
+
+Thin, validated wrapper around a placement map, with the derived quantities
+the paper's analysis uses (``X_i``, replication factor, locality of an
+access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Tuple
+
+from repro.errors import PlacementError, UnknownVariableError
+from repro.types import SiteId, VarId
+
+
+@dataclass(frozen=True)
+class SharedMemorySpec:
+    """Immutable description of the shared memory Q (paper Section II-A)."""
+
+    n_sites: int
+    placement: Mapping[VarId, Tuple[SiteId, ...]]
+
+    def __post_init__(self) -> None:
+        if self.n_sites <= 0:
+            raise PlacementError(f"need n >= 1 sites, got {self.n_sites}")
+        if not self.placement:
+            raise PlacementError("shared memory needs at least one variable")
+        for var, reps in self.placement.items():
+            if not reps:
+                raise PlacementError(f"variable {var!r} has no replicas")
+            if len(set(reps)) != len(reps):
+                raise PlacementError(f"variable {var!r} has duplicate replicas")
+            for s in reps:
+                if not (0 <= s < self.n_sites):
+                    raise PlacementError(
+                        f"variable {var!r} replica {s} out of range"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def q(self) -> int:
+        """Number of variables."""
+        return len(self.placement)
+
+    @property
+    def variables(self) -> List[VarId]:
+        return list(self.placement)
+
+    def replicas(self, var: VarId) -> Tuple[SiteId, ...]:
+        try:
+            return tuple(self.placement[var])
+        except KeyError:
+            raise UnknownVariableError(var) from None
+
+    def vars_at(self, site: SiteId) -> List[VarId]:
+        """The paper's ``X_i``."""
+        return [v for v, reps in self.placement.items() if site in reps]
+
+    def is_local(self, site: SiteId, var: VarId) -> bool:
+        return site in self.replicas(var)
+
+    def replication_factor(self) -> float:
+        """Mean replicas per variable (the paper's ``p`` when uniform)."""
+        return sum(len(r) for r in self.placement.values()) / self.q
+
+    def is_fully_replicated(self) -> bool:
+        return all(len(r) == self.n_sites for r in self.placement.values())
+
+    def mean_local_fraction(self) -> float:
+        """Expected fraction of uniform accesses that are local —
+        the paper's ``p/n`` under even placement."""
+        return sum(len(r) for r in self.placement.values()) / (
+            self.q * self.n_sites
+        )
+
+    def __iter__(self) -> Iterator[VarId]:
+        return iter(self.placement)

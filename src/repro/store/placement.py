@@ -1,0 +1,140 @@
+"""Replica placement strategies.
+
+The paper's model (Section II-B): each site holds a subset ``X_i`` of the
+``q`` variables; with replication factor ``p`` and even placement, the
+average ``|X_i|`` is ``pq/n``.  The placement map (variable -> ordered
+tuple of replica sites, the paper's ``x_h.replicas``) is global knowledge
+shared by every site.
+
+Strategies
+----------
+``round_robin``     variable ``x_h`` lives on sites ``h, h+1, .., h+p-1 mod n``
+                    — perfectly even (every site holds exactly ``pq/n``
+                    variables when ``n | q``).
+``hashed``          p distinct pseudo-random sites per variable, seeded —
+                    the consistent-hashing-style placement of real stores.
+``region_affinity`` each variable gets a *home site*; replicas are its
+                    topologically nearest sites.  Models the paper's
+                    motivating scenario (Section I): user data replicated
+                    only near the regions that access it.
+``full``            every variable on every site (the CRP case, p = n).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.types import SiteId, VarId
+
+Placement = Dict[VarId, Tuple[SiteId, ...]]
+
+
+def var_name(index: int) -> VarId:
+    """Canonical variable name for index ``index`` (``x0``, ``x1``, ...)."""
+    return f"x{index}"
+
+
+def default_variables(q: int) -> list[VarId]:
+    if q <= 0:
+        raise PlacementError(f"need q >= 1 variables, got {q}")
+    return [var_name(i) for i in range(q)]
+
+
+def _check(n: int, p: int) -> None:
+    if n <= 0:
+        raise PlacementError(f"need n >= 1 sites, got {n}")
+    if not (1 <= p <= n):
+        raise PlacementError(f"replication factor p={p} must satisfy 1 <= p <= n={n}")
+
+
+def round_robin(n: int, q: int, p: int) -> Placement:
+    """Variable ``x_h`` on sites ``h mod n, ..., (h+p-1) mod n``."""
+    _check(n, p)
+    return {
+        var_name(h): tuple(sorted((h + k) % n for k in range(p)))
+        for h in range(q)
+    }
+
+
+def hashed(n: int, q: int, p: int, seed: int = 0) -> Placement:
+    """``p`` distinct pseudo-random replicas per variable (seeded)."""
+    _check(n, p)
+    rng = np.random.default_rng(seed)
+    out: Placement = {}
+    for h in range(q):
+        sites = rng.choice(n, size=p, replace=False)
+        out[var_name(h)] = tuple(sorted(int(s) for s in sites))
+    return out
+
+
+def full(n: int, q: int) -> Placement:
+    """Full replication: every variable on every site (p = n)."""
+    _check(n, n)
+    everyone = tuple(range(n))
+    return {var_name(h): everyone for h in range(q)}
+
+
+def region_affinity(
+    n: int,
+    q: int,
+    p: int,
+    distance: Callable[[SiteId, SiteId], float],
+    homes: Optional[Sequence[SiteId]] = None,
+    seed: int = 0,
+) -> Placement:
+    """Each variable homes on a site; replicas are its ``p`` nearest sites
+    (home included) under the ``distance`` function.
+
+    ``homes[h]`` fixes the home of variable ``h``; otherwise homes are
+    drawn uniformly at random (seeded).
+    """
+    _check(n, p)
+    rng = np.random.default_rng(seed)
+    out: Placement = {}
+    for h in range(q):
+        home = int(homes[h]) if homes is not None else int(rng.integers(n))
+        if not (0 <= home < n):
+            raise PlacementError(f"home site {home} out of range for n={n}")
+        ranked = sorted(range(n), key=lambda s: (distance(home, s), s))
+        out[var_name(h)] = tuple(sorted(ranked[:p]))
+    return out
+
+
+def make_placement(
+    strategy: str,
+    n: int,
+    q: int,
+    p: int,
+    *,
+    seed: int = 0,
+    distance: Optional[Callable[[SiteId, SiteId], float]] = None,
+    homes: Optional[Sequence[SiteId]] = None,
+) -> Placement:
+    """Build a placement by strategy name (``round-robin``, ``hashed``,
+    ``region-affinity``, ``full``)."""
+    if strategy == "round-robin":
+        return round_robin(n, q, p)
+    if strategy == "hashed":
+        return hashed(n, q, p, seed)
+    if strategy == "full":
+        return full(n, q)
+    if strategy == "region-affinity":
+        if distance is None:
+            raise PlacementError("region-affinity placement needs a distance function")
+        return region_affinity(n, q, p, distance, homes, seed)
+    raise PlacementError(f"unknown placement strategy {strategy!r}")
+
+
+def replication_factor(placement: Mapping[VarId, Tuple[SiteId, ...]]) -> float:
+    """Mean number of replicas per variable."""
+    if not placement:
+        raise PlacementError("empty placement")
+    return sum(len(r) for r in placement.values()) / len(placement)
+
+
+def vars_at(placement: Mapping[VarId, Tuple[SiteId, ...]], site: SiteId) -> list[VarId]:
+    """The paper's ``X_i``: variables replicated at ``site``."""
+    return [v for v, reps in placement.items() if site in reps]

@@ -1,0 +1,111 @@
+"""Shared value types used across the protocol, simulation and store layers.
+
+The paper's system model (Section II) has ``n`` sites, each hosting one
+application process, interacting through a shared memory of ``q`` variables.
+We identify sites with integers ``0..n-1`` and variables with strings.
+
+A write operation is globally identified by a :class:`WriteId`: the writing
+site plus that site's per-site write sequence number (the paper's
+``clock_i``).  Write ids let the history recorder reconstruct the read-from
+relation exactly, which the causal-consistency checker needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+SiteId = int
+VarId = str
+
+#: The paper's initial value "bottom": a read with no causally preceding
+#: write returns this sentinel.
+BOTTOM: Any = None
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class WriteId:
+    """Globally unique identifier of one write operation.
+
+    ``site`` is the writing application process and ``seq`` the value of its
+    local write counter (the paper's ``clock_i``) when the write was issued.
+    ``seq`` starts at 1 for the first write, matching ``clock_i++`` before
+    use in Algorithms 2 and 4.
+    """
+
+    site: SiteId
+    seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"w{self.site}:{self.seq}"
+
+
+class OpKind(Enum):
+    """Kind of an application-level shared-memory operation."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One application-level operation, as issued by a workload.
+
+    For writes, ``value`` is the value to store.  For reads, ``value`` is
+    ignored on input.
+    """
+
+    kind: OpKind
+    var: VarId
+    value: Any = None
+
+    @staticmethod
+    def read(var: VarId) -> "Operation":
+        return Operation(OpKind.READ, var)
+
+    @staticmethod
+    def write(var: VarId, value: Any) -> "Operation":
+        return Operation(OpKind.WRITE, var, value)
+
+
+@dataclass(frozen=True, slots=True)
+class OpRecord:
+    """A completed operation, as recorded in the global history.
+
+    ``index`` is the position of the operation in its process's local
+    history (program order).  For a read, ``write_id`` identifies the write
+    whose value was returned (``None`` means the initial value, the paper's
+    read of an unwritten variable).  For a write, ``write_id`` identifies
+    the write itself.
+    """
+
+    site: SiteId
+    index: int
+    kind: OpKind
+    var: VarId
+    value: Any
+    write_id: Optional[WriteId]
+    time: float
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+
+@dataclass(frozen=True, slots=True)
+class ApplyRecord:
+    """Record of an update being applied at a site (the ``apply`` event)."""
+
+    site: SiteId
+    write_id: WriteId
+    var: VarId
+    time: float
+    #: Simulated time the update message arrived at the site.  ``time -
+    #: received_time`` is the activation delay: how long the update sat in
+    #: the pending buffer waiting for its activation predicate.
+    received_time: float

@@ -1,0 +1,15 @@
+"""Execution recording and causal-consistency checking."""
+
+from repro.verify.checker import CausalChecker, CheckReport, Violation, check_history
+from repro.verify.exhaustive import ExhaustiveChecker, check_history_exhaustive
+from repro.verify.history import History
+
+__all__ = [
+    "CausalChecker",
+    "CheckReport",
+    "ExhaustiveChecker",
+    "History",
+    "Violation",
+    "check_history",
+    "check_history_exhaustive",
+]

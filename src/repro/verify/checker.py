@@ -1,0 +1,311 @@
+"""Causal-consistency checker.
+
+Validates a recorded :class:`repro.verify.history.History` against the
+paper's causal-memory condition, *independently of any protocol state*: the
+checker only uses program order, the read-from relation, and the recorded
+apply events.  It is the oracle behind the integration tests and the
+failure-injection tests (a deliberately broken protocol must be caught).
+
+Method
+------
+Causality order ``co`` (Section II-A) is the transitive closure of program
+order and read-from.  We compute, for every operation ``o``, its *causal
+frontier* ``F(o)``: per site, the highest program-order index of an
+operation at that site in ``o``'s causal past (inclusive).  Because history
+records arrive in simulated-time order — a topological order of ``co`` —
+one forward pass suffices:
+
+``F(o) = max(F(prev op at same site), F(write read by o if any), own index)``
+
+Then ``o1 co o2  iff  F(o2)[site(o1)] >= index(o1)`` (for ``o1 != o2``).
+
+Two operational conditions are verified; together they are the standard
+sufficient conditions for causal consistency in an apply-based replicated
+memory:
+
+1. **Causal apply order** — at every site, updates are applied in an order
+   extending ``co`` restricted to the writes destined to that site, and
+   applies from a single writer are FIFO.  (This is the activation
+   predicate's correctness obligation.)
+2. **Causal read legality** — no read returns a value that is causally
+   overwritten in the read's own causal past: if ``r`` returns write ``w``,
+   there must be no write ``w'`` to the same variable with
+   ``w co w' co r``; and a read returning the initial value must have no
+   write to that variable in its causal past.
+
+Violations are reported as :class:`Violation` records;
+:meth:`CausalChecker.check` raises
+:class:`repro.errors.ConsistencyViolationError` unless ``raise_on_error``
+is disabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConsistencyViolationError
+from repro.types import OpRecord, SiteId, VarId
+from repro.verify.history import History
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected consistency violation."""
+
+    kind: str
+    site: SiteId
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind} @ site {self.site}] {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """Result of checking one history."""
+
+    ok: bool
+    violations: List[Violation]
+    n_ops: int
+    n_applies: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class CausalChecker:
+    """Checks one recorded history for causal consistency.
+
+    ``replicas_of`` is the placement map used in the run; the apply-order
+    check needs it to know which writes were destined to which sites.
+    """
+
+    def __init__(
+        self,
+        history: History,
+        replicas_of: Mapping[VarId, Tuple[SiteId, ...]],
+    ) -> None:
+        self.history = history
+        self.replicas_of = replicas_of
+        self.n = history.n_sites
+        self._frontiers: Dict[Tuple[SiteId, int], np.ndarray] = {}
+        self._build_frontiers()
+        self._index_writes()
+
+    # ------------------------------------------------------------------
+    def _build_frontiers(self) -> None:
+        n = self.n
+        minus_one = np.full(n, -1, dtype=np.int64)
+        last_at_site: List[np.ndarray] = [minus_one] * n
+        for rec in self.history.records:
+            f = last_at_site[rec.site].copy()
+            if rec.is_read and rec.write_id is not None:
+                w = self.history.writes_by_id.get(rec.write_id)
+                if w is not None:
+                    np.maximum(f, self._frontiers[(w.site, w.index)], out=f)
+            f[rec.site] = rec.index
+            self._frontiers[(rec.site, rec.index)] = f
+            last_at_site[rec.site] = f
+
+    def _index_writes(self) -> None:
+        # per (writer, var): sorted op indices of that writer's writes
+        self._writes_of: Dict[Tuple[SiteId, VarId], List[int]] = {}
+        # per writer: sorted op indices of all writes (by destination below)
+        self._dest_writes: Dict[Tuple[SiteId, SiteId], List[int]] = {}
+        for w in self.history.writes:
+            self._writes_of.setdefault((w.site, w.var), []).append(w.index)
+            # destinations recorded at write time beat the (possibly
+            # reconfigured) final placement
+            dests = self.history.write_destinations.get(w.write_id)
+            if dests is None:
+                dests = self.replicas_of.get(w.var, ())
+            for dest in dests:
+                self._dest_writes.setdefault((w.site, dest), []).append(w.index)
+        for lst in self._writes_of.values():
+            lst.sort()
+        for lst in self._dest_writes.values():
+            lst.sort()
+
+    # ------------------------------------------------------------------
+    def frontier(self, op: OpRecord) -> np.ndarray:
+        """Causal frontier of ``op`` (per-site highest index in its past)."""
+        return self._frontiers[(op.site, op.index)]
+
+    def causally_precedes(self, o1: OpRecord, o2: OpRecord) -> bool:
+        """``o1 co o2`` (irreflexive)."""
+        if o1.site == o2.site and o1.index == o2.index:
+            return False
+        return bool(self.frontier(o2)[o1.site] >= o1.index)
+
+    # ------------------------------------------------------------------
+    # condition 1: causal apply order at every site
+    # ------------------------------------------------------------------
+    def _check_apply_order(self, violations: List[Violation]) -> None:
+        for site in range(self.n):
+            applies = self.history.applies_at(site)
+            # highest applied op-index per writer, for FIFO + coverage
+            applied_upto = np.full(self.n, -1, dtype=np.int64)
+            for a in applies:
+                w = self.history.writes_by_id.get(a.write_id)
+                if w is None:
+                    violations.append(
+                        Violation(
+                            "phantom-apply",
+                            site,
+                            f"apply of unknown write {a.write_id}",
+                        )
+                    )
+                    continue
+                if w.index <= applied_upto[w.site]:
+                    violations.append(
+                        Violation(
+                            "fifo",
+                            site,
+                            f"apply of {a.write_id} out of per-writer order",
+                        )
+                    )
+                fw = self.frontier(w)
+                if w.site == site:
+                    # A site's own write is applied locally at issue time
+                    # (Alg. 1 lines 4-7 etc.) — by design it may precede
+                    # causally earlier remote writes still in flight.  The
+                    # extend-co obligation holds for *incoming* updates;
+                    # any observable consequence of an early own-apply
+                    # surfaces through the read-legality check instead.
+                    applied_upto[w.site] = max(applied_upto[w.site], w.index)
+                    continue
+                for z in range(self.n):
+                    dest_list = self._dest_writes.get((z, site))
+                    if not dest_list:
+                        continue
+                    # latest write by z destined to `site` in w's causal
+                    # past (excluding w itself)
+                    hi = fw[z]
+                    if z == w.site:
+                        hi = min(hi, w.index - 1)
+                    pos = bisect.bisect_right(dest_list, hi)
+                    if pos == 0:
+                        continue
+                    needed = dest_list[pos - 1]
+                    if applied_upto[z] < needed:
+                        dep = self.history.op(z, needed)
+                        violations.append(
+                            Violation(
+                                "apply-order",
+                                site,
+                                f"{a.write_id} applied before causally "
+                                f"preceding {dep.write_id} (var {dep.var})",
+                            )
+                        )
+                applied_upto[w.site] = max(applied_upto[w.site], w.index)
+
+    # ------------------------------------------------------------------
+    # condition 2: causal read legality
+    # ------------------------------------------------------------------
+    def _check_reads(self, violations: List[Violation]) -> None:
+        for r in self.history.reads:
+            fr = self.frontier(r)
+            if r.write_id is None:
+                # initial value: no write to r.var may be in r's causal past
+                for z in range(self.n):
+                    lst = self._writes_of.get((z, r.var))
+                    if lst and lst[0] <= fr[z]:
+                        w = self.history.op(z, lst[bisect.bisect_right(lst, int(fr[z])) - 1])
+                        violations.append(
+                            Violation(
+                                "stale-read",
+                                r.site,
+                                f"read of {r.var} returned initial value but "
+                                f"{w.write_id} is in its causal past",
+                            )
+                        )
+                        break
+                continue
+
+            w = self.history.writes_by_id.get(r.write_id)
+            if w is None:
+                violations.append(
+                    Violation(
+                        "phantom-read",
+                        r.site,
+                        f"read returned unknown write {r.write_id}",
+                    )
+                )
+                continue
+            if w.var != r.var:
+                violations.append(
+                    Violation(
+                        "wrong-variable",
+                        r.site,
+                        f"read of {r.var} returned write {w.write_id} to {w.var}",
+                    )
+                )
+                continue
+            if w.value != r.value:
+                violations.append(
+                    Violation(
+                        "value-mismatch",
+                        r.site,
+                        f"read of {r.var} returned {r.value!r} but "
+                        f"{w.write_id} wrote {w.value!r}",
+                    )
+                )
+            # no w' on the same var with  w co w' co r.  Per writer z, only
+            # the newest write to r.var inside r's frontier needs checking:
+            # if some older write by z were causally after w, program order
+            # plus transitivity would make the newest one causally after w
+            # too.
+            for z in range(self.n):
+                lst = self._writes_of.get((z, r.var))
+                if not lst:
+                    continue
+                pos = bisect.bisect_right(lst, int(fr[z]))
+                if pos == 0:
+                    continue
+                cand = self.history.op(z, lst[pos - 1])
+                if cand.write_id == w.write_id:
+                    continue
+                if self.causally_precedes(w, cand):
+                    violations.append(
+                        Violation(
+                            "stale-read",
+                            r.site,
+                            f"read of {r.var} returned {w.write_id} but "
+                            f"{cand.write_id} causally overwrites it in "
+                            f"the read's past",
+                        )
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    def check(self, raise_on_error: bool = True) -> CheckReport:
+        """Run all checks; raise on the first report with violations when
+        ``raise_on_error`` (the default)."""
+        violations: List[Violation] = []
+        self._check_apply_order(violations)
+        self._check_reads(violations)
+        report = CheckReport(
+            ok=not violations,
+            violations=violations,
+            n_ops=self.history.n_ops,
+            n_applies=len(self.history.applies),
+        )
+        if violations and raise_on_error:
+            preview = "; ".join(str(v) for v in violations[:5])
+            raise ConsistencyViolationError(
+                f"{len(violations)} violation(s): {preview}"
+            )
+        return report
+
+
+def check_history(
+    history: History,
+    replicas_of: Mapping[VarId, Tuple[SiteId, ...]],
+    raise_on_error: bool = True,
+) -> CheckReport:
+    """Convenience wrapper: build a checker and run it."""
+    return CausalChecker(history, replicas_of).check(raise_on_error)

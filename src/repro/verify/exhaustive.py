@@ -1,0 +1,120 @@
+"""Exhaustive causal-memory checking — the definition, executed.
+
+Ahamad et al.'s definition (paper Section II-A): a history ``H`` is causal
+iff for every process ``i`` there exists a serialization of
+``A_i = H_i ∪ W`` (process ``i``'s operations plus *all* writes) that
+
+* respects the causality order ``co``, and
+* is a legal register history: every read returns the most recent
+  preceding write to its variable (or the initial value if none precedes).
+
+The operational checker (:mod:`repro.verify.checker`) verifies stronger,
+per-event *sufficient* conditions (apply orders extend co; reads are never
+causally overwritten) — cheap and incremental, but it can reject histories
+whose apply inversions are unobservable.  This module searches for the
+serializations directly, with memoized backtracking: exact but exponential,
+so it is reserved for small histories (tests cross-validate the two:
+``operational ok ⟹ exhaustive ok``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from repro.types import OpRecord, SiteId, VarId, WriteId
+from repro.verify.checker import CausalChecker
+from repro.verify.history import History
+
+#: refuse to search histories whose per-process op set exceeds this
+MAX_OPS = 18
+
+
+class ExhaustiveChecker:
+    """Searches for the per-process causal serializations."""
+
+    def __init__(
+        self,
+        history: History,
+        replicas_of: Mapping[VarId, Tuple[SiteId, ...]],
+        max_ops: int = MAX_OPS,
+    ) -> None:
+        self.history = history
+        self.max_ops = max_ops
+        # reuse the operational checker's frontier machinery for co
+        self._co = CausalChecker(history, replicas_of)
+
+    # ------------------------------------------------------------------
+    def serializable_for(self, process: SiteId) -> bool:
+        """True iff a legal, co-respecting serialization of
+        ``H_process ∪ W`` exists."""
+        ops: List[OpRecord] = list(self.history.writes)
+        ops.extend(
+            r for r in self.history.local[process] if r.is_read
+        )
+        if len(ops) > self.max_ops:
+            raise ValueError(
+                f"history too large for exhaustive checking "
+                f"({len(ops)} ops > {self.max_ops})"
+            )
+        n = len(ops)
+        index_of = {id(op): k for k, op in enumerate(ops)}
+
+        # co adjacency restricted to this op set, as predecessor bitmasks
+        preds = [0] * n
+        for a in range(n):
+            for b in range(n):
+                if a != b and self._co.causally_precedes(ops[a], ops[b]):
+                    preds[b] |= 1 << a
+
+        variables = sorted({op.var for op in ops})
+        var_idx = {v: k for k, v in enumerate(variables)}
+        #: for each op, (var index, write id or None)
+        write_of_read: List[Optional[WriteId]] = [
+            op.write_id if op.is_read else None for op in ops
+        ]
+
+        from functools import lru_cache
+
+        @lru_cache(maxsize=None)
+        def search(placed: int, last_writes: Tuple[Optional[WriteId], ...]) -> bool:
+            if placed == (1 << n) - 1:
+                return True
+            for k in range(n):
+                bit = 1 << k
+                if placed & bit:
+                    continue
+                if preds[k] & ~placed:
+                    continue  # an unplaced co-predecessor
+                op = ops[k]
+                vi = var_idx[op.var]
+                if op.is_read:
+                    if last_writes[vi] != op.write_id:
+                        continue  # would read the wrong value
+                    if search(placed | bit, last_writes):
+                        return True
+                else:
+                    nxt = list(last_writes)
+                    nxt[vi] = op.write_id
+                    if search(placed | bit, tuple(nxt)):
+                        return True
+            return False
+
+        empty = tuple(None for _ in variables)
+        result = search(0, empty)
+        search.cache_clear()
+        return result
+
+    def is_causal(self) -> bool:
+        """True iff the history satisfies the causal-memory definition."""
+        return all(
+            self.serializable_for(i) for i in range(self.history.n_sites)
+        )
+
+
+def check_history_exhaustive(
+    history: History,
+    replicas_of: Mapping[VarId, Tuple[SiteId, ...]],
+    max_ops: int = MAX_OPS,
+) -> bool:
+    """Convenience wrapper: is ``history`` causal per the definition?"""
+    return ExhaustiveChecker(history, replicas_of, max_ops).is_causal()

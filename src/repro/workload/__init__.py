@@ -1,0 +1,35 @@
+"""Workload generation: tunable write-rate mixes, Zipf popularity,
+locality scenarios, and trace record/replay."""
+
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate,
+    measured_write_rate,
+    op_counts,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    hdfs_like,
+    read_intensive,
+    social_network,
+    write_intensive,
+)
+from repro.workload.traces import load_trace, save_trace
+from repro.workload.ycsb import WORKLOADS as YCSB_WORKLOADS
+from repro.workload.ycsb import ycsb
+
+__all__ = [
+    "SCENARIOS",
+    "WorkloadConfig",
+    "YCSB_WORKLOADS",
+    "generate",
+    "hdfs_like",
+    "load_trace",
+    "measured_write_rate",
+    "op_counts",
+    "read_intensive",
+    "save_trace",
+    "social_network",
+    "write_intensive",
+    "ycsb",
+]

@@ -1,0 +1,131 @@
+"""Workload generation.
+
+Produces per-site operation scripts (``list[list[Operation]]``) with the
+knobs the paper's evaluation turns:
+
+* ``write_rate`` — the paper's ``w_rate = w / (w + r)``, the x-axis of
+  Figure 4;
+* variable popularity — uniform or Zipf (hot keys, like social-network
+  objects);
+* ``locality`` — probability that an operation targets a variable
+  replicated at the issuing site ("readers tend to read variables from the
+  local replica", Section V); 0 means no bias.
+
+Values are self-describing strings (``"v<site>.<k>"``) so failures read
+well; the checker identifies writes by :class:`repro.types.WriteId`, not by
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.store.placement import Placement, vars_at
+from repro.types import Operation, VarId
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for :func:`generate`."""
+
+    n_sites: int
+    ops_per_site: int = 100
+    write_rate: float = 0.3
+    variables: Optional[Sequence[VarId]] = None
+    #: "uniform" or "zipf"
+    key_distribution: str = "uniform"
+    zipf_s: float = 1.1
+    #: probability of targeting a locally replicated variable (requires
+    #: ``placement``); applies to reads and writes alike
+    locality: float = 0.0
+    placement: Optional[Placement] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sites <= 0:
+            raise ConfigurationError(f"need n >= 1, got {self.n_sites}")
+        if self.ops_per_site < 0:
+            raise ConfigurationError("ops_per_site must be >= 0")
+        if not (0.0 <= self.write_rate <= 1.0):
+            raise ConfigurationError(f"write_rate must be in [0,1], got {self.write_rate}")
+        if not (0.0 <= self.locality <= 1.0):
+            raise ConfigurationError(f"locality must be in [0,1], got {self.locality}")
+        if self.locality > 0 and self.placement is None:
+            raise ConfigurationError("locality bias requires a placement")
+        if self.key_distribution not in ("uniform", "zipf"):
+            raise ConfigurationError(
+                f"unknown key distribution {self.key_distribution!r}"
+            )
+
+
+def _zipf_pmf(q: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, q + 1, dtype=float)
+    pmf = ranks**-s
+    return pmf / pmf.sum()
+
+
+def generate(config: WorkloadConfig) -> List[List[Operation]]:
+    """Generate one operation script per site (deterministic in the seed)."""
+    if config.variables is not None:
+        variables = list(config.variables)
+    elif config.placement is not None:
+        variables = list(config.placement)
+    else:
+        raise ConfigurationError("need variables or a placement")
+    if not variables:
+        raise ConfigurationError("empty variable set")
+
+    rng = np.random.default_rng(config.seed)
+    q = len(variables)
+    if config.key_distribution == "zipf":
+        pmf = _zipf_pmf(q, config.zipf_s)
+    else:
+        pmf = None
+
+    local_vars: List[List[VarId]] = []
+    if config.locality > 0:
+        assert config.placement is not None
+        for site in range(config.n_sites):
+            lv = vars_at(config.placement, site)
+            local_vars.append(lv)
+
+    scripts: List[List[Operation]] = []
+    for site in range(config.n_sites):
+        ops: List[Operation] = []
+        counter = 0
+        for _ in range(config.ops_per_site):
+            if (
+                config.locality > 0
+                and local_vars[site]
+                and rng.random() < config.locality
+            ):
+                var = local_vars[site][int(rng.integers(len(local_vars[site])))]
+            elif pmf is not None:
+                var = variables[int(rng.choice(q, p=pmf))]
+            else:
+                var = variables[int(rng.integers(q))]
+            if rng.random() < config.write_rate:
+                counter += 1
+                ops.append(Operation.write(var, f"v{site}.{counter}"))
+            else:
+                ops.append(Operation.read(var))
+        scripts.append(ops)
+    return scripts
+
+
+def op_counts(workload: Sequence[Sequence[Operation]]) -> Tuple[int, int]:
+    """(writes, reads) totals across all scripts."""
+    w = sum(1 for script in workload for op in script if op.kind.value == "write")
+    r = sum(len(script) for script in workload) - w
+    return w, r
+
+
+def measured_write_rate(workload: Sequence[Sequence[Operation]]) -> float:
+    """The realized ``w / (w + r)`` of a generated workload."""
+    w, r = op_counts(workload)
+    total = w + r
+    return w / total if total else 0.0

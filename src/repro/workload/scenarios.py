@@ -1,0 +1,139 @@
+"""Named workload scenarios from the paper's motivation (Sections I and V).
+
+``social_network``
+    The Section-I example: each user's data is viewed mostly from two
+    regions (e.g. Chicago + US-West).  Variables home on a site with
+    region-affinity placement; operations are strongly local, reads
+    dominate, and popularity is Zipf (a few hot profiles).
+
+``hdfs_like``
+    The Section-V example: HDFS/MapReduce-style storage — a small constant
+    replication factor regardless of cluster size, write-intensive
+    ingestion, and data-local reads ("the MapReduce framework tries its
+    best to satisfy data locality").
+
+``write_intensive`` / ``read_intensive``
+    Plain mixes at the extremes of Figure 4's x-axis.
+
+Each builder returns ``(placement, workload)`` so callers can hand both to
+the cluster, guaranteeing the locality bias refers to the same placement
+the cluster will use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.topology import Topology, evenly_spread
+from repro.store.placement import Placement, make_placement
+from repro.types import Operation
+from repro.workload.generator import WorkloadConfig, generate
+
+Workload = List[List[Operation]]
+
+
+def social_network(
+    n_sites: int,
+    n_users: int = 40,
+    ops_per_site: int = 150,
+    replication_factor: int = 2,
+    topology: Optional[Topology] = None,
+    seed: int = 0,
+) -> Tuple[Placement, Workload]:
+    """Region-affine user data, read-heavy, Zipf-popular, highly local."""
+    topo = topology or evenly_spread(n_sites)
+    placement = make_placement(
+        "region-affinity",
+        n_sites,
+        n_users,
+        replication_factor,
+        seed=seed,
+        distance=topo.delay,
+    )
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n_sites,
+            ops_per_site=ops_per_site,
+            write_rate=0.15,
+            key_distribution="zipf",
+            zipf_s=1.2,
+            locality=0.85,
+            placement=placement,
+            seed=seed + 1,
+        )
+    )
+    return placement, workload
+
+
+def hdfs_like(
+    n_sites: int,
+    n_blocks: int = 60,
+    ops_per_site: int = 150,
+    replication_factor: int = 3,
+    seed: int = 0,
+) -> Tuple[Placement, Workload]:
+    """Small constant replication factor, write-intensive, data-local reads."""
+    placement = make_placement("hashed", n_sites, n_blocks, replication_factor, seed=seed)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n_sites,
+            ops_per_site=ops_per_site,
+            write_rate=0.6,
+            key_distribution="uniform",
+            locality=0.9,
+            placement=placement,
+            seed=seed + 1,
+        )
+    )
+    return placement, workload
+
+
+def write_intensive(
+    n_sites: int,
+    n_variables: int = 50,
+    ops_per_site: int = 100,
+    replication_factor: int = 3,
+    seed: int = 0,
+) -> Tuple[Placement, Workload]:
+    """w_rate = 0.8 — deep in partial replication's winning regime."""
+    placement = make_placement("round-robin", n_sites, n_variables, replication_factor)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n_sites,
+            ops_per_site=ops_per_site,
+            write_rate=0.8,
+            placement=placement,
+            seed=seed,
+        )
+    )
+    return placement, workload
+
+
+def read_intensive(
+    n_sites: int,
+    n_variables: int = 50,
+    ops_per_site: int = 100,
+    replication_factor: int = 3,
+    seed: int = 0,
+) -> Tuple[Placement, Workload]:
+    """w_rate = 0.05 — the regime where full replication's free local reads
+    win on message count."""
+    placement = make_placement("round-robin", n_sites, n_variables, replication_factor)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n_sites,
+            ops_per_site=ops_per_site,
+            write_rate=0.05,
+            placement=placement,
+            seed=seed,
+        )
+    )
+    return placement, workload
+
+
+SCENARIOS = {
+    "social-network": social_network,
+    "hdfs-like": hdfs_like,
+    "write-intensive": write_intensive,
+    "read-intensive": read_intensive,
+}

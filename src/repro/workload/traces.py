@@ -1,0 +1,64 @@
+"""Workload trace serialization: record a generated workload to JSON and
+replay it later (regression pinning, cross-protocol comparisons on an
+identical operation stream, sharing failing cases)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.types import Operation, OpKind
+
+Workload = List[List[Operation]]
+
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Sequence[Sequence[Operation]]) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "n_sites": len(workload),
+        "scripts": [
+            [
+                (
+                    {"op": "w", "var": op.var, "value": op.value}
+                    if op.kind is OpKind.WRITE
+                    else {"op": "r", "var": op.var}
+                )
+                for op in script
+            ]
+            for script in workload
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported trace version {data.get('version')!r}"
+        )
+    scripts: Workload = []
+    for raw_script in data["scripts"]:
+        script: List[Operation] = []
+        for raw in raw_script:
+            kind = raw.get("op")
+            if kind == "w":
+                script.append(Operation.write(raw["var"], raw.get("value")))
+            elif kind == "r":
+                script.append(Operation.read(raw["var"]))
+            else:
+                raise ConfigurationError(f"unknown trace op {kind!r}")
+        scripts.append(script)
+    return scripts
+
+
+def save_trace(workload: Sequence[Sequence[Operation]], path: Union[str, Path]) -> None:
+    """Write a workload trace as JSON."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload), indent=1))
+
+
+def load_trace(path: Union[str, Path]) -> Workload:
+    """Load a workload trace saved by :func:`save_trace`."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

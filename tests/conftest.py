@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.base import CausalProtocol, ProtocolConfig, protocol_class
+from repro.types import SiteId, VarId
+
+
+def make_sites(
+    protocol: str,
+    n: int,
+    placement: Dict[VarId, Tuple[SiteId, ...]],
+    strict_remote_reads: bool = True,
+    **proto_kwargs,
+) -> List[CausalProtocol]:
+    """One protocol instance per site, sharing a placement — for driving
+    protocols directly (no simulator)."""
+    cls = protocol_class(protocol)
+    return [
+        cls(
+            ProtocolConfig(
+                n=n,
+                site=i,
+                replicas_of=placement,
+                strict_remote_reads=strict_remote_reads,
+            ),
+            **proto_kwargs,
+        )
+        for i in range(n)
+    ]
+
+
+def full_placement(n: int, variables: List[VarId]) -> Dict[VarId, Tuple[SiteId, ...]]:
+    everyone = tuple(range(n))
+    return {v: everyone for v in variables}
+
+
+def deliver(sites: List[CausalProtocol], messages) -> None:
+    """Apply update messages at their destinations immediately (asserts the
+    activation predicate holds — for tests where order is already causal)."""
+    for msg in messages:
+        assert sites[msg.dest].can_apply(msg), f"not activatable: {msg}"
+        sites[msg.dest].apply_update(msg)
+
+
+def remote_read(sites: List[CausalProtocol], reader: int, var: VarId):
+    """Run the full fetch round-trip synchronously between two protocol
+    instances (server assumed ready)."""
+    proto = sites[reader]
+    server = proto.fetch_target(var)
+    req = proto.make_fetch_request(var, server)
+    assert sites[server].can_serve_fetch(req)
+    reply = sites[server].serve_fetch(req)
+    return proto.complete_remote_read(reply)
+
+
+@pytest.fixture
+def two_var_partial():
+    """4 sites; x on {0,1,2}, y on {1,2,3} — the canonical partial layout
+    used across the protocol unit tests."""
+    return {"x": (0, 1, 2), "y": (1, 2, 3)}

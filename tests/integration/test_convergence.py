@@ -1,0 +1,158 @@
+"""Integration tests for the causal+ (convergence) extension: distributed
+termination detection followed by deterministic final-value installation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ext.convergence import (
+    TerminationDetector,
+    converge,
+    final_values,
+    is_convergent,
+)
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+PROTOCOLS = ["full-track", "opt-track", "opt-track-crp", "optp"]
+
+
+def make_cluster(protocol, n=4, q=8, seed=0):
+    return Cluster(
+        ClusterConfig(n_sites=n, n_variables=q, protocol=protocol, seed=seed)
+    )
+
+
+class TestTerminationDetector:
+    def test_detects_after_quiescence(self):
+        cluster = make_cluster("opt-track")
+        fired = []
+        det = TerminationDetector(
+            cluster, on_terminated=lambda: fired.append(cluster.sim.now),
+            poll_interval=20.0,
+        )
+        cluster.session(0).write("x0", 1)
+        cluster.session(1).write("x1", 2)
+        det.start()
+        cluster.sim.run()
+        assert det.terminated_at is not None
+        assert fired and fired[0] == det.terminated_at
+        assert det.waves_run >= 2  # double-wave: never a single poll
+
+    def test_no_detection_while_updates_pending(self):
+        # drop update messages so the system never quiesces: the detector
+        # must not declare termination
+        cluster = make_cluster("opt-track")
+        cluster.network.drop_filter = lambda kind, msg, src, dst: kind == "update"
+        det = TerminationDetector(cluster, poll_interval=20.0)
+        cluster.session(0).write("x0", 1)
+        cluster.session(2).write("x0", 2)
+        det.start()
+        cluster.sim.run(max_events=2000)
+        # updates were dropped -> sites are quiescent but the send/receive
+        # totals never match: no termination claim
+        assert det.terminated_at is None
+
+    def test_control_messages_are_metered(self):
+        cluster = make_cluster("opt-track")
+        det = TerminationDetector(cluster, poll_interval=10.0)
+        det.start()
+        cluster.sim.run()
+        assert cluster.metrics.message_counts.get("termination-poll", 0) > 0
+        assert cluster.metrics.message_counts.get("termination-ack", 0) > 0
+
+
+class TestConverge:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_all_replicas_agree_after_converge(self, protocol):
+        cluster = make_cluster(protocol, seed=3)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=4,
+                ops_per_site=40,
+                write_rate=0.6,
+                placement=cluster.placement,
+                seed=3,
+            )
+        )
+        cluster.run(wl)
+        converge(cluster)
+        assert is_convergent(cluster)
+
+    def test_final_value_is_causally_maximal(self):
+        cluster = make_cluster("opt-track")
+        s0 = cluster.session(0)
+        s0.write("x0", "old")
+        cluster.settle()
+        s1 = cluster.session(1)
+        assert s1.read("x0") == "old"
+        s1.write("x0", "new")  # causally after "old"
+        cluster.settle()
+        finals = final_values(cluster)
+        value, wid = finals["x0"]
+        assert value == "new"
+
+    def test_concurrent_writes_resolved_deterministically(self):
+        # two sites write the same variable concurrently; LWW by
+        # (seq, site) picks one winner everywhere
+        cluster = make_cluster("optp")
+        a, b = cluster.session(0), cluster.session(1)
+        a.write("x0", "from-0")
+        b.write("x0", "from-1")
+        cluster.settle()
+        finals = converge(cluster)
+        assert is_convergent(cluster)
+        value, wid = finals["x0"]
+        assert value in ("from-0", "from-1")
+        # deterministic: same seq -> higher site id wins
+        assert wid.site == 1
+
+    def test_converge_requires_quiescence(self):
+        cluster = make_cluster("opt-track")
+        cluster.session(0).write("x0", 1)
+        # force a pending update: drop nothing but don't settle; pending
+        # buffers are only populated once messages arrive, so run a bit
+        # with a blocked dependency instead — simplest: drop updates and
+        # re-send
+        cluster.network.drop_filter = lambda k, m, s, d: False
+        # make an update stuck: write twice quickly, drop the first
+        dropped = {"n": 0}
+
+        def drop_first(kind, msg, src, dst):
+            if kind == "update" and dropped["n"] == 0:
+                dropped["n"] += 1
+                return True
+            return False
+
+        cluster.network.drop_filter = drop_first
+        cluster.session(0).write("x0", 2)
+        cluster.session(0).write("x0", 3)
+        cluster.sim.run()
+        # the second update waits forever for the dropped first one
+        if any(s.pending_updates for s in cluster.sites):
+            with pytest.raises(SimulationError):
+                converge(cluster)
+
+    def test_untouched_variable_keeps_initial_value(self):
+        cluster = make_cluster("opt-track")
+        cluster.session(0).write("x0", 1)
+        cluster.settle()
+        finals = converge(cluster)
+        assert finals["x1"] == (None, None)
+
+
+class TestEndToEndCausalPlus:
+    def test_detect_then_converge(self):
+        cluster = make_cluster("opt-track", seed=9)
+        done = []
+
+        def on_done():
+            converge(cluster)
+            done.append(True)
+
+        det = TerminationDetector(cluster, on_terminated=on_done, poll_interval=25.0)
+        for i in range(4):
+            cluster.session(i).write(f"x{i}", f"v{i}")
+        det.start()
+        cluster.sim.run()
+        assert done
+        assert is_convergent(cluster)

@@ -1,0 +1,122 @@
+"""Integration tests for the CausalStore client facade."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownVariableError
+from repro.sim.topology import evenly_spread
+from repro.store.datastore import CausalStore, StoreConfig
+
+
+def make_store(**kw):
+    defaults = dict(
+        n_datacenters=5,
+        keys=["alice:profile", "alice:photos", "bob:profile", "bob:photos"],
+        protocol="opt-track",
+        replication_factor=2,
+        seed=1,
+    )
+    defaults.update(kw)
+    return CausalStore(StoreConfig(**defaults))
+
+
+class TestConfiguration:
+    def test_rejects_empty_keys(self):
+        with pytest.raises(ConfigurationError):
+            StoreConfig(n_datacenters=2, keys=[])
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ConfigurationError):
+            StoreConfig(n_datacenters=2, keys=["a", "a"])
+
+    def test_named_keys_everywhere(self):
+        store = make_store()
+        assert set(store.keys) == {
+            "alice:profile",
+            "alice:photos",
+            "bob:profile",
+            "bob:photos",
+        }
+        for key in store.keys:
+            assert len(store.replicas(key)) == 2
+
+    def test_explicit_placement(self):
+        store = make_store(
+            placement={
+                "alice:profile": (0, 1),
+                "alice:photos": (0, 1),
+                "bob:profile": (2, 3),
+                "bob:photos": (2, 3),
+            }
+        )
+        assert store.replicas("bob:photos") == (2, 3)
+
+    def test_explicit_placement_must_cover_keys(self):
+        with pytest.raises(ConfigurationError):
+            make_store(placement={"alice:profile": (0, 1)})
+
+    def test_full_replication_protocol_forces_p_n(self):
+        store = make_store(protocol="opt-track-crp", replication_factor=None)
+        for key in store.keys:
+            assert len(store.replicas(key)) == 5
+
+
+class TestPutGet:
+    def test_roundtrip_same_dc(self):
+        store = make_store()
+        store.put(0, "alice:profile", {"name": "Alice"})
+        dc = store.replicas("alice:profile")[0]
+        store.settle()
+        assert store.get(dc, "alice:profile") == {"name": "Alice"}
+        store.settle()
+
+    def test_cross_dc_read(self):
+        store = make_store()
+        writer = store.replicas("bob:profile")[0]
+        outsider = next(
+            d for d in range(5) if d not in store.replicas("bob:profile")
+        )
+        store.put(writer, "bob:profile", "hi")
+        store.settle()
+        assert store.get(outsider, "bob:profile") == "hi"
+        store.settle()
+
+    def test_unknown_key(self):
+        store = make_store()
+        with pytest.raises(UnknownVariableError):
+            store.put(0, "carol:profile", 1)
+        with pytest.raises(UnknownVariableError):
+            store.get(0, "carol:profile")
+
+    def test_get_versioned(self):
+        store = make_store()
+        wid = store.put(0, "alice:photos", ["p1"])
+        store.settle()
+        dc = store.replicas("alice:photos")[0]
+        value, got = store.get_versioned(dc, "alice:photos")
+        assert value == ["p1"] and got == wid
+        store.settle()
+
+    def test_check_clean_history(self):
+        store = make_store()
+        store.put(0, "alice:profile", 1)
+        store.settle()
+        store.get(1, "alice:profile")
+        store.settle()
+        assert store.check().ok
+
+    def test_causal_chain_across_users(self):
+        # bob comments after seeing alice's photo: anyone who sees the
+        # comment must see the photo
+        store = make_store(topology=evenly_spread(5))
+        alice_dc = store.replicas("alice:photos")[0]
+        store.put(alice_dc, "alice:photos", "photo-1")
+        store.settle()
+        bob_dc = store.replicas("bob:profile")[0]
+        assert store.get(bob_dc, "alice:photos") == "photo-1"
+        store.put(bob_dc, "bob:profile", "nice photo!")
+        store.settle()
+        reader = store.replicas("bob:profile")[-1]
+        assert store.get(reader, "bob:profile") == "nice photo!"
+        assert store.get(reader, "alice:photos") == "photo-1"
+        store.settle()
+        assert store.check().ok

@@ -1,0 +1,86 @@
+"""End-to-end: the CausalStore facade under YCSB-style client traffic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagram import render
+from repro.sim.events import Tracer
+from repro.store.datastore import CausalStore, StoreConfig
+from repro.workload.ycsb import ycsb
+
+
+class TestStoreUnderLoad:
+    @pytest.mark.parametrize("workload", ["a", "b", "d"])
+    def test_ycsb_through_sessions(self, workload):
+        keys = [f"user{i}:data" for i in range(12)]
+        store = CausalStore(
+            StoreConfig(
+                n_datacenters=4,
+                keys=keys,
+                protocol="opt-track",
+                replication_factor=2,
+                seed=8,
+            )
+        )
+        scripts = ycsb(workload, 4, keys, ops_per_site=25, seed=8)
+        # drive each datacenter's script through the interactive sessions
+        for dc, script in enumerate(scripts):
+            for op in script:
+                if op.kind.value == "write":
+                    store.put(dc, op.var, op.value)
+                else:
+                    store.get(dc, op.var)
+        store.settle()
+        assert store.check().ok
+
+    def test_interleaved_sessions_stay_consistent(self):
+        keys = ["k1", "k2", "k3"]
+        store = CausalStore(
+            StoreConfig(
+                n_datacenters=3,
+                keys=keys,
+                protocol="full-track",
+                replication_factor=2,
+                seed=1,
+            )
+        )
+        rng = np.random.default_rng(1)
+        for step in range(60):
+            dc = int(rng.integers(3))
+            key = keys[int(rng.integers(3))]
+            if rng.random() < 0.5:
+                store.put(dc, key, f"s{step}")
+            else:
+                store.get(dc, key)
+        store.settle()
+        assert store.check().ok
+
+
+class TestDiagramOptions:
+    def test_include_sends(self):
+        from repro.sim.cluster import Cluster, ClusterConfig
+
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=2, n_variables=2, protocol="optp", seed=0, trace=True
+            )
+        )
+        cluster.session(0).write("x0", 1)
+        cluster.settle()
+        from repro.analysis.diagram import render_cluster
+
+        with_sends = render_cluster(cluster, include_sends=True)
+        without = render_cluster(cluster)
+        assert "W(x0)->1" in with_sends
+        assert "W(x0)->1" not in without
+
+    def test_width_parameter(self):
+        t = Tracer()
+        from repro.sim.events import ApplyEvent
+        from repro.types import WriteId
+
+        t.emit(ApplyEvent(0.0, 0, "x", WriteId(0, 1), 0))
+        t.emit(ApplyEvent(100.0, 0, "x", WriteId(0, 2), 0))
+        narrow = render(t, n_sites=1, width=20)
+        wide = render(t, n_sites=1, width=120)
+        assert len(wide.splitlines()[1]) > len(narrow.splitlines()[1])

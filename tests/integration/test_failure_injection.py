@@ -1,0 +1,161 @@
+"""Failure injection: a deliberately broken protocol must be caught by the
+independent checker — this validates the oracle itself end-to-end."""
+
+import pytest
+
+from repro.core.base import ProtocolConfig
+from repro.core.messages import UpdateMessage
+from repro.core.opt_track import OptTrackProtocol
+from repro.errors import ConsistencyViolationError, DeadlockError
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.verify.checker import check_history
+from repro.workload.generator import WorkloadConfig, generate
+import numpy as np
+
+
+class EagerApplyProtocol(OptTrackProtocol):
+    """Opt-Track with the activation predicate disabled: applies every
+    update on receipt (a classic eventual-consistency bug)."""
+
+    name = "eager-broken"
+
+    def can_apply(self, msg: UpdateMessage) -> bool:
+        return True
+
+    def apply_update(self, msg: UpdateMessage) -> None:
+        # skip the activation + monotonicity guards entirely
+        meta = msg.meta
+        self._store_value(msg.var, msg.value, msg.write_id)
+        if meta.clock > self.apply_clocks[msg.sender]:
+            self.apply_clocks[msg.sender] = meta.clock
+        stored = meta.log.copy()
+        stored.add(msg.sender, meta.clock, meta.replicas_mask)
+        stored.remove_site(self.site)
+        self.last_write_on[msg.var] = stored
+
+
+def build_broken_cluster(seed=0):
+    """A cluster whose sites run the broken protocol, on an asymmetric WAN
+    that reorders causally related updates."""
+    n = 4
+    base = np.array(
+        [
+            [0.0, 1.0, 120.0, 60.0],
+            [1.0, 0.0, 1.0, 120.0],
+            [120.0, 1.0, 0.0, 1.0],
+            [60.0, 120.0, 1.0, 0.0],
+        ]
+    )
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=8,
+        protocol="opt-track",
+        latency=MatrixLatency(base, jitter_sigma=0.0),
+        seed=seed,
+        think_time=0.5,
+    )
+    cluster = Cluster(cfg)
+    # swap in broken protocol instances, preserving wiring
+    for i, site in enumerate(cluster.sites):
+        broken = EagerApplyProtocol(
+            ProtocolConfig(n=n, site=i, replicas_of=cluster.placement)
+        )
+        site.protocol = broken
+        cluster.protocols[i] = broken
+    return cluster
+
+
+class TestBrokenProtocolCaught:
+    def test_eager_apply_violates_causality(self):
+        # scripted: s0 writes x; s1 reads x (slow hop to s2) then writes y;
+        # s2 gets y's update long before x's and applies it eagerly;
+        # reading at s2 then exposes the inversion.
+        cluster = build_broken_cluster()
+        placement = cluster.placement
+        # pick variables replicated at sites {0.. } — use explicit ones
+        cluster.placement["x"] = (0, 1, 2)
+        cluster.placement["y"] = (1, 2, 3)
+        for proto in cluster.protocols:
+            proto._replica_mask["x"] = 0b0111
+            proto._replica_mask["y"] = 0b1110
+            proto._values.setdefault("x", (None, None))
+            proto._values.setdefault("y", (None, None))
+            if proto.site == 3:
+                proto._values.pop("x", None)
+            if proto.site == 0:
+                proto._values.pop("y", None)
+
+        s0, s1, s2 = cluster.session(0), cluster.session(1), cluster.session(2)
+        s0.write("x", "cause")
+        cluster.sim.run(until=5.0)  # s1 has x, s2 does not (120 ms away)
+        assert s1.read("x") == "cause"
+        s1.write("y", "effect")
+        cluster.sim.run(until=10.0)
+        # s2 applied y eagerly although x (its causal predecessor) is absent
+        value = s2.read("y")
+        assert value == "effect"
+        stale_x = s2.read("x")
+        assert stale_x is None  # causality inverted
+        report = check_history(cluster.history, placement, raise_on_error=False)
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert "apply-order" in kinds or "stale-read" in kinds
+        cluster.settle()
+
+    def test_random_workload_eventually_caught(self):
+        # under an adversarial WAN, random workloads trip the checker too
+        caught = False
+        for seed in range(4):
+            cluster = build_broken_cluster(seed)
+            wl = generate(
+                WorkloadConfig(
+                    n_sites=4,
+                    ops_per_site=60,
+                    write_rate=0.5,
+                    placement=cluster.placement,
+                    seed=seed,
+                )
+            )
+            try:
+                result = cluster.run(wl)
+                if not result.ok:
+                    caught = True
+                    break
+            except ConsistencyViolationError:
+                caught = True
+                break
+        assert caught, "broken protocol slipped past the checker"
+
+
+class TestCorrectProtocolSurvivesSameConditions:
+    def test_same_wan_same_workload_clean(self):
+        n = 4
+        base = np.array(
+            [
+                [0.0, 1.0, 120.0, 60.0],
+                [1.0, 0.0, 1.0, 120.0],
+                [120.0, 1.0, 0.0, 1.0],
+                [60.0, 120.0, 1.0, 0.0],
+            ]
+        )
+        for seed in range(4):
+            cfg = ClusterConfig(
+                n_sites=n,
+                n_variables=8,
+                protocol="opt-track",
+                latency=MatrixLatency(base, jitter_sigma=0.0),
+                seed=seed,
+                think_time=0.5,
+            )
+            cluster = Cluster(cfg)
+            wl = generate(
+                WorkloadConfig(
+                    n_sites=n,
+                    ops_per_site=60,
+                    write_rate=0.5,
+                    placement=cluster.placement,
+                    seed=seed,
+                )
+            )
+            assert cluster.run(wl).ok

@@ -1,0 +1,114 @@
+"""Ablation: the optimal activation predicate ``A_OPT`` vs the original
+``A_ORG`` (Section II-C).
+
+The scripted scenario manufactures pure false causality: site 1 *applies*
+site 0's update but never reads it, then writes.  Under happened-before
+(``A_ORG``) the second write depends on the first; under ``~>co``
+(``A_OPT``) they are concurrent.  A receiver that got the second write
+first must buffer it under A_ORG and may apply it immediately under A_OPT.
+
+The statistical companion (benchmarks/bench_ablation_activation.py)
+measures the aggregate activation-delay gap on realistic workloads.
+"""
+
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+import numpy as np
+
+from tests.conftest import full_placement, make_sites
+
+
+def msg_to(result, dest):
+    return next(m for m in result.messages if m.dest == dest)
+
+
+class TestScriptedFalseCausality:
+    """Direct protocol drive: identical event sequences, different verdicts."""
+
+    def scenario(self, protocol):
+        sites = make_sites(protocol, 3, full_placement(3, ["a", "b"]))
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))  # apply WITHOUT reading
+        rb = sites[1].write("b", 2)
+        m_b2 = msg_to(rb, 2)  # site 2 gets b's update before a's
+        return sites, ra, m_b2
+
+    def test_a_opt_applies_immediately(self):
+        for protocol in ("optp", "opt-track-crp"):
+            sites, _, m_b2 = self.scenario(protocol)
+            assert sites[2].can_apply(m_b2), protocol
+
+    def test_a_org_buffers(self):
+        sites, ra, m_b2 = self.scenario("ahamad")
+        assert not sites[2].can_apply(m_b2)  # false causality bites
+        sites[2].apply_update(msg_to(ra, 2))
+        assert sites[2].can_apply(m_b2)
+
+    def test_both_are_causally_correct(self):
+        # false causality is a performance defect, not a safety one: both
+        # predicates yield causally consistent executions
+        for protocol in ("ahamad", "optp"):
+            cfg = ClusterConfig(n_sites=4, n_variables=8, protocol=protocol, seed=2)
+            cluster = Cluster(cfg)
+            from repro.workload.generator import WorkloadConfig, generate
+
+            wl = generate(
+                WorkloadConfig(
+                    n_sites=4,
+                    ops_per_site=50,
+                    write_rate=0.5,
+                    placement=cluster.placement,
+                    seed=2,
+                )
+            )
+            assert cluster.run(wl).ok, protocol
+
+
+class TestMeasuredActivationDelay:
+    """Same workload, same asymmetric WAN: A_ORG buffers updates at least
+    as long as A_OPT, and strictly longer in aggregate."""
+
+    def run(self, protocol, seed=0):
+        n = 4
+        # asymmetric latencies maximize reordering across senders
+        base = np.array(
+            [
+                [0.0, 5.0, 80.0, 40.0],
+                [5.0, 0.0, 40.0, 80.0],
+                [80.0, 40.0, 0.0, 5.0],
+                [40.0, 80.0, 5.0, 0.0],
+            ]
+        )
+        cfg = ClusterConfig(
+            n_sites=n,
+            n_variables=10,
+            protocol=protocol,
+            latency=MatrixLatency(base, jitter_sigma=0.0),
+            seed=seed,
+            think_time=1.0,
+        )
+        cluster = Cluster(cfg)
+        from repro.workload.generator import WorkloadConfig, generate
+
+        wl = generate(
+            WorkloadConfig(
+                n_sites=n,
+                ops_per_site=80,
+                write_rate=0.5,
+                placement=cluster.placement,
+                seed=seed + 7,
+            )
+        )
+        result = cluster.run(wl)
+        assert result.ok
+        return result.metrics.activation_delay
+
+    def test_a_org_delay_dominates_a_opt(self):
+        totals_org = []
+        totals_opt = []
+        for seed in range(3):
+            totals_org.append(self.run("ahamad", seed)["total"])
+            totals_opt.append(self.run("optp", seed)["total"])
+        assert sum(totals_org) > sum(totals_opt)

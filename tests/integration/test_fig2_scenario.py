@@ -1,0 +1,102 @@
+"""Scenario test replaying the mechanism of the paper's Figure 2.
+
+Figure 2's point: a log record whose destination list has become empty must
+be *retained* while it is the newest from its sender, because piggybacking
+the emptied record is what tells other sites to prune their own stale
+destination information.
+
+Message-passing shape (translated to writes on partially replicated
+variables, driven directly through the protocol instances):
+
+* ``M1``: site 0 writes ``a`` (replicas {0,1,2,3}) — every other site
+  learns the record <0,1,...>;
+* site 3 then hears, via later writes, that sites 1 and 2 applied M1, so
+  its copy of the record empties — but must survive;
+* ``M4``: site 3 writes to a variable replicated at site 2; the piggyback
+  carries the emptied record, letting site 2 prune site 1 from its own
+  copy (merge by intersection).
+"""
+
+import pytest
+
+from repro.core import bitsets
+
+from tests.conftest import make_sites
+
+
+@pytest.fixture
+def placement():
+    return {
+        "a": (0, 1, 2, 3),  # M1's variable
+        "b": (1, 3),        # M2: s1 -> s3
+        "c": (2, 3),        # M3: s2 -> s3
+        "d": (2, 3),        # M4: s3 -> s2
+    }
+
+
+@pytest.fixture
+def sites(placement):
+    return make_sites("opt-track", 4, placement)
+
+
+def msg_to(result, dest):
+    return next(m for m in result.messages if m.dest == dest)
+
+
+class TestFig2:
+    def test_emptied_record_retained_and_prunes_remotely(self, sites):
+        # M1: site 0 writes a, all sites apply and read it
+        r_a = sites[0].write("a", "M1")
+        for dest in (1, 2, 3):
+            sites[dest].apply_update(msg_to(r_a, dest))
+            sites[dest].read_local("a")
+        # each site's log now holds <0,1, dests-sans-self>
+        assert sites[3].log.dests_of(0, 1) == bitsets.mask_of([0, 1, 2])
+
+        # M2: site 1 writes b (replicas {1,3}); its piggyback tells site 3
+        # that... site 3 merges: record <0,1> loses the b-replicas {1,3}
+        # on the copy (condition 2), intersecting down at site 3.
+        r_b = sites[1].write("b", "M2")
+        sites[3].apply_update(msg_to(r_b, 3))
+        sites[3].read_local("b")
+        assert not bitsets.contains(sites[3].log.dests_of(0, 1), 1)
+
+        # M3: site 2 writes c (replicas {2,3}): same for site 2's entry
+        r_c = sites[2].write("c", "M3")
+        sites[3].apply_update(msg_to(r_c, 3))
+        sites[3].read_local("c")
+        dests = sites[3].log.dests_of(0, 1)
+        # Figure 2's key state: M1's destination list at site 3 is empty...
+        assert dests == bitsets.singleton(0) or bitsets.is_empty(
+            bitsets.difference(dests, bitsets.singleton(0))
+        )
+        # ...but the record itself is still in the log (newest from s0)
+        assert (0, 1) in sites[3].log
+
+        # M4: site 3 writes d (replicas {2,3}); the piggyback to site 2
+        # must carry the emptied record so site 2 can prune site 1
+        before = sites[2].log.dests_of(0, 1)
+        assert bitsets.contains(before, 1)  # site 2 still thinks 1 pends
+        r_d = sites[3].write("d", "M4")
+        m_d2 = msg_to(r_d, 2)
+        assert (0, 1) in m_d2.meta.log  # emptied record is piggybacked
+        sites[2].apply_update(m_d2)
+        sites[2].read_local("d")
+        after = sites[2].log.dests_of(0, 1)
+        assert not bitsets.contains(after, 1)  # pruned via intersection
+
+    def test_record_deleted_once_sender_writes_again(self, sites):
+        # The retained empty record dies when a newer record from the same
+        # sender arrives (only the latest per sender is kept).
+        r_a = sites[0].write("a", "M1")
+        for dest in (1, 2, 3):
+            sites[dest].apply_update(msg_to(r_a, dest))
+            sites[dest].read_local("a")
+        r_a2 = sites[0].write("a", "M1'")
+        sites[3].apply_update(msg_to(r_a2, 3))
+        sites[3].read_local("a")
+        sites[3].log.purge()
+        # old record gone or empty-and-superseded; new one present
+        assert (0, 2) in sites[3].log
+        if (0, 1) in sites[3].log:
+            assert sites[3].log.latest_clock(0) == 2

@@ -1,0 +1,102 @@
+"""Long-run stability: control metadata must stay bounded.
+
+The paper's space bounds are per-instant; a practical store also needs the
+metadata not to *grow without bound over time* (no leaks).  We run a long
+workload and assert the structural bounds hold at the end — logs pruned,
+per-variable state capped, buffers empty.
+"""
+
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+
+def long_run(protocol, n=6, q=12, p=2, ops=400, seed=13):
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=q,
+        protocol=protocol,
+        replication_factor=p if protocol in ("full-track", "opt-track") else None,
+        seed=seed,
+        think_time=0.5,
+        record_history=False,  # histories grow by design; not under test
+        space_probe_every=None,
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=ops,
+            write_rate=0.5,
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    cluster.run(wl, check=False)
+    return cluster
+
+
+class TestOptTrackBounds:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return long_run("opt-track")
+
+    def test_log_entries_bounded(self, cluster):
+        # at most a handful of records per sender survive the pruning;
+        # the hard structural cap is senders x (1 + live destinations)
+        n = cluster.n_sites
+        for proto in cluster.protocols:
+            assert len(proto.log) <= n * (n + 1)
+
+    def test_lastwriteon_keyed_by_local_vars_only(self, cluster):
+        for proto in cluster.protocols:
+            local = {
+                v for v in cluster.placement if proto.locally_replicates(v)
+            }
+            assert set(proto.last_write_on) <= local
+
+    def test_ceiling_bounded(self, cluster):
+        n = cluster.n_sites
+        for proto in cluster.protocols:
+            for var, ceiling in proto._ceiling.items():
+                assert len(ceiling) <= n
+
+    def test_stored_logs_bounded(self, cluster):
+        n = cluster.n_sites
+        for proto in cluster.protocols:
+            for log in proto.last_write_on.values():
+                assert len(log) <= n * (n + 1)
+
+
+class TestCrpBounds:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return long_run("opt-track-crp")
+
+    def test_log_at_most_n(self, cluster):
+        for proto in cluster.protocols:
+            assert len(proto.log) <= cluster.n_sites
+
+    def test_lastwriteon_one_pair_per_var(self, cluster):
+        for proto in cluster.protocols:
+            assert len(proto.last_write_on) <= len(cluster.placement)
+
+
+class TestFullTrackBounds:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return long_run("full-track")
+
+    def test_one_matrix_per_local_var(self, cluster):
+        # Write clock + one LastWriteOn matrix per locally written var —
+        # never more
+        for proto in cluster.protocols:
+            local = sum(
+                1 for v in cluster.placement if proto.locally_replicates(v)
+            )
+            assert len(proto.last_write_on) <= local
+
+    def test_buffers_empty(self, cluster):
+        for site in cluster.sites:
+            assert site.quiescent

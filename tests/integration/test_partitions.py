@@ -1,0 +1,114 @@
+"""Network-partition tests: causal consistency holds through a partition
+and after healing (updates are delayed, never lost — the paper's liveness
+assumption), and writes stay available on both sides (the AP side of the
+CAP discussion in Section V)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.verify.checker import check_history
+from repro.workload.generator import WorkloadConfig, generate
+
+PROTOCOLS = ["full-track", "opt-track", "opt-track-crp", "optp"]
+
+
+def make_cluster(protocol, n=4, q=8, seed=0):
+    return Cluster(ClusterConfig(n_sites=n, n_variables=q, protocol=protocol, seed=seed))
+
+
+class TestPartitionMechanics:
+    def test_cross_partition_messages_held(self):
+        cluster = make_cluster("opt-track-crp")
+        cluster.network.partition([0, 1], [2, 3])
+        cluster.session(0).write("x0", 1)
+        cluster.sim.run()
+        assert cluster.protocols[1].local_value("x0")[0] == 1  # same side
+        assert cluster.protocols[2].local_value("x0")[0] is None  # held
+        assert cluster.network.messages_held == 2
+
+    def test_heal_releases_in_order(self):
+        cluster = make_cluster("opt-track-crp")
+        cluster.network.partition([0, 1], [2, 3])
+        s = cluster.session(0)
+        s.write("x0", "first")
+        s.write("x0", "second")
+        cluster.sim.run()
+        released = cluster.network.heal()
+        assert released == 4
+        cluster.settle()
+        assert cluster.protocols[3].local_value("x0")[0] == "second"
+
+    def test_site_in_two_groups_rejected(self):
+        cluster = make_cluster("optp")
+        with pytest.raises(SimulationError):
+            cluster.network.partition([0, 1], [1, 2])
+
+    def test_unnamed_sites_form_implicit_group(self):
+        cluster = make_cluster("opt-track-crp")
+        cluster.network.partition([0])  # 1,2,3 are the implicit group
+        cluster.session(1).write("x0", 9)
+        cluster.sim.run()
+        assert cluster.protocols[2].local_value("x0")[0] == 9
+        assert cluster.protocols[0].local_value("x0")[0] is None
+        cluster.network.heal()
+        cluster.settle()
+        assert cluster.protocols[0].local_value("x0")[0] == 9
+
+
+class TestConsistencyThroughPartition:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_writes_available_both_sides_and_converge(self, protocol):
+        cluster = make_cluster(protocol, seed=3)
+        cluster.network.partition([0, 1], [2, 3])
+        # both sides keep writing (availability of writes)
+        a, b = cluster.session(0), cluster.session(2)
+        var_a = next(v for v, reps in cluster.placement.items() if 0 in reps)
+        var_b = next(
+            v
+            for v, reps in cluster.placement.items()
+            if 2 in reps and v != var_a
+        )
+        a.write(var_a, "side-A")
+        b.write(var_b, "side-B")
+        cluster.sim.run()
+        cluster.network.heal()
+        cluster.settle()
+        for site, var, expect in ((3, var_b, "side-B"), (1, var_a, "side-A")):
+            if site in cluster.placement[var]:
+                assert cluster.protocols[site].local_value(var)[0] == expect
+        assert check_history(cluster.history, cluster.placement).ok
+
+    @pytest.mark.parametrize("protocol", ["opt-track", "opt-track-crp"])
+    def test_random_workload_survives_partition_cycle(self, protocol):
+        cluster = make_cluster(protocol, seed=5)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=4,
+                ops_per_site=40,
+                write_rate=0.6,
+                placement=cluster.placement,
+                seed=5,
+            )
+        )
+        # partition mid-run, heal before the run's natural end
+        cluster.sim.schedule(10.0, lambda: cluster.network.partition([0, 1], [2, 3]))
+        cluster.sim.schedule(60.0, cluster.network.heal)
+        result = cluster.run(wl)
+        assert result.ok
+
+    def test_causal_chain_waits_out_the_partition(self):
+        # s0 -> s2 dependency created before the partition must apply at
+        # s2's side only after healing, never inverted
+        cluster = make_cluster("opt-track-crp", seed=1)
+        cluster.session(0).write("x0", "base")
+        cluster.settle()
+        assert cluster.session(2).read("x0") == "base"
+        cluster.network.partition([0, 1], [2, 3])
+        cluster.session(2).write("x1", "dependent")  # depends on base
+        cluster.sim.run()
+        assert cluster.protocols[0].local_value("x1")[0] is None
+        cluster.network.heal()
+        cluster.settle()
+        assert cluster.protocols[0].local_value("x1")[0] == "dependent"
+        assert check_history(cluster.history, cluster.placement).ok

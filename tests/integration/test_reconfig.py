@@ -1,0 +1,149 @@
+"""Integration tests for quiesced replica reconfiguration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError, UnknownVariableError
+from repro.ext.reconfig import add_replica, remove_replica, replication_factor_of
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.verify.checker import check_history
+
+PARTIAL = ["full-track", "opt-track"]
+
+
+def make_cluster(protocol, n=5):
+    return Cluster(
+        ClusterConfig(
+            n_sites=n,
+            n_variables=6,
+            protocol=protocol,
+            replication_factor=2,
+            seed=2,
+        )
+    )
+
+
+@pytest.mark.parametrize("protocol", PARTIAL)
+class TestAddReplica:
+    def test_state_transferred(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        writer = cluster.placement[var][0]
+        cluster.session(writer).write(var, "existing")
+        cluster.settle()
+        newbie = next(s for s in range(5) if s not in cluster.placement[var])
+        add_replica(cluster, var, newbie)
+        assert newbie in cluster.placement[var]
+        # the new replica serves the value locally, with correct causality
+        assert cluster.session(newbie).read(var) == "existing"
+        cluster.settle()
+
+    def test_future_writes_reach_new_replica(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        writer = cluster.placement[var][0]
+        newbie = next(s for s in range(5) if s not in cluster.placement[var])
+        add_replica(cluster, var, newbie)
+        cluster.session(writer).write(var, "after-epoch")
+        cluster.settle()
+        assert cluster.protocols[newbie].local_value(var)[0] == "after-epoch"
+
+    def test_causality_across_epoch(self, protocol):
+        cluster = make_cluster(protocol)
+        var, other = "x0", "x1"
+        w0 = cluster.placement[var][0]
+        cluster.session(w0).write(var, "v1")
+        cluster.settle()
+        newbie = next(s for s in range(5) if s not in cluster.placement[var])
+        add_replica(cluster, var, newbie)
+        # a causal chain through the new replica
+        assert cluster.session(newbie).read(var) == "v1"
+        w1 = cluster.placement[other][0]
+        cluster.session(w1).write(other, "v2")
+        cluster.settle()
+        assert check_history(cluster.history, cluster.placement).ok
+
+    def test_requires_quiescence(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        writer = cluster.placement[var][0]
+        # an in-flight update: deliberately do not settle
+        state = {"dropped": False}
+
+        def drop_one(kind, msg, src, dst):
+            if kind == "update" and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        cluster.network.drop_filter = drop_one
+        cluster.session(writer).write(var, 1)
+        cluster.session(writer).write(var, 2)
+        cluster.sim.run()
+        newbie = next(s for s in range(5) if s not in cluster.placement[var])
+        with pytest.raises(SimulationError):
+            add_replica(cluster, var, newbie)
+
+    def test_rejects_existing_replica(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        with pytest.raises(ConfigurationError):
+            add_replica(cluster, var, cluster.placement[var][0])
+
+    def test_unknown_variable(self, protocol):
+        cluster = make_cluster(protocol)
+        with pytest.raises(UnknownVariableError):
+            add_replica(cluster, "nope", 0)
+
+
+@pytest.mark.parametrize("protocol", PARTIAL)
+class TestRemoveReplica:
+    def test_removed_site_reads_remotely(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        victim = cluster.placement[var][0]
+        survivor = cluster.placement[var][1]
+        cluster.session(survivor).write(var, "keep-me")
+        cluster.settle()
+        remove_replica(cluster, var, victim)
+        assert victim not in cluster.placement[var]
+        assert not cluster.protocols[victim].locally_replicates(var)
+        assert cluster.session(victim).read(var) == "keep-me"  # remote now
+        cluster.settle()
+
+    def test_future_writes_skip_removed_site(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        victim, survivor = cluster.placement[var][0], cluster.placement[var][1]
+        remove_replica(cluster, var, victim)
+        before = cluster.network.messages_sent
+        cluster.session(survivor).write(var, "post-epoch")
+        cluster.settle()
+        assert replication_factor_of(cluster, var) == 1
+
+    def test_cannot_remove_last_replica(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        reps = list(cluster.placement[var])
+        remove_replica(cluster, var, reps[0])
+        with pytest.raises(ConfigurationError):
+            remove_replica(cluster, var, reps[1])
+
+
+class TestElasticityScenario:
+    def test_grow_then_shrink_under_load(self):
+        # epochs interleaved with traffic, checker green throughout
+        cluster = make_cluster("opt-track")
+        var = "x0"
+        for round_ in range(3):
+            writer = cluster.placement[var][0]
+            cluster.session(writer).write(var, f"r{round_}")
+            cluster.settle()
+            outsiders = [s for s in range(5) if s not in cluster.placement[var]]
+            if outsiders and replication_factor_of(cluster, var) < 4:
+                add_replica(cluster, var, outsiders[0])
+            elif replication_factor_of(cluster, var) > 2:
+                remove_replica(cluster, var, cluster.placement[var][-1])
+        for s in range(5):
+            assert cluster.session(s).read(var) == "r2"
+        cluster.settle()
+        assert check_history(cluster.history, cluster.placement).ok

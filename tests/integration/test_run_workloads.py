@@ -1,0 +1,165 @@
+"""Integration tests: concurrent workload runs across every protocol, with
+the causal-consistency checker as the oracle."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.sim.cluster import Cluster, ClusterConfig, run_workload
+from repro.sim.topology import evenly_spread
+from repro.workload.generator import WorkloadConfig, generate
+from repro.workload.scenarios import hdfs_like, social_network
+
+ALL_PROTOCOLS = ["full-track", "opt-track", "opt-track-crp", "optp", "ahamad"]
+PARTIAL_PROTOCOLS = ["full-track", "opt-track"]
+
+
+def run(protocol, n=6, q=15, ops=60, write_rate=0.4, seed=0, **cluster_kw):
+    cfg = ClusterConfig(
+        n_sites=n, n_variables=q, protocol=protocol, seed=seed, **cluster_kw
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=ops,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    return cluster.run(wl)
+
+
+class TestAllProtocolsConsistent:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_uniform_mix(self, protocol):
+        result = run(protocol)
+        assert result.ok
+        assert result.metrics.ops["write"] > 0
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_write_heavy(self, protocol):
+        assert run(protocol, write_rate=0.9, seed=3).ok
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_read_heavy(self, protocol):
+        assert run(protocol, write_rate=0.05, seed=4).ok
+
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_replication_factors(self, protocol, p):
+        assert run(protocol, replication_factor=p, seed=p).ok
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_wan_latency(self, protocol):
+        result = run(
+            protocol,
+            n=5,
+            topology=evenly_spread(5),
+            seed=9,
+        )
+        assert result.ok
+
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_lognormal_jitter(self, protocol):
+        assert run(protocol, latency="lognormal", seed=2).ok
+
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_distributed_prune_variant(self, protocol):
+        if protocol != "opt-track":
+            pytest.skip("variant only exists for opt-track")
+        assert run(protocol, protocol_kwargs={"distributed_prune": True}).ok
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_social_network(self, protocol):
+        topo = evenly_spread(6)
+        placement, wl = social_network(6, n_users=15, ops_per_site=40, topology=topo)
+        cfg = ClusterConfig(
+            n_sites=6, protocol=protocol, placement=placement, topology=topo, seed=1
+        )
+        result = Cluster(cfg).run(wl)
+        assert result.ok
+
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_hdfs_like(self, protocol):
+        placement, wl = hdfs_like(6, n_blocks=18, ops_per_site=40)
+        cfg = ClusterConfig(n_sites=6, protocol=protocol, placement=placement, seed=1)
+        result = Cluster(cfg).run(wl)
+        assert result.ok
+
+
+class TestRunMechanics:
+    def test_workload_length_mismatch_rejected(self):
+        cluster = Cluster(ClusterConfig(n_sites=3, n_variables=5, protocol="optp"))
+        with pytest.raises(ConfigurationError):
+            cluster.run([[], []])
+
+    def test_run_workload_helper(self):
+        cfg = ClusterConfig(n_sites=3, n_variables=6, protocol="opt-track", seed=0)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=3,
+                ops_per_site=20,
+                write_rate=0.5,
+                variables=[f"x{i}" for i in range(6)],
+                seed=0,
+            )
+        )
+        assert run_workload(cfg, wl).ok
+
+    def test_metrics_populated(self):
+        result = run("opt-track", seed=6)
+        m = result.metrics
+        assert m.message_counts["update"] > 0
+        assert m.total_message_bytes > 0
+        assert m.space_bytes["mean_per_site"] > 0
+        assert m.ops["read-local"] + m.ops["read-remote"] > 0
+
+    def test_quiescent_after_settle(self):
+        cfg = ClusterConfig(n_sites=4, n_variables=8, protocol="opt-track", seed=0)
+        cluster = Cluster(cfg)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=4,
+                ops_per_site=30,
+                write_rate=0.5,
+                placement=cluster.placement,
+                seed=0,
+            )
+        )
+        cluster.run(wl)
+        for site in cluster.sites:
+            assert site.quiescent
+
+    def test_dropped_messages_cause_deadlock_error(self):
+        # a lossy network starves activation predicates: settle() reports it
+        cfg = ClusterConfig(n_sites=4, n_variables=8, protocol="opt-track", seed=0)
+        cluster = Cluster(cfg)
+        dropped = {"count": 0}
+
+        def drop_some(kind, msg, src, dst):
+            if kind == "update" and dropped["count"] < 5:
+                dropped["count"] += 1
+                return True
+            return False
+
+        cluster.network.drop_filter = drop_some
+        wl = generate(
+            WorkloadConfig(
+                n_sites=4,
+                ops_per_site=40,
+                write_rate=0.8,
+                placement=cluster.placement,
+                seed=0,
+            )
+        )
+        with pytest.raises(DeadlockError):
+            cluster.run(wl)
+
+    def test_empty_workload(self):
+        cfg = ClusterConfig(n_sites=3, n_variables=5, protocol="optp", seed=0)
+        result = Cluster(cfg).run([[], [], []])
+        assert result.ok
+        assert result.metrics.total_messages == 0

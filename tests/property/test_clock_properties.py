@@ -1,0 +1,114 @@
+"""Property tests: clock merge is a semilattice join, increments are
+monotone, and dominance is a partial order."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clocks import MatrixClock, VectorClock
+
+N = 4
+
+
+@st.composite
+def matrix_clocks(draw):
+    vals = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=20), min_size=N * N, max_size=N * N
+        )
+    )
+    return MatrixClock(N, np.array(vals, dtype=np.int64).reshape(N, N))
+
+
+@st.composite
+def vector_clocks(draw):
+    vals = draw(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=N, max_size=N)
+    )
+    return VectorClock(N, np.array(vals, dtype=np.int64))
+
+
+class TestMatrixMergeSemilattice:
+    @given(matrix_clocks(), matrix_clocks())
+    def test_commutative(self, a, b):
+        x = a.copy()
+        x.merge(b)
+        y = b.copy()
+        y.merge(a)
+        assert x == y
+
+    @given(matrix_clocks(), matrix_clocks(), matrix_clocks())
+    def test_associative(self, a, b, c):
+        x = a.copy()
+        x.merge(b)
+        x.merge(c)
+        bc = b.copy()
+        bc.merge(c)
+        y = a.copy()
+        y.merge(bc)
+        assert x == y
+
+    @given(matrix_clocks())
+    def test_idempotent(self, a):
+        x = a.copy()
+        x.merge(a)
+        assert x == a
+
+    @given(matrix_clocks(), matrix_clocks())
+    def test_merge_is_least_upper_bound(self, a, b):
+        x = a.copy()
+        x.merge(b)
+        assert x.dominates(a) and x.dominates(b)
+        # least: every entry comes from a or b
+        assert bool(np.all((x.m == a.m) | (x.m == b.m)))
+
+    @given(matrix_clocks(), matrix_clocks())
+    def test_merge_monotone(self, a, b):
+        x = a.copy()
+        x.merge(b)
+        assert a <= x
+
+
+class TestMatrixIncrement:
+    @given(
+        matrix_clocks(),
+        st.integers(min_value=0, max_value=N - 1),
+        st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1),
+    )
+    def test_increment_strictly_grows_row(self, clock, writer, dests):
+        before = clock.copy()
+        clock.increment(writer, dests)
+        assert clock.dominates(before)
+        for d in dests:
+            assert clock[writer, d] == before[writer, d] + 1
+
+    @given(matrix_clocks(), st.integers(min_value=0, max_value=N - 1))
+    def test_column_matches_matrix(self, clock, k):
+        assert clock.column(k).tolist() == clock.m[:, k].tolist()
+
+
+class TestVectorSemilattice:
+    @given(vector_clocks(), vector_clocks())
+    def test_commutative(self, a, b):
+        x = a.copy()
+        x.merge(b)
+        y = b.copy()
+        y.merge(a)
+        assert x == y
+
+    @given(vector_clocks())
+    def test_idempotent(self, a):
+        x = a.copy()
+        x.merge(a)
+        assert x == a
+
+    @given(vector_clocks(), vector_clocks())
+    def test_lub(self, a, b):
+        x = a.copy()
+        x.merge(b)
+        assert x.dominates(a) and x.dominates(b)
+
+    @given(vector_clocks(), vector_clocks())
+    def test_dominance_antisymmetric(self, a, b):
+        if a.dominates(b) and b.dominates(a):
+            assert a == b

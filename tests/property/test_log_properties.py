@@ -1,0 +1,154 @@
+"""Property tests for the KS dependency log: structural invariants that the
+Opt-Track correctness argument (and our causal-ceiling completion) rely on."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitsets
+from repro.core.log import DepLog
+
+N = 5
+
+entries = st.dictionaries(
+    st.tuples(
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=1, max_value=8),
+    ),
+    st.integers(min_value=0, max_value=(1 << N) - 1),
+    max_size=12,
+)
+
+
+def log_from(d):
+    return DepLog(dict(d))
+
+
+def latest_per_sender(log):
+    out = {}
+    for (z, c) in log.entries:
+        out[z] = max(out.get(z, 0), c)
+    return out
+
+
+class TestPurge:
+    @given(entries)
+    def test_idempotent(self, d):
+        a = log_from(d)
+        a.purge()
+        snapshot = a.copy()
+        a.purge()
+        assert a == snapshot
+
+    @given(entries)
+    def test_keeps_latest_record_per_sender(self, d):
+        a = log_from(d)
+        before = latest_per_sender(a)
+        a.purge()
+        assert latest_per_sender(a) == before
+
+    @given(entries)
+    def test_only_removes_empty_records(self, d):
+        a = log_from(d)
+        b = a.copy()
+        b.purge()
+        removed = set(a.entries) - set(b.entries)
+        assert all(a.entries[k] == bitsets.EMPTY for k in removed)
+
+    @given(entries)
+    def test_surviving_dests_unchanged(self, d):
+        a = log_from(d)
+        b = a.copy()
+        b.purge()
+        for k, v in b.entries.items():
+            assert a.entries[k] == v
+
+
+class TestMerge:
+    @given(entries, entries)
+    def test_latest_knowledge_never_decreases(self, d1, d2):
+        # the newest-per-sender invariant backs the _dominated() test
+        a, b = log_from(d1), log_from(d2)
+        la, lb = latest_per_sender(a), latest_per_sender(b)
+        a.merge(b)
+        after = latest_per_sender(a)
+        for z in set(la) | set(lb):
+            assert after.get(z, 0) >= max(la.get(z, 0), lb.get(z, 0))
+
+    @given(entries, entries)
+    def test_result_dests_never_grow(self, d1, d2):
+        a, b = log_from(d1), log_from(d2)
+        a_before = dict(a.entries)
+        a.merge(b)
+        for key, dests in a.entries.items():
+            if key in a_before and key in b.entries:
+                assert dests == a_before[key] & b.entries[key]
+            elif key in a_before:
+                assert dests == a_before[key]
+            else:
+                assert dests == b.entries[key]
+
+    @given(entries)
+    def test_merge_self_idempotent(self, d):
+        a = log_from(d)
+        snapshot = a.copy()
+        a.merge(snapshot.copy())
+        assert a == snapshot
+
+    @given(entries, entries)
+    def test_no_stale_records_survive_both_sides(self, d1, d2):
+        # after a merge, any record strictly older than another record from
+        # the same sender exists only if it was present on the side that
+        # also had the newer one (i.e., never resurrected)
+        a, b = log_from(d1), log_from(d2)
+        a_keys, b_keys = set(a.entries), set(b.entries)
+        a.merge(b)
+        latest = latest_per_sender(a)
+        for (z, c) in a.entries:
+            if c < latest[z]:
+                assert (z, c) in a_keys or (z, c) in b_keys
+
+
+class TestCopyForDest:
+    @given(
+        entries,
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=(1 << N) - 1),
+    )
+    def test_dest_bit_preserved(self, d, dest, replicas):
+        a = log_from(d)
+        out = a.copy_for_dest(dest, replicas)
+        for key, dests in out.entries.items():
+            if bitsets.contains(a.entries[key], dest):
+                assert bitsets.contains(dests, dest)
+
+    @given(
+        entries,
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=(1 << N) - 1),
+    )
+    def test_never_fabricates_destinations(self, d, dest, replicas):
+        a = log_from(d)
+        out = a.copy_for_dest(dest, replicas)
+        for key, dests in out.entries.items():
+            assert bitsets.difference(dests, a.entries[key]) == bitsets.EMPTY
+
+    @given(
+        entries,
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=(1 << N) - 1),
+    )
+    def test_latest_per_sender_retained(self, d, dest, replicas):
+        a = log_from(d)
+        out = a.copy_for_dest(dest, replicas)
+        assert latest_per_sender(out) == latest_per_sender(a)
+
+    @given(
+        entries,
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=(1 << N) - 1),
+    )
+    def test_source_untouched(self, d, dest, replicas):
+        a = log_from(d)
+        before = a.copy()
+        a.copy_for_dest(dest, replicas)
+        assert a == before

@@ -1,0 +1,113 @@
+"""End-to-end property test: EVERY protocol, on randomized clusters,
+topologies and workloads, must produce causally consistent executions and
+quiesce.  This is the heavyweight oracle-backed fuzz of the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.workload.generator import WorkloadConfig, generate
+
+PARTIAL = ["full-track", "opt-track"]
+FULL = ["opt-track-crp", "optp", "ahamad"]
+
+
+@st.composite
+def cluster_params(draw, partial):
+    n = draw(st.integers(min_value=2, max_value=6))
+    q = draw(st.integers(min_value=1, max_value=12))
+    p = draw(st.integers(min_value=1, max_value=n)) if partial else n
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    write_rate = draw(st.floats(min_value=0.0, max_value=1.0))
+    return n, q, p, seed, write_rate
+
+
+def run_random(protocol, n, q, p, seed, write_rate, partial):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.5, 120.0, size=(n, n))
+    np.fill_diagonal(base, 0.0)
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=q,
+        protocol=protocol,
+        replication_factor=p if partial else None,
+        latency=MatrixLatency(base, jitter_sigma=0.25),
+        seed=seed,
+        think_time=1.0,
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=25,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed ^ 0xBEEF,
+        )
+    )
+    result = cluster.run(wl)
+    assert result.ok
+    for site in cluster.sites:
+        assert site.quiescent
+
+
+@pytest.mark.parametrize("protocol", PARTIAL)
+class TestPartialProtocols:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(params=cluster_params(partial=True))
+    def test_causally_consistent(self, protocol, params):
+        run_random(protocol, *params, partial=True)
+
+
+@pytest.mark.parametrize("protocol", FULL)
+class TestFullReplicationProtocols:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(params=cluster_params(partial=False))
+    def test_causally_consistent(self, protocol, params):
+        run_random(protocol, *params, partial=False)
+
+
+class TestOptTrackVariants:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(params=cluster_params(partial=True))
+    def test_distributed_prune_consistent(self, params):
+        n, q, p, seed, write_rate = params
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(0.5, 120.0, size=(n, n))
+        np.fill_diagonal(base, 0.0)
+        cfg = ClusterConfig(
+            n_sites=n,
+            n_variables=q,
+            protocol="opt-track",
+            replication_factor=p,
+            latency=MatrixLatency(base, jitter_sigma=0.25),
+            seed=seed,
+            think_time=1.0,
+            protocol_kwargs={"distributed_prune": True},
+        )
+        cluster = Cluster(cfg)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=n,
+                ops_per_site=25,
+                write_rate=write_rate,
+                placement=cluster.placement,
+                seed=seed ^ 0xBEEF,
+            )
+        )
+        assert cluster.run(wl).ok

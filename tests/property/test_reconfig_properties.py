@@ -1,0 +1,70 @@
+"""Property fuzz: random epoch reconfigurations interleaved with traffic
+stay causally consistent."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ext.reconfig import add_replica, remove_replica
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.verify.checker import check_history
+
+N = 5
+Q = 4
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    protocol=st.sampled_from(["full-track", "opt-track"]),
+    seed=st.integers(min_value=0, max_value=5000),
+    plan=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "grow", "shrink"]),
+            st.integers(min_value=0, max_value=N - 1),  # site
+            st.integers(min_value=0, max_value=Q - 1),  # var index
+        ),
+        min_size=5,
+        max_size=25,
+    ),
+)
+def test_random_epochs_stay_consistent(protocol, seed, plan):
+    cluster = Cluster(
+        ClusterConfig(
+            n_sites=N,
+            n_variables=Q,
+            protocol=protocol,
+            replication_factor=2,
+            seed=seed,
+        )
+    )
+    rng = np.random.default_rng(seed)
+    counter = 0
+    for action, site, v in plan:
+        var = f"x{v}"
+        if action == "write":
+            counter += 1
+            cluster.session(site).write(var, f"{site}.{counter}")
+        elif action == "read":
+            cluster.session(site).read(var)
+        elif action == "grow":
+            cluster.settle()
+            outsiders = [
+                s for s in range(N) if s not in cluster.placement[var]
+            ]
+            if outsiders:
+                add_replica(cluster, var, outsiders[site % len(outsiders)])
+        else:  # shrink
+            cluster.settle()
+            reps = cluster.placement[var]
+            if len(reps) > 1:
+                remove_replica(cluster, var, reps[site % len(reps)])
+    cluster.settle()
+    assert check_history(cluster.history, cluster.placement).ok
+    for s in cluster.sites:
+        assert s.quiescent

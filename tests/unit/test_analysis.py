@@ -1,0 +1,117 @@
+"""Unit tests for the analysis harness: empirical Table I, Figure 4
+helpers, and the report generator."""
+
+import pytest
+
+from repro.analysis.fig4 import (
+    Fig4Result,
+    default_ps,
+    fig4_analytic,
+    fig4_simulated,
+    render_fig4,
+)
+from repro.analysis.report import ReportConfig, generate_report
+from repro.analysis.tables import render_table1, run_table1
+
+
+class TestDefaultPs:
+    def test_n10_is_paper_set(self):
+        assert default_ps(10) == (1, 3, 5, 7, 10)
+
+    def test_small_n_clamped(self):
+        assert default_ps(6) == (1, 3, 5, 6)
+        assert default_ps(3) == (1, 3)
+
+    def test_always_includes_full(self):
+        for n in (2, 5, 9, 20):
+            assert default_ps(n)[-1] == n
+
+
+class TestFig4:
+    def test_analytic_rejects_p_above_n(self):
+        with pytest.raises(ValueError):
+            fig4_analytic(n=6, ps=(7,))
+
+    def test_analytic_series_aligned(self):
+        r = fig4_analytic(n=4, write_rates=(0.1, 0.9))
+        assert set(r.series) == {1, 3, 4}
+        assert all(len(s) == 2 for s in r.series.values())
+
+    def test_crossover_measured(self):
+        r = Fig4Result(n=4, write_rates=[0.1, 0.5, 0.9])
+        r.series[4] = [10.0, 50.0, 90.0]
+        r.series[2] = [20.0, 40.0, 60.0]
+        assert r.crossover_measured(2) == 0.5
+
+    def test_crossover_never(self):
+        r = Fig4Result(n=4, write_rates=[0.1, 0.9])
+        r.series[4] = [10.0, 20.0]
+        r.series[2] = [30.0, 40.0]
+        assert r.crossover_measured(2) is None
+
+    def test_render_contains_all_series(self):
+        out = render_fig4(fig4_analytic(n=4, write_rates=(0.2, 0.8)))
+        for token in ("p=1", "p=3", "p=4", "0.20", "0.80", "crossover"):
+            assert token in out
+
+    def test_simulated_small(self):
+        r = fig4_simulated(
+            n=3, ps=(1, 3), ops_per_site=10, write_rates=(0.2, 0.8), q=6, seed=0
+        )
+        assert set(r.series) == {1, 3}
+        assert all(v >= 0 for s in r.series.values() for v in s)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(n=5, q=10, p=2, ops_per_site=20, write_rate=0.5, seed=0)
+
+    def test_all_rows_present(self, result):
+        assert [r.protocol for r in result.rows] == [
+            "full-track",
+            "opt-track",
+            "opt-track-crp",
+            "optp",
+        ]
+
+    def test_row_lookup(self, result):
+        assert result.row("optp").p == 5
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+    def test_partial_rows_use_requested_p(self, result):
+        assert result.row("opt-track").p == 2
+
+    def test_counts_are_consistent(self, result):
+        for row in result.rows:
+            assert row.messages > 0
+            assert row.message_bytes > 0
+            assert row.writes + row.reads == 100
+
+    def test_render(self, result):
+        out = render_table1(result)
+        assert "opt-track" in out and "pred" in out
+
+
+class TestReport:
+    def test_generates_markdown(self):
+        cfg = ReportConfig(
+            n=4,
+            q=8,
+            p=2,
+            ops_per_site=15,
+            include_simulated_fig4=False,
+            sweep_ns=(3, 4),
+        )
+        text = generate_report(cfg)
+        for section in (
+            "# Measured evaluation report",
+            "## Table I (measured)",
+            "## Figure 4",
+            "## Amortized metadata per update",
+            "## Activation-delay ablation",
+            "## Scenarios",
+        ):
+            assert section in text
+        assert "false-causality overhead" in text

@@ -1,0 +1,116 @@
+"""Unit tests for the protocol base: configuration validation, the
+registry, and the shared helpers."""
+
+import pytest
+
+from repro.core.base import (
+    CausalProtocol,
+    ProtocolConfig,
+    available_protocols,
+    protocol_class,
+)
+from repro.core.full_track import FullTrackProtocol
+from repro.errors import (
+    ConfigurationError,
+    ProtocolInvariantError,
+    UnknownProtocolError,
+    UnknownVariableError,
+)
+
+from tests.conftest import make_sites
+
+
+class TestProtocolConfig:
+    def test_valid(self):
+        ProtocolConfig(n=3, site=0, replicas_of={"x": (0, 1)})
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=0, site=0, replicas_of={})
+
+    def test_rejects_site_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=3, site=3, replicas_of={})
+
+    def test_rejects_empty_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=3, site=0, replicas_of={"x": ()})
+
+    def test_rejects_duplicate_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=3, site=0, replicas_of={"x": (1, 1)})
+
+    def test_rejects_replica_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(n=3, site=0, replicas_of={"x": (0, 5)})
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert available_protocols() == [
+            "ahamad",
+            "full-track",
+            "opt-track",
+            "opt-track-crp",
+            "optp",
+        ]
+
+    def test_lookup(self):
+        assert protocol_class("full-track") is FullTrackProtocol
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownProtocolError):
+            protocol_class("paxos")
+
+
+class TestBaseHelpers:
+    def test_replicas_and_mask(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[0]
+        assert p.replicas("x") == (0, 1, 2)
+        assert p.replica_mask("x") == 0b0111
+
+    def test_unknown_variable(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[0]
+        with pytest.raises(UnknownVariableError):
+            p.replicas("nope")
+        with pytest.raises(UnknownVariableError):
+            p.replica_mask("nope")
+
+    def test_locally_replicates(self, two_var_partial):
+        sites = make_sites("opt-track", 4, two_var_partial)
+        assert sites[0].locally_replicates("x")
+        assert not sites[0].locally_replicates("y")
+        assert sites[3].locally_replicates("y")
+
+    def test_local_value_of_remote_variable_raises(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[3]
+        with pytest.raises(UnknownVariableError):
+            p.local_value("x")
+
+    def test_fetch_target_default_is_lowest_replica(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[3]
+        assert p.fetch_target("x") == 0
+
+    def test_fetch_target_honours_preference(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[3]
+        assert p.fetch_target("x", prefer=2) == 2
+
+    def test_fetch_target_ignores_non_replica_preference(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[3]
+        assert p.fetch_target("x", prefer=3) == 0
+
+    def test_fetch_ids_increment(self, two_var_partial):
+        p = make_sites("opt-track", 4, two_var_partial)[3]
+        assert p.next_fetch_id() == 1
+        assert p.next_fetch_id() == 2
+
+    def test_full_replication_protocols_reject_remote_read_api(self):
+        from tests.conftest import full_placement
+
+        p = make_sites("optp", 2, full_placement(2, ["a"]))[0]
+        with pytest.raises(ProtocolInvariantError):
+            p.make_fetch_request("a", 1)
+        with pytest.raises(ProtocolInvariantError):
+            p.serve_fetch(None)
+        with pytest.raises(ProtocolInvariantError):
+            p.complete_remote_read(None)

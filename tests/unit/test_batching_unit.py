@@ -1,0 +1,88 @@
+"""Unit tests for the UpdateBatcher stage (no cluster)."""
+
+import pytest
+
+from repro.core.messages import UpdateMessage
+from repro.metrics.sizes import SizeModel
+from repro.sim.batching import UpdateBatch, UpdateBatcher
+from repro.sim.engine import Simulator
+from repro.core.clocks import VectorClock
+from repro.types import WriteId
+
+
+def upd(seq, dest, sender=0):
+    return UpdateMessage("x", seq, WriteId(sender, seq), sender, dest, VectorClock(3))
+
+
+class TestBatcher:
+    def make(self, window=10.0):
+        sim = Simulator()
+        sent = []
+        b = UpdateBatcher(0, window, lambda d, fn: sim.schedule(d, fn), sent.append)
+        return sim, b, sent
+
+    def test_flush_after_window(self):
+        sim, b, sent = self.make()
+        b.enqueue(upd(1, dest=1))
+        b.enqueue(upd(2, dest=1))
+        assert sent == []
+        sim.run()
+        assert len(sent) == 1
+        assert [u.write_id.seq for u in sent[0].updates] == [1, 2]
+        assert sim.now == 10.0
+
+    def test_separate_destinations_separate_batches(self):
+        sim, b, sent = self.make()
+        b.enqueue(upd(1, dest=1))
+        b.enqueue(upd(2, dest=2))
+        sim.run()
+        assert len(sent) == 2
+        assert {batch.dest for batch in sent} == {1, 2}
+
+    def test_window_starts_at_first_update(self):
+        sim, b, sent = self.make(window=5.0)
+        b.enqueue(upd(1, dest=1))
+        sim.run(until=3.0)
+        b.enqueue(upd(2, dest=1))  # joins the open window
+        sim.run()
+        assert len(sent) == 1 and len(sent[0]) == 2
+        assert sim.now == 5.0
+
+    def test_new_window_after_flush(self):
+        sim, b, sent = self.make(window=5.0)
+        b.enqueue(upd(1, dest=1))
+        sim.run()
+        b.enqueue(upd(2, dest=1))
+        sim.run()
+        assert len(sent) == 2
+
+    def test_flush_all(self):
+        sim, b, sent = self.make(window=100.0)
+        b.enqueue(upd(1, dest=1))
+        b.enqueue(upd(2, dest=2))
+        b.flush_all()
+        assert len(sent) == 2
+        assert b.pending == 0
+        sim.run()  # stale timers are harmless no-ops
+        assert len(sent) == 2
+
+    def test_counters_and_pending(self):
+        sim, b, sent = self.make()
+        b.enqueue(upd(1, dest=1))
+        b.enqueue(upd(2, dest=1))
+        assert b.pending == 2
+        sim.run()
+        assert b.pending == 0
+        assert b.batches_sent == 1
+        assert b.updates_batched == 2
+
+
+class TestBatchSizing:
+    def test_batch_priced_as_one_header_plus_members(self):
+        model = SizeModel()
+        batch = UpdateBatch(0, 1, (upd(1, 1), upd(2, 1)))
+        single = model.message_size(upd(1, 1))
+        total = model.message_size(batch)
+        # two updates' metadata + subheaders, but only one transport header
+        assert total == model.header_bytes + 2 * (8 + model.meta_size(VectorClock(3)))
+        assert total < 2 * single + 16

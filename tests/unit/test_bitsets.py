@@ -1,0 +1,101 @@
+"""Unit tests for the bitmask set helpers."""
+
+import pytest
+
+from repro.core import bitsets
+
+
+class TestMaskConstruction:
+    def test_mask_of_empty(self):
+        assert bitsets.mask_of([]) == bitsets.EMPTY
+
+    def test_mask_of_sites(self):
+        assert bitsets.mask_of([0, 2, 5]) == 0b100101
+
+    def test_mask_of_duplicates_collapse(self):
+        assert bitsets.mask_of([1, 1, 1]) == bitsets.mask_of([1])
+
+    def test_mask_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitsets.mask_of([-1])
+
+    def test_singleton(self):
+        assert bitsets.singleton(3) == 0b1000
+
+    def test_singleton_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitsets.singleton(-2)
+
+    def test_full_mask(self):
+        assert bitsets.full_mask(4) == 0b1111
+
+    def test_full_mask_zero_sites(self):
+        assert bitsets.full_mask(0) == bitsets.EMPTY
+
+
+class TestMembership:
+    def test_contains_present(self):
+        m = bitsets.mask_of([1, 3])
+        assert bitsets.contains(m, 1)
+        assert bitsets.contains(m, 3)
+
+    def test_contains_absent(self):
+        m = bitsets.mask_of([1, 3])
+        assert not bitsets.contains(m, 0)
+        assert not bitsets.contains(m, 2)
+
+    def test_add(self):
+        assert bitsets.add(bitsets.EMPTY, 2) == bitsets.singleton(2)
+
+    def test_add_idempotent(self):
+        m = bitsets.mask_of([2])
+        assert bitsets.add(m, 2) == m
+
+    def test_remove(self):
+        m = bitsets.mask_of([1, 2])
+        assert bitsets.remove(m, 1) == bitsets.singleton(2)
+
+    def test_remove_absent_is_noop(self):
+        m = bitsets.mask_of([1])
+        assert bitsets.remove(m, 5) == m
+
+
+class TestSetAlgebra:
+    def test_difference(self):
+        a = bitsets.mask_of([0, 1, 2])
+        b = bitsets.mask_of([1, 3])
+        assert bitsets.difference(a, b) == bitsets.mask_of([0, 2])
+
+    def test_union(self):
+        a = bitsets.mask_of([0])
+        b = bitsets.mask_of([2])
+        assert bitsets.union(a, b) == bitsets.mask_of([0, 2])
+
+    def test_intersection(self):
+        a = bitsets.mask_of([0, 1, 2])
+        b = bitsets.mask_of([1, 2, 3])
+        assert bitsets.intersection(a, b) == bitsets.mask_of([1, 2])
+
+    def test_size(self):
+        assert bitsets.size(bitsets.mask_of([0, 4, 9])) == 3
+        assert bitsets.size(bitsets.EMPTY) == 0
+
+    def test_is_empty(self):
+        assert bitsets.is_empty(bitsets.EMPTY)
+        assert not bitsets.is_empty(bitsets.singleton(0))
+
+
+class TestIteration:
+    def test_iter_sites_sorted(self):
+        m = bitsets.mask_of([7, 0, 3])
+        assert list(bitsets.iter_sites(m)) == [0, 3, 7]
+
+    def test_iter_sites_empty(self):
+        assert list(bitsets.iter_sites(bitsets.EMPTY)) == []
+
+    def test_to_sorted_tuple(self):
+        assert bitsets.to_sorted_tuple(bitsets.mask_of([5, 1])) == (1, 5)
+
+    def test_roundtrip(self):
+        sites = [0, 2, 17, 63]
+        assert list(bitsets.iter_sites(bitsets.mask_of(sites))) == sites

@@ -1,0 +1,219 @@
+"""Unit tests for the causal-consistency checker: it must accept legal
+histories and flag each class of violation on hand-crafted illegal ones."""
+
+import pytest
+
+from repro.errors import ConsistencyViolationError
+from repro.types import WriteId
+from repro.verify.checker import CausalChecker, check_history
+from repro.verify.history import History
+
+
+def build_history(n):
+    return History(n)
+
+
+class TestLegalHistories:
+    def test_empty(self):
+        h = build_history(2)
+        assert check_history(h, {"x": (0, 1)}).ok
+
+    def test_simple_propagation(self):
+        h = build_history(2)
+        placement = {"x": (0, 1)}
+        w = h.record_write(0, "x", 1, WriteId(0, 1), time=0.0)
+        h.record_apply(0, WriteId(0, 1), "x", time=0.0, received_time=0.0)
+        h.record_apply(1, WriteId(0, 1), "x", time=1.0, received_time=1.0)
+        h.record_read(1, "x", 1, WriteId(0, 1), time=2.0)
+        assert check_history(h, placement).ok
+
+    def test_initial_read_before_any_write(self):
+        h = build_history(2)
+        h.record_read(1, "x", None, None, time=0.0)
+        h.record_write(0, "x", 1, WriteId(0, 1), time=1.0)
+        h.record_apply(0, WriteId(0, 1), "x", 1.0, 1.0)
+        assert check_history(h, {"x": (0, 1)}).ok
+
+    def test_concurrent_writes_any_order(self):
+        # two concurrent writes to x applied in opposite orders at the two
+        # replicas: legal under causal consistency
+        h = build_history(2)
+        placement = {"x": (0, 1)}
+        h.record_write(0, "x", "a", WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_write(1, "x", "b", WriteId(1, 1), 0.0)
+        h.record_apply(1, WriteId(1, 1), "x", 0.0, 0.0)
+        h.record_apply(0, WriteId(1, 1), "x", 1.0, 1.0)
+        h.record_apply(1, WriteId(0, 1), "x", 1.0, 1.0)
+        h.record_read(0, "x", "b", WriteId(1, 1), 2.0)
+        h.record_read(1, "x", "a", WriteId(0, 1), 2.0)
+        assert check_history(h, placement).ok
+
+    def test_read_of_concurrent_older_value_is_legal(self):
+        # site 1 reads its own write even though a concurrent write exists
+        h = build_history(2)
+        placement = {"x": (0, 1)}
+        h.record_write(0, "x", "a", WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_write(1, "x", "b", WriteId(1, 1), 0.0)
+        h.record_apply(1, WriteId(1, 1), "x", 0.0, 0.0)
+        h.record_read(1, "x", "b", WriteId(1, 1), 0.5)
+        assert check_history(h, placement).ok
+
+
+class TestApplyOrderViolations:
+    def make_causal_pair(self):
+        """w1 at site 0, read by site 1, then w2 at site 1: w1 co w2.
+        Both writes destined to site 2."""
+        h = build_history(3)
+        placement = {"x": (0, 1, 2), "y": (1, 2, 0)}
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_apply(1, WriteId(0, 1), "x", 1.0, 1.0)
+        h.record_read(1, "x", 1, WriteId(0, 1), 1.5)
+        h.record_write(1, "y", 2, WriteId(1, 1), 2.0)
+        h.record_apply(1, WriteId(1, 1), "y", 2.0, 2.0)
+        return h, placement
+
+    def test_correct_order_accepted(self):
+        h, placement = self.make_causal_pair()
+        h.record_apply(2, WriteId(0, 1), "x", 3.0, 3.0)
+        h.record_apply(2, WriteId(1, 1), "y", 4.0, 4.0)
+        assert check_history(h, placement).ok
+
+    def test_inverted_order_flagged(self):
+        h, placement = self.make_causal_pair()
+        h.record_apply(2, WriteId(1, 1), "y", 3.0, 3.0)  # w2 before w1!
+        h.record_apply(2, WriteId(0, 1), "x", 4.0, 4.0)
+        report = check_history(h, placement, raise_on_error=False)
+        assert not report.ok
+        assert any(v.kind == "apply-order" for v in report.violations)
+
+    def test_missing_dependency_apply_flagged(self):
+        h, placement = self.make_causal_pair()
+        h.record_apply(2, WriteId(1, 1), "y", 3.0, 3.0)  # w1 never applied
+        report = check_history(h, placement, raise_on_error=False)
+        assert any(v.kind == "apply-order" for v in report.violations)
+
+    def test_raises_by_default(self):
+        h, placement = self.make_causal_pair()
+        h.record_apply(2, WriteId(1, 1), "y", 3.0, 3.0)
+        with pytest.raises(ConsistencyViolationError):
+            check_history(h, placement)
+
+    def test_fifo_violation_flagged(self):
+        h = build_history(2)
+        placement = {"x": (0, 1)}
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_write(0, "x", 2, WriteId(0, 2), 1.0)
+        h.record_apply(1, WriteId(0, 2), "x", 2.0, 2.0)
+        h.record_apply(1, WriteId(0, 1), "x", 3.0, 3.0)  # out of order
+        report = check_history(h, placement, raise_on_error=False)
+        assert any(v.kind in ("fifo", "apply-order") for v in report.violations)
+
+    def test_phantom_apply_flagged(self):
+        h = build_history(1)
+        h.record_apply(0, WriteId(0, 99), "x", 0.0, 0.0)
+        report = check_history(h, {"x": (0,)}, raise_on_error=False)
+        assert any(v.kind == "phantom-apply" for v in report.violations)
+
+
+class TestReadViolations:
+    def test_read_your_writes_violation(self):
+        # site 0 writes x then reads the initial value back: illegal
+        h = build_history(2)
+        placement = {"x": (0, 1)}
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_read(0, "x", None, None, 1.0)
+        report = check_history(h, placement, raise_on_error=False)
+        assert any(v.kind == "stale-read" for v in report.violations)
+
+    def test_causally_overwritten_read_flagged(self):
+        # w1 co w2 (same var), read returns w1 with w2 in its causal past
+        h = build_history(2)
+        placement = {"x": (0, 1)}
+        h.record_write(0, "x", "old", WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_write(0, "x", "new", WriteId(0, 2), 1.0)
+        h.record_apply(0, WriteId(0, 2), "x", 1.0, 1.0)
+        h.record_apply(1, WriteId(0, 1), "x", 2.0, 2.0)
+        h.record_apply(1, WriteId(0, 2), "x", 2.5, 2.5)
+        # site 1 read w2 (so both writes are in its causal past), then
+        # reads the older value back
+        h.record_read(1, "x", "new", WriteId(0, 2), 3.0)
+        h.record_read(1, "x", "old", WriteId(0, 1), 4.0)
+        report = check_history(h, placement, raise_on_error=False)
+        assert any(v.kind == "stale-read" for v in report.violations)
+
+    def test_phantom_read_flagged(self):
+        h = build_history(1)
+        h.record_read(0, "x", 1, WriteId(0, 42), 0.0)
+        report = check_history(h, {"x": (0,)}, raise_on_error=False)
+        assert any(v.kind == "phantom-read" for v in report.violations)
+
+    def test_wrong_variable_flagged(self):
+        h = build_history(1)
+        h.record_write(0, "y", 1, WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "y", 0.0, 0.0)
+        h.record_read(0, "x", 1, WriteId(0, 1), 1.0)
+        report = check_history(h, {"x": (0,), "y": (0,)}, raise_on_error=False)
+        assert any(v.kind == "wrong-variable" for v in report.violations)
+
+    def test_value_mismatch_flagged(self):
+        h = build_history(1)
+        h.record_write(0, "x", "real", WriteId(0, 1), 0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_read(0, "x", "forged", WriteId(0, 1), 1.0)
+        report = check_history(h, {"x": (0,)}, raise_on_error=False)
+        assert any(v.kind == "value-mismatch" for v in report.violations)
+
+
+class TestCausallyPrecedes:
+    def test_program_order(self):
+        h = build_history(1)
+        a = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        b = h.record_write(0, "x", 2, WriteId(0, 2), 1.0)
+        c = CausalChecker(h, {"x": (0,)})
+        assert c.causally_precedes(a, b)
+        assert not c.causally_precedes(b, a)
+
+    def test_read_from_edge(self):
+        h = build_history(2)
+        w = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        r = h.record_read(1, "x", 1, WriteId(0, 1), 1.0)
+        c = CausalChecker(h, {"x": (0, 1)})
+        assert c.causally_precedes(w, r)
+
+    def test_transitivity(self):
+        h = build_history(3)
+        w1 = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_read(1, "x", 1, WriteId(0, 1), 1.0)
+        w2 = h.record_write(1, "y", 2, WriteId(1, 1), 2.0)
+        h.record_read(2, "y", 2, WriteId(1, 1), 3.0)
+        w3 = h.record_write(2, "z", 3, WriteId(2, 1), 4.0)
+        c = CausalChecker(h, {"x": (0, 1), "y": (1, 2), "z": (2, 0)})
+        assert c.causally_precedes(w1, w3)
+
+    def test_concurrency(self):
+        h = build_history(2)
+        a = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        b = h.record_write(1, "y", 2, WriteId(1, 1), 0.0)
+        c = CausalChecker(h, {"x": (0, 1), "y": (0, 1)})
+        assert not c.causally_precedes(a, b)
+        assert not c.causally_precedes(b, a)
+
+    def test_irreflexive(self):
+        h = build_history(1)
+        a = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        c = CausalChecker(h, {"x": (0,)})
+        assert not c.causally_precedes(a, a)
+
+    def test_apply_alone_creates_no_causality(self):
+        # message receipt without read must NOT create a co edge
+        h = build_history(2)
+        w1 = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_apply(1, WriteId(0, 1), "x", 1.0, 1.0)
+        w2 = h.record_write(1, "y", 2, WriteId(1, 1), 2.0)
+        c = CausalChecker(h, {"x": (0, 1), "y": (0, 1)})
+        assert not c.causally_precedes(w1, w2)

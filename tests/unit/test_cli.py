@@ -1,0 +1,67 @@
+"""Unit tests for the repro-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.n == 10 and args.p == 3
+
+    def test_run_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "gossip"])
+
+
+class TestCommands:
+    def test_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-track" in out and "full-track" in out
+
+    def test_run_text(self, capsys):
+        code = main(
+            ["run", "--protocol", "opt-track", "--n", "4", "--q", "8", "--ops", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "causally consistent True" in out
+
+    def test_run_json(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol",
+                "opt-track-crp",
+                "--n",
+                "3",
+                "--q",
+                "5",
+                "--ops",
+                "15",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["causally_consistent"] is True
+        assert data["messages"]["update"] > 0
+
+    def test_table1(self, capsys):
+        code = main(["table1", "--n", "4", "--q", "8", "--ops", "15", "--p", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "opt-track" in out and "optp" in out
+
+    def test_fig4_analytic_only(self, capsys):
+        assert main(["fig4", "--analytic-only"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out and "p=10" in out

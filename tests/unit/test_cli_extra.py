@@ -1,0 +1,102 @@
+"""Unit tests for the scenario/report CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestScenarioCommand:
+    def test_scenario_runs(self, capsys):
+        assert main(["scenario", "hdfs-like", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "hdfs-like" in out
+        assert "causally consistent True" in out
+
+    def test_social_network_scenario(self, capsys):
+        assert main(["scenario", "social-network", "--n", "5"]) == 0
+        assert "causally consistent True" in capsys.readouterr().out
+
+    def test_full_replication_protocol_on_scenario(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "write-intensive",
+                    "--n",
+                    "4",
+                    "--protocol",
+                    "opt-track-crp",
+                ]
+            )
+            == 0
+        )
+        assert "causally consistent True" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "galactic"])
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--fast", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# Measured evaluation report" in out
+        assert "## Table I (measured)" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "--fast", "--n", "4", "--out", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "## Scenarios" in path.read_text()
+
+
+class TestSweepCommand:
+    def test_sweep_stdout(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--protocol",
+                    "opt-track,optp",
+                    "--write-rate",
+                    "0.2,0.8",
+                    "--n",
+                    "4",
+                    "--p",
+                    "2",
+                    "--q",
+                    "8",
+                    "--ops",
+                    "15",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("protocol,")
+        assert len(lines) == 5  # header + 2x2 grid
+
+    def test_sweep_to_file(self, tmp_path, capsys):
+        path = tmp_path / "grid.csv"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--n",
+                    "3,4",
+                    "--p",
+                    "2",
+                    "--q",
+                    "6",
+                    "--ops",
+                    "10",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "wrote 2 rows" in capsys.readouterr().out
+        assert path.read_text().count("\n") == 3

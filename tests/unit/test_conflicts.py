@@ -1,0 +1,98 @@
+"""Unit tests for concurrent-overwrite conflict detection."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+from tests.conftest import full_placement, make_sites
+
+
+def msg_to(result, dest):
+    return next(m for m in result.messages if m.dest == dest)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("protocol", ["full-track", "opt-track"])
+    def test_concurrent_overwrite_counted(self, protocol, two_var_partial):
+        sites = make_sites(protocol, 4, two_var_partial)
+        r0 = sites[0].write("x", "from-0")
+        r1 = sites[1].write("x", "from-1")  # concurrent with r0
+        sites[2].apply_update(msg_to(r0, 2))
+        assert sites[2].conflicts_detected == 0  # nothing to conflict with
+        sites[2].apply_update(msg_to(r1, 2))
+        assert sites[2].conflicts_detected == 1
+
+    @pytest.mark.parametrize("protocol", ["full-track", "opt-track"])
+    def test_causal_overwrite_not_counted(self, protocol, two_var_partial):
+        sites = make_sites(protocol, 4, two_var_partial)
+        r0 = sites[0].write("x", "v1")
+        sites[1].apply_update(msg_to(r0, 1))
+        sites[1].read_local("x")
+        r1 = sites[1].write("x", "v2")  # causally after r0
+        sites[2].apply_update(msg_to(r0, 2))
+        sites[2].apply_update(msg_to(r1, 2))
+        assert sites[2].conflicts_detected == 0
+
+    def test_optp_detects_conflicts(self):
+        sites = make_sites("optp", 3, full_placement(3, ["a"]))
+        r0 = sites[0].write("a", 1)
+        r1 = sites[1].write("a", 2)
+        sites[2].apply_update(msg_to(r0, 2))
+        sites[2].apply_update(msg_to(r1, 2))
+        assert sites[2].conflicts_detected == 1
+
+    def test_optp_causal_chain_clean(self):
+        sites = make_sites("optp", 3, full_placement(3, ["a"]))
+        r0 = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(r0, 1))
+        sites[1].read_local("a")
+        r1 = sites[1].write("a", 2)
+        sites[2].apply_update(msg_to(r0, 2))
+        sites[2].apply_update(msg_to(r1, 2))
+        assert sites[2].conflicts_detected == 0
+
+    def test_crp_does_not_count(self):
+        # documented: the reset log cannot decide concurrency
+        sites = make_sites("opt-track-crp", 3, full_placement(3, ["a"]))
+        r0 = sites[0].write("a", 1)
+        r1 = sites[1].write("a", 2)
+        sites[2].apply_update(msg_to(r0, 2))
+        sites[2].apply_update(msg_to(r1, 2))
+        assert sites[2].conflicts_detected == 0
+
+
+class TestRunResultConflicts:
+    def test_sequential_run_has_no_conflicts(self):
+        cluster = Cluster(
+            ClusterConfig(n_sites=3, n_variables=4, protocol="opt-track", seed=0)
+        )
+        s = cluster.session(0)
+        for i in range(5):
+            s.write("x0", i)
+        cluster.settle()
+        assert sum(p.conflicts_detected for p in cluster.protocols) == 0
+
+    def test_contended_workload_reports_conflicts(self):
+        # everyone hammers one variable concurrently
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=4,
+                n_variables=1,
+                protocol="optp",
+                seed=2,
+                think_time=0.1,
+            )
+        )
+        wl = generate(
+            WorkloadConfig(
+                n_sites=4,
+                ops_per_site=30,
+                write_rate=0.9,
+                variables=["x0"],
+                seed=2,
+            )
+        )
+        result = cluster.run(wl)
+        assert result.ok
+        assert result.conflicts > 0

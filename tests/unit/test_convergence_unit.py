@@ -1,0 +1,88 @@
+"""Unit-level tests for the termination detector's wave mechanics and the
+convergence helpers (beyond the end-to-end convergence suite)."""
+
+import pytest
+
+from repro.ext.convergence import (
+    TerminationDetector,
+    converge,
+    final_values,
+    is_convergent,
+)
+from repro.sim.cluster import Cluster, ClusterConfig
+
+
+def make_cluster(n=3):
+    return Cluster(
+        ClusterConfig(n_sites=n, n_variables=4, protocol="opt-track-crp", seed=0)
+    )
+
+
+class TestWaveMechanics:
+    def test_idle_system_needs_exactly_two_waves(self):
+        cluster = make_cluster()
+        det = TerminationDetector(cluster, poll_interval=10.0)
+        det.start()
+        cluster.sim.run()
+        assert det.terminated_at is not None
+        assert det.waves_run == 2  # double-wave: never a single poll
+
+    def test_poll_interval_respected(self):
+        cluster = make_cluster()
+        det = TerminationDetector(cluster, poll_interval=40.0)
+        det.start()
+        cluster.sim.run()
+        # wave 1 at ~40 + acks, wave 2 at ~80 + acks
+        assert det.terminated_at >= 80.0
+
+    def test_nondefault_coordinator(self):
+        cluster = make_cluster()
+        det = TerminationDetector(cluster, poll_interval=10.0, coordinator=2)
+        det.start()
+        cluster.sim.run()
+        assert det.terminated_at is not None
+
+    def test_callback_fires_exactly_once(self):
+        cluster = make_cluster()
+        fired = []
+        det = TerminationDetector(
+            cluster, on_terminated=lambda: fired.append(1), poll_interval=10.0
+        )
+        det.start()
+        cluster.sim.run()
+        assert fired == [1]
+
+    def test_activity_resets_the_count_match(self):
+        # traffic between waves delays detection past the new activity
+        cluster = make_cluster()
+        det = TerminationDetector(cluster, poll_interval=10.0)
+        det.start()
+        cluster.sim.schedule(15.0, lambda: cluster.session(0).write("x0", 1))
+        cluster.sim.run()
+        assert det.terminated_at is not None
+        assert det.terminated_at > 15.0
+
+
+class TestConvergenceHelpers:
+    def test_final_values_empty_store(self):
+        cluster = make_cluster()
+        finals = final_values(cluster)
+        assert all(v == (None, None) for v in finals.values())
+        assert is_convergent(cluster)  # nothing written: trivially agreed
+
+    def test_converge_idempotent(self):
+        cluster = make_cluster()
+        cluster.session(0).write("x0", "v")
+        cluster.settle()
+        first = converge(cluster)
+        second = converge(cluster)
+        assert first == second
+        assert is_convergent(cluster)
+
+    def test_is_convergent_detects_divergence(self):
+        cluster = make_cluster()
+        cluster.session(0).write("x0", "v")
+        # before settle, replicas differ
+        assert not is_convergent(cluster)
+        cluster.settle()
+        assert is_convergent(cluster)

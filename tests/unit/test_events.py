@@ -1,0 +1,74 @@
+"""Unit tests for the trace-event taxonomy and Tracer."""
+
+from repro.sim.events import (
+    ApplyEvent,
+    FetchEvent,
+    ReceiptEvent,
+    RemoteReturnEvent,
+    ReturnEvent,
+    SendEvent,
+    Tracer,
+)
+from repro.types import WriteId
+
+
+class TestTracer:
+    def test_disabled_tracer_collects_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(SendEvent(0.0, 0, 1, "x", WriteId(0, 1)))
+        assert t.events == []
+
+    def test_enabled_collects_in_order(self):
+        t = Tracer()
+        e1 = SendEvent(0.0, 0, 1, "x", WriteId(0, 1))
+        e2 = ApplyEvent(1.0, 1, "x", WriteId(0, 1), 0)
+        t.emit(e1)
+        t.emit(e2)
+        assert t.events == [e1, e2]
+
+    def test_of_type(self):
+        t = Tracer()
+        t.emit(SendEvent(0.0, 0, 1, "x", WriteId(0, 1)))
+        t.emit(ApplyEvent(1.0, 1, "x", WriteId(0, 1), 0))
+        t.emit(ApplyEvent(2.0, 2, "x", WriteId(0, 1), 0))
+        assert len(t.of_type(ApplyEvent)) == 2
+        assert len(t.of_type(SendEvent)) == 1
+        assert t.of_type(FetchEvent) == []
+
+    def test_at_site(self):
+        t = Tracer()
+        t.emit(ReturnEvent(0.0, 2, "x", "v", WriteId(0, 1)))
+        t.emit(ReturnEvent(0.0, 3, "x", "v", WriteId(0, 1)))
+        assert len(t.at_site(2)) == 1
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(FetchEvent(0.0, 0, 1, "x"))
+        t.clear()
+        assert t.events == []
+
+
+class TestEventFields:
+    def test_send_event(self):
+        e = SendEvent(1.5, 0, 3, "x", WriteId(0, 7))
+        assert (e.time, e.site, e.dest, e.var) == (1.5, 0, 3, "x")
+        assert e.write_id == WriteId(0, 7)
+
+    def test_receipt_kinds(self):
+        e = ReceiptEvent(1.0, 2, 0, "fetch-reply", "y")
+        assert e.origin == 0 and e.kind == "fetch-reply"
+
+    def test_remote_return(self):
+        e = RemoteReturnEvent(2.0, 1, 3, "z")
+        assert e.requester == 3
+
+    def test_return_initial(self):
+        e = ReturnEvent(0.0, 0, "x", None, None)
+        assert e.write_id is None
+
+    def test_events_are_frozen(self):
+        import pytest
+
+        e = FetchEvent(0.0, 0, 1, "x")
+        with pytest.raises(AttributeError):
+            e.site = 5

@@ -1,0 +1,94 @@
+"""Unit tests for the exhaustive (definition-level) causal-memory checker."""
+
+import pytest
+
+from repro.types import WriteId
+from repro.verify.exhaustive import ExhaustiveChecker, check_history_exhaustive
+from repro.verify.history import History
+
+P2 = {"x": (0, 1), "y": (0, 1)}
+
+
+def h2():
+    return History(2)
+
+
+class TestCausalHistories:
+    def test_empty(self):
+        assert check_history_exhaustive(h2(), P2)
+
+    def test_simple_write_read(self):
+        h = h2()
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_read(1, "x", 1, WriteId(0, 1), 1.0)
+        assert check_history_exhaustive(h, P2)
+
+    def test_initial_read(self):
+        h = h2()
+        h.record_read(0, "x", None, None, 0.0)
+        h.record_write(1, "x", 1, WriteId(1, 1), 1.0)
+        assert check_history_exhaustive(h, P2)
+
+    def test_concurrent_writes_read_differently(self):
+        # the classic: two concurrent writes, the two processes read them
+        # in opposite orders — causal (though not sequentially consistent)
+        h = h2()
+        h.record_write(0, "x", "a", WriteId(0, 1), 0.0)
+        h.record_write(1, "x", "b", WriteId(1, 1), 0.0)
+        h.record_read(0, "x", "b", WriteId(1, 1), 1.0)
+        h.record_read(1, "x", "a", WriteId(0, 1), 1.0)
+        assert check_history_exhaustive(h, P2)
+
+    def test_read_of_concurrent_older_value(self):
+        h = h2()
+        h.record_write(0, "x", "a", WriteId(0, 1), 0.0)
+        h.record_write(1, "x", "b", WriteId(1, 1), 0.0)
+        # process 1 keeps reading its own (concurrent) value: fine
+        h.record_read(1, "x", "b", WriteId(1, 1), 1.0)
+        assert check_history_exhaustive(h, P2)
+
+
+class TestNonCausalHistories:
+    def test_read_your_writes_violation(self):
+        h = h2()
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_read(0, "x", None, None, 1.0)  # own write invisible
+        assert not check_history_exhaustive(h, P2)
+
+    def test_causally_overwritten_read(self):
+        h = h2()
+        h.record_write(0, "x", "old", WriteId(0, 1), 0.0)
+        h.record_write(0, "x", "new", WriteId(0, 2), 1.0)
+        h.record_read(1, "x", "new", WriteId(0, 2), 2.0)
+        h.record_read(1, "x", "old", WriteId(0, 1), 3.0)  # goes backwards
+        assert not check_history_exhaustive(h, P2)
+
+    def test_writes_follow_reads_violation(self):
+        # p1 reads w0 then writes w1 (so w0 co w1); p0 then reads w1 but
+        # afterwards reads the initial value of w0's variable
+        h = History(3)
+        placement = {"x": (0, 1, 2), "y": (0, 1, 2)}
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_read(1, "x", 1, WriteId(0, 1), 1.0)
+        h.record_write(1, "y", 2, WriteId(1, 1), 2.0)
+        h.record_read(2, "y", 2, WriteId(1, 1), 3.0)
+        h.record_read(2, "x", None, None, 4.0)  # must see x=1 by then
+        assert not check_history_exhaustive(h, placement)
+
+
+class TestLimits:
+    def test_size_guard(self):
+        h = h2()
+        for i in range(1, 25):
+            h.record_write(0, "x", i, WriteId(0, i), float(i))
+        with pytest.raises(ValueError):
+            check_history_exhaustive(h, P2)
+
+    def test_per_process_scoping(self):
+        # reads of OTHER processes never constrain process i's
+        # serialization: process 1's weird read doesn't affect process 0's
+        h = h2()
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        checker = ExhaustiveChecker(h, P2)
+        assert checker.serializable_for(0)
+        assert checker.serializable_for(1)

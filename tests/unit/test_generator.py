@@ -1,0 +1,171 @@
+"""Unit tests for workload generation, scenarios and traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.store.placement import round_robin, vars_at
+from repro.types import OpKind
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate,
+    measured_write_rate,
+    op_counts,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    hdfs_like,
+    read_intensive,
+    social_network,
+    write_intensive,
+)
+from repro.workload.traces import load_trace, save_trace, workload_from_dict, workload_to_dict
+
+
+def base_config(**kw):
+    defaults = dict(
+        n_sites=4,
+        ops_per_site=200,
+        write_rate=0.5,
+        placement=round_robin(4, 12, 2),
+        seed=3,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+class TestValidation:
+    def test_bad_write_rate(self):
+        with pytest.raises(ConfigurationError):
+            base_config(write_rate=1.5)
+
+    def test_bad_locality(self):
+        with pytest.raises(ConfigurationError):
+            base_config(locality=-0.1)
+
+    def test_locality_needs_placement(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(n_sites=2, locality=0.5, variables=["a"])
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            base_config(key_distribution="pareto")
+
+    def test_needs_vars_or_placement(self):
+        with pytest.raises(ConfigurationError):
+            generate(WorkloadConfig(n_sites=2))
+
+
+class TestGenerate:
+    def test_shape(self):
+        wl = generate(base_config())
+        assert len(wl) == 4
+        assert all(len(script) == 200 for script in wl)
+
+    def test_deterministic(self):
+        assert generate(base_config()) == generate(base_config())
+
+    def test_seed_changes_output(self):
+        assert generate(base_config()) != generate(base_config(seed=4))
+
+    def test_write_rate_approximate(self):
+        wl = generate(base_config(write_rate=0.3))
+        assert measured_write_rate(wl) == pytest.approx(0.3, abs=0.05)
+
+    def test_extreme_write_rates(self):
+        assert measured_write_rate(generate(base_config(write_rate=1.0))) == 1.0
+        assert measured_write_rate(generate(base_config(write_rate=0.0))) == 0.0
+
+    def test_write_values_unique_per_site(self):
+        wl = generate(base_config(write_rate=1.0))
+        for script in wl:
+            values = [op.value for op in script]
+            assert len(set(values)) == len(values)
+
+    def test_locality_bias(self):
+        placement = round_robin(4, 12, 1)  # p=1: local set is 3 vars
+        wl = generate(
+            base_config(placement=placement, locality=1.0, ops_per_site=100)
+        )
+        for site, script in enumerate(wl):
+            local = set(vars_at(placement, site))
+            assert all(op.var in local for op in script)
+
+    def test_zipf_skews_popularity(self):
+        wl = generate(
+            base_config(key_distribution="zipf", zipf_s=1.5, ops_per_site=500)
+        )
+        counts = {}
+        for script in wl:
+            for op in script:
+                counts[op.var] = counts.get(op.var, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > 3 * ranked[-1]
+
+    def test_explicit_variables(self):
+        wl = generate(
+            WorkloadConfig(n_sites=2, ops_per_site=10, variables=["k1", "k2"], seed=0)
+        )
+        assert all(op.var in ("k1", "k2") for script in wl for op in script)
+
+    def test_op_counts(self):
+        wl = generate(base_config(write_rate=0.5))
+        w, r = op_counts(wl)
+        assert w + r == 800
+
+
+class TestScenarios:
+    def test_social_network(self):
+        placement, wl = social_network(5, n_users=10, ops_per_site=30)
+        assert len(wl) == 5
+        assert len(placement) == 10
+        assert measured_write_rate(wl) < 0.35  # read heavy
+
+    def test_hdfs_like_is_write_heavy(self):
+        placement, wl = hdfs_like(5, n_blocks=10, ops_per_site=50)
+        assert measured_write_rate(wl) > 0.4
+        assert all(len(reps) == 3 for reps in placement.values())
+
+    def test_write_read_intensive(self):
+        _, w = write_intensive(4, ops_per_site=50)
+        _, r = read_intensive(4, ops_per_site=50)
+        assert measured_write_rate(w) > 0.6
+        assert measured_write_rate(r) < 0.15
+
+    def test_registry(self):
+        assert set(SCENARIOS) == {
+            "social-network",
+            "hdfs-like",
+            "write-intensive",
+            "read-intensive",
+        }
+
+
+class TestTraces:
+    def test_roundtrip_dict(self):
+        wl = generate(base_config(ops_per_site=20))
+        assert workload_from_dict(workload_to_dict(wl)) == wl
+
+    def test_roundtrip_file(self, tmp_path):
+        wl = generate(base_config(ops_per_site=20))
+        path = tmp_path / "trace.json"
+        save_trace(wl, path)
+        assert load_trace(path) == wl
+
+    def test_bad_version(self):
+        with pytest.raises(ConfigurationError):
+            workload_from_dict({"version": 99, "scripts": []})
+
+    def test_bad_op(self):
+        with pytest.raises(ConfigurationError):
+            workload_from_dict(
+                {"version": 1, "n_sites": 1, "scripts": [[{"op": "x"}]]}
+            )
+
+    def test_kinds_preserved(self):
+        wl = generate(base_config(ops_per_site=50))
+        rt = workload_from_dict(workload_to_dict(wl))
+        for a, b in zip(wl[0], rt[0]):
+            assert a.kind is b.kind
+            assert a.var == b.var
+            if a.kind is OpKind.WRITE:
+                assert a.value == b.value

@@ -1,0 +1,72 @@
+"""Unit tests for the history recorder."""
+
+import pytest
+
+from repro.errors import ProtocolInvariantError
+from repro.types import OpKind, WriteId
+from repro.verify.history import History
+
+
+class TestRecording:
+    def test_program_order_indices(self):
+        h = History(2)
+        a = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        b = h.record_read(0, "x", 1, WriteId(0, 1), 1.0)
+        c = h.record_write(1, "y", 2, WriteId(1, 1), 0.5)
+        assert (a.index, b.index) == (0, 1)
+        assert c.index == 0  # per-site indexing
+
+    def test_records_in_insertion_order(self):
+        h = History(2)
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_read(1, "x", 1, WriteId(0, 1), 1.0)
+        assert [r.kind for r in h.records] == [OpKind.WRITE, OpKind.READ]
+
+    def test_duplicate_write_id_rejected(self):
+        h = History(1)
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        with pytest.raises(ProtocolInvariantError):
+            h.record_write(0, "x", 2, WriteId(0, 1), 1.0)
+
+    def test_write_lookup(self):
+        h = History(1)
+        w = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        assert h.write_of(WriteId(0, 1)) is w
+
+    def test_writes_and_reads_views(self):
+        h = History(1)
+        h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        h.record_read(0, "x", 1, WriteId(0, 1), 1.0)
+        assert len(h.writes) == 1
+        assert len(h.reads) == 1
+        assert h.n_ops == 2
+
+
+class TestApplies:
+    def test_applies_at(self):
+        h = History(2)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_apply(1, WriteId(0, 1), "x", 2.0, 1.0)
+        assert len(h.applies_at(0)) == 1
+        assert len(h.applies_at(1)) == 1
+        assert h.applies_at(1)[0].time == 2.0
+
+    def test_activation_delays(self):
+        h = History(2)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        h.record_apply(1, WriteId(0, 1), "x", 5.0, 2.0)
+        assert h.activation_delays() == [0.0, 3.0]
+
+
+class TestOpRecord:
+    def test_is_write_read(self):
+        h = History(1)
+        w = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        r = h.record_read(0, "x", 1, WriteId(0, 1), 1.0)
+        assert w.is_write and not w.is_read
+        assert r.is_read and not r.is_write
+
+    def test_op_accessor(self):
+        h = History(1)
+        w = h.record_write(0, "x", 1, WriteId(0, 1), 0.0)
+        assert h.op(0, 0) is w

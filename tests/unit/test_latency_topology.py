@@ -1,0 +1,195 @@
+"""Unit tests for latency models and geo topologies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    MatrixLatency,
+    UniformLatency,
+    make_latency,
+)
+from repro.sim.topology import (
+    DEFAULT_REGIONS,
+    Topology,
+    evenly_spread,
+    single_region,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestConstant:
+    def test_sample(self, rng):
+        assert ConstantLatency(2.5).sample(0, 1, rng) == 2.5
+
+    def test_mean(self):
+        assert ConstantLatency(2.5).mean(0, 1) == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1.0)
+
+
+class TestUniform:
+    def test_in_range(self, rng):
+        m = UniformLatency(1.0, 3.0)
+        samples = [m.sample(0, 1, rng) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+
+    def test_mean(self):
+        assert UniformLatency(1.0, 3.0).mean(0, 1) == 2.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(3.0, 1.0)
+
+
+class TestLogNormal:
+    def test_positive(self, rng):
+        m = LogNormalLatency(median=5.0, sigma=0.5)
+        assert all(m.sample(0, 1, rng) > 0 for _ in range(100))
+
+    def test_median_roughly(self, rng):
+        m = LogNormalLatency(median=5.0, sigma=0.5)
+        samples = sorted(m.sample(0, 1, rng) for _ in range(2001))
+        assert samples[1000] == pytest.approx(5.0, rel=0.2)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(median=0.0)
+
+
+class TestMatrix:
+    def test_uses_pairwise_base(self, rng):
+        base = np.array([[0.0, 10.0], [20.0, 0.0]])
+        m = MatrixLatency(base, jitter_sigma=0.0)
+        assert m.sample(0, 1, rng) == 10.0
+        assert m.sample(1, 0, rng) == 20.0
+
+    def test_jitter_multiplies(self, rng):
+        base = np.array([[0.0, 10.0], [10.0, 0.0]])
+        m = MatrixLatency(base, jitter_sigma=0.2)
+        samples = [m.sample(0, 1, rng) for _ in range(100)]
+        assert min(samples) > 3 and max(samples) < 30
+        assert len(set(samples)) > 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            MatrixLatency(np.zeros((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigurationError):
+            MatrixLatency(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+
+class TestMakeLatency:
+    def test_none_default(self, rng):
+        assert make_latency(None).sample(0, 1, rng) == 1.0
+
+    def test_float(self, rng):
+        assert make_latency(3.0).sample(0, 1, rng) == 3.0
+
+    def test_passthrough(self):
+        m = ConstantLatency(9.0)
+        assert make_latency(m) is m
+
+    def test_names(self):
+        assert isinstance(make_latency("constant"), ConstantLatency)
+        assert isinstance(make_latency("uniform"), UniformLatency)
+        assert isinstance(make_latency("lognormal"), LogNormalLatency)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_latency("quantum")
+
+
+class TestTopology:
+    def test_intra_region_delay(self):
+        t = Topology(["us-west", "us-west"])
+        assert t.delay(0, 1) == 1.0
+
+    def test_inter_region_delay_symmetric(self):
+        t = Topology(["us-central", "eu-west"])
+        assert t.delay(0, 1) == t.delay(1, 0) == 55.0
+
+    def test_self_delay_zero(self):
+        t = Topology(["us-west", "eu-west"])
+        assert t.delay(0, 0) == 0.0
+
+    def test_unknown_region_pair_raises(self):
+        with pytest.raises(ConfigurationError):
+            Topology(["mars", "venus"], region_delays={})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology([])
+
+    def test_region_of_and_sites_in(self):
+        t = Topology(["us-west", "eu-west", "us-west"])
+        assert t.region_of(1) == "eu-west"
+        assert t.sites_in("us-west") == [0, 2]
+
+    def test_nearest_sites(self):
+        t = Topology(["us-central", "us-west", "ap-south"])
+        assert t.nearest_sites(0) == [0, 1, 2]  # self, 25ms, 120ms
+
+    def test_max_wide_area_delay(self):
+        t = Topology(["us-central", "ap-south"])
+        assert t.max_wide_area_delay() == 120.0
+
+    def test_latency_model(self):
+        t = Topology(["us-central", "eu-west"])
+        m = t.latency_model(jitter_sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert m.sample(0, 1, rng) == 55.0
+
+
+class TestBuilders:
+    def test_evenly_spread_round_robins(self):
+        t = evenly_spread(7)
+        assert t.site_regions[:5] == DEFAULT_REGIONS
+        assert t.site_regions[5] == DEFAULT_REGIONS[0]
+
+    def test_evenly_spread_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            evenly_spread(0)
+
+    def test_single_region(self):
+        t = single_region(4)
+        assert t.max_wide_area_delay() == 1.0
+
+
+class TestRandomWan:
+    def test_deterministic(self, rng):
+        from repro.sim.latency import random_wan
+
+        a = random_wan(4, seed=3)
+        b = random_wan(4, seed=3)
+        assert (a.base == b.base).all()
+
+    def test_properties(self):
+        from repro.sim.latency import random_wan
+
+        m = random_wan(5, seed=1, low=2.0, high=50.0)
+        assert m.base.shape == (5, 5)
+        assert (m.base.diagonal() == 0).all()
+        off = m.base[~np.eye(5, dtype=bool)]
+        assert (off >= 2.0).all() and (off <= 50.0).all()
+
+    def test_asymmetric(self):
+        from repro.sim.latency import random_wan
+
+        m = random_wan(4, seed=0)
+        assert not np.allclose(m.base, m.base.T)
+
+    def test_rejects_bad_n(self):
+        from repro.sim.latency import random_wan
+
+        with pytest.raises(ConfigurationError):
+            random_wan(0)

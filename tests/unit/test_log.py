@@ -1,0 +1,210 @@
+"""Unit tests for the KS-style dependency log (Opt-Track's core)."""
+
+import pytest
+
+from repro.core import bitsets
+from repro.core.log import DepLog, LogEntry
+
+
+def log_of(*entries):
+    """Build a DepLog from (sender, clock, dest-iterable) triples."""
+    d = DepLog()
+    for sender, clock, dests in entries:
+        d.add(sender, clock, bitsets.mask_of(dests))
+    return d
+
+
+class TestBasics:
+    def test_empty(self):
+        d = DepLog()
+        assert len(d) == 0
+        assert d.view() == []
+
+    def test_add_and_view(self):
+        d = log_of((1, 5, [0, 2]))
+        assert d.view() == [LogEntry(1, 5, (0, 2))]
+
+    def test_contains(self):
+        d = log_of((1, 5, [0]))
+        assert (1, 5) in d
+        assert (1, 6) not in d
+
+    def test_dests_of(self):
+        d = log_of((1, 5, [0, 3]))
+        assert d.dests_of(1, 5) == bitsets.mask_of([0, 3])
+
+    def test_dests_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            DepLog().dests_of(0, 1)
+
+    def test_copy_is_independent(self):
+        d = log_of((0, 1, [1]))
+        c = d.copy()
+        c.add(2, 3, bitsets.singleton(0))
+        assert (2, 3) not in d
+
+    def test_latest_clock(self):
+        d = log_of((0, 1, [1]), (0, 7, [1]), (1, 3, [2]))
+        assert d.latest_clock(0) == 7
+        assert d.latest_clock(1) == 3
+        assert d.latest_clock(9) == 0
+
+    def test_equality(self):
+        assert log_of((0, 1, [1])) == log_of((0, 1, [1]))
+        assert log_of((0, 1, [1])) != log_of((0, 1, [2]))
+
+
+class TestPruning:
+    def test_prune_dests(self):
+        d = log_of((0, 1, [1, 2, 3]), (1, 2, [2]))
+        d.prune_dests(bitsets.mask_of([2, 3]))
+        assert d.dests_of(0, 1) == bitsets.singleton(1)
+        assert d.dests_of(1, 2) == bitsets.EMPTY
+
+    def test_remove_site(self):
+        d = log_of((0, 1, [1, 2]))
+        d.remove_site(1)
+        assert d.dests_of(0, 1) == bitsets.singleton(2)
+
+
+class TestPurge:
+    def test_purge_drops_empty_non_newest(self):
+        d = log_of((0, 1, []), (0, 2, [3]))
+        d.purge()
+        assert (0, 1) not in d
+        assert (0, 2) in d
+
+    def test_purge_keeps_empty_newest_per_sender(self):
+        # Paper Fig 2: an empty-Dests record is retained while it is the
+        # most recent from its sender, so it can prune other sites' logs.
+        d = log_of((0, 5, []), (1, 1, [2]))
+        d.purge()
+        assert (0, 5) in d
+
+    def test_purge_keeps_nonempty_old_records(self):
+        d = log_of((0, 1, [3]), (0, 2, [4]))
+        d.purge()
+        assert (0, 1) in d and (0, 2) in d
+
+    def test_purge_idempotent(self):
+        d = log_of((0, 1, []), (0, 2, [3]), (1, 9, []))
+        d.purge()
+        snapshot = d.copy()
+        d.purge()
+        assert d == snapshot
+
+
+class TestCopyForDest:
+    """Alg. 2 lines 3-8: the per-destination piggyback copy."""
+
+    def test_prunes_new_writes_replicas(self):
+        d = log_of((0, 1, [2, 3, 4]))
+        # new write replicated on {3, 4}; copy destined to site 2
+        out = d.copy_for_dest(dest=2, replicas_mask=bitsets.mask_of([3, 4]))
+        assert out.dests_of(0, 1) == bitsets.singleton(2)
+
+    def test_keeps_dest_even_if_dest_is_a_replica(self):
+        # The receiver must keep itself in Dests to drive its activation
+        # predicate, even though it also receives the new write.
+        d = log_of((0, 1, [2, 3]))
+        out = d.copy_for_dest(dest=2, replicas_mask=bitsets.mask_of([2, 3]))
+        assert out.dests_of(0, 1) == bitsets.singleton(2)
+
+    def test_does_not_add_dest_if_absent(self):
+        # Site 5 was never a destination of the logged write: the copy for
+        # site 5 must not fabricate a dependency.
+        d = log_of((0, 1, [2, 3]))
+        out = d.copy_for_dest(dest=5, replicas_mask=bitsets.mask_of([3]))
+        assert out.dests_of(0, 1) == bitsets.singleton(2)
+
+    def test_drops_emptied_non_newest_records(self):
+        d = log_of((0, 1, [3]), (0, 2, [4]))
+        out = d.copy_for_dest(dest=9, replicas_mask=bitsets.mask_of([3]))
+        # record (0,1) empties and a newer record from 0 exists -> dropped
+        assert (0, 1) not in out
+        assert (0, 2) in out
+
+    def test_keeps_emptied_newest_record(self):
+        d = log_of((0, 2, [3]))
+        out = d.copy_for_dest(dest=9, replicas_mask=bitsets.mask_of([3]))
+        assert (0, 2) in out
+        assert out.dests_of(0, 2) == bitsets.EMPTY
+
+    def test_source_log_unchanged(self):
+        d = log_of((0, 1, [2, 3]))
+        before = d.copy()
+        d.copy_for_dest(2, bitsets.mask_of([3]))
+        assert d == before
+
+
+class TestMerge:
+    """Alg. 3 lines 4-11."""
+
+    def test_merge_into_empty(self):
+        d = DepLog()
+        d.merge(log_of((0, 1, [2])))
+        assert d.dests_of(0, 1) == bitsets.singleton(2)
+
+    def test_merge_empty_incoming_is_noop(self):
+        d = log_of((0, 1, [2]))
+        before = d.copy()
+        d.merge(DepLog())
+        assert d == before
+
+    def test_disjoint_senders_union(self):
+        d = log_of((0, 1, [2]))
+        d.merge(log_of((1, 1, [3])))
+        assert (0, 1) in d and (1, 1) in d
+
+    def test_equal_clock_intersects_dests(self):
+        # Each side has pruned different destinations; a destination absent
+        # from either side is known-redundant.
+        d = log_of((0, 5, [1, 2]))
+        d.merge(log_of((0, 5, [2, 3])))
+        assert d.dests_of(0, 5) == bitsets.singleton(2)
+
+    def test_incoming_older_and_absent_locally_discarded(self):
+        # Local log has a newer record from sender 0 and no (0,1) record:
+        # (0,1) was already implicitly remembered as delivered.
+        d = log_of((0, 9, [2]))
+        d.merge(log_of((0, 1, [3])))
+        assert (0, 1) not in d
+        assert (0, 9) in d
+
+    def test_local_older_and_absent_incoming_deleted(self):
+        d = log_of((0, 1, [3]))
+        d.merge(log_of((0, 9, [2])))
+        assert (0, 1) not in d
+        assert d.dests_of(0, 9) == bitsets.singleton(2)
+
+    def test_both_have_old_and_new(self):
+        d = log_of((0, 1, [2]), (0, 9, [4]))
+        d.merge(log_of((0, 1, [2, 3]), (0, 9, [4, 5])))
+        assert d.dests_of(0, 1) == bitsets.singleton(2)
+        assert d.dests_of(0, 9) == bitsets.singleton(4)
+
+    def test_merge_keeps_unrelated_local_records(self):
+        d = log_of((2, 2, [0]))
+        d.merge(log_of((0, 9, [2])))
+        assert (2, 2) in d
+
+    def test_merge_same_log_idempotent(self):
+        d = log_of((0, 1, [2]), (1, 4, [0, 3]))
+        before = d.copy()
+        d.merge(before.copy())
+        assert d == before
+
+
+class TestSizeAccounting:
+    def test_total_dests(self):
+        d = log_of((0, 1, [1, 2]), (1, 1, []))
+        assert d.total_dests() == 2
+
+    def test_size_bytes(self):
+        d = log_of((0, 1, [1, 2]), (1, 1, []))
+        # 2 records * (4 + 8) + 2 dests * 4
+        assert d.size_bytes() == 2 * 12 + 2 * 4
+
+    def test_size_bytes_custom(self):
+        d = log_of((0, 1, [1]))
+        assert d.size_bytes(id_bytes=2, clock_bytes=4) == 6 + 2

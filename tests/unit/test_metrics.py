@@ -1,0 +1,160 @@
+"""Unit tests for the size model and the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitsets
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import DepLog
+from repro.core.messages import (
+    CrpMeta,
+    FetchReply,
+    FetchRequest,
+    OptTrackMeta,
+    UpdateMessage,
+)
+from repro.metrics.collector import MetricsCollector, RunningStat
+from repro.metrics.sizes import SizeModel
+from repro.types import WriteId
+
+
+class TestSizeModel:
+    model = SizeModel()  # id=4, clock=8, header=24
+
+    def test_matrix_clock(self):
+        assert self.model.meta_size(MatrixClock(5)) == 200
+
+    def test_vector_clock(self):
+        assert self.model.meta_size(VectorClock(5)) == 40
+
+    def test_deplog(self):
+        log = DepLog()
+        log.add(0, 1, bitsets.mask_of([1, 2]))
+        assert self.model.meta_size(log) == 12 + 8
+
+    def test_opt_track_meta(self):
+        log = DepLog()
+        log.add(0, 1, bitsets.mask_of([1]))
+        meta = OptTrackMeta(clock=3, replicas_mask=bitsets.mask_of([0, 1]), log=log)
+        # clock 8 + 2 replica ids + one record (12 + 4)
+        assert self.model.meta_size(meta) == 8 + 8 + 16
+
+    def test_crp_meta(self):
+        meta = CrpMeta(clock=3, log={0: 1, 1: 2})
+        assert self.model.meta_size(meta) == 8 + 2 * 12
+
+    def test_crp_state_dict_and_tuple(self):
+        assert self.model.meta_size({0: 1}) == 12
+        assert self.model.meta_size((0, 1)) == 12
+
+    def test_ndarray(self):
+        assert self.model.meta_size(np.zeros(4, dtype=np.int64)) == 32
+
+    def test_none(self):
+        assert self.model.meta_size(None) == 0
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            self.model.meta_size(object())
+
+    def test_update_message(self):
+        msg = UpdateMessage("x", 1, WriteId(0, 1), 0, 1, MatrixClock(3))
+        assert self.model.message_size(msg) == 24 + 72
+
+    def test_fetch_request_no_deps(self):
+        req = FetchRequest("x", 0, 1, 1)
+        assert self.model.message_size(req) == 24
+
+    def test_fetch_request_column_deps(self):
+        req = FetchRequest("x", 0, 1, 1, deps=np.zeros(3, dtype=np.int64))
+        assert self.model.message_size(req) == 24 + 24
+
+    def test_fetch_request_pair_deps(self):
+        req = FetchRequest("x", 0, 1, 1, deps=((0, 1), (2, 5)))
+        assert self.model.message_size(req) == 24 + 24
+
+    def test_fetch_reply(self):
+        reply = FetchReply("x", 1, WriteId(0, 1), 1, 0, 1, meta=VectorClock(4))
+        assert self.model.message_size(reply) == 24 + 32
+
+    def test_value_bytes_counted_when_configured(self):
+        model = SizeModel(value_bytes=100)
+        msg = UpdateMessage("x", 1, WriteId(0, 1), 0, 1, VectorClock(2))
+        assert model.message_size(msg) == 24 + 100 + 16
+
+
+class TestRunningStat:
+    def test_empty(self):
+        s = RunningStat()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.stdev == 0.0
+
+    def test_single(self):
+        s = RunningStat()
+        s.add(5.0)
+        assert s.mean == 5.0 and s.min == 5.0 and s.max == 5.0
+
+    def test_stats(self):
+        s = RunningStat()
+        for x in (1.0, 2.0, 3.0, 4.0):
+            s.add(x)
+        assert s.mean == 2.5
+        assert s.total == 10.0
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.variance == pytest.approx(1.25)
+
+    def test_as_dict(self):
+        s = RunningStat()
+        s.add(2.0)
+        d = s.as_dict()
+        assert d["count"] == 1 and d["mean"] == 2.0
+
+
+class TestCollector:
+    def test_message_accounting(self):
+        c = MetricsCollector()
+        msg = UpdateMessage("x", 1, WriteId(0, 1), 0, 1, VectorClock(2))
+        c.on_message(MetricsCollector.UPDATE, msg)
+        c.on_message(MetricsCollector.UPDATE, msg)
+        assert c.message_counts["update"] == 2
+        assert c.message_bytes["update"] == 2 * (24 + 16)
+
+    def test_unsizable_message_charged_header(self):
+        c = MetricsCollector()
+        c.on_message("termination-poll", object())
+        assert c.message_bytes["termination-poll"] == 24
+
+    def test_ops_and_latency(self):
+        c = MetricsCollector()
+        c.on_op("write", 1.0)
+        c.on_op("read-remote", 4.0)
+        assert c.ops["write"] == 1
+        assert c.op_latency["read-remote"].mean == 4.0
+
+    def test_apply_delay(self):
+        c = MetricsCollector()
+        c.on_apply(3.0)
+        assert c.activation_delay.mean == 3.0
+
+    def test_summary_shape(self):
+        c = MetricsCollector()
+        msg = UpdateMessage("x", 1, WriteId(0, 1), 0, 1, VectorClock(2))
+        c.on_message(MetricsCollector.UPDATE, msg)
+        c.on_op("write", 0.5)
+        s = c.summary(sim_time=10.0)
+        assert s.total_messages == 1
+        assert s.sim_time == 10.0
+        assert s.messages_per_op() == 1.0
+
+    def test_probe_space(self, two_var_partial):
+        from tests.conftest import make_sites
+
+        sites = make_sites("opt-track", 4, two_var_partial)
+        sites[0].write("x", 1)
+        c = MetricsCollector()
+        total = c.probe_space(sites)
+        assert total > 0
+        assert set(c.space_samples) == {0, 1, 2, 3}
+        s = c.summary()
+        assert s.space_bytes["peak_total"] == total

@@ -1,0 +1,126 @@
+"""Unit tests for the analytical Table-I / Figure-4 model."""
+
+import pytest
+
+from repro.analysis import model
+
+
+class TestMessageCount:
+    def test_partial_formula(self):
+        # pw + 2r(n-p)/n at n=10, p=3, w=100, r=100
+        assert model.message_count_partial(10, 3, 100, 100) == 300 + 140
+
+    def test_full_formula(self):
+        assert model.message_count_full(10, 100) == 1000
+
+    def test_p_equals_n_reduces_to_write_only(self):
+        # at p=n, no remote reads: count is n*w either way
+        assert model.message_count_partial(10, 10, 50, 200) == model.message_count_full(
+            10, 50
+        )
+
+    def test_dispatch(self):
+        assert model.message_count("opt-track", 10, 3, 100, 100) == 440
+        assert model.message_count("optp", 10, 3, 100, 100) == 1000
+        with pytest.raises(ValueError):
+            model.message_count("nope", 10, 3, 1, 1)
+
+
+class TestCrossover:
+    def test_paper_value_n10(self):
+        # Section V: even for this low n, partial replication wins for
+        # w_rate > 0.167
+        assert model.crossover_write_rate(10) == pytest.approx(1 / 6, abs=1e-9)
+
+    def test_crossover_matches_curve_intersection(self):
+        n, p, total = 10, 3, 1000.0
+        wr = model.crossover_write_rate(n)
+        w, r = wr * total, (1 - wr) * total
+        partial = model.message_count_partial(n, p, w, r)
+        full = model.message_count_full(n, w)
+        assert partial == pytest.approx(full)
+
+    def test_crossover_decreases_with_n(self):
+        assert model.crossover_write_rate(100) < model.crossover_write_rate(10)
+
+    def test_partial_wins_above_crossover(self):
+        n, total = 10, 1000.0
+        for p in (1, 3, 5, 7):
+            for wr in (0.2, 0.5, 0.9):
+                w, r = wr * total, (1 - wr) * total
+                assert model.message_count_partial(n, p, w, r) < model.message_count_full(n, w)
+
+    def test_full_wins_below_crossover(self):
+        n, total = 10, 1000.0
+        for p in (1, 3, 5, 7):
+            w, r = 0.1 * total, 0.9 * total
+            assert model.message_count_partial(n, p, w, r) > model.message_count_full(n, w)
+
+
+class TestSeries:
+    def test_vs_write_rate_partial_monotonicity(self):
+        # with p < n... p*w grows, read term shrinks: p=3,n=10 net up
+        series = model.message_count_vs_write_rate(10, 3, 1000, [0.1, 0.5, 0.9])
+        assert series[0] < series[1] < series[2]
+
+    def test_p_equals_n_series_uses_full(self):
+        series = model.message_count_vs_write_rate(10, 10, 1000, [0.5])
+        assert series == [model.message_count_full(10, 500)]
+
+    def test_p1_series_decreases(self):
+        # p=1: w + 2r(n-1)/n; writes cost 1, reads cost 1.8 -> decreasing
+        series = model.message_count_vs_write_rate(10, 1, 1000, [0.1, 0.9])
+        assert series[0] > series[1]
+
+
+class TestMessageSize:
+    def test_full_track_dominates_opt_track_amortized(self):
+        args = (10, 3, 100, 100)
+        assert model.message_size_full_track(*args) > model.message_size_opt_track_amortized(*args)
+
+    def test_opt_track_worst_equals_full_track(self):
+        args = (10, 3, 100, 100)
+        assert model.message_size_opt_track_worst(*args) == model.message_size_full_track(*args)
+
+    def test_crp_beats_optp_for_small_d(self):
+        n, w = 10, 100
+        assert model.message_size_crp(n, w, d=2) < model.message_size_optp(n, w)
+
+    def test_crp_equals_optp_at_d_n(self):
+        n, w = 10, 100
+        assert model.message_size_crp(n, w, d=n) == model.message_size_optp(n, w)
+
+
+class TestTimeAndSpace:
+    def test_time_orderings(self):
+        n, p = 10, 3
+        assert model.time_write_ops("opt-track-crp", n, p) < model.time_write_ops("full-track", n, p)
+        assert model.time_write_ops("full-track", n, p) < model.time_write_ops("opt-track", n, p)
+        assert model.time_read_ops("opt-track-crp", n, p) < model.time_read_ops("optp", n, p)
+
+    def test_space_orderings(self):
+        n, p, q = 10, 3, 50
+        assert model.space_crp(n, q) < model.space_optp(n, q)
+        assert model.space_opt_track_amortized(n, p, q) < model.space_opt_track_worst(n, p, q)
+
+    def test_complexity_strings(self):
+        assert model.TIME_COMPLEXITY["opt-track-crp"]["read"] == "O(1)"
+
+
+class TestTable1:
+    def test_rows_complete(self):
+        rows = model.table1(n=10, q=50, p=3, w=100, r=100)
+        assert [r.protocol for r in rows] == [
+            "full-track",
+            "opt-track",
+            "opt-track-crp",
+            "optp",
+        ]
+
+    def test_crp_beats_optp_everywhere(self):
+        rows = {r.protocol: r for r in model.table1(10, 50, 3, 100, 100)}
+        crp, optp = rows["opt-track-crp"], rows["optp"]
+        assert crp.message_size <= optp.message_size
+        assert crp.write_time_ops <= optp.write_time_ops
+        assert crp.read_time_ops <= optp.read_time_ops
+        assert crp.space <= optp.space

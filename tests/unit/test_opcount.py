@@ -1,0 +1,86 @@
+"""Unit tests for the abstract op-count instrumentation."""
+
+import pytest
+
+from repro.core.base import ProtocolConfig, protocol_class
+from repro.metrics.opcount import OpCountingSession, OpCounts
+from repro.store.placement import full as full_placement
+from repro.store.placement import round_robin
+
+
+def make(protocol, n=4, p=2, q=6):
+    placement = (
+        round_robin(n, q, p)
+        if protocol in ("full-track", "opt-track")
+        else full_placement(n, q)
+    )
+    proto = protocol_class(protocol)(
+        ProtocolConfig(n=n, site=0, replicas_of=placement)
+    )
+    return OpCountingSession(proto), placement
+
+
+class TestCounting:
+    def test_write_counts_accumulate(self):
+        s, placement = make("full-track", n=4)
+        var = next(v for v in placement if s.protocol.locally_replicates(v))
+        s.write(var, 1)
+        s.write(var, 2)
+        assert s.counts.writes == 2
+        # n^2 snapshot + p increments, per write
+        assert s.counts.write_ops == 2 * (16 + 2)
+        assert s.counts.write_samples == [18, 18]
+
+    def test_read_counts(self):
+        s, placement = make("optp", n=4)
+        var = "x0"
+        s.write(var, 1)
+        s.read_local(var)
+        assert s.counts.reads == 1
+        assert s.counts.read_ops == 4  # vector merge
+
+    def test_crp_read_is_one(self):
+        s, _ = make("opt-track-crp", n=5)
+        s.write("x0", 1)
+        s.read_local("x0")
+        assert s.counts.read_samples == [1]
+
+    def test_unwritten_read_cheap(self):
+        s, _ = make("full-track", n=4)
+        var = next(
+            v for v in s.protocol.config.replicas_of
+            if s.protocol.locally_replicates(v)
+        )
+        s.read_local(var)
+        assert s.counts.read_samples == [1]  # no LastWriteOn yet
+
+    def test_means(self):
+        c = OpCounts()
+        assert c.mean_write_ops == 0.0
+        c.writes, c.write_ops = 2, 10
+        assert c.mean_write_ops == 5.0
+
+    def test_passthrough(self):
+        s, placement = make("opt-track", n=4)
+        assert s.n == 4
+        assert s.locally_replicates("x0") == s.protocol.locally_replicates("x0")
+
+    def test_opt_track_write_cost_scales_with_log(self):
+        s, placement = make("opt-track", n=4, p=2)
+        var = next(v for v in placement if s.protocol.locally_replicates(v))
+        s.write(var, 1)
+        first = s.counts.write_samples[-1]
+        # grow the log with foreign knowledge
+        from repro.core import bitsets
+
+        s.protocol.log.add(1, 5, bitsets.mask_of([2, 3]))
+        s.protocol.log.add(2, 7, bitsets.mask_of([1, 3]))
+        s.write(var, 2)
+        second = s.counts.write_samples[-1]
+        assert second > first
+
+    def test_results_passthrough_correct(self):
+        s, placement = make("opt-track-crp", n=3)
+        r = s.write("x0", "v")
+        assert len(r.messages) == 2
+        assert s.read_local("x0")[0] == "v"

@@ -1,0 +1,150 @@
+"""Unit tests for Algorithm Opt-Track-CRP (paper Algorithm 4)."""
+
+import pytest
+
+from repro.core.messages import CrpMeta
+from repro.errors import ConfigurationError, ProtocolInvariantError
+from repro.types import BOTTOM, WriteId
+
+from tests.conftest import deliver, full_placement, make_sites
+
+
+@pytest.fixture
+def sites():
+    return make_sites("opt-track-crp", 4, full_placement(4, ["a", "b", "c"]))
+
+
+def msg_to(result, dest):
+    return next(m for m in result.messages if m.dest == dest)
+
+
+class TestConfiguration:
+    def test_rejects_partial_replication(self, two_var_partial):
+        with pytest.raises(ConfigurationError):
+            make_sites("opt-track-crp", 4, two_var_partial)
+
+
+class TestWrite:
+    def test_broadcasts_to_everyone_else(self, sites):
+        r = sites[0].write("a", 1)
+        assert sorted(m.dest for m in r.messages) == [1, 2, 3]
+
+    def test_log_resets_to_own_write(self, sites):
+        # paper Fig 3: after a write the local log is just that write
+        ra = sites[0].write("a", 1)
+        deliver(sites, ra.messages)
+        sites[1].read_local("a")
+        sites[1].write("b", 2)
+        assert sites[1].log == {1: 1}
+
+    def test_piggybacks_pre_reset_log(self, sites):
+        ra = sites[0].write("a", 1)
+        deliver(sites, ra.messages)
+        sites[1].read_local("a")  # log: {0: 1}
+        rb = sites[1].write("b", 2)
+        meta = msg_to(rb, 2).meta
+        assert isinstance(meta, CrpMeta)
+        assert meta.log == {0: 1}
+        assert meta.clock == 1
+
+    def test_write_applies_locally(self, sites):
+        r = sites[0].write("a", 5)
+        assert r.applied_locally
+        assert sites[0].local_value("a") == (5, r.write_id)
+        assert sites[0].apply_clocks[0] == 1
+
+    def test_lastwriteon_is_single_tuple(self, sites):
+        sites[0].write("a", 5)
+        assert sites[0].last_write_on["a"] == (0, 1)
+
+
+class TestRead:
+    def test_initial(self, sites):
+        assert sites[0].read_local("a") == (BOTTOM, None)
+
+    def test_merge_keeps_newest_per_sender(self, sites):
+        ra1 = sites[0].write("a", 1)
+        ra2 = sites[0].write("b", 2)
+        deliver(sites, ra1.messages)
+        deliver(sites, ra2.messages)
+        sites[1].read_local("b")  # log gains {0: 2}
+        sites[1].read_local("a")  # older record must not regress it
+        assert sites[1].log == {0: 2}
+
+    def test_log_grows_one_entry_per_distinct_writer_read(self, sites):
+        for writer, var in ((0, "a"), (2, "b"), (3, "c")):
+            r = sites[writer].write(var, writer)
+            deliver(sites, r.messages)
+        for var in ("a", "b", "c"):
+            sites[1].read_local(var)
+        assert sites[1].log == {0: 1, 2: 1, 3: 1}  # d = 3 records
+
+
+class TestActivation:
+    def test_waits_for_piggybacked_records(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        sites[1].read_local("a")
+        rb = sites[1].write("b", 2)
+        m_b2 = msg_to(rb, 2)
+        assert not sites[2].can_apply(m_b2)
+        sites[2].apply_update(msg_to(ra, 2))
+        assert sites[2].can_apply(m_b2)
+        sites[2].apply_update(m_b2)
+        assert sites[2].read_local("b") == (2, rb.write_id)
+
+    def test_no_false_causality_without_read(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        rb = sites[1].write("b", 2)  # did not read a
+        assert sites[2].can_apply(msg_to(rb, 2))
+
+    def test_fifo_via_own_log_entry(self, sites):
+        r1 = sites[0].write("a", 1)
+        r2 = sites[0].write("a", 2)
+        m2 = msg_to(r2, 1)
+        assert not sites[1].can_apply(m2)  # log {0:1} piggybacked on m2
+        sites[1].apply_update(msg_to(r1, 1))
+        assert sites[1].can_apply(m2)
+
+    def test_apply_before_activation_raises(self, sites):
+        sites[0].write("a", 1)
+        r2 = sites[0].write("a", 2)
+        with pytest.raises(ProtocolInvariantError):
+            sites[1].apply_update(msg_to(r2, 1))
+
+    def test_duplicate_apply_raises(self, sites):
+        r = sites[0].write("a", 1)
+        m = msg_to(r, 1)
+        sites[1].apply_update(m)
+        with pytest.raises(ProtocolInvariantError):
+            sites[1].apply_update(m)
+
+
+class TestApply:
+    def test_apply_sets_value_clock_lastwriteon(self, sites):
+        r = sites[0].write("a", 9)
+        m = msg_to(r, 1)
+        sites[1].apply_update(m)
+        assert sites[1].local_value("a") == (9, r.write_id)
+        assert sites[1].apply_clocks[0] == 1
+        assert sites[1].last_write_on["a"] == (0, 1)
+
+    def test_apply_does_not_touch_log(self, sites):
+        # only a *read* creates the dependency (the ~>co discipline)
+        r = sites[0].write("a", 9)
+        sites[1].apply_update(msg_to(r, 1))
+        assert sites[1].log == {}
+
+
+class TestBoundedLog:
+    def test_log_at_most_n_entries(self, sites):
+        # d reads since last write, each adding at most one record, capped
+        # by the number of distinct writers (n)
+        for rounds in range(3):
+            for writer, var in ((0, "a"), (2, "b"), (3, "c")):
+                r = sites[writer].write(var, rounds)
+                deliver(sites, r.messages)
+            for var in ("a", "b", "c"):
+                sites[1].read_local(var)
+            assert len(sites[1].log) <= 4

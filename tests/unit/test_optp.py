@@ -1,0 +1,98 @@
+"""Unit tests for the OptP baseline (Baldoni et al.): vector clocks with
+read-time merge under full replication."""
+
+import pytest
+
+from repro.core.clocks import VectorClock
+from repro.errors import ConfigurationError, ProtocolInvariantError
+from repro.types import BOTTOM
+
+from tests.conftest import deliver, full_placement, make_sites
+
+
+@pytest.fixture
+def sites():
+    return make_sites("optp", 3, full_placement(3, ["a", "b"]))
+
+
+def msg_to(result, dest):
+    return next(m for m in result.messages if m.dest == dest)
+
+
+class TestConfiguration:
+    def test_rejects_partial_replication(self, two_var_partial):
+        with pytest.raises(ConfigurationError):
+            make_sites("optp", 4, two_var_partial)
+
+
+class TestWriteAndApply:
+    def test_broadcast(self, sites):
+        r = sites[0].write("a", 1)
+        assert sorted(m.dest for m in r.messages) == [1, 2]
+
+    def test_meta_is_vector_clock(self, sites):
+        r = sites[0].write("a", 1)
+        assert isinstance(msg_to(r, 1).meta, VectorClock)
+        assert msg_to(r, 1).meta[0] == 1
+
+    def test_fifo(self, sites):
+        r1 = sites[0].write("a", 1)
+        r2 = sites[0].write("a", 2)
+        assert not sites[1].can_apply(msg_to(r2, 1))
+        sites[1].apply_update(msg_to(r1, 1))
+        assert sites[1].can_apply(msg_to(r2, 1))
+
+    def test_read_dependency(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        sites[1].read_local("a")  # merge at read
+        rb = sites[1].write("b", 2)
+        m_b2 = msg_to(rb, 2)
+        assert not sites[2].can_apply(m_b2)
+        sites[2].apply_update(msg_to(ra, 2))
+        assert sites[2].can_apply(m_b2)
+
+    def test_no_false_causality(self, sites):
+        # apply without read leaves the write clock untouched
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        assert sites[1].write_clock[0] == 0
+        rb = sites[1].write("b", 2)
+        assert sites[2].can_apply(msg_to(rb, 2))
+
+    def test_apply_before_activation_raises(self, sites):
+        sites[0].write("a", 1)
+        r2 = sites[0].write("a", 2)
+        with pytest.raises(ProtocolInvariantError):
+            sites[1].apply_update(msg_to(r2, 1))
+
+
+class TestRead:
+    def test_initial(self, sites):
+        assert sites[1].read_local("a") == (BOTTOM, None)
+
+    def test_read_merges(self, sites):
+        ra = sites[0].write("a", 1)
+        sites[1].apply_update(msg_to(ra, 1))
+        assert sites[1].write_clock[0] == 0
+        sites[1].read_local("a")
+        assert sites[1].write_clock[0] == 1
+
+    def test_value_roundtrip(self, sites):
+        ra = sites[0].write("a", "hello")
+        deliver(sites, ra.messages)
+        for s in sites:
+            assert s.read_local("a") == ("hello", ra.write_id)
+
+
+class TestMetaObjects:
+    def test_space_has_vector_per_written_variable(self, sites):
+        ra = sites[0].write("a", 1)
+        rb = sites[0].write("b", 2)
+        deliver(sites, ra.messages)
+        deliver(sites, rb.messages)
+        vectors = [
+            o for o in sites[1].meta_objects() if isinstance(o, VectorClock)
+        ]
+        # write clock + LastWriteOn for a and b -> 3 vectors (O(nq) space)
+        assert len(vectors) == 3

@@ -1,0 +1,79 @@
+"""Package-level tests: public API surface and lazy imports."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_cluster_import(self):
+        from repro import Cluster
+
+        assert Cluster is repro.Cluster
+
+    def test_lazy_run_workload(self):
+        assert callable(repro.run_workload)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "BOTTOM":  # the initial value *is* None
+                continue
+            assert getattr(repro, name) is not None, name
+
+    def test_protocol_registry_via_top_level(self):
+        assert "opt-track" in repro.available_protocols()
+        cls = repro.protocol_class("full-track")
+        assert issubclass(cls, repro.CausalProtocol)
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.DeadlockError, repro.SimulationError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.ConsistencyViolationError, repro.ReproError)
+        assert issubclass(repro.PlacementError, repro.ConfigurationError)
+
+    def test_quickstart_docstring_flow(self):
+        # the README / module docstring example, executed verbatim
+        from repro import Cluster
+
+        cluster = Cluster(
+            n_sites=5, n_variables=20, protocol="opt-track",
+            replication_factor=3, seed=7,
+        )
+        s0, s4 = cluster.session(0), cluster.session(4)
+        s0.write("x3", "hello")
+        cluster.settle()
+        assert s4.read("x3") == "hello"
+        cluster.settle()
+
+
+class TestSubpackageImports:
+    def test_all_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.ext
+        import repro.metrics
+        import repro.sim
+        import repro.store
+        import repro.verify
+        import repro.workload
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis as a
+        import repro.core as c
+        import repro.ext as e
+        import repro.metrics as m
+        import repro.sim as s
+        import repro.store as st
+        import repro.verify as v
+        import repro.workload as w
+
+        for mod in (a, c, e, m, s, st, v, w):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, (mod.__name__, name)

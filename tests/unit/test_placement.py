@@ -1,0 +1,149 @@
+"""Unit tests for placement strategies and the shared-memory spec."""
+
+import pytest
+
+from repro.errors import PlacementError, UnknownVariableError
+from repro.store.memory import SharedMemorySpec
+from repro.store.placement import (
+    full,
+    hashed,
+    make_placement,
+    region_affinity,
+    replication_factor,
+    round_robin,
+    vars_at,
+)
+
+
+class TestRoundRobin:
+    def test_pattern(self):
+        p = round_robin(n=4, q=4, p=2)
+        assert p["x0"] == (0, 1)
+        assert p["x1"] == (1, 2)
+        assert p["x3"] == (0, 3)  # wraps
+
+    def test_even_load(self):
+        p = round_robin(n=5, q=10, p=3)
+        loads = [len(vars_at(p, s)) for s in range(5)]
+        assert loads == [6] * 5  # pq/n = 30/5
+
+    def test_p_equals_n_is_full(self):
+        p = round_robin(n=3, q=2, p=3)
+        assert all(reps == (0, 1, 2) for reps in p.values())
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(PlacementError):
+            round_robin(n=3, q=2, p=4)
+        with pytest.raises(PlacementError):
+            round_robin(n=3, q=2, p=0)
+
+
+class TestHashed:
+    def test_deterministic_in_seed(self):
+        assert hashed(6, 20, 3, seed=9) == hashed(6, 20, 3, seed=9)
+        assert hashed(6, 20, 3, seed=9) != hashed(6, 20, 3, seed=10)
+
+    def test_replica_count_and_distinctness(self):
+        p = hashed(6, 30, 3, seed=1)
+        for reps in p.values():
+            assert len(reps) == 3
+            assert len(set(reps)) == 3
+
+
+class TestFull:
+    def test_everyone(self):
+        p = full(4, 3)
+        assert all(reps == (0, 1, 2, 3) for reps in p.values())
+
+
+class TestRegionAffinity:
+    def distance(self, a, b):
+        return abs(a - b)
+
+    def test_home_always_included(self):
+        p = region_affinity(6, 10, 2, self.distance, homes=[3] * 10)
+        for reps in p.values():
+            assert 3 in reps
+
+    def test_nearest_sites_chosen(self):
+        p = region_affinity(6, 1, 3, self.distance, homes=[0])
+        assert p["x0"] == (0, 1, 2)
+
+    def test_rejects_out_of_range_home(self):
+        with pytest.raises(PlacementError):
+            region_affinity(4, 1, 2, self.distance, homes=[9])
+
+
+class TestMakePlacement:
+    def test_dispatch(self):
+        assert make_placement("round-robin", 4, 4, 2) == round_robin(4, 4, 2)
+        assert make_placement("full", 3, 2, 1) == full(3, 2)
+
+    def test_region_affinity_needs_distance(self):
+        with pytest.raises(PlacementError):
+            make_placement("region-affinity", 4, 4, 2)
+
+    def test_unknown(self):
+        with pytest.raises(PlacementError):
+            make_placement("magnetic", 4, 4, 2)
+
+
+class TestHelpers:
+    def test_replication_factor(self):
+        assert replication_factor(round_robin(5, 10, 3)) == 3.0
+
+    def test_replication_factor_empty(self):
+        with pytest.raises(PlacementError):
+            replication_factor({})
+
+    def test_vars_at(self):
+        p = {"a": (0, 1), "b": (1, 2)}
+        assert vars_at(p, 1) == ["a", "b"]
+        assert vars_at(p, 0) == ["a"]
+        assert vars_at(p, 3) == []
+
+
+class TestSharedMemorySpec:
+    def spec(self):
+        return SharedMemorySpec(4, {"x": (0, 1, 2), "y": (1, 2, 3)})
+
+    def test_q_and_variables(self):
+        s = self.spec()
+        assert s.q == 2
+        assert s.variables == ["x", "y"]
+
+    def test_replicas(self):
+        assert self.spec().replicas("x") == (0, 1, 2)
+
+    def test_replicas_unknown(self):
+        with pytest.raises(UnknownVariableError):
+            self.spec().replicas("zzz")
+
+    def test_vars_at_and_is_local(self):
+        s = self.spec()
+        assert s.vars_at(1) == ["x", "y"]
+        assert s.is_local(0, "x")
+        assert not s.is_local(0, "y")
+
+    def test_replication_factor(self):
+        assert self.spec().replication_factor() == 3.0
+
+    def test_is_fully_replicated(self):
+        assert not self.spec().is_fully_replicated()
+        assert SharedMemorySpec(2, {"a": (0, 1)}).is_fully_replicated()
+
+    def test_mean_local_fraction(self):
+        assert self.spec().mean_local_fraction() == pytest.approx(6 / 8)
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            SharedMemorySpec(2, {})
+        with pytest.raises(PlacementError):
+            SharedMemorySpec(2, {"x": ()})
+        with pytest.raises(PlacementError):
+            SharedMemorySpec(2, {"x": (0, 0)})
+        with pytest.raises(PlacementError):
+            SharedMemorySpec(2, {"x": (0, 5)})
+
+    def test_iter(self):
+        assert list(self.spec()) == ["x", "y"]

@@ -1,0 +1,124 @@
+"""Unit tests for the client-session causal tokens (repro.ext.sessions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitsets
+from repro.core.base import ProtocolConfig, protocol_class
+from repro.errors import ConfigurationError
+from repro.ext.sessions import (
+    MigratingClient,
+    _LogToken,
+    _MatrixToken,
+    _VectorToken,
+    _make_token,
+)
+from repro.store.placement import full as full_placement
+from repro.store.placement import round_robin
+
+
+def proto_of(name, n=3, site=0):
+    placement = (
+        round_robin(n, 6, 2)
+        if name in ("full-track", "opt-track")
+        else full_placement(n, 6)
+    )
+    return protocol_class(name)(
+        ProtocolConfig(n=n, site=site, replicas_of=placement)
+    )
+
+
+class TestTokenFactory:
+    def test_dispatch(self):
+        assert isinstance(_make_token(proto_of("full-track")), _MatrixToken)
+        assert isinstance(_make_token(proto_of("opt-track")), _LogToken)
+        for name in ("opt-track-crp", "optp", "ahamad"):
+            assert isinstance(_make_token(proto_of(name)), _VectorToken)
+
+
+class TestMatrixToken:
+    def test_empty_token_always_covered(self):
+        p = proto_of("full-track")
+        assert _MatrixToken(3).covered_by(p)
+
+    def test_absorb_then_not_covered_elsewhere(self):
+        p0 = proto_of("full-track", site=0)
+        p1 = proto_of("full-track", site=1)
+        var = next(v for v in p0.config.replicas_of if p0.locally_replicates(v))
+        p0.write(var, 1)
+        p0.read_local(var)
+        token = _MatrixToken(3)
+        token.absorb_site(p0)
+        if 1 in p0.replicas(var):
+            assert not token.covered_by(p1)  # p1 hasn't applied it
+
+    def test_push_merges_into_site_clock(self):
+        p0 = proto_of("full-track", site=0)
+        var = next(v for v in p0.config.replicas_of if p0.locally_replicates(v))
+        p0.write(var, 1)
+        token = _MatrixToken(3)
+        token.absorb_site(p0)
+        p1 = proto_of("full-track", site=1)
+        token.push_to_site(p1)
+        assert p1.write_clock.dominates(token.clock)
+
+
+class TestLogToken:
+    def test_covered_semantics(self):
+        p0 = proto_of("opt-track", site=0)
+        p1 = proto_of("opt-track", site=1)
+        var = next(v for v in p0.config.replicas_of if p0.locally_replicates(v))
+        r = p0.write(var, 1)
+        token = _LogToken()
+        token.absorb_site(p0)
+        if 1 in p0.replicas(var):
+            assert not token.covered_by(p1)
+            m = next(msg for msg in r.messages if msg.dest == 1)
+            p1.apply_update(m)
+            assert token.covered_by(p1)
+
+    def test_push_merges_log(self):
+        p0 = proto_of("opt-track", site=0)
+        var = next(v for v in p0.config.replicas_of if p0.locally_replicates(v))
+        p0.write(var, 1)
+        token = _LogToken()
+        token.absorb_site(p0)
+        p1 = proto_of("opt-track", site=1)
+        token.push_to_site(p1)
+        assert (0, 1) in p1.log
+
+
+class TestVectorToken:
+    @pytest.mark.parametrize("name", ["opt-track-crp", "optp", "ahamad"])
+    def test_covered_tracks_apply_state(self, name):
+        p0 = proto_of(name, site=0)
+        p1 = proto_of(name, site=1)
+        r = p0.write("x0", 1)
+        token = _VectorToken(3)
+        token.absorb_site(p0)
+        assert token.covered_by(p0)
+        assert not token.covered_by(p1)
+        p1.apply_update(next(m for m in r.messages if m.dest == 1))
+        assert token.covered_by(p1)
+
+    def test_push_injects_write_dependencies_crp(self):
+        p0 = proto_of("opt-track-crp", site=0)
+        p0.write("x0", 1)
+        token = _VectorToken(3)
+        token.absorb_site(p0)
+        p1 = proto_of("opt-track-crp", site=1)
+        token.push_to_site(p1)
+        assert p1.log.get(0, 0) >= 1
+        # p1's next write now carries the dependency
+        r = p1.write("x1", 2)
+        meta = r.messages[0].meta
+        assert meta.log.get(0, 0) >= 1
+
+    def test_push_injects_write_dependencies_optp(self):
+        p0 = proto_of("optp", site=0)
+        p0.write("x0", 1)
+        token = _VectorToken(3)
+        token.absorb_site(p0)
+        p1 = proto_of("optp", site=1)
+        token.push_to_site(p1)
+        assert p1.write_clock[0] >= 1

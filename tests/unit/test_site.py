@@ -1,0 +1,188 @@
+"""Unit tests for SimSite: pending buffers, fixpoint drain, waiters."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ProtocolConfig
+from repro.core.opt_track import OptTrackProtocol
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.events import ApplyEvent, ReceiptEvent, SendEvent, Tracer
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.sim.site import SimSite
+from repro.verify.history import History
+
+
+def make_rig(n=3, placement=None, tracer=False):
+    placement = placement or {"x": (0, 1, 2), "y": (0, 1, 2)}
+    sim = Simulator()
+    metrics = MetricsCollector()
+    net = Network(sim, ConstantLatency(1.0), np.random.default_rng(0), metrics)
+    history = History(n)
+    tr = Tracer() if tracer else None
+    sites = [
+        SimSite(
+            OptTrackProtocol(ProtocolConfig(n=n, site=i, replicas_of=placement)),
+            sim,
+            net,
+            history,
+            metrics,
+            tr,
+        )
+        for i in range(n)
+    ]
+    return sim, net, sites, history, metrics, tr
+
+
+class TestUpdatePath:
+    def test_update_applied_on_arrival(self):
+        sim, net, sites, history, metrics, _ = make_rig()
+        result = sites[0].protocol.write("x", 1)
+        sites[0].broadcast_write(result, "x")
+        sim.run()
+        assert sites[1].protocol.local_value("x") == (1, result.write_id)
+        assert sites[1].quiescent
+
+    def test_out_of_order_arrivals_buffer_then_drain(self):
+        sim, net, sites, history, metrics, _ = make_rig()
+        p0 = sites[0].protocol
+        r1 = p0.write("x", 1)
+        r2 = p0.write("y", 2)
+        m1 = next(m for m in r1.messages if m.dest == 1)
+        m2 = next(m for m in r2.messages if m.dest == 1)
+        # deliver the second write first, by hand
+        sites[1]._on_update(m2)
+        assert len(sites[1].pending_updates) == 1  # buffered
+        assert sites[1].protocol.local_value("y")[0] is None
+        sites[1]._on_update(m1)  # unblocks both (fixpoint drain)
+        assert sites[1].pending_updates == []
+        assert sites[1].protocol.local_value("x")[0] == 1
+        assert sites[1].protocol.local_value("y")[0] == 2
+
+    def test_chain_of_three_drains_in_one_call(self):
+        sim, net, sites, history, metrics, _ = make_rig()
+        p0 = sites[0].protocol
+        rs = [p0.write("x", i) for i in range(3)]
+        msgs = [next(m for m in r.messages if m.dest == 1) for r in rs]
+        for m in reversed(msgs[1:]):
+            sites[1]._on_update(m)
+        assert len(sites[1].pending_updates) == 2
+        sites[1]._on_update(msgs[0])
+        assert sites[1].pending_updates == []
+        assert sites[1].protocol.local_value("x")[0] == 2
+
+    def test_apply_records_arrival_and_apply_times(self):
+        sim, net, sites, history, metrics, _ = make_rig()
+        p0 = sites[0].protocol
+        r1 = p0.write("x", 1)
+        r2 = p0.write("y", 2)
+        m1 = next(m for m in r1.messages if m.dest == 1)
+        m2 = next(m for m in r2.messages if m.dest == 1)
+        sim.now = 5.0
+        sites[1]._on_update(m2)  # arrives first, buffers
+        sim.now = 9.0
+        sites[1]._on_update(m1)  # both apply now
+        applies = {a.write_id: a for a in history.applies_at(1)}
+        assert applies[r2.write_id].received_time == 5.0
+        assert applies[r2.write_id].time == 9.0
+        assert applies[r1.write_id].received_time == 9.0
+
+    def test_counters(self):
+        sim, net, sites, *_ = make_rig()
+        result = sites[0].protocol.write("x", 1)
+        sites[0].broadcast_write(result, "x")
+        sim.run()
+        assert sites[0].updates_sent == 2
+        assert sites[1].updates_applied == 1
+        assert sites[0].updates_applied == 0  # own write isn't counted
+
+
+class TestFetchPath:
+    def placement(self):
+        return {"x": (0, 1)}  # site 2 must fetch
+
+    def test_fetch_round_trip_through_network(self):
+        sim, net, sites, history, metrics, _ = make_rig(placement=self.placement())
+        w = sites[0].protocol.write("x", 9)
+        sites[0].broadcast_write(w, "x")
+        sim.run()
+        proto2 = sites[2].protocol
+        req = proto2.make_fetch_request("x", 0)
+        box = []
+        sites[2].send_fetch(req, lambda r: box.append(proto2.complete_remote_read(r)))
+        sim.run()
+        assert box == [(9, w.write_id)]
+        assert sites[2].quiescent
+
+    def test_blocked_fetch_served_after_dependency_applies(self):
+        sim, net, sites, history, metrics, _ = make_rig(placement=self.placement())
+        p0, p1, p2 = (s.protocol for s in sites)
+        # site 2's causal past will include site 0's write; fetch from the
+        # replica (site 1) that has not applied it yet
+        w = p0.write("x", 9)
+        # site 2 learns of the write via a direct (test-only) merge of the
+        # update addressed to site 1 — simulating remote knowledge
+        m1 = next(m for m in w.messages if m.dest == 1)
+        req_deps_log = m1.meta.log.copy()
+        req_deps_log.add(0, 1, 0b010)  # record naming site 1
+        from repro.core.messages import FetchRequest
+
+        req = FetchRequest("x", 2, 1, 1, deps=((0, 1),))
+        sites[2]._fetch_waiters[1] = lambda r: box.append(r)
+        box = []
+        sites[1]._on_fetch_request(req)
+        assert len(sites[1].pending_fetches) == 1  # deferred
+        sites[1]._on_update(m1)  # dependency applies -> fetch served
+        assert sites[1].pending_fetches == []
+        sim.run()
+        assert box and box[0].value == 9
+
+    def test_forget_fetch_discards_late_reply(self):
+        sim, net, sites, *_ = make_rig(placement=self.placement())
+        proto2 = sites[2].protocol
+        req = proto2.make_fetch_request("x", 0)
+        called = []
+        sites[2].send_fetch(req, lambda r: called.append(r))
+        sites[2].forget_fetch(req.fetch_id)
+        sim.run()
+        assert called == []
+
+
+class TestReadWaiters:
+    def test_immediate_when_safe(self):
+        sim, net, sites, *_ = make_rig()
+        called = []
+        sites[0].wait_local_read("x", lambda: called.append(1))
+        assert called == [1]
+
+    def test_deferred_until_catchup(self):
+        sim, net, sites, *_ = make_rig()
+        p0, p1 = sites[0].protocol, sites[1].protocol
+        w = p0.write("x", 1)
+        # site 1 learns of the write through a merge (as a remote read
+        # reply would), without having applied it
+        m1 = next(m for m in w.messages if m.dest == 1)
+        stored = m1.meta.log.copy()
+        stored.add(0, 1, p0.replica_mask("x"))
+        p1.log.merge(stored)
+        assert not p1.can_read_local("x")
+        called = []
+        sites[1].wait_local_read("x", lambda: called.append(1))
+        assert called == []
+        sites[1]._on_update(m1)  # catch up -> waiter fires
+        assert called == [1]
+        assert sites[1].quiescent
+
+
+class TestTracing:
+    def test_events_emitted(self):
+        sim, net, sites, history, metrics, tracer = make_rig(tracer=True)
+        result = sites[0].protocol.write("x", 1)
+        sites[0].broadcast_write(result, "x")
+        sim.run()
+        assert len(tracer.of_type(SendEvent)) == 2
+        assert len(tracer.of_type(ReceiptEvent)) == 2
+        # 1 local apply at writer + 2 remote applies
+        assert len(tracer.of_type(ApplyEvent)) == 3
+        assert tracer.at_site(1)

@@ -1,0 +1,85 @@
+"""Unit tests for the parameter-sweep harness and metrics export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.sweep import run_cell, sweep, to_csv
+from repro.metrics.collector import MetricsCollector
+
+
+class TestRunCell:
+    def test_row_shape(self):
+        row = run_cell(protocol="opt-track", n=4, q=8, p=2, ops_per_site=15)
+        assert row["protocol"] == "opt-track"
+        assert row["p"] == 2
+        assert row["messages"] > 0
+        assert row["consistent"] is None  # check off by default
+
+    def test_full_replication_p_forced_to_n(self):
+        row = run_cell(protocol="optp", n=4, q=8, p=2, ops_per_site=15)
+        assert row["p"] == 4
+
+    def test_check_flag(self):
+        row = run_cell(protocol="opt-track", n=3, q=6, ops_per_site=10, check=True)
+        assert row["consistent"] is True
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        rows = sweep(
+            protocol=["opt-track", "optp"],
+            write_rate=[0.2, 0.8],
+            n=4,
+            q=8,
+            ops_per_site=10,
+        )
+        assert len(rows) == 4
+        combos = {(r["protocol"], r["write_rate"]) for r in rows}
+        assert combos == {
+            ("opt-track", 0.2),
+            ("opt-track", 0.8),
+            ("optp", 0.2),
+            ("optp", 0.8),
+        }
+
+    def test_scalars_fixed(self):
+        rows = sweep(n=[3, 4], protocol="opt-track", q=8, ops_per_site=10)
+        assert {r["n"] for r in rows} == {3, 4}
+        assert all(r["protocol"] == "opt-track" for r in rows)
+
+    def test_requires_something_to_sweep(self):
+        with pytest.raises(ValueError):
+            sweep(think_time=2.0)
+
+    def test_message_count_scales_with_write_rate(self):
+        rows = sweep(write_rate=[0.1, 0.9], protocol="optp", n=5, q=8, ops_per_site=30)
+        by_rate = {r["write_rate"]: r["messages"] for r in rows}
+        assert by_rate[0.9] > by_rate[0.1]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = sweep(protocol=["opt-track"], n=3, q=6, ops_per_site=10)
+        path = tmp_path / "sweep.csv"
+        text = to_csv(rows, path)
+        assert path.read_text() == text
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 1
+        assert parsed[0]["protocol"] == "opt-track"
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestMetricsToDict:
+    def test_serializable(self):
+        import json
+
+        c = MetricsCollector()
+        c.on_op("write", 1.0)
+        d = c.summary(sim_time=5.0).to_dict()
+        json.dumps(d)  # must not raise
+        assert d["sim_time"] == 5.0
+        assert d["ops"]["write"] == 1

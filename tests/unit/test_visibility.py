@@ -1,0 +1,98 @@
+"""Unit tests for the visibility-latency metrics."""
+
+import pytest
+
+from repro.metrics.visibility import (
+    VisibilitySummary,
+    summarize_visibility,
+    write_visibilities,
+)
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.topology import evenly_spread
+from repro.types import WriteId
+from repro.verify.history import History
+
+
+class TestWriteVisibility:
+    def make_history(self):
+        h = History(3)
+        placement = {"x": (0, 1, 2)}
+        h.record_write(0, "x", 1, WriteId(0, 1), time=10.0)
+        h.record_apply(0, WriteId(0, 1), "x", 10.0, 10.0)
+        h.record_apply(1, WriteId(0, 1), "x", 15.0, 15.0)
+        h.record_apply(2, WriteId(0, 1), "x", 40.0, 40.0)
+        return h, placement
+
+    def test_full_visibility(self):
+        h, placement = self.make_history()
+        [rec] = write_visibilities(h, placement)
+        assert rec.fully_visible_at == 40.0
+        assert rec.full_visibility_latency == 30.0
+
+    def test_fractional_visibility(self):
+        h, placement = self.make_history()
+        [rec] = write_visibilities(h, placement)
+        assert rec.visibility_latency(1 / 3) == 0.0  # writer itself
+        assert rec.visibility_latency(2 / 3) == 5.0
+        assert rec.visibility_latency(1.0) == 30.0
+
+    def test_incomplete_visibility_is_none(self):
+        h = History(3)
+        placement = {"x": (0, 1, 2)}
+        h.record_write(0, "x", 1, WriteId(0, 1), time=0.0)
+        h.record_apply(0, WriteId(0, 1), "x", 0.0, 0.0)
+        [rec] = write_visibilities(h, placement)
+        assert rec.fully_visible_at is None
+        assert rec.visibility_latency(1.0) is None
+        assert rec.visibility_latency(1 / 3) == 0.0
+
+    def test_summary_percentiles(self):
+        h = History(2)
+        placement = {"x": (0, 1)}
+        for i in range(1, 11):
+            h.record_write(0, "x", i, WriteId(0, i), time=float(i * 100))
+            h.record_apply(0, WriteId(0, i), "x", i * 100.0, i * 100.0)
+            h.record_apply(1, WriteId(0, i), "x", i * 100.0 + i, i * 100.0 + i)
+        s = summarize_visibility(h, placement)
+        assert s.n_writes == 10
+        assert s.n_fully_visible == 10
+        assert s.mean_latency == pytest.approx(5.5)
+        assert s.max_latency == 10.0
+        assert s.p50_latency in (5.0, 6.0)
+
+    def test_empty_history(self):
+        s = summarize_visibility(History(2), {"x": (0, 1)})
+        assert s.n_writes == 0 and s.mean_latency == 0.0
+
+
+class TestEndToEnd:
+    def test_partial_replication_visible_faster_than_full(self):
+        # fewer, region-affine replicas reach full visibility sooner than
+        # a worldwide broadcast — the flip side of Section V's latency
+        # trade-off
+        topo = evenly_spread(10)
+        results = {}
+        for protocol, p in (("opt-track", 2), ("opt-track-crp", None)):
+            cluster = Cluster(
+                ClusterConfig(
+                    n_sites=10,
+                    n_variables=20,
+                    protocol=protocol,
+                    replication_factor=p,
+                    placement_strategy="region-affinity" if p else "round-robin",
+                    topology=topo,
+                    seed=6,
+                )
+            )
+            for i in range(10):
+                site = cluster.placement[f"x{i}"][0]
+                cluster.session(site).write(f"x{i}", i)
+            cluster.settle()
+            results[protocol] = summarize_visibility(
+                cluster.history, cluster.placement
+            )
+        assert (
+            results["opt-track"].mean_latency
+            < results["opt-track-crp"].mean_latency
+        )
+        assert results["opt-track"].n_fully_visible == 10

@@ -1,0 +1,122 @@
+"""Unit tests for the YCSB presets and the space-time diagram renderer."""
+
+import pytest
+
+from repro.analysis.diagram import render, render_cluster
+from repro.errors import ConfigurationError
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.events import Tracer
+from repro.types import OpKind
+from repro.workload.generator import measured_write_rate
+from repro.workload.ycsb import WORKLOADS, describe, ycsb
+
+VARS = [f"x{i}" for i in range(20)]
+
+
+class TestYcsb:
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            ycsb("z", 2, VARS)
+
+    def test_rejects_empty_variables(self):
+        with pytest.raises(ConfigurationError):
+            ycsb("a", 2, [])
+
+    def test_shape(self):
+        wl = ycsb("a", 3, VARS, ops_per_site=50)
+        assert len(wl) == 3
+        assert all(len(s) == 50 for s in wl)
+
+    def test_deterministic(self):
+        assert ycsb("b", 2, VARS, seed=5) == ycsb("b", 2, VARS, seed=5)
+        assert ycsb("b", 2, VARS, seed=5) != ycsb("b", 2, VARS, seed=6)
+
+    def test_mixes(self):
+        a = measured_write_rate(ycsb("a", 4, VARS, ops_per_site=400))
+        b = measured_write_rate(ycsb("b", 4, VARS, ops_per_site=400))
+        c = measured_write_rate(ycsb("c", 4, VARS, ops_per_site=400))
+        assert a == pytest.approx(0.5, abs=0.07)
+        assert b == pytest.approx(0.05, abs=0.04)
+        assert c == 0.0
+
+    def test_f_is_rmw_pairs(self):
+        wl = ycsb("f", 2, VARS, ops_per_site=100, seed=1)
+        for script in wl:
+            for prev, cur in zip(script, script[1:]):
+                if cur.kind is OpKind.WRITE:
+                    # every write is preceded by a read of the same key
+                    assert prev.kind is OpKind.READ
+                    assert prev.var == cur.var
+
+    def test_d_reads_recent_keys(self):
+        wl = ycsb("d", 2, VARS, ops_per_site=600, seed=2, latest_window=4)
+        # keys written recently must absorb a large share of reads
+        written = [op.var for s in wl for op in s if op.kind is OpKind.WRITE]
+        reads = [op.var for s in wl for op in s if op.kind is OpKind.READ]
+        recent_share = sum(1 for v in reads if v in set(written)) / len(reads)
+        assert recent_share > 0.5
+
+    def test_all_workloads_run_consistently(self):
+        for w in WORKLOADS:
+            cluster = Cluster(
+                ClusterConfig(n_sites=3, n_variables=10, protocol="opt-track", seed=3)
+            )
+            wl = ycsb(w, 3, cluster.variables, ops_per_site=30, seed=3)
+            assert cluster.run(wl).ok, w
+
+    def test_describe(self):
+        for w in WORKLOADS:
+            assert describe(w)
+
+
+class TestDiagram:
+    def test_empty_trace(self):
+        out = render(Tracer(), n_sites=3)
+        assert out.splitlines() == ["s0 |", "s1 |", "s2 |"]
+
+    def test_renders_apply_and_read_marks(self):
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=3, n_variables=4, protocol="opt-track-crp", seed=1, trace=True
+            )
+        )
+        cluster.session(0).write("x0", "v")
+        cluster.settle()
+        cluster.session(1).read("x0")
+        out = render_cluster(cluster)
+        assert "A(w0:1)" in out
+        assert "R(x0)='v'" in out
+        assert out.count("\n") == 3  # header + 3 site rows
+
+    def test_initial_read_glyph(self):
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=2, n_variables=2, protocol="optp", seed=1, trace=True
+            )
+        )
+        cluster.session(0).read("x0")
+        out = render_cluster(cluster)
+        assert "R(x0)=⊥" in out
+
+    def test_requires_tracer(self):
+        cluster = Cluster(
+            ClusterConfig(n_sites=2, n_variables=2, protocol="optp", seed=1)
+        )
+        with pytest.raises(ValueError):
+            render_cluster(cluster)
+
+    def test_fetch_glyphs(self):
+        cluster = Cluster(
+            ClusterConfig(
+                n_sites=3,
+                n_variables=1,
+                protocol="opt-track",
+                placement={"x0": (0, 1)},
+                seed=1,
+                trace=True,
+            )
+        )
+        cluster.session(2).read("x0")  # remote fetch
+        out = render_cluster(cluster)
+        assert "F(x0->0)" in out
+        assert "S(x0->2)" in out
