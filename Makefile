@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-fast table1 fig4 report
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q tests/unit
+
+# Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops)
+bench:
+	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json
+
+bench-fast:
+	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json --fast
+
+table1:
+	$(PYTHON) -m repro.cli table1
+
+fig4:
+	$(PYTHON) -m repro.cli fig4
+
+report:
+	$(PYTHON) -m repro.cli report

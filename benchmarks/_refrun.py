@@ -1,0 +1,22 @@
+"""Reference-run driver shared by the hot-path benchmark and docs.
+
+The docs/performance.md reference configuration: n=20 sites, q=100
+variables, p=3 replicas, opt-track, 5 000 total operations (250 per
+site), write rate 0.4.  The implementation lives in
+:mod:`repro.analysis.hotpaths`; this wrapper keeps the historical
+``python benchmarks/_refrun.py [strategy]`` entry point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hotpaths import reference_run
+
+__all__ = ["reference_run"]
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    strategy = sys.argv[1] if len(sys.argv) > 1 else "index"
+    print(json.dumps(reference_run(strategy), indent=1))

@@ -1,0 +1,53 @@
+"""Hot-path timing harness: drain strategies + DepLog micro-operations.
+
+Regenerates ``BENCH_hot_paths.json`` (checked in at the repo root) — the
+measured basis for the before/after table in docs/performance.md.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py [--fast] [--out PATH]
+
+or via the CLI / make::
+
+    PYTHONPATH=src python -m repro.cli bench
+    make bench
+
+Also exposes a pytest smoke test so the harness itself cannot rot: a fast
+pass must produce both strategies' throughput, identical message counts,
+and non-degenerate micro timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.analysis.hotpaths import bench_hot_paths, write_report
+
+
+def test_hot_path_bench_smoke():
+    report = bench_hot_paths(fast=True)
+    drain = report["drain"]
+    assert drain["index"]["messages"] == drain["rescan"]["messages"]
+    assert drain["index"]["ops_per_s"] > 0
+    assert drain["rescan"]["ops_per_s"] > 0
+    micro = report["deplog"]
+    assert micro["records"] > 0
+    for key, value in micro.items():
+        assert value > 0, key
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_hot_paths.json")
+    parser.add_argument("--fast", action="store_true", help="50 ops/site")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+    report = write_report(args.out, fast=args.fast, seed=args.seed)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Hot-path micro/macro benchmarks for the Opt-Track fast paths.
+
+Two layers of measurement, matching the two layers of the optimization
+work (docs/performance.md):
+
+* **macro** — the docs reference run (n=20, q=100, p=3, opt-track,
+  5 000 ops, write rate 0.4) under each drain strategy: end-to-end
+  throughput of the whole simulator, dominated by the drain and the
+  dependency-log operations;
+* **micro** — the individual ``DepLog`` operations the write/read/apply
+  paths lean on: per-destination pruned copies (``multicast_copies`` /
+  ``copy_for_dest``), the read-path ``absorb`` (merge + purge), and the
+  write-path ``retire`` (Condition-2 prune + purge).
+
+``python -m repro.cli bench`` (or ``make bench``) regenerates
+``BENCH_hot_paths.json`` from these.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core import bitsets
+from repro.core.log import DepLog
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+#: the docs/performance.md reference configuration
+REFERENCE = dict(n=20, q=100, p=3, ops_per_site=250, write_rate=0.4)
+
+
+def reference_run(
+    drain_strategy: str = "index",
+    seed: int = 3,
+    *,
+    n: int = 20,
+    q: int = 100,
+    p: int = 3,
+    ops_per_site: int = 250,
+    write_rate: float = 0.4,
+) -> Dict[str, Any]:
+    """One wall-clock-timed reference run; returns throughput figures."""
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=q,
+        protocol="opt-track",
+        replication_factor=p,
+        seed=seed,
+        record_history=False,
+        space_probe_every=None,
+        drain_strategy=drain_strategy,
+    )
+    cluster = Cluster(cfg)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=ops_per_site,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    t0 = time.perf_counter()
+    result = cluster.run(workload, check=False)
+    wall = time.perf_counter() - t0
+    n_ops = sum(result.metrics.ops.values())
+    return {
+        "strategy": drain_strategy,
+        "ops": n_ops,
+        "wall_s": wall,
+        "ops_per_s": n_ops / wall,
+        "messages": result.metrics.total_messages,
+    }
+
+
+def _sample_log(n: int, records_per_sender: int, seed: int) -> DepLog:
+    """A dependency log shaped like the steady state of the reference
+    run: a handful of live records per sender, each naming a few
+    destinations, newest record per sender retained."""
+    rng = np.random.default_rng(seed)
+    log = DepLog()
+    for sender in range(n):
+        base = int(rng.integers(1, 50))
+        for k in range(records_per_sender):
+            dests = bitsets.EMPTY
+            for d in rng.choice(n, size=3, replace=False):
+                dests = bitsets.add(dests, int(d))
+            log.add(sender, base + k, dests)
+    return log
+
+
+def _timeit(fn, *, repeat: int, inner: int) -> float:
+    """Best-of-``repeat`` mean microseconds per call over ``inner`` calls."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / inner * 1e6
+
+
+def bench_deplog(
+    n: int = 20, records_per_sender: int = 4, seed: int = 7, inner: int = 2000
+) -> Dict[str, float]:
+    """Micro-times (usec/op) for the hot ``DepLog`` operations."""
+    log = _sample_log(n, records_per_sender, seed)
+    dests = [d for d in range(n) if d != 0]
+    mask = bitsets.EMPTY
+    for d in dests[: n // 2]:
+        mask = bitsets.add(mask, d)
+    incoming = _sample_log(n, records_per_sender, seed + 1)
+
+    def do_multicast():
+        for _ in log.multicast_copies(dests, mask):
+            pass
+
+    def do_copy_for_dest():
+        log.copy_for_dest(dests[0], mask)
+
+    def do_absorb():
+        log.copy().absorb(incoming)
+
+    def do_retire():
+        log.copy().retire(mask)
+
+    def do_merge_purge():  # the unfused legacy pair, for comparison
+        c = log.copy()
+        c.merge(incoming)
+        c.purge()
+
+    return {
+        "records": len(log.entries),
+        "multicast_copies_usec": _timeit(do_multicast, repeat=5, inner=inner),
+        "copy_for_dest_usec": _timeit(do_copy_for_dest, repeat=5, inner=inner),
+        "absorb_usec": _timeit(do_absorb, repeat=5, inner=inner),
+        "merge_purge_usec": _timeit(do_merge_purge, repeat=5, inner=inner),
+        "retire_usec": _timeit(do_retire, repeat=5, inner=inner),
+    }
+
+
+def bench_hot_paths(
+    fast: bool = False, seed: int = 3
+) -> Dict[str, Any]:
+    """The full hot-path report (the ``BENCH_hot_paths.json`` payload)."""
+    ref: Dict[str, Any] = dict(REFERENCE)
+    if fast:
+        ref["ops_per_site"] = 50
+    runs = {
+        strategy: reference_run(strategy, seed=seed, **ref)
+        for strategy in ("index", "rescan")
+    }
+    assert runs["index"]["messages"] == runs["rescan"]["messages"], (
+        "drain strategies diverged — run the equivalence property test"
+    )
+    return {
+        "reference": ref,
+        "drain": runs,
+        "deplog": bench_deplog(n=ref["n"]),
+    }
+
+
+def write_report(path: str, fast: bool = False, seed: int = 3) -> Dict[str, Any]:
+    import json
+
+    report = bench_hot_paths(fast=fast, seed=seed)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return report

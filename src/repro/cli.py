@@ -90,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--ops", type=int, default=60)
     sw.add_argument("--seed", type=int, default=0)
     sw.add_argument("--out", default=None, help="CSV file (default: stdout)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path benchmark: drain strategies + DepLog micro-ops",
+        description="Times the reference run (n=20, q=100, p=3) under both "
+        "drain strategies plus the DepLog hot operations, and writes the "
+        "BENCH_hot_paths.json report.",
+    )
+    bench.add_argument("--out", default="BENCH_hot_paths.json")
+    bench.add_argument("--fast", action="store_true", help="50 ops/site")
+    bench.add_argument("--seed", type=int, default=3)
     return parser
 
 
@@ -240,6 +251,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.hotpaths import write_report
+
+    report = write_report(args.out, fast=args.fast, seed=args.seed)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -250,6 +270,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenario": cmd_scenario,
         "report": cmd_report,
         "sweep": cmd_sweep,
+        "bench": cmd_bench,
     }[args.command]
     return handler(args)
 

@@ -239,6 +239,59 @@ class CausalProtocol(ABC):
         """Apply an activated update to the local replica."""
 
     # ------------------------------------------------------------------
+    # dependency wake index (optional fast path)
+    # ------------------------------------------------------------------
+    # The simulation layer's drain loop used to re-evaluate every pending
+    # predicate after every apply (a fixed-point rescan, O(pending) per
+    # apply).  Protocols that can *explain* a False predicate as "waiting
+    # for this site's apply progress w.r.t. sender z to reach clock c"
+    # expose that explanation through these hooks, and the site indexes
+    # each blocked item under one such (z, c) pair instead of rescanning.
+    #
+    # Contract for ``blocking_*``:
+    #
+    # * return ``()`` (any empty iterable) when the predicate is True now;
+    # * return a non-empty iterable of ``(site, clock)`` pairs when it is
+    #   False — the predicate cannot become True before
+    #   ``apply_progress(site) >= clock`` holds for EVERY returned pair
+    #   (so waking when any single pair is satisfied and re-evaluating is
+    #   safe and misses nothing);
+    # * return ``None`` when this protocol cannot index the predicate —
+    #   the caller falls back to re-evaluating it every pass.
+    #
+    # The defaults delegate to the boolean predicates, i.e. "unindexable",
+    # which keeps third-party protocols correct without changes.  A
+    # subclass that overrides one of the boolean predicates must also
+    # override the matching ``blocking_*`` hook whenever a *parent* class
+    # indexed it — an inherited hook that disagrees with the new predicate
+    # would park (or wake) items incorrectly.
+
+    def blocking_deps(self, msg: UpdateMessage):
+        """Dependencies blocking ``can_apply(msg)`` (see contract above)."""
+        return () if self.can_apply(msg) else None
+
+    def blocking_fetch_deps(self, req: FetchRequest):
+        """Dependencies blocking ``can_serve_fetch(req)``."""
+        return () if self.can_serve_fetch(req) else None
+
+    def blocking_read_deps(self, var: VarId):
+        """Dependencies blocking ``can_read_local(var)``."""
+        return () if self.can_read_local(var) else None
+
+    def apply_progress(self, z: SiteId) -> int:
+        """Monotone per-origin apply progress used by the wake index.
+
+        Must be comparable against the clocks returned by the
+        ``blocking_*`` hooks: once ``apply_progress(z) >= c``, any blocked
+        item whose sole remaining dependency was ``(z, c)`` must be
+        re-evaluated.  Only required when a protocol overrides any
+        ``blocking_*`` hook to return indexable pairs.
+        """
+        raise ProtocolInvariantError(
+            f"protocol {self.name!r} does not expose apply progress"
+        )
+
+    # ------------------------------------------------------------------
     # introspection / accounting
     # ------------------------------------------------------------------
     @abstractmethod

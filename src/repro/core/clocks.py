@@ -50,9 +50,15 @@ class MatrixClock:
             self.m = m.astype(_DTYPE, copy=True)
 
     def increment(self, writer: int, dests: Iterable[int]) -> None:
-        """Record one write by ``writer`` multicast to sites ``dests``."""
-        idx = list(dests)
-        self.m[writer, idx] += 1
+        """Record one write by ``writer`` multicast to sites ``dests``.
+
+        ``dests`` may be an integer index ndarray — callers on the write
+        hot path cache one per variable to skip the per-call list build.
+        """
+        if isinstance(dests, np.ndarray):
+            self.m[writer, dests] += 1
+        else:
+            self.m[writer, list(dests)] += 1
 
     def merge(self, other: "MatrixClock") -> None:
         """Entrywise maximum, in place (paper Alg. 1 lines 10 and 12)."""

@@ -50,6 +50,9 @@ class FullTrackProtocol(CausalProtocol):
         #: site" — the causal ceiling used to reject regressions (see
         #: _dominated)
         self._ceiling: Dict[VarId, np.ndarray] = {}
+        #: per variable: its replica set as an index ndarray, so the
+        #: matrix-clock increment on every write skips the list build
+        self._rep_idx: Dict[VarId, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # WRITE(x_h, v) — Alg. 1 lines 1-7
@@ -57,7 +60,10 @@ class FullTrackProtocol(CausalProtocol):
     def write(self, var: VarId, value: Any) -> WriteResult:
         reps = self.replicas(var)
         # lines 1-2: count this write toward every replica of x_h
-        self.write_clock.increment(self.site, reps)
+        idx = self._rep_idx.get(var)
+        if idx is None:
+            idx = self._rep_idx[var] = np.fromiter(reps, dtype=np.intp)
+        self.write_clock.increment(self.site, idx)
         write_id = self._next_write_id()
         # line 3: multicast m(x_h, v, Write_i) to the remote replicas.  The
         # same frozen snapshot is piggybacked on every copy (the metrics
@@ -135,10 +141,47 @@ class FullTrackProtocol(CausalProtocol):
         col = w.m[:, i]
         if self.apply_counts[j] != col[j] - 1:
             return False
-        # ∀k≠j: Apply[k] >= W[k, i]
-        mask = np.ones(self.n, dtype=bool)
-        mask[j] = False
-        return bool(np.all(self.apply_counts[mask] >= col[mask]))
+        # ∀k≠j: Apply[k] >= W[k, i].  Slot j itself always falls short by
+        # exactly 1 here, so the predicate is "one shortfall total" —
+        # avoids allocating a per-call boolean index mask.
+        return int(np.count_nonzero(self.apply_counts < col)) == 1
+
+    def blocking_deps(self, msg: UpdateMessage) -> Tuple[Tuple[int, float], ...]:
+        w: MatrixClock = msg.meta
+        i, j = self.site, msg.sender
+        col = w.m[:, i]
+        ac = self.apply_counts
+        if ac[j] > col[j] - 1:
+            # Overshoot on the sender's own slot: the equality term
+            # ``Apply[j] = W[j,i] - 1`` can never become true again (apply
+            # counts are monotone).  Unreachable under FIFO channels, but
+            # park the message on an unsatisfiable dependency rather than
+            # spin — matching the rescan, which re-tests forever.
+            return ((j, float("inf")),)
+        deps = [
+            (int(k), int(col[k])) for k in np.nonzero(ac < col)[0] if k != j
+        ]
+        if ac[j] < col[j] - 1:
+            deps.append((j, int(col[j]) - 1))
+        return tuple(deps)
+
+    def blocking_fetch_deps(self, req: FetchRequest) -> Tuple[Tuple[int, int], ...]:
+        if req.deps is None:
+            return ()
+        ac = self.apply_counts
+        return tuple(
+            (int(k), int(req.deps[k])) for k in np.nonzero(ac < req.deps)[0]
+        )
+
+    def blocking_read_deps(self, var: VarId) -> Tuple[Tuple[int, int], ...]:
+        if not self.config.strict_remote_reads:
+            return ()
+        col = self.write_clock.m[:, self.site]
+        ac = self.apply_counts
+        return tuple((int(k), int(col[k])) for k in np.nonzero(ac < col)[0])
+
+    def apply_progress(self, z: SiteId) -> int:
+        return int(self.apply_counts[z])
 
     def apply_update(self, msg: UpdateMessage) -> None:
         if not self.can_apply(msg):

@@ -21,12 +21,27 @@ the empty record lets other sites prune their own copies.  ``PURGE``
 Representation: ``{(sender, clock): dests_bitmask}``.  Clocks are per-sender
 write sequence numbers, so keys are unique and per-sender recency is just a
 clock comparison.
+
+Hot-path engineering (profile-driven, see docs/performance.md):
+
+* **Copy-on-write**: ``copy()`` is O(1) — both logs share the underlying
+  dicts until one of them mutates (``_own``).  ``LastWriteOn`` snapshots and
+  the distributed-prune shared piggyback become free at write time.
+* **Incremental per-sender ``latest`` cache**: every operation that used to
+  recompute the per-sender newest-clock map (``purge``, ``copy_for_dest``,
+  ``merge``) now reads ``_latest``, maintained in O(1) per mutation.  Every
+  ``DepLog`` keeps the invariant that each sender in ``_latest`` still has
+  its newest record present (PURGE/MERGE/copies all retain it).
+* **Memoized accounting**: ``total_dests`` (and through it ``size_bytes``)
+  caches its sum with dirty-bit invalidation, so the metrics layer does not
+  re-walk a log per message — per-destination copies of one multicast share
+  the cache through the snapshot they were built from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core import bitsets
 
@@ -41,16 +56,48 @@ class LogEntry:
 
 
 class DepLog:
-    """A mutable KS-style dependency log.
+    """A mutable KS-style dependency log with copy-on-write copies.
 
     The underlying mapping is ``{(sender, clock): dests_mask}``.  All
     mutating operations implement the exact steps of Algorithms 2 and 3.
     """
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "_latest", "_dests", "_shared")
 
     def __init__(self, entries: Dict[Tuple[int, int], int] | None = None) -> None:
         self.entries: Dict[Tuple[int, int], int] = dict(entries) if entries else {}
+        latest: Dict[int, int] = {}
+        for (s, c) in self.entries:
+            if c > latest.get(s, 0):
+                latest[s] = c
+        self._latest: Dict[int, int] = latest
+        #: cached total_dests sum; None = dirty
+        self._dests: Optional[int] = None
+        #: True while ``entries``/``_latest`` may be shared with another log
+        self._shared: bool = False
+
+    @classmethod
+    def _from_parts(
+        cls,
+        entries: Dict[Tuple[int, int], int],
+        latest: Dict[int, int],
+        dests: Optional[int] = None,
+        shared: bool = False,
+    ) -> "DepLog":
+        """Internal constructor taking ownership of prebuilt dicts."""
+        obj = cls.__new__(cls)
+        obj.entries = entries
+        obj._latest = latest
+        obj._dests = dests
+        obj._shared = shared
+        return obj
+
+    def _own(self) -> None:
+        """Materialize private dicts before the first mutation (COW)."""
+        if self._shared:
+            self.entries = dict(self.entries)
+            self._latest = dict(self._latest)
+            self._shared = False
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -84,28 +131,44 @@ class DepLog:
         ]
 
     def copy(self) -> "DepLog":
-        return DepLog(self.entries)
+        """O(1) copy-on-write copy: both logs share state until one
+        mutates."""
+        self._shared = True
+        return DepLog._from_parts(
+            self.entries, self._latest, self._dests, shared=True
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 2/3 operations
     # ------------------------------------------------------------------
     def add(self, sender: int, clock: int, dests_mask: int) -> None:
         """Insert a new record (Alg. 2 line 13 / line 28)."""
+        self._own()
         self.entries[(sender, clock)] = dests_mask
+        if clock > self._latest.get(sender, 0):
+            self._latest[sender] = clock
+        self._dests = None
 
     def latest_clock(self, sender: int) -> int:
-        """Largest clock recorded for ``sender`` (0 if none)."""
-        best = 0
-        for (s, c) in self.entries:
-            if s == sender and c > best:
-                best = c
-        return best
+        """Largest clock recorded for ``sender`` (0 if none); O(1)."""
+        return self._latest.get(sender, 0)
+
+    @property
+    def latest_by_sender(self) -> Mapping[int, int]:
+        """Per-sender newest clock map.  Treat as read-only."""
+        return self._latest
 
     def prune_dests(self, mask: int) -> None:
         """Remove the sites in ``mask`` from every record's destination set
         (Alg. 2 lines 10-11, Condition 2 at the sender)."""
-        for key, dests in self.entries.items():
-            self.entries[key] = bitsets.difference(dests, mask)
+        hit = [(key, d & ~mask) for key, d in self.entries.items() if d & mask]
+        if not hit:
+            return
+        self._own()
+        entries = self.entries
+        for key, pruned in hit:
+            entries[key] = pruned
+        self._dests = None
 
     def remove_site(self, site: int) -> None:
         """Remove one site from every record (Alg. 2 lines 29-30,
@@ -115,15 +178,37 @@ class DepLog:
     def purge(self) -> None:
         """PURGE (Alg. 3 lines 1-3): drop records with an empty destination
         set unless they are the most recent record from their sender."""
-        latest: Dict[int, int] = {}
-        for (s, c) in self.entries:
-            if c > latest.get(s, 0):
-                latest[s] = c
-        self.entries = {
-            (s, c): d
-            for (s, c), d in self.entries.items()
-            if d != bitsets.EMPTY or c == latest[s]
-        }
+        latest = self._latest
+        doomed = [
+            key
+            for key, d in self.entries.items()
+            if d == bitsets.EMPTY and key[1] != latest[key[0]]
+        ]
+        if not doomed:
+            return
+        self._own()
+        entries = self.entries
+        for key in doomed:
+            del entries[key]
+        # every dropped record had an empty destination set, so the cached
+        # total_dests sum is still exact — no invalidation needed
+
+    def retire(self, mask: int) -> None:
+        """``prune_dests(mask)`` followed by ``purge()``, in one pass over
+        the log (the per-write Condition-2 + PURGE sequence, Alg. 2 lines
+        10-12).  Rebuilds the record dict, so the copy-on-write ``_own``
+        copy is folded in for free."""
+        latest = self._latest
+        out: Dict[Tuple[int, int], int] = {}
+        for key, d in self.entries.items():
+            nd = d & ~mask
+            if nd != bitsets.EMPTY or key[1] == latest[key[0]]:
+                out[key] = nd
+        self.entries = out
+        if self._shared:
+            self._latest = dict(latest)
+            self._shared = False
+        self._dests = None
 
     def copy_for_dest(self, dest: int, replicas_mask: int) -> "DepLog":
         """Build the per-destination piggyback copy of this log
@@ -141,17 +226,73 @@ class DepLog:
           they are the most recent from their sender (lines 7-8).
         """
         dest_bit = bitsets.singleton(dest)
+        latest = self._latest
         out: Dict[Tuple[int, int], int] = {}
-        latest: Dict[int, int] = {}
-        for (s, c) in self.entries:
-            if c > latest.get(s, 0):
-                latest[s] = c
         for (s, c), d in self.entries.items():
-            keep_dest = d & dest_bit
-            pruned = bitsets.difference(d, replicas_mask) | keep_dest
+            pruned = (d & ~replicas_mask) | (d & dest_bit)
             if pruned != bitsets.EMPTY or c == latest[s]:
                 out[(s, c)] = pruned
-        return DepLog(out)
+        return DepLog._from_parts(out, dict(latest))
+
+    def multicast_copies(
+        self, dests: Iterable[int], replicas_mask: int
+    ) -> List[Tuple[int, "DepLog"]]:
+        """Per-destination piggyback copies for one multicast, sharing work.
+
+        Returns ``[(dest, log), ...]`` in ``dests`` order, where each log
+        equals ``copy_for_dest(dest, replicas_mask)``.  The
+        destination-independent base (every record with ``replicas_mask``
+        pruned, empties dropped per lines 7-8) is computed once;
+        destinations whose copy coincides with it share one frozen snapshot
+        object, and the others pay only for their own retained-dest
+        overrides.
+        """
+        dests = list(dests)
+        all_dests_mask = bitsets.mask_of(dests)
+        latest = self._latest
+        base: Dict[Tuple[int, int], int] = {}
+        #: records naming at least one destination: original masks, needed
+        #: to compute the per-destination "keep dest itself" exception
+        naming: Dict[Tuple[int, int], int] = {}
+        for key, d in self.entries.items():
+            pruned = d & ~replicas_mask
+            if pruned != bitsets.EMPTY or key[1] == latest[key[0]]:
+                base[key] = pruned
+            if d & all_dests_mask:
+                naming[key] = d
+        base_dests = 0
+        for d in base.values():
+            base_dests += d.bit_count()
+        shared: Optional[DepLog] = None
+        out: List[Tuple[int, DepLog]] = []
+        for dest in dests:
+            dest_bit = 1 << dest
+            overrides = {
+                key: base.get(key, bitsets.EMPTY) | dest_bit
+                for key, d in naming.items()
+                if d & dest_bit
+            }
+            if overrides:
+                entries = dict(base)
+                entries.update(overrides)
+                # each override adds exactly the dest bit (it was pruned
+                # from the base copy, or the record was dropped as empty);
+                # the closed-form count only holds when dest was pruned
+                count = (
+                    base_dests + len(overrides)
+                    if dest_bit & replicas_mask
+                    else None
+                )
+                out.append(
+                    (dest, DepLog._from_parts(entries, dict(latest), count))
+                )
+            else:
+                if shared is None:
+                    shared = DepLog._from_parts(
+                        base, dict(latest), base_dests, shared=True
+                    )
+                out.append((dest, shared))
+        return out
 
     def merge(self, incoming: "DepLog") -> None:
         """MERGE (Alg. 3 lines 4-11): fold a piggybacked log into this one.
@@ -171,55 +312,110 @@ class DepLog:
         """
         if not incoming.entries:
             return
+        self._own()
         local = self.entries
-        local_latest: Dict[int, int] = {}
-        for (s, c) in local:
-            if c > local_latest.get(s, 0):
-                local_latest[s] = c
-        in_latest: Dict[int, int] = {}
-        for (s, c) in incoming.entries:
-            if c > in_latest.get(s, 0):
-                in_latest[s] = c
+        local_latest = self._latest
+        in_entries = incoming.entries
+        in_latest = incoming._latest
 
         # Local records made redundant by a strictly newer incoming record.
         doomed_local = [
             key
             for key in local
-            if key[1] < in_latest.get(key[0], 0) and key not in incoming.entries
+            if key[1] < in_latest.get(key[0], 0) and key not in in_entries
         ]
         for key in doomed_local:
             del local[key]
 
-        for key, d_in in incoming.entries.items():
+        for key, d_in in in_entries.items():
             if key in local:
-                local[key] = bitsets.intersection(local[key], d_in)
+                local[key] = local[key] & d_in
             elif key[1] < local_latest.get(key[0], 0):
                 # Incoming record older than a local record from the same
                 # sender and absent locally: already implicitly remembered.
                 continue
             else:
                 local[key] = d_in
+        # fold the incoming newest-clock knowledge into the cache (done
+        # after the loops: they must see the pre-merge local latest map)
+        for s, c in in_latest.items():
+            if c > local_latest.get(s, 0):
+                local_latest[s] = c
+        self._dests = None
+
+    def absorb(self, incoming: "DepLog") -> None:
+        """``merge(incoming)`` followed by ``purge()``, in one pass (the
+        per-read sequence, Alg. 2 lines 20-22).
+
+        Precondition: ``self`` is already purged — true at every call
+        site, because every mutating operation on a protocol's ``LOG``
+        ends purged (``retire`` after a write, ``absorb`` after a read).
+        Then only records the merge touches can need purging: a
+        pre-existing empty record is the latest of its sender, and if the
+        merge outdates it, it is either intersected (handled inline) or
+        deleted by the newer-incoming-record rule.
+        """
+        if not incoming.entries:
+            return
+        self._own()
+        local = self.entries
+        local_latest = self._latest
+        in_entries = incoming.entries
+        in_latest = incoming._latest
+
+        doomed_local = [
+            key
+            for key in local
+            if key[1] < in_latest.get(key[0], 0) and key not in in_entries
+        ]
+        for key in doomed_local:
+            del local[key]
+
+        for key, d_in in in_entries.items():
+            s, c = key
+            if key in local:
+                nd = local[key] & d_in
+                if nd == bitsets.EMPTY and c != max(
+                    local_latest.get(s, 0), in_latest.get(s, 0)
+                ):
+                    del local[key]  # empty and outdated: purge inline
+                else:
+                    local[key] = nd
+            elif c < local_latest.get(s, 0):
+                continue  # implicitly remembered as delivered
+            elif d_in != bitsets.EMPTY or c == max(
+                local_latest.get(s, 0), in_latest.get(s, 0)
+            ):
+                local[key] = d_in
+        for s, c in in_latest.items():
+            if c > local_latest.get(s, 0):
+                local_latest[s] = c
+        self._dests = None
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def total_dests(self) -> int:
-        """Sum of destination-set cardinalities over all records."""
-        total = 0
-        for d in self.entries.values():
-            total += d.bit_count()
+        """Sum of destination-set cardinalities over all records
+        (memoized; invalidated by mutation)."""
+        total = self._dests
+        if total is None:
+            total = 0
+            for d in self.entries.values():
+                total += d.bit_count()
+            self._dests = total
         return total
 
     def size_bytes(self, id_bytes: int = 4, clock_bytes: int = 8) -> int:
         """Serialized size: per record, a sender id + clock + dest ids.
 
-        Hot path: charged per message by the metrics layer — hence the
-        single fused loop instead of generator sums.
+        Hot path: charged per message by the metrics layer — served from
+        the memoized destination count plus an O(1) record count.
         """
-        total = 0
-        for d in self.entries.values():
-            total += d.bit_count()
-        return len(self.entries) * (id_bytes + clock_bytes) + total * id_bytes
+        return (
+            len(self.entries) * (id_bytes + clock_bytes)
+            + self.total_dests() * id_bytes
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         items = ", ".join(

@@ -115,19 +115,19 @@ class OptTrackProtocol(CausalProtocol):
                 if dest != self.site
             ]
         else:
-            for dest in reps:  # lines 2-9
-                if dest == self.site:
-                    continue
-                l_w = self.log.copy_for_dest(dest, prune_mask)  # lines 3-8
+            # lines 2-9: per-destination pruned copies, built in one pass
+            # over the log (the destination-independent part is shared)
+            remote = [dest for dest in reps if dest != self.site]
+            for dest, l_w in self.log.multicast_copies(remote, prune_mask):
                 meta = OptTrackMeta(clock, reps_mask, l_w)
                 messages.append(
                     UpdateMessage(var, value, write_id, self.site, dest, meta)
                 )
 
-        # lines 10-11: Condition 2 at the sender — the new update will
-        # transitively carry every logged dependency to the replicas of x_h
-        self.log.prune_dests(prune_mask)
-        self.log.purge()  # line 12
+        # lines 10-12: Condition 2 at the sender — the new update will
+        # transitively carry every logged dependency to the replicas of
+        # x_h — fused with the PURGE sweep
+        self.log.retire(prune_mask)
         # line 13: the new write joins the log
         self.log.add(self.site, clock, bitsets.remove(reps_mask, self.site))
         # deviation from line 16 (see module docstring): own writes are
@@ -148,8 +148,7 @@ class OptTrackProtocol(CausalProtocol):
     def read_local(self, var: VarId) -> Tuple[Any, Optional[WriteId]]:
         lw = self.last_write_on.get(var)
         if lw is not None:
-            self.log.merge(lw)  # line 21
-        self.log.purge()  # line 22
+            self.log.absorb(lw)  # lines 21-22 (merge + purge fused)
         return self.local_value(var)
 
     def can_read_local(self, var: VarId) -> bool:
@@ -171,12 +170,9 @@ class OptTrackProtocol(CausalProtocol):
             # before its copy of `var` is causally safe for us to read.
             # (Records not naming the server are transitively covered by
             # ones that do — the KS invariant.)
+            bit = bitsets.singleton(server)
             deps = tuple(
-                sorted(
-                    (z, c)
-                    for (z, c), d in self.log
-                    if bitsets.contains(d, server)
-                )
+                sorted(key for key, d in self.log.entries.items() if d & bit)
             )
         return FetchRequest(var, self.site, server, self.next_fetch_id(), deps)
 
@@ -196,8 +192,7 @@ class OptTrackProtocol(CausalProtocol):
         self, reply: FetchReply
     ) -> Tuple[Any, Optional[WriteId]]:
         if reply.meta is not None:
-            self.log.merge(reply.meta)  # line 20
-            self.log.purge()  # line 22
+            self.log.absorb(reply.meta)  # lines 20 + 22 (merge + purge fused)
         return reply.value, reply.write_id
 
     # ------------------------------------------------------------------
@@ -210,6 +205,32 @@ class OptTrackProtocol(CausalProtocol):
             if dests & me and self.apply_clocks[z] < c:
                 return False
         return True
+
+    def blocking_deps(self, msg: UpdateMessage) -> Tuple[Tuple[int, int], ...]:
+        # The activation predicate (lines 24-25) is exactly a conjunction of
+        # per-record waits, so the blocking set is directly indexable.
+        meta: OptTrackMeta = msg.meta
+        me = bitsets.singleton(self.site)
+        ac = self.apply_clocks
+        return tuple(
+            (z, c) for (z, c), dests in meta.log if dests & me and ac[z] < c
+        )
+
+    def blocking_fetch_deps(self, req: FetchRequest) -> Tuple[Tuple[int, int], ...]:
+        if req.deps is None:
+            return ()
+        ac = self.apply_clocks
+        return tuple((z, c) for (z, c) in req.deps if ac[z] < c)
+
+    def blocking_read_deps(self, var: VarId) -> Tuple[Tuple[int, int], ...]:
+        if not self.config.strict_remote_reads:
+            return ()
+        me = bitsets.singleton(self.site)
+        ac = self.apply_clocks
+        return tuple((z, c) for (z, c), d in self.log if d & me and ac[z] < c)
+
+    def apply_progress(self, z: SiteId) -> int:
+        return int(self.apply_clocks[z])
 
     def apply_update(self, msg: UpdateMessage) -> None:
         if not self.can_apply(msg):
@@ -255,7 +276,7 @@ class OptTrackProtocol(CausalProtocol):
 
     def _raise_ceiling(self, var: VarId, log: DepLog) -> None:
         ceiling = self._ceiling.setdefault(var, {})
-        for (z, c) in log.entries:
+        for z, c in log.latest_by_sender.items():
             if c > ceiling.get(z, 0):
                 ceiling[z] = c
 

@@ -92,6 +92,14 @@ class OptTrackCrpProtocol(CausalProtocol):
         # lines 9-10: every piggybacked record must already be applied
         return all(self.apply_clocks[z] >= c for z, c in meta.log.items())
 
+    def blocking_deps(self, msg: UpdateMessage) -> Tuple[Tuple[int, int], ...]:
+        meta: CrpMeta = msg.meta
+        ac = self.apply_clocks
+        return tuple((z, c) for z, c in meta.log.items() if ac[z] < c)
+
+    def apply_progress(self, z: int) -> int:
+        return int(self.apply_clocks[z])
+
     def apply_update(self, msg: UpdateMessage) -> None:
         if not self.can_apply(msg):
             raise ProtocolInvariantError(

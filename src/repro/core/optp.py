@@ -68,9 +68,25 @@ class OptPProtocol(CausalProtocol):
         j = msg.sender
         if self.apply_counts[j] != w[j] - 1:
             return False
-        mask = np.ones(self.n, dtype=bool)
-        mask[j] = False
-        return bool(np.all(self.apply_counts[mask] >= w.v[mask]))
+        # slot j always falls short by exactly 1 here (see Full-Track)
+        return int(np.count_nonzero(self.apply_counts < w.v)) == 1
+
+    def blocking_deps(self, msg: UpdateMessage) -> Tuple[Tuple[int, float], ...]:
+        w: VectorClock = msg.meta
+        j = msg.sender
+        ac = self.apply_counts
+        if ac[j] > w[j] - 1:
+            # unreachable under FIFO channels; see FullTrack.blocking_deps
+            return ((j, float("inf")),)
+        deps = [
+            (int(k), int(w.v[k])) for k in np.nonzero(ac < w.v)[0] if k != j
+        ]
+        if ac[j] < w[j] - 1:
+            deps.append((j, int(w[j]) - 1))
+        return tuple(deps)
+
+    def apply_progress(self, z: int) -> int:
+        return int(self.apply_counts[z])
 
     def apply_update(self, msg: UpdateMessage) -> None:
         if not self.can_apply(msg):

@@ -38,6 +38,7 @@ from repro.core.messages import (
     OptTrackMeta,
     UpdateMessage,
 )
+from repro.sim.batching import UpdateBatch
 
 
 @dataclass(frozen=True)
@@ -88,9 +89,15 @@ class SizeModel:
 
     # ------------------------------------------------------------------
     def message_size(self, msg: Any) -> int:
-        """Total size of one on-the-wire message (header + control data)."""
-        from repro.sim.batching import UpdateBatch
+        """Total size of one on-the-wire message (header + control data).
 
+        Called once per message sent; the common case (an unbatched
+        ``UpdateMessage``) is tested first, and ``DepLog.size_bytes``
+        underneath is memoized, so repricing the same shared log snapshot
+        across a multicast's copies costs one dict walk total.
+        """
+        if isinstance(msg, UpdateMessage):
+            return self.header_bytes + self.value_bytes + self.meta_size(msg.meta)
         if isinstance(msg, UpdateBatch):
             # one transport header; every update still pays its control
             # metadata (plus a small per-update subheader) — batching
@@ -100,8 +107,6 @@ class SizeModel:
                 per_update_header + self.value_bytes + self.meta_size(u.meta)
                 for u in msg.updates
             )
-        if isinstance(msg, UpdateMessage):
-            return self.header_bytes + self.value_bytes + self.meta_size(msg.meta)
         if isinstance(msg, FetchRequest):
             deps = 0
             if msg.deps is not None:

@@ -72,6 +72,10 @@ class ClusterConfig:
     #: coalesce updates per destination within this window (ms); None
     #: (default) sends one message per update, as the paper counts
     batch_window: Optional[float] = None
+    #: pending-update activation machinery: "index" (dependency wake
+    #: index, the O(work-done) default) or "rescan" (the original
+    #: fixed-point rescan; same apply order, kept for differential tests)
+    drain_strategy: str = "index"
 
     def resolved_replication_factor(self) -> int:
         cls = protocol_class(self.protocol)
@@ -307,6 +311,7 @@ class Cluster:
                     self.metrics,
                     self.tracer,
                     batch_window=config.batch_window,
+                    drain_strategy=config.drain_strategy,
                 )
             )
 

@@ -11,27 +11,35 @@ Time is unitless; the latency models interpret it as milliseconds.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class _Scheduled:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+    """One scheduled callback.  Heap entries are ``(time, seq, entry)``
+    tuples rather than the entries themselves: ``seq`` is unique, so tuple
+    comparison never reaches the entry, and ordering stays in C instead of
+    a Python-level ``__lt__`` per heap sift."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled", "done")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.done = False
 
 
 class EventHandle:
     """Handle to a scheduled event, supporting cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Scheduled) -> None:
+    def __init__(self, entry: _Scheduled, sim: "Simulator") -> None:
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -42,7 +50,10 @@ class EventHandle:
         return self._entry.cancelled
 
     def cancel(self) -> None:
-        self._entry.cancelled = True
+        entry = self._entry
+        if not entry.cancelled and not entry.done:
+            entry.cancelled = True
+            self._sim._pending_live -= 1
 
 
 class Simulator:
@@ -50,8 +61,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[_Scheduled] = []
+        self._heap: List[Tuple[float, int, _Scheduled]] = []
         self._seq: int = 0
+        self._pending_live: int = 0
         self.events_processed: int = 0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
@@ -60,8 +72,9 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         entry = _Scheduled(self.now + delay, self._seq, fn)
         self._seq += 1
-        heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        heapq.heappush(self._heap, (entry.time, entry.seq, entry))
+        self._pending_live += 1
+        return EventHandle(entry, self)
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` at absolute simulated time ``time``."""
@@ -69,19 +82,24 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events.
+
+        O(1): a live counter maintained by ``schedule`` / ``cancel`` /
+        ``step``, instead of a scan over the heap (which retains cancelled
+        entries until they reach the top).
+        """
+        return self._pending_live
 
     def peek_time(self) -> Optional[float]:
         """Simulated time of the next event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
         while self._heap:
-            entry = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)[2]
             if entry.cancelled:
                 continue
             if entry.time < self.now:
@@ -89,6 +107,8 @@ class Simulator:
                     f"time went backwards: {entry.time} < {self.now}"
                 )
             self.now = entry.time
+            entry.done = True
+            self._pending_live -= 1
             self.events_processed += 1
             entry.fn()
             return True

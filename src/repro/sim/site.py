@@ -1,11 +1,37 @@
 """A simulated site: one protocol instance plus its pending buffers.
 
 The paper spawns a thread per received update that blocks until the
-activation predicate ``A(m, e)`` turns true (Section II-B).  The
-deterministic equivalent used here: updates whose predicate is false go to
-a pending buffer, and the buffer is re-scanned after every event that
-changes protocol state (an apply, a local write).  Scanning repeats until
-a fixed point, since one apply can activate several others.
+activation predicate ``A(m, e)`` turns true (Section II-B).  The original
+deterministic equivalent used here was a **fixed-point rescan**: updates
+whose predicate is false go to a pending buffer, and the buffer is
+re-scanned after every event that changes protocol state, repeating until
+no progress — O(pending) work per apply.
+
+The default drain is now a **dependency wake index** (O(work done)): each
+buffered item registers a *watch* on one currently unsatisfied ``(origin,
+clock)`` dependency reported by the protocol's ``blocking_deps`` /
+``blocking_fetch_deps`` / ``blocking_read_deps`` hooks.  When an apply
+advances ``apply_progress(z)``, only the watchers parked on ``z`` are
+re-evaluated: each either becomes ready or re-registers on another still
+unsatisfied dependency (the classic watched-literal scheme — an item
+cannot be ready while *any* of its dependencies is unsatisfied, so
+watching a single one never misses the readiness moment).
+
+Apply **order is bit-for-bit identical** to the rescan (verified by
+tests/property/test_drain_equivalence.py).  The rescan examines pending
+items in arrival order, sweep after sweep; an item that becomes ready
+*behind* the sweep position waits for the next sweep, one *ahead* of it is
+applied in the same sweep.  The indexed drain reproduces this with two
+ready-heaps and an examination cursor: a wake with ``seq > cursor`` joins
+the current sweep's heap, one with ``seq <= cursor`` joins the next
+sweep's.
+
+Protocols whose hooks return ``None`` (e.g. the Ahamad baseline, which
+stays on the :class:`~repro.core.base.CausalProtocol` defaults) are
+"unindexable": their items go to a side list re-examined once per sweep at
+their arrival positions — exactly the rescan behaviour, merged in sequence
+order with the indexed fast path.  ``drain_strategy="rescan"`` keeps the
+original algorithm selectable (the property tests diff the two).
 
 Fetch requests are buffered the same way when strict remote reads are on
 and the requester's dependencies have not yet been applied locally.
@@ -13,6 +39,8 @@ and the requester's dependencies have not yet been applied locally.
 
 from __future__ import annotations
 
+import heapq
+from bisect import insort
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.base import CausalProtocol
@@ -31,6 +59,42 @@ from repro.sim.network import Network
 from repro.types import SiteId, VarId
 from repro.verify.history import History
 
+#: wake-token kinds
+_UPD, _FET, _RD = 0, 1, 2
+
+
+class _WakeIndex:
+    """Per-origin min-heaps of ``(clock, order, kind, seq)`` watch tokens.
+
+    ``order`` is a global registration counter so equal-clock tokens pop in
+    a deterministic order (the result is order-insensitive — woken items
+    are re-sorted by ``seq`` — but determinism is load-bearing here)."""
+
+    __slots__ = ("_heaps", "_order")
+
+    def __init__(self) -> None:
+        self._heaps: Dict[SiteId, List[Tuple[float, int, int, int]]] = {}
+        self._order = 0
+
+    def watch(self, z: SiteId, clock: float, kind: int, seq: int) -> None:
+        heap = self._heaps.get(z)
+        if heap is None:
+            heap = self._heaps[z] = []
+        self._order += 1
+        heapq.heappush(heap, (clock, self._order, kind, seq))
+
+    def has_watchers(self, z: SiteId) -> bool:
+        return bool(self._heaps.get(z))
+
+    def pop_ready(self, z: SiteId, progress: int) -> List[Tuple[int, int]]:
+        """Pop every token on ``z`` whose clock is now satisfied."""
+        heap = self._heaps.get(z)
+        out: List[Tuple[int, int]] = []
+        while heap and heap[0][0] <= progress:
+            _, _, kind, seq = heapq.heappop(heap)
+            out.append((kind, seq))
+        return out
+
 
 class SimSite:
     """Wires one :class:`CausalProtocol` instance into the simulation."""
@@ -44,6 +108,7 @@ class SimSite:
         metrics: Optional[MetricsCollector] = None,
         tracer: Optional[Tracer] = None,
         batch_window: Optional[float] = None,
+        drain_strategy: str = "index",
     ) -> None:
         self.protocol = protocol
         self.site: SiteId = protocol.site
@@ -52,6 +117,15 @@ class SimSite:
         self.history = history
         self.metrics = metrics
         self.tracer = tracer
+        if drain_strategy == "auto":
+            drain_strategy = "index"
+        if drain_strategy not in ("index", "rescan"):
+            raise SimulationError(
+                f"unknown drain_strategy {drain_strategy!r} "
+                f"(expected 'index' or 'rescan')"
+            )
+        self.drain_strategy = drain_strategy
+        self._indexed = drain_strategy == "index"
         self.batcher = None
         if batch_window is not None:
             from repro.sim.batching import UpdateBatcher
@@ -62,19 +136,50 @@ class SimSite:
                 lambda delay, fn: sim.schedule(delay, fn),
                 self._send_batch,
             )
-        #: updates waiting for their activation predicate: (msg, recv time)
-        self.pending_updates: List[Tuple[UpdateMessage, float]] = []
-        #: fetch requests waiting for strict-mode dependencies
-        self.pending_fetches: List[Tuple[FetchRequest, float]] = []
+        #: arrival-ordered pending stores: seq -> item.  Sequence numbers
+        #: replicate the old append-only lists' positional order.
+        self._pu: Dict[int, Tuple[UpdateMessage, float]] = {}
+        self._pf: Dict[int, Tuple[FetchRequest, float]] = {}
+        self._pr: Dict[int, Tuple[VarId, Callable[[], None]]] = {}
+        self._useq = 0
+        self._fseq = 0
+        self._rseq = 0
+        #: believed-ready seqs (min-heaps); consumed by the next drain
+        self._ready_u: List[int] = []
+        self._ready_f: List[int] = []
+        self._ready_r: List[int] = []
+        #: unindexable seqs (protocol hook returned None), kept sorted;
+        #: re-examined once per sweep like the rescan did
+        self._unidx_u: List[int] = []
+        self._unidx_f: List[int] = []
+        self._unidx_r: List[int] = []
+        self._wake = _WakeIndex()
         #: fetch_id -> callback awaiting a FetchReply at this site
         self._fetch_waiters: Dict[int, Callable[[FetchReply], None]] = {}
-        #: local reads blocked by can_read_local: (var, callback)
-        self._read_waiters: List[Tuple[VarId, Callable[[], None]]] = []
         #: update messages multicast by this site (termination detection)
         self.updates_sent: int = 0
         #: update messages from other sites applied here
         self.updates_applied: int = 0
         network.register(self.site, self._on_message)
+
+    # ------------------------------------------------------------------
+    # buffered-work views (read-only; the dicts are the ground truth)
+    # ------------------------------------------------------------------
+    @property
+    def pending_updates(self) -> List[Tuple[UpdateMessage, float]]:
+        """Updates waiting for their activation predicate: (msg, recv
+        time), in arrival order."""
+        return list(self._pu.values())
+
+    @property
+    def pending_fetches(self) -> List[Tuple[FetchRequest, float]]:
+        """Fetch requests waiting for strict-mode dependencies."""
+        return list(self._pf.values())
+
+    @property
+    def _read_waiters(self) -> List[Tuple[VarId, Callable[[], None]]]:
+        """Local reads blocked by can_read_local: (var, callback)."""
+        return list(self._pr.values())
 
     # ------------------------------------------------------------------
     # outbound
@@ -131,8 +236,9 @@ class SimSite:
                     self.sim.now, self.site, batch.sender, "update-batch", "*"
                 )
             )
+        now = self.sim.now
         for msg in batch.updates:
-            self.pending_updates.append((msg, self.sim.now))
+            self._enqueue_update(msg, now)
         self.drain()
 
     def _on_update(self, msg: UpdateMessage) -> None:
@@ -140,16 +246,43 @@ class SimSite:
             self.tracer.emit(
                 ReceiptEvent(self.sim.now, self.site, msg.sender, "update", msg.var)
             )
-        self.pending_updates.append((msg, self.sim.now))
+        self._enqueue_update(msg, self.sim.now)
         self.drain()
+
+    def _enqueue_update(self, msg: UpdateMessage, recv_time: float) -> None:
+        seq = self._useq
+        self._useq += 1
+        self._pu[seq] = (msg, recv_time)
+        if self._indexed:
+            deps = self.protocol.blocking_deps(msg)
+            if deps is None:
+                self._unidx_u.append(seq)  # seqs only grow: stays sorted
+            elif deps:
+                z, c = deps[0]
+                self._wake.watch(z, c, _UPD, seq)
+            else:
+                heapq.heappush(self._ready_u, seq)
 
     def _on_fetch_request(self, req: FetchRequest) -> None:
         if self.tracer:
             self.tracer.emit(
                 ReceiptEvent(self.sim.now, self.site, req.requester, "fetch", req.var)
             )
-        self.pending_fetches.append((req, self.sim.now))
-        self._serve_ready_fetches()
+        seq = self._fseq
+        self._fseq += 1
+        self._pf[seq] = (req, self.sim.now)
+        if self._indexed:
+            deps = self.protocol.blocking_fetch_deps(req)
+            if deps is None:
+                self._unidx_f.append(seq)
+            elif deps:
+                z, c = deps[0]
+                self._wake.watch(z, c, _FET, seq)
+            else:
+                del self._pf[seq]
+                self._serve_fetch(req)
+        else:
+            self._serve_ready_fetches()
 
     def _on_fetch_reply(self, reply: FetchReply) -> None:
         if self.tracer:
@@ -168,29 +301,251 @@ class SimSite:
     # activation machinery
     # ------------------------------------------------------------------
     def drain(self) -> int:
-        """Apply every pending update whose activation predicate holds,
-        repeating to a fixed point; then serve unblocked fetches.
-        Returns the number of updates applied."""
+        """Apply every pending update whose activation predicate holds
+        (to the rescan's fixed point, in the rescan's order); then serve
+        unblocked fetches and local reads.  Returns the number of updates
+        applied."""
+        if self._indexed:
+            return self._drain_indexed()
+        return self._drain_rescan()
+
+    # -- indexed drain -------------------------------------------------
+    def _drain_indexed(self) -> int:
+        proto = self.protocol
+        pu = self._pu
+        cur = self._ready_u  # sweep-1 ready heap (the persistent one)
+        nxt: List[int] = []
+        # A local write advances this site's own apply progress outside the
+        # drain loop; catch the index up before the first sweep (cursor -1:
+        # every wake joins the first sweep, which examines everything —
+        # exactly like the rescan's first pass).
+        if self._wake.has_watchers(self.site):
+            self._process_wakes(self.site, cur, nxt, -1)
+
+        applied_total = 0
+        while cur or self._unidx_u:
+            # One sweep: believed-ready items (cur) and unindexable items,
+            # merged in arrival order.  cursor = last examined position.
+            applied_sweep = 0
+            cursor = -1
+            unidx = self._unidx_u
+            self._unidx_u = []
+            ui = 0
+            n_unidx = len(unidx)
+            while True:
+                useq = unidx[ui] if ui < n_unidx else None
+                cseq = cur[0] if cur else None
+                if cseq is None and useq is None:
+                    break
+                if cseq is None or (useq is not None and useq < cseq):
+                    # unindexable item: re-test its predicate at its
+                    # arrival position, as the rescan did
+                    ui += 1
+                    item = pu.get(useq)
+                    if item is None:
+                        continue
+                    msg, recv_time = item
+                    if proto.can_apply(msg):
+                        del pu[useq]
+                        cursor = useq
+                    else:
+                        self._unidx_u.append(useq)
+                        continue
+                else:
+                    seq = heapq.heappop(cur)
+                    item = pu.pop(seq, None)
+                    if item is None:
+                        continue  # stale token (applied via another path)
+                    msg, recv_time = item
+                    cursor = seq
+                proto.apply_update(msg)
+                self._record_apply(msg.var, msg.write_id, recv_time)
+                self.updates_applied += 1
+                applied_sweep += 1
+                # this apply advanced progress for msg.sender only: wake
+                # exactly the items parked on it
+                if self._wake.has_watchers(msg.sender):
+                    self._process_wakes(msg.sender, cur, nxt, cursor)
+            applied_total += applied_sweep
+            if nxt:
+                cur, nxt = nxt, []
+                continue
+            if applied_sweep == 0 or not self._unidx_u:
+                break
+            cur = []  # re-examine unindexable leftovers in a fresh sweep
+        if applied_total:
+            self._flush_ready_fetches()
+            self._flush_ready_reads()
+        return applied_total
+
+    def _process_wakes(
+        self, z: SiteId, cur: List[int], nxt: List[int], cursor: int
+    ) -> None:
+        """Re-evaluate every item watching ``z`` now that its progress
+        advanced.  Newly ready updates join the current sweep when their
+        position is still ahead of the cursor, the next sweep otherwise
+        (replicating the rescan's sweep discipline)."""
+        proto = self.protocol
+        for kind, seq in self._wake.pop_ready(z, proto.apply_progress(z)):
+            if kind == _UPD:
+                item = self._pu.get(seq)
+                if item is None:
+                    continue
+                deps = proto.blocking_deps(item[0])
+                if deps is None:
+                    insort(self._unidx_u, seq)
+                elif deps:
+                    z2, c2 = deps[0]
+                    self._wake.watch(z2, c2, _UPD, seq)
+                else:
+                    heapq.heappush(cur if seq > cursor else nxt, seq)
+            elif kind == _FET:
+                item = self._pf.get(seq)
+                if item is None:
+                    continue
+                deps = proto.blocking_fetch_deps(item[0])
+                if deps is None:
+                    insort(self._unidx_f, seq)
+                elif deps:
+                    z2, c2 = deps[0]
+                    self._wake.watch(z2, c2, _FET, seq)
+                else:
+                    heapq.heappush(self._ready_f, seq)
+            else:
+                item = self._pr.get(seq)
+                if item is None:
+                    continue
+                deps = proto.blocking_read_deps(item[0])
+                if deps is None:
+                    insort(self._unidx_r, seq)
+                elif deps:
+                    z2, c2 = deps[0]
+                    self._wake.watch(z2, c2, _RD, seq)
+                else:
+                    heapq.heappush(self._ready_r, seq)
+
+    def _flush_ready_fetches(self) -> None:
+        """Serve woken and unindexable pending fetches, in arrival order
+        (the rescan's single post-drain scan)."""
+        if not self._ready_f and not self._unidx_f:
+            return
+        proto = self.protocol
+        rf = self._ready_f
+        unidx = self._unidx_f
+        self._unidx_f = []
+        ui = 0
+        n_unidx = len(unidx)
+        while True:
+            useq = unidx[ui] if ui < n_unidx else None
+            cseq = rf[0] if rf else None
+            if cseq is None and useq is None:
+                break
+            if cseq is None or (useq is not None and useq < cseq):
+                ui += 1
+                seq = useq
+            else:
+                seq = heapq.heappop(rf)
+            item = self._pf.get(seq)
+            if item is None:
+                continue
+            req = item[0]
+            deps = proto.blocking_fetch_deps(req)
+            if deps is None:
+                insort(self._unidx_f, seq)
+            elif deps:
+                z, c = deps[0]
+                self._wake.watch(z, c, _FET, seq)
+            else:
+                del self._pf[seq]
+                self._serve_fetch(req)
+
+    def _flush_ready_reads(self) -> None:
+        """Fire woken and unindexable blocked local reads, in arrival
+        order, re-verifying ``can_read_local`` at fire time (a fired
+        callback runs ``read_local``, whose log merge can in principle
+        change another waiter's blocking set — in practice each site hosts
+        one application process, so at most one waiter is ever parked)."""
+        if not self._ready_r and not self._unidx_r:
+            return
+        proto = self.protocol
+        rr = self._ready_r
+        unidx = self._unidx_r
+        self._unidx_r = []
+        ui = 0
+        n_unidx = len(unidx)
+        while True:
+            useq = unidx[ui] if ui < n_unidx else None
+            cseq = rr[0] if rr else None
+            if cseq is None and useq is None:
+                break
+            if cseq is None or (useq is not None and useq < cseq):
+                ui += 1
+                seq = useq
+            else:
+                seq = heapq.heappop(rr)
+            item = self._pr.get(seq)
+            if item is None:
+                continue
+            var, callback = item
+            if proto.can_read_local(var):
+                del self._pr[seq]
+                callback()
+            else:
+                self._register_read(seq)
+
+    def _register_read(self, seq: int) -> None:
+        item = self._pr.get(seq)
+        if item is None:
+            return
+        deps = self.protocol.blocking_read_deps(item[0])
+        if deps is None:
+            if seq not in self._unidx_r:
+                insort(self._unidx_r, seq)
+        elif deps:
+            z, c = deps[0]
+            self._wake.watch(z, c, _RD, seq)
+        else:
+            heapq.heappush(self._ready_r, seq)
+
+    # -- legacy fixed-point rescan ------------------------------------
+    def _drain_rescan(self) -> int:
+        proto = self.protocol
+        pu = self._pu
         applied_total = 0
         progress = True
         while progress:
             progress = False
-            still: List[Tuple[UpdateMessage, float]] = []
-            for msg, recv_time in self.pending_updates:
-                if self.protocol.can_apply(msg):
-                    self.protocol.apply_update(msg)
+            for seq in list(pu):
+                msg, recv_time = pu[seq]
+                if proto.can_apply(msg):
+                    del pu[seq]
+                    proto.apply_update(msg)
                     self._record_apply(msg.var, msg.write_id, recv_time)
                     self.updates_applied += 1
                     applied_total += 1
                     progress = True
-                else:
-                    still.append((msg, recv_time))
-            self.pending_updates = still
         if applied_total:
             self._serve_ready_fetches()
             self._wake_ready_reads()
         return applied_total
 
+    def _serve_ready_fetches(self) -> None:
+        proto = self.protocol
+        for seq in list(self._pf):
+            req, _ = self._pf[seq]
+            if proto.can_serve_fetch(req):
+                del self._pf[seq]
+                self._serve_fetch(req)
+
+    def _wake_ready_reads(self) -> None:
+        proto = self.protocol
+        for seq in list(self._pr):
+            var, callback = self._pr[seq]
+            if proto.can_read_local(var):
+                del self._pr[seq]
+                callback()
+
+    # -- shared pieces -------------------------------------------------
     def wait_local_read(self, var: VarId, callback: Callable[[], None]) -> None:
         """Register a local read blocked by ``can_read_local``; the
         callback fires once the local state has caught up (possibly
@@ -198,34 +553,19 @@ class SimSite:
         if self.protocol.can_read_local(var):
             callback()
             return
-        self._read_waiters.append((var, callback))
+        seq = self._rseq
+        self._rseq += 1
+        self._pr[seq] = (var, callback)
+        if self._indexed:
+            self._register_read(seq)
 
-    def _wake_ready_reads(self) -> None:
-        still: List[Tuple[VarId, Callable[[], None]]] = []
-        for var, callback in self._read_waiters:
-            if self.protocol.can_read_local(var):
-                callback()
-            else:
-                still.append((var, callback))
-        self._read_waiters = still
-
-    def _serve_ready_fetches(self) -> None:
-        still: List[Tuple[FetchRequest, float]] = []
-        for req, recv_time in self.pending_fetches:
-            if self.protocol.can_serve_fetch(req):
-                reply = self.protocol.serve_fetch(req)
-                if self.tracer:
-                    self.tracer.emit(
-                        RemoteReturnEvent(
-                            self.sim.now, self.site, req.requester, req.var
-                        )
-                    )
-                self.network.send(
-                    MetricsCollector.REPLY, reply, self.site, req.requester
-                )
-            else:
-                still.append((req, recv_time))
-        self.pending_fetches = still
+    def _serve_fetch(self, req: FetchRequest) -> None:
+        reply = self.protocol.serve_fetch(req)
+        if self.tracer:
+            self.tracer.emit(
+                RemoteReturnEvent(self.sim.now, self.site, req.requester, req.var)
+            )
+        self.network.send(MetricsCollector.REPLY, reply, self.site, req.requester)
 
     def _record_apply(self, var: VarId, write_id, recv_time: float) -> None:
         now = self.sim.now
@@ -243,15 +583,15 @@ class SimSite:
     def quiescent(self) -> bool:
         """True when nothing is buffered at this site."""
         return (
-            not self.pending_updates
-            and not self.pending_fetches
+            not self._pu
+            and not self._pf
             and not self._fetch_waiters
-            and not self._read_waiters
+            and not self._pr
             and (self.batcher is None or self.batcher.pending == 0)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<SimSite {self.site} pending={len(self.pending_updates)}u/"
-            f"{len(self.pending_fetches)}f>"
+            f"<SimSite {self.site} pending={len(self._pu)}u/"
+            f"{len(self._pf)}f>"
         )

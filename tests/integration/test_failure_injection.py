@@ -23,6 +23,11 @@ class EagerApplyProtocol(OptTrackProtocol):
     def can_apply(self, msg: UpdateMessage) -> bool:
         return True
 
+    def blocking_deps(self, msg: UpdateMessage):
+        # the wake-index hook must agree with the disabled predicate,
+        # otherwise the indexed drain would still (correctly) buffer
+        return ()
+
     def apply_update(self, msg: UpdateMessage) -> None:
         # skip the activation + monotonicity guards entirely
         meta = msg.meta
