@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-fast table1 fig4 report
+.PHONY: test test-fast check bench bench-fast sweep-bench table1 fig4 report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,12 +9,23 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q tests/unit
 
+# Tier-1 suite (includes the runner determinism properties in
+# tests/property/test_sweep_parallel.py) plus the benchmark-harness
+# smoke tests, which live outside pytest's testpaths
+check:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q benchmarks/bench_sweep.py benchmarks/bench_hot_paths.py
+
 # Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops)
 bench:
 	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json
 
 bench-fast:
 	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json --fast
+
+# Regenerate BENCH_sweeps.json (serial vs --jobs fan-out vs warm cache)
+sweep-bench:
+	$(PYTHON) benchmarks/bench_sweep.py --out BENCH_sweeps.json
 
 table1:
 	$(PYTHON) -m repro.cli table1

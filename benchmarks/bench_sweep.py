@@ -1,0 +1,137 @@
+"""Parallel-runner benchmark: serial vs. fan-out vs. warm cache.
+
+Regenerates ``BENCH_sweeps.json`` (checked in at the repo root) — the
+measured basis for the runner section of docs/performance.md.  The
+subject is the Figure-4 simulation grid (n=10: five p lines x ten write
+rates = 50 cells) executed three ways through
+:func:`repro.analysis.runner.run_cells`:
+
+1. ``serial``        — one process, no cache (the pre-runner baseline)
+2. ``parallel_cold`` — ``--jobs N`` worker fan-out into an empty cache
+3. ``cache_warm``    — same command again; every cell is a cache hit
+
+The report records wall-clock per mode, how many cells were simulated
+vs. served from cache, the resulting speedups, and ``cpu_count`` —
+parallel speedup is bounded by physical cores, so the warm-cache number
+is the portable one.  All three modes must return row-for-row identical
+results; the report carries that check as ``rows_identical``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--fast] [--jobs N] [--out PATH]
+
+or via make::
+
+    make sweep-bench
+
+Also exposes a pytest smoke test so the harness itself cannot rot: a
+fast pass must simulate every cell cold, simulate nothing warm, and
+produce identical rows in all three modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.fig4 import default_ps, fig4_specs
+from repro.analysis.runner import CellSpec, run_cells
+
+#: the full Figure-4 grid (50 cells at n=10) and the smoke-test grid
+GRID = dict(n=10, ops_per_site=60, q=40)
+FAST_GRID = dict(n=5, ps=(2, 5), write_rates=(0.2, 0.5, 0.8), ops_per_site=10, q=8)
+
+
+def _measure(
+    specs: Sequence[CellSpec],
+    jobs: Optional[int],
+    cache_dir: Optional[str],
+) -> Dict[str, Any]:
+    cached = 0
+
+    def progress(done: int, total: int, outcome) -> None:
+        nonlocal cached
+        cached += outcome.cached
+
+    start = time.perf_counter()
+    outcomes = run_cells(specs, jobs=jobs, cache_dir=cache_dir, progress=progress)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 3),
+        "cells_simulated": len(specs) - cached,
+        "cells_cached": cached,
+        "rows": [o.row for o in outcomes],
+    }
+
+
+def bench_sweeps(fast: bool = False, jobs: int = 4, seed: int = 3) -> Dict[str, Any]:
+    """Measure the three execution modes on the Figure-4 grid."""
+    grid = dict(FAST_GRID if fast else GRID, seed=seed)
+    specs = fig4_specs(**grid)
+    report: Dict[str, Any] = {
+        "grid": {
+            **{k: v for k, v in grid.items() if k != "write_rates"},
+            "ps": list(grid.get("ps", default_ps(grid["n"]))),
+            "cells": len(specs),
+        },
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+    }
+    rows: List[List[Dict[str, Any]]] = []
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as cache:
+        for mode, mode_jobs, mode_cache in (
+            ("serial", 1, None),
+            ("parallel_cold", jobs, cache),
+            ("cache_warm", jobs, cache),
+        ):
+            measured = _measure(specs, mode_jobs, mode_cache)
+            rows.append(measured.pop("rows"))
+            report[mode] = measured
+    report["rows_identical"] = rows[0] == rows[1] == rows[2]
+    serial_wall = report["serial"]["wall_s"]
+    report["speedup_parallel_vs_serial"] = round(
+        serial_wall / max(report["parallel_cold"]["wall_s"], 1e-9), 2
+    )
+    report["speedup_warm_vs_serial"] = round(
+        serial_wall / max(report["cache_warm"]["wall_s"], 1e-9), 2
+    )
+    return report
+
+
+def write_report(path: str, fast: bool = False, jobs: int = 4, seed: int = 3):
+    report = bench_sweeps(fast=fast, jobs=jobs, seed=seed)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def test_sweep_bench_smoke():
+    report = bench_sweeps(fast=True, jobs=2)
+    cells = report["grid"]["cells"]
+    assert report["serial"]["cells_simulated"] == cells
+    assert report["parallel_cold"]["cells_cached"] == 0
+    assert report["cache_warm"]["cells_simulated"] == 0
+    assert report["cache_warm"]["cells_cached"] == cells
+    assert report["rows_identical"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_sweeps.json")
+    parser.add_argument("--fast", action="store_true", help="6-cell grid")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+    report = write_report(args.out, fast=args.fast, jobs=args.jobs, seed=args.seed)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,13 +15,12 @@ the aligned series the way the paper's plot reads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.analysis import model
-from repro.sim.cluster import Cluster, ClusterConfig
-from repro.workload.generator import WorkloadConfig, generate
+from repro.analysis import model, runner
 
 DEFAULT_PS: Tuple[int, ...] = (1, 3, 5, 7, 10)
 DEFAULT_WRITE_RATES: Tuple[float, ...] = tuple(np.round(np.linspace(0.05, 0.95, 10), 2))
@@ -70,7 +69,7 @@ def fig4_analytic(
     return result
 
 
-def fig4_simulated(
+def fig4_specs(
     n: int = 10,
     ps: Optional[Sequence[int]] = None,
     ops_per_site: int = 60,
@@ -78,17 +77,17 @@ def fig4_simulated(
     q: int = 40,
     seed: int = 0,
     check: bool = False,
-) -> Fig4Result:
-    """Measured Figure 4 series: Opt-Track at each ``p < n``,
-    Opt-Track-CRP at ``p = n``."""
+) -> List[runner.CellSpec]:
+    """The simulated Figure 4 grid as runner cell specs, ordered
+    ``(p, write_rate)`` row-major (the order :func:`fig4_simulated`
+    consumes them in)."""
     if ps is None:
         ps = default_ps(n)
-    result = Fig4Result(n=n, write_rates=list(write_rates), kind="simulated")
+    specs: List[runner.CellSpec] = []
     for p in ps:
-        series: List[float] = []
         for i, wr in enumerate(write_rates):
             protocol = "opt-track-crp" if p == n else "opt-track"
-            cfg = ClusterConfig(
+            cluster = dict(
                 n_sites=n,
                 n_variables=q,
                 protocol=protocol,
@@ -98,19 +97,54 @@ def fig4_simulated(
                 record_history=check,
                 space_probe_every=None,
             )
-            cluster = Cluster(cfg)
-            workload = generate(
-                WorkloadConfig(
-                    n_sites=n,
-                    ops_per_site=ops_per_site,
-                    write_rate=wr,
-                    placement=cluster.placement,
-                    seed=seed + 31 * i,
-                )
+            workload = dict(
+                n_sites=n,
+                ops_per_site=ops_per_site,
+                write_rate=float(wr),
+                seed=seed + 31 * i,
             )
-            run = cluster.run(workload, check=check)
-            series.append(float(run.metrics.total_messages))
-        result.series[p] = series
+            specs.append(runner.CellSpec.make(cluster, workload, check=check))
+    return specs
+
+
+def fig4_simulated(
+    n: int = 10,
+    ps: Optional[Sequence[int]] = None,
+    ops_per_site: int = 60,
+    write_rates: Sequence[float] = DEFAULT_WRITE_RATES,
+    q: int = 40,
+    seed: int = 0,
+    check: bool = False,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[runner.ProgressFn] = None,
+) -> Fig4Result:
+    """Measured Figure 4 series: Opt-Track at each ``p < n``,
+    Opt-Track-CRP at ``p = n``.
+
+    ``jobs``/``cache_dir``/``progress`` go to
+    :func:`repro.analysis.runner.run_cells`; the series are independent
+    of the execution mode (each cell is a pure function of its spec)."""
+    if ps is None:
+        ps = default_ps(n)
+    specs = fig4_specs(
+        n=n,
+        ps=ps,
+        ops_per_site=ops_per_site,
+        write_rates=write_rates,
+        q=q,
+        seed=seed,
+        check=check,
+    )
+    outcomes = runner.run_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    result = Fig4Result(n=n, write_rates=list(write_rates), kind="simulated")
+    rows = iter(outcomes)
+    for p in ps:
+        result.series[p] = [
+            float(next(rows).row["total_messages"]) for _ in write_rates
+        ]
     return result
 
 

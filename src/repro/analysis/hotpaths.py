@@ -31,9 +31,14 @@ from repro.workload.generator import WorkloadConfig, generate
 #: the docs/performance.md reference configuration
 REFERENCE = dict(n=20, q=100, p=3, ops_per_site=250, write_rate=0.4)
 
+#: the deep-buffer reference: full replication (optp) over a slow, widely
+#: spread WAN at a high write rate — pending buffers run ~60 deep (vs. <=1
+#: on the shallow reference), the regime the wake index exists for
+DEEP_REFERENCE = dict(n=16, q=60, ops_per_site=200, write_rate=0.8)
+
 
 def reference_run(
-    drain_strategy: str = "index",
+    drain_strategy: str = "auto",
     seed: int = 3,
     *,
     n: int = 20,
@@ -49,6 +54,55 @@ def reference_run(
         protocol="opt-track",
         replication_factor=p,
         seed=seed,
+        record_history=False,
+        space_probe_every=None,
+        drain_strategy=drain_strategy,
+    )
+    cluster = Cluster(cfg)
+    workload = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=ops_per_site,
+            write_rate=write_rate,
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    t0 = time.perf_counter()
+    result = cluster.run(workload, check=False)
+    wall = time.perf_counter() - t0
+    n_ops = sum(result.metrics.ops.values())
+    return {
+        "strategy": drain_strategy,
+        "ops": n_ops,
+        "wall_s": wall,
+        "ops_per_s": n_ops / wall,
+        "messages": result.metrics.total_messages,
+    }
+
+
+def deep_reference_run(
+    drain_strategy: str = "auto",
+    seed: int = 3,
+    *,
+    n: int = 16,
+    q: int = 60,
+    ops_per_site: int = 200,
+    write_rate: float = 0.8,
+) -> Dict[str, Any]:
+    """One timed deep-buffer run (slow-WAN optp); throughput figures."""
+    from repro.sim.latency import MatrixLatency
+
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.5, 400.0, size=(n, n))
+    np.fill_diagonal(base, 0.0)
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=q,
+        protocol="optp",
+        latency=MatrixLatency(base, jitter_sigma=0.3),
+        seed=seed,
+        think_time=0.1,
         record_history=False,
         space_probe_every=None,
         drain_strategy=drain_strategy,
@@ -147,18 +201,24 @@ def bench_hot_paths(
 ) -> Dict[str, Any]:
     """The full hot-path report (the ``BENCH_hot_paths.json`` payload)."""
     ref: Dict[str, Any] = dict(REFERENCE)
+    deep: Dict[str, Any] = dict(DEEP_REFERENCE)
     if fast:
         ref["ops_per_site"] = 50
-    runs = {
-        strategy: reference_run(strategy, seed=seed, **ref)
-        for strategy in ("index", "rescan")
-    }
-    assert runs["index"]["messages"] == runs["rescan"]["messages"], (
-        "drain strategies diverged — run the equivalence property test"
-    )
+        deep["ops_per_site"] = 40
+    strategies = ("auto", "index", "rescan")
+    runs = {s: reference_run(s, seed=seed, **ref) for s in strategies}
+    deep_runs = {s: deep_reference_run(s, seed=seed, **deep) for s in strategies}
+    for group in (runs, deep_runs):
+        assert (
+            group["auto"]["messages"]
+            == group["index"]["messages"]
+            == group["rescan"]["messages"]
+        ), "drain strategies diverged — run the equivalence property test"
     return {
         "reference": ref,
         "drain": runs,
+        "deep_reference": deep,
+        "drain_deep": deep_runs,
         "deplog": bench_deplog(n=ref["n"]),
     }
 

@@ -33,6 +33,10 @@ class ReportConfig:
     #: n values for the amortized-log sweep
     sweep_ns: Sequence[int] = (6, 10, 14, 18)
     include_simulated_fig4: bool = True
+    #: worker processes for the simulated Figure-4 grid (None = all cores)
+    jobs: Optional[int] = 1
+    #: content-addressed result cache for the simulated Figure-4 grid
+    cache_dir: Optional[str] = None
 
 
 def _amortized_sweep(cfg: ReportConfig):
@@ -170,7 +174,14 @@ def generate_report(
     emit(render_fig4(fig4_analytic(n=cfg.n)))
     emit("```")
     if cfg.include_simulated_fig4:
-        sim = fig4_simulated(n=cfg.n, ops_per_site=40, q=30, seed=cfg.seed)
+        sim = fig4_simulated(
+            n=cfg.n,
+            ops_per_site=40,
+            q=30,
+            seed=cfg.seed,
+            jobs=cfg.jobs,
+            cache_dir=cfg.cache_dir,
+        )
         emit("```")
         emit(render_fig4(sim))
         emit("```")

@@ -1,0 +1,272 @@
+"""Shared-nothing parallel experiment runner with a content-addressed cache.
+
+Every evaluation artifact of this reproduction — the Figure 4 crossover,
+the Table I comparisons, ad-hoc sweeps — is a set of *independent, seeded
+simulator cells*: build a cluster from a :class:`~repro.sim.cluster.ClusterConfig`,
+generate a workload from a :class:`~repro.workload.generator.WorkloadConfig`,
+run, summarize.  This module turns that shape into infrastructure:
+
+* :class:`CellSpec` — a picklable, hashable description of one cell (the
+  exact ``ClusterConfig`` and ``WorkloadConfig`` keyword arguments plus
+  the ``check`` flag).  Specs carry their own seeds, so every cell is a
+  pure function of its spec and any execution order is equivalent.
+* :func:`run_cells` — fan the missing cells out over a
+  ``ProcessPoolExecutor`` (``jobs`` workers), stream completions back in
+  any order, and return outcomes in spec order.  ``jobs=1`` runs inline
+  with zero pool overhead; results are identical either way because each
+  cell is isolated by construction.
+* :class:`ResultCache` — a content-addressed on-disk memo: the key is the
+  SHA-256 of the canonical JSON of (cluster kwargs, workload kwargs,
+  check, :func:`code_version`), the value is the cell's summary row.
+  Repeated or interrupted sweeps only simulate missing cells; any source
+  change under ``src/repro`` changes :func:`code_version` and invalidates
+  the whole cache rather than silently serving stale rows.
+
+The summary row (:func:`run_spec`) is a plain-JSON dict, so a cache hit
+round-trips byte-identically: JSON preserves ints and float reprs
+exactly, which is what lets ``tests/property/test_sweep_parallel.py``
+assert that serial, parallel, and warm-cache sweeps emit the same CSV.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.workload.generator import WorkloadConfig, generate
+
+#: spec parameter values must be cache-stable scalars: hashable, picklable
+#: and canonically JSON-serializable (numpy float64 subclasses float and
+#: is accepted; numpy integer scalars are not ints — convert them first)
+_SCALARS = (type(None), bool, int, float, str)
+
+Items = Tuple[Tuple[str, Any], ...]
+ProgressFn = Callable[[int, int, "CellOutcome"], None]
+
+
+def _freeze(kwargs: Mapping[str, Any], what: str) -> Items:
+    items = []
+    for key in sorted(kwargs):
+        value = kwargs[key]
+        if not isinstance(value, _SCALARS):
+            raise ConfigurationError(
+                f"{what} parameter {key}={value!r} is not a cacheable scalar "
+                f"(need one of {[t.__name__ for t in _SCALARS]})"
+            )
+        items.append((key, value))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell: everything needed to rebuild and run it.
+
+    ``cluster`` and ``workload`` are the keyword arguments for
+    :class:`ClusterConfig` and :class:`WorkloadConfig` (minus
+    ``placement``, which is derived from the built cluster), stored as
+    sorted item tuples so the spec is hashable and canonical."""
+
+    cluster: Items
+    workload: Items
+    check: bool = False
+
+    @classmethod
+    def make(
+        cls,
+        cluster: Mapping[str, Any],
+        workload: Mapping[str, Any],
+        check: bool = False,
+    ) -> "CellSpec":
+        return cls(
+            cluster=_freeze(cluster, "cluster"),
+            workload=_freeze(workload, "workload"),
+            check=bool(check),
+        )
+
+    def cluster_kwargs(self) -> Dict[str, Any]:
+        return dict(self.cluster)
+
+    def workload_kwargs(self) -> Dict[str, Any]:
+        return dict(self.workload)
+
+
+@dataclass
+class CellOutcome:
+    """One finished cell: its spec, summary row, and cache provenance."""
+
+    spec: CellSpec
+    row: Dict[str, Any]
+    cached: bool
+    key: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# content addressing
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``.py`` file in the ``repro`` package.
+
+    Part of the cache key: any code change — protocol semantics, metric
+    accounting, workload generation — produces a new version and thereby
+    a cold cache.  Coarse on purpose: re-running a sweep is cheap next to
+    debugging a stale cached row."""
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cache_key(spec: CellSpec) -> str:
+    """Content address of one cell: config + workload + check + code."""
+    payload = json.dumps(
+        {
+            "cluster": list(spec.cluster),
+            "workload": list(spec.workload),
+            "check": spec.check,
+            "version": code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<sha256>.json`` summary rows, written atomically."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            text = self.path(key).read_text()
+        except OSError:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return None  # torn write from an interrupted run: a miss
+
+    def put(self, key: str, row: Dict[str, Any]) -> None:
+        final = self.path(key)
+        tmp = final.with_name(f"{final.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(row, sort_keys=True))
+        tmp.replace(final)  # atomic on POSIX: concurrent writers both win
+
+
+# ----------------------------------------------------------------------
+# cell execution
+# ----------------------------------------------------------------------
+def _plain(value: Any) -> Any:
+    """Strip numpy scalar types so rows are canonical JSON either way."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    return value
+
+
+def run_spec(spec: CellSpec) -> Dict[str, Any]:
+    """Execute one cell; return its plain-JSON summary row.
+
+    This is the worker function shipped to pool processes; it must stay
+    module-level (picklable) and depend on nothing but the spec."""
+    cluster = Cluster(ClusterConfig(**spec.cluster_kwargs()))
+    workload = generate(
+        WorkloadConfig(placement=cluster.placement, **spec.workload_kwargs())
+    )
+    result = cluster.run(workload, check=spec.check)
+    m = result.metrics
+    return _plain(
+        {
+            "message_counts": dict(m.message_counts),
+            "total_messages": m.total_messages,
+            "total_message_bytes": m.total_message_bytes,
+            "ops": dict(m.ops),
+            "activation_delay_mean": m.activation_delay["mean"],
+            "space_mean_per_site": m.space_bytes["mean_per_site"],
+            "sim_time": result.sim_time,
+            "conflicts": result.conflicts,
+            "ok": result.ok if spec.check else None,
+        }
+    )
+
+
+def run_cells(
+    specs: Iterable[CellSpec],
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[CellOutcome]:
+    """Run every cell, in parallel, memoized; outcomes in spec order.
+
+    ``jobs``: worker processes (``None`` = ``os.cpu_count()``; ``<=1`` =
+    inline).  ``cache_dir``: enable the content-addressed cache there.
+    ``progress(done, total, outcome)`` fires once per finished cell —
+    cache hits first, then simulated cells as they stream back."""
+    specs = list(specs)
+    total = len(specs)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    missing: List[Tuple[int, CellSpec, Optional[str]]] = []
+    done = 0
+    for i, spec in enumerate(specs):
+        key = cache_key(spec) if cache is not None else None
+        row = cache.get(key) if cache is not None else None
+        if row is not None:
+            outcomes[i] = CellOutcome(spec, row, cached=True, key=key)
+            done += 1
+            if progress is not None:
+                progress(done, total, outcomes[i])
+        else:
+            missing.append((i, spec, key))
+
+    def finish(i: int, spec: CellSpec, key: Optional[str], row: Dict[str, Any]) -> None:
+        nonlocal done
+        if cache is not None:
+            cache.put(key, row)
+        outcomes[i] = CellOutcome(spec, row, cached=False, key=key)
+        done += 1
+        if progress is not None:
+            progress(done, total, outcomes[i])
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(missing) <= 1:
+        for i, spec, key in missing:
+            finish(i, spec, key, run_spec(spec))
+    else:
+        workers = min(jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run_spec, spec): (i, spec, key)
+                for i, spec, key in missing
+            }
+            for future in as_completed(futures):
+                i, spec, key = futures[future]
+                finish(i, spec, key, future.result())
+    return outcomes  # type: ignore[return-value]

@@ -6,6 +6,13 @@ the message count scale with n at three write rates?") without writing a
 bespoke loop every time.  Rows are plain dicts; :func:`to_csv` serializes
 them for external plotting.
 
+Cells execute through :mod:`repro.analysis.runner`: pass ``jobs=4`` to
+fan the grid out over four worker processes, and ``cache_dir=...`` to
+memoize cells in the content-addressed result cache so repeated or
+interrupted sweeps only simulate what is missing.  Rows are identical
+whatever the execution mode — each cell is a pure function of its
+parameters and seed.
+
 Example::
 
     from repro.analysis.sweep import sweep
@@ -16,6 +23,8 @@ Example::
         write_rate=[0.2, 0.8],
         ops_per_site=60,
         seed=3,
+        jobs=4,
+        cache_dir=".sweep-cache",
     )
     # each row: the swept parameters + message/byte/space/delay metrics
 """
@@ -28,18 +37,84 @@ import itertools
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.analysis import runner
 from repro.core.base import protocol_class
-from repro.sim.cluster import Cluster, ClusterConfig
-from repro.workload.generator import WorkloadConfig, generate
 
 #: parameters that may be swept (lists) or fixed (scalars)
 SWEEPABLE = ("protocol", "n", "q", "p", "write_rate", "ops_per_site", "seed")
+
+#: fixed per-cell defaults (mirrors :func:`run_cell`'s signature)
+_CELL_DEFAULTS = dict(
+    protocol="opt-track",
+    n=10,
+    q=30,
+    p=3,
+    write_rate=0.4,
+    ops_per_site=60,
+    seed=0,
+)
 
 
 def _as_list(value: Any) -> List[Any]:
     if isinstance(value, (list, tuple)):
         return list(value)
     return [value]
+
+
+def cell_spec(
+    protocol: str,
+    n: int,
+    q: int,
+    p: int,
+    write_rate: float,
+    ops_per_site: int,
+    seed: int,
+    check: bool = False,
+    **cluster_kw: Any,
+) -> runner.CellSpec:
+    """The :class:`~repro.analysis.runner.CellSpec` for one sweep cell."""
+    full_only = protocol_class(protocol).full_replication_only
+    cluster = dict(
+        n_sites=n,
+        n_variables=q,
+        protocol=protocol,
+        replication_factor=None if full_only else p,
+        seed=seed,
+        think_time=2.0,
+        record_history=check,
+        **cluster_kw,
+    )
+    workload = dict(
+        n_sites=n,
+        ops_per_site=ops_per_site,
+        write_rate=write_rate,
+        seed=seed + 1,
+    )
+    return runner.CellSpec.make(cluster, workload, check=check)
+
+
+def _row(cell: Mapping[str, Any], summary: Mapping[str, Any]) -> Dict[str, Any]:
+    """Assemble the flat sweep row from cell params + runner summary."""
+    counts = summary["message_counts"]
+    full_only = protocol_class(cell["protocol"]).full_replication_only
+    return {
+        "protocol": cell["protocol"],
+        "n": cell["n"],
+        "q": cell["q"],
+        "p": cell["n"] if full_only else cell["p"],
+        "write_rate": cell["write_rate"],
+        "ops_per_site": cell["ops_per_site"],
+        "seed": cell["seed"],
+        "messages": summary["total_messages"],
+        "update_messages": counts.get("update", 0) + counts.get("update-batch", 0),
+        "control_bytes": summary["total_message_bytes"],
+        "space_mean_per_site": summary["space_mean_per_site"],
+        "activation_delay_mean": summary["activation_delay_mean"],
+        "remote_reads": summary["ops"]["read-remote"],
+        "sim_time": summary["sim_time"],
+        "conflicts": summary["conflicts"],
+        "consistent": summary["ok"],
+    }
 
 
 def run_cell(
@@ -54,73 +129,66 @@ def run_cell(
     **cluster_kw: Any,
 ) -> Dict[str, Any]:
     """Run one configuration; return the flat result row."""
-    full_only = protocol_class(protocol).full_replication_only
-    cfg = ClusterConfig(
-        n_sites=n,
-        n_variables=q,
+    cell = dict(
         protocol=protocol,
-        replication_factor=None if full_only else p,
+        n=n,
+        q=q,
+        p=p,
+        write_rate=write_rate,
+        ops_per_site=ops_per_site,
         seed=seed,
-        think_time=2.0,
-        record_history=check,
-        **cluster_kw,
     )
-    cluster = Cluster(cfg)
-    wl = generate(
-        WorkloadConfig(
-            n_sites=n,
-            ops_per_site=ops_per_site,
-            write_rate=write_rate,
-            placement=cluster.placement,
-            seed=seed + 1,
-        )
-    )
-    result = cluster.run(wl, check=check)
-    m = result.metrics
-    return {
-        "protocol": protocol,
-        "n": n,
-        "q": q,
-        "p": n if full_only else p,
-        "write_rate": write_rate,
-        "ops_per_site": ops_per_site,
-        "seed": seed,
-        "messages": m.total_messages,
-        "update_messages": m.message_counts.get("update", 0)
-        + m.message_counts.get("update-batch", 0),
-        "control_bytes": m.total_message_bytes,
-        "space_mean_per_site": m.space_bytes["mean_per_site"],
-        "activation_delay_mean": m.activation_delay["mean"],
-        "remote_reads": m.ops["read-remote"],
-        "sim_time": result.sim_time,
-        "conflicts": result.conflicts,
-        "consistent": result.ok if check else None,
-    }
+    spec = cell_spec(check=check, **cell, **cluster_kw)
+    return _row(cell, runner.run_spec(spec))
 
 
-def sweep(check: bool = False, **params: Any) -> List[Dict[str, Any]]:
+def sweep(
+    check: bool = False,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[runner.ProgressFn] = None,
+    **params: Any,
+) -> List[Dict[str, Any]]:
     """Cartesian sweep: any parameter in :data:`SWEEPABLE` may be a list.
 
     Unknown keyword arguments are forwarded to :class:`ClusterConfig`
-    (fixed across the sweep).
+    (fixed across the sweep).  ``jobs``, ``cache_dir`` and ``progress``
+    go to :func:`repro.analysis.runner.run_cells`; the returned rows are
+    independent of ``jobs`` and of cache state.
     """
     grid = {k: _as_list(params.pop(k)) for k in SWEEPABLE if k in params}
     if not grid:
         raise ValueError(f"nothing to sweep; pass one of {SWEEPABLE}")
     keys = list(grid)
-    rows: List[Dict[str, Any]] = []
-    for combo in itertools.product(*(grid[k] for k in keys)):
-        cell = dict(zip(keys, combo))
-        rows.append(run_cell(check=check, **cell, **params))
-    return rows
+    cells = [
+        {**_CELL_DEFAULTS, **dict(zip(keys, combo))}
+        for combo in itertools.product(*(grid[k] for k in keys))
+    ]
+    specs = [cell_spec(check=check, **cell, **params) for cell in cells]
+    outcomes = runner.run_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    return [_row(cell, outcome.row) for cell, outcome in zip(cells, outcomes)]
 
 
 def to_csv(rows: Sequence[Mapping[str, Any]], path: Optional[Union[str, Path]] = None) -> str:
-    """Serialize sweep rows as CSV; write to ``path`` when given."""
+    """Serialize sweep rows as CSV; write to ``path`` when given.
+
+    Columns are the union of keys across all rows, ordered by first
+    appearance; rows missing a column emit an empty cell."""
     if not rows:
         return ""
+    fieldnames: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                fieldnames.append(key)
     buf = io.StringIO()
-    writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()), lineterminator="\n")
+    writer = csv.DictWriter(
+        buf, fieldnames=fieldnames, restval="", lineterminator="\n"
+    )
     writer.writeheader()
     for row in rows:
         writer.writerow(row)

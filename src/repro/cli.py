@@ -3,12 +3,17 @@
 Subcommands::
 
     repro-sim table1   [--n 10 --q 50 --p 3 --write-rate 0.4 --ops 100]
-    repro-sim fig4     [--n 10 --ops 60] [--analytic-only]
+    repro-sim fig4     [--n 10 --ops 60] [--analytic-only] [--jobs N --cache DIR]
+    repro-sim sweep    [--protocol a,b --write-rate 0.2,0.8 ...] [--jobs N --cache DIR]
     repro-sim run      --protocol opt-track --n 10 [--p 3 --ops 100 ...]
     repro-sim protocols
 
 ``table1`` and ``fig4`` regenerate the paper's evaluation artifacts;
 ``run`` executes one ad-hoc simulation and prints its metric summary.
+``sweep`` and ``fig4`` fan their independent cells out over ``--jobs``
+worker processes and memoize finished cells in the content-addressed
+result cache under ``--cache`` (see :mod:`repro.analysis.runner`); cell
+progress streams to stderr, results are identical to a serial run.
 """
 
 from __future__ import annotations
@@ -23,6 +28,38 @@ from repro.analysis.tables import render_table1, run_table1
 from repro.core.base import available_protocols
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.workload.generator import WorkloadConfig, generate
+
+
+def _add_runner(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cells (0 = all cores)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (reruns only "
+        "simulate missing cells)",
+    )
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    jobs = None if args.jobs == 0 else args.jobs
+    done_tags = {"cached": 0, "simulated": 0}
+
+    def progress(done: int, total: int, outcome) -> None:
+        done_tags["cached" if outcome.cached else "simulated"] += 1
+        print(
+            f"\r[{done}/{total}] cells "
+            f"({done_tags['simulated']} simulated, {done_tags['cached']} cached)",
+            end="" if done < total else "\n",
+            file=sys.stderr,
+        )
+
+    return {"jobs": jobs, "cache_dir": args.cache, "progress": progress}
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -54,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the simulated series (fast)",
     )
+    _add_runner(f4)
 
     run = sub.add_parser("run", help="one ad-hoc simulation")
     _add_common(run)
@@ -75,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=1)
     rep.add_argument("--fast", action="store_true", help="skip the simulated Figure-4 sweep")
     rep.add_argument("--out", default=None, help="write to file instead of stdout")
+    _add_runner(rep)
 
     sw = sub.add_parser(
         "sweep",
@@ -90,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--ops", type=int, default=60)
     sw.add_argument("--seed", type=int, default=0)
     sw.add_argument("--out", default=None, help="CSV file (default: stdout)")
+    _add_runner(sw)
 
     bench = sub.add_parser(
         "bench",
@@ -120,7 +160,16 @@ def cmd_table1(args: argparse.Namespace) -> int:
 def cmd_fig4(args: argparse.Namespace) -> int:
     print(render_fig4(fig4_analytic(n=args.n)))
     if not args.analytic_only:
-        print(render_fig4(fig4_simulated(n=args.n, ops_per_site=args.ops, seed=args.seed)))
+        print(
+            render_fig4(
+                fig4_simulated(
+                    n=args.n,
+                    ops_per_site=args.ops,
+                    seed=args.seed,
+                    **_runner_kwargs(args),
+                )
+            )
+        )
     return 0
 
 
@@ -213,7 +262,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import ReportConfig, generate_report
 
     cfg = ReportConfig(
-        n=args.n, seed=args.seed, include_simulated_fig4=not args.fast
+        n=args.n,
+        seed=args.seed,
+        include_simulated_fig4=not args.fast,
+        jobs=None if args.jobs == 0 else args.jobs,
+        cache_dir=args.cache,
     )
     text = generate_report(cfg)
     if args.out:
@@ -242,6 +295,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         q=args.q,
         ops_per_site=args.ops,
         seed=args.seed,
+        **_runner_kwargs(args),
     )
     text = to_csv(rows, args.out)
     if args.out:

@@ -38,7 +38,6 @@ from repro.core.messages import (
     OptTrackMeta,
     UpdateMessage,
 )
-from repro.sim.batching import UpdateBatch
 
 
 @dataclass(frozen=True)
@@ -53,70 +52,134 @@ class SizeModel:
     value_bytes: int = 0
 
     # ------------------------------------------------------------------
+    # per-type pricing rules (dispatched by exact type; see meta_size)
+    # ------------------------------------------------------------------
+    def _size_clock(self, meta: Any) -> int:
+        return meta.size_bytes(self.clock_bytes)
+
+    def _size_deplog(self, meta: DepLog) -> int:
+        return meta.size_bytes(self.id_bytes, self.clock_bytes)
+
+    def _size_opt_track(self, meta: OptTrackMeta) -> int:
+        # clock + replica set + log
+        return (
+            self.clock_bytes
+            + meta.replicas_mask.bit_count() * self.id_bytes
+            + meta.log.size_bytes(self.id_bytes, self.clock_bytes)
+        )
+
+    def _size_crp(self, meta: CrpMeta) -> int:
+        return self.clock_bytes + len(meta.log) * (
+            self.id_bytes + self.clock_bytes
+        )
+
+    def _size_pairs(self, meta: Any) -> int:
+        # CRP local log {sender: clock}, LastWriteOn {var: record}, or a
+        # collection of (sender, clock)-priced records
+        return len(meta) * (self.id_bytes + self.clock_bytes)
+
+    def _size_pair_tuple(self, meta: tuple) -> int:
+        if len(meta) != 2:
+            raise TypeError(f"don't know how to size {len(meta)}-tuple {meta!r}")
+        # CRP LastWriteOn record <sender, clock>
+        return self.id_bytes + self.clock_bytes
+
+    def _size_ndarray(self, meta: np.ndarray) -> int:
+        # Apply arrays / strict-fetch dependency columns
+        return int(meta.size) * self.clock_bytes
+
+    #: exact-type dispatch for meta_size — one dict lookup per metadata
+    #: object instead of an isinstance chain (this runs for every message
+    #: priced and every space probe).  Subtypes are resolved through the
+    #: chain once, then memoized under their exact type.
+    _META_SIZERS = {
+        MatrixClock: _size_clock,
+        VectorClock: _size_clock,
+        DepLog: _size_deplog,
+        OptTrackMeta: _size_opt_track,
+        CrpMeta: _size_crp,
+        dict: _size_pairs,
+        tuple: _size_pair_tuple,
+        np.ndarray: _size_ndarray,
+        list: _size_pairs,
+        frozenset: _size_pairs,
+        set: _size_pairs,
+    }
+
+    # ------------------------------------------------------------------
     def meta_size(self, meta: Any) -> int:
         """Size of one piggybacked/stored metadata object."""
         if meta is None:
             return 0
-        if isinstance(meta, MatrixClock):
-            return meta.size_bytes(self.clock_bytes)
-        if isinstance(meta, VectorClock):
-            return meta.size_bytes(self.clock_bytes)
-        if isinstance(meta, DepLog):
-            return meta.size_bytes(self.id_bytes, self.clock_bytes)
-        if isinstance(meta, OptTrackMeta):
-            # clock + replica set + log
-            return (
-                self.clock_bytes
-                + meta.replicas_mask.bit_count() * self.id_bytes
-                + meta.log.size_bytes(self.id_bytes, self.clock_bytes)
-            )
-        if isinstance(meta, CrpMeta):
-            return self.clock_bytes + len(meta.log) * (
-                self.id_bytes + self.clock_bytes
-            )
-        if isinstance(meta, dict):
-            # CRP local log {sender: clock} or LastWriteOn {var: record}
-            return len(meta) * (self.id_bytes + self.clock_bytes)
-        if isinstance(meta, tuple) and len(meta) == 2:
-            # CRP LastWriteOn record <sender, clock>
-            return self.id_bytes + self.clock_bytes
-        if isinstance(meta, np.ndarray):
-            # Apply arrays / strict-fetch dependency columns
-            return int(meta.size) * self.clock_bytes
-        if isinstance(meta, (list, frozenset, set)):
-            return len(meta) * (self.id_bytes + self.clock_bytes)
-        raise TypeError(f"don't know how to size {type(meta).__name__}")
+        sizer = self._META_SIZERS.get(type(meta))
+        if sizer is None:
+            for base, fn in list(self._META_SIZERS.items()):
+                if isinstance(meta, base):
+                    # memoize the subtype so the next lookup is exact
+                    self._META_SIZERS[type(meta)] = fn
+                    sizer = fn
+                    break
+            else:
+                raise TypeError(f"don't know how to size {type(meta).__name__}")
+        return sizer(self, meta)
 
     # ------------------------------------------------------------------
+    def _size_update(self, msg: UpdateMessage) -> int:
+        return self.header_bytes + self.value_bytes + self.meta_size(msg.meta)
+
+    def _size_batch(self, msg: Any) -> int:  # msg: repro.sim.batching.UpdateBatch
+        # one transport header; every update still pays its control
+        # metadata (plus a small per-update subheader) — batching
+        # saves headers and message count, never metadata
+        per_update_header = 8
+        return self.header_bytes + sum(
+            per_update_header + self.value_bytes + self.meta_size(u.meta)
+            for u in msg.updates
+        )
+
+    def _size_fetch_request(self, msg: FetchRequest) -> int:
+        deps = 0
+        if msg.deps is not None:
+            if isinstance(msg.deps, np.ndarray):
+                deps = int(msg.deps.size) * self.clock_bytes
+            else:  # tuple of (sender, clock) pairs
+                deps = len(msg.deps) * (self.id_bytes + self.clock_bytes)
+        return self.header_bytes + deps
+
+    def _size_fetch_reply(self, msg: FetchReply) -> int:
+        return self.header_bytes + self.value_bytes + self.meta_size(msg.meta)
+
+    #: exact-type dispatch for message_size, same scheme as _META_SIZERS.
+    #: UpdateBatch is registered lazily on first miss — repro.sim imports
+    #: the metrics package, so naming it here would be a circular import.
+    _MESSAGE_SIZERS = {
+        UpdateMessage: _size_update,
+        FetchRequest: _size_fetch_request,
+        FetchReply: _size_fetch_reply,
+    }
+
     def message_size(self, msg: Any) -> int:
         """Total size of one on-the-wire message (header + control data).
 
-        Called once per message sent; the common case (an unbatched
-        ``UpdateMessage``) is tested first, and ``DepLog.size_bytes``
-        underneath is memoized, so repricing the same shared log snapshot
-        across a multicast's copies costs one dict walk total.
+        Called once per message sent, dispatched on the message's exact
+        type; ``DepLog.size_bytes`` underneath is memoized, so repricing
+        the same shared log snapshot across a multicast's copies costs
+        one dict walk total.
         """
-        if isinstance(msg, UpdateMessage):
-            return self.header_bytes + self.value_bytes + self.meta_size(msg.meta)
-        if isinstance(msg, UpdateBatch):
-            # one transport header; every update still pays its control
-            # metadata (plus a small per-update subheader) — batching
-            # saves headers and message count, never metadata
-            per_update_header = 8
-            return self.header_bytes + sum(
-                per_update_header + self.value_bytes + self.meta_size(u.meta)
-                for u in msg.updates
-            )
-        if isinstance(msg, FetchRequest):
-            deps = 0
-            if msg.deps is not None:
-                if isinstance(msg.deps, np.ndarray):
-                    deps = int(msg.deps.size) * self.clock_bytes
-                else:  # tuple of (sender, clock) pairs
-                    deps = len(msg.deps) * (self.id_bytes + self.clock_bytes)
-            return self.header_bytes + deps
-        if isinstance(msg, FetchReply):
-            return self.header_bytes + self.value_bytes + self.meta_size(msg.meta)
+        sizer = self._MESSAGE_SIZERS.get(type(msg))
+        if sizer is None:
+            sizer = self._resolve_message_sizer(msg)
+        return sizer(self, msg)
+
+    def _resolve_message_sizer(self, msg: Any):
+        from repro.sim.batching import UpdateBatch
+
+        table = self._MESSAGE_SIZERS
+        table.setdefault(UpdateBatch, SizeModel._size_batch)
+        for base, fn in list(table.items()):
+            if isinstance(msg, base):
+                table[type(msg)] = fn  # memoize: next lookup is exact
+                return fn
         raise TypeError(f"don't know how to size {type(msg).__name__}")
 
 

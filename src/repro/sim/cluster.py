@@ -72,10 +72,12 @@ class ClusterConfig:
     #: coalesce updates per destination within this window (ms); None
     #: (default) sends one message per update, as the paper counts
     batch_window: Optional[float] = None
-    #: pending-update activation machinery: "index" (dependency wake
-    #: index, the O(work-done) default) or "rescan" (the original
-    #: fixed-point rescan; same apply order, kept for differential tests)
-    drain_strategy: str = "index"
+    #: pending-update activation machinery: "auto" (default; per-drain
+    #: choice from buffer occupancy — rescan while shallow, dependency
+    #: wake index once buffers run deep), "index" (always the wake
+    #: index, O(work-done)) or "rescan" (the original fixed-point
+    #: rescan; same apply order, kept for differential tests)
+    drain_strategy: str = "auto"
 
     def resolved_replication_factor(self) -> int:
         cls = protocol_class(self.protocol)

@@ -33,6 +33,19 @@ their arrival positions — exactly the rescan behaviour, merged in sequence
 order with the indexed fast path.  ``drain_strategy="rescan"`` keeps the
 original algorithm selectable (the property tests diff the two).
 
+The default, ``drain_strategy="auto"``, picks per drain from buffer
+occupancy: the index's watch registration and wake bookkeeping only pay
+off when pending buffers run deep (slow WANs, partitions, bursty
+arrivals); on shallow buffers a rescan touches fewer objects
+(``BENCH_hot_paths.json`` records both on the reference run).  Auto runs
+the rescan while ``len(pending) <= AUTO_INDEX_DEPTH`` and flips to the
+index above it, rebuilding the watch structures from the protocol's
+``blocking_*`` hooks at the flip — registration is memoryless given
+current protocol state, so a rebuilt index is indistinguishable from one
+maintained since arrival.  Because both strategies produce bit-identical
+behaviour from any state (the equivalence property below), mixing them
+per drain call preserves it.
+
 Fetch requests are buffered the same way when strict remote reads are on
 and the requester's dependencies have not yet been applied locally.
 """
@@ -61,6 +74,11 @@ from repro.verify.history import History
 
 #: wake-token kinds
 _UPD, _FET, _RD = 0, 1, 2
+
+#: pending-update depth above which ``drain_strategy="auto"`` switches
+#: from the rescan to the wake index (chosen from the reference-run
+#: crossover; see docs/performance.md)
+AUTO_INDEX_DEPTH = 16
 
 
 class _WakeIndex:
@@ -117,15 +135,20 @@ class SimSite:
         self.history = history
         self.metrics = metrics
         self.tracer = tracer
-        if drain_strategy == "auto":
-            drain_strategy = "index"
-        if drain_strategy not in ("index", "rescan"):
+        if drain_strategy not in ("index", "rescan", "auto"):
             raise SimulationError(
                 f"unknown drain_strategy {drain_strategy!r} "
-                f"(expected 'index' or 'rescan')"
+                f"(expected 'index', 'rescan' or 'auto')"
             )
         self.drain_strategy = drain_strategy
-        self._indexed = drain_strategy == "index"
+        #: occupancy threshold for "auto" (an instance copy so tests can
+        #: pin it without touching the module default)
+        self.auto_index_depth = AUTO_INDEX_DEPTH
+        #: whether the wake structures currently cover every pending item.
+        #: "index": always; "rescan": never; "auto": toggles with depth —
+        #: shallow phases skip registration entirely (that bookkeeping is
+        #: the index's overhead), deep phases rebuild then maintain it.
+        self._index_live = drain_strategy == "index"
         self.batcher = None
         if batch_window is not None:
             from repro.sim.batching import UpdateBatcher
@@ -253,7 +276,7 @@ class SimSite:
         seq = self._useq
         self._useq += 1
         self._pu[seq] = (msg, recv_time)
-        if self._indexed:
+        if self._index_live:
             deps = self.protocol.blocking_deps(msg)
             if deps is None:
                 self._unidx_u.append(seq)  # seqs only grow: stays sorted
@@ -271,7 +294,7 @@ class SimSite:
         seq = self._fseq
         self._fseq += 1
         self._pf[seq] = (req, self.sim.now)
-        if self._indexed:
+        if self._index_live:
             deps = self.protocol.blocking_fetch_deps(req)
             if deps is None:
                 self._unidx_f.append(seq)
@@ -305,9 +328,47 @@ class SimSite:
         (to the rescan's fixed point, in the rescan's order); then serve
         unblocked fetches and local reads.  Returns the number of updates
         applied."""
-        if self._indexed:
+        if self.drain_strategy == "auto":
+            if len(self._pu) <= self.auto_index_depth:
+                # shallow: rescan wins; drop the index (stale tokens are
+                # discarded wholesale at the next rebuild)
+                self._index_live = False
+            elif not self._index_live:
+                self._rebuild_index()
+        if self._index_live:
             return self._drain_indexed()
         return self._drain_rescan()
+
+    def _rebuild_index(self) -> None:
+        """Register every pending item in fresh wake structures (the flip
+        from rescan to index in "auto" mode).  Registration depends only
+        on current protocol state, so this reproduces exactly the index
+        an always-on strategy would hold right now."""
+        proto = self.protocol
+        self._wake = _WakeIndex()
+        self._ready_u, self._ready_f, self._ready_r = [], [], []
+        self._unidx_u, self._unidx_f, self._unidx_r = [], [], []
+        for seq in sorted(self._pu):
+            deps = proto.blocking_deps(self._pu[seq][0])
+            if deps is None:
+                self._unidx_u.append(seq)
+            elif deps:
+                z, c = deps[0]
+                self._wake.watch(z, c, _UPD, seq)
+            else:
+                heapq.heappush(self._ready_u, seq)
+        for seq in sorted(self._pf):
+            deps = proto.blocking_fetch_deps(self._pf[seq][0])
+            if deps is None:
+                self._unidx_f.append(seq)
+            elif deps:
+                z, c = deps[0]
+                self._wake.watch(z, c, _FET, seq)
+            else:
+                heapq.heappush(self._ready_f, seq)
+        for seq in sorted(self._pr):
+            self._register_read(seq)
+        self._index_live = True
 
     # -- indexed drain -------------------------------------------------
     def _drain_indexed(self) -> int:
@@ -556,7 +617,7 @@ class SimSite:
         seq = self._rseq
         self._rseq += 1
         self._pr[seq] = (var, callback)
-        if self._indexed:
+        if self._index_live:
             self._register_read(seq)
 
     def _serve_fetch(self, req: FetchRequest) -> None:

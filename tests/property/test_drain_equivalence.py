@@ -1,4 +1,4 @@
-"""Differential property test for the two drain strategies.
+"""Differential property test for the drain strategies.
 
 The dependency wake index (``drain_strategy="index"``) is a pure
 performance rework of the original fixed-point rescan: it must produce
@@ -7,7 +7,13 @@ times, same operation results, same message count — for every protocol,
 with strict remote reads on or off and with batching on or off.  Any
 divergence means the index woke something the rescan would not have (or
 vice versa), i.e. a correctness bug, not a perf difference.
-"""
+
+``drain_strategy="auto"`` (the default) picks per drain call from buffer
+occupancy; it must inherit the same equivalence.  Because small test
+clusters rarely exceed the default occupancy threshold, auto is checked
+twice: as configured (mostly-rescan) and with the threshold pinned to 0
+(every non-empty drain takes the index path, exercising the
+rescan-to-index rebuild)."""
 
 import numpy as np
 import pytest
@@ -39,7 +45,9 @@ def apply_fingerprint(history):
     ]
 
 
-def run_once(protocol, n, q, p, seed, write_rate, strict, batch, strategy):
+def run_once(
+    protocol, n, q, p, seed, write_rate, strict, batch, strategy, auto_depth=None
+):
     rng = np.random.default_rng(seed)
     base = rng.uniform(0.5, 120.0, size=(n, n))
     np.fill_diagonal(base, 0.0)
@@ -57,6 +65,9 @@ def run_once(protocol, n, q, p, seed, write_rate, strict, batch, strategy):
         drain_strategy=strategy,
     )
     cluster = Cluster(cfg)
+    if auto_depth is not None:
+        for site in cluster.sites:
+            site.auto_index_depth = auto_depth
     wl = generate(
         WorkloadConfig(
             n_sites=n,
@@ -80,16 +91,20 @@ def assert_equivalent(protocol, n, q, p, seed, write_rate, strict, batch):
     rescan = run_once(
         protocol, n, q, p, seed, write_rate, strict, batch, "rescan"
     )
-    index = run_once(
-        protocol, n, q, p, seed, write_rate, strict, batch, "index"
-    )
-    assert op_fingerprint(index.history) == op_fingerprint(rescan.history)
-    assert apply_fingerprint(index.history) == apply_fingerprint(
-        rescan.history
-    )
-    assert (
-        index.metrics.total_messages == rescan.metrics.total_messages
-    )
+    candidates = [
+        run_once(protocol, n, q, p, seed, write_rate, strict, batch, "index"),
+        run_once(protocol, n, q, p, seed, write_rate, strict, batch, "auto"),
+        run_once(
+            protocol, n, q, p, seed, write_rate, strict, batch, "auto",
+            auto_depth=0,
+        ),
+    ]
+    for other in candidates:
+        assert op_fingerprint(other.history) == op_fingerprint(rescan.history)
+        assert apply_fingerprint(other.history) == apply_fingerprint(
+            rescan.history
+        )
+        assert other.metrics.total_messages == rescan.metrics.total_messages
 
 
 @st.composite

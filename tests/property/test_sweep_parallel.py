@@ -1,0 +1,72 @@
+"""Determinism properties of the parallel experiment runner.
+
+The contract (ISSUE 2 / docs/performance.md): execution mode is
+unobservable in the results.  ``sweep(jobs=4)`` must return exactly the
+rows of a serial ``sweep()``, a warm cache must serve byte-identical
+CSV with zero simulated cells, and the simulated Figure 4 series must
+not depend on ``jobs``.  Each cell is a pure function of its spec, so
+any violation means shared state leaked across cells (RNG, module
+globals, cache corruption) — a correctness bug in the runner, not noise.
+"""
+
+import pytest
+
+from repro.analysis.fig4 import fig4_simulated
+from repro.analysis.sweep import sweep, to_csv
+
+GRIDS = [
+    dict(
+        protocol=["opt-track", "optp"],
+        write_rate=[0.2, 0.7],
+        n=4,
+        q=8,
+        ops_per_site=12,
+        seed=3,
+    ),
+    dict(
+        protocol="opt-track",
+        n=[3, 5],
+        p=[1, 2],
+        write_rate=0.5,
+        q=6,
+        ops_per_site=10,
+        seed=11,
+    ),
+]
+
+
+@pytest.mark.parametrize("grid", GRIDS)
+def test_parallel_sweep_rows_equal_serial(grid):
+    serial = sweep(**grid)
+    parallel = sweep(jobs=4, **grid)
+    assert parallel == serial
+
+
+def test_fig4_series_independent_of_jobs():
+    kw = dict(n=4, ps=(2, 4), write_rates=(0.2, 0.6), ops_per_site=10, q=8, seed=2)
+    serial = fig4_simulated(**kw)
+    parallel = fig4_simulated(jobs=3, **kw)
+    assert parallel.series == serial.series
+    assert parallel.write_rates == serial.write_rates
+
+
+def test_warm_cache_rerun_zero_simulated_and_byte_identical_csv(tmp_path):
+    grid = GRIDS[0]
+    outcomes = []
+
+    def progress(done, total, outcome):
+        outcomes.append(outcome)
+
+    cold_rows = sweep(jobs=2, cache_dir=tmp_path, progress=progress, **grid)
+    cold_csv = to_csv(cold_rows)
+    assert all(not o.cached for o in outcomes)
+
+    outcomes.clear()
+    warm_rows = sweep(jobs=2, cache_dir=tmp_path, progress=progress, **grid)
+    assert outcomes, "progress callback must fire on cache hits too"
+    assert all(o.cached for o in outcomes), "second run must simulate nothing"
+    assert to_csv(warm_rows) == cold_csv
+    assert warm_rows == cold_rows
+
+    # and a serial, uncached sweep agrees with both
+    assert sweep(**grid) == warm_rows

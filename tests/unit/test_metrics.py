@@ -57,6 +57,18 @@ class TestSizeModel:
         with pytest.raises(TypeError):
             self.model.meta_size(object())
 
+    def test_tuple_must_be_a_pair(self):
+        with pytest.raises(TypeError):
+            self.model.meta_size((0, 1, 2))
+
+    def test_subtype_dispatches_like_base(self):
+        class MyDict(dict):
+            pass
+
+        assert self.model.meta_size(MyDict({0: 1})) == 12
+        # second call hits the memoized exact-type entry
+        assert self.model.meta_size(MyDict({0: 1, 1: 2})) == 24
+
     def test_update_message(self):
         msg = UpdateMessage("x", 1, WriteId(0, 1), 0, 1, MatrixClock(3))
         assert self.model.message_size(msg) == 24 + 72

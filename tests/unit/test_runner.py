@@ -1,0 +1,108 @@
+"""Unit tests for the parallel experiment runner and its result cache."""
+
+import json
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.runner import CellSpec, ResultCache, cache_key, run_cells
+from repro.analysis.sweep import cell_spec, run_cell
+from repro.errors import ConfigurationError
+
+
+def tiny_spec(seed=0, write_rate=0.4, check=False):
+    return cell_spec(
+        protocol="opt-track",
+        n=3,
+        q=6,
+        p=2,
+        write_rate=write_rate,
+        ops_per_site=8,
+        seed=seed,
+        check=check,
+    )
+
+
+class TestCellSpec:
+    def test_canonical_and_hashable(self):
+        a = CellSpec.make({"n_sites": 3, "seed": 1}, {"ops_per_site": 5})
+        b = CellSpec.make({"seed": 1, "n_sites": 3}, {"ops_per_site": 5})
+        assert a == b  # key order does not matter
+        assert hash(a) == hash(b)
+        assert a.cluster_kwargs() == {"n_sites": 3, "seed": 1}
+
+    def test_rejects_non_scalar_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec.make({"n_sites": 3, "placement": {"x": (0, 1)}}, {})
+        with pytest.raises(ConfigurationError):
+            CellSpec.make({"n_sites": 3}, {"variables": ["x", "y"]})
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key(tiny_spec()) == cache_key(tiny_spec())
+
+    def test_sensitive_to_every_input(self):
+        base = cache_key(tiny_spec())
+        assert cache_key(tiny_spec(seed=1)) != base
+        assert cache_key(tiny_spec(write_rate=0.5)) != base
+        assert cache_key(tiny_spec(check=True)) != base
+
+    def test_includes_code_version(self, monkeypatch):
+        base = cache_key(tiny_spec())
+        monkeypatch.setattr(runner, "code_version", lambda: "different")
+        assert cache_key(tiny_spec()) != base
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, {"messages": 7, "x": 1.5})
+        assert cache.get("k" * 64) == {"messages": 7, "x": 1.5}
+
+    def test_torn_write_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("deadbeef").write_text('{"partial": ')
+        assert cache.get("deadbeef") is None
+
+
+class TestRunCells:
+    def test_outcomes_in_spec_order_and_streamed(self, tmp_path):
+        specs = [tiny_spec(seed=s) for s in (0, 1, 2)]
+        seen = []
+        outcomes = run_cells(
+            specs,
+            jobs=1,
+            cache_dir=tmp_path,
+            progress=lambda done, total, o: seen.append((done, total, o.cached)),
+        )
+        assert [o.spec for o in outcomes] == specs
+        assert seen == [(1, 3, False), (2, 3, False), (3, 3, False)]
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        cold = run_cells(specs, cache_dir=tmp_path)
+        warm = run_cells(specs, cache_dir=tmp_path)
+        assert all(not o.cached for o in cold)
+        assert all(o.cached for o in warm)
+        assert [o.row for o in warm] == [o.row for o in cold]
+
+    def test_cached_rows_are_canonical_json(self, tmp_path):
+        (outcome,) = run_cells([tiny_spec()], cache_dir=tmp_path)
+        assert outcome.row == json.loads(json.dumps(outcome.row))
+
+    def test_no_cache_dir_runs_everything(self):
+        outcomes = run_cells([tiny_spec()])
+        assert not outcomes[0].cached
+        assert outcomes[0].key is None
+        assert outcomes[0].row["total_messages"] > 0
+
+
+class TestRunSpecMatchesRunCell:
+    def test_run_cell_consumes_runner_summary(self):
+        row = run_cell(protocol="opt-track", n=3, q=6, p=2, ops_per_site=8)
+        summary = runner.run_spec(tiny_spec(write_rate=0.4))
+        assert row["messages"] == summary["total_messages"]
+        assert row["control_bytes"] == summary["total_message_bytes"]
+        assert row["sim_time"] == summary["sim_time"]

@@ -72,6 +72,18 @@ class TestCsv:
     def test_empty(self):
         assert to_csv([]) == ""
 
+    def test_columns_are_union_of_keys(self):
+        rows = [
+            {"a": 1, "b": 2},
+            {"a": 3, "c": 4},
+        ]
+        text = to_csv(rows)
+        lines = text.splitlines()
+        assert lines[0] == "a,b,c"  # first-appearance order
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0] == {"a": "1", "b": "2", "c": ""}
+        assert parsed[1] == {"a": "3", "b": "", "c": "4"}
+
 
 class TestMetricsToDict:
     def test_serializable(self):
