@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast check bench bench-fast sweep-bench table1 fig4 report
+.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench table1 fig4 report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,10 +9,24 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q tests/unit
 
+# Protocol-aware static checks (import layering, DepLog copy-on-write
+# discipline, determinism hazards, protocol hook pairing); rule catalog
+# in docs/static-analysis.md, repo-wide exceptions in .lint-allow
+lint:
+	$(PYTHON) -m repro.lint src/repro
+
+# mypy over the typed core (repro.core + repro.verify).  Gated on mypy
+# being importable so offline checkouts without it still pass `make
+# check`; CI always installs mypy, so the gate never hides errors there.
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy --config-file pyproject.toml \
+		|| echo "mypy not installed; skipping typecheck (CI runs it)"
+
 # Tier-1 suite (includes the runner determinism properties in
 # tests/property/test_sweep_parallel.py) plus the benchmark-harness
 # smoke tests, which live outside pytest's testpaths
-check:
+check: lint typecheck
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest -x -q benchmarks/bench_sweep.py benchmarks/bench_hot_paths.py
 

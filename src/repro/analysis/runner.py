@@ -158,7 +158,8 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         try:
             text = self.path(key).read_text()
-        except OSError:
+        except (OSError, UnicodeDecodeError):
+            # unreadable or binary-corrupted entry: a miss, never a crash
             return None
         try:
             return json.loads(text)

@@ -292,6 +292,23 @@ class CausalProtocol(ABC):
         )
 
     # ------------------------------------------------------------------
+    # reconfiguration
+    # ------------------------------------------------------------------
+    def placement_changed(self, var: VarId) -> None:
+        """Refresh every per-variable cache derived from the placement map.
+
+        Epoch-based reconfiguration (:mod:`repro.ext.reconfig`) mutates the
+        shared ``replicas_of`` mapping in place; protocols that precompute
+        per-variable state from it must drop or rebuild that state here.
+        Subclasses adding such a cache MUST override this (and call
+        ``super().placement_changed(var)``) — a stale cache makes the next
+        write advertise the old replica set while the transport already
+        uses the new one, which deadlocks the new replica's activation
+        predicate.
+        """
+        self._replica_mask[var] = bitsets.mask_of(self.config.replicas_of[var])
+
+    # ------------------------------------------------------------------
     # introspection / accounting
     # ------------------------------------------------------------------
     @abstractmethod

@@ -207,6 +207,13 @@ class FullTrackProtocol(CausalProtocol):
         self.last_write_on[msg.var] = msg.meta
         self._raise_ceiling(msg.var, msg.meta)
 
+    def placement_changed(self, var: VarId) -> None:
+        super().placement_changed(var)
+        # the cached replica index array feeds the matrix-clock increment;
+        # left stale it would count new writes toward the old replica set
+        # while the transport already delivers to the new one
+        self._rep_idx.pop(var, None)
+
     def _raise_ceiling(self, var: VarId, clock: MatrixClock) -> None:
         col = clock.m[:, self.site]
         cur = self._ceiling.get(var)

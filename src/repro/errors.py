@@ -31,6 +31,20 @@ class ProtocolInvariantError(ReproError):
     """An internal protocol invariant was violated (indicates a bug)."""
 
 
+class SanitizerViolation(ProtocolInvariantError):
+    """The runtime causal sanitizer's oracle rejected a protocol action.
+
+    Raised only under ``ClusterConfig(sanitize=True)``.  Carries the
+    observable event stream that led to the violation in ``trace`` (a
+    :class:`repro.verify.sanitizer.CausalTrace`), so the failing schedule
+    can be replayed.
+    """
+
+    def __init__(self, message: str, trace: object = None) -> None:
+        super().__init__(message)
+        self.trace = trace
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an illegal state."""
 

@@ -60,6 +60,8 @@ class FailoverReader:
         started = c.sim.now
         if proto.locally_replicates(var):
             value, wid = proto.read_local(var)
+            if c.sanitizer is not None:
+                c.sanitizer.on_read(self.site, var, wid, now=c.sim.now)
             if c.history is not None:
                 c.history.record_read(self.site, var, value, wid, c.sim.now)
             return ReadOutcome(value, wid, self.site, attempts=1)
@@ -70,6 +72,8 @@ class FailoverReader:
             outcome = self._try_server(var, server)
             if outcome is not None:
                 value, wid = outcome
+                if c.sanitizer is not None:
+                    c.sanitizer.on_read(self.site, var, wid, now=c.sim.now)
                 if c.history is not None:
                     c.history.record_read(self.site, var, value, wid, c.sim.now)
                 return ReadOutcome(

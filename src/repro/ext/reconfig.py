@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.core import bitsets
 from repro.core.full_track import FullTrackProtocol
 from repro.core.opt_track import OptTrackProtocol
 from repro.errors import ConfigurationError, SimulationError, UnknownVariableError
@@ -43,11 +42,11 @@ def _require_quiescent(cluster: Cluster) -> None:
 
 def _install_placement(cluster: Cluster, var: VarId, replicas: Tuple[SiteId, ...]) -> None:
     cluster.placement[var] = replicas
-    mask = bitsets.mask_of(replicas)
     for proto in cluster.protocols:
         # ProtocolConfig.replicas_of aliases cluster.placement (the same
-        # mapping object), so only the cached masks need refreshing
-        proto._replica_mask[var] = mask
+        # mapping object); each protocol refreshes its own derived caches
+        # (replica masks, Full-Track's increment index array, ...)
+        proto.placement_changed(var)
 
 
 def add_replica(

@@ -1,0 +1,30 @@
+"""Protocol-aware static analysis for the repro codebase.
+
+See :mod:`repro.lint.engine` for the framework, :mod:`repro.lint.rules`
+for the rule catalog, and docs/static-analysis.md for the narrative.
+"""
+
+from repro.lint.engine import (
+    AllowEntry,
+    Finding,
+    ModuleContext,
+    Rule,
+    lint_paths,
+    lint_source,
+    parse_allowlist,
+    parse_suppressions,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_NAME
+
+__all__ = [
+    "AllowEntry",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "ALL_RULES",
+    "RULES_BY_NAME",
+    "lint_paths",
+    "lint_source",
+    "parse_allowlist",
+    "parse_suppressions",
+]

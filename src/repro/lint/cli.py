@@ -1,0 +1,109 @@
+"""``repro-lint`` — run the repository's protocol-aware static checks.
+
+Usage::
+
+    repro-lint [paths...] [--allowlist FILE] [--select rule,rule] [--list-rules]
+
+Exit status 0 when clean, 1 when any finding is reported, 2 on usage or
+configuration errors (malformed allowlist).  With no paths, lints
+``src/repro`` relative to the current directory (falling back to
+``repro`` for installed-layout checkouts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, RULES_BY_NAME
+
+
+def _default_paths() -> List[Path]:
+    for candidate in (Path("src/repro"), Path("repro")):
+        if candidate.is_dir():
+            return [candidate]
+    return []
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="protocol-aware static checks for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="allowlist file (default: auto-discover .lint-allow upward)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r.name) for r in ALL_RULES)
+        for rule in ALL_RULES:
+            print(f"{rule.name:<{width}}  {rule.summary}")
+        return 0
+
+    rules = list(ALL_RULES)
+    if args.select:
+        names = [n.strip() for n in args.select.split(",") if n.strip()]
+        unknown = [n for n in names if n not in RULES_BY_NAME]
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULES_BY_NAME[n] for n in names]
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        print(
+            "repro-lint: no paths given and no src/repro here", file=sys.stderr
+        )
+        return 2
+
+    try:
+        findings = lint_paths(paths, rules, allowlist=args.allowlist)
+    except ConfigurationError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        n = len(findings)
+        print(f"repro-lint: {n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""The ``repro-lint`` engine: files, suppressions, allowlists, rules.
+
+The linter is a small AST-walking framework purpose-built for this
+repository.  Generic Python linters cannot know that ``DepLog`` copies are
+copy-on-write, that the simulation must be bit-for-bit deterministic, or
+that ``repro.core`` must never import the simulation layer — those are
+*protocol-level* invariants of this codebase, and each has already cost a
+debugging session (the ``metrics↔sim`` circular import, the ``DepLog``
+aliasing discipline, the parallel runner's determinism requirements).  The
+rules in :mod:`repro.lint.rules` encode them mechanically.
+
+Vocabulary
+----------
+
+* A :class:`Finding` is one violation: rule, file, line, message.
+* A :class:`Rule` inspects one module's AST and yields findings.
+* A *suppression* is an inline comment ``# lint: allow(<rule>) — reason``
+  on the offending line.  The reason is mandatory: a suppression without
+  one is itself reported (rule ``suppression-format``), so every exception
+  in the tree is documented where it lives.
+* The *allowlist file* (default: ``.lint-allow`` at the repository root)
+  holds repository-wide exceptions, one per line::
+
+      <rule>: <payload>  # reason
+
+  e.g. ``import-layering: repro.store.datastore -> repro.sim  # facade``.
+  Reasons are mandatory here too.  Each rule interprets its own payload.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+#: ``# lint: allow(rule-name) — reason`` (em dash, hyphen, or colon before
+#: the reason all accepted).  The reason group may be empty — the engine
+#: turns that into a finding rather than a silent suppression.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*(?P<rule>[a-z0-9_-]+)\s*\)\s*(?:[—:-]+\s*(?P<reason>.*\S)?)?"
+)
+
+_ALLOWLIST_RE = re.compile(
+    r"^(?P<rule>[a-z0-9_-]+)\s*:\s*(?P<payload>[^#]*?)\s*(?:#\s*(?P<reason>.*\S)\s*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """One allowlist-file exception: ``rule: payload  # reason``."""
+
+    rule: str
+    payload: str
+    reason: str
+
+
+@dataclass
+class Suppressions:
+    """Per-line inline suppressions of one source file."""
+
+    #: line -> set of rule names allowed on that line
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: suppressions missing the mandatory reason (reported as findings)
+    malformed: List[Tuple[int, str]] = field(default_factory=list)
+
+    def allows(self, line: int, rule: str) -> bool:
+        return rule in self.by_line.get(line, ())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    out = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        rule = m.group("rule")
+        if not m.group("reason"):
+            out.malformed.append((lineno, rule))
+            continue
+        out.by_line.setdefault(lineno, set()).add(rule)
+    return out
+
+
+def parse_allowlist(path: Path) -> List[AllowEntry]:
+    entries: List[AllowEntry] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _ALLOWLIST_RE.match(line)
+        if m is None:
+            raise ConfigurationError(
+                f"{path}:{lineno}: malformed allowlist entry {line!r} "
+                f"(expected '<rule>: <payload>  # reason')"
+            )
+        if not m.group("reason"):
+            raise ConfigurationError(
+                f"{path}:{lineno}: allowlist entry for {m.group('rule')!r} "
+                f"is missing its mandatory '# reason' comment"
+            )
+        entries.append(
+            AllowEntry(m.group("rule"), m.group("payload").strip(), m.group("reason"))
+        )
+    return entries
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs about one source file."""
+
+    module: str  #: dotted module name, e.g. ``repro.sim.site``
+    path: str  #: display path for findings
+    tree: ast.Module
+    source: str
+    allow: Sequence[AllowEntry] = ()
+
+    def allowed_payloads(self, rule: str) -> List[str]:
+        return [e.payload for e in self.allow if e.rule == rule]
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``summary`` and implement
+    :meth:`check`."""
+
+    name: str = "abstract"
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, anchored at the innermost ``src``
+    directory (or the first ``repro`` package directory)."""
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("src", "repro"):
+        if anchor in parts:
+            i = parts.index(anchor)
+            parts = parts[i + 1 :] if anchor == "src" else parts[i:]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    module: str = "<string>",
+    path: str = "<string>",
+    allow: Sequence[AllowEntry] = (),
+) -> List[Finding]:
+    """Lint one in-memory source (the fixture-test entry point)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding("syntax", path, exc.lineno or 1, f"not parseable: {exc.msg}")
+        ]
+    ctx = ModuleContext(module=module, path=path, tree=tree, source=source, allow=allow)
+    suppressions = parse_suppressions(source)
+    findings = [
+        Finding(
+            "suppression-format",
+            path,
+            line,
+            f"suppression of {rule!r} is missing its mandatory reason "
+            f"(write '# lint: allow({rule}) — <why>')",
+        )
+        for line, rule in suppressions.malformed
+    ]
+    for rule in rules:
+        for f in rule.check(ctx):
+            if not suppressions.allows(f.line, f.rule):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def find_allowlist(start: Path, name: str = ".lint-allow") -> Optional[Path]:
+    """Walk upward from ``start`` looking for the allowlist file."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in (cur, *cur.parents):
+        p = candidate / name
+        if p.is_file():
+            return p
+    return None
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    allowlist: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by
+    location.  ``allowlist=None`` auto-discovers ``.lint-allow`` upward
+    from the first path."""
+    if allowlist is None and paths:
+        allowlist = find_allowlist(Path(paths[0]))
+    allow: Sequence[AllowEntry] = parse_allowlist(allowlist) if allowlist else ()
+    findings: List[Finding] = []
+    for file in iter_python_files(Path(p) for p in paths):
+        findings.extend(
+            lint_source(
+                file.read_text(),
+                rules,
+                module=module_name_for(file),
+                path=str(file),
+                allow=allow,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

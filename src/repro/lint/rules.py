@@ -1,0 +1,575 @@
+"""The rule catalog of ``repro-lint`` (see docs/static-analysis.md).
+
+Every rule encodes an invariant this repository has already paid for:
+
+* ``import-layering``   — the package DAG (caught the ``metrics↔sim``
+  circular import class);
+* ``cow-discipline``    — ``DepLog`` copy-on-write aliasing rules;
+* ``unordered-iteration`` / ``entropy-source`` — simulation determinism;
+* ``mutable-default`` / ``bare-except``        — generic Python hazards;
+* ``hook-shadow``       — the wake-index contract of
+  :class:`repro.core.base.CausalProtocol`.
+
+Rules are syntactic: they inspect one module's AST with no type
+inference.  That makes them fast and predictable, at the cost of aliasing
+blind spots (``log = msg.meta.log; log.purge()`` is invisible to
+``cow-discipline``) — documented per rule below.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+# ----------------------------------------------------------------------
+# import layering
+# ----------------------------------------------------------------------
+
+#: Layer rank per first-level package under ``repro``.  A module-level
+#: import may only point at a strictly lower rank (same package is always
+#: fine); function-local deferred imports are exempt — they cannot create
+#: an import cycle at load time and are this repo's sanctioned escape
+#: hatch (e.g. ``metrics.sizes`` registering ``UpdateBatch`` lazily).
+LAYERS: Dict[str, int] = {
+    "types": 0,
+    "errors": 0,
+    "core": 1,
+    "lint": 1,
+    "verify": 2,
+    "store": 2,
+    "metrics": 3,
+    "sim": 4,
+    "workload": 5,
+    "ext": 5,
+    "analysis": 6,
+    "cli": 7,
+    # the top-level ``repro/__init__`` facade may import anything
+    "": 8,
+}
+
+
+def _first_level(module: str) -> Optional[str]:
+    """``repro.sim.site`` -> ``sim``; ``repro`` -> ``""``; else None."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _module_level_imports(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, target_module)`` for every import executed at module
+    load time — including inside top-level ``if``/``try`` blocks, but not
+    inside functions/classes, and not under ``if TYPE_CHECKING:`` (those
+    never execute at runtime, so they cannot create a load-time cycle)."""
+
+    def scan(stmts: Sequence[ast.stmt]) -> Iterator[Tuple[int, str]]:
+        for node in stmts:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield node.lineno, alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    yield node.lineno, node.module
+            elif isinstance(node, ast.If):
+                if "TYPE_CHECKING" in ast.dump(node.test):
+                    continue
+                yield from scan(node.body)
+                yield from scan(node.orelse)
+            elif isinstance(node, ast.Try):
+                yield from scan(node.body)
+                for handler in node.handlers:
+                    yield from scan(handler.body)
+                yield from scan(node.orelse)
+                yield from scan(node.finalbody)
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                yield from scan(node.body)
+
+    yield from scan(tree.body)
+
+
+class ImportLayeringRule(Rule):
+    """Module-level imports must respect the package layer ranking.
+
+    Allowlist payload: ``<importing module> -> <imported package>``, e.g.
+    ``repro.store.datastore -> repro.sim``.
+    """
+
+    name = "import-layering"
+    summary = (
+        "module-level imports must point strictly down the package layers "
+        "(core never imports sim/analysis/metrics, metrics never imports sim)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        src_pkg = _first_level(ctx.module)
+        if src_pkg is None or src_pkg not in LAYERS:
+            return
+        src_rank = LAYERS[src_pkg]
+        allowed = ctx.allowed_payloads(self.name)
+        for line, target in _module_level_imports(ctx.tree):
+            tgt_pkg = _first_level(target)
+            if tgt_pkg is None or tgt_pkg == src_pkg or tgt_pkg not in LAYERS:
+                continue
+            if LAYERS[tgt_pkg] < src_rank:
+                continue
+            target_pkg_name = f"repro.{tgt_pkg}" if tgt_pkg else "repro"
+            edge_ok = any(
+                self._matches(payload, ctx.module, target) for payload in allowed
+            )
+            if edge_ok:
+                continue
+            yield Finding(
+                self.name,
+                ctx.path,
+                line,
+                f"{ctx.module} (layer {src_rank}: {src_pkg or 'repro'}) must "
+                f"not import {target} (layer {LAYERS[tgt_pkg]}: "
+                f"{target_pkg_name}); move the import into the function that "
+                f"needs it, invert the dependency, or allowlist the edge",
+            )
+
+    @staticmethod
+    def _matches(payload: str, module: str, target: str) -> bool:
+        if "->" not in payload:
+            return False
+        src, _, dst = (p.strip() for p in payload.partition("->"))
+        return module == src and (target == dst or target.startswith(dst + "."))
+
+
+# ----------------------------------------------------------------------
+# DepLog copy-on-write discipline
+# ----------------------------------------------------------------------
+
+#: dict mutators that would bypass ``DepLog._own``
+_DICT_MUTATORS = {"update", "pop", "clear", "setdefault", "popitem"}
+#: DepLog methods that mutate in place (must never run on a piggybacked
+#: ``*.meta.log`` — copy first)
+_DEPLOG_MUTATORS = {
+    "add",
+    "prune_dests",
+    "remove_site",
+    "purge",
+    "retire",
+    "merge",
+    "absorb",
+}
+#: DepLog-internal attributes nothing outside core/log.py may write
+_DEPLOG_INTERNALS = {"entries", "_latest", "_dests"}
+
+
+def _attr_chain(node: ast.expr) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a plain chain)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+class CowDisciplineRule(Rule):
+    """No in-place mutation of ``DepLog`` internals outside ``core/log.py``.
+
+    Flags, everywhere except the exempt module:
+
+    * writes to ``<x>.entries`` / ``<x>._latest`` / ``<x>._dests``
+      (assignment, augmented assignment, ``del``, subscript stores);
+    * dict mutators called on those attributes
+      (``log.entries.update(...)``);
+    * ``DepLog`` mutating methods invoked directly on a piggybacked log
+      (``msg.meta.log.purge()`` — shared copy-on-write state; take a
+      ``.copy()`` first).
+
+    Syntactic only: aliasing (``log = msg.meta.log; log.purge()``) is not
+    tracked.
+    """
+
+    name = "cow-discipline"
+    summary = "DepLog internals may only be mutated inside repro.core.log"
+    exempt_modules = {"repro.core.log"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module in self.exempt_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    hit = self._internal_write(target)
+                    if hit:
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            f"in-place write to DepLog internal {hit!r} "
+                            f"outside repro.core.log breaks the "
+                            f"copy-on-write sharing contract",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    hit = self._internal_write(target)
+                    if hit:
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            f"del on DepLog internal {hit!r} outside "
+                            f"repro.core.log breaks the copy-on-write "
+                            f"sharing contract",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                method = node.func.attr
+                owner = node.func.value
+                if method in _DICT_MUTATORS and isinstance(
+                    owner, ast.Attribute
+                ):
+                    if owner.attr in _DEPLOG_INTERNALS:
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            f"mutating call .{owner.attr}.{method}(...) on "
+                            f"DepLog internals outside repro.core.log",
+                        )
+                elif method in _DEPLOG_MUTATORS:
+                    chain = _attr_chain(owner)
+                    if len(chain) >= 2 and chain[-2:] == ["meta", "log"]:
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            f"{'.'.join(chain)}.{method}(...) mutates a "
+                            f"piggybacked DepLog in place — the message "
+                            f"meta is shared copy-on-write state; call "
+                            f".copy() first",
+                        )
+
+    @staticmethod
+    def _internal_write(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr in _DEPLOG_INTERNALS:
+            # ``self.entries = ...`` inside DepLog methods is exempt via
+            # the module check; everywhere else any owner is suspect
+            return target.attr
+        return None
+
+
+# ----------------------------------------------------------------------
+# determinism hazards
+# ----------------------------------------------------------------------
+
+_SET_BUILTINS = {"set", "frozenset"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_BUILTINS
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """No direct iteration over set expressions in ``sim``/``core``.
+
+    Event scheduling and message emission must be bit-for-bit
+    deterministic (the drain-equivalence and parallel-runner property
+    tests depend on it); iterating a ``set`` hands the iteration order to
+    the hash seed.  Wrap the expression in ``sorted(...)`` or use an
+    order-preserving container.  Syntactic only: a *variable* holding a
+    set is not flagged, the set must be built at the iteration site.
+    """
+
+    name = "unordered-iteration"
+    summary = "iteration over set expressions in repro.sim/repro.core"
+    scoped_prefixes = ("repro.sim", "repro.core")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+            ):
+                iters.append(node.args[0])
+            for it in iters:
+                if _is_set_expr(it):
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        it.lineno,
+                        "iteration over an unordered set expression in the "
+                        "deterministic simulation core — wrap it in "
+                        "sorted(...) or keep an ordered container",
+                    )
+
+
+#: stdlib entropy/wall-clock sources forbidden in the deterministic core
+_ENTROPY_MODULES = {"random", "secrets"}
+_ENTROPY_CALLS = {
+    "time": {"time", "monotonic", "perf_counter", "time_ns", "process_time"},
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+}
+
+
+class EntropySourceRule(Rule):
+    """No wall-clock or OS entropy in the deterministic packages.
+
+    Simulated time comes from :class:`repro.sim.engine.Simulator`;
+    randomness comes from seeded ``numpy`` generators threaded through
+    :class:`~repro.sim.cluster.ClusterConfig`.  ``repro.sim.latency`` (the
+    one place jitter is drawn) and the workload generators are exempt;
+    add further exemptions as allowlist payloads naming the module.
+    """
+
+    name = "entropy-source"
+    summary = (
+        "random/time/os.urandom forbidden in repro.core/sim/store/"
+        "verify/metrics (except sim.latency)"
+    )
+    scoped_prefixes = (
+        "repro.core",
+        "repro.sim",
+        "repro.store",
+        "repro.verify",
+        "repro.metrics",
+    )
+    exempt_modules = {"repro.sim.latency"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        if ctx.module in self.exempt_modules:
+            return
+        if ctx.module in ctx.allowed_payloads(self.name):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _ENTROPY_MODULES:
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            f"import of entropy module {alias.name!r} in the "
+                            f"deterministic core — draw from the cluster's "
+                            f"seeded RNG streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _ENTROPY_MODULES:
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"import from entropy module {node.module!r} in the "
+                        f"deterministic core",
+                    )
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.attr in _ENTROPY_CALLS.get(node.value.id, ()):
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"{node.value.id}.{node.attr} in the deterministic "
+                        f"core — use simulated time "
+                        f"(Simulator.now) or a seeded RNG stream",
+                    )
+
+
+# ----------------------------------------------------------------------
+# generic hazards
+# ----------------------------------------------------------------------
+
+
+class MutableDefaultRule(Rule):
+    """Mutable default argument values (shared across calls)."""
+
+    name = "mutable-default"
+    summary = "list/dict/set default argument values"
+
+    _LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    _CTORS = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    fn = getattr(node, "name", "<lambda>")
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        default.lineno,
+                        f"mutable default argument in {fn!r} is shared "
+                        f"across calls — default to None and build inside",
+                    )
+
+    def _mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, self._LITERALS):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._CTORS
+        return False
+
+
+class BareExceptRule(Rule):
+    """``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and every
+    protocol-invariant error this package raises on purpose."""
+
+    name = "bare-except"
+    summary = "bare except clauses"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    self.name,
+                    ctx.path,
+                    node.lineno,
+                    "bare 'except:' — name the exceptions (ReproError "
+                    "covers everything this package raises)",
+                )
+
+
+# ----------------------------------------------------------------------
+# protocol hook shadowing
+# ----------------------------------------------------------------------
+
+#: boolean predicate -> the wake-index hook that must track it (see the
+#: contract in repro.core.base: an inherited hook that disagrees with an
+#: overridden predicate parks or wakes buffered items incorrectly)
+_PRED_TO_HOOK = {
+    "can_apply": "blocking_deps",
+    "can_serve_fetch": "blocking_fetch_deps",
+    "can_read_local": "blocking_read_deps",
+}
+_ALL_HOOK_NAMES = set(_PRED_TO_HOOK) | set(_PRED_TO_HOOK.values()) | {
+    "apply_update",
+    "apply_progress",
+    "write",
+    "read_local",
+    "serve_fetch",
+    "complete_remote_read",
+    "make_fetch_request",
+    "meta_objects",
+}
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        chain = _attr_chain(base)
+        if chain:
+            names.append(chain[-1])
+        elif isinstance(base, ast.Name):
+            names.append(base.id)
+    return names
+
+
+class HookShadowRule(Rule):
+    """Protocol subclasses must keep predicates and wake-index hooks in
+    sync, and must not shadow hook names with class attributes.
+
+    * In a subclass of a *concrete* protocol (base name ends in
+      ``Protocol`` but is not ``CausalProtocol``), overriding a boolean
+      predicate (``can_apply``/``can_serve_fetch``/``can_read_local``)
+      without also overriding its ``blocking_*`` hook inherits an index
+      that disagrees with the new predicate.
+    * In any ``*Protocol`` subclass, a plain assignment to a hook name
+      (``can_apply = True``) silently replaces a method with a value.
+    """
+
+    name = "hook-shadow"
+    summary = "protocol predicate overridden without its blocking_* hook"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = _base_names(node)
+            protocol_bases = [b for b in bases if b.endswith("Protocol")]
+            if not protocol_bases:
+                continue
+            defined = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for stmt in node.body:
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id in _ALL_HOOK_NAMES
+                        ):
+                            yield Finding(
+                                self.name,
+                                ctx.path,
+                                stmt.lineno,
+                                f"class attribute {target.id!r} shadows the "
+                                f"protocol hook of the same name in "
+                                f"{node.name}",
+                            )
+            concrete = [b for b in protocol_bases if b != "CausalProtocol"]
+            if not concrete:
+                continue
+            for pred, hook in _PRED_TO_HOOK.items():
+                if pred in defined and hook not in defined:
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"{node.name} overrides {pred!r} but inherits "
+                        f"{hook!r} from {concrete[0]} — the inherited wake "
+                        f"index will park or wake buffered items against "
+                        f"the new predicate; override {hook!r} too",
+                    )
+
+
+#: the default rule set, in catalog order
+ALL_RULES: Tuple[Rule, ...] = (
+    ImportLayeringRule(),
+    CowDisciplineRule(),
+    UnorderedIterationRule(),
+    EntropySourceRule(),
+    MutableDefaultRule(),
+    BareExceptRule(),
+    HookShadowRule(),
+)
+
+RULES_BY_NAME: Dict[str, Rule] = {r.name: r for r in ALL_RULES}

@@ -72,6 +72,13 @@ class ClusterConfig:
     #: coalesce updates per destination within this window (ms); None
     #: (default) sends one message per update, as the paper counts
     batch_window: Optional[float] = None
+    #: attach the runtime causal sanitizer: a Full-Track matrix-clock
+    #: oracle shadow-runs beside the protocol, asserting activation
+    #: safety, the KS optimality conditions and per-sender monotonicity
+    #: on every apply (raises SanitizerViolation with a replayable causal
+    #: trace).  Debugging/property-testing aid — adds an O(n^2) matrix
+    #: copy per write; never enable when benchmarking.
+    sanitize: bool = False
     #: pending-update activation machinery: "auto" (default; per-drain
     #: choice from buffer occupancy — rescan while shallow, dependency
     #: wake index once buffers run deep), "index" (always the wake
@@ -158,6 +165,8 @@ class Session:
                         f"forever: a causally required update never arrived"
                     )
             value, write_id = proto.read_local(var)
+            if c.sanitizer is not None:
+                c.sanitizer.on_read(self.site, var, write_id, now=c.sim.now)
             if c.history is not None:
                 c.history.record_read(self.site, var, value, write_id, c.sim.now)
             if c.tracer is not None:
@@ -187,6 +196,8 @@ class Session:
                 f"(server {server} unreachable or dependencies unmet)"
             )
         value, write_id = box[0]
+        if c.sanitizer is not None:
+            c.sanitizer.on_read(self.site, var, write_id, now=c.sim.now)
         if c.history is not None:
             c.history.record_read(self.site, var, value, write_id, c.sim.now)
         if c.tracer is not None:
@@ -236,6 +247,8 @@ class Session:
         now = c.sim.now
         for var in variables:  # one instant: no events run between reads
             value, wid = proto.read_local(var)
+            if c.sanitizer is not None:
+                c.sanitizer.on_read(self.site, var, wid, now=now)
             if c.history is not None:
                 c.history.record_read(self.site, var, value, wid, now)
             c.metrics.on_op("read-local", 0.0)
@@ -292,6 +305,12 @@ class Cluster:
             latency = make_latency(None)
         self.network = Network(self.sim, latency, self._net_rng, self.metrics)
 
+        self.sanitizer = None
+        if config.sanitize:
+            from repro.verify.sanitizer import CausalSanitizer
+
+            self.sanitizer = CausalSanitizer(n)
+
         proto_cls = protocol_class(config.protocol)
         self.protocols: List[CausalProtocol] = []
         self.sites: List[SimSite] = []
@@ -314,6 +333,7 @@ class Cluster:
                     self.tracer,
                     batch_window=config.batch_window,
                     drain_strategy=config.drain_strategy,
+                    sanitizer=self.sanitizer,
                 )
             )
 

@@ -133,6 +133,8 @@ class AppProcess:
 
     def _complete_read(self, op: Operation, value, write_id, local: bool) -> None:
         site = self.sim_site
+        if site.sanitizer is not None:
+            site.sanitizer.on_read(self.site, op.var, write_id, now=site.sim.now)
         if site.history is not None:
             site.history.record_read(
                 self.site, op.var, value, write_id, site.sim.now

@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.base import CausalProtocol
 from repro.core.messages import FetchReply, FetchRequest, UpdateMessage, WriteResult
@@ -71,6 +71,9 @@ from repro.sim.events import (
 from repro.sim.network import Network
 from repro.types import SiteId, VarId
 from repro.verify.history import History
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.verify.sanitizer import CausalSanitizer
 
 #: wake-token kinds
 _UPD, _FET, _RD = 0, 1, 2
@@ -127,6 +130,7 @@ class SimSite:
         tracer: Optional[Tracer] = None,
         batch_window: Optional[float] = None,
         drain_strategy: str = "index",
+        sanitizer: Optional["CausalSanitizer"] = None,
     ) -> None:
         self.protocol = protocol
         self.site: SiteId = protocol.site
@@ -135,6 +139,9 @@ class SimSite:
         self.history = history
         self.metrics = metrics
         self.tracer = tracer
+        #: opt-in runtime causal oracle (ClusterConfig.sanitize); shared
+        #: across every site of the cluster
+        self.sanitizer = sanitizer
         if drain_strategy not in ("index", "rescan", "auto"):
             raise SimulationError(
                 f"unknown drain_strategy {drain_strategy!r} "
@@ -210,6 +217,15 @@ class SimSite:
     def broadcast_write(self, result: WriteResult, var: VarId) -> None:
         """Hand a write's update messages to the network; record the local
         apply if the variable is locally replicated."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_write(
+                self.site,
+                var,
+                result.write_id,
+                tuple(self.protocol.replicas(var)),
+                result.applied_locally,
+                now=self.sim.now,
+            )
         for msg in result.messages:
             if self.tracer:
                 self.tracer.emit(
@@ -419,7 +435,12 @@ class SimSite:
                         continue  # stale token (applied via another path)
                     msg, recv_time = item
                     cursor = seq
-                proto.apply_update(msg)
+                if self.sanitizer is not None:
+                    self.sanitizer.before_apply(proto, msg, now=self.sim.now)
+                    proto.apply_update(msg)
+                    self.sanitizer.after_apply(proto, msg, now=self.sim.now)
+                else:
+                    proto.apply_update(msg)
                 self._record_apply(msg.var, msg.write_id, recv_time)
                 self.updates_applied += 1
                 applied_sweep += 1
@@ -580,7 +601,12 @@ class SimSite:
                 msg, recv_time = pu[seq]
                 if proto.can_apply(msg):
                     del pu[seq]
-                    proto.apply_update(msg)
+                    if self.sanitizer is not None:
+                        self.sanitizer.before_apply(proto, msg, now=self.sim.now)
+                        proto.apply_update(msg)
+                        self.sanitizer.after_apply(proto, msg, now=self.sim.now)
+                    else:
+                        proto.apply_update(msg)
                     self._record_apply(msg.var, msg.write_id, recv_time)
                     self.updates_applied += 1
                     applied_total += 1

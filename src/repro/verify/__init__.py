@@ -1,14 +1,18 @@
-"""Execution recording and causal-consistency checking."""
+"""Execution recording, causal-consistency checking, runtime sanitizing."""
 
 from repro.verify.checker import CausalChecker, CheckReport, Violation, check_history
 from repro.verify.exhaustive import ExhaustiveChecker, check_history_exhaustive
 from repro.verify.history import History
+from repro.verify.sanitizer import CausalSanitizer, CausalTrace, TraceEvent
 
 __all__ = [
     "CausalChecker",
+    "CausalSanitizer",
+    "CausalTrace",
     "CheckReport",
     "ExhaustiveChecker",
     "History",
+    "TraceEvent",
     "Violation",
     "check_history",
     "check_history_exhaustive",

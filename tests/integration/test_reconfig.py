@@ -129,6 +129,42 @@ class TestRemoveReplica:
             remove_replica(cluster, var, reps[1])
 
 
+@pytest.mark.parametrize("protocol", PARTIAL)
+class TestPlacementCacheInvalidation:
+    def test_write_after_grow_activates_at_new_replica(self, protocol):
+        # Regression: Full-Track cached the per-variable replica index array
+        # feeding the matrix-clock increment; _install_placement refreshed
+        # only the replica masks, so a post-grow write advertised the old
+        # replica set while the transport delivered to the new one — the
+        # new replica's activation predicate then waited forever.
+        cluster = make_cluster(protocol)
+        var = "x0"
+        writer = cluster.placement[var][0]
+        for i in range(3):
+            cluster.session(writer).write(var, f"pre{i}")
+        cluster.settle()
+        newbie = next(s for s in range(5) if s not in cluster.placement[var])
+        add_replica(cluster, var, newbie)
+        cluster.session(writer).write(var, "post-grow")
+        cluster.settle()  # raised DeadlockError before the fix
+        assert cluster.session(newbie).read(var) == "post-grow"
+        cluster.settle()
+        assert check_history(cluster.history, cluster.placement).ok
+
+    def test_write_after_shrink_skips_removed_replica(self, protocol):
+        cluster = make_cluster(protocol)
+        var = "x0"
+        writer, victim = cluster.placement[var][0], cluster.placement[var][1]
+        cluster.session(writer).write(var, "pre")
+        cluster.settle()
+        remove_replica(cluster, var, victim)
+        cluster.session(writer).write(var, "post-shrink")
+        cluster.settle()
+        assert cluster.session(writer).read(var) == "post-shrink"
+        cluster.settle()
+        assert check_history(cluster.history, cluster.placement).ok
+
+
 class TestElasticityScenario:
     def test_grow_then_shrink_under_load(self):
         # epochs interleaved with traffic, checker green throughout

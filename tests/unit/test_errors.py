@@ -1,0 +1,71 @@
+"""The exception hierarchy: every library error is one ``except`` away."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), name
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (errors.PlacementError, errors.ConfigurationError),
+            (errors.UnknownProtocolError, errors.ConfigurationError),
+            (errors.DeadlockError, errors.SimulationError),
+            (errors.SanitizerViolation, errors.ProtocolInvariantError),
+        ],
+    )
+    def test_specific_parentage(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_repro_error_is_an_exception(self):
+        # derives from Exception (not BaseException directly), so generic
+        # `except Exception` handlers still see library errors
+        assert issubclass(errors.ReproError, Exception)
+        assert not issubclass(KeyboardInterrupt, errors.ReproError)
+
+
+class TestSanitizerViolation:
+    def test_carries_trace(self):
+        trace = object()
+        exc = errors.SanitizerViolation("bad apply", trace=trace)
+        assert exc.trace is trace
+        assert "bad apply" in str(exc)
+
+    def test_trace_defaults_to_none(self):
+        exc = errors.SanitizerViolation("bad apply")
+        assert exc.trace is None
+
+    def test_caught_as_protocol_invariant(self):
+        with pytest.raises(errors.ProtocolInvariantError):
+            raise errors.SanitizerViolation("x")
+
+
+class TestCatchAll:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            errors.ConfigurationError,
+            errors.PlacementError,
+            errors.UnknownVariableError,
+            errors.UnknownProtocolError,
+            errors.ProtocolInvariantError,
+            errors.SanitizerViolation,
+            errors.SimulationError,
+            errors.DeadlockError,
+            errors.ConsistencyViolationError,
+        ],
+    )
+    def test_single_clause_catches(self, exc_type):
+        try:
+            raise exc_type("boom")
+        except errors.ReproError as caught:
+            assert "boom" in str(caught)

@@ -1,0 +1,406 @@
+"""repro-lint: every rule has a firing fixture and a quiet fixture, the
+suppression/allowlist machinery enforces reasons, and the repository
+itself lints clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import ALL_RULES, RULES_BY_NAME, lint_paths, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import (
+    AllowEntry,
+    module_name_for,
+    parse_allowlist,
+    parse_suppressions,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run(source, module="repro.core.example", allow=()):
+    return lint_source(source, ALL_RULES, module=module, path="t.py", allow=allow)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# import-layering
+# ----------------------------------------------------------------------
+class TestImportLayering:
+    def test_core_importing_sim_fires(self):
+        out = run("from repro.sim.cluster import Cluster\n", module="repro.core.base")
+        assert rules_of(out) == ["import-layering"]
+        assert "repro.sim" in out[0].message
+
+    def test_core_importing_metrics_fires(self):
+        out = run("import repro.metrics.collector\n", module="repro.core.base")
+        assert rules_of(out) == ["import-layering"]
+
+    def test_metrics_importing_sim_fires(self):
+        out = run("from repro.sim import site\n", module="repro.metrics.sizes")
+        assert rules_of(out) == ["import-layering"]
+
+    def test_downward_import_is_quiet(self):
+        out = run("from repro.core.log import DepLog\n", module="repro.sim.site")
+        assert out == []
+
+    def test_same_package_is_quiet(self):
+        out = run("from repro.core import bitsets\n", module="repro.core.opt_track")
+        assert out == []
+
+    def test_function_local_deferred_import_is_quiet(self):
+        src = "def f():\n    from repro.sim.cluster import Cluster\n    return Cluster\n"
+        assert run(src, module="repro.metrics.sizes") == []
+
+    def test_type_checking_block_is_quiet(self):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.sim.cluster import Cluster\n"
+        )
+        assert run(src, module="repro.core.base") == []
+
+    def test_try_block_import_still_fires(self):
+        src = "try:\n    import repro.sim.site\nexcept ImportError:\n    pass\n"
+        assert rules_of(run(src, module="repro.core.base")) == ["import-layering"]
+
+    def test_allowlist_edge_is_quiet(self):
+        allow = [
+            AllowEntry(
+                "import-layering", "repro.store.datastore -> repro.sim", "facade"
+            )
+        ]
+        src = "from repro.sim.cluster import Cluster\n"
+        assert run(src, module="repro.store.datastore", allow=allow) == []
+        # the entry names one module: any other importer still fires
+        assert rules_of(run(src, module="repro.store.placement", allow=allow)) == [
+            "import-layering"
+        ]
+
+    def test_non_repro_module_ignored(self):
+        assert run("import repro.sim.site\n", module="scripts.helper") == []
+
+
+# ----------------------------------------------------------------------
+# cow-discipline
+# ----------------------------------------------------------------------
+class TestCowDiscipline:
+    def test_meta_log_mutator_fires(self):
+        out = run("def f(msg):\n    msg.meta.log.purge(0)\n")
+        assert rules_of(out) == ["cow-discipline"]
+        assert "copy" in out[0].message
+
+    @pytest.mark.parametrize(
+        "call", ["add(1, 2, 3)", "remove_site(0)", "retire(3)", "absorb(x)"]
+    )
+    def test_each_deplog_mutator_fires(self, call):
+        out = run(f"def f(m):\n    m.meta.log.{call}\n")
+        assert rules_of(out) == ["cow-discipline"]
+
+    def test_entries_subscript_store_fires(self):
+        out = run("def f(log):\n    log.entries[(0, 1)] = 3\n")
+        assert rules_of(out) == ["cow-discipline"]
+
+    def test_entries_dict_mutator_fires(self):
+        out = run("def f(log, other):\n    log.entries.update(other)\n")
+        assert rules_of(out) == ["cow-discipline"]
+
+    def test_internal_del_fires(self):
+        out = run("def f(log):\n    del log._latest\n")
+        assert rules_of(out) == ["cow-discipline"]
+
+    def test_reading_entries_is_quiet(self):
+        assert run("def f(log):\n    return len(log.entries)\n") == []
+
+    def test_copy_then_mutate_is_quiet(self):
+        # the sanctioned pattern: take a copy, mutate the copy
+        src = "def f(msg):\n    log = msg.meta.log.copy()\n    log.purge(0)\n"
+        assert run(src) == []
+
+    def test_core_log_module_is_exempt(self):
+        src = "def f(self, k, v):\n    self.entries[k] = v\n"
+        assert run(src, module="repro.core.log") == []
+
+
+# ----------------------------------------------------------------------
+# unordered-iteration
+# ----------------------------------------------------------------------
+class TestUnorderedIteration:
+    def test_for_over_set_literal_fires(self):
+        out = run("for x in {1, 2}:\n    pass\n", module="repro.sim.site")
+        assert rules_of(out) == ["unordered-iteration"]
+
+    def test_for_over_set_call_fires(self):
+        out = run("for x in set(items):\n    pass\n", module="repro.core.base")
+        assert rules_of(out) == ["unordered-iteration"]
+
+    def test_comprehension_over_setcomp_fires(self):
+        out = run("ys = [y for y in {x for x in items}]\n", module="repro.sim.site")
+        assert rules_of(out) == ["unordered-iteration"]
+
+    def test_list_of_set_fires(self):
+        out = run("xs = list(set(items))\n", module="repro.sim.site")
+        assert rules_of(out) == ["unordered-iteration"]
+
+    def test_sorted_set_is_quiet(self):
+        assert run("for x in sorted(set(items)):\n    pass\n", module="repro.sim.site") == []
+
+    def test_outside_scope_is_quiet(self):
+        assert run("for x in {1, 2}:\n    pass\n", module="repro.analysis.figures") == []
+
+
+# ----------------------------------------------------------------------
+# entropy-source
+# ----------------------------------------------------------------------
+class TestEntropySource:
+    def test_import_random_fires(self):
+        out = run("import random\n", module="repro.sim.engine")
+        assert rules_of(out) == ["entropy-source"]
+
+    def test_from_secrets_fires(self):
+        out = run("from secrets import token_hex\n", module="repro.core.base")
+        assert rules_of(out) == ["entropy-source"]
+
+    def test_time_time_fires(self):
+        out = run("import time\nt = time.time()\n", module="repro.sim.engine")
+        assert rules_of(out) == ["entropy-source"]
+
+    def test_os_urandom_fires(self):
+        out = run("import os\nb = os.urandom(8)\n", module="repro.store.datastore")
+        assert rules_of(out) == ["entropy-source"]
+
+    def test_uuid4_fires(self):
+        out = run("import uuid\nu = uuid.uuid4()\n", module="repro.verify.history")
+        assert rules_of(out) == ["entropy-source"]
+
+    def test_latency_module_is_exempt(self):
+        assert run("import random\n", module="repro.sim.latency") == []
+
+    def test_workload_generators_outside_scope(self):
+        assert run("import random\n", module="repro.workload.generator") == []
+
+    def test_allowlisted_module_is_quiet(self):
+        allow = [AllowEntry("entropy-source", "repro.sim.engine", "wall-clock probe")]
+        assert run("import time\nt = time.time()\n", module="repro.sim.engine", allow=allow) == []
+
+    def test_import_time_alone_is_quiet(self):
+        # only the wall-clock calls are hazards; time.sleep etc. never
+        # appear, and the import alone is not flagged
+        assert run("import time\n", module="repro.sim.engine") == []
+
+
+# ----------------------------------------------------------------------
+# generic hazards
+# ----------------------------------------------------------------------
+class TestGenericHazards:
+    def test_mutable_default_list_fires(self):
+        out = run("def f(a=[]):\n    pass\n")
+        assert rules_of(out) == ["mutable-default"]
+
+    def test_mutable_default_dict_call_fires(self):
+        out = run("def f(a=dict()):\n    pass\n")
+        assert rules_of(out) == ["mutable-default"]
+
+    def test_mutable_kwonly_default_fires(self):
+        out = run("def f(*, a={}):\n    pass\n")
+        assert rules_of(out) == ["mutable-default"]
+
+    def test_none_default_is_quiet(self):
+        assert run("def f(a=None, b=(), c=0):\n    pass\n") == []
+
+    def test_bare_except_fires(self):
+        out = run("try:\n    pass\nexcept:\n    pass\n")
+        assert rules_of(out) == ["bare-except"]
+
+    def test_typed_except_is_quiet(self):
+        assert run("try:\n    pass\nexcept ValueError:\n    pass\n") == []
+
+
+# ----------------------------------------------------------------------
+# hook-shadow
+# ----------------------------------------------------------------------
+class TestHookShadow:
+    def test_predicate_without_hook_fires(self):
+        src = (
+            "class Broken(OptTrackProtocol):\n"
+            "    def can_apply(self, msg):\n"
+            "        return True\n"
+        )
+        out = run(src, module="repro.ext.custom")
+        assert rules_of(out) == ["hook-shadow"]
+        assert "blocking_deps" in out[0].message
+
+    def test_predicate_with_hook_is_quiet(self):
+        src = (
+            "class Fine(OptTrackProtocol):\n"
+            "    def can_apply(self, msg):\n"
+            "        return True\n"
+            "    def blocking_deps(self, msg):\n"
+            "        return ()\n"
+        )
+        assert run(src, module="repro.ext.custom") == []
+
+    def test_abstract_base_subclass_not_required_to_override(self):
+        # a direct CausalProtocol subclass defines everything from scratch;
+        # the pair rule only bites when a concrete protocol is specialised
+        src = (
+            "class Fresh(CausalProtocol):\n"
+            "    def can_apply(self, msg):\n"
+            "        return True\n"
+        )
+        assert run(src, module="repro.ext.custom") == []
+
+    def test_class_attribute_shadowing_hook_fires(self):
+        src = "class Broken(FullTrackProtocol):\n    can_apply = True\n"
+        out = run(src, module="repro.ext.custom")
+        assert rules_of(out) == ["hook-shadow"]
+
+    def test_read_predicate_pair_fires(self):
+        src = (
+            "class Broken(OptTrackProtocol):\n"
+            "    def can_read_local(self, var):\n"
+            "        return True\n"
+        )
+        assert rules_of(run(src, module="repro.ext.custom")) == ["hook-shadow"]
+
+    def test_unrelated_class_is_quiet(self):
+        src = "class Helper:\n    can_apply = True\n"
+        assert run(src, module="repro.ext.custom") == []
+
+
+# ----------------------------------------------------------------------
+# suppressions and allowlist machinery
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_reasoned_suppression_silences(self):
+        src = "import random  # lint: allow(entropy-source) — fixture needs it\n"
+        assert run(src, module="repro.sim.engine") == []
+
+    def test_reasonless_suppression_is_its_own_finding(self):
+        src = "import random  # lint: allow(entropy-source)\n"
+        out = run(src, module="repro.sim.engine")
+        assert sorted(rules_of(out)) == ["entropy-source", "suppression-format"]
+
+    def test_suppression_is_rule_specific(self):
+        src = "import random  # lint: allow(bare-except) — wrong rule\n"
+        out = run(src, module="repro.sim.engine")
+        assert rules_of(out) == ["entropy-source"]
+
+    def test_colon_and_hyphen_separators_accepted(self):
+        for sep in (":", "-", "—"):
+            parsed = parse_suppressions(f"x = 1  # lint: allow(foo) {sep} why\n")
+            assert parsed.allows(1, "foo"), sep
+
+    def test_parse_collects_malformed(self):
+        parsed = parse_suppressions("x = 1  # lint: allow(foo)\n")
+        assert parsed.malformed == [(1, "foo")]
+
+
+class TestAllowlistFile:
+    def test_parse_ok(self, tmp_path):
+        f = tmp_path / ".lint-allow"
+        f.write_text(
+            "# comment\n\n"
+            "import-layering: repro.a -> repro.b  # because\n"
+        )
+        entries = parse_allowlist(f)
+        assert entries == [AllowEntry("import-layering", "repro.a -> repro.b", "because")]
+
+    def test_missing_reason_rejected(self, tmp_path):
+        f = tmp_path / ".lint-allow"
+        f.write_text("import-layering: repro.a -> repro.b\n")
+        with pytest.raises(ConfigurationError, match="reason"):
+            parse_allowlist(f)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        f = tmp_path / ".lint-allow"
+        f.write_text("not an entry at all\n")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            parse_allowlist(f)
+
+
+class TestModuleNames:
+    def test_src_anchor(self):
+        assert module_name_for(Path("src/repro/sim/site.py")) == "repro.sim.site"
+
+    def test_package_init(self):
+        assert module_name_for(Path("src/repro/core/__init__.py")) == "repro.core"
+
+    def test_repro_anchor_without_src(self):
+        assert module_name_for(Path("repro/core/log.py")) == "repro.core.log"
+
+
+# ----------------------------------------------------------------------
+# the repository itself, and the CLI
+# ----------------------------------------------------------------------
+class TestRepositoryIsClean:
+    def test_src_repro_lints_clean(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src" / "repro"],
+            ALL_RULES,
+            allowlist=REPO_ROOT / ".lint-allow",
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_every_rule_is_exercised_by_fixtures(self):
+        # the catalog and this test file must not drift apart
+        assert set(RULES_BY_NAME) == {
+            "import-layering",
+            "cow-discipline",
+            "unordered-iteration",
+            "entropy-source",
+            "mutable-default",
+            "bare-except",
+            "hook-shadow",
+        }
+
+
+class TestCli:
+    def test_clean_repo_exits_zero(self, capsys):
+        rc = lint_main([str(REPO_ROOT / "src" / "repro")])
+        assert rc == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        rc = lint_main([str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "entropy-source" in captured.out
+        assert "1 finding" in captured.err
+
+    def test_select_unknown_rule_exits_two(self, capsys):
+        rc = lint_main(["--select", "no-such-rule", "."])
+        assert rc == 2
+
+    def test_select_runs_only_chosen_rule(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\ntry:\n    pass\nexcept:\n    pass\n")
+        rc = lint_main(["--select", "bare-except", str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "bare-except" in captured.out
+        assert "entropy-source" not in captured.out
+
+    def test_list_rules(self, capsys):
+        rc = lint_main(["--list-rules"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        for rule in ALL_RULES:
+            assert rule.name in captured.out
+
+    def test_malformed_allowlist_exits_two(self, tmp_path, capsys):
+        allow = tmp_path / ".lint-allow"
+        allow.write_text("entropy-source: repro.x\n")  # no reason
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "ok.py").write_text("x = 1\n")
+        rc = lint_main([str(target), "--allowlist", str(allow)])
+        assert rc == 2
+        assert "reason" in capsys.readouterr().err

@@ -66,6 +66,31 @@ class TestResultCache:
         cache.path("deadbeef").write_text('{"partial": ')
         assert cache.get("deadbeef") is None
 
+    def test_corrupt_garbage_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("deadbeef").write_bytes(b"\x00\xffnot json at all")
+        assert cache.get("deadbeef") is None
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("deadbeef").touch()
+        assert cache.get("deadbeef") is None
+
+    def test_unreadable_path_is_a_miss(self, tmp_path):
+        # a directory squatting on the cache path raises IsADirectoryError
+        # (an OSError), which must read as a miss, not a crash
+        cache = ResultCache(tmp_path)
+        cache.path("deadbeef").mkdir()
+        assert cache.get("deadbeef") is None
+
+    def test_miss_then_put_recovers(self, tmp_path):
+        # a corrupt entry is overwritten by the next successful run
+        cache = ResultCache(tmp_path)
+        cache.path("deadbeef").write_text("{{{{")
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"n": 1})
+        assert cache.get("deadbeef") == {"n": 1}
+
 
 class TestRunCells:
     def test_outcomes_in_spec_order_and_streamed(self, tmp_path):
