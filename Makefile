@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench table1 fig4 report
+.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench table1 fig4 report trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,7 +30,16 @@ check: lint typecheck
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m pytest -x -q benchmarks/bench_sweep.py benchmarks/bench_hot_paths.py
 
-# Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops)
+# End-to-end tracing smoke: record a lifecycle trace under three
+# protocols, replay each through the causal sanitizer oracle, render the
+# timeline reports (examples/traced_run.py), then re-render one file via
+# the CLI itself
+trace-smoke:
+	$(PYTHON) examples/traced_run.py --out .trace-smoke
+	$(PYTHON) -m repro.cli trace .trace-smoke/opt-track.jsonl --replay --top 3
+
+# Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops +
+# tracing overhead guardrail: fails if the no-op recorder costs > 3%)
 bench:
 	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json
 

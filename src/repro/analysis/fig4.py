@@ -77,12 +77,16 @@ def fig4_specs(
     q: int = 40,
     seed: int = 0,
     check: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> List[runner.CellSpec]:
     """The simulated Figure 4 grid as runner cell specs, ordered
     ``(p, write_rate)`` row-major (the order :func:`fig4_simulated`
-    consumes them in)."""
+    consumes them in).  ``trace_dir`` records a lifecycle trace per cell
+    (``fig4-<protocol>-p<p>-w<rate>-s<seed>.jsonl``)."""
     if ps is None:
         ps = default_ps(n)
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     specs: List[runner.CellSpec] = []
     for p in ps:
         for i, wr in enumerate(write_rates):
@@ -97,6 +101,10 @@ def fig4_specs(
                 record_history=check,
                 space_probe_every=None,
             )
+            if trace_dir is not None:
+                cluster["trace"] = str(
+                    Path(trace_dir) / f"fig4-{protocol}-p{p}-w{wr}-s{seed}.jsonl"
+                )
             workload = dict(
                 n_sites=n,
                 ops_per_site=ops_per_site,
@@ -118,13 +126,18 @@ def fig4_simulated(
     jobs: Optional[int] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[runner.ProgressFn] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
+    registry: Optional[runner.MetricsRegistry] = None,
 ) -> Fig4Result:
     """Measured Figure 4 series: Opt-Track at each ``p < n``,
     Opt-Track-CRP at ``p = n``.
 
     ``jobs``/``cache_dir``/``progress`` go to
     :func:`repro.analysis.runner.run_cells`; the series are independent
-    of the execution mode (each cell is a pure function of its spec)."""
+    of the execution mode (each cell is a pure function of its spec).
+    ``trace_dir`` records one lifecycle trace per cell (and becomes part
+    of each cell's cache identity); ``registry`` aggregates the cells'
+    metrics snapshots."""
     if ps is None:
         ps = default_ps(n)
     specs = fig4_specs(
@@ -135,9 +148,10 @@ def fig4_simulated(
         q=q,
         seed=seed,
         check=check,
+        trace_dir=trace_dir,
     )
     outcomes = runner.run_cells(
-        specs, jobs=jobs, cache_dir=cache_dir, progress=progress
+        specs, jobs=jobs, cache_dir=cache_dir, progress=progress, registry=registry
     )
     result = Fig4Result(n=n, write_rates=list(write_rates), kind="simulated")
     rows = iter(outcomes)

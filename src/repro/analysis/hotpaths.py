@@ -196,6 +196,79 @@ def bench_deplog(
     }
 
 
+#: tracing-disabled vs. attached-no-op budget: the ``recorder = None``
+#: guards must keep an attached :class:`~repro.obs.recorder.NullRecorder`
+#: within this fraction of the untraced run (``make bench`` fails past it)
+NOOP_OVERHEAD_BUDGET = 0.03
+
+
+def _timed_reference_run(
+    recorder_mode: str, seed: int, ref: Dict[str, Any]
+) -> float:
+    """Wall seconds for one reference run under a tracing mode:
+    ``disabled`` (recorder = None, the default), ``noop`` (an attached
+    :class:`NullRecorder` — every hook guard fires, every hook is a
+    ``pass``) or ``enabled`` (an in-memory :class:`TraceRecorder`)."""
+    from repro.obs.recorder import NullRecorder, TraceRecorder
+
+    cfg = ClusterConfig(
+        n_sites=ref["n"],
+        n_variables=ref["q"],
+        protocol="opt-track",
+        replication_factor=ref["p"],
+        seed=seed,
+        record_history=False,
+        space_probe_every=None,
+    )
+    cluster = Cluster(cfg)
+    if recorder_mode == "noop":
+        cluster.attach_recorder(NullRecorder())
+    elif recorder_mode == "enabled":
+        cluster.attach_recorder(TraceRecorder())
+    workload = generate(
+        WorkloadConfig(
+            n_sites=ref["n"],
+            ops_per_site=ref["ops_per_site"],
+            write_rate=ref["write_rate"],
+            placement=cluster.placement,
+            seed=seed + 1,
+        )
+    )
+    t0 = time.perf_counter()
+    cluster.run(workload, check=False)
+    return time.perf_counter() - t0
+
+
+def bench_trace_overhead(
+    fast: bool = False, seed: int = 3, repeat: int = 3
+) -> Dict[str, Any]:
+    """The tracing cost ledger: disabled vs. no-op vs. enabled recorder.
+
+    Best-of-``repeat`` wall times (minimum — robust against scheduler
+    noise) for the reference run in each mode.  ``noop_within_budget``
+    is the guardrail ``make bench`` enforces: an attached-but-silent
+    recorder must cost at most :data:`NOOP_OVERHEAD_BUDGET` over the
+    ``recorder = None`` fast path."""
+    ref: Dict[str, Any] = dict(REFERENCE)
+    if fast:
+        ref["ops_per_site"] = 50
+    walls: Dict[str, float] = {}
+    for mode in ("disabled", "noop", "enabled"):
+        walls[mode] = min(
+            _timed_reference_run(mode, seed, ref) for _ in range(repeat)
+        )
+    noop_pct = (walls["noop"] - walls["disabled"]) / walls["disabled"] * 100
+    enabled_pct = (walls["enabled"] - walls["disabled"]) / walls["disabled"] * 100
+    return {
+        "reference": ref,
+        "wall_s": walls,
+        "noop_overhead_pct": noop_pct,
+        "enabled_overhead_pct": enabled_pct,
+        "noop_budget_pct": NOOP_OVERHEAD_BUDGET * 100,
+        "noop_within_budget": noop_pct <= NOOP_OVERHEAD_BUDGET * 100,
+    }
+
+
 def bench_hot_paths(
     fast: bool = False, seed: int = 3
 ) -> Dict[str, Any]:
@@ -220,14 +293,57 @@ def bench_hot_paths(
         "deep_reference": deep,
         "drain_deep": deep_runs,
         "deplog": bench_deplog(n=ref["n"]),
+        "trace_overhead": bench_trace_overhead(fast=fast, seed=seed),
     }
 
 
-def write_report(path: str, fast: bool = False, seed: int = 3) -> Dict[str, Any]:
+def write_report(
+    path: str,
+    fast: bool = False,
+    seed: int = 3,
+    trace: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Write ``BENCH_hot_paths.json``; optionally also record a lifecycle
+    trace of the reference run to ``trace`` (JSONL).  Raises
+    ``RuntimeError`` when the no-op recorder overhead exceeds its budget
+    — the ``make bench`` guardrail."""
     import json
 
     report = bench_hot_paths(fast=fast, seed=seed)
+    if trace is not None:
+        ref = dict(REFERENCE)
+        if fast:
+            ref["ops_per_site"] = 50
+        cfg = ClusterConfig(
+            n_sites=ref["n"],
+            n_variables=ref["q"],
+            protocol="opt-track",
+            replication_factor=ref["p"],
+            seed=seed,
+            record_history=False,
+            space_probe_every=None,
+            trace=trace,
+        )
+        cluster = Cluster(cfg)
+        workload = generate(
+            WorkloadConfig(
+                n_sites=ref["n"],
+                ops_per_site=ref["ops_per_site"],
+                write_rate=ref["write_rate"],
+                placement=cluster.placement,
+                seed=seed + 1,
+            )
+        )
+        cluster.run(workload, check=False)
+        report["trace_file"] = trace
     with open(path, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
         fh.write("\n")
+    overhead = report["trace_overhead"]
+    if not overhead["noop_within_budget"]:
+        raise RuntimeError(
+            f"no-op recorder overhead {overhead['noop_overhead_pct']:.2f}% "
+            f"exceeds the {overhead['noop_budget_pct']:.0f}% budget "
+            "(the disabled-tracing fast path regressed)"
+        )
     return report

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.workload.generator import WorkloadConfig, generate
 
@@ -213,8 +214,28 @@ def run_spec(spec: CellSpec) -> Dict[str, Any]:
             "sim_time": result.sim_time,
             "conflicts": result.conflicts,
             "ok": result.ok if spec.check else None,
+            # the cell's full repro.obs registry snapshot — mergeable
+            # across worker processes via publish_outcomes
+            "registry": cluster.registry.snapshot(),
         }
     )
+
+
+def publish_outcomes(
+    registry: MetricsRegistry, outcomes: Iterable[CellOutcome]
+) -> MetricsRegistry:
+    """Merge every outcome's per-cell registry snapshot into ``registry``.
+
+    Each worker process runs its cells against a private
+    :class:`~repro.obs.registry.MetricsRegistry`; the snapshot travels
+    back in the summary row (and through the cache), so aggregation works
+    identically for fresh, pooled, and cache-hit cells.  Rows written by
+    older code versions (no ``registry`` key) are skipped."""
+    for outcome in outcomes:
+        snap = outcome.row.get("registry")
+        if snap:
+            registry.absorb(snap)
+    return registry
 
 
 def run_cells(
@@ -222,13 +243,16 @@ def run_cells(
     jobs: Optional[int] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressFn] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[CellOutcome]:
     """Run every cell, in parallel, memoized; outcomes in spec order.
 
     ``jobs``: worker processes (``None`` = ``os.cpu_count()``; ``<=1`` =
     inline).  ``cache_dir``: enable the content-addressed cache there.
     ``progress(done, total, outcome)`` fires once per finished cell —
-    cache hits first, then simulated cells as they stream back."""
+    cache hits first, then simulated cells as they stream back.
+    ``registry``: optional aggregate that absorbs every cell's metrics
+    snapshot (see :func:`publish_outcomes`)."""
     specs = list(specs)
     total = len(specs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -270,4 +294,6 @@ def run_cells(
             for future in as_completed(futures):
                 i, spec, key = futures[future]
                 finish(i, spec, key, future.result())
+    if registry is not None:
+        publish_outcomes(registry, outcomes)  # type: ignore[arg-type]
     return outcomes  # type: ignore[return-value]

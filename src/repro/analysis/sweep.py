@@ -142,11 +142,22 @@ def run_cell(
     return _row(cell, runner.run_spec(spec))
 
 
+def trace_path(trace_dir: Union[str, Path], cell: Mapping[str, Any]) -> str:
+    """Deterministic per-cell JSONL trace filename under ``trace_dir``."""
+    name = (
+        f"{cell['protocol']}-n{cell['n']}-q{cell['q']}-p{cell['p']}"
+        f"-w{cell['write_rate']}-s{cell['seed']}.jsonl"
+    )
+    return str(Path(trace_dir) / name)
+
+
 def sweep(
     check: bool = False,
     jobs: Optional[int] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[runner.ProgressFn] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
+    registry: Optional[runner.MetricsRegistry] = None,
     **params: Any,
 ) -> List[Dict[str, Any]]:
     """Cartesian sweep: any parameter in :data:`SWEEPABLE` may be a list.
@@ -154,7 +165,11 @@ def sweep(
     Unknown keyword arguments are forwarded to :class:`ClusterConfig`
     (fixed across the sweep).  ``jobs``, ``cache_dir`` and ``progress``
     go to :func:`repro.analysis.runner.run_cells`; the returned rows are
-    independent of ``jobs`` and of cache state.
+    independent of ``jobs`` and of cache state.  ``trace_dir`` records a
+    lifecycle trace per cell at :func:`trace_path` (the path is part of
+    the cell's cache identity, so traced and untraced sweeps memoize
+    separately — and a cache hit does not re-write the trace file).
+    ``registry`` aggregates every cell's metrics snapshot.
     """
     grid = {k: _as_list(params.pop(k)) for k in SWEEPABLE if k in params}
     if not grid:
@@ -164,9 +179,23 @@ def sweep(
         {**_CELL_DEFAULTS, **dict(zip(keys, combo))}
         for combo in itertools.product(*(grid[k] for k in keys))
     ]
-    specs = [cell_spec(check=check, **cell, **params) for cell in cells]
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+    specs = [
+        cell_spec(
+            check=check,
+            **cell,
+            **params,
+            **(
+                {"trace": trace_path(trace_dir, cell)}
+                if trace_dir is not None
+                else {}
+            ),
+        )
+        for cell in cells
+    ]
     outcomes = runner.run_cells(
-        specs, jobs=jobs, cache_dir=cache_dir, progress=progress
+        specs, jobs=jobs, cache_dir=cache_dir, progress=progress, registry=registry
     )
     return [_row(cell, outcome.row) for cell, outcome in zip(cells, outcomes)]
 

@@ -6,6 +6,7 @@ Subcommands::
     repro-sim fig4     [--n 10 --ops 60] [--analytic-only] [--jobs N --cache DIR]
     repro-sim sweep    [--protocol a,b --write-rate 0.2,0.8 ...] [--jobs N --cache DIR]
     repro-sim run      --protocol opt-track --n 10 [--p 3 --ops 100 ...]
+    repro-sim trace    FILE [--top K] [--update s3#17] [--replay] [--json]
     repro-sim protocols
 
 ``table1`` and ``fig4`` regenerate the paper's evaluation artifacts;
@@ -14,6 +15,13 @@ Subcommands::
 worker processes and memoize finished cells in the content-addressed
 result cache under ``--cache`` (see :mod:`repro.analysis.runner`); cell
 progress streams to stderr, results are identical to a serial run.
+
+``--trace`` records a per-update lifecycle trace (``repro.obs`` JSONL):
+a file path on ``run``/``bench``, a directory (one file per cell) on
+``sweep``/``fig4``.  ``trace`` renders a recorded file — the timeline of
+one update (``--update``), or the top-K report (slowest activations,
+biggest buffers, most-pruned senders) — and ``--replay`` re-drives the
+records through the causal sanitizer's oracle.
 """
 
 from __future__ import annotations
@@ -91,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the simulated series (fast)",
     )
+    f4.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record one lifecycle trace per cell into this directory",
+    )
     _add_runner(f4)
 
     run = sub.add_parser("run", help="one ad-hoc simulation")
@@ -99,6 +113,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--p", type=int, default=None, help="replication factor")
     run.add_argument("--write-rate", type=float, default=0.3)
     run.add_argument("--json", action="store_true", help="JSON metric dump")
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the run's lifecycle trace as JSONL "
+        "(render with: repro-sim trace PATH)",
+    )
+
+    tr = sub.add_parser(
+        "trace",
+        help="render a recorded lifecycle trace",
+        description="Render a JSONL trace recorded via --trace: the "
+        "top-K report by default, one update's timeline with --update.",
+    )
+    tr.add_argument("file", help="JSONL trace file")
+    tr.add_argument("--top", type=int, default=5, help="rows per top-K section")
+    tr.add_argument(
+        "--update",
+        default=None,
+        metavar="WID",
+        help="render one update's lifecycle (write id, e.g. s3#17)",
+    )
+    tr.add_argument(
+        "--replay",
+        action="store_true",
+        help="re-drive the records through the causal sanitizer oracle",
+    )
+    tr.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
 
     sub.add_parser("protocols", help="list available protocols")
 
@@ -129,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--ops", type=int, default=60)
     sw.add_argument("--seed", type=int, default=0)
     sw.add_argument("--out", default=None, help="CSV file (default: stdout)")
+    sw.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record one lifecycle trace per cell into this directory",
+    )
     _add_runner(sw)
 
     bench = sub.add_parser(
@@ -141,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_hot_paths.json")
     bench.add_argument("--fast", action="store_true", help="50 ops/site")
     bench.add_argument("--seed", type=int, default=3)
+    bench.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also record the reference run's lifecycle trace as JSONL",
+    )
     return parser
 
 
@@ -166,10 +222,13 @@ def cmd_fig4(args: argparse.Namespace) -> int:
                     n=args.n,
                     ops_per_site=args.ops,
                     seed=args.seed,
+                    trace_dir=args.trace,
                     **_runner_kwargs(args),
                 )
             )
         )
+        if args.trace:
+            print(f"traces in {args.trace}/", file=sys.stderr)
     return 0
 
 
@@ -180,6 +239,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         replication_factor=args.p,
         seed=args.seed,
+        trace=args.trace if args.trace else False,
     )
     cluster = Cluster(cfg)
     workload = generate(
@@ -218,6 +278,57 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"space/site          mean {m.space_bytes['mean_per_site']:.0f} B")
         print(f"sim time            {result.sim_time:.1f} ms")
         print(f"causally consistent {result.ok}")
+    if args.trace:
+        print(f"trace               {args.trace}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        load_trace,
+        parse_write_id,
+        render_report,
+        render_update,
+        replay_trace,
+    )
+
+    loaded = load_trace(args.file)
+    if args.update is not None:
+        try:
+            wid = parse_write_id(args.update)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        span = loaded.span_tree().get(wid)
+        if span is None:
+            print(f"no update {args.update} in {args.file}", file=sys.stderr)
+            return 1
+        print(render_update(span))
+    elif args.json:
+        spans = loaded.span_tree()
+        buffered = [s for s in spans.values() if s.was_buffered]
+        print(
+            json.dumps(
+                {
+                    "path": str(loaded.path),
+                    "header": loaded.header,
+                    "records": len(loaded.records),
+                    "kinds": loaded.kind_counts(),
+                    "updates": len(spans),
+                    "buffered_updates": len(buffered),
+                    "max_buffered_ms": max(
+                        (s.max_buffered_for for s in buffered), default=0.0
+                    ),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_report(loaded, top=args.top))
+    if args.replay:
+        print()
+        print(replay_trace(loaded).summary())
     return 0
 
 
@@ -295,6 +406,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         q=args.q,
         ops_per_site=args.ops,
         seed=args.seed,
+        trace_dir=args.trace,
         **_runner_kwargs(args),
     )
     text = to_csv(rows, args.out)
@@ -308,7 +420,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.hotpaths import write_report
 
-    report = write_report(args.out, fast=args.fast, seed=args.seed)
+    report = write_report(
+        args.out, fast=args.fast, seed=args.seed, trace=args.trace
+    )
     print(json.dumps(report, indent=1, sort_keys=True))
     print(f"wrote {args.out}")
     return 0
@@ -320,6 +434,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": cmd_table1,
         "fig4": cmd_fig4,
         "run": cmd_run,
+        "trace": cmd_trace,
         "protocols": cmd_protocols,
         "scenario": cmd_scenario,
         "report": cmd_report,

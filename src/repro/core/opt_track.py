@@ -127,7 +127,11 @@ class OptTrackProtocol(CausalProtocol):
         # lines 10-12: Condition 2 at the sender — the new update will
         # transitively carry every logged dependency to the replicas of
         # x_h — fused with the PURGE sweep
+        obs = self.obs
+        pre = dict(self.log.entries) if obs is not None and obs.enabled else None
         self.log.retire(prune_mask)
+        if pre is not None:
+            self._obs_prune("condition2", var, pre, self.log)
         # line 13: the new write joins the log
         self.log.add(self.site, clock, bitsets.remove(reps_mask, self.site))
         # deviation from line 16 (see module docstring): own writes are
@@ -262,17 +266,48 @@ class OptTrackProtocol(CausalProtocol):
         self._store_value(msg.var, msg.value, msg.write_id)  # line 26
 
         stored = meta.log.copy()
+        obs = self.obs
         if self.distributed_prune:
             # receiver-side Condition-2 pruning (sender skipped lines 3-8);
             # the sender's own bit is excluded, as in the sender-side prune
+            pre = dict(stored.entries) if obs is not None and obs.enabled else None
             stored.prune_dests(bitsets.remove(meta.replicas_mask, msg.sender))
+            if pre is not None:
+                self._obs_prune("condition2-receiver", msg.var, pre, stored)
         # line 28: the update itself joins the stored log
         stored.add(msg.sender, meta.clock, meta.replicas_mask)
         # lines 29-30: Condition 1 — this site has now applied everything
         # the stored log mentions as destined to it
+        pre = dict(stored.entries) if obs is not None and obs.enabled else None
         stored.remove_site(self.site)
+        if pre is not None:
+            self._obs_prune("condition1", msg.var, pre, stored)
         self.last_write_on[msg.var] = stored  # line 31
         self._raise_ceiling(msg.var, stored)
+
+    def _obs_prune(self, condition: str, var: VarId, pre, log: DepLog) -> None:
+        """Report one prune sweep to the attached lifecycle recorder as a
+        ``pre``-vs-``log.entries`` diff: destination bits lost per sender,
+        records dropped outright, and empty-``Dests`` records retained as
+        their sender's newest (the PURGE retention rule, paper Fig. 2)."""
+        removed = 0
+        kept = 0
+        by_sender: Dict[int, int] = {}
+        post = log.entries
+        for key, d_pre in pre.items():
+            d_post = post.get(key)
+            if d_post is None:
+                removed += 1
+                lost = d_pre
+            else:
+                lost = d_pre & ~d_post
+                if d_post == bitsets.EMPTY:
+                    kept += 1
+            if lost:
+                z = key[0]
+                by_sender[z] = by_sender.get(z, 0) + lost.bit_count()
+        if removed or by_sender:
+            self.obs.on_prune(self.site, condition, var, removed, by_sender, kept)
 
     def _raise_ceiling(self, var: VarId, log: DepLog) -> None:
         ceiling = self._ceiling.setdefault(var, {})

@@ -39,6 +39,9 @@ LAYERS: Dict[str, int] = {
     "lint": 1,
     "verify": 2,
     "store": 2,
+    # obs sits with verify/store: readable from metrics/sim/analysis/cli;
+    # its own deps on verify are function-local deferred imports
+    "obs": 2,
     "metrics": 3,
     "sim": 4,
     "workload": 5,
@@ -464,6 +467,65 @@ class BareExceptRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# ad-hoc logging
+# ----------------------------------------------------------------------
+
+
+class AdHocLoggingRule(Rule):
+    """No ``print()`` or ``logging`` in the protocol and simulation layers.
+
+    Anything worth reporting from ``repro.core``/``repro.sim`` is
+    telemetry and must flow through ``repro.obs`` (a lifecycle recorder
+    hook or a registry metric): stdout writes corrupt CLI output that is
+    meant to be piped, and both are invisible to the trace/replay
+    machinery.  Syntactic only: aliased prints (``p = print``) are not
+    caught.
+    """
+
+    name = "adhoc-logging"
+    summary = "print()/logging forbidden in repro.core/sim — use repro.obs"
+    scoped_prefixes = ("repro.core", "repro.sim")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        if ctx.module in ctx.allowed_payloads(self.name):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Finding(
+                    self.name,
+                    ctx.path,
+                    node.lineno,
+                    "print() in the protocol/simulation layer — emit a "
+                    "repro.obs recorder event or registry metric instead",
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "logging":
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            "logging import in the protocol/simulation "
+                            "layer — use repro.obs telemetry instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "logging":
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        "logging import in the protocol/simulation layer "
+                        "— use repro.obs telemetry instead",
+                    )
+
+
+# ----------------------------------------------------------------------
 # protocol hook shadowing
 # ----------------------------------------------------------------------
 
@@ -569,6 +631,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     EntropySourceRule(),
     MutableDefaultRule(),
     BareExceptRule(),
+    AdHocLoggingRule(),
     HookShadowRule(),
 )
 

@@ -17,10 +17,11 @@ apply hooks, process op hooks) and accumulates:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterable
 
 from repro.metrics.sizes import DEFAULT_SIZE_MODEL, SizeModel
+from repro.obs.registry import DEFAULT_TIME_BUCKETS_MS, Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import CausalProtocol
@@ -62,13 +63,15 @@ class RunningStat:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Any]:
+        # min/max are None (JSON null) while empty: the infinity sentinels
+        # are not valid JSON, and 0.0 would be a fabricated sample
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
             "stdev": self.stdev,
         }
 
@@ -84,9 +87,13 @@ class MetricsSummary:
     message_bytes: Dict[str, int]
     ops: Dict[str, int]
     op_latency: Dict[str, Dict[str, float]]
-    activation_delay: Dict[str, float]
+    activation_delay: Dict[str, Any]
     space_bytes: Dict[str, float]
     sim_time: float = 0.0
+    #: bucketed activation-delay distribution (repro.obs Histogram
+    #: ``as_dict`` shape) — the same definition of buffering time the
+    #: ``repro-sim trace`` timeline reports: apply time − receive time
+    activation_delay_hist: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_messages(self) -> int:
@@ -108,6 +115,7 @@ class MetricsSummary:
             "ops": dict(self.ops),
             "op_latency": {k: dict(v) for k, v in self.op_latency.items()},
             "activation_delay": dict(self.activation_delay),
+            "activation_delay_hist": dict(self.activation_delay_hist),
             "space_bytes": dict(self.space_bytes),
             "sim_time": self.sim_time,
             "total_messages": self.total_messages,
@@ -142,6 +150,9 @@ class MetricsCollector:
             "read-remote": RunningStat(),
         }
         self.activation_delay = RunningStat()
+        #: bucketed distribution of the same delays (shared ladder with
+        #: the trace timeline, see repro.obs.registry)
+        self.activation_delay_hist = Histogram(DEFAULT_TIME_BUCKETS_MS)
         self.space_samples: Dict[int, RunningStat] = {}
         self._space_peak = 0
 
@@ -164,6 +175,7 @@ class MetricsCollector:
 
     def on_apply(self, delay: float) -> None:
         self.activation_delay.add(delay)
+        self.activation_delay_hist.observe(delay)
 
     def probe_space(self, protocols: Iterable["CausalProtocol"]) -> int:
         """Sample the control-state footprint of every site; returns the
@@ -178,6 +190,27 @@ class MetricsCollector:
         if total > self._space_peak:
             self._space_peak = total
         return total
+
+    def publish(self, registry: Any, **labels: Any) -> None:
+        """Export the collected aggregates into a ``repro.obs``
+        :class:`~repro.obs.registry.MetricsRegistry` (one call per run;
+        counters accumulate across calls by design)."""
+        for kind, n in self.message_counts.items():
+            registry.counter("messages_total", kind=kind, **labels).inc(n)
+        for kind, b in self.message_bytes.items():
+            registry.counter("message_bytes_total", kind=kind, **labels).inc(b)
+        for kind, n in self.ops.items():
+            registry.counter("ops_total", kind=kind, **labels).inc(n)
+        registry.histogram(
+            "activation_delay_ms",
+            bounds=self.activation_delay_hist.bounds,
+            **labels,
+        ).absorb_dict(self.activation_delay_hist.as_dict())
+        for site, stat in self.space_samples.items():
+            registry.gauge("space_bytes_mean", site=site, **labels).set(stat.mean)
+        registry.gauge("space_bytes_peak_total", **labels).set(
+            float(self._space_peak)
+        )
 
     # ------------------------------------------------------------------
     def summary(self, sim_time: float = 0.0) -> MetricsSummary:
@@ -198,4 +231,5 @@ class MetricsCollector:
             activation_delay=self.activation_delay.as_dict(),
             space_bytes=space,
             sim_time=sim_time,
+            activation_delay_hist=self.activation_delay_hist.as_dict(),
         )

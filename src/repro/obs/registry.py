@@ -1,0 +1,254 @@
+"""Labelled counters / gauges / histograms with snapshot, diff and merge.
+
+A deliberately small metrics registry in the Prometheus style: metrics are
+identified by ``name`` plus a set of ``key=value`` labels (``site=3``,
+``protocol=opt-track``), created lazily on first touch, and exported as a
+plain-JSON snapshot.  Three verbs cover the repo's needs:
+
+* :meth:`MetricsRegistry.snapshot` — the current state as canonical JSON
+  (the same structure a :meth:`MetricsRegistry.restore` accepts);
+* :meth:`MetricsRegistry.diff` — what changed since an earlier snapshot
+  (counters and histogram counts subtract; gauges report current values);
+* :meth:`MetricsRegistry.absorb` — merge another snapshot in, the
+  aggregation primitive the parallel runner uses to combine per-worker
+  registries into one fleet view.
+
+Publishers live next to the data they publish:
+:meth:`repro.metrics.collector.MetricsCollector.publish`,
+:meth:`repro.verify.sanitizer.CausalSanitizer.publish`, and
+:func:`repro.analysis.runner.publish_outcomes`.
+
+Histograms use fixed bucket upper bounds (cumulative counts would make
+merging ambiguous, so counts here are *per bucket*, not cumulative).
+``DEFAULT_TIME_BUCKETS_MS`` is the shared bucket ladder for simulated-time
+durations — in particular it is the **single definition of activation
+(buffering) delay** used by both :class:`~repro.metrics.collector.MetricsCollector`
+and the ``repro-sim trace`` timeline: ``apply time − message receive time``
+in simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: shared bucket bounds (ms) for simulated-time durations such as the
+#: activation delay; the final implicit bucket is ``+inf``
+DEFAULT_TIME_BUCKETS_MS: Tuple[float, ...] = (
+    0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0
+)
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Canonical ``name{a=1,b=x}`` identity of one labelled metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins, including across merges)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming histogram: running stat plus per-bucket counts.
+
+    ``bounds`` are upper bucket edges (a sample lands in the first bucket
+    whose bound is ``>= x``; above the last bound it lands in the implicit
+    ``inf`` bucket).  ``min``/``max`` export as ``None`` while empty — the
+    JSON-snapshot convention shared with
+    :class:`repro.metrics.collector.RunningStat` (infinities are not JSON).
+    """
+
+    __slots__ = ("bounds", "buckets", "inf", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS_MS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram bounds must strictly increase: {bounds}")
+        self.buckets: List[int] = [0] * len(self.bounds)
+        self.inf = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for i, bound in enumerate(self.bounds):
+            if x <= bound:
+                self.buckets[i] += 1
+                return
+        self.inf += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "inf": self.inf,
+        }
+
+    def absorb_dict(self, data: Mapping[str, Any]) -> None:
+        if tuple(data["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{data['bounds']} vs {list(self.bounds)}"
+            )
+        self.count += data["count"]
+        self.total += data["total"]
+        if data["min"] is not None and data["min"] < self.min:
+            self.min = data["min"]
+        if data["max"] is not None and data["max"] > self.max:
+            self.max = data["max"]
+        for i, c in enumerate(data["buckets"]):
+            self.buckets[i] += c
+        self.inf += data["inf"]
+
+
+class MetricsRegistry:
+    """Lazily created, labelled metrics; see module docstring."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # access (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(
+                bounds if bounds is not None else DEFAULT_TIME_BUCKETS_MS
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # snapshot / diff / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The full current state as plain (canonical, mergeable) JSON."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def diff(self, earlier: Mapping[str, Any]) -> Dict[str, Any]:
+        """Change since ``earlier`` (a snapshot): counters and histogram
+        counts/totals subtract; gauges report their current value; metrics
+        absent from ``earlier`` diff against zero."""
+        now = self.snapshot()
+        prev_counters = earlier.get("counters", {})
+        prev_hists = earlier.get("histograms", {})
+        out: Dict[str, Any] = {
+            "counters": {
+                k: v - prev_counters.get(k, 0) for k, v in now["counters"].items()
+            },
+            "gauges": dict(now["gauges"]),
+            "histograms": {},
+        }
+        for k, h in now["histograms"].items():
+            prev = prev_hists.get(k)
+            if prev is None:
+                out["histograms"][k] = h
+                continue
+            out["histograms"][k] = {
+                "count": h["count"] - prev["count"],
+                "total": h["total"] - prev["total"],
+                "mean": None,  # not derivable from a pure delta
+                "min": None,
+                "max": None,
+                "bounds": h["bounds"],
+                "buckets": [
+                    a - b for a, b in zip(h["buckets"], prev["buckets"])
+                ],
+                "inf": h["inf"] - prev["inf"],
+            }
+        return out
+
+    def absorb(self, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Merge a snapshot into this registry (counters and histograms
+        add; gauges take the incoming value).  Returns ``self`` so worker
+        snapshots chain: ``reg.absorb(a).absorb(b)``."""
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters.setdefault(key, Counter()).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            self._gauges.setdefault(key, Gauge()).set(value)
+        for key, data in snapshot.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(tuple(data["bounds"]))
+            hist.absorb_dict(data)
+        return self
+
+    @classmethod
+    def merged(cls, snapshots: Sequence[Mapping[str, Any]]) -> "MetricsRegistry":
+        """A fresh registry holding the sum of ``snapshots``."""
+        reg = cls()
+        for snap in snapshots:
+            reg.absorb(snap)
+        return reg

@@ -1,0 +1,156 @@
+"""Fold a flat record stream into ``WriteId``-keyed lifecycle span trees.
+
+One :class:`UpdateSpan` per write, one :class:`DeliverySpan` child per
+destination site, each carrying the timestamps of the lifecycle stages::
+
+    issue                       (writer site, at write time)
+    └─ per destination:
+       send → enqueue → deliver → [buffered …] → apply
+              (or hold / drop)
+
+The builder is pure — it reads the record dicts produced by
+:class:`repro.obs.recorder.TraceRecorder` (live) or loaded from a JSONL
+file (:func:`repro.obs.jsonl.load_trace`) and never consults simulator
+state, which is what makes the round-trip test meaningful: live and
+loaded span trees must compare equal, field for field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.recorder import decode_write_id
+from repro.types import SiteId, VarId, WriteId
+
+
+@dataclass
+class DeliverySpan:
+    """The life of one update message at one destination."""
+
+    dest: SiteId
+    send: Optional[float] = None
+    #: handed to the wire (post-batching); ``arrival`` is the scheduled
+    #: FIFO-clamped delivery time
+    enqueue: Optional[float] = None
+    arrival: Optional[float] = None
+    deliver: Optional[float] = None
+    #: time the update entered the pending buffer (activation predicate
+    #: false on arrival); None = activated immediately
+    buffered_at: Optional[float] = None
+    #: unsatisfied (origin, clock) dependencies named at buffering time
+    blocking: Tuple[Tuple[SiteId, int], ...] = ()
+    apply: Optional[float] = None
+    held: bool = False
+    dropped: bool = False
+
+    @property
+    def buffered_for(self) -> Optional[float]:
+        """Activation delay: apply − deliver (None until both exist).
+
+        The same quantity ``MetricsCollector.on_apply`` accumulates — the
+        trace timeline and the Table-I time report share this definition.
+        """
+        if self.apply is None or self.deliver is None:
+            return None
+        return self.apply - self.deliver
+
+    @property
+    def in_flight(self) -> bool:
+        """Delivered (or sent) but never applied — still pending at the
+        end of the recorded window."""
+        return self.apply is None and not self.dropped
+
+
+@dataclass
+class UpdateSpan:
+    """The full span tree of one write."""
+
+    write_id: WriteId
+    site: SiteId
+    var: Optional[VarId] = None
+    issue: Optional[float] = None
+    #: the write's advertised destinations (its variable's replica set)
+    dests: Tuple[SiteId, ...] = ()
+    #: local apply at the writer itself (instant, when locally replicated)
+    local_apply: Optional[float] = None
+    deliveries: Dict[SiteId, DeliverySpan] = field(default_factory=dict)
+    #: wake events that released this update from the pending buffer
+    wakes: List[Tuple[float, SiteId, SiteId]] = field(default_factory=list)
+
+    def delivery(self, dest: SiteId) -> DeliverySpan:
+        span = self.deliveries.get(dest)
+        if span is None:
+            span = self.deliveries[dest] = DeliverySpan(dest)
+        return span
+
+    @property
+    def max_buffered_for(self) -> float:
+        """Worst activation delay across destinations (0.0 if none)."""
+        delays = [
+            d.buffered_for
+            for d in self.deliveries.values()
+            if d.buffered_for is not None
+        ]
+        return max(delays) if delays else 0.0
+
+    @property
+    def was_buffered(self) -> bool:
+        return any(d.buffered_at is not None for d in self.deliveries.values())
+
+
+def build_spans(records: Iterable[Mapping[str, Any]]) -> Dict[WriteId, UpdateSpan]:
+    """Fold flat records into spans (insertion-ordered by first sighting)."""
+    spans: Dict[WriteId, UpdateSpan] = {}
+
+    def span_of(wid: WriteId) -> UpdateSpan:
+        span = spans.get(wid)
+        if span is None:
+            span = spans[wid] = UpdateSpan(wid, wid.site)
+        return span
+
+    for rec in records:
+        kind = rec["k"]
+        if kind in ("header", "read", "prune", "wake"):
+            if kind == "wake":
+                # attach the wakeup to every update it released
+                for raw in rec["w"]:
+                    wid = decode_write_id(raw)
+                    if wid is not None:
+                        span_of(wid).wakes.append(
+                            (rec["t"], rec["s"], rec["o"])
+                        )
+            continue
+        wid = decode_write_id(rec.get("w"))
+        if wid is None:
+            continue
+        span = span_of(wid)
+        if kind == "issue":
+            span.issue = rec["t"]
+            span.var = rec["v"]
+            span.dests = tuple(rec["d"])
+        elif kind == "send":
+            span.delivery(rec["d"]).send = rec["t"]
+        elif kind == "enqueue":
+            d = span.delivery(rec["d"])
+            d.enqueue = rec["t"]
+            d.arrival = rec["a"]
+        elif kind == "hold":
+            span.delivery(rec["d"]).held = True
+        elif kind == "drop":
+            span.delivery(rec["d"]).dropped = True
+        elif kind == "deliver":
+            span.delivery(rec["s"]).deliver = rec["t"]
+        elif kind == "buffered":
+            d = span.delivery(rec["s"])
+            d.buffered_at = rec["t"]
+            d.blocking = tuple((z, c) for z, c in rec["b"])
+        elif kind == "apply":
+            span.var = span.var if span.var is not None else rec["v"]
+            if rec["s"] == wid.site:
+                # the writer applies its own update instantly — a local
+                # apply, not a delivery (sites never message themselves)
+                span.local_apply = rec["t"]
+            else:
+                span.delivery(rec["s"]).apply = rec["t"]
+    return spans

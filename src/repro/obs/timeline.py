@@ -1,0 +1,203 @@
+"""Render recorded traces: per-update timelines and top-K hot-spot reports.
+
+Pure text formatting over :class:`repro.obs.jsonl.LoadedTrace` — consumed
+by the ``repro-sim trace`` CLI.  Three reports answer the questions the
+paper's aggregates cannot:
+
+* **slowest activations** — which updates sat buffered the longest at a
+  destination, and which ``(origin, clock)`` dependency blocked them;
+* **biggest buffers** — the peak number of concurrently buffered updates
+  per site (memory pressure the space metrics only show as an average);
+* **most-pruned senders** — whose dependency records the KS Condition-1/2
+  prunes discard most, per condition.
+
+All durations are simulated milliseconds; the activation delay shown here
+is ``apply − deliver``, the same definition ``MetricsCollector`` feeds its
+activation-delay histogram (see ``repro.obs.registry``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.jsonl import LoadedTrace
+from repro.obs.recorder import decode_write_id
+from repro.obs.spans import DeliverySpan, UpdateSpan
+from repro.types import SiteId, WriteId
+
+
+def format_write_id(write_id: WriteId) -> str:
+    return f"s{write_id.site}#{write_id.seq}"
+
+
+def parse_write_id(text: str) -> WriteId:
+    """Inverse of :func:`format_write_id` (``s3#17`` → ``WriteId(3, 17)``)."""
+    body = text.lstrip("s")
+    site, _, seq = body.partition("#")
+    try:
+        return WriteId(int(site), int(seq))
+    except ValueError:
+        raise ValueError(
+            f"write id {text!r} not understood (expected e.g. s3#17)"
+        ) from None
+
+
+def _fmt_t(t: Optional[float]) -> str:
+    return "-" if t is None else f"{t:.3f}"
+
+
+def render_update(span: UpdateSpan) -> str:
+    """One update's full lifecycle, one line per destination."""
+    wid = format_write_id(span.write_id)
+    head = f"{wid} var={span.var!r} issued t={_fmt_t(span.issue)}"
+    if span.dests:
+        head += f" dests={list(span.dests)}"
+    lines = [head]
+    if span.local_apply is not None:
+        lines.append(f"  local apply           t={_fmt_t(span.local_apply)}")
+    for dest in sorted(span.deliveries):
+        d = span.deliveries[dest]
+        stages = [f"send {_fmt_t(d.send)}", f"enqueue {_fmt_t(d.enqueue)}"]
+        if d.held:
+            stages.append("HELD (partition)")
+        if d.dropped:
+            stages.append("DROPPED")
+        if d.deliver is not None:
+            stages.append(f"deliver {_fmt_t(d.deliver)}")
+        if d.buffered_at is not None:
+            blockers = ", ".join(
+                format_write_id(WriteId(z, c)) for z, c in d.blocking
+            )
+            stages.append(
+                f"buffered ({'blocked on ' + blockers if blockers else 'deps unsatisfied'})"
+            )
+        if d.apply is not None:
+            stages.append(f"apply {_fmt_t(d.apply)}")
+            delay = d.buffered_for
+            if delay is not None and delay > 0:
+                stages.append(f"[+{delay:.3f}ms buffered]")
+        elif not d.dropped:
+            stages.append("in flight")
+        lines.append(f"  dest s{dest}: " + " -> ".join(stages))
+    for t, site, origin in span.wakes:
+        lines.append(f"  woken at s{site} t={_fmt_t(t)} by progress from s{origin}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# top-K reports
+# ----------------------------------------------------------------------
+def slowest_activations(
+    spans: Mapping[WriteId, UpdateSpan], k: int
+) -> List[Tuple[float, UpdateSpan, DeliverySpan]]:
+    """The ``k`` destination-applies with the largest buffering delay."""
+    rows: List[Tuple[float, UpdateSpan, DeliverySpan]] = []
+    for span in spans.values():
+        for d in span.deliveries.values():
+            delay = d.buffered_for
+            if delay is not None and delay > 0:
+                rows.append((delay, span, d))
+    rows.sort(key=lambda r: (-r[0], r[1].write_id, r[2].dest))
+    return rows[:k]
+
+
+def peak_buffers(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[SiteId, Tuple[int, float]]:
+    """Per site: (peak number of concurrently buffered updates, time of peak).
+
+    Walks the flat record stream keeping the live buffered set per site —
+    an update leaves the buffer when the same site applies it.
+    """
+    live: Dict[SiteId, set] = {}
+    peaks: Dict[SiteId, Tuple[int, float]] = {}
+    for rec in records:
+        kind = rec["k"]
+        if kind == "buffered":
+            site = rec["s"]
+            wid = decode_write_id(rec["w"])
+            bucket = live.setdefault(site, set())
+            bucket.add(wid)
+            if len(bucket) > peaks.get(site, (0, 0.0))[0]:
+                peaks[site] = (len(bucket), rec["t"])
+        elif kind == "apply":
+            site = rec["s"]
+            bucket = live.get(site)
+            if bucket:
+                bucket.discard(decode_write_id(rec["w"]))
+    return peaks
+
+
+def prune_totals(
+    records: Iterable[Mapping[str, Any]],
+) -> Tuple[Dict[str, int], Dict[SiteId, int], int]:
+    """(per-condition removed counts, per-sender removed counts, total kept)."""
+    by_condition: Dict[str, int] = {}
+    by_sender: Dict[SiteId, int] = {}
+    kept = 0
+    for rec in records:
+        if rec["k"] != "prune":
+            continue
+        by_condition[rec["c"]] = by_condition.get(rec["c"], 0) + rec["n"]
+        for z, count in rec["z"].items():
+            z = int(z)
+            by_sender[z] = by_sender.get(z, 0) + count
+        kept += rec.get("kept", 0)
+    return by_condition, by_sender, kept
+
+
+def render_report(loaded: LoadedTrace, top: int = 5) -> str:
+    """The full ``repro-sim trace`` report for one trace file."""
+    spans = loaded.span_tree()
+    counts = loaded.kind_counts()
+    facts = [f"{len(spans)} updates"]
+    if loaded.protocol is not None:
+        facts.append(f"protocol={loaded.protocol}")
+    if loaded.n_sites is not None:
+        facts.append(f"n_sites={loaded.n_sites}")
+    lines = [
+        f"trace {loaded.path}",
+        "  "
+        + ", ".join(
+            f"{k}={v}"
+            for k, v in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        ),
+        "  " + ", ".join(facts),
+    ]
+
+    slow = slowest_activations(spans, top)
+    lines.append("")
+    lines.append(f"slowest activations (top {top}):")
+    if not slow:
+        lines.append("  (no update was ever buffered)")
+    for delay, span, d in slow:
+        blockers = ", ".join(format_write_id(WriteId(z, c)) for z, c in d.blocking)
+        lines.append(
+            f"  {format_write_id(span.write_id)} at s{d.dest}: "
+            f"buffered {delay:.3f}ms"
+            + (f" waiting on {blockers}" if blockers else "")
+        )
+
+    peaks = peak_buffers(loaded.records)
+    lines.append("")
+    lines.append(f"biggest buffers (top {top}):")
+    if not peaks:
+        lines.append("  (no update was ever buffered)")
+    for site, (peak, at) in sorted(
+        peaks.items(), key=lambda kv: (-kv[1][0], kv[0])
+    )[:top]:
+        lines.append(f"  s{site}: peak {peak} buffered update(s) at t={at:.3f}")
+
+    by_condition, by_sender, kept = prune_totals(loaded.records)
+    lines.append("")
+    lines.append(f"most-pruned senders (top {top}):")
+    if not by_sender:
+        lines.append("  (no prune events recorded)")
+    else:
+        conditions = ", ".join(
+            f"{c}: {n}" for c, n in sorted(by_condition.items())
+        )
+        lines.append(f"  removed by condition — {conditions}; retained (empty-Dests rule): {kept}")
+        for z, n in sorted(by_sender.items(), key=lambda kv: (-kv[1], kv[0]))[:top]:
+            lines.append(f"  s{z}: {n} dependency record(s) pruned")
+    return "\n".join(lines)

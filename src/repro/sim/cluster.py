@@ -25,6 +25,8 @@ from repro.core.base import CausalProtocol, ProtocolConfig, protocol_class
 from repro.errors import ConfigurationError, DeadlockError
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.metrics.sizes import SizeModel
+from repro.obs.recorder import Recorder, TraceRecorder
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.events import Tracer
 from repro.sim.latency import LatencyModel, make_latency
@@ -62,7 +64,13 @@ class ClusterConfig:
     think_time: float = 1.0
     think_jitter: bool = True
     record_history: bool = True
-    trace: bool = False
+    #: tracing: False (off, the zero-cost default), True (in-memory — the
+    #: legacy operation Tracer plus a repro.obs lifecycle TraceRecorder,
+    #: both reachable on the built Cluster), or a path string/Path (all of
+    #: the above, and the lifecycle records are flushed to that file as
+    #: JSONL at the end of the run — atomic rename, replayable via
+    #: ``repro-sim trace`` / repro.obs.replay)
+    trace: Any = False
     size_model: SizeModel = field(default_factory=SizeModel)
     #: extra keyword arguments for the protocol constructor
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -167,6 +175,8 @@ class Session:
             value, write_id = proto.read_local(var)
             if c.sanitizer is not None:
                 c.sanitizer.on_read(self.site, var, write_id, now=c.sim.now)
+            if c.recorder is not None and c.recorder.enabled:
+                c.recorder.on_read(c.sim.now, self.site, var, write_id)
             if c.history is not None:
                 c.history.record_read(self.site, var, value, write_id, c.sim.now)
             if c.tracer is not None:
@@ -198,6 +208,8 @@ class Session:
         value, write_id = box[0]
         if c.sanitizer is not None:
             c.sanitizer.on_read(self.site, var, write_id, now=c.sim.now)
+        if c.recorder is not None and c.recorder.enabled:
+            c.recorder.on_read(c.sim.now, self.site, var, write_id)
         if c.history is not None:
             c.history.record_read(self.site, var, value, write_id, c.sim.now)
         if c.tracer is not None:
@@ -249,6 +261,8 @@ class Session:
             value, wid = proto.read_local(var)
             if c.sanitizer is not None:
                 c.sanitizer.on_read(self.site, var, wid, now=now)
+            if c.recorder is not None and c.recorder.enabled:
+                c.recorder.on_read(now, self.site, var, wid)
             if c.history is not None:
                 c.history.record_read(self.site, var, value, wid, now)
             c.metrics.on_op("read-local", 0.0)
@@ -295,6 +309,21 @@ class Cluster:
         self.metrics = MetricsCollector(config.size_model)
         self.history: Optional[History] = History(n) if config.record_history else None
         self.tracer: Optional[Tracer] = Tracer() if config.trace else None
+        #: cluster-wide repro.obs metrics registry; populated by
+        #: :meth:`publish_metrics` (run() does it automatically)
+        self.registry = MetricsRegistry()
+        #: repro.obs lifecycle recorder (None while tracing is off)
+        self.recorder: Optional[TraceRecorder] = None
+        if config.trace:
+            trace_path = None if config.trace is True else str(config.trace)
+            self.recorder = TraceRecorder(
+                path=trace_path,
+                meta={
+                    "n_sites": n,
+                    "protocol": config.protocol,
+                    "seed": config.seed,
+                },
+            )
 
         latency: LatencyModel
         if config.latency is not None:
@@ -336,6 +365,71 @@ class Cluster:
                     sanitizer=self.sanitizer,
                 )
             )
+        if self.recorder is not None:
+            self.attach_recorder(self.recorder)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Wire a repro.obs lifecycle recorder into every layer: the
+        sites (issue/deliver/buffered/wake/apply), the network transport
+        (enqueue/hold/drop), the protocols (prune events, duck-typed via
+        ``CausalProtocol.obs``), and the simulation clock (protocol-side
+        events are self-timestamped).  Also used by the hot-path bench to
+        attach a :class:`~repro.obs.recorder.NullRecorder` and measure the
+        attached-but-disabled overhead ceiling."""
+        self.recorder = recorder
+        recorder.bind_clock(lambda: self.sim.now)
+        self.network.recorder = recorder
+        for site in self.sites:
+            site.recorder = recorder
+        for proto in self.protocols:
+            proto.obs = recorder
+
+    def close_trace(self) -> Optional[str]:
+        """Flush the lifecycle trace to its JSONL sink, if one was
+        configured; idempotent.  Returns the written path, or None."""
+        if self.recorder is None:
+            return None
+        return self.recorder.close()
+
+    def publish_metrics(self) -> None:
+        """Publish end-of-run telemetry into :attr:`registry` — collector
+        aggregates, sanitizer totals, scheduler and network counters, and
+        per-site buffer/apply state.  Call once per run (``run()`` already
+        does); counters accumulate across calls by design."""
+        reg = self.registry
+        proto = self.config.protocol
+        self.metrics.publish(reg, protocol=proto)
+        if self.sanitizer is not None:
+            self.sanitizer.publish(reg, protocol=proto)
+        stats = self.sim.stats()
+        reg.gauge("sim_time_ms", protocol=proto).set(stats["now"])
+        reg.counter("sim_events_total", protocol=proto).inc(
+            stats["events_processed"]
+        )
+        net = self.network
+        reg.counter("net_messages_sent_total", protocol=proto).inc(net.messages_sent)
+        reg.counter("net_messages_delivered_total", protocol=proto).inc(
+            net.messages_delivered
+        )
+        reg.counter("net_messages_dropped_total", protocol=proto).inc(
+            net.messages_dropped
+        )
+        reg.counter("net_messages_held_total", protocol=proto).inc(
+            net.messages_held
+        )
+        for site in self.sites:
+            reg.counter(
+                "site_updates_sent_total", protocol=proto, site=site.site
+            ).inc(site.updates_sent)
+            reg.counter(
+                "site_updates_applied_total", protocol=proto, site=site.site
+            ).inc(site.updates_applied)
+            reg.gauge(
+                "site_pending_updates", protocol=proto, site=site.site
+            ).set(len(site.pending_updates))
 
     # ------------------------------------------------------------------
     # helpers
@@ -430,6 +524,9 @@ class Cluster:
         if settle:
             self.settle()
         self.metrics.probe_space(self.protocols)
+
+        self.publish_metrics()
+        self.close_trace()
 
         report: Optional[CheckReport] = None
         if check and self.history is not None:

@@ -114,6 +114,15 @@ class Simulator:
             return True
         return False
 
+    def stats(self) -> dict:
+        """Scheduler counters, in the shape the ``repro.obs`` registry
+        publishes (``Cluster.publish_metrics``)."""
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "pending": self._pending_live,
+        }
+
     def run(
         self,
         until: Optional[float] = None,

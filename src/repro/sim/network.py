@@ -32,6 +32,16 @@ from repro.types import SiteId
 _FIFO_EPSILON = 1e-9
 
 
+def _update_write_ids(kind: str, msg: Any) -> Tuple[Any, ...]:
+    """The write ids carried by one wire message (empty for non-updates);
+    what the lifecycle recorder keys its transport events on."""
+    if kind == MetricsCollector.UPDATE:
+        return (msg.write_id,)
+    if kind == "update-batch":
+        return tuple(u.write_id for u in msg.updates)
+    return ()
+
+
 class Network:
     """Transports messages between sites with per-channel FIFO delivery."""
 
@@ -46,6 +56,9 @@ class Network:
         self.latency = latency
         self.rng = rng
         self.metrics = metrics
+        #: optional repro.obs lifecycle recorder (None = tracing off);
+        #: set by Cluster.attach_recorder
+        self.recorder = None
         self._last_arrival: Dict[Tuple[SiteId, SiteId], float] = {}
         self._handlers: Dict[SiteId, Callable[[str, Any], None]] = {}
         self.down: Set[SiteId] = set()
@@ -118,9 +131,13 @@ class Network:
             self.messages_sent += 1
             if self.metrics is not None:
                 self.metrics.on_message(kind, msg)
+        rec = self.recorder
         if self._crosses_partition(src, dst):
             self.messages_held += 1
             self._held.append((kind, msg, src, dst))
+            if rec is not None and rec.enabled:
+                for wid in _update_write_ids(kind, msg):
+                    rec.on_hold(self.sim.now, src, dst, wid)
             return
         if (
             src in self.down
@@ -131,6 +148,9 @@ class Network:
             )
         ):
             self.messages_dropped += 1
+            if rec is not None and rec.enabled:
+                for wid in _update_write_ids(kind, msg):
+                    rec.on_drop(self.sim.now, src, dst, wid)
             return
         delay = self.latency.sample(src, dst, self.rng)
         if delay < 0:
@@ -141,10 +161,17 @@ class Network:
         if arrival <= prev:
             arrival = prev + _FIFO_EPSILON
         self._last_arrival[key] = arrival
+        if rec is not None and rec.enabled:
+            for wid in _update_write_ids(kind, msg):
+                rec.on_enqueue(self.sim.now, src, dst, wid, arrival)
 
         def deliver() -> None:
             if dst in self.down:
                 self.messages_dropped += 1
+                late_rec = self.recorder
+                if late_rec is not None and late_rec.enabled:
+                    for wid in _update_write_ids(kind, msg):
+                        late_rec.on_drop(self.sim.now, src, dst, wid)
                 return
             self.messages_delivered += 1
             try:

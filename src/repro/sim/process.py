@@ -135,6 +135,9 @@ class AppProcess:
         site = self.sim_site
         if site.sanitizer is not None:
             site.sanitizer.on_read(self.site, op.var, write_id, now=site.sim.now)
+        rec = site.recorder
+        if rec is not None and rec.enabled:
+            rec.on_read(site.sim.now, self.site, op.var, write_id)
         if site.history is not None:
             site.history.record_read(
                 self.site, op.var, value, write_id, site.sim.now

@@ -73,6 +73,7 @@ from repro.types import SiteId, VarId
 from repro.verify.history import History
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.recorder import Recorder
     from repro.verify.sanitizer import CausalSanitizer
 
 #: wake-token kinds
@@ -131,6 +132,7 @@ class SimSite:
         batch_window: Optional[float] = None,
         drain_strategy: str = "index",
         sanitizer: Optional["CausalSanitizer"] = None,
+        recorder: Optional["Recorder"] = None,
     ) -> None:
         self.protocol = protocol
         self.site: SiteId = protocol.site
@@ -142,6 +144,9 @@ class SimSite:
         #: opt-in runtime causal oracle (ClusterConfig.sanitize); shared
         #: across every site of the cluster
         self.sanitizer = sanitizer
+        #: opt-in repro.obs lifecycle recorder (None = tracing off, the
+        #: zero-cost default); shared across the cluster
+        self.recorder = recorder
         if drain_strategy not in ("index", "rescan", "auto"):
             raise SimulationError(
                 f"unknown drain_strategy {drain_strategy!r} "
@@ -226,11 +231,22 @@ class SimSite:
                 result.applied_locally,
                 now=self.sim.now,
             )
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_issue(
+                self.sim.now,
+                self.site,
+                var,
+                result.write_id,
+                self.protocol.replicas(var),
+            )
         for msg in result.messages:
             if self.tracer:
                 self.tracer.emit(
                     SendEvent(self.sim.now, self.site, msg.dest, var, msg.write_id)
                 )
+            if rec is not None and rec.enabled:
+                rec.on_send(self.sim.now, self.site, msg.dest, msg.write_id)
             self.updates_sent += 1
             if self.batcher is not None:
                 self.batcher.enqueue(msg)
@@ -276,7 +292,10 @@ class SimSite:
                 )
             )
         now = self.sim.now
+        rec = self.recorder
         for msg in batch.updates:
+            if rec is not None and rec.enabled:
+                rec.on_deliver(now, self.site, msg.write_id)
             self._enqueue_update(msg, now)
         self.drain()
 
@@ -285,6 +304,9 @@ class SimSite:
             self.tracer.emit(
                 ReceiptEvent(self.sim.now, self.site, msg.sender, "update", msg.var)
             )
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_deliver(self.sim.now, self.site, msg.write_id)
         self._enqueue_update(msg, self.sim.now)
         self.drain()
 
@@ -292,8 +314,13 @@ class SimSite:
         seq = self._useq
         self._useq += 1
         self._pu[seq] = (msg, recv_time)
+        rec = self.recorder
         if self._index_live:
             deps = self.protocol.blocking_deps(msg)
+            if rec is not None and rec.enabled and deps != ():
+                # None (unindexable) or a non-empty blocking set: the
+                # activation predicate may be false right now
+                self._record_buffered(rec, msg, deps)
             if deps is None:
                 self._unidx_u.append(seq)  # seqs only grow: stays sorted
             elif deps:
@@ -301,6 +328,23 @@ class SimSite:
                 self._wake.watch(z, c, _UPD, seq)
             else:
                 heapq.heappush(self._ready_u, seq)
+        elif rec is not None and rec.enabled:
+            self._record_buffered(rec, msg, None)
+
+    def _record_buffered(self, rec, msg: UpdateMessage, deps) -> None:
+        """Emit a ``buffered`` lifecycle event if ``msg``'s activation
+        predicate is false on arrival, naming the blocking dependencies
+        when the protocol can report them.  ``deps`` is a precomputed
+        ``blocking_deps`` result, or None when the caller has none (the
+        predicate is then re-tested directly; all predicate hooks are
+        pure, so the extra call cannot perturb the run)."""
+        if deps is None:
+            if self.protocol.can_apply(msg):
+                return
+            if rec.needs_reasons:
+                deps = self.protocol.blocking_deps(msg)
+            deps = deps or ()
+        rec.on_buffered(self.sim.now, self.site, msg.write_id, deps)
 
     def _on_fetch_request(self, req: FetchRequest) -> None:
         if self.tracer:
@@ -468,7 +512,13 @@ class SimSite:
         position is still ahead of the cursor, the next sweep otherwise
         (replicating the rescan's sweep discipline)."""
         proto = self.protocol
-        for kind, seq in self._wake.pop_ready(z, proto.apply_progress(z)):
+        rec = self.recorder
+        ready_w: Optional[List] = None
+        reparked_w: Optional[List] = None
+        if rec is not None and rec.enabled:
+            ready_w, reparked_w = [], []
+        progress = proto.apply_progress(z)
+        for kind, seq in self._wake.pop_ready(z, progress):
             if kind == _UPD:
                 item = self._pu.get(seq)
                 if item is None:
@@ -476,11 +526,17 @@ class SimSite:
                 deps = proto.blocking_deps(item[0])
                 if deps is None:
                     insort(self._unidx_u, seq)
+                    if reparked_w is not None:
+                        reparked_w.append(item[0].write_id)
                 elif deps:
                     z2, c2 = deps[0]
                     self._wake.watch(z2, c2, _UPD, seq)
+                    if reparked_w is not None:
+                        reparked_w.append(item[0].write_id)
                 else:
                     heapq.heappush(cur if seq > cursor else nxt, seq)
+                    if ready_w is not None:
+                        ready_w.append(item[0].write_id)
             elif kind == _FET:
                 item = self._pf.get(seq)
                 if item is None:
@@ -505,6 +561,8 @@ class SimSite:
                     self._wake.watch(z2, c2, _RD, seq)
                 else:
                     heapq.heappush(self._ready_r, seq)
+        if rec is not None and (ready_w or reparked_w):
+            rec.on_wake(self.sim.now, self.site, z, progress, ready_w, reparked_w)
 
     def _flush_ready_fetches(self) -> None:
         """Serve woken and unindexable pending fetches, in arrival order
@@ -660,6 +718,9 @@ class SimSite:
             self.history.record_apply(self.site, write_id, var, now, recv_time)
         if self.metrics is not None:
             self.metrics.on_apply(now - recv_time)
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_apply(now, self.site, var, write_id, recv_time)
         if self.tracer:
             self.tracer.emit(
                 ApplyEvent(now, self.site, var, write_id, write_id.site)

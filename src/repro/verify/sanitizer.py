@@ -158,8 +158,8 @@ class CausalSanitizer:
             TraceEvent("apply", now, site, msg.var, msg.write_id, f"from s{msg.sender}")
         )
         self.checks_run += 1
-        self._check_monotone(site, msg)
-        self._check_activation(site, msg, now)
+        self._check_monotone(site, msg.sender, msg.write_id)
+        self._check_activation(site, msg.sender, msg.write_id)
         if isinstance(msg.meta, OptTrackMeta):
             self._check_condition2(protocol, msg)
             self._pre_stored[(site, msg.var)] = getattr(
@@ -175,30 +175,69 @@ class CausalSanitizer:
         if isinstance(msg.meta, OptTrackMeta):
             self._check_condition1(protocol, msg)
 
+    def observe_apply(
+        self,
+        site: SiteId,
+        var: VarId,
+        write_id: WriteId,
+        now: float = 0.0,
+        local: bool = False,
+    ) -> None:
+        """Protocol-independent apply observation (the trace-replay path).
+
+        Runs the protocol-*independent* checks (per-sender monotonicity and
+        ``A_OPT`` activation safety) and commits the apply to the oracle.
+        The KS Condition-1/2 checks need the live protocol's dependency-log
+        state and are live-run only — :meth:`before_apply`/:meth:`after_apply`
+        remain the full-strength path.  ``local`` marks the writer applying
+        its own update (no checks, mirroring ``on_write(applied_locally=True)``).
+        """
+        if local:
+            self.trace.record(TraceEvent("apply-local", now, site, var, write_id))
+            self.applied[site][site] += 1
+            self.last_seq[site][site] = write_id.seq
+            return
+        sender = write_id.site
+        self.trace.record(
+            TraceEvent("apply", now, site, var, write_id, f"from s{sender}")
+        )
+        self.checks_run += 1
+        self._check_monotone(site, sender, write_id)
+        self._check_activation(site, sender, write_id)
+        self.applied[site][sender] += 1
+        self.last_seq[site][sender] = write_id.seq
+
+    def publish(self, registry: Any, **labels: Any) -> None:
+        """Export oracle totals into a ``repro.obs`` metrics registry."""
+        registry.counter("sanitizer_checks_total", **labels).inc(self.checks_run)
+        registry.counter("sanitizer_trace_events_total", **labels).inc(
+            len(self.trace)
+        )
+
     # ------------------------------------------------------------------
     # the checks
     # ------------------------------------------------------------------
-    def _check_monotone(self, site: SiteId, msg: UpdateMessage) -> None:
-        last = self.last_seq[site].get(msg.sender)
-        if last is not None and msg.write_id.seq <= last:
+    def _check_monotone(self, site: SiteId, sender: SiteId, write_id: WriteId) -> None:
+        last = self.last_seq[site].get(sender)
+        if last is not None and write_id.seq <= last:
             self._fail(
                 f"per-sender monotonicity violated at site {site}: applying "
-                f"{msg.write_id} from s{msg.sender} after already applying "
+                f"{write_id} from s{sender} after already applying "
                 f"seq {last}"
             )
 
-    def _check_activation(self, site: SiteId, msg: UpdateMessage, now: float) -> None:
-        shadow = self.shadows.get(msg.write_id)
+    def _check_activation(self, site: SiteId, sender: SiteId, write_id: WriteId) -> None:
+        shadow = self.shadows.get(write_id)
         if shadow is None:
             # a write the oracle never saw issued (e.g. injected by a test
             # harness outside the session API): nothing to check against
             return
         col = shadow[:, site]
         applied = self.applied[site]
-        j = msg.sender
+        j = sender
         if applied[j] != col[j] - 1:
             self._fail(
-                f"unsafe activation at site {site}: {msg.write_id} from "
+                f"unsafe activation at site {site}: {write_id} from "
                 f"s{j} is update #{col[j]} destined here, but the site has "
                 f"applied {applied[j]} from that sender (expected "
                 f"{col[j] - 1})"
@@ -213,7 +252,7 @@ class CausalSanitizer:
                 f"s{k}: applied {a} < required {c}" for k, a, c in behind
             )
             self._fail(
-                f"unsafe activation at site {site}: {msg.write_id} applied "
+                f"unsafe activation at site {site}: {write_id} applied "
                 f"before its causal past ({detail}) — the activation "
                 f"predicate A_OPT does not hold"
             )

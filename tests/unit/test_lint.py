@@ -273,6 +273,42 @@ class TestHookShadow:
 
 
 # ----------------------------------------------------------------------
+# adhoc-logging
+# ----------------------------------------------------------------------
+class TestAdHocLogging:
+    def test_print_in_core_fires(self):
+        out = run("print('applied')\n", module="repro.core.opt_track")
+        assert rules_of(out) == ["adhoc-logging"]
+        assert "repro.obs" in out[0].message
+
+    def test_print_in_sim_fires(self):
+        out = run("def f():\n    print('x')\n", module="repro.sim.site")
+        assert rules_of(out) == ["adhoc-logging"]
+
+    def test_logging_import_fires(self):
+        assert rules_of(run("import logging\n", module="repro.sim.site")) == [
+            "adhoc-logging"
+        ]
+        assert rules_of(
+            run("from logging import getLogger\n", module="repro.core.base")
+        ) == ["adhoc-logging"]
+
+    def test_outside_scope_is_quiet(self):
+        assert run("print('hi')\n", module="repro.cli") == []
+        assert run("import logging\n", module="repro.analysis.runner") == []
+
+    def test_method_named_print_is_quiet(self):
+        # only the builtin (a bare Name) counts; attribute calls do not
+        assert run("table.print()\n", module="repro.core.base") == []
+
+    def test_allowlisted_module_is_quiet(self):
+        allow = [AllowEntry("adhoc-logging", "repro.sim.debug", "repl aid")]
+        assert (
+            run("print('x')\n", module="repro.sim.debug", allow=allow) == []
+        )
+
+
+# ----------------------------------------------------------------------
 # suppressions and allowlist machinery
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -356,6 +392,7 @@ class TestRepositoryIsClean:
             "mutable-default",
             "bare-except",
             "hook-shadow",
+            "adhoc-logging",
         }
 
 

@@ -1,0 +1,369 @@
+"""Unit tests for ``repro.obs``: registry, recorder, spans, JSONL, replay,
+timeline rendering, and the trace CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.jsonl import LoadedTrace, load_trace
+from repro.obs.recorder import (
+    NullRecorder,
+    TraceRecorder,
+    decode_write_id,
+    encode_write_id,
+)
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.obs.replay import replay_trace
+from repro.obs.spans import build_spans
+from repro.obs.timeline import (
+    format_write_id,
+    parse_write_id,
+    peak_buffers,
+    prune_totals,
+    render_report,
+    render_update,
+    slowest_activations,
+)
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import random_wan
+from repro.types import WriteId
+from repro.workload.generator import WorkloadConfig, generate
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+        assert metric_key("m", {}) == "m"
+
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", kind="write")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("ops_total", kind="write").value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", site=0).set(7.5)
+        assert reg.gauge("depth", site=0).value == 7.5
+
+    def test_histogram_observe_and_empty_minmax(self):
+        h = Histogram((1.0, 10.0))
+        d = h.as_dict()
+        assert d["min"] is None and d["max"] is None and d["count"] == 0
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["min"] == 0.5 and d["max"] == 50.0
+        # per-bucket (non-cumulative) counts, overflow in a separate field
+        assert d["buckets"] == [1, 1]
+        assert d["inf"] == 1
+
+    def test_histogram_absorb_requires_equal_bounds(self):
+        h = Histogram((1.0, 10.0))
+        with pytest.raises(ValueError):
+            h.absorb_dict(Histogram((1.0, 2.0)).as_dict())
+
+    def test_snapshot_diff_absorb_merged(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        before = reg.snapshot()
+        reg.counter("n").inc(2)
+        reg.histogram("h", bounds=(1.0,)).observe(2.0)
+        delta = reg.diff(before)
+        assert delta["counters"]["n"] == 2
+        assert delta["histograms"]["h"]["count"] == 1
+
+        other = MetricsRegistry()
+        other.counter("n").inc(10)
+        other.absorb(reg.snapshot())
+        assert other.counter("n").value == 15
+
+        merged = MetricsRegistry.merged([before, other.snapshot()])
+        assert merged.counter("n").value == 18
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c", site=1).inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=DEFAULT_TIME_BUCKETS_MS).observe(3.0)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+# ----------------------------------------------------------------------
+# recorder
+# ----------------------------------------------------------------------
+class TestRecorder:
+    def test_write_id_codec(self):
+        wid = WriteId(3, 17)
+        assert decode_write_id(encode_write_id(wid)) == wid
+        assert encode_write_id(None) is None
+        assert decode_write_id(None) is None
+
+    def test_null_recorder_is_disabled(self):
+        rec = NullRecorder()
+        assert rec.enabled is False and rec.needs_reasons is False
+        rec.on_issue(0.0, 0, "x", WriteId(0, 1), (1,))  # all hooks no-op
+        assert rec.close() is None
+
+    def test_trace_recorder_records_canonical_json_shapes(self):
+        rec = TraceRecorder()
+        assert rec.enabled and rec.needs_reasons
+        rec.on_issue(1.0, 0, "x", WriteId(0, 1), (1, 2))
+        rec.on_buffered(2.0, 1, WriteId(0, 1), ((2, 5),))
+        (issue, buffered) = rec.records
+        assert issue["d"] == [1, 2] and issue["w"] == [0, 1]
+        assert buffered["b"] == [[2, 5]]
+        assert json.loads(json.dumps(rec.records)) == rec.records
+
+    def test_close_writes_jsonl_atomically_and_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rec = TraceRecorder(path=str(path), meta={"protocol": "opt-track"})
+        rec.on_issue(0.0, 0, "x", WriteId(0, 1), (1,))
+        assert rec.close() == str(path)
+        assert rec.close() is None  # second close: no rewrite
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["k"] == "header"
+        assert json.loads(lines[1])["k"] == "issue"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_prune_uses_bound_clock(self):
+        rec = TraceRecorder()
+        rec.bind_clock(lambda: 42.0)
+        rec.on_prune(0, "condition2", "x", 2, {1: 2}, 1)
+        (prune,) = rec.records
+        assert prune["t"] == 42.0
+        assert prune["z"] == {"1": 2} and prune["kept"] == 1
+
+
+# ----------------------------------------------------------------------
+# spans + timeline
+# ----------------------------------------------------------------------
+def _sample_records():
+    rec = TraceRecorder()
+    wid = WriteId(0, 1)
+    rec.on_issue(0.0, 0, "x", wid, (0, 1))
+    rec.on_send(0.0, 0, 1, wid)
+    rec.on_enqueue(0.0, 0, 1, wid, 5.0)
+    rec.on_apply(0.0, 0, "x", wid, 0.0)  # writer's local apply
+    rec.on_deliver(5.0, 1, wid)
+    rec.on_buffered(5.0, 1, wid, ((2, 3),))
+    rec.on_wake(9.0, 1, 2, 3, [wid], [])
+    rec.on_apply(9.0, 1, "x", wid, 5.0)
+    return rec.records, wid
+
+
+class TestSpans:
+    def test_build_spans_folds_the_lifecycle(self):
+        records, wid = _sample_records()
+        spans = build_spans(records)
+        span = spans[wid]
+        assert span.issue == 0.0 and span.local_apply == 0.0
+        d = span.delivery(1)
+        assert d.send == 0.0 and d.deliver == 5.0 and d.apply == 9.0
+        assert d.buffered_at == 5.0 and d.blocking == ((2, 3),)
+        assert d.buffered_for == 4.0
+        assert span.was_buffered and span.max_buffered_for == 4.0
+        assert span.wakes == [(9.0, 1, 2)]
+
+    def test_write_id_text_round_trip(self):
+        assert parse_write_id(format_write_id(WriteId(3, 17))) == WriteId(3, 17)
+        with pytest.raises(ValueError):
+            parse_write_id("nope")
+
+    def test_render_update_names_the_blocker(self):
+        records, wid = _sample_records()
+        text = render_update(build_spans(records)[wid])
+        assert "blocked on s2#3" in text
+        assert "[+4.000ms buffered]" in text
+
+    def test_top_k_reports(self):
+        records, wid = _sample_records()
+        spans = build_spans(records)
+        rows = slowest_activations(spans, 5)
+        assert len(rows) == 1 and rows[0][0] == 4.0
+        peaks = peak_buffers(records)
+        assert peaks[1] == (1, 5.0)
+
+    def test_prune_totals(self):
+        rec = TraceRecorder()
+        rec.on_prune(0, "condition2", "x", 3, {1: 2, 2: 1}, 4)
+        by_condition, by_sender, kept = prune_totals(rec.records)
+        assert by_condition == {"condition2": 3}
+        assert by_sender == {1: 2, 2: 1} and kept == 4
+
+
+# ----------------------------------------------------------------------
+# JSONL + replay against a real traced run
+# ----------------------------------------------------------------------
+def traced_run(tmp_path, protocol="opt-track", p=3):
+    path = tmp_path / f"{protocol}.jsonl"
+    cfg = ClusterConfig(
+        n_sites=5,
+        n_variables=8,
+        protocol=protocol,
+        replication_factor=p,
+        seed=3,
+        latency=random_wan(5, seed=3),
+        think_time=0.5,
+        trace=str(path),
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=5,
+            ops_per_site=40,
+            write_rate=0.6,
+            placement=cluster.placement,
+            seed=3,
+        )
+    )
+    result = cluster.run(wl, check=True)
+    assert result.ok
+    return cluster, path
+
+
+class TestJsonlAndReplay:
+    def test_load_matches_live_recorder(self, tmp_path):
+        cluster, path = traced_run(tmp_path)
+        loaded = load_trace(path)
+        assert isinstance(loaded, LoadedTrace)
+        assert loaded.protocol == "opt-track" and loaded.n_sites == 5
+        assert loaded.records == cluster.recorder.records
+        assert loaded.span_tree() == cluster.recorder.span_tree()
+
+    def test_replay_passes_the_oracle(self, tmp_path):
+        _, path = traced_run(tmp_path)
+        loaded = load_trace(path)
+        report = replay_trace(loaded)
+        assert report.checks_run > 0
+        assert report.writes == loaded.kind_counts()["issue"]
+        assert "OK" in report.summary()
+
+    def test_render_report_shows_buffering(self, tmp_path):
+        _, path = traced_run(tmp_path)
+        text = render_report(load_trace(path), top=3)
+        assert "slowest activations" in text
+        assert "waiting on" in text  # a named blocking dependency
+
+    def test_load_rejects_garbage(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError):
+            load_trace(empty)
+        headerless = tmp_path / "h.jsonl"
+        headerless.write_text('{"k": "issue"}\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(headerless)
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"k": "header", "version": 1}\n{"k": "iss')
+        with pytest.raises(ConfigurationError):
+            load_trace(torn)
+
+    def test_in_memory_trace_true(self):
+        cfg = ClusterConfig(n_sites=3, n_variables=5, protocol="optp", seed=1, trace=True)
+        cluster = Cluster(cfg)
+        wl = generate(
+            WorkloadConfig(
+                n_sites=3, ops_per_site=10, placement=cluster.placement, seed=1
+            )
+        )
+        cluster.run(wl)
+        assert len(cluster.recorder.records) > 0
+        assert cluster.close_trace() is None  # no sink configured
+
+
+# ----------------------------------------------------------------------
+# registry publication end to end
+# ----------------------------------------------------------------------
+class TestPublication:
+    def test_cluster_publishes_run_metrics(self, tmp_path):
+        cluster, _ = traced_run(tmp_path)
+        snap = cluster.registry.snapshot()
+        counters = snap["counters"]
+        assert counters["messages_total{kind=update,protocol=opt-track}"] > 0
+        assert counters["sim_events_total{protocol=opt-track}"] > 0
+        hist = snap["histograms"]["activation_delay_ms{protocol=opt-track}"]
+        assert hist["count"] > 0
+
+    def test_runner_rows_carry_and_merge_snapshots(self, tmp_path):
+        from repro.analysis.runner import CellSpec, publish_outcomes, run_cells
+
+        spec = CellSpec.make(
+            cluster=dict(n_sites=3, n_variables=5, protocol="optp", seed=1),
+            workload=dict(n_sites=3, ops_per_site=10, seed=2),
+        )
+        reg = MetricsRegistry()
+        outcomes = run_cells([spec, spec], registry=reg)
+        one = outcomes[0].row["registry"]
+        total = reg.snapshot()
+        key = "ops_total{kind=write,protocol=optp}"
+        assert total["counters"][key] == 2 * one["counters"][key] > 0
+        # publish_outcomes tolerates legacy rows without a snapshot
+        outcomes[0].row.pop("registry")
+        reg2 = publish_outcomes(MetricsRegistry(), outcomes)
+        assert reg2.snapshot()["counters"][key] == one["counters"][key]
+
+
+# ----------------------------------------------------------------------
+# trace CLI
+# ----------------------------------------------------------------------
+class TestTraceCli:
+    def test_run_trace_render_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "--protocol",
+                    "opt-track",
+                    "--n",
+                    "4",
+                    "--q",
+                    "8",
+                    "--ops",
+                    "20",
+                    "--trace",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", str(path), "--replay", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest activations" in out and "OK" in out
+
+    def test_trace_json_and_update(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _, path = traced_run(tmp_path)
+        assert main(["trace", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["buffered_updates"] > 0
+        wid = None
+        loaded = load_trace(path)
+        for span in loaded.span_tree().values():
+            if span.was_buffered:
+                wid = format_write_id(span.write_id)
+                break
+        assert main(["trace", str(path), "--update", wid]) == 0
+        assert "buffered" in capsys.readouterr().out
+        assert main(["trace", str(path), "--update", "s9#999"]) == 1
