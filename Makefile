@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench table1 fig4 report trace-smoke
+.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench table1 fig4 report trace-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,13 @@ check: lint typecheck
 trace-smoke:
 	$(PYTHON) examples/traced_run.py --out .trace-smoke
 	$(PYTHON) -m repro.cli trace .trace-smoke/opt-track.jsonl --replay --top 3
+
+# Networked-service smoke: 3-site loopback cluster per protocol, YCSB
+# burst with the causal sanitizer shadowing every apply/read, one site
+# killed mid-run (reads must degrade to replicas with zero surfaced
+# errors), clean shutdown.  Details in docs/service.md
+serve-smoke:
+	$(PYTHON) -m repro.service.cli smoke
 
 # Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops +
 # tracing overhead guardrail: fails if the no-op recorder costs > 3%)

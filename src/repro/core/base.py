@@ -239,6 +239,31 @@ class CausalProtocol(ABC):
             f"protocol {self.name!r} does not support remote reads"
         )
 
+    def reply_is_fresh(self, reply: FetchReply) -> bool:
+        """True when ``reply`` is causally safe to consume at this site.
+
+        In lenient mode (``strict_remote_reads=False``, the paper's literal
+        RemoteFetch) a fetch carries no dependency summary and the server
+        answers immediately, so the reply can hold a value the requester's
+        own metadata already proves causally overwritten: the requester can
+        import third-party dependency knowledge through earlier reads that
+        the server has not applied yet (see DESIGN.md, "completions").  The
+        client layer calls this on every reply *before*
+        :meth:`complete_remote_read`; a False result means the reply must
+        be discarded — without merging its metadata — and the fetch
+        re-issued (the missing updates are in flight to the server, so a
+        bounded retry loop converges).
+
+        Protocols compare the reply's ``applied`` snapshot (the server's
+        apply progress at serve time) against their own dependency records
+        naming the server.  The default accepts everything, which is
+        correct for strict mode (the server already deferred until the
+        piggybacked dependencies were applied, and the requester's summary
+        cannot grow while it blocks on the fetch) and for
+        full-replication protocols (never fetch remotely).
+        """
+        return True
+
     # ------------------------------------------------------------------
     # update path (abstract)
     # ------------------------------------------------------------------

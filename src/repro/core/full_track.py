@@ -120,8 +120,17 @@ class FullTrackProtocol(CausalProtocol):
     def serve_fetch(self, req: FetchRequest) -> FetchReply:
         value, write_id = self.local_value(req.var)
         meta = self.last_write_on.get(req.var)
+        applied = self.apply_counts.copy()
+        applied.setflags(write=False)
         return FetchReply(
-            req.var, value, write_id, self.site, req.requester, req.fetch_id, meta
+            req.var,
+            value,
+            write_id,
+            self.site,
+            req.requester,
+            req.fetch_id,
+            meta,
+            applied,
         )
 
     def complete_remote_read(
@@ -131,6 +140,15 @@ class FullTrackProtocol(CausalProtocol):
         if reply.meta is not None:
             self.write_clock.merge(reply.meta)
         return reply.value, reply.write_id
+
+    def reply_is_fresh(self, reply: FetchReply) -> bool:
+        # Mirror of the strict-mode server wait, evaluated client-side:
+        # column `server` of our matrix counts the causal-past writes
+        # destined to the server; the server's serve-time apply snapshot
+        # must cover all of them or its copy may predate our causal past.
+        if reply.applied is None:
+            return True
+        return bool(np.all(reply.applied >= self.write_clock.m[:, reply.server]))
 
     # ------------------------------------------------------------------
     # update path — Alg. 1 lines 14-17

@@ -95,6 +95,14 @@ class FetchReply:
     that produced it (``None`` = initial value), and the server's
     ``LastWriteOn`` control metadata for the variable, which the requester
     merges into its local state (Alg. 1 lines 9-10 / Alg. 2 lines 19-20).
+
+    ``applied`` is the server's apply-progress snapshot at serve time (a
+    per-origin clock vector).  The requester tests it against its own
+    dependency summary (:meth:`repro.core.base.CausalProtocol.reply_is_fresh`)
+    to reject replies served before the server caught up with the
+    requester's causal past — the client-side staleness gate that makes
+    lenient-mode (``strict_remote_reads=False``) remote reads safe.  ``None``
+    for protocols that do not expose apply progress.
     """
 
     var: VarId
@@ -104,6 +112,7 @@ class FetchReply:
     requester: SiteId
     fetch_id: int
     meta: Any = None
+    applied: Any = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"reply({self.var}={self.value!r} {self.server}->{self.requester} #{self.fetch_id})"

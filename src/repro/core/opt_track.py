@@ -188,8 +188,16 @@ class OptTrackProtocol(CausalProtocol):
     def serve_fetch(self, req: FetchRequest) -> FetchReply:
         value, write_id = self.local_value(req.var)
         meta = self.last_write_on.get(req.var)
+        applied = tuple(int(c) for c in self.apply_clocks)
         return FetchReply(
-            req.var, value, write_id, self.site, req.requester, req.fetch_id, meta
+            req.var,
+            value,
+            write_id,
+            self.site,
+            req.requester,
+            req.fetch_id,
+            meta,
+            applied,
         )
 
     def complete_remote_read(
@@ -198,6 +206,21 @@ class OptTrackProtocol(CausalProtocol):
         if reply.meta is not None:
             self.log.absorb(reply.meta)  # lines 20 + 22 (merge + purge fused)
         return reply.value, reply.write_id
+
+    def reply_is_fresh(self, reply: FetchReply) -> bool:
+        # Mirror of the strict-mode server wait, evaluated client-side
+        # against the server's serve-time apply snapshot: every log record
+        # naming the server must have been applied there before its copy of
+        # the variable covers our causal past.  (Records that pruned the
+        # server are transitively covered by ones retaining it — the KS
+        # invariant, as in make_fetch_request.)
+        applied = reply.applied
+        if applied is None:
+            return True
+        bit = bitsets.singleton(reply.server)
+        return all(
+            applied[z] >= c for (z, c), d in self.log.entries.items() if d & bit
+        )
 
     # ------------------------------------------------------------------
     # update path — Alg. 2 lines 24-31

@@ -62,3 +62,19 @@ class DeadlockError(SimulationError):
 
 class ConsistencyViolationError(ReproError):
     """The execution checker found a violation of causal consistency."""
+
+
+class ServiceError(ReproError):
+    """The networked KV service (``repro.service``) hit an error."""
+
+
+class WireError(ServiceError):
+    """A wire frame was malformed, oversized, or of an unsupported version."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """A request could not be served by any reachable replica.
+
+    Raised by the service client after exhausting its retry/backoff budget
+    across every candidate site, and by a site server when a bounded
+    server-side wait (a strict read gate or a remote fetch) expires."""

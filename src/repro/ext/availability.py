@@ -99,9 +99,17 @@ class FailoverReader:
         proto = sim_site.protocol
         req = proto.make_fetch_request(var, server)
         box: List[Tuple[Any, Optional[WriteId]]] = []
-        state = {"timed_out": False}
+        state = {"timed_out": False, "fetch_id": req.fetch_id}
 
         def on_reply(reply) -> None:
+            if not proto.reply_is_fresh(reply):
+                # lenient-mode stale reply: discard without merging and
+                # retry the same server; the attempt timeout still bounds
+                # the loop (see repro.sim.process)
+                retry = proto.make_fetch_request(var, server)
+                state["fetch_id"] = retry.fetch_id
+                sim_site.send_fetch(retry, on_reply)
+                return
             box.append(proto.complete_remote_read(reply))
 
         sim_site.send_fetch(req, on_reply)
@@ -116,5 +124,5 @@ class FailoverReader:
             handle.cancel()
             return box[0]
         # abandon the fetch: a late reply must not complete a newer read
-        sim_site.forget_fetch(req.fetch_id)
+        sim_site.forget_fetch(state["fetch_id"])
         return None

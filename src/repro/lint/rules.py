@@ -7,6 +7,8 @@ Every rule encodes an invariant this repository has already paid for:
 * ``cow-discipline``    — ``DepLog`` copy-on-write aliasing rules;
 * ``unordered-iteration`` / ``entropy-source`` — simulation determinism;
 * ``mutable-default`` / ``bare-except``        — generic Python hazards;
+* ``blocking-io``       — event-loop stalls in the asyncio service
+  (``time.sleep`` / sync sockets in ``repro.service``);
 * ``hook-shadow``       — the wake-index contract of
   :class:`repro.core.base.CausalProtocol`.
 
@@ -46,6 +48,9 @@ LAYERS: Dict[str, int] = {
     "sim": 4,
     "workload": 5,
     "ext": 5,
+    # service sits above workload (loadgen drives YCSB scripts) and beside
+    # analysis; nothing below it may import it
+    "service": 6,
     "analysis": 6,
     "cli": 7,
     # the top-level ``repro/__init__`` facade may import anything
@@ -526,6 +531,86 @@ class AdHocLoggingRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# blocking I/O in the asyncio service
+# ----------------------------------------------------------------------
+
+#: synchronous I/O modules that stall the event loop when used from
+#: service code (asyncio streams replace them)
+_BLOCKING_IO_MODULES = {"socket", "socketserver", "selectors"}
+
+
+class BlockingIoRule(Rule):
+    """No blocking I/O inside the asyncio service package.
+
+    ``repro.service`` is single-threaded asyncio: one ``time.sleep`` (or a
+    synchronous ``socket`` call) freezes every site co-hosted on the loop
+    — in the loopback tests that is the *whole cluster*, and the failure
+    mode is a silent latency cliff rather than an error.  Flags:
+
+    * ``time.sleep(...)`` anywhere in the package (coroutine or helper:
+      helpers run on the loop too) — use ``asyncio.sleep``;
+    * module-level or local imports of the synchronous socket machinery
+      (``socket``, ``socketserver``, ``selectors``) — go through
+      :mod:`repro.service.transport`, which wraps asyncio streams.
+
+    Syntactic only: ``from time import sleep`` is caught, an aliased
+    ``s = time.sleep; s()`` is not.  Allowlist payload: the module name.
+    """
+
+    name = "blocking-io"
+    summary = "time.sleep / sync socket forbidden in repro.service (asyncio)"
+    scoped_prefixes = ("repro.service",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        if ctx.module in ctx.allowed_payloads(self.name):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id == "time" and node.attr == "sleep":
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        "time.sleep blocks the event loop and with it every "
+                        "co-hosted site — await asyncio.sleep(...) instead",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _BLOCKING_IO_MODULES:
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            f"synchronous {alias.name!r} import in the asyncio "
+                            f"service — use repro.service.transport (asyncio "
+                            f"streams)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _BLOCKING_IO_MODULES:
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"synchronous import from {node.module!r} in the "
+                        f"asyncio service — use repro.service.transport "
+                        f"(asyncio streams)",
+                    )
+                elif root == "time" and any(
+                    alias.name == "sleep" for alias in node.names
+                ):
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        "importing time.sleep into the asyncio service — "
+                        "await asyncio.sleep(...) instead",
+                    )
+
+
+# ----------------------------------------------------------------------
 # protocol hook shadowing
 # ----------------------------------------------------------------------
 
@@ -632,6 +717,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     BareExceptRule(),
     AdHocLoggingRule(),
+    BlockingIoRule(),
     HookShadowRule(),
 )
 

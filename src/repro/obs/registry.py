@@ -113,6 +113,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the covering bucket, clamped to the
+        observed ``min``/``max`` at the edges.  Samples in the implicit
+        ``inf`` bucket resolve to the observed ``max`` (the estimate is
+        then a lower bound).  ``None`` while empty.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0.0
+        lo = self.min
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.buckets[i]
+            if in_bucket and seen + in_bucket >= rank:
+                hi = min(bound, self.max)
+                frac = (rank - seen) / in_bucket
+                return min(max(lo + (hi - lo) * frac, self.min), self.max)
+            if in_bucket:
+                lo = min(bound, self.max)
+            seen += in_bucket
+        return self.max
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,

@@ -1,0 +1,280 @@
+"""``repro-kv`` — command-line front end to the networked KV service.
+
+Subcommands::
+
+    serve            run one site's server over TCP until interrupted
+    put / get        one operation against a running TCP cluster
+    bench            closed-loop YCSB load against a loopback cluster,
+                     reporting throughput and latency percentiles
+    chaos-kill-site  send the chaos kill frame to one TCP site
+    smoke            the CI gate: 3-site loopback cluster per protocol,
+                     sanitizer on, one site killed mid-run — asserts zero
+                     causal violations and zero surfaced request errors
+
+``serve``/``put``/``get``/``chaos-kill-site`` speak real TCP (addresses
+are ``host:port``, repeated ``--site`` flags give the cluster map);
+``bench`` and ``smoke`` build the whole cluster in-process over the
+loopback transport, where the causal sanitizer can shadow every site.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import available_protocols
+from repro.obs.registry import MetricsRegistry
+from repro.service.client import KVClient
+from repro.service.harness import ServiceCluster
+from repro.service.loadgen import LoadGenerator
+from repro.service.server import SiteServer
+from repro.service.transport import TcpTransport
+from repro.store.placement import make_placement
+from repro.types import SiteId
+
+
+def _parse_sites(pairs: List[str]) -> Dict[SiteId, str]:
+    addresses: Dict[SiteId, str] = {}
+    for pair in pairs:
+        site, _, address = pair.partition("=")
+        if not address:
+            raise SystemExit(f"--site wants ID=HOST:PORT, got {pair!r}")
+        addresses[int(site)] = address
+    return addresses
+
+
+def _add_cluster_map(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--site",
+        action="append",
+        default=[],
+        metavar="ID=HOST:PORT",
+        required=True,
+        help="cluster address map entry (repeat per site)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kv",
+        description="networked causal KV service (see docs/service.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    srv = sub.add_parser("serve", help="run one site's TCP server")
+    _add_cluster_map(srv)
+    srv.add_argument("--me", type=int, required=True, help="this site's ID")
+    srv.add_argument("--protocol", default="opt-track", choices=available_protocols())
+    srv.add_argument("--variables", type=int, default=16)
+    srv.add_argument("--replication-factor", type=int, default=None)
+    srv.add_argument("--strict", action="store_true", help="strict remote reads")
+    srv.add_argument("--seed", type=int, default=0, help="placement seed")
+
+    for name, help_text in (("put", "write VAR VALUE"), ("get", "read VAR")):
+        p = sub.add_parser(name, help=help_text)
+        _add_cluster_map(p)
+        p.add_argument("--home", type=int, default=0, help="home (session) site")
+        p.add_argument("--variables", type=int, default=16)
+        p.add_argument("--replication-factor", type=int, default=None)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("var")
+        if name == "put":
+            p.add_argument("value")
+
+    kill = sub.add_parser("chaos-kill-site", help="crash one TCP site")
+    _add_cluster_map(kill)
+    kill.add_argument("--target", type=int, required=True)
+
+    bench = sub.add_parser("bench", help="YCSB load against a loopback cluster")
+    bench.add_argument("--protocol", default="opt-track", choices=available_protocols())
+    bench.add_argument("--sites", type=int, default=3)
+    bench.add_argument("--variables", type=int, default=16)
+    bench.add_argument("--replication-factor", type=int, default=None)
+    bench.add_argument("--workload", default="a", help="YCSB workload a/b/c/d/f")
+    bench.add_argument("--ops-per-site", type=int, default=200)
+    bench.add_argument("--strict", action="store_true")
+    bench.add_argument("--sanitize", action="store_true")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--json", action="store_true", help="emit the metrics snapshot")
+
+    smoke = sub.add_parser("smoke", help="CI smoke gate (loopback, chaos, sanitizer)")
+    smoke.add_argument("--sites", type=int, default=3)
+    smoke.add_argument("--ops-per-site", type=int, default=40)
+    smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument(
+        "--protocols",
+        nargs="*",
+        default=["opt-track", "full-track", "opt-track-crp"],
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# TCP commands
+# ----------------------------------------------------------------------
+def _placement(args: argparse.Namespace, n: int):
+    p = args.replication_factor or n
+    return make_placement("round-robin", n, args.variables, p, seed=args.seed)
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    from repro.core.base import ProtocolConfig, protocol_class
+
+    addresses = _parse_sites(args.site)
+    n = len(addresses)
+    cls = protocol_class(args.protocol)
+    placement = _placement(args, n)
+    proto = cls(
+        ProtocolConfig(
+            n=n,
+            site=args.me,
+            replicas_of=placement,
+            strict_remote_reads=args.strict,
+        )
+    )
+    server = SiteServer(proto, addresses, TcpTransport(), metrics=MetricsRegistry())
+    await server.start()
+    print(f"site {args.me} ({args.protocol}) serving at {addresses[args.me]}")
+    try:
+        await server._stopped.wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+async def _one_shot(args: argparse.Namespace) -> int:
+    addresses = _parse_sites(args.site)
+    placement = _placement(args, len(addresses))
+    client = KVClient(addresses, placement, TcpTransport(), home=args.home)
+    try:
+        if args.command == "put":
+            wid = await client.put(args.var, args.value)
+            print(f"ok {wid}")
+        else:
+            value, wid, by = await client.get(args.var)
+            print(f"{args.var} = {value!r}  ({wid or 'initial'}, served by s{by})")
+    finally:
+        await client.close()
+    return 0
+
+
+async def _chaos_kill(args: argparse.Namespace) -> int:
+    addresses = _parse_sites(args.site)
+    client = KVClient(addresses, {}, TcpTransport(), home=args.target)
+    try:
+        ok = await client.kill(args.target)
+    finally:
+        await client.close()
+    print(f"site {args.target}: {'killed' if ok else 'unreachable'}")
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# loopback commands
+# ----------------------------------------------------------------------
+async def _bench(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry()
+    async with ServiceCluster(
+        args.sites,
+        args.variables,
+        args.protocol,
+        replication_factor=args.replication_factor,
+        strict_remote_reads=args.strict,
+        sanitize=args.sanitize,
+        metrics=metrics,
+        seed=args.seed,
+    ) as cluster:
+        gen = LoadGenerator(
+            cluster,
+            workload=args.workload,
+            ops_per_site=args.ops_per_site,
+            seed=args.seed,
+            metrics=metrics,
+        )
+        report = await gen.run()
+        await cluster.quiesce()
+    if args.json:
+        print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(f"protocol   {args.protocol} (workload {args.workload})")
+        print(report.format())
+    return 0 if report.errors == 0 else 1
+
+
+async def _smoke(args: argparse.Namespace) -> int:
+    """The CI gate (see module docstring and docs/service.md)."""
+    failures = 0
+    for protocol in args.protocols:
+        metrics = MetricsRegistry()
+        async with ServiceCluster(
+            args.sites,
+            args.sites * 2,
+            protocol,
+            # partial replication where the protocol supports it (the
+            # harness widens to full for full-replication-only protocols)
+            replication_factor=2,
+            sanitize=True,
+            metrics=metrics,
+            seed=args.seed,
+        ) as cluster:
+            gen = LoadGenerator(
+                cluster,
+                workload="a",
+                ops_per_site=args.ops_per_site,
+                seed=args.seed,
+                metrics=metrics,
+            )
+            run = asyncio.ensure_future(gen.run())
+            # kill the highest site once a third of the load is through;
+            # clients homed there must fail over without surfacing errors
+            while gen.completed < gen.total_ops // 3 and not run.done():
+                await asyncio.sleep(0.001)
+            victim = args.sites - 1
+            cluster.kill_site(victim)
+            report = await run
+            try:
+                await cluster.quiesce()
+            except TimeoutError:
+                print(f"  {protocol}: survivors failed to quiesce")
+                failures += 1
+            checks = (
+                cluster.sanitizer.checks_run if cluster.sanitizer is not None else 0
+            )
+        status = "ok" if report.errors == 0 else "FAIL"
+        if report.errors:
+            failures += 1
+        print(
+            f"  {protocol:<14} {status}  {report.ops} ops, "
+            f"{report.errors} errors, {report.failovers} failovers, "
+            f"{checks} sanitizer checks, killed s{victim}"
+        )
+    if failures:
+        print(f"smoke: {failures} failure(s)")
+        return 1
+    print("smoke: all protocols clean (zero violations, zero request errors)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "serve": _serve,
+        "put": _one_shot,
+        "get": _one_shot,
+        "chaos-kill-site": _chaos_kill,
+        "bench": _bench,
+        "smoke": _smoke,
+    }[args.command]
+    try:
+        return asyncio.run(handler(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Assemble a whole service cluster in one process.
+
+:class:`ServiceCluster` builds ``n`` :class:`~repro.service.server.
+SiteServer` instances — one protocol state machine each, placement from
+:mod:`repro.store.placement` — over a shared transport.  Over the
+:class:`~repro.service.transport.LoopbackTransport` this gives a
+socket-free cluster for unit tests, the ``repro-kv smoke`` gate, and
+sanitizer shadow-checking: with ``sanitize=True`` a single
+:class:`~repro.verify.sanitizer.CausalSanitizer` oracle observes every
+site, so one process can assert causal safety across the whole cluster
+while requests flow through the real server/client/wire code paths.
+
+The harness also owns the chaos hooks (``kill_site`` severs a site the
+way a crash would — listener gone, every established connection dropped,
+in-flight frames lost) and :meth:`quiesce`, which waits for replication
+to settle (all peer-link queues drained and parked updates applied at
+the surviving sites) so tests can assert convergence without sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from repro.core.base import ProtocolConfig, protocol_class
+from repro.errors import ServiceError
+from repro.service.client import KVClient
+from repro.service.server import SiteServer
+from repro.service.transport import LoopbackTransport, Transport
+from repro.store.placement import Placement, default_variables, make_placement
+from repro.types import SiteId
+
+
+class ServiceCluster:
+    """One co-hosted service cluster (loopback by default)."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        n_variables: int,
+        protocol: str = "opt-track",
+        *,
+        replication_factor: Optional[int] = None,
+        placement: Optional[Placement] = None,
+        placement_strategy: str = "round-robin",
+        strict_remote_reads: bool = False,
+        sanitize: bool = False,
+        transport: Optional[Transport] = None,
+        addresses: Optional[Dict[SiteId, str]] = None,
+        recorder: Any = None,
+        metrics: Any = None,
+        read_timeout: float = 2.0,
+        seed: int = 0,
+        protocol_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.n = n_sites
+        self.seed = seed
+        cls = protocol_class(protocol)
+        p = replication_factor
+        if p is None or cls.full_replication_only:
+            p = n_sites
+        if placement is None:
+            placement = make_placement(
+                placement_strategy, n_sites, n_variables, p, seed=seed
+            )
+        self.placement: Placement = placement
+        self.variables = default_variables(n_variables)
+        self.transport: Transport = transport or LoopbackTransport()
+        self.addresses: Dict[SiteId, str] = addresses or {
+            s: f"site-{s}" for s in range(n_sites)
+        }
+        self.metrics = metrics
+        self.recorder = recorder
+        self.sanitizer = None
+        if sanitize:
+            from repro.verify.sanitizer import CausalSanitizer
+
+            self.sanitizer = CausalSanitizer(n_sites)
+        kwargs = dict(protocol_kwargs or {})
+        self.servers: List[SiteServer] = []
+        for site in range(n_sites):
+            proto = cls(
+                ProtocolConfig(
+                    n=n_sites,
+                    site=site,
+                    replicas_of=placement,
+                    strict_remote_reads=strict_remote_reads,
+                ),
+                **kwargs,
+            )
+            if recorder is not None:
+                proto.obs = recorder
+            self.servers.append(
+                SiteServer(
+                    proto,
+                    self.addresses,
+                    self.transport,
+                    sanitizer=self.sanitizer,
+                    recorder=recorder,
+                    metrics=metrics,
+                    read_timeout=read_timeout,
+                    seed=seed + site,
+                )
+            )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServiceCluster":
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        if self.recorder is not None:
+            # one shared origin: spans from different sites stay ordered
+            self.recorder.bind_clock(lambda: (loop.time() - t0) * 1000.0)
+        for server in self.servers:
+            server.set_clock_origin(t0)
+            await server.start()
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        for server in self.servers:
+            await server.stop()
+        transport = self.transport
+        if isinstance(transport, LoopbackTransport):
+            await transport.close()
+        self._started = False
+
+    async def __aenter__(self) -> "ServiceCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    def client(self, home: SiteId = 0, **kwargs: Any) -> KVClient:
+        kwargs.setdefault("metrics", self.metrics)
+        kwargs.setdefault("seed", self.seed + 1000 + home)
+        return KVClient(
+            self.addresses, self.placement, self.transport, home=home, **kwargs
+        )
+
+    def kill_site(self, site: SiteId) -> None:
+        """Crash ``site``: sever its connections and stop its server.
+
+        Loopback only — over TCP a crash is inflicted on the process (or
+        via the ``kill`` chaos frame), not through the transport."""
+        transport = self.transport
+        if not isinstance(transport, LoopbackTransport):
+            raise ServiceError("kill_site needs the loopback transport")
+        transport.kill(self.addresses[site])
+        asyncio.ensure_future(self.servers[site].stop())
+
+    @property
+    def live_sites(self) -> List[SiteId]:
+        return [s.site for s in self.servers if not s.stopped]
+
+    # ------------------------------------------------------------------
+    async def quiesce(self, timeout: float = 5.0) -> None:
+        """Wait until replication settles at every *live* site: all peer
+        links between live sites drained and no parked update can apply.
+        Raises ``TimeoutError`` if the cluster does not settle."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+
+        def settled() -> bool:
+            live = set(self.live_sites)
+            for server in self.servers:
+                if server.site not in live:
+                    continue
+                for dest, link in server._links.items():
+                    if dest in live and link.backlog:
+                        return False
+                if any(server.protocol.can_apply(m) for m in server._parked):
+                    return False
+            return True
+
+        while not settled():
+            if loop.time() > deadline:
+                raise TimeoutError("service cluster failed to quiesce")
+            await asyncio.sleep(0.005)
+
+
+__all__ = ["ServiceCluster"]

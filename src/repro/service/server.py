@@ -1,0 +1,538 @@
+"""Per-site asyncio server hosting one causal-protocol instance.
+
+One :class:`SiteServer` owns one :class:`~repro.core.base.CausalProtocol`
+state machine and exposes it over a :class:`~repro.service.transport.
+Transport`.  The protocol is a pure state machine with no locking, so the
+server enforces a **single-writer discipline**: every protocol mutation
+happens synchronously on the event loop between awaits — handlers never
+hold a partially applied protocol state across a suspension point.
+
+Request paths (the home-site session model):
+
+* **put** — always served locally (any site may originate a write).  The
+  resulting update messages are enqueued on per-destination
+  :class:`PeerLink` queues — FIFO per link, surviving reconnects — which
+  preserves the per-sender delivery order the activation predicates rely
+  on.
+* **get, locally replicated** — gated on
+  :meth:`~repro.core.base.CausalProtocol.can_read_local` (strict mode can
+  hold a read while causally known updates are in flight); the wait is
+  bounded by ``read_timeout`` and expires to a retriable ``read-timeout``
+  error.
+* **get, remote** — the server performs the paper's RemoteFetch on the
+  client's behalf over the peer link to the predesignated replica.  Strict
+  mode defers on the serving side (``can_serve_fetch``); lenient mode runs
+  the client-side reply-freshness gate
+  (:meth:`~repro.core.base.CausalProtocol.reply_is_fresh`) and re-issues
+  stale fetches, exactly like the simulator.  Exhaustion surfaces as a
+  retriable ``unavailable`` error and the client fails over to another
+  replica of the key.
+
+Inbound ``repl`` frames carry a per-link sequence number; duplicates from
+reconnect resends are dropped before touching the protocol, turning the
+link's at-least-once delivery into exactly-once application.  Updates
+whose activation predicate is false are parked and re-evaluated after
+every apply (a rescan drain — service deployments are a handful of sites,
+so the simulator's wake index is not worth its bookkeeping here).
+
+The observability hooks mirror the simulator byte-for-byte: the causal
+sanitizer (when attached) sees the same ``on_write`` / ``before_apply`` /
+``after_apply`` / ``on_read`` stream, and the lifecycle recorder receives
+``issue``/``send``/``deliver``/``buffered``/``apply``/``read`` spans, so
+``repro-sim trace`` renders service runs unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import CausalProtocol
+from repro.core.messages import FetchRequest, UpdateMessage, WriteResult
+from repro.errors import ServiceError, ServiceUnavailableError, WireError
+from repro.service import wire
+from repro.service.transport import Connection, Listener, Transport
+from repro.types import SiteId, VarId, WriteId
+
+#: bound on consecutive stale-reply re-fetches of one remote read (same
+#: role as ``repro.sim.process.MAX_STALE_FETCH_RETRIES``: the missing
+#: update is in flight to the serving replica, so the loop converges
+#: unless the link is actually down)
+MAX_STALE_FETCH_RETRIES = 100
+
+#: pause before re-issuing a stale fetch, seconds (grows linearly per
+#: consecutive stale reply; gives the in-flight update time to land)
+STALE_RETRY_PAUSE = 0.002
+
+
+class PeerLink:
+    """Outbound frame queue to one peer site, with reconnect + resend.
+
+    Frames are sent in FIFO order by a single sender task; a frame is
+    dequeued only after a successful send, so frames queued while the
+    peer is down (or that failed mid-send) are resent after reconnect.
+    The receiver deduplicates ``repl`` frames by link sequence number.
+    The same connection carries this site's fetch requests; a paired
+    reader task routes the ``fetch.ok`` / ``fetch.err`` responses back to
+    the owning server's waiter table.
+    """
+
+    def __init__(
+        self,
+        owner: "SiteServer",
+        dest: SiteId,
+        address: str,
+        *,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+    ) -> None:
+        self.owner = owner
+        self.dest = dest
+        self.address = address
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._queue: Deque[Dict[str, Any]] = deque()
+        self._wakeup = asyncio.Event()
+        self._link_seq = 0
+        self._closed = False
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._run())
+
+    def enqueue_update(self, msg: UpdateMessage) -> None:
+        self._link_seq += 1
+        self._queue.append(wire.encode_update(msg, self._link_seq))
+        self._wakeup.set()
+
+    def enqueue_fetch(self, req: FetchRequest) -> None:
+        self._queue.append(wire.encode_fetch_request(req))
+        self._wakeup.set()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        rng = np.random.default_rng(
+            (self.owner.seed * 1_000_003 + self.dest) & 0x7FFFFFFF
+        )
+        backoff = self.backoff_base
+        while not self._closed:
+            try:
+                conn = await self.owner.transport.connect(self.address)
+            except (ConnectionError, OSError):
+                self.owner.metric("link_connect_failures_total", peer=self.dest)
+                await asyncio.sleep(backoff * (1.0 + rng.uniform(0.0, 0.5)))
+                backoff = min(backoff * 2.0, self.backoff_cap)
+                continue
+            backoff = self.backoff_base
+            reader = asyncio.ensure_future(self._read_replies(conn))
+            try:
+                await self._drain_queue(conn)
+            except (ConnectionError, OSError, WireError):
+                self.owner.metric("link_drops_total", peer=self.dest)
+            finally:
+                reader.cancel()
+                try:
+                    await reader
+                except asyncio.CancelledError:
+                    pass
+                await conn.close()
+
+    async def _drain_queue(self, conn: Connection) -> None:
+        while not self._closed:
+            while self._queue and not self._closed:
+                # peek-send-pop: a frame is dropped from the queue only
+                # once the transport accepted it, so a send failure here
+                # leaves it queued for resend on the next connection
+                await conn.send(self._queue[0])
+                self._queue.popleft()
+            self._wakeup.clear()
+            if self._closed:
+                return
+            await self._wakeup.wait()
+
+    async def _read_replies(self, conn: Connection) -> None:
+        while True:
+            frame = await conn.recv()
+            if frame is None:
+                return
+            if frame.get("t") in ("fetch.ok", "fetch.err"):
+                self.owner._resolve_fetch(frame)
+
+
+class SiteServer:
+    """One site of the networked KV cluster (see module docstring)."""
+
+    def __init__(
+        self,
+        protocol: CausalProtocol,
+        addresses: Dict[SiteId, str],
+        transport: Transport,
+        *,
+        sanitizer: Any = None,
+        recorder: Any = None,
+        metrics: Any = None,
+        read_timeout: float = 2.0,
+        fetch_timeout: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if protocol.site not in addresses:
+            raise ServiceError(f"no address for site {protocol.site}")
+        self.protocol = protocol
+        self.site: SiteId = protocol.site
+        self.addresses = dict(addresses)
+        self.transport = transport
+        self.sanitizer = sanitizer
+        self.recorder = recorder
+        self.metrics = metrics
+        self.read_timeout = read_timeout
+        self.fetch_timeout = fetch_timeout
+        self.seed = seed
+
+        #: updates whose activation predicate was false on arrival
+        self._parked: List[UpdateMessage] = []
+        #: arrival timestamp per parked/applied write, for apply spans
+        self._recv_at: Dict[WriteId, float] = {}
+        #: last link sequence number seen per sender (repl dedup)
+        self._seen_ls: Dict[SiteId, int] = {}
+        #: waiters notified after every apply (strict gates, parked reads)
+        self._progress = asyncio.Condition()
+        self._links: Dict[SiteId, PeerLink] = {}
+        self._fetch_waiters: Dict[int, asyncio.Future] = {}
+        self._listener: Optional[Listener] = None
+        self._stopped = asyncio.Event()
+        self._t0 = 0.0
+        self.applies = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._t0 == 0.0:
+            self._t0 = loop.time()
+        self._listener = await self.transport.listen(
+            self.addresses[self.site], self._handle_conn
+        )
+
+    def set_clock_origin(self, t0: float) -> None:
+        """Share one time origin across a co-hosted cluster so recorder
+        spans from different sites are mutually ordered."""
+        self._t0 = t0
+
+    def now_ms(self) -> float:
+        return (asyncio.get_event_loop().time() - self._t0) * 1000.0
+
+    async def stop(self) -> None:
+        self._stopped.set()
+        if self._listener is not None:
+            await self._listener.close()
+            self._listener = None
+        for link in self._links.values():
+            await link.close()
+        for fut in self._fetch_waiters.values():
+            if not fut.done():
+                fut.cancel()
+        self._fetch_waiters.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def metric(self, name: str, amount: int = 1, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, site=self.site, **labels).inc(amount)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, conn: Connection) -> None:
+        try:
+            while not self.stopped:
+                frame = await conn.recv()
+                if frame is None:
+                    return
+                await self._dispatch(conn, frame)
+        except (ConnectionError, OSError):
+            return
+        except WireError as exc:
+            try:
+                await conn.send(wire.err_frame("bad-frame", str(exc)))
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        kind = frame["t"]
+        if kind == "put":
+            await self._handle_put(conn, frame)
+        elif kind == "get":
+            await self._handle_get(conn, frame)
+        elif kind == "repl":
+            self._handle_repl(frame)
+        elif kind == "fetch":
+            # served in its own task: a strict-mode fetch can block on
+            # this site's apply progress, and the repl frames that unblock
+            # it arrive on this very connection — inline serving would
+            # deadlock the link (head-of-line blocking)
+            asyncio.ensure_future(self._handle_fetch(conn, frame))
+        elif kind == "ping":
+            await conn.send(wire.make_frame("ping.ok", site=self.site))
+        elif kind == "kill":
+            await conn.send(wire.make_frame("kill.ok", site=self.site))
+            asyncio.ensure_future(self.stop())
+        else:
+            await conn.send(wire.err_frame("bad-frame", f"unknown type {kind!r}"))
+
+    # ------------------------------------------------------------------
+    # put
+    # ------------------------------------------------------------------
+    async def _handle_put(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        var, value = frame["var"], frame["value"]
+        now = self.now_ms()
+        proto = self.protocol
+        result: WriteResult = proto.write(var, value)
+        if self.sanitizer is not None:
+            self.sanitizer.on_write(
+                self.site,
+                var,
+                result.write_id,
+                tuple(proto.replicas(var)),
+                result.applied_locally,
+                now=now,
+            )
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_issue(now, self.site, var, result.write_id, proto.replicas(var))
+        for msg in result.messages:
+            if rec is not None and rec.enabled:
+                rec.on_send(now, self.site, msg.dest, msg.write_id)
+            self._link(msg.dest).enqueue_update(msg)
+        if result.applied_locally:
+            self._drain()
+        self.metric("service_requests_total", op="put")
+        await conn.send(
+            wire.make_frame("put.ok", w=wire.encode_write_id(result.write_id))
+        )
+
+    # ------------------------------------------------------------------
+    # get
+    # ------------------------------------------------------------------
+    async def _handle_get(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        var = frame["var"]
+        proto = self.protocol
+        self.metric("service_requests_total", op="get")
+        if proto.locally_replicates(var):
+            if not await self._wait_for(lambda: proto.can_read_local(var)):
+                self.metric("service_read_timeouts_total")
+                await conn.send(
+                    wire.err_frame(
+                        "read-timeout",
+                        f"local read of {var!r} still causally gated after "
+                        f"{self.read_timeout}s",
+                    )
+                )
+                return
+            value, wid = proto.read_local(var)
+            served_by = self.site
+        else:
+            try:
+                value, wid = await self._remote_get(var)
+            except (ServiceUnavailableError, asyncio.TimeoutError) as exc:
+                self.metric("service_fetch_failures_total")
+                await conn.send(wire.err_frame("unavailable", str(exc)))
+                return
+            served_by = proto.fetch_target(var)
+        now = self.now_ms()
+        if self.sanitizer is not None:
+            self.sanitizer.on_read(self.site, var, wid, now=now)
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_read(now, self.site, var, wid)
+        await conn.send(
+            wire.make_frame(
+                "get.ok", value=value, w=wire.encode_write_id(wid), by=served_by
+            )
+        )
+
+    async def _remote_get(self, var: VarId) -> Tuple[Any, Optional[WriteId]]:
+        """The paper's RemoteFetch, run on the client's behalf."""
+        proto = self.protocol
+        server = proto.fetch_target(var)
+        link = self._link(server)
+        stale = 0
+        while True:
+            req = proto.make_fetch_request(var, server)
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._fetch_waiters[req.fetch_id] = fut
+            link.enqueue_fetch(req)
+            try:
+                frame = await asyncio.wait_for(fut, self.fetch_timeout)
+            except asyncio.TimeoutError:
+                raise ServiceUnavailableError(
+                    f"fetch of {var!r} from site {server} timed out after "
+                    f"{self.fetch_timeout}s"
+                ) from None
+            finally:
+                self._fetch_waiters.pop(req.fetch_id, None)
+            if frame["t"] == "fetch.err":
+                raise ServiceUnavailableError(
+                    f"site {server} could not serve {var!r}: "
+                    f"{frame.get('code')} ({frame.get('msg')})"
+                )
+            reply = wire.decode_fetch_reply(frame)
+            if proto.reply_is_fresh(reply):
+                return proto.complete_remote_read(reply)
+            # lenient-mode stale reply: discard without merging its
+            # metadata and re-issue once the in-flight update had a
+            # moment to land (same gate as repro.sim.process._do_read)
+            stale += 1
+            self.metric("service_stale_replies_total")
+            if stale > MAX_STALE_FETCH_RETRIES:
+                raise ServiceUnavailableError(
+                    f"remote read of {var!r} stale after {stale - 1} retries: "
+                    f"site {server} never applied a causally required update"
+                )
+            await asyncio.sleep(STALE_RETRY_PAUSE * stale)
+
+    def _resolve_fetch(self, frame: Dict[str, Any]) -> None:
+        fut = self._fetch_waiters.pop(int(frame["fid"]), None)
+        if fut is not None and not fut.done():
+            fut.set_result(frame)
+
+    # ------------------------------------------------------------------
+    # peer traffic
+    # ------------------------------------------------------------------
+    def _handle_repl(self, frame: Dict[str, Any]) -> None:
+        src = int(frame["src"])
+        link_seq = int(frame["ls"])
+        if link_seq <= self._seen_ls.get(src, 0):
+            self.metric("service_repl_dups_total")
+            return
+        self._seen_ls[src] = link_seq
+        msg = wire.decode_update(frame)
+        now = self.now_ms()
+        self._recv_at[msg.write_id] = now
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_deliver(now, self.site, msg.write_id)
+        if self.protocol.can_apply(msg):
+            self._apply(msg)
+            self._drain()
+        else:
+            if rec is not None and rec.enabled:
+                rec.on_buffered(
+                    now, self.site, msg.write_id, self.protocol.blocking_deps(msg) or ()
+                )
+            self._parked.append(msg)
+
+    async def _handle_fetch(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        req = wire.decode_fetch_request(frame)
+        proto = self.protocol
+        if not await self._wait_for(lambda: proto.can_serve_fetch(req)):
+            self.metric("service_fetch_defer_timeouts_total")
+            try:
+                await conn.send(
+                    wire.make_frame(
+                        "fetch.err",
+                        fid=req.fetch_id,
+                        code="read-timeout",
+                        msg=f"strict fetch of {req.var!r} still causally "
+                        f"gated after {self.read_timeout}s",
+                    )
+                )
+            except (ConnectionError, OSError):
+                pass
+            return
+        reply = proto.serve_fetch(req)
+        try:
+            await conn.send(wire.encode_fetch_reply(reply))
+        except (ConnectionError, OSError):
+            # requester is gone; its timeout/failover handles the loss
+            pass
+
+    # ------------------------------------------------------------------
+    # apply machinery (single-writer: everything below is synchronous)
+    # ------------------------------------------------------------------
+    def _apply(self, msg: UpdateMessage) -> None:
+        now = self.now_ms()
+        if self.sanitizer is not None:
+            self.sanitizer.before_apply(self.protocol, msg, now=now)
+            self.protocol.apply_update(msg)
+            self.sanitizer.after_apply(self.protocol, msg, now=now)
+        else:
+            self.protocol.apply_update(msg)
+        self.applies += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_apply(
+                now,
+                self.site,
+                msg.var,
+                msg.write_id,
+                self._recv_at.pop(msg.write_id, now),
+            )
+        self.metric("service_applies_total")
+
+    def _drain(self) -> None:
+        """Re-evaluate parked updates to a fixpoint, then wake waiters."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, msg in enumerate(self._parked):
+                if self.protocol.can_apply(msg):
+                    del self._parked[i]
+                    self._apply(msg)
+                    progressed = True
+                    break
+        self._notify_progress()
+
+    def _notify_progress(self) -> None:
+        async def _notify() -> None:
+            async with self._progress:
+                self._progress.notify_all()
+
+        asyncio.ensure_future(_notify())
+
+    async def _wait_for(self, predicate) -> bool:
+        """Await ``predicate()`` becoming true on apply progress, bounded
+        by ``read_timeout``.  False on expiry (the caller degrades to a
+        retriable error — the service never holds a request forever)."""
+        if predicate():
+            return True
+        async with self._progress:
+            try:
+                await asyncio.wait_for(
+                    self._progress.wait_for(predicate), self.read_timeout
+                )
+                return True
+            except asyncio.TimeoutError:
+                return False
+
+    def _link(self, dest: SiteId) -> PeerLink:
+        link = self._links.get(dest)
+        if link is None:
+            link = PeerLink(self, dest, self.addresses[dest])
+            link.start()
+            self._links[dest] = link
+        return link
+
+
+__all__ = ["SiteServer", "PeerLink", "MAX_STALE_FETCH_RETRIES"]

@@ -1,0 +1,275 @@
+"""Transports for the KV service: real TCP and an in-process loopback.
+
+Both speak the same interface — a :class:`Transport` can ``listen`` at an
+address (frames arrive on per-connection handler tasks) and ``connect`` to
+one (returning a bidirectional :class:`Connection` of whole frames).  The
+server and client layers are written against this interface only, so every
+test can run the full service stack over :class:`LoopbackTransport` with no
+sockets, deterministically, and with the causal sanitizer shadow-checking
+the very same code paths that run over TCP in production.
+
+The loopback is not a shortcut past the wire format: every frame crosses a
+full :func:`repro.service.wire.encode_frame` → decode round trip, so codec
+bugs (unserializable metadata, field drift) fail loopback tests too.  It
+also implements :meth:`LoopbackTransport.kill` — an abrupt site failure
+that drops the listener and severs every established connection — which is
+what the chaos tests and ``repro-kv smoke`` use to exercise failover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ServiceError
+from repro.service import wire
+
+#: per-connection frame handler installed by ``Transport.listen``
+ConnHandler = Callable[["Connection"], Awaitable[None]]
+
+#: sentinel queued by the loopback to mark an orderly or severed EOF
+_EOF = object()
+
+
+class Connection(ABC):
+    """One bidirectional, ordered stream of frames."""
+
+    @abstractmethod
+    async def send(self, frame: Dict[str, Any]) -> None:
+        """Send one frame.  Raises ``ConnectionError`` once the peer is
+        gone — callers treat that as "site unreachable" and fail over."""
+
+    @abstractmethod
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        """Receive the next frame, or ``None`` on EOF / severed peer."""
+
+    @abstractmethod
+    async def close(self) -> None:
+        """Close this side; the peer's ``recv`` returns ``None``."""
+
+    @property
+    @abstractmethod
+    def peer(self) -> str:
+        """The remote address, for diagnostics."""
+
+
+class Listener(ABC):
+    @abstractmethod
+    async def close(self) -> None:
+        """Stop accepting; established connections are left to their
+        handlers (``kill`` is the abrupt variant, loopback only)."""
+
+
+class Transport(ABC):
+    @abstractmethod
+    async def listen(self, address: str, handler: ConnHandler) -> Listener:
+        """Serve ``address``; each inbound connection runs ``handler`` in
+        its own task until the handler returns or the connection dies."""
+
+    @abstractmethod
+    async def connect(self, address: str) -> Connection:
+        """Open a connection.  Raises ``ConnectionError`` when the address
+        is not listening (a dead or killed site)."""
+
+
+# ======================================================================
+# loopback
+# ======================================================================
+class _LoopbackConnection(Connection):
+    """One endpoint of an in-process connection pair.
+
+    ``_rx`` receives frames the peer sent; ``_tx`` is the peer's ``_rx``.
+    Frames are round-tripped through the wire codec on send, so the bytes
+    that *would* hit a socket are exactly what the receiver decodes.
+    """
+
+    def __init__(self, peer_name: str) -> None:
+        self._rx: asyncio.Queue = asyncio.Queue()
+        self._peer: Optional["_LoopbackConnection"] = None
+        self._peer_name = peer_name
+        self._closed = False
+
+    async def send(self, frame: Dict[str, Any]) -> None:
+        peer = self._peer
+        if self._closed or peer is None or peer._closed:
+            raise ConnectionResetError(f"loopback peer {self._peer_name} is gone")
+        encoded = wire.encode_frame(frame)
+        peer._rx.put_nowait(wire.decode_body(encoded[4:]))
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        if self._closed and self._rx.empty():
+            return None
+        item = await self._rx.get()
+        return None if item is _EOF else item
+
+    async def close(self) -> None:
+        self._sever()
+        peer = self._peer
+        if peer is not None and not peer._closed:
+            peer._rx.put_nowait(_EOF)
+
+    def _sever(self) -> None:
+        """Mark dead and unblock a pending ``recv`` on this side."""
+        if not self._closed:
+            self._closed = True
+            self._rx.put_nowait(_EOF)
+
+    @property
+    def peer(self) -> str:
+        return self._peer_name
+
+
+class _LoopbackListener(Listener):
+    def __init__(self, transport: "LoopbackTransport", address: str) -> None:
+        self._transport = transport
+        self._address = address
+
+    async def close(self) -> None:
+        self._transport._handlers.pop(self._address, None)
+
+
+class LoopbackTransport(Transport):
+    """Deterministic in-process transport (see module docstring).
+
+    Single-event-loop only.  Every established connection endpoint is
+    tracked per listening address so :meth:`kill` can sever them all.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, ConnHandler] = {}
+        #: established endpoints per server address, for kill()
+        self._endpoints: Dict[str, Set[_LoopbackConnection]] = {}
+        self._tasks: Set[asyncio.Task] = set()
+
+    async def listen(self, address: str, handler: ConnHandler) -> Listener:
+        if address in self._handlers:
+            raise ServiceError(f"loopback address {address!r} already listening")
+        self._handlers[address] = handler
+        self._endpoints.setdefault(address, set())
+        return _LoopbackListener(self, address)
+
+    async def connect(self, address: str) -> Connection:
+        handler = self._handlers.get(address)
+        if handler is None:
+            raise ConnectionRefusedError(f"no loopback listener at {address!r}")
+        client_end = _LoopbackConnection(peer_name=address)
+        server_end = _LoopbackConnection(peer_name="client")
+        client_end._peer = server_end
+        server_end._peer = client_end
+        self._endpoints[address].update((client_end, server_end))
+        task = asyncio.ensure_future(handler(server_end))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return client_end
+
+    def kill(self, address: str) -> None:
+        """Abrupt site failure: stop listening at ``address`` and sever
+        every connection established through it (both endpoints — in-flight
+        frames are lost, pending sends raise, pending recvs return EOF)."""
+        self._handlers.pop(address, None)
+        for end in self._endpoints.pop(address, set()):
+            end._sever()
+
+    async def close(self) -> None:
+        for address in list(self._handlers):
+            self.kill(address)
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+# ======================================================================
+# TCP
+# ======================================================================
+def split_address(address: str) -> Tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ServiceError(f"TCP address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+class _TcpConnection(Connection):
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, name: str
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._name = name
+
+    async def send(self, frame: Dict[str, Any]) -> None:
+        self._writer.write(wire.encode_frame(frame))
+        await self._writer.drain()
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        try:
+            prefix = await self._reader.readexactly(4)
+            body = await self._reader.readexactly(wire.frame_length(prefix))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        return wire.decode_body(body)
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    @property
+    def peer(self) -> str:
+        return self._name
+
+
+class _TcpListener(Listener):
+    def __init__(self, server: asyncio.AbstractServer) -> None:
+        self._server = server
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TcpTransport(Transport):
+    """Frames over asyncio TCP streams; addresses are ``host:port``."""
+
+    async def listen(self, address: str, handler: ConnHandler) -> Listener:
+        host, port = split_address(address)
+
+        async def on_client(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            name = "%s:%s" % (writer.get_extra_info("peername") or ("?", "?"))[:2]
+            conn = _TcpConnection(reader, writer, name)
+            try:
+                await handler(conn)
+            finally:
+                # non-awaiting close: this task may already be cancelled
+                # (loop shutdown), and awaiting wait_closed here would
+                # re-raise CancelledError out of the finally block
+                try:
+                    writer.close()
+                except (ConnectionError, OSError, RuntimeError):
+                    pass
+
+        server = await asyncio.start_server(on_client, host, port)
+        return _TcpListener(server)
+
+    async def connect(self, address: str) -> Connection:
+        host, port = split_address(address)
+        reader, writer = await asyncio.open_connection(host, port)
+        return _TcpConnection(reader, writer, address)
+
+
+__all__ = [
+    "Connection",
+    "Listener",
+    "Transport",
+    "LoopbackTransport",
+    "TcpTransport",
+    "split_address",
+]

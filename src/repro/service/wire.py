@@ -1,0 +1,316 @@
+"""Wire format of the networked KV service.
+
+Frames are **length-prefixed JSON**: a 4-byte big-endian unsigned length
+followed by one UTF-8 JSON object.  Every frame carries the wire version
+(``"v"``) and a frame type (``"t"``); a peer that receives a frame with an
+unknown version must reject the connection rather than guess — the version
+is bumped on any incompatible change (field renames, semantic changes),
+never for additive optional fields.
+
+Frame types
+-----------
+Client-facing request/response::
+
+    put      {v, t:"put", var, value}            -> put.ok {w} | err
+    get      {v, t:"get", var}                   -> get.ok {value, w, by} | err
+    ping     {v, t:"ping"}                       -> ping.ok {site}
+    kill     {v, t:"kill"}                       -> kill.ok {}   (chaos)
+
+Server-to-server (peer links)::
+
+    repl     one UpdateMessage (REPLICATE), fire-and-forget; ``ls`` is a
+             per-link sequence number so resent frames after a reconnect
+             are deduplicated (at-least-once send, exactly-once apply)
+    fetch    one FetchRequest, answered by fetch.ok (correlated by ``fid``)
+
+``err`` frames carry a machine-readable ``code``; codes in
+:data:`RETRIABLE` mark failures the client may retry (elsewhere).
+
+Protocol metadata (matrix clocks, dependency logs, apply snapshots) is
+piggybacked through the tagged codec in :func:`encode_meta` /
+:func:`decode_meta`, mirroring the in-memory types of
+:mod:`repro.core.messages` exactly — the decoded objects are the same
+classes the protocols consume, so a protocol instance cannot tell a wire
+peer from an in-process one.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import DepLog
+from repro.core.messages import (
+    CrpMeta,
+    FetchReply,
+    FetchRequest,
+    OptTrackMeta,
+    UpdateMessage,
+)
+from repro.errors import WireError
+from repro.types import WriteId
+
+#: bump on incompatible frame changes (see module docstring)
+WIRE_VERSION = 1
+
+#: hard cap on one frame's JSON body; protects both sides from a corrupt
+#: or hostile length prefix
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: ``err`` codes the client may retry (possibly against another replica)
+RETRIABLE = ("read-timeout", "unavailable", "shutting-down")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialize one frame dict to its length-prefixed wire bytes."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body (the bytes after the length prefix)."""
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame body: {exc}") from None
+    if not isinstance(frame, dict):
+        raise WireError(f"frame must be a JSON object, got {type(frame).__name__}")
+    version = frame.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} (this side speaks "
+            f"{WIRE_VERSION}); upgrade the older peer"
+        )
+    if not isinstance(frame.get("t"), str):
+        raise WireError("frame missing its type field 't'")
+    return frame
+
+
+def frame_length(prefix: bytes) -> int:
+    """Parse and validate the 4-byte length prefix."""
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return length
+
+
+def make_frame(frame_type: str, **fields: Any) -> Dict[str, Any]:
+    """A frame dict of ``frame_type`` with the current wire version."""
+    frame: Dict[str, Any] = {"v": WIRE_VERSION, "t": frame_type}
+    frame.update(fields)
+    return frame
+
+
+def err_frame(code: str, message: str) -> Dict[str, Any]:
+    return make_frame("err", code=code, msg=message)
+
+
+# ----------------------------------------------------------------------
+# small-value codecs
+# ----------------------------------------------------------------------
+def encode_write_id(wid: Optional[WriteId]) -> Optional[list]:
+    return None if wid is None else [wid.site, wid.seq]
+
+
+def decode_write_id(value: Any) -> Optional[WriteId]:
+    return None if value is None else WriteId(int(value[0]), int(value[1]))
+
+
+# ----------------------------------------------------------------------
+# protocol metadata codec (tagged by "k")
+# ----------------------------------------------------------------------
+def encode_meta(meta: Any) -> Any:
+    """Encode one piggybacked metadata object to its JSON shape."""
+    if meta is None:
+        return None
+    if isinstance(meta, OptTrackMeta):
+        return {
+            "k": "ot",
+            "c": meta.clock,
+            "rm": meta.replicas_mask,
+            "log": _encode_deplog(meta.log),
+        }
+    if isinstance(meta, CrpMeta):
+        return {
+            "k": "crp",
+            "c": meta.clock,
+            "log": [[int(s), int(c)] for s, c in sorted(meta.log.items())],
+        }
+    if isinstance(meta, DepLog):
+        return {"k": "dl", "e": _encode_deplog(meta)}
+    if isinstance(meta, MatrixClock):
+        return {"k": "mc", "m": meta.m.tolist()}
+    if isinstance(meta, VectorClock):
+        return {"k": "vc", "v": meta.v.tolist()}
+    if isinstance(meta, np.ndarray):
+        return {"k": "arr", "v": [int(x) for x in meta]}
+    if isinstance(meta, tuple):
+        if all(isinstance(x, (int, np.integer)) for x in meta):
+            # flat clock vectors, e.g. opt-track's apply-progress snapshot
+            return {"k": "ivec", "v": [int(x) for x in meta]}
+        # opt-track dependency summaries: tuples of (sender, clock) pairs
+        return {"k": "pairs", "v": [[int(z), int(c)] for z, c in meta]}
+    raise WireError(f"unserializable protocol metadata {type(meta).__name__}")
+
+
+def decode_meta(data: Any) -> Any:
+    """Decode the output of :func:`encode_meta` back to protocol objects."""
+    if data is None:
+        return None
+    if not isinstance(data, dict) or "k" not in data:
+        raise WireError(f"malformed metadata payload {data!r}")
+    kind = data["k"]
+    if kind == "ot":
+        return OptTrackMeta(
+            int(data["c"]), int(data["rm"]), _decode_deplog(data["log"])
+        )
+    if kind == "crp":
+        return CrpMeta(int(data["c"]), {int(s): int(c) for s, c in data["log"]})
+    if kind == "dl":
+        return _decode_deplog(data["e"])
+    if kind == "mc":
+        m = np.array(data["m"], dtype=np.int64)
+        return MatrixClock(m.shape[0], m)
+    if kind == "vc":
+        v = np.array(data["v"], dtype=np.int64)
+        return VectorClock(v.shape[0], v)
+    if kind == "arr":
+        return np.array(data["v"], dtype=np.int64)
+    if kind == "ivec":
+        return tuple(int(x) for x in data["v"])
+    if kind == "pairs":
+        return tuple((int(z), int(c)) for z, c in data["v"])
+    raise WireError(f"unknown metadata kind {kind!r}")
+
+
+def _encode_deplog(log: DepLog) -> list:
+    return [[int(s), int(c), int(d)] for (s, c), d in sorted(log.entries.items())]
+
+
+def _decode_deplog(entries: Any) -> DepLog:
+    return DepLog({(int(s), int(c)): int(d) for s, c, d in entries})
+
+
+# ----------------------------------------------------------------------
+# message codecs
+# ----------------------------------------------------------------------
+def encode_update(msg: UpdateMessage, link_seq: int) -> Dict[str, Any]:
+    """A REPLICATE frame for one :class:`UpdateMessage`.
+
+    ``link_seq`` is the per-peer-link sequence number used for duplicate
+    suppression across reconnect resends.
+    """
+    return make_frame(
+        "repl",
+        var=msg.var,
+        value=msg.value,
+        w=encode_write_id(msg.write_id),
+        src=msg.sender,
+        dst=msg.dest,
+        meta=encode_meta(msg.meta),
+        ls=link_seq,
+    )
+
+
+def decode_update(frame: Dict[str, Any]) -> UpdateMessage:
+    try:
+        wid = decode_write_id(frame["w"])
+        if wid is None:
+            raise WireError("repl frame without a write id")
+        return UpdateMessage(
+            var=frame["var"],
+            value=frame["value"],
+            write_id=wid,
+            sender=int(frame["src"]),
+            dest=int(frame["dst"]),
+            meta=decode_meta(frame["meta"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed repl frame: {exc}") from None
+
+
+def encode_fetch_request(req: FetchRequest) -> Dict[str, Any]:
+    return make_frame(
+        "fetch",
+        var=req.var,
+        rq=req.requester,
+        sv=req.server,
+        fid=req.fetch_id,
+        deps=encode_meta(req.deps),
+    )
+
+
+def decode_fetch_request(frame: Dict[str, Any]) -> FetchRequest:
+    try:
+        return FetchRequest(
+            var=frame["var"],
+            requester=int(frame["rq"]),
+            server=int(frame["sv"]),
+            fetch_id=int(frame["fid"]),
+            deps=decode_meta(frame["deps"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed fetch frame: {exc}") from None
+
+
+def encode_fetch_reply(reply: FetchReply) -> Dict[str, Any]:
+    return make_frame(
+        "fetch.ok",
+        var=reply.var,
+        value=reply.value,
+        w=encode_write_id(reply.write_id),
+        sv=reply.server,
+        rq=reply.requester,
+        fid=reply.fetch_id,
+        meta=encode_meta(reply.meta),
+        applied=encode_meta(reply.applied),
+    )
+
+
+def decode_fetch_reply(frame: Dict[str, Any]) -> FetchReply:
+    try:
+        return FetchReply(
+            var=frame["var"],
+            value=frame["value"],
+            write_id=decode_write_id(frame["w"]),
+            server=int(frame["sv"]),
+            requester=int(frame["rq"]),
+            fetch_id=int(frame["fid"]),
+            meta=decode_meta(frame["meta"]),
+            applied=decode_meta(frame["applied"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed fetch.ok frame: {exc}") from None
+
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "RETRIABLE",
+    "encode_frame",
+    "decode_body",
+    "frame_length",
+    "make_frame",
+    "err_frame",
+    "encode_write_id",
+    "decode_write_id",
+    "encode_meta",
+    "decode_meta",
+    "encode_update",
+    "decode_update",
+    "encode_fetch_request",
+    "decode_fetch_request",
+    "encode_fetch_reply",
+    "decode_fetch_reply",
+]

@@ -31,7 +31,7 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Tracer
 from repro.sim.latency import LatencyModel, make_latency
 from repro.sim.network import Network
-from repro.sim.process import AppProcess
+from repro.sim.process import MAX_STALE_FETCH_RETRIES, AppProcess
 from repro.sim.site import SimSite
 from repro.sim.topology import Topology
 from repro.store.placement import Placement, make_placement
@@ -194,8 +194,23 @@ class Session:
 
             c.tracer.emit(FetchEvent(c.sim.now, self.site, server, var))
         box: List[Tuple[Any, Optional[WriteId]]] = []
+        retries = [0]
 
         def on_reply(reply) -> None:
+            if not proto.reply_is_fresh(reply):
+                # lenient-mode stale reply: discard without merging its
+                # metadata and re-fetch (see AppProcess._do_read)
+                retries[0] += 1
+                if retries[0] > MAX_STALE_FETCH_RETRIES:
+                    raise DeadlockError(
+                        f"remote read of {var!r} at site {self.site} stale "
+                        f"after {retries[0] - 1} retries: server {server} "
+                        f"never applied a causally required update"
+                    )
+                sim_site.send_fetch(
+                    proto.make_fetch_request(var, server), on_reply
+                )
+                return
             box.append(proto.complete_remote_read(reply))
 
         sim_site.send_fetch(req, on_reply)

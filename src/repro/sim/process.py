@@ -21,10 +21,17 @@ from typing import Callable, Iterable, Iterator, Optional
 import numpy as np
 
 from repro.core.messages import FetchReply
+from repro.errors import DeadlockError
 from repro.metrics.collector import MetricsCollector
 from repro.sim.events import FetchEvent, ReturnEvent
 from repro.sim.site import SimSite
 from repro.types import Operation, OpKind, SiteId
+
+#: cap on stale-reply re-fetches per remote read (lenient mode only; each
+#: round trip gives the in-flight updates one more RTT to reach the server,
+#: so a healthy run converges in a handful — the cap only turns an
+#: undeliverable dependency into a diagnosable error instead of a livelock)
+MAX_STALE_FETCH_RETRIES = 100
 
 
 class AppProcess:
@@ -123,8 +130,24 @@ class AppProcess:
         if site.tracer:
             site.tracer.emit(FetchEvent(site.sim.now, self.site, server, op.var))
         self._waiting_fetch = True
+        retries = [0]
 
         def on_reply(reply: FetchReply) -> None:
+            if not proto.reply_is_fresh(reply):
+                # lenient-mode stale reply: the server has not yet applied
+                # updates our own metadata proves are in its copy's causal
+                # past.  Discard without merging and ask again.
+                retries[0] += 1
+                if retries[0] > MAX_STALE_FETCH_RETRIES:
+                    raise DeadlockError(
+                        f"remote read of {op.var!r} at site {self.site} "
+                        f"stale after {retries[0] - 1} retries: server "
+                        f"{server} never applied a causally required update"
+                    )
+                site.send_fetch(
+                    proto.make_fetch_request(op.var, server), on_reply
+                )
+                return
             self._waiting_fetch = False
             value, write_id = proto.complete_remote_read(reply)
             self._complete_read(op, value, write_id, local=False)

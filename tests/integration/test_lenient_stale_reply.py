@@ -1,0 +1,134 @@
+"""Pinned regressions for the lenient-mode stale-reply bug.
+
+Before the client-side reply-freshness gate (``CausalProtocol.
+reply_is_fresh``), a remote fetch in lenient mode (``strict_remote_reads=
+False``) could return a value the requester's own metadata already proved
+causally overwritten: the requester imports third-party dependency
+knowledge through earlier reads, while the server — which got no
+dependency summary — answers before applying the corresponding updates.
+
+The two workloads below are the shrunken falsifying examples found by
+``tests/property/test_sanitizer_properties.py::test_sanitized_run_stays_clean``
+(noted in PR 4; both reproduce at the PR-3 seed).  They must stay pinned:
+the property test only samples this corner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.latency import MatrixLatency
+from repro.workload.generator import WorkloadConfig, generate
+
+#: (protocol, protocol_kwargs, (n_sites, n_vars, repl_factor, seed, strict))
+PINNED = [
+    # opt-track-proto_kwargs0 falsifying example: site 2 read x1 = w1:3
+    # from server 1 while already knowing w0:3 (imported by reading x0),
+    # which causally overwrites it and was still in flight to server 1.
+    pytest.param("opt-track", {}, (3, 3, 1, 5137556, False), id="opt-track"),
+    # the same schedule through the distributed-prune variant
+    pytest.param(
+        "opt-track",
+        {"distributed_prune": True},
+        (3, 3, 1, 5137556, False),
+        id="opt-track-distributed-prune",
+    ),
+    # full-track-proto_kwargs2 falsifying example: site 3 read x0 = w2:4
+    # from a server that had not yet applied w1:1, known to the requester.
+    pytest.param("full-track", {}, (4, 3, 2, 20036823, False), id="full-track"),
+]
+
+
+@pytest.mark.parametrize("protocol,proto_kwargs,params", PINNED)
+def test_pinned_lenient_stale_reply_examples(protocol, proto_kwargs, params):
+    n, q, p, seed, strict = params
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.5, 80.0, size=(n, n))
+    np.fill_diagonal(base, 0.0)
+    cfg = ClusterConfig(
+        n_sites=n,
+        n_variables=q,
+        protocol=protocol,
+        replication_factor=p,
+        latency=MatrixLatency(base, jitter_sigma=0.2),
+        seed=seed,
+        strict_remote_reads=strict,
+        sanitize=True,
+        protocol_kwargs=proto_kwargs,
+    )
+    cluster = Cluster(cfg)
+    wl = generate(
+        WorkloadConfig(
+            n_sites=n,
+            ops_per_site=15,
+            write_rate=0.4,
+            variables=cluster.variables,
+            seed=seed,
+        )
+    )
+    result = cluster.run(wl)  # raises SanitizerViolation on regression
+    assert result.ok
+
+
+def test_stale_reply_is_discarded_without_merging():
+    """A provably stale reply must not be consumed: the freshness gate
+    fires and the requester's log is untouched (merging a stale log could
+    mask the staleness of the retried fetch)."""
+    from repro.core.base import ProtocolConfig
+    from repro.core.opt_track import OptTrackProtocol
+
+    placement = {"x": (0,), "y": (1,)}
+    cfgs = [
+        ProtocolConfig(n=3, site=i, replicas_of=placement, strict_remote_reads=False)
+        for i in range(3)
+    ]
+    writer, server, reader = (OptTrackProtocol(c) for c in cfgs)
+
+    # site 0 writes y (destined to site 1); site 2 learns of that write by
+    # fetching x from site 0 and absorbing the piggybacked log
+    res_y = writer.write("y", 1)
+    res_x = writer.write("x", 2)
+    req = reader.make_fetch_request("x", server=0)
+    reply = writer.serve_fetch(req)
+    assert reader.reply_is_fresh(reply)  # served by the writer itself
+    reader.complete_remote_read(reply)
+
+    # server 1 has not applied w(y) yet: its reply to a fetch of y is stale
+    req_y = reader.make_fetch_request("y", server=1)
+    stale = server.serve_fetch(req_y)
+    assert not reader.reply_is_fresh(stale)
+
+    # after the server applies the in-flight update, a re-fetch is fresh
+    (msg,) = res_y.messages
+    assert server.can_apply(msg)
+    server.apply_update(msg)
+    fresh = server.serve_fetch(reader.make_fetch_request("y", server=1))
+    assert reader.reply_is_fresh(fresh)
+    value, wid = reader.complete_remote_read(fresh)
+    assert (value, wid) == (1, res_y.write_id)
+
+
+def test_strict_mode_replies_always_fresh():
+    """In strict mode the server defers until the piggybacked dependency
+    summary is applied, so the freshness gate never fires — the retry path
+    is lenient-only."""
+    from repro.core.base import ProtocolConfig
+    from repro.core.full_track import FullTrackProtocol
+
+    placement = {"x": (0,), "y": (1,)}
+    cfgs = [
+        ProtocolConfig(n=3, site=i, replicas_of=placement, strict_remote_reads=True)
+        for i in range(3)
+    ]
+    writer, server, reader = (FullTrackProtocol(c) for c in cfgs)
+    res_y = writer.write("y", 1)
+    writer.write("x", 2)
+    reply = writer.serve_fetch(reader.make_fetch_request("x", server=0))
+    reader.complete_remote_read(reply)
+
+    req_y = reader.make_fetch_request("y", server=1)
+    assert not server.can_serve_fetch(req_y)  # strict server would defer
+    (msg,) = res_y.messages
+    server.apply_update(msg)
+    assert server.can_serve_fetch(req_y)
+    assert reader.reply_is_fresh(server.serve_fetch(req_y))

@@ -1,0 +1,319 @@
+"""The networked KV service end to end over the loopback transport.
+
+Every test here runs the *real* server/client/wire code paths — frames
+cross a full encode/decode round trip — with no sockets, so the suite
+stays deterministic and CI-safe.  The causal sanitizer shadows the
+cluster wherever the scenario produces causally meaningful traffic.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.obs.recorder import TraceRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.service.harness import ServiceCluster
+from repro.service.loadgen import LoadGenerator
+from repro.service.transport import LoopbackTransport
+from repro.types import WriteId
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# basic request paths
+# ----------------------------------------------------------------------
+class TestBasicPaths:
+    def test_put_then_get_same_session(self):
+        async def main():
+            async with ServiceCluster(3, 6, "opt-track", replication_factor=2,
+                                      sanitize=True) as cluster:
+                c = cluster.client(home=0)
+                wid = await c.put("x0", "hello")
+                value, got, by = await c.get("x0")
+                await c.close()
+                return wid, value, got, by
+
+        wid, value, got, by = run(main())
+        assert wid == WriteId(0, 1)
+        assert value == "hello"
+        assert got == wid
+
+    def test_remote_get_of_unreplicated_variable(self):
+        async def main():
+            # x placed only on site 1; the client's home site 0 must do
+            # the paper's RemoteFetch on its behalf
+            placement = {"x": (1,), "y": (0, 2)}
+            async with ServiceCluster(3, 1, "opt-track", placement=placement,
+                                      sanitize=True) as cluster:
+                cluster.variables = ["x", "y"]
+                writer = cluster.client(home=1)
+                await writer.put("x", 41)
+                reader = cluster.client(home=0)
+                value, wid, by = await reader.get("x")
+                await writer.close()
+                await reader.close()
+                return value, wid, by
+
+        value, wid, by = run(main())
+        assert (value, wid) == (41, WriteId(1, 1))
+        assert by == 1  # served by x's replica through site 0
+
+    def test_read_of_unwritten_variable_returns_initial(self):
+        async def main():
+            async with ServiceCluster(2, 2, "full-track") as cluster:
+                c = cluster.client(home=1)
+                value, wid, _ = await c.get("x1")
+                await c.close()
+                return value, wid
+
+        value, wid = run(main())
+        assert value is None and wid is None
+
+    def test_replication_converges_across_sites(self):
+        async def main():
+            async with ServiceCluster(3, 3, "opt-track-crp") as cluster:
+                c0 = cluster.client(home=0)
+                await c0.put("x0", "from-0")
+                await cluster.quiesce()
+                c2 = cluster.client(home=2)
+                value, wid, by = await c2.get("x0")
+                await c0.close()
+                await c2.close()
+                return value, wid, by
+
+        value, wid, by = run(main())
+        assert (value, wid, by) == ("from-0", WriteId(0, 1), 2)
+
+    def test_ping(self):
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track") as cluster:
+                c = cluster.client()
+                alive = [await c.ping(0), await c.ping(1)]
+                await c.close()
+                return alive
+
+        assert run(main()) == [True, True]
+
+
+# ----------------------------------------------------------------------
+# failure handling
+# ----------------------------------------------------------------------
+class TestFailover:
+    def test_dead_home_site_degrades_to_replica(self):
+        async def main():
+            async with ServiceCluster(3, 6, "opt-track", replication_factor=2,
+                                      sanitize=True) as cluster:
+                feeder = cluster.client(home=1)
+                await feeder.put("x0", "durable")
+                await cluster.quiesce()
+                cluster.kill_site(1)
+                # home site 1 is gone: the client must retry, back off,
+                # and serve the read from a surviving replica of x0
+                c = cluster.client(home=1, timeout=0.2)
+                value, wid, by = await c.get("x0")
+                await feeder.close()
+                await c.close()
+                return value, wid, by, cluster.placement["x0"], c.failovers
+
+        value, wid, by, replicas, failovers = run(main())
+        assert value == "durable"
+        assert wid == WriteId(1, 1)
+        assert by in replicas and by != 1
+        assert failovers >= 1
+
+    def test_all_replicas_dead_surfaces_unavailable(self):
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track", replication_factor=2) as cluster:
+                cluster.kill_site(0)
+                cluster.kill_site(1)
+                c = cluster.client(home=0, timeout=0.1, max_rounds=2,
+                                   backoff_base=0.001)
+                with pytest.raises(ServiceUnavailableError, match="every candidate"):
+                    await c.get("x0")
+                await c.close()
+
+        run(main())
+
+    def test_kill_frame_stops_site(self):
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track") as cluster:
+                c = cluster.client()
+                assert await c.kill(1)
+                for _ in range(100):
+                    if cluster.servers[1].stopped:
+                        break
+                    await asyncio.sleep(0.005)
+                await c.close()
+                return cluster.servers[1].stopped, cluster.live_sites
+
+        stopped, live = run(main())
+        assert stopped and live == [0]
+
+    def test_writes_queued_while_peer_down_are_not_lost_to_survivors(self):
+        async def main():
+            async with ServiceCluster(3, 3, "opt-track", replication_factor=3,
+                                      sanitize=True) as cluster:
+                cluster.kill_site(2)
+                c = cluster.client(home=0)
+                await c.put("x0", "survives")
+                # replication to the live peer completes even though the
+                # link to the dead site keeps retrying in the background
+                c1 = cluster.client(home=1)
+                for _ in range(200):
+                    value, wid, _ = await c1.get("x0")
+                    if value == "survives":
+                        break
+                    await asyncio.sleep(0.005)
+                await c.close()
+                await c1.close()
+                return value, wid
+
+        value, wid = run(main())
+        assert (value, wid) == ("survives", WriteId(0, 1))
+
+
+# ----------------------------------------------------------------------
+# causal safety through the service stack
+# ----------------------------------------------------------------------
+class TestCausalSafety:
+    def test_sanitizer_shadow_checks_service_applies(self):
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(3, 6, "opt-track", replication_factor=2,
+                                      sanitize=True, metrics=metrics) as cluster:
+                gen = LoadGenerator(cluster, workload="a", ops_per_site=40,
+                                    seed=7, metrics=metrics)
+                report = await gen.run()
+                await cluster.quiesce()
+                return report, cluster.sanitizer.checks_run
+
+        report, checks = run(main())  # SanitizerViolation would propagate
+        assert report.errors == 0
+        assert checks > 0
+
+    def test_strict_mode_over_the_wire(self):
+        async def main():
+            async with ServiceCluster(3, 6, "full-track", replication_factor=2,
+                                      strict_remote_reads=True,
+                                      sanitize=True) as cluster:
+                c = cluster.client(home=0)
+                for i in range(5):
+                    await c.put("x0", f"v{i}")
+                    value, _, _ = await c.get("x0")
+                    assert value == f"v{i}"
+                await cluster.quiesce()
+                await c.close()
+
+        run(main())
+
+    def test_recorder_captures_service_spans(self):
+        async def main():
+            rec = TraceRecorder(meta={"source": "service-test"})
+            async with ServiceCluster(2, 2, "opt-track", recorder=rec) as cluster:
+                c = cluster.client(home=0)
+                await c.put("x0", 1)
+                await cluster.quiesce()
+                await c.get("x0")
+                await c.close()
+            return rec
+
+        rec = run(main())
+        kinds = [r["k"] for r in rec.records]
+        # the same span vocabulary the simulator emits, so repro-sim
+        # trace renders service runs unchanged
+        for expected in ("issue", "send", "deliver", "apply", "read"):
+            assert expected in kinds, kinds
+        issue = next(r for r in rec.records if r["k"] == "issue")
+        assert issue["w"] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# load generation / bench plumbing
+# ----------------------------------------------------------------------
+class TestLoadGen:
+    def test_report_has_latency_percentiles_from_registry(self):
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(2, 4, "opt-track", metrics=metrics) as cluster:
+                gen = LoadGenerator(cluster, workload="b", ops_per_site=30,
+                                    metrics=metrics)
+                report = await gen.run()
+                await cluster.quiesce()
+                return report, metrics
+
+        report, metrics = run(main())
+        assert report.errors == 0
+        assert report.ops == 60
+        assert report.ops_per_s > 0
+        get = report.latency_ms["get"]
+        assert get["count"] > 0
+        assert get["p50"] is not None and get["p99"] is not None
+        assert get["p50"] <= get["p99"]
+        # the percentiles come from the shared registry histograms
+        hist = metrics.histogram("service_latency_ms", op="get")
+        assert hist.count == get["count"]
+        text = report.format()
+        assert "p50" in text and "p99" in text and "ops/s" in text
+
+    def test_loadgen_progress_counter(self):
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track") as cluster:
+                gen = LoadGenerator(cluster, workload="c", ops_per_site=10)
+                assert gen.total_ops == 20
+                report = await gen.run()
+                return gen.completed, report.ops
+
+        completed, ops = run(main())
+        assert completed == ops == 20
+
+
+# ----------------------------------------------------------------------
+# transport semantics the service relies on
+# ----------------------------------------------------------------------
+class TestLoopbackTransport:
+    def test_kill_severs_established_connections(self):
+        async def main():
+            t = LoopbackTransport()
+            got = []
+
+            async def handler(conn):
+                while (frame := await conn.recv()) is not None:
+                    got.append(frame)
+
+            await t.listen("a", handler)
+            conn = await t.connect("a")
+            from repro.service import wire
+            await conn.send(wire.make_frame("ping"))
+            t.kill("a")
+            with pytest.raises(ConnectionError):
+                await conn.send(wire.make_frame("ping"))
+            with pytest.raises(ConnectionError):
+                await t.connect("a")
+            await t.close()
+
+        run(main())
+
+    def test_frames_round_trip_through_codec(self):
+        async def main():
+            t = LoopbackTransport()
+            seen = []
+
+            async def handler(conn):
+                seen.append(await conn.recv())
+
+            await t.listen("b", handler)
+            conn = await t.connect("b")
+            from repro.service import wire
+            # tuple keys/values must arrive as their JSON shapes: the
+            # loopback is not allowed to pass objects by reference
+            await conn.send(wire.make_frame("x", pair=(1, 2)))
+            await asyncio.sleep(0.01)
+            await t.close()
+            return seen
+
+        (frame,) = run(main())
+        assert frame["pair"] == [1, 2]

@@ -309,6 +309,75 @@ class TestAdHocLogging:
 
 
 # ----------------------------------------------------------------------
+# blocking-io
+# ----------------------------------------------------------------------
+class TestBlockingIo:
+    def test_time_sleep_in_coroutine_fires(self):
+        src = "import time\nasync def f():\n    time.sleep(0.1)\n"
+        out = run(src, module="repro.service.server")
+        assert rules_of(out) == ["blocking-io"]
+        assert "asyncio.sleep" in out[0].message
+
+    def test_time_sleep_in_sync_helper_fires(self):
+        # helpers run on the event loop too: still a stall
+        src = "import time\ndef backoff():\n    time.sleep(0.5)\n"
+        assert rules_of(run(src, module="repro.service.client")) == ["blocking-io"]
+
+    def test_from_time_import_sleep_fires(self):
+        out = run("from time import sleep\n", module="repro.service.loadgen")
+        assert rules_of(out) == ["blocking-io"]
+
+    def test_socket_import_fires(self):
+        assert rules_of(run("import socket\n", module="repro.service.server")) == [
+            "blocking-io"
+        ]
+        out = run("from socket import create_connection\n", module="repro.service.wire")
+        assert rules_of(out) == ["blocking-io"]
+
+    @pytest.mark.parametrize("module", ["socketserver", "selectors"])
+    def test_other_sync_io_machinery_fires(self, module):
+        assert rules_of(run(f"import {module}\n", module="repro.service.cli")) == [
+            "blocking-io"
+        ]
+
+    def test_asyncio_sleep_is_quiet(self):
+        src = "import asyncio\nasync def f():\n    await asyncio.sleep(0.1)\n"
+        assert run(src, module="repro.service.server") == []
+
+    def test_time_monotonic_is_quiet(self):
+        # reading the clock does not block; only sleeping does
+        src = "import time\ndef now():\n    return time.monotonic()\n"
+        assert run(src, module="repro.service.server") == []
+
+    def test_outside_scope_is_quiet(self):
+        src = "import time\ndef f():\n    time.sleep(1)\n"
+        assert run(src, module="repro.analysis.runner") == []
+        assert run("import socket\n", module="repro.cli") == []
+
+    def test_allowlisted_module_is_quiet(self):
+        allow = [AllowEntry("blocking-io", "repro.service.debug", "repl aid")]
+        src = "import time\ndef f():\n    time.sleep(1)\n"
+        assert run(src, module="repro.service.debug", allow=allow) == []
+
+
+# ----------------------------------------------------------------------
+# service layering (the DAG covers the new package)
+# ----------------------------------------------------------------------
+class TestServiceLayering:
+    def test_service_may_import_workload(self):
+        out = run("from repro.workload.ycsb import ycsb\n", module="repro.service.loadgen")
+        assert out == []
+
+    def test_sim_importing_service_fires(self):
+        out = run("from repro.service.wire import WIRE_VERSION\n", module="repro.sim.site")
+        assert rules_of(out) == ["import-layering"]
+
+    def test_core_importing_service_fires(self):
+        out = run("import repro.service.server\n", module="repro.core.base")
+        assert rules_of(out) == ["import-layering"]
+
+
+# ----------------------------------------------------------------------
 # suppressions and allowlist machinery
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -393,6 +462,7 @@ class TestRepositoryIsClean:
             "bare-except",
             "hook-shadow",
             "adhoc-logging",
+            "blocking-io",
         }
 
 
