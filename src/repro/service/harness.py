@@ -158,7 +158,14 @@ class ServiceCluster:
     async def quiesce(self, timeout: float = 5.0) -> None:
         """Wait until replication settles at every *live* site: all peer
         links between live sites drained and no parked update can apply.
-        Raises ``TimeoutError`` if the cluster does not settle."""
+        Raises ``TimeoutError`` if the cluster does not settle.
+
+        Soundness: a link's backlog is **ack-gated** — a repl frame
+        counts until the receiving site has *processed* it (acks follow
+        the apply/park, see :class:`~repro.service.server.PeerLink`), so
+        an update can never be invisible to both the backlog and the
+        receiver at once.  Settlement must additionally hold on two
+        consecutive polls, covering any one-tick scheduling window."""
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
 
@@ -174,7 +181,11 @@ class ServiceCluster:
                     return False
             return True
 
-        while not settled():
+        stable = 0
+        while stable < 2:
+            stable = stable + 1 if settled() else 0
+            if stable >= 2:
+                return
             if loop.time() > deadline:
                 raise TimeoutError("service cluster failed to quiesce")
             await asyncio.sleep(0.005)

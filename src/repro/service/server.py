@@ -28,12 +28,23 @@ Request paths (the home-site session model):
   retriable ``unavailable`` error and the client fails over to another
   replica of the key.
 
-Inbound ``repl`` frames carry a per-link sequence number; duplicates from
-reconnect resends are dropped before touching the protocol, turning the
-link's at-least-once delivery into exactly-once application.  Updates
-whose activation predicate is false are parked and re-evaluated after
-every apply (a rescan drain — service deployments are a handful of sites,
-so the simulator's wake index is not worth its bookkeeping here).
+Peer links are **acknowledged**: every link connection opens with a
+``link.hello`` handshake naming the sender's incarnation ``epoch``, and
+the receiver answers ``link.ok`` with its cumulative per-link ack.  A
+``repl`` frame leaves the sender's queue only when the receiver has
+acknowledged it (``repl.ack``, sent after the update is applied or
+parked) — a transport-level send success (e.g. TCP accepting bytes into
+a kernel buffer the peer never reads) is *not* enough, so a frame lost
+mid-connection is resent after the next handshake.  The receiver
+processes only the contiguous next sequence number (``ls == seen + 1``),
+drops duplicates, and refuses gaps without acking, which turns the
+link's at-least-once delivery into exactly-once application; a new
+epoch (a restarted sender) resets the receiver's dedup state so a fresh
+incarnation's sequence numbers are not mistaken for duplicates.
+
+Updates whose activation predicate is false are parked and re-evaluated
+after every apply (a rescan drain — service deployments are a handful of
+sites, so the simulator's wake index is not worth its bookkeeping here).
 
 The observability hooks mirror the simulator byte-for-byte: the causal
 sanitizer (when attached) sees the same ``on_write`` / ``before_apply`` /
@@ -45,8 +56,9 @@ sanitizer (when attached) sees the same ``on_write`` / ``before_apply`` /
 from __future__ import annotations
 
 import asyncio
+import os
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -67,17 +79,23 @@ MAX_STALE_FETCH_RETRIES = 100
 #: consecutive stale reply; gives the in-flight update time to land)
 STALE_RETRY_PAUSE = 0.002
 
+#: bound on waiting for the peer's ``link.ok`` handshake reply, seconds
+LINK_HANDSHAKE_TIMEOUT = 2.0
+
 
 class PeerLink:
     """Outbound frame queue to one peer site, with reconnect + resend.
 
-    Frames are sent in FIFO order by a single sender task; a frame is
-    dequeued only after a successful send, so frames queued while the
-    peer is down (or that failed mid-send) are resent after reconnect.
-    The receiver deduplicates ``repl`` frames by link sequence number.
-    The same connection carries this site's fetch requests; a paired
-    reader task routes the ``fetch.ok`` / ``fetch.err`` responses back to
-    the owning server's waiter table.
+    Every connection opens with a ``link.hello``/``link.ok`` handshake
+    (see the module docstring).  ``repl`` frames are sent in FIFO order
+    by a single sender task but **retired only by a receiver-side ack**
+    — the handshake's cumulative ack or an in-band ``repl.ack`` — never
+    by transport send success alone, so a frame the transport accepted
+    but the peer never processed is resent on the next connection.
+    Fetch requests ride the same connection fire-and-forget (the
+    requester's timeout covers their loss); a paired reader task routes
+    ``fetch.ok`` / ``fetch.err`` responses back to the owning server's
+    waiter table and applies incoming ``repl.ack`` frames.
     """
 
     def __init__(
@@ -94,7 +112,10 @@ class PeerLink:
         self.address = address
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
-        self._queue: Deque[Dict[str, Any]] = deque()
+        #: unacknowledged repl frames, FIFO by their ``ls`` field
+        self._repl: Deque[Dict[str, Any]] = deque()
+        #: pending fetch requests (retired on send; no ack bookkeeping)
+        self._fetch: Deque[Dict[str, Any]] = deque()
         self._wakeup = asyncio.Event()
         self._link_seq = 0
         self._closed = False
@@ -106,16 +127,19 @@ class PeerLink:
 
     def enqueue_update(self, msg: UpdateMessage) -> None:
         self._link_seq += 1
-        self._queue.append(wire.encode_update(msg, self._link_seq))
+        self._repl.append(wire.encode_update(msg, self._link_seq))
         self._wakeup.set()
 
     def enqueue_fetch(self, req: FetchRequest) -> None:
-        self._queue.append(wire.encode_fetch_request(req))
+        self._fetch.append(wire.encode_fetch_request(req))
         self._wakeup.set()
 
     @property
     def backlog(self) -> int:
-        return len(self._queue)
+        """Frames not yet *processed* by the peer: repl frames count
+        until acknowledged, not merely until handed to the transport —
+        this is what makes :meth:`ServiceCluster.quiesce` sound."""
+        return len(self._repl) + len(self._fetch)
 
     async def close(self) -> None:
         self._closed = True
@@ -142,39 +166,98 @@ class PeerLink:
                 await asyncio.sleep(backoff * (1.0 + rng.uniform(0.0, 0.5)))
                 backoff = min(backoff * 2.0, self.backoff_cap)
                 continue
+            try:
+                acked = await self._handshake(conn)
+            except (ConnectionError, OSError, WireError, asyncio.TimeoutError):
+                self.owner.metric("link_connect_failures_total", peer=self.dest)
+                await conn.close()
+                await asyncio.sleep(backoff * (1.0 + rng.uniform(0.0, 0.5)))
+                backoff = min(backoff * 2.0, self.backoff_cap)
+                continue
             backoff = self.backoff_base
+            # run writer and reader side by side and reconnect when
+            # EITHER dies: a send failure, or the reader seeing EOF (a
+            # peer that restarted or silently closed) — unacked repl
+            # frames are resent after the next handshake
+            writer = asyncio.ensure_future(self._drain_queue(conn, acked))
             reader = asyncio.ensure_future(self._read_replies(conn))
             try:
-                await self._drain_queue(conn)
-            except (ConnectionError, OSError, WireError):
-                self.owner.metric("link_drops_total", peer=self.dest)
+                await asyncio.wait(
+                    {writer, reader}, return_when=asyncio.FIRST_COMPLETED
+                )
             finally:
-                reader.cancel()
-                try:
-                    await reader
-                except asyncio.CancelledError:
-                    pass
+                for task in (writer, reader):
+                    task.cancel()
+                    try:
+                        await task
+                    except (
+                        asyncio.CancelledError,
+                        ConnectionError,
+                        OSError,
+                        WireError,
+                    ):
+                        pass
                 await conn.close()
+            if not self._closed:
+                self.owner.metric("link_drops_total", peer=self.dest)
 
-    async def _drain_queue(self, conn: Connection) -> None:
+    async def _handshake(self, conn: Connection) -> int:
+        """Open the link: identify this sender incarnation and learn the
+        receiver's cumulative ack, retiring frames it already has."""
+        await conn.send(
+            wire.make_frame("link.hello", src=self.owner.site, epoch=self.owner.epoch)
+        )
+        reply = await asyncio.wait_for(conn.recv(), LINK_HANDSHAKE_TIMEOUT)
+        if reply is None or reply.get("t") != "link.ok":
+            raise ConnectionResetError(
+                f"peer {self.dest} did not complete the link handshake"
+            )
+        acked = int(reply.get("ack", 0))
+        self._retire(acked)
+        return acked
+
+    def _retire(self, ack: int) -> None:
+        """Drop repl frames up to the receiver's cumulative ack."""
+        while self._repl and int(self._repl[0]["ls"]) <= ack:
+            self._repl.popleft()
+
+    async def _drain_queue(self, conn: Connection, acked: int) -> None:
+        # ``sent`` tracks the highest repl seq written to THIS
+        # connection; frames stay in ``_repl`` until the receiver acks
+        # them (linear rescan per frame — the unacked window is small
+        # because acks retire the prefix as they arrive)
+        sent = acked
         while not self._closed:
-            while self._queue and not self._closed:
-                # peek-send-pop: a frame is dropped from the queue only
-                # once the transport accepted it, so a send failure here
-                # leaves it queued for resend on the next connection
-                await conn.send(self._queue[0])
-                self._queue.popleft()
+            frame = self._next_unsent(sent)
+            while frame is not None and not self._closed:
+                await conn.send(frame)
+                if frame["t"] == "repl":
+                    sent = int(frame["ls"])
+                elif self._fetch and self._fetch[0] is frame:
+                    self._fetch.popleft()
+                frame = self._next_unsent(sent)
             self._wakeup.clear()
             if self._closed:
                 return
             await self._wakeup.wait()
+
+    def _next_unsent(self, sent: int) -> Optional[Dict[str, Any]]:
+        for frame in self._repl:
+            if int(frame["ls"]) > sent:
+                return frame
+        if self._fetch:
+            return self._fetch[0]
+        return None
 
     async def _read_replies(self, conn: Connection) -> None:
         while True:
             frame = await conn.recv()
             if frame is None:
                 return
-            if frame.get("t") in ("fetch.ok", "fetch.err"):
+            kind = frame.get("t")
+            if kind == "repl.ack":
+                self._retire(int(frame["a"]))
+            elif kind in ("fetch.ok", "fetch.err"):
                 self.owner._resolve_fetch(frame)
 
 
@@ -207,16 +290,24 @@ class SiteServer:
         self.fetch_timeout = fetch_timeout
         self.seed = seed
 
+        #: this incarnation's identity for the link handshake: a
+        #: restarted site restarts its link sequence numbers, so it must
+        #: not inherit its predecessor's dedup state at the peers
+        self.epoch = int.from_bytes(os.urandom(6), "big")
         #: updates whose activation predicate was false on arrival
         self._parked: List[UpdateMessage] = []
         #: arrival timestamp per parked/applied write, for apply spans
         self._recv_at: Dict[WriteId, float] = {}
-        #: last link sequence number seen per sender (repl dedup)
+        #: last contiguously processed link sequence number per sender
         self._seen_ls: Dict[SiteId, int] = {}
+        #: sender incarnation the dedup state belongs to, per sender
+        self._peer_epoch: Dict[SiteId, int] = {}
         #: waiters notified after every apply (strict gates, parked reads)
         self._progress = asyncio.Condition()
         self._links: Dict[SiteId, PeerLink] = {}
         self._fetch_waiters: Dict[int, asyncio.Future] = {}
+        #: established inbound connections, closed on stop()
+        self._server_conns: Set[Connection] = set()
         self._listener: Optional[Listener] = None
         self._stopped = asyncio.Event()
         self._t0 = 0.0
@@ -246,8 +337,13 @@ class SiteServer:
         if self._listener is not None:
             await self._listener.close()
             self._listener = None
+        # sever established connections so clients see EOF instead of a
+        # site that accepts requests it can no longer serve
+        for conn in list(self._server_conns):
+            await conn.close()
         for link in self._links.values():
             await link.close()
+        self._links.clear()
         for fut in self._fetch_waiters.values():
             if not fut.done():
                 fut.cancel()
@@ -265,19 +361,43 @@ class SiteServer:
     # connection handling
     # ------------------------------------------------------------------
     async def _handle_conn(self, conn: Connection) -> None:
+        if self.stopped:
+            await conn.close()
+            return
+        self._server_conns.add(conn)
         try:
-            while not self.stopped:
+            while True:
                 frame = await conn.recv()
                 if frame is None:
+                    return
+                if self.stopped:
+                    # stop() can land between recv and dispatch: refuse
+                    # rather than half-serve — a put accepted here would
+                    # be acked to the client but never replicated, since
+                    # the peer links are already closed
+                    await conn.send(
+                        wire.err_frame(
+                            "shutting-down", f"site {self.site} is shutting down"
+                        )
+                    )
                     return
                 await self._dispatch(conn, frame)
         except (ConnectionError, OSError):
             return
+        except ServiceUnavailableError as exc:
+            # e.g. _link() refusing after stop(); retriable at the client
+            try:
+                await conn.send(wire.err_frame("shutting-down", str(exc)))
+            except (ConnectionError, OSError):
+                pass
         except WireError as exc:
             try:
                 await conn.send(wire.err_frame("bad-frame", str(exc)))
             except (ConnectionError, OSError):
                 pass
+        finally:
+            self._server_conns.discard(conn)
+            await conn.close()
 
     async def _dispatch(self, conn: Connection, frame: Dict[str, Any]) -> None:
         kind = frame["t"]
@@ -286,7 +406,9 @@ class SiteServer:
         elif kind == "get":
             await self._handle_get(conn, frame)
         elif kind == "repl":
-            self._handle_repl(frame)
+            await self._handle_repl(conn, frame)
+        elif kind == "link.hello":
+            await self._handle_hello(conn, frame)
         elif kind == "fetch":
             # served in its own task: a strict-mode fetch can block on
             # this site's apply progress, and the repl frames that unblock
@@ -297,6 +419,9 @@ class SiteServer:
             await conn.send(wire.make_frame("ping.ok", site=self.site))
         elif kind == "kill":
             await conn.send(wire.make_frame("kill.ok", site=self.site))
+            # mark stopped before the async teardown runs so any frame
+            # already in flight is refused, not half-served
+            self._stopped.set()
             asyncio.ensure_future(self.stop())
         else:
             await conn.send(wire.err_frame("bad-frame", f"unknown type {kind!r}"))
@@ -420,13 +545,36 @@ class SiteServer:
     # ------------------------------------------------------------------
     # peer traffic
     # ------------------------------------------------------------------
-    def _handle_repl(self, frame: Dict[str, Any]) -> None:
+    async def _handle_hello(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        src = int(frame["src"])
+        epoch = int(frame["epoch"])
+        if self._peer_epoch.get(src) != epoch:
+            # a new sender incarnation restarts its link sequence at 1:
+            # the dedup high-water mark must restart with it, or every
+            # frame from the restarted site would be dropped as a dup
+            self._peer_epoch[src] = epoch
+            self._seen_ls[src] = 0
+        await conn.send(
+            wire.make_frame("link.ok", site=self.site, ack=self._seen_ls.get(src, 0))
+        )
+
+    async def _handle_repl(self, conn: Connection, frame: Dict[str, Any]) -> None:
         src = int(frame["src"])
         link_seq = int(frame["ls"])
-        if link_seq <= self._seen_ls.get(src, 0):
+        seen = self._seen_ls.get(src, 0)
+        if link_seq <= seen:
+            # resend of a frame processed over an earlier connection;
+            # re-ack cumulatively so the sender can retire it
             self.metric("service_repl_dups_total")
+            await self._send_ack(conn, seen)
             return
-        self._seen_ls[src] = link_seq
+        if link_seq != seen + 1:
+            # gap: an earlier frame of this link was lost in flight.
+            # Don't ack, don't advance — advancing here would silently
+            # skip the lost update forever; the sender renegotiates from
+            # the last contiguous ack at its next handshake and resends.
+            self.metric("service_repl_gaps_total")
+            return
         msg = wire.decode_update(frame)
         now = self.now_ms()
         self._recv_at[msg.write_id] = now
@@ -442,6 +590,17 @@ class SiteServer:
                     now, self.site, msg.write_id, self.protocol.blocking_deps(msg) or ()
                 )
             self._parked.append(msg)
+        # the ack follows processing (applied or parked), so an acked
+        # frame is guaranteed to be inside this site's protocol state
+        self._seen_ls[src] = link_seq
+        await self._send_ack(conn, link_seq)
+
+    async def _send_ack(self, conn: Connection, ack: int) -> None:
+        try:
+            await conn.send(wire.make_frame("repl.ack", a=ack))
+        except (ConnectionError, OSError):
+            # sender is gone; it relearns the ack at its next handshake
+            pass
 
     async def _handle_fetch(self, conn: Connection, frame: Dict[str, Any]) -> None:
         req = wire.decode_fetch_request(frame)
@@ -527,6 +686,11 @@ class SiteServer:
                 return False
 
     def _link(self, dest: SiteId) -> PeerLink:
+        if self.stopped:
+            # a stopped site must never enqueue traffic on a link with
+            # no sender task behind it — the frame would sit there while
+            # the caller believes it is on its way
+            raise ServiceUnavailableError(f"site {self.site} is stopped")
         link = self._links.get(dest)
         if link is None:
             link = PeerLink(self, dest, self.addresses[dest])
@@ -535,4 +699,9 @@ class SiteServer:
         return link
 
 
-__all__ = ["SiteServer", "PeerLink", "MAX_STALE_FETCH_RETRIES"]
+__all__ = [
+    "SiteServer",
+    "PeerLink",
+    "MAX_STALE_FETCH_RETRIES",
+    "LINK_HANDSHAKE_TIMEOUT",
+]

@@ -18,9 +18,21 @@ Client-facing request/response::
 
 Server-to-server (peer links)::
 
-    repl     one UpdateMessage (REPLICATE), fire-and-forget; ``ls`` is a
-             per-link sequence number so resent frames after a reconnect
-             are deduplicated (at-least-once send, exactly-once apply)
+    link.hello  {v, t:"link.hello", src, epoch} -> link.ok {ack}
+             opens every peer-link connection.  ``epoch`` identifies the
+             sender *incarnation*: the receiver keys its repl dedup
+             state by (src, epoch) and resets it when a new epoch
+             connects, so a restarted site's fresh sequence numbers are
+             not mistaken for duplicates.  ``ack`` is the receiver's
+             cumulative per-link high-water mark; the sender retires
+             everything up to it and resends the rest.
+    repl     one UpdateMessage (REPLICATE); ``ls`` is a contiguous
+             per-link sequence number.  The receiver processes only
+             ``ls == seen + 1`` (drops duplicates, refuses gaps without
+             acking) and answers ``repl.ack {a}`` — a cumulative ack
+             sent only *after* the update is applied or parked.  The
+             sender retires a frame on ack, never on transport send
+             success alone: at-least-once delivery, exactly-once apply.
     fetch    one FetchRequest, answered by fetch.ok (correlated by ``fid``)
 
 ``err`` frames carry a machine-readable ``code``; codes in
@@ -54,8 +66,11 @@ from repro.core.messages import (
 from repro.errors import WireError
 from repro.types import WriteId
 
-#: bump on incompatible frame changes (see module docstring)
-WIRE_VERSION = 1
+#: bump on incompatible frame changes (see module docstring).
+#: v2: acknowledged peer links — repl requires the link.hello handshake,
+#: contiguous ``ls``, and repl.ack-driven retirement; a v1 peer would
+#: wedge replication silently, so the versions must not interoperate.
+WIRE_VERSION = 2
 
 #: hard cap on one frame's JSON body; protects both sides from a corrupt
 #: or hostile length prefix

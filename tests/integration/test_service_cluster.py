@@ -13,9 +13,10 @@ import pytest
 from repro.errors import ServiceUnavailableError
 from repro.obs.recorder import TraceRecorder
 from repro.obs.registry import MetricsRegistry
+from repro.service import wire
 from repro.service.harness import ServiceCluster
 from repro.service.loadgen import LoadGenerator
-from repro.service.transport import LoopbackTransport
+from repro.service.transport import Connection, LoopbackTransport
 from repro.types import WriteId
 
 
@@ -174,6 +175,162 @@ class TestFailover:
 
         value, wid = run(main())
         assert (value, wid) == ("survives", WriteId(0, 1))
+
+
+# ----------------------------------------------------------------------
+# peer-link protocol: acks, epochs, loss recovery
+# ----------------------------------------------------------------------
+class _LossyConnection(Connection):
+    """Wraps a loopback connection and silently drops the first ``repl``
+    frame — the transport "accepted" it, the peer never sees it — then
+    kills the underlying pair: the TCP kernel-buffer failure mode where
+    ``send`` succeeding says nothing about delivery."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._dropped = False
+
+    async def send(self, frame):
+        if self._dropped:
+            raise ConnectionResetError("link died after the frame loss")
+        if frame.get("t") == "repl":
+            self._dropped = True
+            await self._inner.close()
+            return  # bytes accepted, never delivered
+        await self._inner.send(frame)
+
+    async def recv(self):
+        return await self._inner.recv()
+
+    async def close(self):
+        await self._inner.close()
+
+    @property
+    def peer(self):
+        return self._inner.peer
+
+
+class _FrameDroppingTransport(LoopbackTransport):
+    """The first connection to ``victim`` loses its first repl frame."""
+
+    def __init__(self, victim):
+        super().__init__()
+        self._victim = victim
+        self._armed = True
+
+    async def connect(self, address):
+        inner = await super().connect(address)
+        if address == self._victim and self._armed:
+            self._armed = False
+            return _LossyConnection(inner)
+        return inner
+
+
+class TestLinkProtocol:
+    def test_repl_frame_lost_after_transport_accept_is_resent(self):
+        # regression: with pop-on-send, a frame lost between transport
+        # accept and receiver processing was gone forever (the dedup
+        # high-water mark silently jumped the gap on the next frame);
+        # with ack-gated retirement it is resent after reconnect
+        async def main():
+            transport = _FrameDroppingTransport("site-1")
+            async with ServiceCluster(2, 2, "opt-track", replication_factor=2,
+                                      sanitize=True,
+                                      transport=transport) as cluster:
+                c0 = cluster.client(home=0)
+                await c0.put("x0", "must-arrive")
+                await cluster.quiesce(timeout=10.0)
+                c1 = cluster.client(home=1)
+                value, wid, by = await c1.get("x0")
+                await c0.close()
+                await c1.close()
+                return value, wid, by, cluster.servers[1].applies
+
+        value, wid, by, applies = run(main())
+        assert (value, wid, by) == ("must-arrive", WriteId(0, 1), 1)
+        assert applies == 1  # resent exactly once, applied exactly once
+
+    def test_handshake_acks_dedup_and_epoch_reset(self):
+        # drive the link protocol with raw frames: contiguity, cumulative
+        # re-ack of duplicates, gap refusal, and the epoch handshake that
+        # resets dedup state for a restarted sender incarnation
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track",
+                                      replication_factor=2) as cluster:
+                receiver = cluster.servers[1]
+                # a site-0 protocol twin mints real updates for site 1
+                proto = cluster.servers[0].protocol
+                conn = await cluster.transport.connect("site-1")
+
+                await conn.send(wire.make_frame("link.hello", src=0, epoch=11))
+                ok = await conn.recv()
+                assert ok["t"] == "link.ok" and ok["ack"] == 0
+
+                m1 = next(m for m in proto.write("x0", "v1").messages
+                          if m.dest == 1)
+                await conn.send(wire.encode_update(m1, 1))
+                ack = await conn.recv()
+                assert (ack["t"], ack["a"]) == ("repl.ack", 1)
+                assert receiver.applies == 1
+
+                # duplicate: dropped at the link layer, re-acked so the
+                # sender can retire it, protocol untouched
+                await conn.send(wire.encode_update(m1, 1))
+                ack = await conn.recv()
+                assert (ack["t"], ack["a"]) == ("repl.ack", 1)
+                assert receiver.applies == 1
+
+                # gap: ls=3 while seen=1 — refused without ack or advance
+                m2 = next(m for m in proto.write("x0", "v2").messages
+                          if m.dest == 1)
+                await conn.send(wire.encode_update(m2, 3))
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(conn.recv(), 0.05)
+                assert receiver.applies == 1
+
+                # the contiguous retry lands
+                await conn.send(wire.encode_update(m2, 2))
+                ack = await conn.recv()
+                assert (ack["t"], ack["a"]) == ("repl.ack", 2)
+                assert receiver.applies == 2
+
+                # same incarnation reconnecting resumes at its high-water
+                # mark; a NEW incarnation (site restart) resets it, so the
+                # fresh link sequence starting at 1 is not dropped as a dup
+                await conn.send(wire.make_frame("link.hello", src=0, epoch=11))
+                assert (await conn.recv())["ack"] == 2
+                await conn.send(wire.make_frame("link.hello", src=0, epoch=99))
+                assert (await conn.recv())["ack"] == 0
+                await conn.close()
+
+        run(main())
+
+    def test_frames_in_flight_at_kill_are_refused_not_half_served(self):
+        # regression: a put that arrived just after the chaos kill used
+        # to be acked with put.ok while its updates were enqueued on
+        # closed links — an acknowledged write that never replicated
+        async def main():
+            async with ServiceCluster(3, 3, "opt-track",
+                                      replication_factor=3) as cluster:
+                conn = await cluster.transport.connect("site-1")
+                await conn.send(wire.make_frame("kill"))
+                # queued behind the kill on the same connection
+                await conn.send(wire.make_frame("put", var="x0", value="doomed"))
+                kill_ok = await conn.recv()
+                refusal = await conn.recv()
+                await conn.close()
+                # the client-facing path degrades to a surviving replica
+                c = cluster.client(home=1, timeout=0.2)
+                wid = await c.put("x0", "rerouted")
+                served = dict(c.served_by)
+                await c.close()
+                return kill_ok, refusal, wid, served
+
+        kill_ok, refusal, wid, served = run(main())
+        assert kill_ok["t"] == "kill.ok"
+        assert refusal["t"] == "err" and refusal["code"] == "shutting-down"
+        assert wid is not None
+        assert served and 1 not in served
 
 
 # ----------------------------------------------------------------------
