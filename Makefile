@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench table1 fig4 report trace-smoke serve-smoke
+.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench service-bench service-bench-fast table1 fig4 report trace-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,7 +28,7 @@ typecheck:
 # smoke tests, which live outside pytest's testpaths
 check: lint typecheck
 	$(PYTHON) -m pytest -x -q
-	$(PYTHON) -m pytest -x -q benchmarks/bench_sweep.py benchmarks/bench_hot_paths.py
+	$(PYTHON) -m pytest -x -q benchmarks/bench_sweep.py benchmarks/bench_hot_paths.py benchmarks/bench_service.py
 
 # End-to-end tracing smoke: record a lifecycle trace under three
 # protocols, replay each through the causal sanitizer oracle, render the
@@ -52,6 +52,17 @@ bench:
 
 bench-fast:
 	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json --fast
+
+# Regenerate BENCH_service.json (loopback + TCP ops/s and latency
+# percentiles under both wire profiles, plus the codec microbench) and
+# fail unless the WIRE_VERSION 3 binary profile beats the JSON baseline
+# by the codec-speedup floor on the reference loopback cell.  Details in
+# docs/performance.md ("Service throughput")
+service-bench:
+	$(PYTHON) -m repro.service.cli bench --ledger BENCH_service.json
+
+service-bench-fast:
+	$(PYTHON) -m repro.service.cli bench --ledger BENCH_service.json --fast
 
 # Regenerate BENCH_sweeps.json (serial vs --jobs fan-out vs warm cache)
 sweep-bench:

@@ -1,0 +1,74 @@
+"""Service wire throughput harness: the ``BENCH_service.json`` ledger.
+
+Regenerates ``BENCH_service.json`` (checked in at the repo root) — the
+measured basis for the service-throughput table in docs/performance.md
+and the WIRE_VERSION 3 numbers in docs/service.md.  Each cell drives the
+closed-loop YCSB load generator against a whole in-process cluster, over
+(loopback, tcp) x (json, binary): the JSON cells pin the cluster to the
+WIRE_VERSION 2 per-frame profile, the binary cells negotiate the
+WIRE_VERSION 3 batched profile.  ``write_report`` (and so
+``make service-bench``) fails unless the binary profile beats the JSON
+baseline by the codec-speedup floor on the reference loopback cell — the
+guardrail keeping the fast wire measurably fast.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--fast] [--out PATH]
+
+or via the CLI / make::
+
+    PYTHONPATH=src python -m repro.service.cli bench --ledger BENCH_service.json
+    make service-bench
+
+Also exposes a pytest smoke test so the harness itself cannot rot: a
+fast pass must produce every matrix cell, sane latency quantiles, and a
+well-formed guardrail block (fast mode exercises the machinery without
+judging the speedup — the run is too small for batches to form).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.service.bench import SPEEDUP_FLOOR, bench_service, write_report
+
+
+def test_service_bench_smoke():
+    report = bench_service(fast=True)
+    for transport in ("loopback", "tcp"):
+        cell = report["cells"][transport]
+        for codec in ("json", "binary"):
+            row = cell[codec]
+            assert row["ops"] > 0 and row["errors"] == 0, (transport, codec)
+            assert row["ops_per_s"] > 0
+            assert row["latency_ms"]["put"]["p50"] is not None
+            assert row["latency_ms"]["get"]["p99"] is not None
+        assert cell["speedup"] > 0
+    micro = report["codec_micro"]
+    for frame in ("repl", "repl.ack"):
+        assert micro[frame]["binary"]["body_bytes"] < micro[frame]["json"]["body_bytes"]
+        assert micro[frame]["size_ratio"] > 1.0
+    rail = report["guardrail"]
+    assert rail["speedup_floor"] == SPEEDUP_FLOOR
+    assert rail["transport"] == "loopback"
+    # fast mode reports but does not enforce the floor; the full run
+    # (make service-bench) is the enforcing gate
+    assert rail["ok"] and not rail["enforced"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--fast", action="store_true", help="single repeat, reduced load"
+    )
+    args = parser.parse_args()
+    report = write_report(args.out, fast=args.fast)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -611,6 +611,94 @@ class BlockingIoRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# wire codec discipline
+# ----------------------------------------------------------------------
+
+#: ``json`` module entry points that would serialize frames outside the
+#: negotiated codec machinery
+_JSON_SERDE = {"dumps", "loads", "dump", "load"}
+
+#: service modules allowed to touch ``json`` directly: the codec module
+#: itself, and the human-facing edges (CLI snapshot printing, the bench
+#: ledger writer) whose JSON never crosses a peer or client connection
+_WIRE_EXEMPT = {
+    "repro.service.wire",
+    "repro.service.cli",
+    "repro.service.bench",
+}
+
+
+class WireCodecRule(Rule):
+    """No raw ``json`` serialization on the service wire path.
+
+    Every frame that crosses a connection must go through
+    :mod:`repro.service.wire` — the codec registry is what makes the
+    WIRE_VERSION 3 negotiation sound (a hand-rolled ``json.dumps`` in
+    ``transport``/``server``/``client`` would silently bypass the
+    negotiated binary codec, and its frames would fail the length-prefix
+    + magic-byte sniffing on the other side).  Flags, in any
+    ``repro.service`` module other than the exempt edges:
+
+    * ``import json`` / ``from json import ...``;
+    * attribute calls ``json.dumps``/``loads``/``dump``/``load``
+      (caught even without the import, e.g. via an injected module).
+
+    Syntactic only: an aliased ``d = json.dumps; d(frame)`` is caught at
+    the alias site, not the call.  Allowlist payload: the module name.
+    """
+
+    name = "wire-codec"
+    summary = (
+        "raw json serialization on the service wire path — all frames "
+        "must go through repro.service.wire codecs"
+    )
+    scoped_prefixes = ("repro.service",)
+    exempt_modules = _WIRE_EXEMPT
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        if ctx.module in self.exempt_modules:
+            return
+        if ctx.module in ctx.allowed_payloads(self.name):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "json":
+                        yield Finding(
+                            self.name,
+                            ctx.path,
+                            node.lineno,
+                            "json import on the service wire path — frames "
+                            "must travel through the repro.service.wire "
+                            "codec registry (the negotiated binary profile "
+                            "depends on it)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "json":
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        "import from json on the service wire path — use "
+                        "the repro.service.wire codec registry",
+                    )
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id == "json" and node.attr in _JSON_SERDE:
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"json.{node.attr} on the service wire path would "
+                        f"bypass the negotiated codec — encode through "
+                        f"repro.service.wire instead",
+                    )
+
+
+# ----------------------------------------------------------------------
 # protocol hook shadowing
 # ----------------------------------------------------------------------
 
@@ -718,6 +806,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BareExceptRule(),
     AdHocLoggingRule(),
     BlockingIoRule(),
+    WireCodecRule(),
     HookShadowRule(),
 )
 

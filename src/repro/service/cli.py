@@ -95,10 +95,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--replication-factor", type=int, default=None)
     bench.add_argument("--workload", default="a", help="YCSB workload a/b/c/d/f")
     bench.add_argument("--ops-per-site", type=int, default=200)
+    bench.add_argument(
+        "--sessions", type=int, default=1, help="concurrent sessions per site"
+    )
+    bench.add_argument(
+        "--value-size", type=int, default=0, help="pad written values to N bytes"
+    )
+    bench.add_argument(
+        "--codec",
+        default="binary",
+        choices=("binary", "json"),
+        help="wire profile: binary = WIRE_VERSION 3 batched, json = v2 per-frame",
+    )
     bench.add_argument("--strict", action="store_true")
     bench.add_argument("--sanitize", action="store_true")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--json", action="store_true", help="emit the metrics snapshot")
+    bench.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="run the full transport x codec reference matrix instead, "
+        "write the BENCH_service.json ledger to PATH, and fail unless "
+        "the binary profile clears the codec-speedup guardrail",
+    )
+    bench.add_argument(
+        "--fast",
+        action="store_true",
+        help="with --ledger: single repeat on a reduced run (smoke use)",
+    )
 
     smoke = sub.add_parser("smoke", help="CI smoke gate (loopback, chaos, sanitizer)")
     smoke.add_argument("--sites", type=int, default=3)
@@ -178,6 +203,37 @@ async def _chaos_kill(args: argparse.Namespace) -> int:
 # loopback commands
 # ----------------------------------------------------------------------
 async def _bench(args: argparse.Namespace) -> int:
+    if args.ledger is not None:
+        from repro.service.bench import write_report
+
+        # write_report runs its own event loops (one per cell); hop off
+        # this one via a thread to keep the handler signature uniform
+        try:
+            report = await asyncio.to_thread(write_report, args.ledger, args.fast)
+        except RuntimeError as exc:
+            print(f"ledger {args.ledger}: GUARDRAIL FAILED — {exc}")
+            return 1
+        rail = report["guardrail"]
+        cells = report["cells"]
+        for transport in ("loopback", "tcp"):
+            row = cells[transport]
+            print(
+                f"  {transport:<9} json {row['json']['ops_per_s']:8.0f} ops/s"
+                f"   binary {row['binary']['ops_per_s']:8.0f} ops/s"
+                f"   speedup {row['speedup']:.2f}x"
+            )
+        if rail["enforced"]:
+            print(
+                f"ledger {args.ledger}: binary {rail['speedup']:.2f}x >= "
+                f"{rail['speedup_floor']:.2f}x floor on {rail['transport']}"
+            )
+        else:
+            print(
+                f"ledger {args.ledger}: binary {rail['speedup']:.2f}x on "
+                f"{rail['transport']} (fast run — {rail['speedup_floor']:.2f}x "
+                f"floor not enforced)"
+            )
+        return 0
     metrics = MetricsRegistry()
     async with ServiceCluster(
         args.sites,
@@ -188,11 +244,14 @@ async def _bench(args: argparse.Namespace) -> int:
         sanitize=args.sanitize,
         metrics=metrics,
         seed=args.seed,
+        codec=args.codec,
     ) as cluster:
         gen = LoadGenerator(
             cluster,
             workload=args.workload,
             ops_per_site=args.ops_per_site,
+            sessions=args.sessions,
+            value_size=args.value_size,
             seed=args.seed,
             metrics=metrics,
         )
@@ -201,7 +260,8 @@ async def _bench(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True))
     else:
-        print(f"protocol   {args.protocol} (workload {args.workload})")
+        print(f"protocol   {args.protocol} (workload {args.workload}, "
+              f"{args.codec} wire)")
         print(report.format())
     return 0 if report.errors == 0 else 1
 

@@ -57,10 +57,20 @@ class KVClient:
         backoff_cap: float = 0.25,
         metrics: Any = None,
         seed: int = 0,
+        codec: str = "binary",
     ) -> None:
+        if codec not in wire.CODECS:
+            raise ValueError(
+                f"unknown wire codec {codec!r}; choose from {sorted(wire.CODECS)}"
+            )
         self.addresses = dict(addresses)
         self.placement = placement
         self.transport = transport
+        #: preferred codec: ``"binary"`` sends a ``hello`` negotiation
+        #: frame on every new connection and upgrades when the server
+        #: agrees; ``"json"`` skips the hello entirely (pure v2 client)
+        self.codec_name = codec
+        self.wire_caps = wire.CODECS[codec].version
         self.home = home
         self.timeout = timeout
         self.max_rounds = max_rounds
@@ -178,7 +188,9 @@ class KVClient:
         conn = await self._conn(site)
         try:
             await conn.send(frame)
-            reply = await asyncio.wait_for(conn.recv(), self.timeout)
+            # asyncio.timeout, not wait_for: no extra Task per request
+            async with asyncio.timeout(self.timeout):
+                reply = await conn.recv()
         except (ConnectionError, OSError, asyncio.TimeoutError, WireError):
             await self._drop_conn(site)
             raise
@@ -194,8 +206,34 @@ class KVClient:
             conn = await asyncio.wait_for(
                 self.transport.connect(address), self.timeout
             )
+            if self.wire_caps >= wire.WIRE_VERSION:
+                await self._negotiate(site, conn)
             self._conns[site] = conn
         return conn
+
+    async def _negotiate(self, site: SiteId, conn: Connection) -> None:
+        """Offer WIRE_VERSION 3 on a fresh connection.  The hello always
+        travels JSON; a v2 server answers ``err bad-frame`` (it has no
+        ``hello`` handler), which downgrades this connection to JSON —
+        interop costs one extra round trip at connect, nothing after."""
+        try:
+            await conn.send(wire.make_frame("hello", cv=self.wire_caps))
+            async with asyncio.timeout(self.timeout):
+                reply = await conn.recv()
+        except (ConnectionError, OSError, asyncio.TimeoutError, WireError):
+            await conn.close()
+            raise
+        if reply is None:
+            await conn.close()
+            raise ConnectionResetError(
+                f"site {site} closed the connection during codec negotiation"
+            )
+        agreed = int(reply.get("cv", wire.JSON_WIRE_VERSION))
+        if reply.get("t") == "hello.ok" and agreed >= wire.WIRE_VERSION:
+            conn.negotiate(wire.BINARY_CODEC)
+            self._metric("client_wire_negotiations_total", codec="binary")
+        else:
+            self._metric("client_wire_negotiations_total", codec="json")
 
     async def _drop_conn(self, site: SiteId) -> None:
         conn = self._conns.pop(site, None)

@@ -52,9 +52,15 @@ class ServiceCluster:
         read_timeout: float = 2.0,
         seed: int = 0,
         protocol_kwargs: Optional[Dict[str, Any]] = None,
+        codec: str = "binary",
     ) -> None:
         self.n = n_sites
         self.seed = seed
+        #: wire codec preference handed to every server and client:
+        #: ``"binary"`` negotiates the WIRE_VERSION 3 batched profile,
+        #: ``"json"`` pins the whole cluster to the v2 per-frame profile
+        #: (the bench baseline and the mixed-version tests use this)
+        self.codec = codec
         cls = protocol_class(protocol)
         p = replication_factor
         if p is None or cls.full_replication_only:
@@ -100,6 +106,7 @@ class ServiceCluster:
                     metrics=metrics,
                     read_timeout=read_timeout,
                     seed=seed + site,
+                    codec=codec,
                 )
             )
         self._started = False
@@ -135,6 +142,7 @@ class ServiceCluster:
     def client(self, home: SiteId = 0, **kwargs: Any) -> KVClient:
         kwargs.setdefault("metrics", self.metrics)
         kwargs.setdefault("seed", self.seed + 1000 + home)
+        kwargs.setdefault("codec", self.codec)
         return KVClient(
             self.addresses, self.placement, self.transport, home=home, **kwargs
         )

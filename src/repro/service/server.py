@@ -42,6 +42,21 @@ link's at-least-once delivery into exactly-once application; a new
 epoch (a restarted sender) resets the receiver's dedup state so a fresh
 incarnation's sequence numbers are not mistaken for duplicates.
 
+The same handshake negotiates the **wire profile** (WIRE_VERSION 3):
+``link.hello`` and the client ``hello`` carry the sender's capability
+version ``cv``, the receiver answers with ``min(cv, own)``, and only
+when both sides are ≥ 3 does the connection switch to the binary codec
+and the batched profile — the link drains its whole outbound FIFO per
+wakeup with one coalesced flush, the inbound loop decodes and applies a
+whole batch of contiguous frames before signalling the progress
+condition once, and repl acks are **cumulative per batch** (one
+ack naming the highest contiguous sequence, instead of one ack frame
+per apply).  Acks remain batch-deferred-but-processing-gated: an ack is
+sent only after every frame it covers was applied or parked, so the v2
+guarantee — an acked frame is inside this site's protocol state — is
+unchanged.  A v2 peer never announces ``cv``, gets a JSON ``link.ok``
+without one, and both sides keep the v2 per-frame JSON profile.
+
 Updates whose activation predicate is false are parked and re-evaluated
 after every apply (a rescan drain — service deployments are a handful of
 sites, so the simulator's wake index is not worth its bookkeeping here).
@@ -56,6 +71,7 @@ sanitizer (when attached) sees the same ``on_write`` / ``before_apply`` /
 from __future__ import annotations
 
 import asyncio
+import itertools
 import os
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
@@ -202,16 +218,30 @@ class PeerLink:
                 self.owner.metric("link_drops_total", peer=self.dest)
 
     async def _handshake(self, conn: Connection) -> int:
-        """Open the link: identify this sender incarnation and learn the
-        receiver's cumulative ack, retiring frames it already has."""
+        """Open the link: identify this sender incarnation, learn the
+        receiver's cumulative ack (retiring frames it already has), and
+        negotiate the wire profile.  The hello itself always travels
+        JSON; the connection switches to the binary codec only when both
+        sides announced capability ≥ 3 — a v2 receiver ignores ``cv``
+        and answers without one, leaving the link on the v2 profile."""
         await conn.send(
-            wire.make_frame("link.hello", src=self.owner.site, epoch=self.owner.epoch)
+            wire.make_frame(
+                "link.hello",
+                src=self.owner.site,
+                epoch=self.owner.epoch,
+                cv=self.owner.wire_caps,
+            )
         )
         reply = await asyncio.wait_for(conn.recv(), LINK_HANDSHAKE_TIMEOUT)
         if reply is None or reply.get("t") != "link.ok":
             raise ConnectionResetError(
                 f"peer {self.dest} did not complete the link handshake"
             )
+        agreed = min(
+            int(reply.get("cv", wire.JSON_WIRE_VERSION)), self.owner.wire_caps
+        )
+        if agreed >= wire.WIRE_VERSION:
+            conn.negotiate(wire.BINARY_CODEC)
         acked = int(reply.get("ack", 0))
         self._retire(acked)
         return acked
@@ -226,6 +256,9 @@ class PeerLink:
         # connection; frames stay in ``_repl`` until the receiver acks
         # them (linear rescan per frame — the unacked window is small
         # because acks retire the prefix as they arrive)
+        if conn.wire_version >= wire.WIRE_VERSION:
+            await self._drain_queue_batched(conn, acked)
+            return
         sent = acked
         while not self._closed:
             frame = self._next_unsent(sent)
@@ -236,6 +269,45 @@ class PeerLink:
                 elif self._fetch and self._fetch[0] is frame:
                     self._fetch.popleft()
                 frame = self._next_unsent(sent)
+            self._wakeup.clear()
+            if self._closed:
+                return
+            await self._wakeup.wait()
+
+    async def _drain_queue_batched(self, conn: Connection, acked: int) -> None:
+        """The v3 writer: drain the WHOLE outbound FIFO per wakeup with
+        one coalesced flush (``send_many`` → one transport drain),
+        instead of a send-per-frame loop.  Retirement is unchanged —
+        repl frames leave ``_repl`` only via receiver acks."""
+        sent = acked
+        while not self._closed:
+            while not self._closed:
+                # ``ls`` values are consecutive (assigned at enqueue) and
+                # retired from the left only, so the unsent frames are
+                # exactly the last ``_link_seq - sent`` entries — no scan
+                n_unsent = min(len(self._repl), self._link_seq - sent)
+                batch = (
+                    list(itertools.islice(
+                        self._repl, len(self._repl) - n_unsent, None
+                    ))
+                    if n_unsent > 0
+                    else []
+                )
+                n_fetch = len(self._fetch)
+                if not batch and not n_fetch:
+                    break
+                if n_fetch:
+                    batch.extend(list(self._fetch)[:n_fetch])
+                await conn.send_many(batch)
+                if n_fetch:
+                    # fetches are retired on send (fire-and-forget); new
+                    # ones enqueued during the await stay for next round
+                    for _ in range(n_fetch):
+                        self._fetch.popleft()
+                for frame in reversed(batch):
+                    if frame["t"] == "repl":
+                        sent = int(frame["ls"])
+                        break
             self._wakeup.clear()
             if self._closed:
                 return
@@ -276,9 +348,14 @@ class SiteServer:
         read_timeout: float = 2.0,
         fetch_timeout: float = 2.0,
         seed: int = 0,
+        codec: str = "binary",
     ) -> None:
         if protocol.site not in addresses:
             raise ServiceError(f"no address for site {protocol.site}")
+        if codec not in wire.CODECS:
+            raise ServiceError(
+                f"unknown wire codec {codec!r}; choose from {sorted(wire.CODECS)}"
+            )
         self.protocol = protocol
         self.site: SiteId = protocol.site
         self.addresses = dict(addresses)
@@ -289,6 +366,12 @@ class SiteServer:
         self.read_timeout = read_timeout
         self.fetch_timeout = fetch_timeout
         self.seed = seed
+        #: preferred wire codec; ``wire_caps`` is the capability version
+        #: announced in handshakes (3 = binary + batched profile).  A
+        #: server configured ``codec="json"`` is a faithful v2 peer: it
+        #: never announces ``cv`` ≥ 3 and never switches a connection.
+        self.codec_name = codec
+        self.wire_caps = wire.CODECS[codec].version
 
         #: this incarnation's identity for the link handshake: a
         #: restarted site restarts its link sequence numbers, so it must
@@ -304,6 +387,9 @@ class SiteServer:
         self._peer_epoch: Dict[SiteId, int] = {}
         #: waiters notified after every apply (strict gates, parked reads)
         self._progress = asyncio.Condition()
+        #: number of tasks blocked in ``_wait_for`` — lets the apply hot
+        #: path skip the notify task when nobody is waiting
+        self._waiting = 0
         self._links: Dict[SiteId, PeerLink] = {}
         self._fetch_waiters: Dict[int, asyncio.Future] = {}
         #: established inbound connections, closed on stop()
@@ -367,21 +453,39 @@ class SiteServer:
         self._server_conns.add(conn)
         try:
             while True:
-                frame = await conn.recv()
-                if frame is None:
-                    return
-                if self.stopped:
-                    # stop() can land between recv and dispatch: refuse
-                    # rather than half-serve — a put accepted here would
-                    # be acked to the client but never replicated, since
-                    # the peer links are already closed
-                    await conn.send(
-                        wire.err_frame(
-                            "shutting-down", f"site {self.site} is shutting down"
+                # the v3 inbound loop drains every frame already waiting
+                # and applies the batch before acking once; a v2 peer
+                # keeps PR 5's frame-at-a-time loop
+                if conn.wire_version >= wire.WIRE_VERSION:
+                    frames = await conn.recv_many()
+                    if frames is None:
+                        return
+                    if self.stopped:
+                        # stop() can land between recv and dispatch:
+                        # refuse rather than half-serve — a put accepted
+                        # here would be acked to the client but never
+                        # replicated, the peer links are already closed
+                        await conn.send(
+                            wire.err_frame(
+                                "shutting-down",
+                                f"site {self.site} is shutting down",
+                            )
                         )
-                    )
-                    return
-                await self._dispatch(conn, frame)
+                        return
+                    await self._dispatch_batch(conn, frames)
+                else:
+                    frame = await conn.recv()
+                    if frame is None:
+                        return
+                    if self.stopped:
+                        await conn.send(
+                            wire.err_frame(
+                                "shutting-down",
+                                f"site {self.site} is shutting down",
+                            )
+                        )
+                        return
+                    await self._dispatch(conn, frame)
         except (ConnectionError, OSError):
             return
         except ServiceUnavailableError as exc:
@@ -409,6 +513,8 @@ class SiteServer:
             await self._handle_repl(conn, frame)
         elif kind == "link.hello":
             await self._handle_hello(conn, frame)
+        elif kind == "hello":
+            await self._handle_client_hello(conn, frame)
         elif kind == "fetch":
             # served in its own task: a strict-mode fetch can block on
             # this site's apply progress, and the repl frames that unblock
@@ -425,6 +531,92 @@ class SiteServer:
             asyncio.ensure_future(self.stop())
         else:
             await conn.send(wire.err_frame("bad-frame", f"unknown type {kind!r}"))
+
+    async def _dispatch_batch(
+        self, conn: Connection, frames: List[Dict[str, Any]]
+    ) -> None:
+        """The v3 inbound profile: process a whole batch of frames, then
+        signal progress once and ack cumulatively.
+
+        ``repl`` frames are ingested synchronously (applied or parked —
+        no awaits, preserving the single-writer discipline) while their
+        acks are *deferred*: per sender we track the highest contiguous
+        sequence processed and emit ONE ``repl.ack`` per batch.  The
+        parked-update rescan (:meth:`_drain`) also runs once per batch —
+        an update a per-frame drain would have applied mid-batch is
+        applied by the batch-end drain instead, before any ack covering
+        it is sent, so the ack contract (processed ⇒ in protocol state)
+        holds.  Non-repl frames flush pending repl work first so a get
+        or fetch arriving behind a burst of updates observes them."""
+        acks: Dict[SiteId, int] = {}
+        applied = 0
+        for frame in frames:
+            if self.stopped:
+                await self._flush_repl(conn, acks, applied)
+                await conn.send(
+                    wire.err_frame(
+                        "shutting-down", f"site {self.site} is shutting down"
+                    )
+                )
+                return
+            if frame["t"] == "repl":
+                applied += self._ingest_repl(frame, acks)
+            else:
+                applied = await self._flush_repl(conn, acks, applied)
+                await self._dispatch(conn, frame)
+        await self._flush_repl(conn, acks, applied)
+
+    def _ingest_repl(self, frame: Dict[str, Any], acks: Dict[SiteId, int]) -> int:
+        """Process one repl frame without acking or draining; returns
+        the number of updates applied (0 = dup/gap/parked)."""
+        src = int(frame["src"])
+        link_seq = int(frame["ls"])
+        seen = self._seen_ls.get(src, 0)
+        if link_seq <= seen:
+            # resend of a frame processed earlier; fold the cumulative
+            # re-ack into this batch's ack
+            self.metric("service_repl_dups_total")
+            acks[src] = max(acks.get(src, 0), seen)
+            return 0
+        if link_seq != seen + 1:
+            # gap: refuse without advancing (see _handle_repl); the ack
+            # for the contiguous prefix, if any, still goes out
+            self.metric("service_repl_gaps_total")
+            return 0
+        msg = wire.decode_update(frame)
+        now = self.now_ms()
+        self._recv_at[msg.write_id] = now
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.on_deliver(now, self.site, msg.write_id)
+        applied = 0
+        if self.protocol.can_apply(msg):
+            self._apply(msg)
+            applied = 1
+        else:
+            if rec is not None and rec.enabled:
+                rec.on_buffered(
+                    now, self.site, msg.write_id, self.protocol.blocking_deps(msg) or ()
+                )
+            self._parked.append(msg)
+        self._seen_ls[src] = link_seq
+        acks[src] = max(acks.get(src, 0), link_seq)
+        return applied
+
+    async def _flush_repl(
+        self, conn: Connection, acks: Dict[SiteId, int], applied: int
+    ) -> int:
+        """Drain parked updates once for the batch's applies, then send
+        one cumulative ack per sender.  Returns the new applied count
+        (always 0) for callers that thread it through."""
+        if applied:
+            self._drain()
+        if acks:
+            self.metric("service_ack_batches_total")
+            for ack in acks.values():
+                await self._send_ack(conn, ack)
+            acks.clear()
+        return 0
 
     # ------------------------------------------------------------------
     # put
@@ -554,9 +746,39 @@ class SiteServer:
             # frame from the restarted site would be dropped as a dup
             self._peer_epoch[src] = epoch
             self._seen_ls[src] = 0
+        agreed = self._agree_version(frame)
+        # the link.ok itself always travels under the codec the hello
+        # arrived with (JSON for any pre-negotiation sender); only the
+        # frames AFTER the handshake switch
         await conn.send(
-            wire.make_frame("link.ok", site=self.site, ack=self._seen_ls.get(src, 0))
+            wire.make_frame(
+                "link.ok", site=self.site, ack=self._seen_ls.get(src, 0), cv=agreed
+            )
         )
+        self._switch_profile(conn, agreed)
+
+    async def _handle_client_hello(
+        self, conn: Connection, frame: Dict[str, Any]
+    ) -> None:
+        """Client codec negotiation.  A v2 server answers this frame
+        with ``err bad-frame`` (unknown type), which v3 clients take as
+        "stay on JSON" — that asymmetry is the whole fallback story."""
+        agreed = self._agree_version(frame)
+        await conn.send(wire.make_frame("hello.ok", site=self.site, cv=agreed))
+        self._switch_profile(conn, agreed)
+
+    def _agree_version(self, frame: Dict[str, Any]) -> int:
+        """Meet of the peer's announced capability and our own.  A peer
+        that says nothing is a v2 peer."""
+        peer_caps = int(frame.get("cv", wire.JSON_WIRE_VERSION))
+        return min(peer_caps, self.wire_caps)
+
+    def _switch_profile(self, conn: Connection, agreed: int) -> None:
+        if agreed >= wire.WIRE_VERSION:
+            conn.negotiate(wire.BINARY_CODEC)
+            self.metric("service_wire_negotiations_total", codec="binary")
+        else:
+            self.metric("service_wire_negotiations_total", codec="json")
 
     async def _handle_repl(self, conn: Connection, frame: Dict[str, Any]) -> None:
         src = int(frame["src"])
@@ -664,6 +886,11 @@ class SiteServer:
         self._notify_progress()
 
     def _notify_progress(self) -> None:
+        # waking waiters needs the condition lock, i.e. a task — skip
+        # the task creation entirely on the hot path when nobody waits
+        if self._waiting == 0:
+            return
+
         async def _notify() -> None:
             async with self._progress:
                 self._progress.notify_all()
@@ -676,14 +903,18 @@ class SiteServer:
         retriable error — the service never holds a request forever)."""
         if predicate():
             return True
-        async with self._progress:
-            try:
-                await asyncio.wait_for(
-                    self._progress.wait_for(predicate), self.read_timeout
-                )
-                return True
-            except asyncio.TimeoutError:
-                return False
+        self._waiting += 1
+        try:
+            async with self._progress:
+                try:
+                    await asyncio.wait_for(
+                        self._progress.wait_for(predicate), self.read_timeout
+                    )
+                    return True
+                except asyncio.TimeoutError:
+                    return False
+        finally:
+            self._waiting -= 1
 
     def _link(self, dest: SiteId) -> PeerLink:
         if self.stopped:

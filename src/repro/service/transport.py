@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ServiceError
@@ -31,18 +32,60 @@ ConnHandler = Callable[["Connection"], Awaitable[None]]
 #: sentinel queued by the loopback to mark an orderly or severed EOF
 _EOF = object()
 
+#: bytes per TCP read; large enough to swallow a whole coalesced batch
+_READ_CHUNK = 65536
+
 
 class Connection(ABC):
-    """One bidirectional, ordered stream of frames."""
+    """One bidirectional, ordered stream of frames.
+
+    Every connection carries a *codec* — :data:`wire.JSON_CODEC` until
+    :meth:`negotiate` switches it (the WIRE_VERSION 3 handshake).  The
+    codec governs how *this side encodes*; inbound frames are decoded by
+    sniffing, so a connection can receive binary frames before (or
+    without ever) switching its own send side.
+    """
+
+    #: active send codec; class-level default, shadowed by negotiate()
+    _codec: Any = wire.JSON_CODEC
+
+    @property
+    def codec(self) -> Any:
+        return self._codec
+
+    @property
+    def wire_version(self) -> int:
+        """The wire profile this side is sending: 2 (JSON, per-frame)
+        or 3 (binary, batched)."""
+        return self._codec.version
+
+    def negotiate(self, codec: Any) -> None:
+        """Switch this side's send codec for all subsequent frames."""
+        self._codec = codec
 
     @abstractmethod
     async def send(self, frame: Dict[str, Any]) -> None:
         """Send one frame.  Raises ``ConnectionError`` once the peer is
         gone — callers treat that as "site unreachable" and fail over."""
 
+    async def send_many(self, frames: List[Dict[str, Any]]) -> None:
+        """Send a batch of frames with at most one flush (writev-style
+        coalescing on transports that buffer).  The default sends them
+        one by one — the v2 profile."""
+        for frame in frames:
+            await self.send(frame)
+
     @abstractmethod
     async def recv(self) -> Optional[Dict[str, Any]]:
         """Receive the next frame, or ``None`` on EOF / severed peer."""
+
+    async def recv_many(self) -> Optional[List[Dict[str, Any]]]:
+        """Receive every frame already available, waiting only for the
+        first.  Returns a non-empty list, or ``None`` on EOF.  Frames
+        that arrived *before* an EOF are still delivered; the EOF is
+        reported by the next call."""
+        frame = await self.recv()
+        return None if frame is None else [frame]
 
     @abstractmethod
     async def close(self) -> None:
@@ -94,14 +137,44 @@ class _LoopbackConnection(Connection):
         peer = self._peer
         if self._closed or peer is None or peer._closed:
             raise ConnectionResetError(f"loopback peer {self._peer_name} is gone")
-        encoded = wire.encode_frame(frame)
+        # full codec round trip: the bytes that *would* hit a socket are
+        # exactly what the receiver decodes, under the active codec
+        encoded = wire.encode_frame(frame, codec=self._codec)
         peer._rx.put_nowait(wire.decode_body(encoded[4:]))
+
+    async def send_many(self, frames: List[Dict[str, Any]]) -> None:
+        peer = self._peer
+        if self._closed or peer is None or peer._closed:
+            raise ConnectionResetError(f"loopback peer {self._peer_name} is gone")
+        # one liveness check for the whole batch; each frame still
+        # round-trips the codec, and the receiver wakes once (the first
+        # put wakes it, the rest land before it runs)
+        codec = self._codec
+        put = peer._rx.put_nowait
+        for frame in frames:
+            put(wire.decode_body(wire.encode_frame(frame, codec=codec)[4:]))
 
     async def recv(self) -> Optional[Dict[str, Any]]:
         if self._closed and self._rx.empty():
             return None
         item = await self._rx.get()
         return None if item is _EOF else item
+
+    async def recv_many(self) -> Optional[List[Dict[str, Any]]]:
+        first = await self.recv()
+        if first is None:
+            return None
+        frames = [first]
+        rx = self._rx
+        while not rx.empty():
+            item = rx.get_nowait()
+            if item is _EOF:
+                # deliver the frames that beat the EOF; re-queue it so
+                # the next recv reports the close
+                rx.put_nowait(_EOF)
+                break
+            frames.append(item)
+        return frames
 
     async def close(self) -> None:
         self._sever()
@@ -194,24 +267,75 @@ def split_address(address: str) -> Tuple[str, int]:
 
 
 class _TcpConnection(Connection):
+    """Frames over one TCP stream, with its own read buffer so a batch
+    of frames that arrived in one segment decodes without extra reads,
+    and coalesced writes so a batch flushes with one ``drain``."""
+
     def __init__(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, name: str
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._name = name
+        self._buf = bytearray()
+        self._frames: deque = deque()
 
     async def send(self, frame: Dict[str, Any]) -> None:
-        self._writer.write(wire.encode_frame(frame))
+        self._writer.write(wire.encode_frame(frame, codec=self._codec))
         await self._writer.drain()
 
-    async def recv(self) -> Optional[Dict[str, Any]]:
+    async def send_many(self, frames: List[Dict[str, Any]]) -> None:
+        if not frames:
+            return
+        codec = self._codec
+        encode = wire.encode_frame
+        # one writev-style buffer append, ONE drain for the whole batch —
+        # this is the flush the per-frame path pays once per frame
+        self._writer.write(b"".join(encode(f, codec=codec) for f in frames))
+        await self._writer.drain()
+
+    async def _fill(self) -> bool:
+        """Read one chunk into the buffer; False on EOF/reset."""
         try:
-            prefix = await self._reader.readexactly(4)
-            body = await self._reader.readexactly(wire.frame_length(prefix))
-        except (asyncio.IncompleteReadError, ConnectionError):
-            return None
-        return wire.decode_body(body)
+            data = await self._reader.read(_READ_CHUNK)
+        except (ConnectionError, OSError):
+            return False
+        if not data:
+            return False
+        self._buf += data
+        return True
+
+    def _parse(self) -> None:
+        """Decode every complete frame in the buffer into ``_frames``."""
+        buf = self._buf
+        pos = 0
+        end = len(buf)
+        while end - pos >= 4:
+            body_len = wire.frame_length(bytes(buf[pos : pos + 4]))
+            if end - pos - 4 < body_len:
+                break
+            self._frames.append(
+                wire.decode_body(bytes(buf[pos + 4 : pos + 4 + body_len]))
+            )
+            pos += 4 + body_len
+        if pos:
+            del buf[:pos]
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        while not self._frames:
+            if not await self._fill():
+                return None
+            self._parse()
+        return self._frames.popleft()
+
+    async def recv_many(self) -> Optional[List[Dict[str, Any]]]:
+        while not self._frames:
+            if not await self._fill():
+                return None
+            self._parse()
+        frames = list(self._frames)
+        self._frames.clear()
+        return frames
 
     async def close(self) -> None:
         try:

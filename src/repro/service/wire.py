@@ -1,16 +1,50 @@
 """Wire format of the networked KV service.
 
-Frames are **length-prefixed JSON**: a 4-byte big-endian unsigned length
-followed by one UTF-8 JSON object.  Every frame carries the wire version
-(``"v"``) and a frame type (``"t"``); a peer that receives a frame with an
-unknown version must reject the connection rather than guess — the version
-is bumped on any incompatible change (field renames, semantic changes),
-never for additive optional fields.
+Frames are **length-prefixed**: a 4-byte big-endian unsigned length
+followed by one frame body in one of two codecs:
+
+* the **JSON codec** (:class:`JsonCodec`, frame schema version 2) — a
+  UTF-8 JSON object, byte-compatible with WIRE_VERSION 2 peers.  This is
+  the codec every connection starts in and the permanent fallback for
+  older peers;
+* the **binary codec** (:class:`BinaryCodec`, the WIRE_VERSION 3 wire) —
+  a struct-packed header (magic byte, frame schema version, frame-type
+  tag) followed by the frame's fields in a compact msgpack-style
+  encoding (single-byte type tags, varlength ints, flat ``struct``-packed
+  integer vectors for dependency logs and clock rows).  A JSON body
+  always starts with ``{`` (0x7B) and a binary body always starts with
+  :data:`BINARY_MAGIC` (0xB3, not a valid UTF-8 lead byte), so a
+  WIRE_VERSION 3 receiver decodes either codec per frame with no
+  ambiguity (:func:`decode_body` sniffs the first byte).
+
+Codec choice is **negotiated, never assumed**: every handshake frame
+(``link.hello``/``link.ok`` between peers, ``hello``/``hello.ok`` from
+clients) travels as JSON and carries the sender's capability version
+``cv``.  Only when both ends announced ``cv >= 3`` does a connection
+switch to the binary codec — a WIRE_VERSION 2 peer never sees a binary
+byte.  WIRE_VERSION 3 additionally buys the *batched* wire profile
+(coalesced frame flushes and cumulative batched acks, see
+:mod:`repro.service.server`); a v2 peer keeps the per-frame profile.
+
+Every frame carries the frame schema version (``"v"``, currently
+:data:`JSON_WIRE_VERSION` — the field layout is unchanged from v2, which
+is what makes the JSON fallback interoperable) and a frame type
+(``"t"``).  A peer that receives a frame with an unknown version must
+reject the connection rather than guess — the schema version is bumped
+on any incompatible change (field renames, semantic changes), never for
+additive optional fields such as ``cv``.
 
 Frame types
 -----------
 Client-facing request/response::
 
+    hello    {v, t:"hello", cv}                  -> hello.ok {site, cv}
+             optional codec negotiation (one round trip per pooled
+             connection).  ``cv`` is the client's capability version;
+             the server answers with the minimum of both sides and the
+             connection switches to the binary codec when that is >= 3.
+             A v2 server answers ``err bad-frame`` and the client stays
+             on JSON — the fallback path.
     put      {v, t:"put", var, value}            -> put.ok {w} | err
     get      {v, t:"get", var}                   -> get.ok {value, w, by} | err
     ping     {v, t:"ping"}                       -> ping.ok {site}
@@ -18,7 +52,7 @@ Client-facing request/response::
 
 Server-to-server (peer links)::
 
-    link.hello  {v, t:"link.hello", src, epoch} -> link.ok {ack}
+    link.hello  {v, t:"link.hello", src, epoch, cv} -> link.ok {ack, cv}
              opens every peer-link connection.  ``epoch`` identifies the
              sender *incarnation*: the receiver keys its repl dedup
              state by (src, epoch) and resets it when a new epoch
@@ -50,7 +84,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,14 +100,30 @@ from repro.core.messages import (
 from repro.errors import WireError
 from repro.types import WriteId
 
-#: bump on incompatible frame changes (see module docstring).
+#: the connection capability this side speaks (see module docstring).
 #: v2: acknowledged peer links — repl requires the link.hello handshake,
 #: contiguous ``ls``, and repl.ack-driven retirement; a v1 peer would
 #: wedge replication silently, so the versions must not interoperate.
-WIRE_VERSION = 2
+#: v3: negotiated binary codec + batched wire profile (coalesced frame
+#: flushes, cumulative batched acks).  Frame *fields* are unchanged from
+#: v2 — a v3 peer falls back to the v2 JSON profile via the handshake.
+WIRE_VERSION = 3
 
-#: hard cap on one frame's JSON body; protects both sides from a corrupt
-#: or hostile length prefix
+#: the frame schema version stamped on every frame dict.  Still 2: v3
+#: adds a codec and a batching profile, not a field change, so the JSON
+#: rendering of every frame is exactly what a v2 peer expects.
+JSON_WIRE_VERSION = 2
+
+#: oldest frame schema this side still decodes
+MIN_WIRE_VERSION = 2
+
+#: first body byte of a binary-codec frame.  0xB3 is not a valid UTF-8
+#: lead byte and a JSON object body always starts with ``{`` (0x7B), so
+#: one byte of lookahead identifies the codec unambiguously.
+BINARY_MAGIC = 0xB3
+
+#: hard cap on one frame's encoded body; protects both sides from a
+#: corrupt or hostile length prefix
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
@@ -82,34 +132,514 @@ _LEN = struct.Struct(">I")
 RETRIABLE = ("read-timeout", "unavailable", "shutting-down")
 
 
+def _check_version(version: Any) -> None:
+    if not isinstance(version, int) or not (
+        MIN_WIRE_VERSION <= version <= WIRE_VERSION
+    ):
+        raise WireError(
+            f"unsupported wire version {version!r} (this side speaks "
+            f"{MIN_WIRE_VERSION}..{WIRE_VERSION}); upgrade the older peer"
+        )
+
+
 # ----------------------------------------------------------------------
-# framing
+# codecs
 # ----------------------------------------------------------------------
-def encode_frame(frame: Dict[str, Any]) -> bytes:
+class JsonCodec:
+    """The WIRE_VERSION 2 fallback codec: one UTF-8 JSON object per frame."""
+
+    name = "json"
+    #: highest connection capability this codec's profile provides
+    version = JSON_WIRE_VERSION
+
+    def encode(self, frame: Dict[str, Any]) -> bytes:
+        """Serialize one frame dict to its length-prefixed wire bytes."""
+        body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+        return _LEN.pack(len(body)) + body
+
+    def decode_body(self, body: bytes) -> Dict[str, Any]:
+        try:
+            frame = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"undecodable frame body: {exc}") from None
+        if not isinstance(frame, dict):
+            raise WireError(f"frame must be a JSON object, got {type(frame).__name__}")
+        _check_version(frame.get("v"))
+        if not isinstance(frame.get("t"), str):
+            raise WireError("frame missing its type field 't'")
+        return frame
+
+
+class BinaryCodec:
+    """The WIRE_VERSION 3 codec: struct header + compact field packing.
+
+    Body layout (after the outer 4-byte length prefix)::
+
+        B  magic       BINARY_MAGIC (0xB3)
+        B  version     frame schema version (the frame's ``v`` field)
+        B  type tag    index into the frame-type registry; 0 = unknown
+                       type, the type string follows as a packed value
+        .. fields      the remaining frame fields as one packed map
+                       (msgpack-style value encoding, see ``_pack_into``)
+
+    Decoding reconstructs the exact frame dict the JSON codec would have
+    produced — both codecs are interchangeable per frame, which is what
+    the codec round-trip property tests assert.
+    """
+
+    name = "binary"
+    version = WIRE_VERSION
+
+    def encode(self, frame: Dict[str, Any]) -> bytes:
+        out = bytearray(4)  # length prefix patched in below
+        try:
+            frame_type = frame["t"]
+            version = frame["v"]
+        except KeyError as exc:
+            raise WireError(f"frame missing required field {exc}") from None
+        tag = _FRAME_TAGS.get(frame_type, 0)
+        schema = _FRAME_SCHEMAS.get(frame_type)
+        values: Optional[list] = None
+        if schema is not None and len(frame) == len(schema) + 2:
+            try:
+                values = [frame[k] for k in schema]
+            except KeyError:
+                values = None
+        try:
+            if values is not None:
+                out += _HDR.pack(BINARY_MAGIC, version, tag | _SCHEMA_BIT)
+                for val in values:
+                    _pack_into(out, val)
+            else:
+                out += _HDR.pack(BINARY_MAGIC, version, tag)
+                if tag == 0:
+                    _pack_into(out, frame_type)
+                _pack_len(out, _T_MAP, len(frame) - 2)
+                for key, val in frame.items():
+                    if key == "v" or key == "t":
+                        continue
+                    if type(key) is str:
+                        _pack_str(out, key)
+                    else:
+                        _pack_into(out, key)
+                    _pack_into(out, val)
+        except struct.error as exc:
+            raise WireError(f"unencodable frame header: {exc}") from None
+        body_len = len(out) - 4
+        if body_len > MAX_FRAME_BYTES:
+            raise WireError(f"frame of {body_len} bytes exceeds {MAX_FRAME_BYTES}")
+        out[:4] = _LEN.pack(body_len)
+        return bytes(out)
+
+    def decode_body(self, body: bytes) -> Dict[str, Any]:
+        try:
+            magic, version, tag = _HDR.unpack_from(body, 0)
+        except struct.error as exc:
+            raise WireError(f"truncated binary frame header: {exc}") from None
+        if magic != BINARY_MAGIC:
+            raise WireError(f"binary frame with bad magic 0x{magic:02x}")
+        _check_version(version)
+        pos = _HDR.size
+        schema_packed = tag & _SCHEMA_BIT
+        tag &= _SCHEMA_BIT - 1
+        try:
+            if tag == 0 and not schema_packed:
+                frame_type, pos = _unpack_from(body, pos)
+            else:
+                frame_type = _FRAME_TYPES[tag]
+        except IndexError:
+            raise WireError(f"unknown binary frame type tag {tag}") from None
+        if not isinstance(frame_type, str):
+            raise WireError("binary frame missing its type tag")
+        frame: Dict[str, Any] = {"v": version, "t": frame_type}
+        try:
+            if schema_packed:
+                schema = _FRAME_SCHEMAS.get(frame_type)
+                if schema is None:
+                    raise WireError(
+                        f"{frame_type!r} frames have no schema layout"
+                    )
+                for key in schema:
+                    first = body[pos]
+                    if first >= _T_FIXINT:
+                        frame[key] = first - _T_FIXINT
+                        pos += 1
+                    else:
+                        frame[key], pos = _unpack_from(body, pos)
+            else:
+                fields, pos = _unpack_from(body, pos)
+                if not isinstance(fields, dict):
+                    raise WireError("binary frame fields must decode to a map")
+                frame.update(fields)
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            raise WireError(f"undecodable binary frame body: {exc}") from None
+        if pos != len(body):
+            raise WireError(
+                f"binary frame has {len(body) - pos} trailing bytes"
+            )
+        return frame
+
+
+#: the two codec singletons; connections reference these, never copies
+JSON_CODEC = JsonCodec()
+BINARY_CODEC = BinaryCodec()
+
+CODECS = {JSON_CODEC.name: JSON_CODEC, BINARY_CODEC.name: BINARY_CODEC}
+
+_HDR = struct.Struct(">BBB")
+
+#: frame-type registry for the binary header tag.  Append-only: tags are
+#: wire constants, so a type must never be removed or renumbered.
+_FRAME_TYPES: Tuple[str, ...] = (
+    "",  # tag 0: unknown type, spelled out in the body
+    "repl",
+    "repl.ack",
+    "fetch",
+    "fetch.ok",
+    "fetch.err",
+    "link.hello",
+    "link.ok",
+    "hello",
+    "hello.ok",
+    "put",
+    "put.ok",
+    "get",
+    "get.ok",
+    "ping",
+    "ping.ok",
+    "kill",
+    "kill.ok",
+    "err",
+)
+_FRAME_TAGS: Dict[str, int] = {t: i for i, t in enumerate(_FRAME_TYPES) if i}
+
+#: header tag bit marking a schema-packed (positional) body
+_SCHEMA_BIT = 0x80
+
+#: positional field layouts for the hot frame types.  A frame whose key
+#: set is exactly ``{"v", "t"} | schema`` packs its field values in this
+#: order with no key strings or map header — the "struct-packed frame
+#: header" fast path.  Like the type registry these are wire constants:
+#: a layout must never be reordered; adding a field to a frame type
+#: means dropping its schema entry (the generic map layout takes over,
+#: which every decoder also accepts).
+_FRAME_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    "repl": ("var", "value", "w", "src", "dst", "meta", "ls"),
+    "repl.ack": ("a",),
+    "put": ("var", "value"),
+    "put.ok": ("w",),
+    "get": ("var",),
+    "get.ok": ("value", "w", "by"),
+    "fetch": ("var", "rq", "sv", "fid", "deps"),
+    "fetch.ok": (
+        "var", "value", "w", "sv", "rq", "fid", "meta", "applied",
+    ),
+}
+
+#: positional layouts for the tagged metadata maps of
+#: :func:`encode_meta` — a dict whose ``"k"`` names a registered kind
+#: and whose key set matches packs as ``_T_SCHEMA`` + id + values, again
+#: dropping every key string.  Append-only, same rules as above.
+_MAP_SCHEMAS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("ot", ("c", "rm", "log")),
+    ("crp", ("c", "log")),
+    ("dl", ("e",)),
+    ("mc", ("m",)),
+    ("vc", ("v",)),
+    ("arr", ("v",)),
+    ("ivec", ("v",)),
+    ("pairs", ("v",)),
+)
+_MAP_SCHEMA_IDS: Dict[str, Tuple[int, Tuple[str, ...]]] = {
+    kind: (i, keys) for i, (kind, keys) in enumerate(_MAP_SCHEMAS)
+}
+
+
+# ----------------------------------------------------------------------
+# compact value packing (msgpack-style; used by BinaryCodec)
+# ----------------------------------------------------------------------
+# One-byte type tags.  Small non-negative ints ride *in* the tag byte
+# (0x80 | n, msgpack's fixint idea); lists of plain ints take a flat
+# encoding with a per-list element width packed by a single ``struct``
+# call — dependency-log entries, clock rows, and apply-snapshot vectors
+# all hit that path, which is where the compact codec beats per-element
+# dispatch on both bytes and time.
+_T_NONE, _T_FALSE, _T_TRUE = 0x00, 0x01, 0x02
+_T_INT8, _T_INT32, _T_INT64, _T_BIGINT = 0x10, 0x11, 0x12, 0x13
+_T_FLOAT = 0x20
+_T_STR, _T_BYTES, _T_LIST, _T_MAP = 0x30, 0x38, 0x40, 0x50
+#: flat int vector; the byte after the count is the element width (1/2/4/8)
+_T_INTLIST = 0x48
+#: schema-packed map: a _MAP_SCHEMAS id byte, then the values in layout
+#: order — no key strings on the wire
+_T_SCHEMA = 0x60
+#: 0x80..0xFF: the value n - 0x80 itself (0..127), no payload
+_T_FIXINT = 0x80
+
+_BI = struct.Struct(">Bi")
+_BQ = struct.Struct(">Bq")
+_BD = struct.Struct(">Bd")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+#: element widths for _T_INTLIST: (byte width, struct letter, signed bound)
+_INTLIST_WIDTHS = (
+    (1, "b", 1 << 7),
+    (2, "h", 1 << 15),
+    (4, "i", 1 << 31),
+    (8, "q", 1 << 63),
+)
+
+#: short strings recur constantly on the wire (frame field names,
+#: variable names, metadata kind tags) — cache their packed form.  The
+#: cache is bounded and only admits short strings, so a hostile stream
+#: of unique keys cannot grow it without bound.
+_STR_CACHE: Dict[str, bytes] = {}
+_STR_CACHE_MAX = 4096
+
+
+def _pack_len(out: bytearray, tag: int, n: int) -> None:
+    """Tagged length prefix: ``tag`` + u8, or ``tag`` + 0xFF + u32."""
+    if n < 0xFF:
+        out.append(tag)
+        out.append(n)
+    else:
+        out.append(tag)
+        out.append(0xFF)
+        out += n.to_bytes(4, "big")
+
+
+def _unpack_len(body: bytes, pos: int) -> Tuple[int, int]:
+    n = body[pos]
+    pos += 1
+    if n == 0xFF:
+        n = int.from_bytes(body[pos : pos + 4], "big")
+        pos += 4
+    return n, pos
+
+
+def _pack_str(out: bytearray, value: str) -> None:
+    cached = _STR_CACHE.get(value)
+    if cached is not None:
+        out += cached
+        return
+    raw = value.encode("utf-8")
+    n = len(raw)
+    if n < 0xFF:
+        packed = bytes((_T_STR, n)) + raw
+        if n <= 40 and len(_STR_CACHE) < _STR_CACHE_MAX:
+            _STR_CACHE[value] = packed
+        out += packed
+    else:
+        _pack_len(out, _T_STR, n)
+        out += raw
+
+
+def _pack_into(out: bytearray, value: Any) -> None:
+    kind = type(value)
+    if kind is str:
+        _pack_str(out, value)
+    elif kind is int:
+        if 0 <= value <= 127:
+            out.append(_T_FIXINT | value)
+        elif -128 <= value < 0:
+            out.append(_T_INT8)
+            out.append(value & 0xFF)
+        elif -(2**31) <= value < 2**31:
+            out += _BI.pack(_T_INT32, value)
+        elif _I64_MIN <= value <= _I64_MAX:
+            out += _BQ.pack(_T_INT64, value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "big", signed=True
+            )
+            _pack_len(out, _T_BIGINT, len(raw))
+            out += raw
+    elif value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif kind is dict:
+        k = value.get("k")
+        if type(k) is str:
+            ms = _MAP_SCHEMA_IDS.get(k)
+            if ms is not None and len(value) == len(ms[1]) + 1:
+                try:
+                    vals = [value[key] for key in ms[1]]
+                except KeyError:
+                    vals = None
+                if vals is not None:
+                    out.append(_T_SCHEMA)
+                    out.append(ms[0])
+                    for v in vals:
+                        _pack_into(out, v)
+                    return
+        _pack_len(out, _T_MAP, len(value))
+        for k, v in value.items():
+            if type(k) is str:
+                _pack_str(out, k)
+            else:
+                _pack_into(out, k)
+            _pack_into(out, v)
+    elif kind is list or kind is tuple:
+        n = len(value)
+        if n >= 4:
+            # flat int vectors (clock rows, apply snapshots, long masks)
+            # pack in ONE struct call at the narrowest element width;
+            # shorter lists are cheaper per-element below
+            lo = hi = 0
+            for x in value:
+                if type(x) is not int:
+                    break
+                if x < lo:
+                    lo = x
+                elif x > hi:
+                    hi = x
+            else:
+                if lo >= _I64_MIN and hi <= _I64_MAX:
+                    for width, letter, bound in _INTLIST_WIDTHS:
+                        if -bound <= lo and hi < bound:
+                            _pack_len(out, _T_INTLIST, n)
+                            out.append(width)
+                            out += struct.pack(f">{n}{letter}", *value)
+                            return
+        _pack_len(out, _T_LIST, n)
+        for item in value:
+            if type(item) is int and 0 <= item <= 127:
+                out.append(_T_FIXINT | item)
+            else:
+                _pack_into(out, item)
+    elif kind is float:
+        out += _BD.pack(_T_FLOAT, value)
+    elif kind is bytes:
+        _pack_len(out, _T_BYTES, len(value))
+        out += value
+    elif isinstance(value, bool):
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, (int, np.integer)):
+        # numpy scalars and int subclasses degrade to plain ints,
+        # mirroring what json.dumps does for them
+        _pack_into(out, int(value))
+    elif isinstance(value, float):
+        out += _BD.pack(_T_FLOAT, float(value))
+    elif isinstance(value, (str, list, tuple, dict)):
+        raise WireError(
+            f"binary codec cannot encode {type(value).__name__} subclasses"
+        )
+    else:
+        raise WireError(
+            f"binary codec cannot encode {type(value).__name__} values"
+        )
+
+
+#: struct decoders per _T_INTLIST width code
+_INTLIST_DECODE = {1: "b", 2: "h", 4: "i", 8: "q"}
+
+
+def _unpack_from(body: bytes, pos: int) -> Tuple[Any, int]:
+    tag = body[pos]
+    pos += 1
+    if tag >= _T_FIXINT:
+        return tag - _T_FIXINT, pos
+    if tag == _T_STR:
+        n, pos = _unpack_len(body, pos)
+        return body[pos : pos + n].decode("utf-8"), pos + n
+    if tag == _T_INT8:
+        b = body[pos]
+        return b - 256 if b >= 128 else b, pos + 1
+    if tag == _T_INT32:
+        return _I32.unpack_from(body, pos)[0], pos + 4
+    if tag == _T_INT64:
+        return _I64.unpack_from(body, pos)[0], pos + 8
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INTLIST:
+        n, pos = _unpack_len(body, pos)
+        width = body[pos]
+        pos += 1
+        letter = _INTLIST_DECODE.get(width)
+        if letter is None:
+            raise WireError(f"unknown int-vector width {width}")
+        return list(struct.unpack_from(f">{n}{letter}", body, pos)), pos + n * width
+    if tag == _T_LIST:
+        n, pos = _unpack_len(body, pos)
+        items = []
+        append = items.append
+        for _ in range(n):
+            t2 = body[pos]
+            if t2 >= _T_FIXINT:
+                append(t2 - _T_FIXINT)
+                pos += 1
+            else:
+                item, pos = _unpack_from(body, pos)
+                append(item)
+        return items, pos
+    if tag == _T_SCHEMA:
+        sid = body[pos]
+        pos += 1
+        if sid >= len(_MAP_SCHEMAS):
+            raise WireError(f"unknown map schema id {sid}")
+        kind_name, keys = _MAP_SCHEMAS[sid]
+        mapping = {"k": kind_name}
+        for key in keys:
+            t2 = body[pos]
+            if t2 >= _T_FIXINT:
+                mapping[key] = t2 - _T_FIXINT
+                pos += 1
+            else:
+                mapping[key], pos = _unpack_from(body, pos)
+        return mapping, pos
+    if tag == _T_MAP:
+        n, pos = _unpack_len(body, pos)
+        mapping = {}
+        for _ in range(n):
+            key, pos = _unpack_from(body, pos)
+            val, pos = _unpack_from(body, pos)
+            mapping[key] = val
+        return mapping, pos
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(body, pos)[0], pos + 8
+    if tag == _T_BYTES:
+        n, pos = _unpack_len(body, pos)
+        return bytes(body[pos : pos + n]), pos + n
+    if tag == _T_BIGINT:
+        n, pos = _unpack_len(body, pos)
+        return int.from_bytes(body[pos : pos + n], "big", signed=True), pos + n
+    raise WireError(f"unknown binary value tag 0x{tag:02x}")
+
+
+# ----------------------------------------------------------------------
+# framing (codec-agnostic module API)
+# ----------------------------------------------------------------------
+def encode_frame(frame: Dict[str, Any], codec: Any = JSON_CODEC) -> bytes:
     """Serialize one frame dict to its length-prefixed wire bytes."""
-    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
-    return _LEN.pack(len(body)) + body
+    return codec.encode(frame)
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
-    """Decode one frame body (the bytes after the length prefix)."""
-    try:
-        frame = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise WireError(f"undecodable frame body: {exc}") from None
-    if not isinstance(frame, dict):
-        raise WireError(f"frame must be a JSON object, got {type(frame).__name__}")
-    version = frame.get("v")
-    if version != WIRE_VERSION:
-        raise WireError(
-            f"unsupported wire version {version!r} (this side speaks "
-            f"{WIRE_VERSION}); upgrade the older peer"
-        )
-    if not isinstance(frame.get("t"), str):
-        raise WireError("frame missing its type field 't'")
-    return frame
+    """Decode one frame body (the bytes after the length prefix).
+
+    Sniffs the codec from the first byte: :data:`BINARY_MAGIC` marks the
+    binary codec, anything else is JSON.  A WIRE_VERSION 2 peer's JSON
+    frames therefore decode unchanged; binary bodies would be rejected
+    by a v2 peer's JSON-only decoder, which is why the binary codec is
+    only ever *sent* after a successful ``cv >= 3`` handshake.
+    """
+    if not body:
+        raise WireError("empty frame body")
+    if body[0] == BINARY_MAGIC:
+        return BINARY_CODEC.decode_body(body)
+    return JSON_CODEC.decode_body(body)
 
 
 def frame_length(prefix: bytes) -> int:
@@ -121,8 +651,10 @@ def frame_length(prefix: bytes) -> int:
 
 
 def make_frame(frame_type: str, **fields: Any) -> Dict[str, Any]:
-    """A frame dict of ``frame_type`` with the current wire version."""
-    frame: Dict[str, Any] = {"v": WIRE_VERSION, "t": frame_type}
+    """A frame dict of ``frame_type`` with the current frame schema
+    version (v2 — see :data:`JSON_WIRE_VERSION`; the v3 capability is a
+    per-connection negotiation, not a frame field)."""
+    frame: Dict[str, Any] = {"v": JSON_WIRE_VERSION, "t": frame_type}
     frame.update(fields)
     return frame
 
@@ -157,15 +689,17 @@ def encode_meta(meta: Any) -> Any:
             "log": _encode_deplog(meta.log),
         }
     if isinstance(meta, CrpMeta):
-        return {
-            "k": "crp",
-            "c": meta.clock,
-            "log": [[int(s), int(c)] for s, c in sorted(meta.log.items())],
-        }
+        log: List[int] = []
+        for s, c in sorted(meta.log.items()):
+            log.append(int(s))
+            log.append(int(c))
+        return {"k": "crp", "c": meta.clock, "log": log}
     if isinstance(meta, DepLog):
         return {"k": "dl", "e": _encode_deplog(meta)}
     if isinstance(meta, MatrixClock):
-        return {"k": "mc", "m": meta.m.tolist()}
+        # flat row-major (the matrix is square): one contiguous int list
+        # packs as a single binary intlist instead of n nested rows
+        return {"k": "mc", "m": meta.m.ravel().tolist()}
     if isinstance(meta, VectorClock):
         return {"k": "vc", "v": meta.v.tolist()}
     if isinstance(meta, np.ndarray):
@@ -174,8 +708,13 @@ def encode_meta(meta: Any) -> Any:
         if all(isinstance(x, (int, np.integer)) for x in meta):
             # flat clock vectors, e.g. opt-track's apply-progress snapshot
             return {"k": "ivec", "v": [int(x) for x in meta]}
-        # opt-track dependency summaries: tuples of (sender, clock) pairs
-        return {"k": "pairs", "v": [[int(z), int(c)] for z, c in meta]}
+        # opt-track dependency summaries: tuples of (sender, clock) pairs,
+        # flattened for the same single-intlist reason as the dep log
+        flat: List[int] = []
+        for z, c in meta:
+            flat.append(int(z))
+            flat.append(int(c))
+        return {"k": "pairs", "v": flat}
     raise WireError(f"unserializable protocol metadata {type(meta).__name__}")
 
 
@@ -191,12 +730,17 @@ def decode_meta(data: Any) -> Any:
             int(data["c"]), int(data["rm"]), _decode_deplog(data["log"])
         )
     if kind == "crp":
-        return CrpMeta(int(data["c"]), {int(s): int(c) for s, c in data["log"]})
+        log = data["log"]
+        return CrpMeta(
+            int(data["c"]),
+            {int(log[i]): int(log[i + 1]) for i in range(0, len(log), 2)},
+        )
     if kind == "dl":
         return _decode_deplog(data["e"])
     if kind == "mc":
-        m = np.array(data["m"], dtype=np.int64)
-        return MatrixClock(m.shape[0], m)
+        flat = np.array(data["m"], dtype=np.int64)
+        n = int(np.sqrt(flat.size))
+        return MatrixClock(n, flat.reshape(n, n))
     if kind == "vc":
         v = np.array(data["v"], dtype=np.int64)
         return VectorClock(v.shape[0], v)
@@ -205,16 +749,29 @@ def decode_meta(data: Any) -> Any:
     if kind == "ivec":
         return tuple(int(x) for x in data["v"])
     if kind == "pairs":
-        return tuple((int(z), int(c)) for z, c in data["v"])
+        v = data["v"]
+        return tuple((int(v[i]), int(v[i + 1])) for i in range(0, len(v), 2))
     raise WireError(f"unknown metadata kind {kind!r}")
 
 
-def _encode_deplog(log: DepLog) -> list:
-    return [[int(s), int(c), int(d)] for (s, c), d in sorted(log.entries.items())]
+def _encode_deplog(log: DepLog) -> List[int]:
+    """Flat ``[sender, clock, dests, ...]`` triples: a single contiguous
+    int list packs as one binary intlist (and is shorter as JSON too)."""
+    flat: List[int] = []
+    for (s, c), d in sorted(log.entries.items()):
+        flat.append(int(s))
+        flat.append(int(c))
+        flat.append(int(d))
+    return flat
 
 
 def _decode_deplog(entries: Any) -> DepLog:
-    return DepLog({(int(s), int(c)): int(d) for s, c, d in entries})
+    return DepLog(
+        {
+            (int(entries[i]), int(entries[i + 1])): int(entries[i + 2])
+            for i in range(0, len(entries), 3)
+        }
+    )
 
 
 # ----------------------------------------------------------------------
@@ -311,8 +868,16 @@ def decode_fetch_reply(frame: Dict[str, Any]) -> FetchReply:
 
 __all__ = [
     "WIRE_VERSION",
+    "JSON_WIRE_VERSION",
+    "MIN_WIRE_VERSION",
+    "BINARY_MAGIC",
     "MAX_FRAME_BYTES",
     "RETRIABLE",
+    "JsonCodec",
+    "BinaryCodec",
+    "JSON_CODEC",
+    "BINARY_CODEC",
+    "CODECS",
     "encode_frame",
     "decode_body",
     "frame_length",

@@ -51,8 +51,15 @@ def ycsb(
     zipf_s: float = 0.99,
     latest_window: int = 8,
     seed: int = 0,
+    value_size: int = 0,
 ) -> Workload:
-    """Generate one of the YCSB core workloads (see module docstring)."""
+    """Generate one of the YCSB core workloads (see module docstring).
+
+    ``value_size`` pads every written value to at least that many bytes
+    (YCSB's record size: the standard core workloads write ~1 KB rows;
+    the default 0 keeps the short self-describing values, handy in test
+    assertions).  Values stay unique per (site, counter) either way.
+    """
     if workload not in WORKLOADS:
         raise ConfigurationError(
             f"unknown YCSB workload {workload!r}; choose from {WORKLOADS}"
@@ -67,6 +74,10 @@ def ycsb(
     q = len(variables)
     pmf = _zipf_pmf(q, zipf_s)
     write_rate = _MIX[workload]
+
+    def value(site: int, counter: int, prefix: str = "v") -> str:
+        v = f"{prefix}{site}.{counter}"
+        return v.ljust(value_size, "x") if value_size else v
 
     #: shared recency ring for workload d ("read latest"); approximates
     #: YCSB's latest distribution with the keys this *generator* wrote
@@ -85,13 +96,13 @@ def ycsb(
                     counter += 1
                     ops.append(Operation.read(var))
                     if len(ops) < ops_per_site:
-                        ops.append(Operation.write(var, f"rmw{site}.{counter}"))
+                        ops.append(Operation.write(var, value(site, counter, "rmw")))
                     continue
                 ops.append(Operation.read(var))
                 continue
             if rng.random() < write_rate:
                 counter += 1
-                ops.append(Operation.write(var, f"v{site}.{counter}"))
+                ops.append(Operation.write(var, value(site, counter)))
                 recent.append(var)
                 if len(recent) > latest_window:
                     recent.pop(0)

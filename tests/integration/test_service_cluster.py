@@ -334,6 +334,155 @@ class TestLinkProtocol:
 
 
 # ----------------------------------------------------------------------
+# WIRE_VERSION 3: coalesced batches and cumulative acks
+# ----------------------------------------------------------------------
+class TestBatchedAcks:
+    @staticmethod
+    async def _v3_link(cluster):
+        """Open a raw connection to site 1 and negotiate the v3 profile
+        the way a real PeerLink does."""
+        conn = await cluster.transport.connect("site-1")
+        await conn.send(
+            wire.make_frame("link.hello", src=0, epoch=5, cv=wire.WIRE_VERSION)
+        )
+        ok = await conn.recv()
+        assert ok["t"] == "link.ok" and ok.get("cv") == wire.WIRE_VERSION
+        conn.negotiate(wire.BINARY_CODEC)
+        return conn
+
+    def test_contiguous_burst_acked_once_cumulatively(self):
+        # the v3 inbound profile: a burst delivered in one coalesced
+        # flush is applied as one batch and answered with a SINGLE
+        # cumulative repl.ack — not one ack per frame
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(2, 2, "opt-track", replication_factor=2,
+                                      metrics=metrics) as cluster:
+                receiver = cluster.servers[1]
+                proto = cluster.servers[0].protocol
+                conn = await self._v3_link(cluster)
+                frames = []
+                for i in range(3):
+                    m = next(m for m in proto.write("x0", f"v{i}").messages
+                             if m.dest == 1)
+                    frames.append(wire.encode_update(m, i + 1))
+                await conn.send_many(frames)
+                ack = await conn.recv()
+                assert (ack["t"], ack["a"]) == ("repl.ack", 3)
+                # no per-frame acks trail the cumulative one
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(conn.recv(), 0.05)
+                await conn.close()
+                return receiver.applies, metrics.snapshot()["counters"]
+
+        applies, counters = run(main())
+        assert applies == 3
+        assert counters.get("service_ack_batches_total{site=1}") == 1
+
+    def test_gap_in_batch_acks_contiguous_prefix_only(self):
+        # a batch with a hole: the contiguous prefix is applied and
+        # acked, the frame past the gap is refused without advancing
+        # the dedup high-water mark — the retransmit then lands whole
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(2, 2, "opt-track", replication_factor=2,
+                                      metrics=metrics) as cluster:
+                receiver = cluster.servers[1]
+                proto = cluster.servers[0].protocol
+                conn = await self._v3_link(cluster)
+                msgs = [next(m for m in proto.write("x0", f"v{i}").messages
+                             if m.dest == 1) for i in range(4)]
+                # ls=3 missing: the batch is [1, 2, 4]
+                await conn.send_many([
+                    wire.encode_update(msgs[0], 1),
+                    wire.encode_update(msgs[1], 2),
+                    wire.encode_update(msgs[3], 4),
+                ])
+                ack = await conn.recv()
+                assert (ack["t"], ack["a"]) == ("repl.ack", 2)
+                assert receiver.applies == 2
+                # the retransmit closing the gap is again acked once
+                await conn.send_many([
+                    wire.encode_update(msgs[2], 3),
+                    wire.encode_update(msgs[3], 4),
+                ])
+                ack = await conn.recv()
+                assert (ack["t"], ack["a"]) == ("repl.ack", 4)
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(conn.recv(), 0.05)
+                await conn.close()
+                return receiver.applies, metrics.snapshot()["counters"]
+
+        applies, counters = run(main())
+        assert applies == 4
+        assert counters.get("service_repl_gaps_total{site=1}") == 1
+        assert counters.get("service_ack_batches_total{site=1}") == 2
+
+    def test_cumulative_ack_retires_whole_sender_backlog(self):
+        # sender side: a burst enqueued on the real PeerLink without
+        # yielding flushes as ONE send_many batch; the receiver's single
+        # cumulative ack must retire every frame of the backlog at once
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(2, 2, "opt-track", replication_factor=2,
+                                      metrics=metrics) as cluster:
+                sender = cluster.servers[0]
+                proto = sender.protocol
+                # prime the link: first contact runs the handshake
+                m = next(m for m in proto.write("x0", "v0").messages
+                         if m.dest == 1)
+                sender._link(1).enqueue_update(m)
+                await cluster.quiesce()
+                link = sender._links[1]
+                assert link.backlog == 0
+                for i in range(1, 6):
+                    m = next(m for m in proto.write("x0", f"v{i}").messages
+                             if m.dest == 1)
+                    link.enqueue_update(m)
+                # nothing flushes before the writer task gets a turn
+                assert link.backlog == 5
+                await cluster.quiesce()
+                assert link.backlog == 0
+                return cluster.servers[1].applies, metrics.snapshot()["counters"]
+
+        applies, counters = run(main())
+        assert applies == 6
+        # the priming frame and the five-frame burst: two ack batches
+        assert counters.get("service_ack_batches_total{site=1}") == 2
+
+    def test_quiesce_sound_under_coalesced_flushes_and_kill(self):
+        # multi-session load (overlap makes real batches), one site
+        # killed mid-run: survivors must still drain every live link to
+        # zero backlog, surface zero errors, and pass the sanitizer
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(3, 6, "opt-track", replication_factor=3,
+                                      sanitize=True, metrics=metrics) as cluster:
+                gen = LoadGenerator(cluster, workload="a", ops_per_site=60,
+                                    sessions=4, seed=11, metrics=metrics)
+                task = asyncio.ensure_future(gen.run())
+                while gen.completed < gen.total_ops // 3 and not task.done():
+                    await asyncio.sleep(0.001)
+                cluster.kill_site(2)
+                report = await task
+                await cluster.quiesce()
+                live = set(cluster.live_sites)
+                backlogs = [
+                    link.backlog
+                    for server in cluster.servers
+                    if server.site in live
+                    for dest, link in server._links.items()
+                    if dest in live
+                ]
+                return report, backlogs, cluster.sanitizer.checks_run
+
+        report, backlogs, checks = run(main())
+        assert report.errors == 0
+        assert backlogs and all(b == 0 for b in backlogs)
+        assert checks > 0
+
+
+# ----------------------------------------------------------------------
 # causal safety through the service stack
 # ----------------------------------------------------------------------
 class TestCausalSafety:

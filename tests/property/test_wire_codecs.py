@@ -1,0 +1,362 @@
+"""Property: both wire codecs are faithful — any frame the service can
+legitimately produce round-trips bit-exactly through encode/decode, the
+binary codec included, and a mixed-version pair always lands on JSON.
+
+The strategies generate frames the way the service does (through
+``make_frame``/``encode_update``/``encode_fetch_request``/...), over
+every metadata kind :func:`repro.service.wire.encode_meta` emits —
+dependency logs, matrix/vector clocks, ``ivec`` apply snapshots, pair
+summaries — so a codec regression on any field layout fails here before
+it fails in a cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.log import DepLog
+from repro.core.messages import CrpMeta, FetchRequest, OptTrackMeta, UpdateMessage
+from repro.errors import WireError
+from repro.service import wire
+from repro.types import WriteId
+
+CODECS = (wire.JSON_CODEC, wire.BINARY_CODEC)
+
+# bounded to what the protocols produce: small non-negative site ids and
+# clocks, int64-safe masks (the binary intlist packs up to 8-byte ints)
+sites = st.integers(min_value=0, max_value=63)
+clocks = st.integers(min_value=0, max_value=2**40)
+masks = st.integers(min_value=0, max_value=2**62)
+varnames = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=12
+)
+values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=200),
+)
+
+
+@st.composite
+def deplogs(draw):
+    entries = draw(
+        st.dictionaries(st.tuples(sites, clocks), masks, min_size=0, max_size=8)
+    )
+    return DepLog(dict(entries))
+
+
+@st.composite
+def metas(draw):
+    kind = draw(
+        st.sampled_from(["none", "ot", "crp", "dl", "mc", "vc", "arr", "ivec", "pairs"])
+    )
+    if kind == "none":
+        return None
+    if kind == "ot":
+        return OptTrackMeta(
+            clock=draw(clocks),
+            replicas_mask=draw(masks),
+            log=draw(deplogs()),
+        )
+    if kind == "crp":
+        return CrpMeta(
+            clock=draw(clocks),
+            log=draw(st.dictionaries(sites, clocks, max_size=8)),
+        )
+    if kind == "dl":
+        return draw(deplogs())
+    if kind == "mc":
+        n = draw(st.integers(min_value=1, max_value=6))
+        m = draw(
+            st.lists(
+                st.lists(clocks, min_size=n, max_size=n), min_size=n, max_size=n
+            )
+        )
+        return MatrixClock(n, np.array(m, dtype=np.int64))
+    if kind == "vc":
+        v = draw(st.lists(clocks, min_size=1, max_size=8))
+        return VectorClock(len(v), np.array(v, dtype=np.int64))
+    if kind == "arr":
+        return np.array(draw(st.lists(clocks, min_size=1, max_size=8)), dtype=np.int64)
+    if kind == "ivec":
+        return tuple(draw(st.lists(clocks, min_size=0, max_size=8)))
+    return tuple(draw(st.lists(st.tuples(sites, clocks), min_size=0, max_size=8)))
+
+
+def meta_equal(a, b):
+    if isinstance(a, np.ndarray):
+        return isinstance(b, np.ndarray) and np.array_equal(a, b)
+    if isinstance(a, (MatrixClock, VectorClock)):
+        return type(a) is type(b) and np.array_equal(
+            a.m if isinstance(a, MatrixClock) else a.v,
+            b.m if isinstance(b, MatrixClock) else b.v,
+        )
+    if isinstance(a, DepLog):
+        return isinstance(b, DepLog) and a.entries == b.entries
+    if isinstance(a, OptTrackMeta):
+        return (a.clock, a.replicas_mask) == (b.clock, b.replicas_mask) and meta_equal(
+            a.log, b.log
+        )
+    if isinstance(a, CrpMeta):
+        return (a.clock, a.log) == (b.clock, b.log)
+    return a == b
+
+
+def roundtrip(codec, frame):
+    encoded = codec.encode(frame)
+    assert wire.frame_length(encoded[:4]) == len(encoded) - 4
+    return wire.decode_body(encoded[4:])
+
+
+class TestFrameRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        var=varnames,
+        value=values,
+        wid=st.tuples(sites, clocks),
+        src=sites,
+        dst=sites,
+        meta=metas(),
+        ls=clocks,
+    )
+    def test_update_frames(self, var, value, wid, src, dst, meta, ls):
+        msg = UpdateMessage(
+            var=var,
+            value=value,
+            write_id=WriteId(*wid),
+            sender=src,
+            dest=dst,
+            meta=meta,
+        )
+        frame = wire.encode_update(msg, ls)
+        for codec in CODECS:
+            out = wire.decode_update(roundtrip(codec, frame))
+            assert (out.var, out.value) == (msg.var, msg.value)
+            assert (out.write_id, out.sender, out.dest) == (
+                msg.write_id,
+                msg.sender,
+                msg.dest,
+            )
+            assert meta_equal(out.meta, msg.meta), codec.name
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        var=varnames,
+        rq=sites,
+        sv=sites,
+        fid=clocks,
+        deps=metas(),
+    )
+    def test_fetch_request_frames(self, var, rq, sv, fid, deps):
+        req = FetchRequest(var=var, requester=rq, server=sv, fetch_id=fid, deps=deps)
+        frame = wire.encode_fetch_request(req)
+        for codec in CODECS:
+            out = wire.decode_fetch_request(roundtrip(codec, frame))
+            assert (out.var, out.requester, out.server, out.fetch_id) == (
+                var,
+                rq,
+                sv,
+                fid,
+            )
+            assert meta_equal(out.deps, deps), codec.name
+
+    @settings(max_examples=80, deadline=None)
+    @given(ack=clocks)
+    def test_ack_frames(self, ack):
+        frame = wire.make_frame("repl.ack", a=ack)
+        for codec in CODECS:
+            assert roundtrip(codec, frame) == frame
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        src=sites,
+        epoch=clocks,
+        cv=st.integers(min_value=wire.MIN_WIRE_VERSION, max_value=wire.WIRE_VERSION),
+    )
+    def test_handshake_frames(self, src, epoch, cv):
+        # handshakes always travel JSON, but must survive both codecs:
+        # negotiation can only race *later* frames, never corrupt these
+        for frame in (
+            wire.make_frame("link.hello", src=src, epoch=epoch, cv=cv),
+            wire.make_frame("link.ok", ack=epoch, cv=cv),
+            wire.make_frame("hello", cv=cv),
+            wire.make_frame("hello.ok", site=src, cv=cv),
+        ):
+            for codec in CODECS:
+                assert roundtrip(codec, frame) == frame
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        t=st.sampled_from(["put", "put.ok", "get", "get.ok", "fetch.ok", "err"]),
+        var=varnames,
+        value=values,
+        extra=st.dictionaries(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+            ).filter(lambda k: k not in ("t", "v")),  # reserved frame fields
+            values,
+            max_size=4,
+        ),
+    )
+    def test_generic_frames(self, t, var, value, extra):
+        # arbitrary field sets: frames that match a binary schema take
+        # the positional layout, everything else the generic map layout —
+        # both must round-trip identically
+        frame = wire.make_frame(t, var=var, value=value, **extra)
+        for codec in CODECS:
+            assert roundtrip(codec, frame) == frame, codec.name
+
+
+class TestBinaryCodecEdges:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        v=st.lists(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_int_vectors_any_width(self, v):
+        # exercises every intlist element width (1/2/4/8 bytes) plus the
+        # bigint fallback at the int64 boundary
+        frame = wire.make_frame("fetch.ok", var="x", value=None, meta={"k": "ivec", "v": v})
+        out = roundtrip(wire.BINARY_CODEC, frame)
+        assert out["meta"]["v"] == v
+
+    def test_bools_never_intlist(self):
+        # bools are ints in Python; the intlist fast path must not
+        # swallow them or round-trip would change their type
+        frame = wire.make_frame("put", var="x", value=[True, False, True, False, True])
+        out = roundtrip(wire.BINARY_CODEC, frame)
+        assert out["value"] == [True, False, True, False, True]
+        assert all(isinstance(x, bool) for x in out["value"])
+
+    def test_sniffing_is_unambiguous(self):
+        frame = wire.make_frame("ping")
+        jbody = wire.JSON_CODEC.encode(frame)[4:]
+        bbody = wire.BINARY_CODEC.encode(frame)[4:]
+        assert jbody[0] == 0x7B and bbody[0] == wire.BINARY_MAGIC
+        assert wire.decode_body(jbody) == wire.decode_body(bbody) == frame
+
+    def test_unknown_tag_rejected(self):
+        body = bytes([wire.BINARY_MAGIC, wire.JSON_WIRE_VERSION, 0x7F])
+        with pytest.raises(WireError):
+            wire.decode_body(body)
+
+    def test_truncated_body_rejected(self):
+        frame = wire.make_frame("put", var="xyz", value="abcdef")
+        body = wire.BINARY_CODEC.encode(frame)[4:]
+        for cut in (3, len(body) // 2, len(body) - 1):
+            with pytest.raises(WireError):
+                wire.decode_body(body[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        body = wire.BINARY_CODEC.encode(wire.make_frame("ping"))[4:]
+        with pytest.raises(WireError):
+            wire.decode_body(body + b"\x00")
+
+
+class TestMixedVersionFallback:
+    def _negotiated_codecs(self, cluster_codec, client_codec):
+        """Run one put/get over a loopback cluster and report the codec
+        each side actually negotiated."""
+        import asyncio
+
+        from repro.obs.registry import MetricsRegistry
+        from repro.service.harness import ServiceCluster
+
+        async def run():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(
+                2, 4, "opt-track", metrics=metrics, codec=cluster_codec
+            ) as cluster:
+                client = cluster.client(home=0, codec=client_codec)
+                try:
+                    await client.put("x0", "v")
+                    value, _, _ = await client.get("x0")
+                    assert value == "v"
+                finally:
+                    await client.close()
+                await cluster.quiesce()
+            return metrics.snapshot()["counters"]
+
+        return asyncio.run(run())
+
+    @staticmethod
+    def _total(counters, name, codec):
+        return sum(
+            v
+            for k, v in counters.items()
+            if k.startswith(f"{name}{{") and f"codec={codec}" in k
+        )
+
+    def test_binary_cluster_binary_client(self):
+        counters = self._negotiated_codecs("binary", "binary")
+        assert self._total(counters, "client_wire_negotiations_total", "binary") >= 1
+        assert self._total(counters, "service_wire_negotiations_total", "binary") >= 1
+
+    def test_json_cluster_downgrades_binary_client(self):
+        # a v3 client against a v2-capability cluster: the hello is
+        # answered with cv=2 and every connection stays JSON
+        counters = self._negotiated_codecs("json", "binary")
+        assert self._total(counters, "client_wire_negotiations_total", "json") >= 1
+        assert self._total(counters, "client_wire_negotiations_total", "binary") == 0
+
+    def test_json_client_never_negotiates(self):
+        # a v2 client sends no hello at all — the binary-capable server
+        # just serves it JSON frames forever
+        counters = self._negotiated_codecs("binary", "json")
+        assert self._total(counters, "client_wire_negotiations_total", "json") == 0
+        assert self._total(counters, "client_wire_negotiations_total", "binary") == 0
+
+    def test_v2_server_err_downgrades_client(self):
+        """A true v2 server has no ``hello`` handler and answers ``err
+        bad-frame``; the v3 client must settle on JSON and still work."""
+        import asyncio
+
+        from repro.obs.registry import MetricsRegistry
+        from repro.service.client import KVClient
+        from repro.service.transport import LoopbackTransport
+
+        async def run():
+            transport = LoopbackTransport()
+            metrics = MetricsRegistry()
+
+            async def v2_server(conn):
+                # the seed's per-frame loop: anything it does not know
+                # (the hello included) gets err bad-frame, like a v2
+                # build would produce via its WireError handler
+                while True:
+                    frame = await conn.recv()
+                    if frame is None:
+                        return
+                    kind = frame.get("t")
+                    if kind == "ping":
+                        await conn.send(wire.make_frame("ping.ok", site=0))
+                    elif kind == "get":
+                        await conn.send(
+                            wire.make_frame("get.ok", value="old", w=None, by=0)
+                        )
+                    else:
+                        await conn.send(
+                            wire.err_frame("bad-frame", f"unknown frame {kind!r}")
+                        )
+
+            listener = await transport.listen("site-0", v2_server)
+            client = KVClient(
+                {0: "site-0"}, {"x0": (0,)}, transport, home=0, metrics=metrics
+            )
+            try:
+                value, wid, by = await client.get("x0")
+                assert (value, by) == ("old", 0)
+            finally:
+                await client.close()
+                await listener.close()
+            return metrics.snapshot()["counters"]
+
+        counters = asyncio.run(run())
+        assert self._total(counters, "client_wire_negotiations_total", "json") == 1
+        assert self._total(counters, "client_wire_negotiations_total", "binary") == 0

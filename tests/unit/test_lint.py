@@ -361,6 +361,55 @@ class TestBlockingIo:
 
 
 # ----------------------------------------------------------------------
+# wire-codec
+# ----------------------------------------------------------------------
+class TestWireCodec:
+    def test_json_dumps_on_wire_path_fires(self):
+        src = "def send(frame):\n    return json.dumps(frame)\n"
+        out = run(src, module="repro.service.transport")
+        assert rules_of(out) == ["wire-codec"]
+        assert "repro.service.wire" in out[0].message
+
+    def test_json_loads_on_wire_path_fires(self):
+        src = "def recv(body):\n    return json.loads(body)\n"
+        assert rules_of(run(src, module="repro.service.server")) == ["wire-codec"]
+
+    def test_json_import_on_wire_path_fires(self):
+        assert rules_of(run("import json\n", module="repro.service.client")) == [
+            "wire-codec"
+        ]
+        assert rules_of(
+            run("from json import dumps\n", module="repro.service.harness")
+        ) == ["wire-codec"]
+
+    def test_aliased_dumps_is_caught_at_alias_site(self):
+        src = "d = json.dumps\n"
+        assert rules_of(run(src, module="repro.service.server")) == ["wire-codec"]
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.service.wire", "repro.service.cli", "repro.service.bench"],
+    )
+    def test_exempt_edges_are_quiet(self, module):
+        src = "import json\ndef f(x):\n    return json.dumps(x)\n"
+        assert run(src, module=module) == []
+
+    def test_outside_service_is_quiet(self):
+        src = "import json\njson.dumps({})\n"
+        assert run(src, module="repro.analysis.runner") == []
+        assert run(src, module="repro.cli") == []
+
+    def test_wire_codec_calls_are_quiet(self):
+        src = "def send(frame, codec):\n    return codec.encode(frame)\n"
+        assert run(src, module="repro.service.transport") == []
+
+    def test_allowlisted_module_is_quiet(self):
+        allow = [AllowEntry("wire-codec", "repro.service.debug", "repl aid")]
+        src = "import json\n"
+        assert run(src, module="repro.service.debug", allow=allow) == []
+
+
+# ----------------------------------------------------------------------
 # service layering (the DAG covers the new package)
 # ----------------------------------------------------------------------
 class TestServiceLayering:
@@ -463,6 +512,7 @@ class TestRepositoryIsClean:
             "hook-shadow",
             "adhoc-logging",
             "blocking-io",
+            "wire-codec",
         }
 
 

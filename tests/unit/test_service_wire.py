@@ -23,7 +23,10 @@ class TestFraming:
         assert roundtrip(frame) == frame
 
     def test_version_field_stamped(self):
-        assert wire.make_frame("ping")["v"] == wire.WIRE_VERSION
+        # frames still carry the v2 *schema* version: WIRE_VERSION 3 adds
+        # a codec and a batching profile, not a field change
+        assert wire.make_frame("ping")["v"] == wire.JSON_WIRE_VERSION
+        assert wire.JSON_WIRE_VERSION < wire.WIRE_VERSION
 
     def test_unsupported_version_rejected(self):
         encoded = wire.encode_frame({"v": wire.WIRE_VERSION + 1, "t": "ping"})
