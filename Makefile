@@ -56,8 +56,10 @@ bench-fast:
 # Regenerate BENCH_service.json (loopback + TCP ops/s and latency
 # percentiles under both wire profiles, plus the codec microbench) and
 # fail unless the WIRE_VERSION 3 binary profile beats the JSON baseline
-# by the codec-speedup floor on the reference loopback cell.  Details in
-# docs/performance.md ("Service throughput")
+# by the codec-speedup floor on the reference loopback cell AND the
+# WIRE_VERSION 4 delta profile spends at most the bytes-ratio ceiling of
+# the binary profile's bytes/op on the metadata-bound cell.  Details in
+# docs/performance.md ("Service throughput", "Metadata on the wire")
 service-bench:
 	$(PYTHON) -m repro.service.cli bench --ledger BENCH_service.json
 

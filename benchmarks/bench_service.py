@@ -2,14 +2,19 @@
 
 Regenerates ``BENCH_service.json`` (checked in at the repo root) — the
 measured basis for the service-throughput table in docs/performance.md
-and the WIRE_VERSION 3 numbers in docs/service.md.  Each cell drives the
+and the wire-profile numbers in docs/service.md.  Each cell drives the
 closed-loop YCSB load generator against a whole in-process cluster, over
-(loopback, tcp) x (json, binary): the JSON cells pin the cluster to the
-WIRE_VERSION 2 per-frame profile, the binary cells negotiate the
-WIRE_VERSION 3 batched profile.  ``write_report`` (and so
+(loopback, tcp) x (json, binary, delta): the JSON cells pin the cluster
+to the WIRE_VERSION 2 per-frame profile, the binary cells to the
+WIRE_VERSION 3 batched profile, and the delta cells negotiate the full
+WIRE_VERSION 4 metadata-lean profile.  A dedicated metadata-bound cell
+reruns all three profiles where dependency-log metadata dominates the
+wire and reports bytes/op.  ``write_report`` (and so
 ``make service-bench``) fails unless the binary profile beats the JSON
-baseline by the codec-speedup floor on the reference loopback cell — the
-guardrail keeping the fast wire measurably fast.
+baseline by the codec-speedup floor on the reference loopback cell AND
+the delta profile's bytes/op on the metadata cell stays under the
+bytes-ratio ceiling of the binary profile's — the guardrails keeping
+the fast wire measurably fast and the lean wire measurably lean.
 
 Run directly::
 
@@ -31,17 +36,24 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.service.bench import SPEEDUP_FLOOR, bench_service, write_report
+from repro.service.bench import (
+    BYTES_RATIO_CEILING,
+    SPEEDUP_FLOOR,
+    bench_service,
+    write_report,
+)
 
 
 def test_service_bench_smoke():
     report = bench_service(fast=True)
     for transport in ("loopback", "tcp"):
         cell = report["cells"][transport]
-        for codec in ("json", "binary"):
+        for codec in ("json", "binary", "delta"):
             row = cell[codec]
             assert row["ops"] > 0 and row["errors"] == 0, (transport, codec)
             assert row["ops_per_s"] > 0
+            assert row["wire_bytes_sent"] > 0
+            assert row["wire_bytes_per_op"] > 0
             assert row["latency_ms"]["put"]["p50"] is not None
             assert row["latency_ms"]["get"]["p99"] is not None
         assert cell["speedup"] > 0
@@ -49,10 +61,19 @@ def test_service_bench_smoke():
     for frame in ("repl", "repl.ack"):
         assert micro[frame]["binary"]["body_bytes"] < micro[frame]["json"]["body_bytes"]
         assert micro[frame]["size_ratio"] > 1.0
+    meta = report["metadata_cell"]
+    for codec in ("json", "binary", "delta"):
+        row = meta[codec]
+        assert row["ops"] > 0 and row["errors"] == 0, codec
+        assert row["wire_bytes_per_op"] > 0
+    assert meta["bytes_ratio"] > 0
+    assert meta["config"]["workload"] == "a"
     rail = report["guardrail"]
     assert rail["speedup_floor"] == SPEEDUP_FLOOR
+    assert rail["bytes_ratio_ceiling"] == BYTES_RATIO_CEILING
+    assert rail["bytes_ratio"] == meta["bytes_ratio"]
     assert rail["transport"] == "loopback"
-    # fast mode reports but does not enforce the floor; the full run
+    # fast mode reports but does not enforce the rails; the full run
     # (make service-bench) is the enforcing gate
     assert rail["ok"] and not rail["enforced"]
 

@@ -345,6 +345,33 @@ class CausalProtocol(ABC):
         """
         self._replica_mask[var] = bitsets.mask_of(self.config.replicas_of[var])
 
+    def note_remote_apply(self, site: SiteId, upto_clock: int) -> None:
+        """Out-of-band Condition-1 knowledge: ``site`` has **applied** this
+        site's writes up to local write clock ``upto_clock``.
+
+        The networked service calls this from the peer-link ack path (the
+        ``ap`` applied watermark piggybacked on cumulative ``repl.ack``
+        frames, see :mod:`repro.service.server`): receiving the ack is
+        causally after the applies it reports, so any destination
+        information those applies made redundant may be garbage-collected
+        — protocols that track per-write destination sets bound their
+        sender-side log growth by the in-flight window instead of the
+        piggyback round-trip.  Must be safe to call with stale or repeated
+        watermarks (acks are cumulative).  Default: no-op — protocols
+        whose metadata carries no per-destination state have nothing to
+        collect.
+        """
+
+    def note_remote_apply_log(self, site: SiteId, meta: Any) -> None:
+        """Transitive companion to :meth:`note_remote_apply`: ``site``
+        acked **applying** an update of ours whose piggybacked metadata
+        was ``meta``.  Whatever causal obligations that metadata proves
+        ``site`` has discharged (for Opt-Track: every log record naming
+        it as a destination, by the activation predicate) may be
+        garbage-collected.  Same safety contract as
+        :meth:`note_remote_apply`; default: no-op.
+        """
+
     # ------------------------------------------------------------------
     # introspection / accounting
     # ------------------------------------------------------------------

@@ -294,6 +294,129 @@ class DepLog:
                 out.append((dest, shared))
         return out
 
+    def diff(self, base: "DepLog") -> Tuple[List[int], List[int], List[int]]:
+        """Index-coded delta of this log relative to ``base``:
+        ``(removed, updated, added)``.
+
+        ``base``'s records in canonical (sorted-key) order form the index
+        space: ``removed`` lists the positions of base records absent
+        here; ``updated`` is a flat ``[position, dests, ...]`` pair list
+        for records present in both whose destination mask changed;
+        ``added`` is a flat sorted ``[sender, clock, dests, ...]`` triple
+        list of records absent from ``base``.  A position is one small
+        int where a ``(sender, clock)`` key is two, and both sides can
+        rebuild the index space from the baseline alone, so the delta
+        stays cheap even when most of the log churned.  Applying the
+        delta to ``base`` (:meth:`apply_diff`) reconstructs this log
+        exactly; all three lists are canonical, so equal logs always
+        produce byte-identical wire encodings.  Read-only on both logs —
+        no COW materialization.
+        """
+        entries = self.entries
+        base_entries = base.entries
+        removed: List[int] = []
+        updated: List[int] = []
+        for i, key in enumerate(sorted(base_entries)):
+            d = entries.get(key)
+            if d is None:
+                removed.append(i)
+            elif d != base_entries[key]:
+                updated.append(i)
+                updated.append(d)
+        added: List[int] = []
+        for (s, c), d in sorted(entries.items()):
+            if (s, c) not in base_entries:
+                added.append(s)
+                added.append(c)
+                added.append(d)
+        return removed, updated, added
+
+    def apply_diff(
+        self, removed: List[int], updated: List[int], added: List[int]
+    ) -> "DepLog":
+        """Reconstruct the log that produced ``diff(self) == (removed,
+        updated, added)``.
+
+        Returns a **new** log; ``self`` (the baseline) is untouched, so a
+        receiver can keep chaining deltas against the logs it decodes
+        without defensive copies.  The public constructor rebuilds the
+        per-sender latest cache, keeping the ``_latest`` invariant without
+        reasoning about which removal orphaned which sender.  Raises
+        ``IndexError``/``KeyError`` on positions outside the baseline —
+        the wire layer turns that into a :class:`~repro.errors.WireError`.
+        """
+        order = sorted(self.entries)
+        entries = dict(self.entries)
+        for i in removed:
+            del entries[order[i]]
+        for i in range(0, len(updated), 2):
+            entries[order[updated[i]]] = updated[i + 1]
+        for i in range(0, len(added), 3):
+            entries[(added[i], added[i + 1])] = added[i + 2]
+        return DepLog(entries)
+
+    def prune_known(self, known) -> None:
+        """Condition 1 against a table of proven applies: ``known[d, z]``
+        is a lower bound on ``Apply_d[z]`` (site ``d`` has applied sender
+        ``z``'s writes up to that clock).  Clears ``d`` from every record
+        ``<z, c <= known[d, z]>`` and purges records it empties (unless
+        newest of their sender — the PURGE retention rule).
+
+        The table is how the service layer's ack-driven GC generalizes
+        :meth:`prune_sender_upto` beyond the acking link's own writes:
+        an *applied* ack for an update proves (via the activation
+        predicate) that the acker applied every record the update's
+        piggybacked log named it in, and per-sender apply order is
+        FIFO, so the knowledge compresses to one clock per (site,
+        sender) pair.
+        """
+        hit = []
+        for (z, c), d in self.entries.items():
+            nd = d
+            for s in bitsets.iter_sites(d):
+                if known[s, z] >= c:
+                    nd &= ~(1 << s)
+            if nd != d:
+                hit.append(((z, c), nd))
+        if not hit:
+            return
+        self._own()
+        entries = self.entries
+        latest = self._latest
+        for key, pruned in hit:
+            if pruned == bitsets.EMPTY and key[1] != latest[key[0]]:
+                del entries[key]
+            else:
+                entries[key] = pruned
+        self._dests = None
+
+    def prune_sender_upto(self, sender: int, upto_clock: int, mask: int) -> None:
+        """Clear the ``mask`` destination bits from ``sender``'s records
+        with ``clock <= upto_clock``, purging records it empties (unless
+        newest of their sender — the PURGE retention rule).
+
+        This is Condition 1 applied *out of band*: the service layer
+        learns through cumulative link acks that the masked sites applied
+        ``sender``'s writes up to ``upto_clock``, without waiting for the
+        knowledge to round-trip through piggybacked logs.
+        """
+        hit = [
+            (key, d & ~mask)
+            for key, d in self.entries.items()
+            if key[0] == sender and key[1] <= upto_clock and d & mask
+        ]
+        if not hit:
+            return
+        self._own()
+        entries = self.entries
+        latest = self._latest
+        for key, pruned in hit:
+            if pruned == bitsets.EMPTY and key[1] != latest[key[0]]:
+                del entries[key]
+            else:
+                entries[key] = pruned
+        self._dests = None
+
     def merge(self, incoming: "DepLog") -> None:
         """MERGE (Alg. 3 lines 4-11): fold a piggybacked log into this one.
 

@@ -74,6 +74,14 @@ class OptTrackProtocol(CausalProtocol):
         #: every write stored to it here — the causal ceiling used to
         #: reject regressions (see _dominated)
         self._ceiling: Dict[VarId, Dict[int, int]] = {}
+        #: ``known_applies[d, z]`` — proven lower bound on ``Apply_d[z]``,
+        #: fed by the service layer's applied-watermark acks (direct for
+        #: our own writes, transitive via the piggybacked log of each
+        #: acked update — see note_remote_apply_log).  Lazily allocated:
+        #: stays ``None`` (zero cost) until the first ack arrives, i.e.
+        #: in simulation runs and on v3 links, which never send applied
+        #: watermarks.
+        self.known_applies: Optional[np.ndarray] = None
 
     @property
     def clock(self) -> int:
@@ -101,6 +109,14 @@ class OptTrackProtocol(CausalProtocol):
         # clears through Condition 1 once the update actually applies at
         # the writer; receivers' activation checks are unaffected.
         prune_mask = bitsets.remove(reps_mask, self.site)
+
+        # Ack-driven Condition 1 ahead of the copies: clear every
+        # destination bit the known-applies table proves satisfied, so
+        # neither the piggybacked copies nor the retained log carry it.
+        # Runs unconditionally when the table exists — READ's merge
+        # (absorb) can resurrect already-pruned bits from stored logs.
+        if self.known_applies is not None:
+            self.log.prune_known(self.known_applies)
 
         messages: list[UpdateMessage] = []
         if self.distributed_prune:
@@ -188,6 +204,12 @@ class OptTrackProtocol(CausalProtocol):
     def serve_fetch(self, req: FetchRequest) -> FetchReply:
         value, write_id = self.local_value(req.var)
         meta = self.last_write_on.get(req.var)
+        if meta is not None and self.known_applies is not None:
+            # Refresh the stored log against applies proven since it was
+            # frozen at apply/write time (Condition 1 via the ack-driven
+            # table) — stored logs are otherwise never re-pruned, and
+            # they dominate fetch-reply bytes on read-heavy workloads.
+            meta.prune_known(self.known_applies)
         applied = tuple(int(c) for c in self.apply_clocks)
         return FetchReply(
             req.var,
@@ -361,8 +383,59 @@ class OptTrackProtocol(CausalProtocol):
         return ceiling.get(msg.sender, 0) >= meta.clock
 
     # ------------------------------------------------------------------
+    # service-layer GC seam
+    # ------------------------------------------------------------------
+    def note_remote_apply(self, site: SiteId, upto_clock: int) -> None:
+        """Ack-driven Condition-1 prune: the peer link to ``site`` acked
+        (applied) our writes up to ``upto_clock``, so records
+        ``<self, c <= upto_clock>`` no longer need to name ``site`` as a
+        destination.  Bounds the own-write slice of ``LOG`` by the
+        in-flight link window — without this the writer only forgets a
+        destination once the knowledge round-trips through a piggybacked
+        log (Condition 1 via MERGE), which on a quiet link never happens.
+        """
+        if upto_clock <= 0 or site == self.site:
+            return
+        known = self._known()
+        if upto_clock > known[site, self.site]:
+            known[site, self.site] = upto_clock
+        self.log.prune_sender_upto(
+            self.site, upto_clock, bitsets.singleton(site)
+        )
+
+    def note_remote_apply_log(self, site: SiteId, meta: Any) -> None:
+        """Transitive ack-driven knowledge: ``site`` acked *applying* an
+        update whose piggybacked metadata is ``meta``.  The activation
+        predicate guarantees it had then applied every record in the
+        piggybacked log naming it as a destination, and per-sender
+        applies are FIFO (apply_update enforces monotonicity), so each
+        such record ``<z, c>`` raises the proven bound
+        ``known_applies[site, z]`` to at least ``c``.  This is what lets
+        the ack-driven GC clear *third-party* destination bits, not just
+        the acking link's own-write slice — knowledge that otherwise
+        only round-trips through a future piggybacked log merge.
+        """
+        if site == self.site:
+            return
+        log: DepLog = meta.log
+        known = self._known()
+        bit = bitsets.singleton(site)
+        for (z, c), dests in log.entries.items():
+            if dests & bit and c > known[site, z]:
+                known[site, z] = c
+
+    def _known(self) -> np.ndarray:
+        known = self.known_applies
+        if known is None:
+            n = self.config.n
+            known = self.known_applies = np.zeros((n, n), dtype=np.int64)
+        return known
+
+    # ------------------------------------------------------------------
     def meta_objects(self) -> Iterable[Any]:
         yield self.log
         yield self.apply_clocks
         yield from self.last_write_on.values()
         yield from self._ceiling.values()
+        if self.known_applies is not None:
+            yield self.known_applies

@@ -796,6 +796,149 @@ class HookShadowRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# v4 delta-chain / intern state discipline
+# ----------------------------------------------------------------------
+
+#: per-connection WIRE_VERSION 4 state: delta-chain encoder/decoder
+#: baselines and the negotiated intern tables
+_DELTA_STATE_ATTRS = {"_delta_out", "_delta_in", "_itab", "_itabs"}
+
+#: the connection-lifecycle sites allowed to (re)build that state:
+#: construction, the handshake that negotiates it, the epoch reset that
+#: discards a stale chain, and the contiguous-decode path that lazily
+#: creates a per-sender decoder.  Everything else must treat the state
+#: as read-only — an ad-hoc reset desynchronizes the two chain ends and
+#: the next repl.delta reconstructs the wrong metadata.
+_DELTA_STATE_ALLOWED = {
+    "repro.service.server": {
+        ("PeerLink", "__init__"),
+        ("PeerLink", "_handshake"),
+        ("SiteServer", "__init__"),
+        ("SiteServer", "_decode_repl"),
+        ("SiteServer", "_handle_hello"),
+    },
+    "repro.service.client": {
+        ("KVClient", "__init__"),
+        ("KVClient", "_negotiate"),
+    },
+}
+
+
+class WireDeltaStateRule(Rule):
+    """v4 delta/intern connection state mutates only on lifecycle paths.
+
+    The ``repl.delta`` chain is sound because both ends advance their
+    baseline in lockstep with the frames actually sent and processed,
+    and id interning is sound because both directions resolve against
+    the table fixed at the handshake.  Any other code path touching
+    that state (``_delta_out``/``_delta_in``/``_itab``/``_itabs``)
+    breaks the agreement silently — the decoder then applies a diff to
+    the wrong baseline or resolves ids against the wrong table.  Flags,
+    in any ``repro.service`` module except :mod:`repro.service.wire`
+    (which owns the encoder/decoder classes):
+
+    * assignment, augmented assignment, ``del``, and subscript stores
+      on those attributes outside the allowed lifecycle sites
+      (:data:`_DELTA_STATE_ALLOWED`);
+    * container mutators called on them (``x._delta_in.clear()``).
+
+    Syntactic only: aliasing (``dec = self._delta_in[s]; dec.reset()``)
+    is not tracked.  Allowlist payload: the module name.
+    """
+
+    name = "wire-delta-state"
+    summary = (
+        "v4 delta-chain/intern state mutated outside repro.service.wire "
+        "and the connection lifecycle paths"
+    )
+    scoped_prefixes = ("repro.service",)
+    exempt_modules = {"repro.service.wire"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        if ctx.module in self.exempt_modules:
+            return
+        if ctx.module in ctx.allowed_payloads(self.name):
+            return
+        allowed = _DELTA_STATE_ALLOWED.get(ctx.module, set())
+        yield from self._walk(ctx, ctx.tree, None, None, allowed)
+
+    def _walk(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        klass: Optional[str],
+        meth: Optional[str],
+        allowed: set,
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            ck, cm = klass, meth
+            if isinstance(child, ast.ClassDef):
+                ck, cm = child.name, None
+            elif (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and cm is None
+            ):
+                # nested defs stay attributed to the enclosing method
+                cm = child.name
+            if (ck, cm) not in allowed:
+                yield from self._findings(ctx, child)
+            yield from self._walk(ctx, child, ck, cm, allowed)
+
+    def _findings(self, ctx: ModuleContext, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                hit = self._state_write(target)
+                if hit:
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"write to v4 wire state {hit!r} outside the "
+                        f"connection lifecycle paths — the delta chain "
+                        f"and intern table only stay in sync when "
+                        f"handshake/reset code owns them",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                hit = self._state_write(target)
+                if hit:
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"del on v4 wire state {hit!r} outside the "
+                        f"connection lifecycle paths",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            owner = node.func.value
+            if (
+                node.func.attr in _DICT_MUTATORS
+                and isinstance(owner, ast.Attribute)
+                and owner.attr in _DELTA_STATE_ATTRS
+            ):
+                yield Finding(
+                    self.name,
+                    ctx.path,
+                    node.lineno,
+                    f"mutating call .{owner.attr}.{node.func.attr}(...) on "
+                    f"v4 wire state outside the connection lifecycle paths",
+                )
+
+    @staticmethod
+    def _state_write(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr in _DELTA_STATE_ATTRS:
+            return target.attr
+        return None
+
+
 #: the default rule set, in catalog order
 ALL_RULES: Tuple[Rule, ...] = (
     ImportLayeringRule(),
@@ -807,6 +950,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     AdHocLoggingRule(),
     BlockingIoRule(),
     WireCodecRule(),
+    WireDeltaStateRule(),
     HookShadowRule(),
 )
 

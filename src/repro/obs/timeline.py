@@ -155,6 +155,14 @@ def render_report(loaded: LoadedTrace, top: int = 5) -> str:
         facts.append(f"protocol={loaded.protocol}")
     if loaded.n_sites is not None:
         facts.append(f"n_sites={loaded.n_sites}")
+    wire_bytes = loaded.header.get("wire_bytes")
+    if wire_bytes:
+        # service traces stamp transport-level byte totals (see
+        # ServiceCluster.stop); simulator traces have no wire layer
+        facts.append(
+            f"wire_bytes sent={wire_bytes.get('sent', 0)} "
+            f"received={wire_bytes.get('received', 0)}"
+        )
     lines = [
         f"trace {loaded.path}",
         "  "

@@ -1,9 +1,11 @@
 """Service throughput bench: the ``BENCH_service.json`` ledger.
 
-Measures the networked KV service end to end under both wire profiles —
-the v2 baseline (JSON codec, per-frame flush, one ack per apply) and the
-negotiated WIRE_VERSION 3 profile (binary codec, coalesced batches,
-cumulative acks) — over both transports:
+Measures the networked KV service end to end under the three wire
+profiles — the v2 baseline (JSON codec, per-frame flush, one ack per
+apply), the WIRE_VERSION 3 profile (binary codec, coalesced batches,
+cumulative acks), and the WIRE_VERSION 4 metadata-lean profile (chained
+``repl.delta`` frames, negotiated id interning, ack-driven GC) — over
+both transports:
 
 * **loopback** — deterministic in-process transport; every frame still
   round-trips the active codec, so this isolates encode/decode plus the
@@ -18,15 +20,26 @@ from the shared :class:`~repro.obs.registry.MetricsRegistry` histogram
 pipeline.  Cells run ``repeats`` times and keep the best run, the usual
 noise floor for throughput benches.
 
-The **guardrail**: on the reference loopback run the binary profile
-must beat the JSON profile by at least :data:`SPEEDUP_FLOOR` in ops/s.
-:func:`write_report` (and so ``make service-bench`` / CI) raises when it
-does not — a codec or batching regression fails the build rather than
-silently eroding the win the ledger documents.
+Every cell additionally reports **bytes per operation** from the
+transport-level ``wire_bytes_sent_total`` counters, and a dedicated
+**metadata-bound cell** (:data:`METADATA_BOUND`: tiny values, eight
+sites, sparse placement, a long YCSB-A run — the regime where causal
+metadata, not payload, dominates the wire) isolates what the v4
+profile is for.
+
+The **guardrails**: on the reference loopback run the binary profile
+must beat the JSON profile by at least :data:`SPEEDUP_FLOOR` in ops/s,
+and on the metadata-bound cell the delta profile must spend at most
+:data:`BYTES_RATIO_CEILING` of the binary profile's bytes per op.
+:func:`write_report` (and so ``make service-bench`` / CI) raises when
+either fails — a codec, batching, or delta regression fails the build
+rather than silently eroding the win the ledger documents.
 
 A codec microbench (encoded frame sizes and per-frame encode/decode
-times for a representative ``repl`` frame and ack) rides along, tying
-the end-to-end numbers back to the paper's message-overhead argument.
+times for a representative ``repl`` frame and ack, plus the chained
+delta encoding of a representative consecutive-frame pair) rides
+along, tying the end-to-end numbers back to the paper's
+message-overhead argument.
 """
 
 from __future__ import annotations
@@ -42,12 +55,17 @@ from repro.obs.registry import MetricsRegistry
 from repro.service import wire
 from repro.service.harness import ServiceCluster
 from repro.service.loadgen import LoadGenerator
-from repro.service.transport import TcpTransport
+from repro.service.transport import LoopbackTransport, TcpTransport
 from repro.types import WriteId
 
 #: the CI guardrail: binary ops/s must be at least this multiple of
 #: JSON ops/s on the reference loopback cell
 SPEEDUP_FLOOR = 1.25
+
+#: the CI guardrail for the v4 profile: on the metadata-bound loopback
+#: cell the delta profile's bytes/op must be at most this fraction of
+#: the binary (v3) profile's
+BYTES_RATIO_CEILING = 0.60
 
 #: the reference run every ledger row shares: full replication over four
 #: sites (each write fans out to three peer links — the wire path is a
@@ -66,10 +84,30 @@ REFERENCE: Dict[str, Any] = {
     "seed": 7,
 }
 
+#: the metadata-bound cell: tiny values over a wide, sparsely
+#: replicated cluster, run long — under sparse placement the v3
+#: dependency logs grow with run length (piggybacked knowledge starves)
+#: while the v4 ack-driven GC holds them to the in-flight window, and
+#: the read half of YCSB-A ships a stored log in every fetch reply.
+#: Metadata, not payload, is then what the wire carries, which is the
+#: regime the v4 profile is for.  Loopback only: the cell measures
+#: bytes on the wire, which transports agree on exactly.
+METADATA_BOUND: Dict[str, Any] = {
+    "protocol": "opt-track",
+    "sites": 8,
+    "variables": 24,
+    "replication_factor": 3,
+    "workload": "a",
+    "ops_per_site": 900,
+    "sessions": 8,
+    "value_size": 0,
+    "seed": 11,
+}
+
 #: cell repeats (best-of); the fast path used by tests runs once
 REPEATS = 3
 
-_CODECS = ("json", "binary")
+_CODECS = ("json", "binary", "delta")
 
 
 async def _free_tcp_addresses(n: int) -> Dict[int, str]:
@@ -110,9 +148,17 @@ async def bench_cell(
         metrics = MetricsRegistry()
         kwargs: Dict[str, Any] = {}
         if transport == "tcp":
-            kwargs["transport"] = TcpTransport()
+            kwargs["transport"] = TcpTransport(metrics=metrics)
             kwargs["addresses"] = await _free_tcp_addresses(cfg["sites"])
-        elif transport != "loopback":
+        elif transport == "loopback":
+            if cfg.get("link_delay"):
+                # the WAN-latency knob: a delayed loopback grows the
+                # unacked window, and with it the dependency logs —
+                # the metadata-bound cell runs here
+                kwargs["transport"] = LoopbackTransport(
+                    metrics=metrics, delay=cfg["link_delay"]
+                )
+        else:
             raise ValueError(f"unknown bench transport {transport!r}")
         async with ServiceCluster(
             cfg["sites"],
@@ -145,6 +191,15 @@ async def bench_cell(
         row = report.as_dict()
         row["transport"] = transport
         row["codec"] = codec
+        # transport-level byte totals over the whole run including the
+        # quiesce tail, so replication traffic is fully accounted
+        counters = metrics.snapshot()["counters"]
+        sent = sum(
+            v for k, v in counters.items()
+            if k.startswith("wire_bytes_sent_total")
+        )
+        row["wire_bytes_sent"] = sent
+        row["wire_bytes_per_op"] = sent / row["ops"] if row["ops"] else 0.0
         if report.errors:
             raise RuntimeError(
                 f"bench cell {transport}/{codec} surfaced {report.errors} "
@@ -156,26 +211,45 @@ async def bench_cell(
     return best
 
 
-def _reference_repl_frame() -> Dict[str, Any]:
-    """A representative repl frame for the codec microbench: an
-    Opt-Track update with a three-entry dependency log."""
-    msg = UpdateMessage(
-        var="x7",
-        value="value-7",
-        write_id=WriteId(1, 41),
-        sender=1,
-        dest=2,
-        meta=OptTrackMeta(
-            clock=41,
-            replicas_mask=0b110,
-            log=DepLog({(0, 17): 6, (1, 40): 5, (2, 9): 3}),
+def _reference_repl_messages() -> List[UpdateMessage]:
+    """Two consecutive updates from one sender for the codec microbench:
+    Opt-Track metadata whose dependency logs overlap heavily — the shape
+    a peer link actually carries, and what the delta chain exploits."""
+    return [
+        UpdateMessage(
+            var="x7",
+            value="value-7",
+            write_id=WriteId(1, 41),
+            sender=1,
+            dest=2,
+            meta=OptTrackMeta(
+                clock=41,
+                replicas_mask=0b110,
+                log=DepLog({(0, 17): 6, (1, 40): 5, (2, 9): 3}),
+            ),
         ),
-    )
-    return wire.encode_update(msg, 41)
+        UpdateMessage(
+            var="x7",
+            value="value-8",
+            write_id=WriteId(1, 42),
+            sender=1,
+            dest=2,
+            meta=OptTrackMeta(
+                clock=42,
+                replicas_mask=0b110,
+                log=DepLog({(0, 17): 6, (1, 41): 5, (2, 9): 3}),
+            ),
+        ),
+    ]
+
+
+def _reference_repl_frame() -> Dict[str, Any]:
+    return wire.encode_update(_reference_repl_messages()[0], 41)
 
 
 def bench_codecs(iterations: int = 20000) -> Dict[str, Any]:
-    """Per-frame encode/decode timings and sizes for both codecs."""
+    """Per-frame encode/decode timings and sizes for both codecs, plus
+    the chained ``repl.delta`` size for the consecutive-frame pair."""
     frames = {
         "repl": _reference_repl_frame(),
         "repl.ack": wire.make_frame("repl.ack", a=41),
@@ -183,7 +257,7 @@ def bench_codecs(iterations: int = 20000) -> Dict[str, Any]:
     out: Dict[str, Any] = {"iterations": iterations}
     for name, frame in frames.items():
         row: Dict[str, Any] = {}
-        for codec_name in _CODECS:
+        for codec_name in ("json", "binary"):
             codec = wire.CODECS[codec_name]
             encoded = codec.encode(frame)
             body = encoded[4:]
@@ -202,6 +276,21 @@ def bench_codecs(iterations: int = 20000) -> Dict[str, Any]:
             }
         row["size_ratio"] = row["json"]["body_bytes"] / row["binary"]["body_bytes"]
         out[name] = row
+    # the v4 chain on the same pair: second frame as repl.delta with an
+    # interned var id, against the second frame encoded full
+    first, second = _reference_repl_messages()
+    itab = wire.InternTable(["x7"])
+    enc = wire.DeltaEncoder(itab)
+    enc.encode_update(first, 41)
+    delta_frame = enc.encode_update(second, 42)
+    full_bytes = len(wire.BINARY_CODEC.encode(wire.encode_update(second, 42))) - 4
+    delta_bytes = len(wire.BINARY_CODEC.encode(delta_frame)) - 4
+    out["repl.delta"] = {
+        "frame_type": delta_frame["t"],
+        "full_body_bytes": full_bytes,
+        "delta_body_bytes": delta_bytes,
+        "size_ratio": full_bytes / delta_bytes if delta_bytes else 0.0,
+    }
     return out
 
 
@@ -223,25 +312,50 @@ async def _run_matrix(
         per_codec["speedup"] = (
             per_codec["binary"]["ops_per_s"] / per_codec["json"]["ops_per_s"]
         )
+        per_codec["delta_vs_binary"] = (
+            per_codec["delta"]["ops_per_s"] / per_codec["binary"]["ops_per_s"]
+        )
         cells[transport] = per_codec
+    # the metadata-bound cell: loopback only, all three profiles, judged
+    # on bytes/op (the v4 guardrail) rather than throughput
+    meta_cfg = dict(METADATA_BOUND)
+    if fast:
+        meta_cfg.update(ops_per_site=30, sessions=3)
+    metadata: Dict[str, Any] = {"config": meta_cfg}
+    for codec in _CODECS:
+        metadata[codec] = await bench_cell(
+            "loopback", codec, config=meta_cfg, repeats=repeats
+        )
+    bytes_ratio = (
+        metadata["delta"]["wire_bytes_per_op"]
+        / metadata["binary"]["wire_bytes_per_op"]
+    )
+    metadata["bytes_ratio"] = bytes_ratio
     speedup = cells["loopback"]["speedup"]
     return {
         "config": cfg,
         "repeats": repeats,
         "wire_versions": {
             "json": wire.JSON_WIRE_VERSION,
-            "binary": wire.WIRE_VERSION,
+            "binary": wire.BATCH_WIRE_VERSION,
+            "delta": wire.DELTA_WIRE_VERSION,
         },
         "cells": cells,
+        "metadata_cell": metadata,
         "codec_micro": bench_codecs(iterations=2000 if fast else 20000),
         "guardrail": {
             "transport": "loopback",
             "speedup_floor": SPEEDUP_FLOOR,
             "speedup": speedup,
+            "bytes_ratio_ceiling": BYTES_RATIO_CEILING,
+            "bytes_ratio": bytes_ratio,
             # fast mode shrinks the run below the point where batches
-            # form, so it exercises the machinery without judging it
+            # form, so it exercises the machinery without judging the
+            # throughput rail; the bytes rail is deterministic enough
+            # to hold in fast mode too, but is judged only on full runs
             "enforced": not fast,
-            "ok": fast or speedup >= SPEEDUP_FLOOR,
+            "ok": fast
+            or (speedup >= SPEEDUP_FLOOR and bytes_ratio <= BYTES_RATIO_CEILING),
         },
     }
 
@@ -257,7 +371,8 @@ def write_report(
     path: str, fast: bool = False, config: Optional[Dict[str, Any]] = None
 ) -> Dict[str, Any]:
     """Write ``BENCH_service.json``.  Raises ``RuntimeError`` when the
-    binary profile fails the :data:`SPEEDUP_FLOOR` guardrail — the
+    binary profile fails the :data:`SPEEDUP_FLOOR` guardrail or the
+    delta profile fails the :data:`BYTES_RATIO_CEILING` guardrail — the
     ``make service-bench`` / CI gate."""
     import json
 
@@ -267,18 +382,30 @@ def write_report(
         fh.write("\n")
     rail = report["guardrail"]
     if not rail["ok"]:
+        problems = []
+        if rail["speedup"] < rail["speedup_floor"]:
+            problems.append(
+                f"binary is only {rail['speedup']:.2f}x the JSON baseline "
+                f"on the reference loopback bench (floor "
+                f"{rail['speedup_floor']:.2f}x)"
+            )
+        if rail["bytes_ratio"] > rail["bytes_ratio_ceiling"]:
+            problems.append(
+                f"delta spends {rail['bytes_ratio']:.2f}x the binary "
+                f"profile's bytes/op on the metadata-bound cell (ceiling "
+                f"{rail['bytes_ratio_ceiling']:.2f}x)"
+            )
         raise RuntimeError(
-            f"binary wire profile is only {rail['speedup']:.2f}x the JSON "
-            f"baseline on the reference loopback bench (floor "
-            f"{rail['speedup_floor']:.2f}x) — the codec or batching path "
-            "regressed"
+            "wire profile guardrail failed: " + "; ".join(problems)
         )
     return report
 
 
 __all__ = [
     "SPEEDUP_FLOOR",
+    "BYTES_RATIO_CEILING",
     "REFERENCE",
+    "METADATA_BOUND",
     "bench_cell",
     "bench_codecs",
     "bench_service",

@@ -103,9 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--codec",
-        default="binary",
-        choices=("binary", "json"),
-        help="wire profile: binary = WIRE_VERSION 3 batched, json = v2 per-frame",
+        default="delta",
+        choices=("delta", "binary", "json"),
+        help="wire profile: delta = WIRE_VERSION 4 metadata-lean, "
+        "binary = WIRE_VERSION 3 batched, json = v2 per-frame",
     )
     bench.add_argument("--strict", action="store_true")
     bench.add_argument("--sanitize", action="store_true")
@@ -117,7 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run the full transport x codec reference matrix instead, "
         "write the BENCH_service.json ledger to PATH, and fail unless "
-        "the binary profile clears the codec-speedup guardrail",
+        "the binary profile clears the codec-speedup guardrail and the "
+        "delta profile clears the metadata-cell bytes/op guardrail",
     )
     bench.add_argument(
         "--fast",
@@ -220,18 +222,30 @@ async def _bench(args: argparse.Namespace) -> int:
             print(
                 f"  {transport:<9} json {row['json']['ops_per_s']:8.0f} ops/s"
                 f"   binary {row['binary']['ops_per_s']:8.0f} ops/s"
+                f"   delta {row['delta']['ops_per_s']:8.0f} ops/s"
                 f"   speedup {row['speedup']:.2f}x"
             )
+        meta = report["metadata_cell"]
+        print(
+            f"  metadata  json {meta['json']['wire_bytes_per_op']:8.0f} B/op"
+            f"   binary {meta['binary']['wire_bytes_per_op']:8.0f} B/op"
+            f"   delta {meta['delta']['wire_bytes_per_op']:8.0f} B/op"
+            f"   ratio {meta['bytes_ratio']:.2f}x"
+        )
         if rail["enforced"]:
             print(
                 f"ledger {args.ledger}: binary {rail['speedup']:.2f}x >= "
-                f"{rail['speedup_floor']:.2f}x floor on {rail['transport']}"
+                f"{rail['speedup_floor']:.2f}x floor on {rail['transport']}; "
+                f"delta bytes/op {rail['bytes_ratio']:.2f}x <= "
+                f"{rail['bytes_ratio_ceiling']:.2f}x ceiling on the "
+                f"metadata cell"
             )
         else:
             print(
                 f"ledger {args.ledger}: binary {rail['speedup']:.2f}x on "
-                f"{rail['transport']} (fast run — {rail['speedup_floor']:.2f}x "
-                f"floor not enforced)"
+                f"{rail['transport']}, delta bytes/op {rail['bytes_ratio']:.2f}x "
+                f"(fast run — {rail['speedup_floor']:.2f}x floor / "
+                f"{rail['bytes_ratio_ceiling']:.2f}x ceiling not enforced)"
             )
         return 0
     metrics = MetricsRegistry()
@@ -263,6 +277,16 @@ async def _bench(args: argparse.Namespace) -> int:
         print(f"protocol   {args.protocol} (workload {args.workload}, "
               f"{args.codec} wire)")
         print(report.format())
+        counters = metrics.snapshot()["counters"]
+        sent = sum(
+            v for k, v in counters.items()
+            if k.startswith("wire_bytes_sent_total")
+        )
+        if sent and report.ops:
+            print(
+                f"wire       {sent} bytes sent "
+                f"({sent / report.ops:.0f} B/op)"
+            )
     return 0 if report.errors == 0 else 1
 
 

@@ -57,20 +57,25 @@ class KVClient:
         backoff_cap: float = 0.25,
         metrics: Any = None,
         seed: int = 0,
-        codec: str = "binary",
+        codec: str = "delta",
     ) -> None:
-        if codec not in wire.CODECS:
+        if codec not in wire.PROFILE_CAPS:
             raise ValueError(
-                f"unknown wire codec {codec!r}; choose from {sorted(wire.CODECS)}"
+                f"unknown wire profile {codec!r}; choose from "
+                f"{sorted(wire.PROFILE_CAPS)}"
             )
         self.addresses = dict(addresses)
         self.placement = placement
         self.transport = transport
-        #: preferred codec: ``"binary"`` sends a ``hello`` negotiation
-        #: frame on every new connection and upgrades when the server
-        #: agrees; ``"json"`` skips the hello entirely (pure v2 client)
+        #: preferred wire profile: ``"binary"`` and ``"delta"`` send a
+        #: ``hello`` negotiation frame on every new connection and
+        #: upgrade when the server agrees (``"delta"`` additionally
+        #: learns the server's intern table and sends interned var
+        #: ids); ``"json"`` skips the hello entirely (pure v2 client)
         self.codec_name = codec
-        self.wire_caps = wire.CODECS[codec].version
+        self.wire_caps = wire.profile_caps(codec)
+        #: per-site intern table from the last ``hello.ok`` (cv >= 4)
+        self._itabs: Dict[SiteId, wire.InternTable] = {}
         self.home = home
         self.timeout = timeout
         self.max_rounds = max_rounds
@@ -184,10 +189,27 @@ class KVClient:
         base = min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)
         return base * (0.5 + self._rng.uniform(0.0, 0.5))
 
+    def _intern(self, site: SiteId, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Substitute the interned id for a ``var`` name when this
+        site's connection negotiated a table (shallow copy — the caller
+        reuses the original frame across failover candidates)."""
+        itab = self._itabs.get(site)
+        if itab is None:
+            return frame
+        var = frame.get("var")
+        if type(var) is not str:
+            return frame
+        interned = itab.encode_var(var)
+        if interned is var:
+            return frame
+        out = dict(frame)
+        out["var"] = interned
+        return out
+
     async def _roundtrip(self, site: SiteId, frame: Dict[str, Any]) -> Dict[str, Any]:
         conn = await self._conn(site)
         try:
-            await conn.send(frame)
+            await conn.send(self._intern(site, frame))
             # asyncio.timeout, not wait_for: no extra Task per request
             async with asyncio.timeout(self.timeout):
                 reply = await conn.recv()
@@ -206,16 +228,17 @@ class KVClient:
             conn = await asyncio.wait_for(
                 self.transport.connect(address), self.timeout
             )
-            if self.wire_caps >= wire.WIRE_VERSION:
+            if self.wire_caps >= wire.BATCH_WIRE_VERSION:
                 await self._negotiate(site, conn)
             self._conns[site] = conn
         return conn
 
     async def _negotiate(self, site: SiteId, conn: Connection) -> None:
-        """Offer WIRE_VERSION 3 on a fresh connection.  The hello always
+        """Offer our capability on a fresh connection.  The hello always
         travels JSON; a v2 server answers ``err bad-frame`` (it has no
         ``hello`` handler), which downgrades this connection to JSON —
-        interop costs one extra round trip at connect, nothing after."""
+        interop costs one extra round trip at connect, nothing after.
+        A cv ≥ 4 agreement also delivers the server's intern table."""
         try:
             await conn.send(wire.make_frame("hello", cv=self.wire_caps))
             async with asyncio.timeout(self.timeout):
@@ -228,11 +251,19 @@ class KVClient:
             raise ConnectionResetError(
                 f"site {site} closed the connection during codec negotiation"
             )
-        agreed = int(reply.get("cv", wire.JSON_WIRE_VERSION))
-        if reply.get("t") == "hello.ok" and agreed >= wire.WIRE_VERSION:
-            conn.negotiate(wire.BINARY_CODEC)
-            self._metric("client_wire_negotiations_total", codec="binary")
+        agreed = min(
+            int(reply.get("cv", wire.JSON_WIRE_VERSION)), self.wire_caps
+        )
+        if reply.get("t") == "hello.ok" and agreed >= wire.BATCH_WIRE_VERSION:
+            conn.negotiate(wire.codec_for(agreed), agreed)
+            if agreed >= wire.DELTA_WIRE_VERSION:
+                self._itabs[site] = wire.InternTable(reply.get("itab", ()))
+                self._metric("client_wire_negotiations_total", codec="delta")
+            else:
+                self._itabs.pop(site, None)
+                self._metric("client_wire_negotiations_total", codec="binary")
         else:
+            self._itabs.pop(site, None)
             self._metric("client_wire_negotiations_total", codec="json")
 
     async def _drop_conn(self, site: SiteId) -> None:

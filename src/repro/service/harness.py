@@ -52,14 +52,16 @@ class ServiceCluster:
         read_timeout: float = 2.0,
         seed: int = 0,
         protocol_kwargs: Optional[Dict[str, Any]] = None,
-        codec: str = "binary",
+        codec: str = "delta",
     ) -> None:
         self.n = n_sites
         self.seed = seed
-        #: wire codec preference handed to every server and client:
-        #: ``"binary"`` negotiates the WIRE_VERSION 3 batched profile,
-        #: ``"json"`` pins the whole cluster to the v2 per-frame profile
-        #: (the bench baseline and the mixed-version tests use this)
+        #: wire profile preference handed to every server and client:
+        #: ``"delta"`` negotiates the full WIRE_VERSION 4 metadata-lean
+        #: profile, ``"binary"`` pins the WIRE_VERSION 3 batched
+        #: profile, ``"json"`` pins the whole cluster to the v2
+        #: per-frame profile (the bench baseline and the mixed-version
+        #: tests use the pinned profiles)
         self.codec = codec
         cls = protocol_class(protocol)
         p = replication_factor
@@ -71,7 +73,7 @@ class ServiceCluster:
             )
         self.placement: Placement = placement
         self.variables = default_variables(n_variables)
-        self.transport: Transport = transport or LoopbackTransport()
+        self.transport: Transport = transport or LoopbackTransport(metrics=metrics)
         self.addresses: Dict[SiteId, str] = addresses or {
             s: f"site-{s}" for s in range(n_sites)
         }
@@ -127,6 +129,22 @@ class ServiceCluster:
     async def stop(self) -> None:
         for server in self.servers:
             await server.stop()
+        if self.recorder is not None and self.metrics is not None:
+            # stamp the transport-level byte totals into the trace
+            # header so ``repro-sim trace`` can report wire cost
+            counters = self.metrics.snapshot()["counters"]
+            sent = sum(
+                v for k, v in counters.items()
+                if k.startswith("wire_bytes_sent_total")
+            )
+            received = sum(
+                v for k, v in counters.items()
+                if k.startswith("wire_bytes_received_total")
+            )
+            if sent or received:
+                self.recorder.meta["wire_bytes"] = {
+                    "sent": sent, "received": received
+                }
         transport = self.transport
         if isinstance(transport, LoopbackTransport):
             await transport.close()

@@ -57,6 +57,28 @@ guarantee — an acked frame is inside this site's protocol state — is
 unchanged.  A v2 peer never announces ``cv``, gets a JSON ``link.ok``
 without one, and both sides keep the v2 per-frame JSON profile.
 
+WIRE_VERSION 4 layers the **metadata-lean profile** on the same
+handshake.  When both sides announce ``cv >= 4`` the receiver's
+``link.ok`` / ``hello.ok`` additionally carries its intern table
+(``itab``: variable names whose positions become the small int ids
+senders may substitute for ``var`` strings) and its applied watermark
+``ap``.  The sender then *chains* repl frames per connection: the first
+frame travels full, later frames may travel as ``repl.delta`` carrying
+only the metadata diff against the previous frame of the same
+connection.  Because the receiver only ever decodes the contiguous
+``ls == seen + 1`` frame, its decode baseline (the last frame it
+processed) always equals the sender's chain baseline; a reconnect drops
+the chain on both sides and restarts with a full frame, so loss never
+needs a repair protocol.  Acks upgrade to ``repl.ackp`` carrying the
+applied watermark — the highest contiguous sequence whose update this
+site has *applied* (not merely parked), wired as the usually-zero gap
+below the ack — which the sender feeds to
+:meth:`~repro.core.base.CausalProtocol.note_remote_apply`: an applied
+watermark is out-of-band Condition-1 knowledge, so the sender prunes
+the acked destination from retired dependency-log entries and its own
+metadata stays bounded by what the slowest peer actually applied,
+instead of growing with it (ack-driven GC).
+
 Updates whose activation predicate is false are parked and re-evaluated
 after every apply (a rescan drain — service deployments are a handful of
 sites, so the simulator's wake index is not worth its bookkeeping here).
@@ -112,6 +134,16 @@ class PeerLink:
     requester's timeout covers their loss); a paired reader task routes
     ``fetch.ok`` / ``fetch.err`` responses back to the owning server's
     waiter table and applies incoming ``repl.ack`` frames.
+
+    The queue holds *decoded* :class:`UpdateMessage` objects and encodes
+    at send time: on a ``cv >= 4`` connection the per-connection
+    :class:`~repro.service.wire.DeltaEncoder` (created during the
+    handshake, dropped on disconnect) chains each frame against the
+    previous one, so the same queued message encodes as a full frame on
+    a fresh connection and as a ``repl.delta`` mid-stream.  Acks carry
+    the receiver's applied watermark ``ap``; :meth:`_note_applied`
+    translates it to the write clock at that sequence and feeds the
+    protocol's ack-driven dependency-log GC.
     """
 
     def __init__(
@@ -128,12 +160,21 @@ class PeerLink:
         self.address = address
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
-        #: unacknowledged repl frames, FIFO by their ``ls`` field
-        self._repl: Deque[Dict[str, Any]] = deque()
+        #: unacknowledged updates as ``(ls, msg)``, FIFO by ``ls``;
+        #: encoding happens at send time so the delta chain can restart
+        #: per connection while the queue survives reconnects
+        self._repl: Deque[Tuple[int, UpdateMessage]] = deque()
         #: pending fetch requests (retired on send; no ack bookkeeping)
         self._fetch: Deque[Dict[str, Any]] = deque()
         self._wakeup = asyncio.Event()
         self._link_seq = 0
+        #: per-connection delta/intern encoder; None below cv 4
+        self._delta_out: Optional[wire.DeltaEncoder] = None
+        #: link sequence -> write clock, for translating the receiver's
+        #: applied watermark ``ap`` into a ``note_remote_apply`` call;
+        #: entries at or below ``_gc_ls`` have been consumed
+        self._ls_clock: Dict[int, int] = {}
+        self._gc_ls = 0
         self._closed = False
         self._task: Optional[asyncio.Task] = None
 
@@ -143,7 +184,8 @@ class PeerLink:
 
     def enqueue_update(self, msg: UpdateMessage) -> None:
         self._link_seq += 1
-        self._repl.append(wire.encode_update(msg, self._link_seq))
+        self._repl.append((self._link_seq, msg))
+        self._ls_clock[self._link_seq] = msg.write_id.seq
         self._wakeup.set()
 
     def enqueue_fetch(self, req: FetchRequest) -> None:
@@ -223,7 +265,10 @@ class PeerLink:
         negotiate the wire profile.  The hello itself always travels
         JSON; the connection switches to the binary codec only when both
         sides announced capability ≥ 3 — a v2 receiver ignores ``cv``
-        and answers without one, leaving the link on the v2 profile."""
+        and answers without one, leaving the link on the v2 profile.  At
+        capability ≥ 4 the reply also carries the receiver's intern
+        table and applied watermark, and this connection gets a fresh
+        :class:`~repro.service.wire.DeltaEncoder` (first frame full)."""
         await conn.send(
             wire.make_frame(
                 "link.hello",
@@ -240,23 +285,55 @@ class PeerLink:
         agreed = min(
             int(reply.get("cv", wire.JSON_WIRE_VERSION)), self.owner.wire_caps
         )
-        if agreed >= wire.WIRE_VERSION:
-            conn.negotiate(wire.BINARY_CODEC)
+        self._delta_out = None
+        if agreed >= wire.BATCH_WIRE_VERSION:
+            conn.negotiate(wire.codec_for(agreed), agreed)
+        if agreed >= wire.DELTA_WIRE_VERSION:
+            self._delta_out = wire.DeltaEncoder(
+                wire.InternTable(reply.get("itab", ()))
+            )
+            self._note_applied(int(reply.get("ap", 0)))
         acked = int(reply.get("ack", 0))
         self._retire(acked)
         return acked
 
+    def _note_applied(self, ap: int) -> None:
+        """Feed the receiver's applied watermark to the protocol's
+        dependency-log GC.  ``ap`` covers a *contiguous* applied prefix
+        and link sequence order is this site's write clock order, so the
+        clock recorded at ``ap`` bounds every write the peer applied;
+        the watermark is monotone, so stale repeats are no-ops."""
+        if ap <= self._gc_ls:
+            return
+        clock = self._ls_clock.pop(ap, 0)
+        for ls in range(self._gc_ls + 1, ap):
+            self._ls_clock.pop(ls, None)
+        lo = self._gc_ls
+        self._gc_ls = ap
+        proto = self.owner.protocol
+        # Transitive knowledge first: every newly-applied update's
+        # piggybacked metadata proves the peer applied the records
+        # naming it (activation predicate).  The updates are still in
+        # ``_repl`` because acks retire entries only after this runs;
+        # after a reconnect some may already be gone — best-effort GC.
+        for ls, msg in self._repl:
+            if ls > ap:
+                break
+            if ls > lo:
+                proto.note_remote_apply_log(self.dest, msg.meta)
+        proto.note_remote_apply(self.dest, clock)
+
     def _retire(self, ack: int) -> None:
-        """Drop repl frames up to the receiver's cumulative ack."""
-        while self._repl and int(self._repl[0]["ls"]) <= ack:
+        """Drop repl entries up to the receiver's cumulative ack."""
+        while self._repl and self._repl[0][0] <= ack:
             self._repl.popleft()
 
     async def _drain_queue(self, conn: Connection, acked: int) -> None:
         # ``sent`` tracks the highest repl seq written to THIS
-        # connection; frames stay in ``_repl`` until the receiver acks
+        # connection; entries stay in ``_repl`` until the receiver acks
         # them (linear rescan per frame — the unacked window is small
         # because acks retire the prefix as they arrive)
-        if conn.wire_version >= wire.WIRE_VERSION:
+        if conn.agreed_version >= wire.BATCH_WIRE_VERSION:
             await self._drain_queue_batched(conn, acked)
             return
         sent = acked
@@ -275,24 +352,33 @@ class PeerLink:
             await self._wakeup.wait()
 
     async def _drain_queue_batched(self, conn: Connection, acked: int) -> None:
-        """The v3 writer: drain the WHOLE outbound FIFO per wakeup with
+        """The v3+ writer: drain the WHOLE outbound FIFO per wakeup with
         one coalesced flush (``send_many`` → one transport drain),
         instead of a send-per-frame loop.  Retirement is unchanged —
-        repl frames leave ``_repl`` only via receiver acks."""
+        repl entries leave ``_repl`` only via receiver acks.  Frames are
+        encoded here, in ``ls`` order, exactly once per connection: that
+        single-pass discipline is what lets the v4 delta encoder chain
+        each frame against the previous one."""
         sent = acked
+        enc = self._delta_out
         while not self._closed:
             while not self._closed:
                 # ``ls`` values are consecutive (assigned at enqueue) and
-                # retired from the left only, so the unsent frames are
+                # retired from the left only, so the unsent entries are
                 # exactly the last ``_link_seq - sent`` entries — no scan
                 n_unsent = min(len(self._repl), self._link_seq - sent)
-                batch = (
-                    list(itertools.islice(
+                batch: List[Dict[str, Any]] = []
+                last_ls = sent
+                if n_unsent > 0:
+                    for ls, msg in itertools.islice(
                         self._repl, len(self._repl) - n_unsent, None
-                    ))
-                    if n_unsent > 0
-                    else []
-                )
+                    ):
+                        batch.append(
+                            enc.encode_update(msg, ls)
+                            if enc is not None
+                            else wire.encode_update(msg, ls)
+                        )
+                        last_ls = ls
                 n_fetch = len(self._fetch)
                 if not batch and not n_fetch:
                     break
@@ -304,19 +390,16 @@ class PeerLink:
                     # ones enqueued during the await stay for next round
                     for _ in range(n_fetch):
                         self._fetch.popleft()
-                for frame in reversed(batch):
-                    if frame["t"] == "repl":
-                        sent = int(frame["ls"])
-                        break
+                sent = last_ls
             self._wakeup.clear()
             if self._closed:
                 return
             await self._wakeup.wait()
 
     def _next_unsent(self, sent: int) -> Optional[Dict[str, Any]]:
-        for frame in self._repl:
-            if int(frame["ls"]) > sent:
-                return frame
+        for ls, msg in self._repl:
+            if ls > sent:
+                return wire.encode_update(msg, ls)
         if self._fetch:
             return self._fetch[0]
         return None
@@ -327,7 +410,12 @@ class PeerLink:
             if frame is None:
                 return
             kind = frame.get("t")
-            if kind == "repl.ack":
+            if kind == "repl.ackp":
+                # v4 ack: ``ap`` is the gap to the applied watermark
+                ack = int(frame["a"])
+                self._note_applied(ack - int(frame.get("ap", 0)))
+                self._retire(ack)
+            elif kind == "repl.ack":
                 self._retire(int(frame["a"]))
             elif kind in ("fetch.ok", "fetch.err"):
                 self.owner._resolve_fetch(frame)
@@ -348,13 +436,14 @@ class SiteServer:
         read_timeout: float = 2.0,
         fetch_timeout: float = 2.0,
         seed: int = 0,
-        codec: str = "binary",
+        codec: str = "delta",
     ) -> None:
         if protocol.site not in addresses:
             raise ServiceError(f"no address for site {protocol.site}")
-        if codec not in wire.CODECS:
+        if codec not in wire.PROFILE_CAPS:
             raise ServiceError(
-                f"unknown wire codec {codec!r}; choose from {sorted(wire.CODECS)}"
+                f"unknown wire profile {codec!r}; choose from "
+                f"{sorted(wire.PROFILE_CAPS)}"
             )
         self.protocol = protocol
         self.site: SiteId = protocol.site
@@ -366,12 +455,21 @@ class SiteServer:
         self.read_timeout = read_timeout
         self.fetch_timeout = fetch_timeout
         self.seed = seed
-        #: preferred wire codec; ``wire_caps`` is the capability version
-        #: announced in handshakes (3 = binary + batched profile).  A
-        #: server configured ``codec="json"`` is a faithful v2 peer: it
-        #: never announces ``cv`` ≥ 3 and never switches a connection.
+        #: preferred wire profile; ``wire_caps`` is the capability
+        #: version announced in handshakes (3 = binary + batched
+        #: profile, 4 = delta + interning on top).  A server configured
+        #: ``codec="json"`` is a faithful v2 peer (never announces
+        #: ``cv`` ≥ 3, never switches a connection) and ``codec=
+        #: "binary"`` pins the exact v3 profile, so fallback matrices
+        #: and benches can address each generation by name.
         self.codec_name = codec
-        self.wire_caps = wire.CODECS[codec].version
+        self.wire_caps = wire.profile_caps(codec)
+        #: the intern table this site advertises in ``cv >= 4``
+        #: handshakes: its placement's variable names, so both
+        #: directions of a connection resolve against the same list
+        self._itab = wire.InternTable(
+            wire.intern_table_names(protocol.config.replicas_of)
+        )
 
         #: this incarnation's identity for the link handshake: a
         #: restarted site restarts its link sequence numbers, so it must
@@ -385,6 +483,13 @@ class SiteServer:
         self._seen_ls: Dict[SiteId, int] = {}
         #: sender incarnation the dedup state belongs to, per sender
         self._peer_epoch: Dict[SiteId, int] = {}
+        #: per-sender chained-delta decode state (reset on epoch change)
+        self._delta_in: Dict[SiteId, wire.DeltaDecoder] = {}
+        #: link sequences of currently *parked* updates per sender, plus
+        #: the reverse index used to clear them on apply — together they
+        #: yield the applied watermark ``ap`` acks advertise
+        self._parked_ls: Dict[SiteId, Set[int]] = {}
+        self._park_of: Dict[WriteId, Tuple[SiteId, int]] = {}
         #: waiters notified after every apply (strict gates, parked reads)
         self._progress = asyncio.Condition()
         #: number of tasks blocked in ``_wait_for`` — lets the apply hot
@@ -453,10 +558,10 @@ class SiteServer:
         self._server_conns.add(conn)
         try:
             while True:
-                # the v3 inbound loop drains every frame already waiting
-                # and applies the batch before acking once; a v2 peer
-                # keeps PR 5's frame-at-a-time loop
-                if conn.wire_version >= wire.WIRE_VERSION:
+                # the v3+ inbound loop drains every frame already
+                # waiting and applies the batch before acking once; a
+                # v2 peer keeps PR 5's frame-at-a-time loop
+                if conn.agreed_version >= wire.BATCH_WIRE_VERSION:
                     frames = await conn.recv_many()
                     if frames is None:
                         return
@@ -509,7 +614,7 @@ class SiteServer:
             await self._handle_put(conn, frame)
         elif kind == "get":
             await self._handle_get(conn, frame)
-        elif kind == "repl":
+        elif kind == "repl" or kind == "repl.delta":
             await self._handle_repl(conn, frame)
         elif kind == "link.hello":
             await self._handle_hello(conn, frame)
@@ -559,7 +664,7 @@ class SiteServer:
                     )
                 )
                 return
-            if frame["t"] == "repl":
+            if frame["t"] in ("repl", "repl.delta"):
                 applied += self._ingest_repl(frame, acks)
             else:
                 applied = await self._flush_repl(conn, acks, applied)
@@ -583,7 +688,7 @@ class SiteServer:
             # for the contiguous prefix, if any, still goes out
             self.metric("service_repl_gaps_total")
             return 0
-        msg = wire.decode_update(frame)
+        msg = self._decode_repl(src, frame)
         now = self.now_ms()
         self._recv_at[msg.write_id] = now
         rec = self.recorder
@@ -598,10 +703,38 @@ class SiteServer:
                 rec.on_buffered(
                     now, self.site, msg.write_id, self.protocol.blocking_deps(msg) or ()
                 )
-            self._parked.append(msg)
+            self._park(src, link_seq, msg)
         self._seen_ls[src] = link_seq
         acks[src] = max(acks.get(src, 0), link_seq)
         return applied
+
+    def _decode_repl(self, src: SiteId, frame: Dict[str, Any]) -> UpdateMessage:
+        """Decode the contiguous next frame from ``src`` through its
+        chained-delta decoder (plain frames pass through, rebaselining).
+        Only ``ls == seen + 1`` frames may reach this — duplicates and
+        gaps must never touch the chain state."""
+        dec = self._delta_in.get(src)
+        if dec is None:
+            dec = self._delta_in[src] = wire.DeltaDecoder()
+        return dec.decode_update(frame, self._itab)
+
+    def _park(self, src: SiteId, link_seq: int, msg: UpdateMessage) -> None:
+        """Buffer an update whose activation predicate is false, and
+        record its link sequence: the applied watermark ``ap`` stops
+        just short of the oldest parked sequence."""
+        self._parked.append(msg)
+        self._parked_ls.setdefault(src, set()).add(link_seq)
+        self._park_of[msg.write_id] = (src, link_seq)
+
+    def _applied_ls(self, src: SiteId) -> int:
+        """Highest contiguous link sequence from ``src`` whose update
+        was *applied* — the GC watermark acks advertise.  Everything
+        processed is applied unless still parked, so this is ``seen``
+        capped below the oldest parked sequence."""
+        parked = self._parked_ls.get(src)
+        if parked:
+            return min(parked) - 1
+        return self._seen_ls.get(src, 0)
 
     async def _flush_repl(
         self, conn: Connection, acks: Dict[SiteId, int], applied: int
@@ -613,8 +746,8 @@ class SiteServer:
             self._drain()
         if acks:
             self.metric("service_ack_batches_total")
-            for ack in acks.values():
-                await self._send_ack(conn, ack)
+            for src, ack in acks.items():
+                await self._send_ack(conn, ack, src)
             acks.clear()
         return 0
 
@@ -622,7 +755,8 @@ class SiteServer:
     # put
     # ------------------------------------------------------------------
     async def _handle_put(self, conn: Connection, frame: Dict[str, Any]) -> None:
-        var, value = frame["var"], frame["value"]
+        var = wire.resolve_var(frame["var"], self._itab)
+        value = frame["value"]
         now = self.now_ms()
         proto = self.protocol
         result: WriteResult = proto.write(var, value)
@@ -653,7 +787,7 @@ class SiteServer:
     # get
     # ------------------------------------------------------------------
     async def _handle_get(self, conn: Connection, frame: Dict[str, Any]) -> None:
-        var = frame["var"]
+        var = wire.resolve_var(frame["var"], self._itab)
         proto = self.protocol
         self.metric("service_requests_total", op="get")
         if proto.locally_replicates(var):
@@ -714,7 +848,15 @@ class SiteServer:
                     f"site {server} could not serve {var!r}: "
                     f"{frame.get('code')} ({frame.get('msg')})"
                 )
-            reply = wire.decode_fetch_reply(frame)
+            # an interned var id resolves against the table the serving
+            # site advertised at its handshake (held by our peer link);
+            # every site derives the same table from the shared
+            # placement map, so our own copy is the fallback
+            link = self._links.get(server)
+            enc = link._delta_out if link is not None else None
+            reply = wire.decode_fetch_reply(
+                frame, enc.itab if enc is not None else self._itab
+            )
             if proto.reply_is_fresh(reply):
                 return proto.complete_remote_read(reply)
             # lenient-mode stale reply: discard without merging its
@@ -743,18 +885,30 @@ class SiteServer:
         if self._peer_epoch.get(src) != epoch:
             # a new sender incarnation restarts its link sequence at 1:
             # the dedup high-water mark must restart with it, or every
-            # frame from the restarted site would be dropped as a dup
+            # frame from the restarted site would be dropped as a dup —
+            # and the delta chain and parked-sequence bookkeeping refer
+            # to the old incarnation's numbering, so they restart too
             self._peer_epoch[src] = epoch
             self._seen_ls[src] = 0
+            self._delta_in.pop(src, None)
+            for wid, (s, _) in list(self._park_of.items()):
+                if s == src:
+                    del self._park_of[wid]
+            self._parked_ls.pop(src, None)
         agreed = self._agree_version(frame)
         # the link.ok itself always travels under the codec the hello
         # arrived with (JSON for any pre-negotiation sender); only the
-        # frames AFTER the handshake switch
-        await conn.send(
-            wire.make_frame(
-                "link.ok", site=self.site, ack=self._seen_ls.get(src, 0), cv=agreed
-            )
-        )
+        # frames AFTER the handshake switch.  At cv >= 4 it also carries
+        # this site's intern table and applied watermark (see _send_ack)
+        ok: Dict[str, Any] = {
+            "site": self.site,
+            "ack": self._seen_ls.get(src, 0),
+            "cv": agreed,
+        }
+        if agreed >= wire.DELTA_WIRE_VERSION:
+            ok["itab"] = list(self._itab.names)
+            ok["ap"] = self._applied_ls(src)
+        await conn.send(wire.make_frame("link.ok", **ok))
         self._switch_profile(conn, agreed)
 
     async def _handle_client_hello(
@@ -764,7 +918,10 @@ class SiteServer:
         with ``err bad-frame`` (unknown type), which v3 clients take as
         "stay on JSON" — that asymmetry is the whole fallback story."""
         agreed = self._agree_version(frame)
-        await conn.send(wire.make_frame("hello.ok", site=self.site, cv=agreed))
+        ok: Dict[str, Any] = {"site": self.site, "cv": agreed}
+        if agreed >= wire.DELTA_WIRE_VERSION:
+            ok["itab"] = list(self._itab.names)
+        await conn.send(wire.make_frame("hello.ok", **ok))
         self._switch_profile(conn, agreed)
 
     def _agree_version(self, frame: Dict[str, Any]) -> int:
@@ -774,9 +931,12 @@ class SiteServer:
         return min(peer_caps, self.wire_caps)
 
     def _switch_profile(self, conn: Connection, agreed: int) -> None:
-        if agreed >= wire.WIRE_VERSION:
-            conn.negotiate(wire.BINARY_CODEC)
-            self.metric("service_wire_negotiations_total", codec="binary")
+        if agreed >= wire.BATCH_WIRE_VERSION:
+            conn.negotiate(wire.codec_for(agreed), agreed)
+            self.metric(
+                "service_wire_negotiations_total",
+                codec="delta" if agreed >= wire.DELTA_WIRE_VERSION else "binary",
+            )
         else:
             self.metric("service_wire_negotiations_total", codec="json")
 
@@ -788,7 +948,7 @@ class SiteServer:
             # resend of a frame processed over an earlier connection;
             # re-ack cumulatively so the sender can retire it
             self.metric("service_repl_dups_total")
-            await self._send_ack(conn, seen)
+            await self._send_ack(conn, seen, src)
             return
         if link_seq != seen + 1:
             # gap: an earlier frame of this link was lost in flight.
@@ -797,7 +957,7 @@ class SiteServer:
             # the last contiguous ack at its next handshake and resends.
             self.metric("service_repl_gaps_total")
             return
-        msg = wire.decode_update(frame)
+        msg = self._decode_repl(src, frame)
         now = self.now_ms()
         self._recv_at[msg.write_id] = now
         rec = self.recorder
@@ -811,15 +971,25 @@ class SiteServer:
                 rec.on_buffered(
                     now, self.site, msg.write_id, self.protocol.blocking_deps(msg) or ()
                 )
-            self._parked.append(msg)
+            self._park(src, link_seq, msg)
         # the ack follows processing (applied or parked), so an acked
         # frame is guaranteed to be inside this site's protocol state
         self._seen_ls[src] = link_seq
-        await self._send_ack(conn, link_seq)
+        await self._send_ack(conn, link_seq, src)
 
-    async def _send_ack(self, conn: Connection, ack: int) -> None:
+    async def _send_ack(self, conn: Connection, ack: int, src: SiteId) -> None:
         try:
-            await conn.send(wire.make_frame("repl.ack", a=ack))
+            if conn.agreed_version >= wire.DELTA_WIRE_VERSION:
+                # the applied watermark rides every ack on a v4 link as
+                # the gap ``ack - applied`` (usually 0 — one byte); a
+                # pre-v4 sender gets the bare v2/v3 ack shape unchanged
+                await conn.send(
+                    wire.make_frame(
+                        "repl.ackp", a=ack, ap=ack - self._applied_ls(src)
+                    )
+                )
+            else:
+                await conn.send(wire.make_frame("repl.ack", a=ack))
         except (ConnectionError, OSError):
             # sender is gone; it relearns the ack at its next handshake
             pass
@@ -844,7 +1014,16 @@ class SiteServer:
             return
         reply = proto.serve_fetch(req)
         try:
-            await conn.send(wire.encode_fetch_reply(reply))
+            v4 = conn.agreed_version >= wire.DELTA_WIRE_VERSION
+            await conn.send(
+                wire.encode_fetch_reply(
+                    reply,
+                    compact=v4,
+                    # our own advertised table — the requester holds a
+                    # copy from this link's handshake
+                    itab=self._itab if v4 else None,
+                )
+            )
         except (ConnectionError, OSError):
             # requester is gone; its timeout/failover handles the loss
             pass
@@ -861,6 +1040,16 @@ class SiteServer:
         else:
             self.protocol.apply_update(msg)
         self.applies += 1
+        park = self._park_of.pop(msg.write_id, None)
+        if park is not None:
+            # a formerly parked update applied: the applied watermark
+            # for its sender may advance past its link sequence now
+            src, link_seq = park
+            parked = self._parked_ls.get(src)
+            if parked is not None:
+                parked.discard(link_seq)
+                if not parked:
+                    del self._parked_ls[src]
         rec = self.recorder
         if rec is not None and rec.enabled:
             rec.on_apply(

@@ -36,18 +36,46 @@ _EOF = object()
 _READ_CHUNK = 65536
 
 
+class WireMeter:
+    """Bytes-on-the-wire counters for one transport instance.
+
+    Caches the two labelled counter handles
+    (``wire_bytes_sent_total{transport=...}`` /
+    ``wire_bytes_received_total{transport=...}``) so the per-frame cost
+    is one ``inc`` — connections carry a meter reference (or ``None``,
+    the zero-cost-off discipline of the obs layer).
+    """
+
+    __slots__ = ("sent", "received")
+
+    def __init__(self, metrics: Any, transport: str) -> None:
+        self.sent = metrics.counter("wire_bytes_sent_total", transport=transport)
+        self.received = metrics.counter(
+            "wire_bytes_received_total", transport=transport
+        )
+
+
 class Connection(ABC):
     """One bidirectional, ordered stream of frames.
 
     Every connection carries a *codec* — :data:`wire.JSON_CODEC` until
-    :meth:`negotiate` switches it (the WIRE_VERSION 3 handshake).  The
+    :meth:`negotiate` switches it (the WIRE_VERSION 3+ handshake).  The
     codec governs how *this side encodes*; inbound frames are decoded by
     sniffing, so a connection can receive binary frames before (or
-    without ever) switching its own send side.
+    without ever) switching its own send side.  Alongside the codec a
+    connection records the *agreed capability* of the handshake — the
+    feature gates (batching at >= 3, delta/interning at >= 4) read that,
+    never the codec, because one byte codec serves several capability
+    levels.
     """
 
     #: active send codec; class-level default, shadowed by negotiate()
     _codec: Any = wire.JSON_CODEC
+    #: negotiated connection capability (min of both sides' ``cv``);
+    #: the pre-handshake default is the v2 profile
+    _agreed: int = wire.JSON_WIRE_VERSION
+    #: byte counters, set by the owning transport when it has a registry
+    _meter: Optional[WireMeter] = None
 
     @property
     def codec(self) -> Any:
@@ -55,13 +83,21 @@ class Connection(ABC):
 
     @property
     def wire_version(self) -> int:
-        """The wire profile this side is sending: 2 (JSON, per-frame)
-        or 3 (binary, batched)."""
+        """The send codec's native profile: 2 (JSON) or 3 (binary).
+        Gate features on :attr:`agreed_version`, not this."""
         return self._codec.version
 
-    def negotiate(self, codec: Any) -> None:
-        """Switch this side's send codec for all subsequent frames."""
+    @property
+    def agreed_version(self) -> int:
+        """The handshake-agreed capability of this connection."""
+        return self._agreed
+
+    def negotiate(self, codec: Any, agreed: Optional[int] = None) -> None:
+        """Switch this side's send codec for all subsequent frames,
+        recording the handshake-agreed capability when given."""
         self._codec = codec
+        if agreed is not None:
+            self._agreed = agreed
 
     @abstractmethod
     async def send(self, frame: Dict[str, Any]) -> None:
@@ -127,11 +163,41 @@ class _LoopbackConnection(Connection):
     that *would* hit a socket are exactly what the receiver decodes.
     """
 
-    def __init__(self, peer_name: str) -> None:
+    def __init__(self, peer_name: str, delay: float = 0.0) -> None:
         self._rx: asyncio.Queue = asyncio.Queue()
         self._peer: Optional["_LoopbackConnection"] = None
         self._peer_name = peer_name
         self._closed = False
+        #: artificial one-way delivery delay in seconds (0 = immediate);
+        #: models WAN latency so loopback benches can reach the regime
+        #: where unacked windows — and so causal metadata — grow
+        self._delay = delay
+        self._pending: Optional[asyncio.Queue] = None
+        self._pump: Optional[asyncio.Task] = None
+
+    def _enqueue(self, item: Any) -> None:
+        """Hand ``item`` to this side's receive queue, after this
+        connection's one-way delay when one is configured.  The pump
+        task drains in send order with monotone due times, so FIFO per
+        connection is preserved exactly."""
+        if self._delay <= 0.0:
+            self._rx.put_nowait(item)
+            return
+        if self._pending is None:
+            self._pending = asyncio.Queue()
+            self._pump = asyncio.ensure_future(self._run_pump())
+        self._pending.put_nowait(
+            (asyncio.get_running_loop().time() + self._delay, item)
+        )
+
+    async def _run_pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            due, item = await self._pending.get()
+            wait = due - loop.time()
+            if wait > 0:
+                await asyncio.sleep(wait)
+            self._rx.put_nowait(item)
 
     async def send(self, frame: Dict[str, Any]) -> None:
         peer = self._peer
@@ -140,7 +206,11 @@ class _LoopbackConnection(Connection):
         # full codec round trip: the bytes that *would* hit a socket are
         # exactly what the receiver decodes, under the active codec
         encoded = wire.encode_frame(frame, codec=self._codec)
-        peer._rx.put_nowait(wire.decode_body(encoded[4:]))
+        meter = self._meter
+        if meter is not None:
+            meter.sent.inc(len(encoded))
+            meter.received.inc(len(encoded))
+        peer._enqueue(wire.decode_body(encoded[4:]))
 
     async def send_many(self, frames: List[Dict[str, Any]]) -> None:
         peer = self._peer
@@ -150,9 +220,16 @@ class _LoopbackConnection(Connection):
         # round-trips the codec, and the receiver wakes once (the first
         # put wakes it, the rest land before it runs)
         codec = self._codec
-        put = peer._rx.put_nowait
+        enqueue = peer._enqueue
+        total = 0
         for frame in frames:
-            put(wire.decode_body(wire.encode_frame(frame, codec=codec)[4:]))
+            encoded = wire.encode_frame(frame, codec=codec)
+            total += len(encoded)
+            enqueue(wire.decode_body(encoded[4:]))
+        meter = self._meter
+        if meter is not None:
+            meter.sent.inc(total)
+            meter.received.inc(total)
 
     async def recv(self) -> Optional[Dict[str, Any]]:
         if self._closed and self._rx.empty():
@@ -180,12 +257,18 @@ class _LoopbackConnection(Connection):
         self._sever()
         peer = self._peer
         if peer is not None and not peer._closed:
-            peer._rx.put_nowait(_EOF)
+            # orderly EOF travels the delayed path, behind in-flight frames
+            peer._enqueue(_EOF)
 
     def _sever(self) -> None:
-        """Mark dead and unblock a pending ``recv`` on this side."""
+        """Mark dead and unblock a pending ``recv`` on this side.
+        Abrupt: delayed frames still in flight are lost (the pump dies
+        with the connection), like a cut cable."""
         if not self._closed:
             self._closed = True
+            if self._pump is not None:
+                self._pump.cancel()
+                self._pump = None
             self._rx.put_nowait(_EOF)
 
     @property
@@ -209,11 +292,17 @@ class LoopbackTransport(Transport):
     tracked per listening address so :meth:`kill` can sever them all.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Any = None, delay: float = 0.0) -> None:
         self._handlers: Dict[str, ConnHandler] = {}
         #: established endpoints per server address, for kill()
         self._endpoints: Dict[str, Set[_LoopbackConnection]] = {}
         self._tasks: Set[asyncio.Task] = set()
+        #: one-way frame delivery delay (seconds) applied to every
+        #: connection — the WAN-latency knob of the metadata-bound bench
+        self.delay = delay
+        self._meter = (
+            None if metrics is None else WireMeter(metrics, "loopback")
+        )
 
     async def listen(self, address: str, handler: ConnHandler) -> Listener:
         if address in self._handlers:
@@ -226,10 +315,12 @@ class LoopbackTransport(Transport):
         handler = self._handlers.get(address)
         if handler is None:
             raise ConnectionRefusedError(f"no loopback listener at {address!r}")
-        client_end = _LoopbackConnection(peer_name=address)
-        server_end = _LoopbackConnection(peer_name="client")
+        client_end = _LoopbackConnection(peer_name=address, delay=self.delay)
+        server_end = _LoopbackConnection(peer_name="client", delay=self.delay)
         client_end._peer = server_end
         server_end._peer = client_end
+        client_end._meter = self._meter
+        server_end._meter = self._meter
         self._endpoints[address].update((client_end, server_end))
         task = asyncio.ensure_future(handler(server_end))
         self._tasks.add(task)
@@ -281,7 +372,10 @@ class _TcpConnection(Connection):
         self._frames: deque = deque()
 
     async def send(self, frame: Dict[str, Any]) -> None:
-        self._writer.write(wire.encode_frame(frame, codec=self._codec))
+        encoded = wire.encode_frame(frame, codec=self._codec)
+        if self._meter is not None:
+            self._meter.sent.inc(len(encoded))
+        self._writer.write(encoded)
         await self._writer.drain()
 
     async def send_many(self, frames: List[Dict[str, Any]]) -> None:
@@ -291,7 +385,10 @@ class _TcpConnection(Connection):
         encode = wire.encode_frame
         # one writev-style buffer append, ONE drain for the whole batch —
         # this is the flush the per-frame path pays once per frame
-        self._writer.write(b"".join(encode(f, codec=codec) for f in frames))
+        batch = b"".join(encode(f, codec=codec) for f in frames)
+        if self._meter is not None:
+            self._meter.sent.inc(len(batch))
+        self._writer.write(batch)
         await self._writer.drain()
 
     async def _fill(self) -> bool:
@@ -302,6 +399,8 @@ class _TcpConnection(Connection):
             return False
         if not data:
             return False
+        if self._meter is not None:
+            self._meter.received.inc(len(data))
         self._buf += data
         return True
 
@@ -361,6 +460,9 @@ class _TcpListener(Listener):
 class TcpTransport(Transport):
     """Frames over asyncio TCP streams; addresses are ``host:port``."""
 
+    def __init__(self, metrics: Any = None) -> None:
+        self._meter = None if metrics is None else WireMeter(metrics, "tcp")
+
     async def listen(self, address: str, handler: ConnHandler) -> Listener:
         host, port = split_address(address)
 
@@ -369,6 +471,7 @@ class TcpTransport(Transport):
         ) -> None:
             name = "%s:%s" % (writer.get_extra_info("peername") or ("?", "?"))[:2]
             conn = _TcpConnection(reader, writer, name)
+            conn._meter = self._meter
             try:
                 await handler(conn)
             finally:
@@ -386,7 +489,9 @@ class TcpTransport(Transport):
     async def connect(self, address: str) -> Connection:
         host, port = split_address(address)
         reader, writer = await asyncio.open_connection(host, port)
-        return _TcpConnection(reader, writer, address)
+        conn = _TcpConnection(reader, writer, address)
+        conn._meter = self._meter
+        return conn
 
 
 __all__ = [
@@ -395,5 +500,6 @@ __all__ = [
     "Transport",
     "LoopbackTransport",
     "TcpTransport",
+    "WireMeter",
     "split_address",
 ]

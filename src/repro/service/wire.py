@@ -22,9 +22,32 @@ Codec choice is **negotiated, never assumed**: every handshake frame
 clients) travels as JSON and carries the sender's capability version
 ``cv``.  Only when both ends announced ``cv >= 3`` does a connection
 switch to the binary codec — a WIRE_VERSION 2 peer never sees a binary
-byte.  WIRE_VERSION 3 additionally buys the *batched* wire profile
-(coalesced frame flushes and cumulative batched acks, see
-:mod:`repro.service.server`); a v2 peer keeps the per-frame profile.
+byte.  Capability 3 (:data:`BATCH_WIRE_VERSION`) additionally buys the
+*batched* wire profile (coalesced frame flushes and cumulative batched
+acks, see :mod:`repro.service.server`); a v2 peer keeps the per-frame
+profile.  Capability 4 (:data:`DELTA_WIRE_VERSION`, the current
+:data:`WIRE_VERSION`) makes the replication stream *metadata-lean* on
+top of the binary codec:
+
+* **per-link delta encoding** — consecutive repl frames on one peer-link
+  connection share almost all of their dependency-log state, so the
+  sender chains each frame's metadata as a diff against the previous
+  frame it sent on that connection (``repl.delta``, encoded by
+  :class:`DeltaEncoder` / decoded by :class:`DeltaDecoder`).  The first
+  repl frame after every handshake is always full — a reconnect or epoch
+  change resets both ends' baselines — and the receiver only ever
+  decodes the contiguous ``ls == seen + 1`` frame, so its baseline (the
+  previous frame it processed) is the one the sender chained against by
+  construction.  A diff that would not be smaller than the full
+  metadata falls back to a full ``repl`` frame; receivers accept both
+  at any capability.
+* **negotiated id interning** — variable names repeat on every frame, so
+  the handshake *receiver* answers with an intern table (``itab``: a
+  list of names; position = id) built from its placement map.  Senders
+  may then put the small int in any ``var`` field; since ``VarId`` is a
+  string, an int on the wire is unambiguously an interned id, resolved
+  against the table its receiver itself advertised — race-free for the
+  same reason the codec sniffing is.
 
 Every frame carries the frame schema version (``"v"``, currently
 :data:`JSON_WIRE_VERSION` — the field layout is unchanged from v2, which
@@ -67,6 +90,19 @@ Server-to-server (peer links)::
              sent only *after* the update is applied or parked.  The
              sender retires a frame on ack, never on transport send
              success alone: at-least-once delivery, exactly-once apply.
+    repl.ackp  the v4 ack: ``{a, ap}`` where ``ap`` is the gap between
+             ``a`` and the highest contiguous *applied* (not merely
+             parked) ``ls`` — ``a - ap`` is the sender's ack-driven
+             dependency-log GC watermark (``note_remote_apply``).  The
+             gap is almost always 0, so it packs into one byte where an
+             absolute watermark would repeat a full-width sequence.
+    repl.delta  same fields as ``repl`` but ``meta`` holds a diff against
+             the metadata of the previous frame sent on this connection
+             (kinds ``otd``/``crpd``/``mcd``); only sent on ``cv >= 4``
+             links, never as the first repl frame of a connection.  On
+             v4 links both ``repl`` and ``repl.delta`` may carry ``w:
+             None`` when the write id is derivable as ``WriteId(src,
+             meta.clock)`` (it always is for opt-track and CRP writes).
     fetch    one FetchRequest, answered by fetch.ok (correlated by ``fid``)
 
 ``err`` frames carry a machine-readable ``code``; codes in
@@ -107,7 +143,18 @@ from repro.types import WriteId
 #: v3: negotiated binary codec + batched wire profile (coalesced frame
 #: flushes, cumulative batched acks).  Frame *fields* are unchanged from
 #: v2 — a v3 peer falls back to the v2 JSON profile via the handshake.
-WIRE_VERSION = 3
+#: v4: metadata-lean replication — chained ``repl.delta`` frames,
+#: ``ap`` applied watermarks on acks, and negotiated id interning.
+#: Everything v4 adds is per-connection negotiated state, so v3 and v2
+#: peers keep their exact profiles (the agreed capability is the min of
+#: both sides' announcements, feature-gated per threshold below).
+WIRE_VERSION = 4
+
+#: capability threshold for the binary codec + batched link profile
+BATCH_WIRE_VERSION = 3
+
+#: capability threshold for delta-encoded repl metadata + id interning
+DELTA_WIRE_VERSION = 4
 
 #: the frame schema version stamped on every frame dict.  Still 2: v3
 #: adds a codec and a batching profile, not a field change, so the JSON
@@ -187,10 +234,24 @@ class BinaryCodec:
     Decoding reconstructs the exact frame dict the JSON codec would have
     produced — both codecs are interchangeable per frame, which is what
     the codec round-trip property tests assert.
+
+    ``compact=True`` (the :data:`BINARY_CODEC_V4` instance) additionally
+    *emits* the v4 two-byte int tag (``_T_INT16``) for values the frozen
+    v3 encoder spends five bytes on — link sequence numbers, write
+    clocks, acks.  Every decoder of this release accepts the tag
+    regardless of negotiation, but a true v3 peer would not, so the
+    compact instance is only ever installed on a ``cv >= 4`` connection
+    (:func:`codec_for`); the plain instance keeps the v3 byte stream
+    frozen.
     """
 
     name = "binary"
-    version = WIRE_VERSION
+    version = BATCH_WIRE_VERSION
+
+    def __init__(self, compact: bool = False) -> None:
+        self.compact = compact
+        if compact:
+            self.version = DELTA_WIRE_VERSION
 
     def encode(self, frame: Dict[str, Any]) -> bytes:
         out = bytearray(4)  # length prefix patched in below
@@ -199,6 +260,7 @@ class BinaryCodec:
             version = frame["v"]
         except KeyError as exc:
             raise WireError(f"frame missing required field {exc}") from None
+        compact = self.compact
         tag = _FRAME_TAGS.get(frame_type, 0)
         schema = _FRAME_SCHEMAS.get(frame_type)
         values: Optional[list] = None
@@ -211,11 +273,11 @@ class BinaryCodec:
             if values is not None:
                 out += _HDR.pack(BINARY_MAGIC, version, tag | _SCHEMA_BIT)
                 for val in values:
-                    _pack_into(out, val)
+                    _pack_into(out, val, compact)
             else:
                 out += _HDR.pack(BINARY_MAGIC, version, tag)
                 if tag == 0:
-                    _pack_into(out, frame_type)
+                    _pack_into(out, frame_type, compact)
                 _pack_len(out, _T_MAP, len(frame) - 2)
                 for key, val in frame.items():
                     if key == "v" or key == "t":
@@ -223,8 +285,8 @@ class BinaryCodec:
                     if type(key) is str:
                         _pack_str(out, key)
                     else:
-                        _pack_into(out, key)
-                    _pack_into(out, val)
+                        _pack_into(out, key, compact)
+                    _pack_into(out, val, compact)
         except struct.error as exc:
             raise WireError(f"unencodable frame header: {exc}") from None
         body_len = len(out) - 4
@@ -282,11 +344,50 @@ class BinaryCodec:
         return frame
 
 
-#: the two codec singletons; connections reference these, never copies
+#: the codec singletons; connections reference these, never copies.
+#: BINARY_CODEC_V4 shares the v3 decoder and frame layouts but emits
+#: the compact v4 int tags — see :class:`BinaryCodec`.
 JSON_CODEC = JsonCodec()
 BINARY_CODEC = BinaryCodec()
+BINARY_CODEC_V4 = BinaryCodec(compact=True)
 
 CODECS = {JSON_CODEC.name: JSON_CODEC, BINARY_CODEC.name: BINARY_CODEC}
+
+
+def codec_for(agreed: int) -> Any:
+    """The send codec a connection installs for an agreed capability:
+    the compact-int binary encoder at ``cv >= 4``, the byte-frozen v3
+    binary encoder at 3, JSON below."""
+    if agreed >= DELTA_WIRE_VERSION:
+        return BINARY_CODEC_V4
+    if agreed >= BATCH_WIRE_VERSION:
+        return BINARY_CODEC
+    return JSON_CODEC
+
+#: wire profiles selectable through the server/client ``codec=`` knob:
+#: profile name -> the capability version announced in handshakes.  The
+#: byte codec is implied (binary for ``cv >= BATCH_WIRE_VERSION``); the
+#: "delta" and "binary" profiles share it and differ only in whether the
+#: v4 features (repl.delta chaining, interning, ap watermarks) are
+#: offered.  "binary" therefore pins a peer to the exact v3 profile —
+#: the fallback matrix tests and the bench ledger rely on that.
+PROFILE_CAPS: Dict[str, int] = {
+    "json": JSON_WIRE_VERSION,
+    "binary": BATCH_WIRE_VERSION,
+    "delta": DELTA_WIRE_VERSION,
+}
+
+
+def profile_caps(profile: str) -> int:
+    """Capability version for a ``codec=`` profile name (raises
+    :class:`WireError` on unknown names, listing the valid ones)."""
+    try:
+        return PROFILE_CAPS[profile]
+    except KeyError:
+        raise WireError(
+            f"unknown wire profile {profile!r} "
+            f"(choose from {sorted(PROFILE_CAPS)})"
+        ) from None
 
 _HDR = struct.Struct(">BBB")
 
@@ -312,6 +413,8 @@ _FRAME_TYPES: Tuple[str, ...] = (
     "kill",
     "kill.ok",
     "err",
+    "repl.delta",
+    "repl.ackp",
 )
 _FRAME_TAGS: Dict[str, int] = {t: i for i, t in enumerate(_FRAME_TYPES) if i}
 
@@ -327,7 +430,10 @@ _SCHEMA_BIT = 0x80
 #: which every decoder also accepts).
 _FRAME_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "repl": ("var", "value", "w", "src", "dst", "meta", "ls"),
+    "repl.delta": ("var", "value", "w", "src", "dst", "meta", "ls"),
     "repl.ack": ("a",),
+    # the v4 ack: ``ap`` is the gap ``a - applied`` (usually 0, one byte)
+    "repl.ackp": ("a", "ap"),
     "put": ("var", "value"),
     "put.ok": ("w",),
     "get": ("var",),
@@ -351,6 +457,17 @@ _MAP_SCHEMAS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("arr", ("v",)),
     ("ivec", ("v",)),
     ("pairs", ("v",)),
+    # v4 delta metadata kinds (diffs against a per-connection baseline,
+    # see encode_meta_delta).  otd is index-coded: "c" is the clock
+    # advance over the baseline, "x"/"u" address baseline records by
+    # their sorted position, "n" carries new records as full triples
+    ("otd", ("c", "rm", "x", "u", "n")),
+    ("crpd", ("c", "x", "ch")),
+    ("mcd", ("n", "ch")),
+    # v4 compact full encodings (see encode_meta / encode_fetch_reply)
+    ("ot4", ("c", "rm", "log", "e")),
+    ("ivr", ("v",)),
+    ("dl4", ("c", "log", "e")),
 )
 _MAP_SCHEMA_IDS: Dict[str, Tuple[int, Tuple[str, ...]]] = {
     kind: (i, keys) for i, (kind, keys) in enumerate(_MAP_SCHEMAS)
@@ -368,6 +485,9 @@ _MAP_SCHEMA_IDS: Dict[str, Tuple[int, Tuple[str, ...]]] = {
 # dispatch on both bytes and time.
 _T_NONE, _T_FALSE, _T_TRUE = 0x00, 0x01, 0x02
 _T_INT8, _T_INT32, _T_INT64, _T_BIGINT = 0x10, 0x11, 0x12, 0x13
+#: two-byte int (v4): emitted only by the compact encoder instance,
+#: accepted by every decoder of this release (append-only tag registry)
+_T_INT16 = 0x14
 _T_FLOAT = 0x20
 _T_STR, _T_BYTES, _T_LIST, _T_MAP = 0x30, 0x38, 0x40, 0x50
 #: flat int vector; the byte after the count is the element width (1/2/4/8)
@@ -378,9 +498,11 @@ _T_SCHEMA = 0x60
 #: 0x80..0xFF: the value n - 0x80 itself (0..127), no payload
 _T_FIXINT = 0x80
 
+_BH = struct.Struct(">Bh")
 _BI = struct.Struct(">Bi")
 _BQ = struct.Struct(">Bq")
 _BD = struct.Struct(">Bd")
+_I16 = struct.Struct(">h")
 _I32 = struct.Struct(">i")
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
@@ -439,7 +561,7 @@ def _pack_str(out: bytearray, value: str) -> None:
         out += raw
 
 
-def _pack_into(out: bytearray, value: Any) -> None:
+def _pack_into(out: bytearray, value: Any, compact: bool = False) -> None:
     kind = type(value)
     if kind is str:
         _pack_str(out, value)
@@ -449,6 +571,8 @@ def _pack_into(out: bytearray, value: Any) -> None:
         elif -128 <= value < 0:
             out.append(_T_INT8)
             out.append(value & 0xFF)
+        elif compact and -(2**15) <= value < 2**15:
+            out += _BH.pack(_T_INT16, value)
         elif -(2**31) <= value < 2**31:
             out += _BI.pack(_T_INT32, value)
         elif _I64_MIN <= value <= _I64_MAX:
@@ -478,15 +602,15 @@ def _pack_into(out: bytearray, value: Any) -> None:
                     out.append(_T_SCHEMA)
                     out.append(ms[0])
                     for v in vals:
-                        _pack_into(out, v)
+                        _pack_into(out, v, compact)
                     return
         _pack_len(out, _T_MAP, len(value))
         for k, v in value.items():
             if type(k) is str:
                 _pack_str(out, k)
             else:
-                _pack_into(out, k)
-            _pack_into(out, v)
+                _pack_into(out, k, compact)
+            _pack_into(out, v, compact)
     elif kind is list or kind is tuple:
         n = len(value)
         if n >= 4:
@@ -514,7 +638,7 @@ def _pack_into(out: bytearray, value: Any) -> None:
             if type(item) is int and 0 <= item <= 127:
                 out.append(_T_FIXINT | item)
             else:
-                _pack_into(out, item)
+                _pack_into(out, item, compact)
     elif kind is float:
         out += _BD.pack(_T_FLOAT, value)
     elif kind is bytes:
@@ -525,7 +649,7 @@ def _pack_into(out: bytearray, value: Any) -> None:
     elif isinstance(value, (int, np.integer)):
         # numpy scalars and int subclasses degrade to plain ints,
         # mirroring what json.dumps does for them
-        _pack_into(out, int(value))
+        _pack_into(out, int(value), compact)
     elif isinstance(value, float):
         out += _BD.pack(_T_FLOAT, float(value))
     elif isinstance(value, (str, list, tuple, dict)):
@@ -553,6 +677,8 @@ def _unpack_from(body: bytes, pos: int) -> Tuple[Any, int]:
     if tag == _T_INT8:
         b = body[pos]
         return b - 256 if b >= 128 else b, pos + 1
+    if tag == _T_INT16:
+        return _I16.unpack_from(body, pos)[0], pos + 2
     if tag == _T_INT32:
         return _I32.unpack_from(body, pos)[0], pos + 4
     if tag == _T_INT64:
@@ -677,11 +803,43 @@ def decode_write_id(value: Any) -> Optional[WriteId]:
 # ----------------------------------------------------------------------
 # protocol metadata codec (tagged by "k")
 # ----------------------------------------------------------------------
-def encode_meta(meta: Any) -> Any:
-    """Encode one piggybacked metadata object to its JSON shape."""
+def encode_meta(meta: Any, compact: bool = False) -> Any:
+    """Encode one piggybacked metadata object to its JSON shape.
+
+    ``compact`` (v4 connections only) selects the metadata-lean
+    encodings: ``ot4`` for Opt-Track metas — record clocks relative to
+    the meta clock (small ints instead of full-width absolutes) and the
+    PURGE-retention records (newest per sender, empty destination set —
+    typically the majority of a mature log) packed as two-int pairs
+    with the redundant destination element dropped.  Both shapes decode
+    to the exact objects the plain kinds carry; a v3 peer never sees
+    them (:func:`codec_for` gates the emitting connections).
+    """
     if meta is None:
         return None
     if isinstance(meta, OptTrackMeta):
+        if compact:
+            clock = meta.clock
+            latest = meta.log.latest_by_sender
+            triples: List[int] = []
+            empties: List[int] = []
+            # .get: a clock-0 record never registers in latest_by_sender,
+            # so it must take the general triple shape
+            for (s, c), d in sorted(meta.log.entries.items()):
+                if d == 0 and c == latest.get(s):
+                    empties.append(int(s))
+                    empties.append(int(c) - clock)
+                else:
+                    triples.append(int(s))
+                    triples.append(int(c) - clock)
+                    triples.append(int(d))
+            return {
+                "k": "ot4",
+                "c": clock,
+                "rm": meta.replicas_mask,
+                "log": triples,
+                "e": empties,
+            }
         return {
             "k": "ot",
             "c": meta.clock,
@@ -695,6 +853,20 @@ def encode_meta(meta: Any) -> Any:
             log.append(int(c))
         return {"k": "crp", "c": meta.clock, "log": log}
     if isinstance(meta, DepLog):
+        if compact:
+            latest = meta.latest_by_sender
+            base = max(latest.values(), default=0)
+            triples: List[int] = []
+            empties: List[int] = []
+            for (s, c), d in sorted(meta.entries.items()):
+                if d == 0 and c == latest.get(s):
+                    empties.append(int(s))
+                    empties.append(int(c) - base)
+                else:
+                    triples.append(int(s))
+                    triples.append(int(c) - base)
+                    triples.append(int(d))
+            return {"k": "dl4", "c": base, "log": triples, "e": empties}
         return {"k": "dl", "e": _encode_deplog(meta)}
     if isinstance(meta, MatrixClock):
         # flat row-major (the matrix is square): one contiguous int list
@@ -729,6 +901,17 @@ def decode_meta(data: Any) -> Any:
         return OptTrackMeta(
             int(data["c"]), int(data["rm"]), _decode_deplog(data["log"])
         )
+    if kind == "ot4":
+        clock = int(data["c"])
+        triples = data["log"]
+        entries = {
+            (int(triples[i]), int(triples[i + 1]) + clock): int(triples[i + 2])
+            for i in range(0, len(triples), 3)
+        }
+        empties = data["e"]
+        for i in range(0, len(empties), 2):
+            entries[(int(empties[i]), int(empties[i + 1]) + clock)] = 0
+        return OptTrackMeta(clock, int(data["rm"]), DepLog(entries))
     if kind == "crp":
         log = data["log"]
         return CrpMeta(
@@ -737,6 +920,17 @@ def decode_meta(data: Any) -> Any:
         )
     if kind == "dl":
         return _decode_deplog(data["e"])
+    if kind == "dl4":
+        base = int(data["c"])
+        triples = data["log"]
+        entries = {
+            (int(triples[i]), int(triples[i + 1]) + base): int(triples[i + 2])
+            for i in range(0, len(triples), 3)
+        }
+        empties = data["e"]
+        for i in range(0, len(empties), 2):
+            entries[(int(empties[i]), int(empties[i + 1]) + base)] = 0
+        return DepLog(entries)
     if kind == "mc":
         flat = np.array(data["m"], dtype=np.int64)
         n = int(np.sqrt(flat.size))
@@ -748,6 +942,13 @@ def decode_meta(data: Any) -> Any:
         return np.array(data["v"], dtype=np.int64)
     if kind == "ivec":
         return tuple(int(x) for x in data["v"])
+    if kind == "ivr":
+        # relative clock vector (v4): [ceiling, ceiling - x, ...] — the
+        # per-element offsets of a near-uniform vector (an apply
+        # snapshot) fit one byte where the absolutes need two or four
+        v = data["v"]
+        base = int(v[0])
+        return tuple(base - int(x) for x in v[1:])
     if kind == "pairs":
         v = data["v"]
         return tuple((int(v[i]), int(v[i + 1])) for i in range(0, len(v), 2))
@@ -775,41 +976,336 @@ def _decode_deplog(entries: Any) -> DepLog:
 
 
 # ----------------------------------------------------------------------
+# negotiated id interning (v4)
+# ----------------------------------------------------------------------
+#: hard cap on one handshake's intern table; keeps the JSON handshake
+#: frame small even against a placement map with millions of variables —
+#: names beyond the cap simply stay uninterned strings
+INTERN_TABLE_MAX = 256
+
+
+def intern_table_names(variables: Any) -> List[str]:
+    """The intern table a handshake receiver advertises: its variable
+    names, sorted for determinism, capped at :data:`INTERN_TABLE_MAX`."""
+    return sorted(str(v) for v in variables)[:INTERN_TABLE_MAX]
+
+
+class InternTable:
+    """One side's per-connection id interning table (v4).
+
+    The table is built once from the handshake receiver's ``itab`` list
+    (position = id) and is immutable afterwards: both directions of a
+    connection resolve against the same list, so there is no
+    synchronization and no race.  ``encode_var`` maps a known name to its
+    small int (unknown names pass through as strings); ``decode_var``
+    inverts it.  Since :data:`repro.types.VarId` is ``str``, an int in a
+    ``var`` field always means an interned id.
+    """
+
+    __slots__ = ("names", "_ids")
+
+    def __init__(self, names: Any) -> None:
+        self.names: Tuple[str, ...] = tuple(str(n) for n in names)
+        self._ids: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+
+    def encode_var(self, var: Any) -> Any:
+        if type(var) is str:
+            interned = self._ids.get(var)
+            if interned is not None:
+                return interned
+        return var
+
+    def decode_var(self, var: Any) -> Any:
+        if type(var) is int:
+            try:
+                return self.names[var]
+            except IndexError:
+                raise WireError(
+                    f"interned var id {var} outside the negotiated table "
+                    f"of {len(self.names)} names"
+                ) from None
+        return var
+
+
+def resolve_var(var: Any, itab: Optional[InternTable]) -> Any:
+    """Resolve a possibly-interned ``var`` field against the receiver's
+    own advertised table (int ids without a table are a protocol error —
+    the peer sent interned ids we never offered)."""
+    if type(var) is int:
+        if itab is None:
+            raise WireError("interned var id on a connection without a table")
+        return itab.decode_var(var)
+    return var
+
+
+# ----------------------------------------------------------------------
 # message codecs
 # ----------------------------------------------------------------------
-def encode_update(msg: UpdateMessage, link_seq: int) -> Dict[str, Any]:
+def _derivable_write_id(msg: UpdateMessage) -> bool:
+    """True when the write id repeats information already on the frame:
+    every clock-bearing metadata kind here names its write as
+    ``WriteId(sender, meta.clock)`` (opt-track and CRP both stamp the
+    writer's own sequence), so a lean v4 frame can omit it."""
+    wid = msg.write_id
+    return wid.site == msg.sender and getattr(msg.meta, "clock", None) == wid.seq
+
+
+def encode_update(
+    msg: UpdateMessage,
+    link_seq: int,
+    itab: Optional[InternTable] = None,
+    lean: bool = False,
+) -> Dict[str, Any]:
     """A REPLICATE frame for one :class:`UpdateMessage`.
 
     ``link_seq`` is the per-peer-link sequence number used for duplicate
-    suppression across reconnect resends.
+    suppression across reconnect resends.  ``itab`` (v4) interns the
+    variable name against the receiver's advertised table; ``lean``
+    (also v4-only — set by :class:`DeltaEncoder`) sends ``w: None`` when
+    the write id is derivable from ``(src, meta.clock)`` (which
+    :func:`decode_update` reconstructs) and selects the compact ``ot4``
+    metadata encoding.
     """
     return make_frame(
         "repl",
-        var=msg.var,
+        var=msg.var if itab is None else itab.encode_var(msg.var),
         value=msg.value,
-        w=encode_write_id(msg.write_id),
+        w=None if lean and _derivable_write_id(msg) else encode_write_id(msg.write_id),
         src=msg.sender,
         dst=msg.dest,
-        meta=encode_meta(msg.meta),
+        meta=encode_meta(msg.meta, compact=lean),
         ls=link_seq,
     )
 
 
-def decode_update(frame: Dict[str, Any]) -> UpdateMessage:
+def _update_write_id(frame: Dict[str, Any], src: int, meta: Any) -> WriteId:
+    """The frame's write id, rebuilding an omitted (lean v4) one from
+    the sender and the metadata clock."""
+    wid = decode_write_id(frame["w"])
+    if wid is not None:
+        return wid
+    clock = getattr(meta, "clock", None)
+    if clock is None:
+        raise WireError("repl frame without a write id")
+    return WriteId(src, int(clock))
+
+
+def decode_update(
+    frame: Dict[str, Any], itab: Optional[InternTable] = None
+) -> UpdateMessage:
     try:
-        wid = decode_write_id(frame["w"])
-        if wid is None:
-            raise WireError("repl frame without a write id")
+        meta = decode_meta(frame["meta"])
+        src = int(frame["src"])
         return UpdateMessage(
-            var=frame["var"],
+            var=resolve_var(frame["var"], itab),
             value=frame["value"],
-            write_id=wid,
-            sender=int(frame["src"]),
+            write_id=_update_write_id(frame, src, meta),
+            sender=src,
             dest=int(frame["dst"]),
-            meta=decode_meta(frame["meta"]),
+            meta=meta,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"malformed repl frame: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# delta metadata codec (v4: repl.delta chaining)
+# ----------------------------------------------------------------------
+def encode_meta_delta(meta: Any, base: Any) -> Optional[Dict[str, Any]]:
+    """Encode ``meta`` as a diff against ``base``, the metadata of the
+    previous frame sent on the same connection.
+
+    Returns ``None`` when the pair does not support diffing (different
+    kinds, kinds without incremental structure) or when the diff would
+    not beat the full encoding — the caller then sends a full ``repl``
+    frame, which also resets the receiver's chain baseline to ``meta``.
+    Read-only on both metadata objects.
+    """
+    if isinstance(meta, OptTrackMeta) and isinstance(base, OptTrackMeta):
+        removed, updated, added = meta.log.diff(base.log)
+        # a full encoding costs 3 ints per record; fall back when the
+        # index-coded diff is no cheaper (wholesale turnover, tiny logs)
+        if (
+            len(removed) + len(updated) + len(added)
+            >= 3 * len(meta.log.entries)
+        ):
+            return None
+        # added-record clocks travel relative to the meta clock, like
+        # the ot4 full encoding: recent records (the common additions)
+        # become one-byte offsets
+        clock = meta.clock
+        for i in range(1, len(added), 3):
+            added[i] -= clock
+        return {
+            "k": "otd",
+            # the clock advance over the baseline: small on a live link,
+            # where the absolute clock would cost a full-width int
+            "c": clock - base.clock,
+            "rm": meta.replicas_mask,
+            "x": removed,
+            "u": updated,
+            "n": added,
+        }
+    if isinstance(meta, CrpMeta) and isinstance(base, CrpMeta):
+        log, base_log = meta.log, base.log
+        gone = [int(s) for s in sorted(base_log) if s not in log]
+        moved: List[int] = []
+        for s, c in sorted(log.items()):
+            if base_log.get(s) != c:
+                moved.append(int(s))
+                moved.append(int(c))
+        if len(gone) + len(moved) >= 2 * len(log):
+            return None
+        return {"k": "crpd", "c": meta.clock, "x": gone, "ch": moved}
+    if (
+        isinstance(meta, MatrixClock)
+        and isinstance(base, MatrixClock)
+        and meta.n == base.n
+    ):
+        flat = meta.m.ravel()
+        base_flat = base.m.ravel()
+        (hot,) = np.nonzero(flat != base_flat)
+        if 2 * hot.size >= flat.size:
+            return None
+        changed = []
+        for i in hot:
+            changed.append(int(i))
+            changed.append(int(flat[i]))
+        return {"k": "mcd", "n": meta.n, "ch": changed}
+    return None
+
+
+def decode_meta_delta(data: Any, base: Any) -> Any:
+    """Reconstruct the metadata that :func:`encode_meta_delta` diffed
+    against ``base`` (the receiver's chain baseline)."""
+    if not isinstance(data, dict) or "k" not in data:
+        raise WireError(f"malformed delta metadata payload {data!r}")
+    kind = data["k"]
+    try:
+        if kind == "otd":
+            if not isinstance(base, OptTrackMeta):
+                raise WireError(f"otd delta against {type(base).__name__}")
+            clock = base.clock + int(data["c"])
+            added = list(data["n"])
+            for i in range(1, len(added), 3):
+                added[i] += clock
+            return OptTrackMeta(
+                clock,
+                int(data["rm"]),
+                base.log.apply_diff(data["x"], data["u"], added),
+            )
+        if kind == "crpd":
+            if not isinstance(base, CrpMeta):
+                raise WireError(f"crpd delta against {type(base).__name__}")
+            log = dict(base.log)
+            for s in data["x"]:
+                log.pop(int(s), None)
+            ch = data["ch"]
+            for i in range(0, len(ch), 2):
+                log[int(ch[i])] = int(ch[i + 1])
+            return CrpMeta(int(data["c"]), log)
+        if kind == "mcd":
+            n = int(data["n"])
+            if not isinstance(base, MatrixClock) or base.n != n:
+                raise WireError(f"mcd delta against {type(base).__name__}")
+            m = base.m.copy()
+            flat = m.ravel()
+            ch = data["ch"]
+            for i in range(0, len(ch), 2):
+                flat[int(ch[i])] = int(ch[i + 1])
+            return MatrixClock(n, m)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise WireError(f"malformed {kind!r} delta metadata: {exc}") from None
+    raise WireError(f"unknown delta metadata kind {kind!r}")
+
+
+class DeltaEncoder:
+    """Per-connection sender state for the v4 chained repl stream.
+
+    Owns the chain baseline (the metadata of the previous repl frame
+    encoded on this connection) and the negotiated intern table.  The
+    link send path creates one per established ``cv >= 4`` connection
+    and drops it on disconnect — a fresh receiver therefore always gets
+    one full frame first (``_base is None``), exactly mirroring
+    :class:`DeltaDecoder`'s reset on its side.  This class and the
+    decoder are the only places delta baselines mutate; the wire-delta
+    lint rule holds the service layer to that.
+    """
+
+    __slots__ = ("itab", "_base")
+
+    def __init__(self, itab: Optional[InternTable] = None) -> None:
+        self.itab = itab
+        self._base: Any = None
+
+    def encode_update(self, msg: UpdateMessage, link_seq: int) -> Dict[str, Any]:
+        """The next frame of the chain: ``repl.delta`` against the
+        previous frame's metadata when profitable, full ``repl``
+        otherwise.  Either way the baseline advances to ``msg.meta``."""
+        base, self._base = self._base, msg.meta
+        delta = None if base is None else encode_meta_delta(msg.meta, base)
+        if delta is None:
+            return encode_update(msg, link_seq, self.itab, lean=True)
+        return make_frame(
+            "repl.delta",
+            var=msg.var if self.itab is None else self.itab.encode_var(msg.var),
+            value=msg.value,
+            w=None if _derivable_write_id(msg) else encode_write_id(msg.write_id),
+            src=msg.sender,
+            dst=msg.dest,
+            meta=delta,
+            ls=link_seq,
+        )
+
+
+class DeltaDecoder:
+    """Per-sender receiver state mirroring :class:`DeltaEncoder`.
+
+    The baseline is the metadata of the last repl frame *processed* from
+    this sender.  The server's link discipline only ever decodes the
+    contiguous ``ls == seen + 1`` frame (duplicates and gaps are never
+    decoded), and the sender chains against the previous frame it sent
+    on the connection, so the baselines agree by construction.  A
+    ``repl.delta`` arriving with no or mismatched baseline raises
+    :class:`WireError` — the server drops the connection and the sender
+    reconnects, re-sending from the ack with a full first frame.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self) -> None:
+        self._base: Any = None
+
+    def reset(self) -> None:
+        """Forget the chain (epoch change: a new sender incarnation)."""
+        self._base = None
+
+    def decode_update(
+        self, frame: Dict[str, Any], itab: Optional[InternTable] = None
+    ) -> UpdateMessage:
+        """Decode the next processed frame of the chain (full or delta),
+        advancing the baseline to its metadata."""
+        if frame["t"] != "repl.delta":
+            msg = decode_update(frame, itab)
+            self._base = msg.meta
+            return msg
+        if self._base is None:
+            raise WireError("repl.delta with no chain baseline")
+        try:
+            meta = decode_meta_delta(frame["meta"], self._base)
+            src = int(frame["src"])
+            msg = UpdateMessage(
+                var=resolve_var(frame["var"], itab),
+                value=frame["value"],
+                write_id=_update_write_id(frame, src, meta),
+                sender=src,
+                dest=int(frame["dst"]),
+                meta=meta,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed repl.delta frame: {exc}") from None
+        self._base = meta
+        return msg
 
 
 def encode_fetch_request(req: FetchRequest) -> Dict[str, Any]:
@@ -836,24 +1332,45 @@ def decode_fetch_request(frame: Dict[str, Any]) -> FetchRequest:
         raise WireError(f"malformed fetch frame: {exc}") from None
 
 
-def encode_fetch_reply(reply: FetchReply) -> Dict[str, Any]:
+def encode_fetch_reply(
+    reply: FetchReply,
+    compact: bool = False,
+    itab: Optional[InternTable] = None,
+) -> Dict[str, Any]:
+    """A fetch.ok frame.  ``compact`` (v4 connections) selects the lean
+    metadata shapes: the ``dl4``/``ot4`` log encodings and the ``ivr``
+    relative apply-snapshot vector — the snapshot's entries cluster near
+    its maximum on a live cluster, so the offsets pack one byte each.
+    ``itab`` is the *serving* site's own intern table: the requester
+    holds a copy from the ``link.ok`` handshake, so replies may intern
+    the variable name against it."""
+    applied: Any = reply.applied
+    if compact and applied is not None:
+        base = max(applied, default=0)
+        vec = [base]
+        vec.extend(base - int(a) for a in applied)
+        applied = {"k": "ivr", "v": vec}
+    else:
+        applied = encode_meta(applied)
     return make_frame(
         "fetch.ok",
-        var=reply.var,
+        var=reply.var if itab is None else itab.encode_var(reply.var),
         value=reply.value,
         w=encode_write_id(reply.write_id),
         sv=reply.server,
         rq=reply.requester,
         fid=reply.fetch_id,
-        meta=encode_meta(reply.meta),
-        applied=encode_meta(reply.applied),
+        meta=encode_meta(reply.meta, compact=compact),
+        applied=applied,
     )
 
 
-def decode_fetch_reply(frame: Dict[str, Any]) -> FetchReply:
+def decode_fetch_reply(
+    frame: Dict[str, Any], itab: Optional[InternTable] = None
+) -> FetchReply:
     try:
         return FetchReply(
-            var=frame["var"],
+            var=resolve_var(frame["var"], itab),
             value=frame["value"],
             write_id=decode_write_id(frame["w"]),
             server=int(frame["sv"]),
@@ -868,8 +1385,20 @@ def decode_fetch_reply(frame: Dict[str, Any]) -> FetchReply:
 
 __all__ = [
     "WIRE_VERSION",
+    "BATCH_WIRE_VERSION",
+    "DELTA_WIRE_VERSION",
     "JSON_WIRE_VERSION",
     "MIN_WIRE_VERSION",
+    "PROFILE_CAPS",
+    "profile_caps",
+    "INTERN_TABLE_MAX",
+    "intern_table_names",
+    "InternTable",
+    "resolve_var",
+    "DeltaEncoder",
+    "DeltaDecoder",
+    "encode_meta_delta",
+    "decode_meta_delta",
     "BINARY_MAGIC",
     "MAX_FRAME_BYTES",
     "RETRIABLE",
@@ -877,7 +1406,9 @@ __all__ = [
     "BinaryCodec",
     "JSON_CODEC",
     "BINARY_CODEC",
+    "BINARY_CODEC_V4",
     "CODECS",
+    "codec_for",
     "encode_frame",
     "decode_body",
     "frame_length",

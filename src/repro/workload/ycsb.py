@@ -14,11 +14,14 @@ workload  YCSB meaning               mix                          popularity
 ``c``     read only                  100% read                    zipf
 ``d``     read latest                95% read / 5% insert         latest
 ``f``     read-modify-write          50% read / 50% RMW pairs     zipf
+``w``     write only (extension)     100% write                   zipf
 ========  =========================  ==========================  =========
 
 Workload ``d``'s "latest" distribution is modeled by biasing reads toward
 the most recently written keys; ``e`` (scans) has no analogue in a
-register-based shared memory and is omitted.
+register-based shared memory and is omitted.  ``w`` is not a YCSB core
+workload: it is the metadata-dominated regime (every op ships a
+dependency log) used by the service benchmark's metadata-bound cell.
 """
 
 from __future__ import annotations
@@ -32,9 +35,16 @@ from repro.types import Operation, VarId
 
 Workload = List[List[Operation]]
 
-WORKLOADS = ("a", "b", "c", "d", "f")
+WORKLOADS = ("a", "b", "c", "d", "f", "w")
 
-_MIX: Dict[str, float] = {"a": 0.5, "b": 0.05, "c": 0.0, "d": 0.05, "f": 0.5}
+_MIX: Dict[str, float] = {
+    "a": 0.5,
+    "b": 0.05,
+    "c": 0.0,
+    "d": 0.05,
+    "f": 0.5,
+    "w": 1.0,
+}
 
 
 def _zipf_pmf(q: int, s: float = 0.99) -> np.ndarray:
@@ -122,4 +132,5 @@ def describe(workload: str) -> str:
         "c": "read only, zipf",
         "d": "read latest: 95/5, reads biased to recent writes",
         "f": "read-modify-write pairs: 50/50, zipf",
+        "w": "write only: 100% writes, zipf (metadata-bound)",
     }[workload]

@@ -343,11 +343,13 @@ class TestBatchedAcks:
         the way a real PeerLink does."""
         conn = await cluster.transport.connect("site-1")
         await conn.send(
-            wire.make_frame("link.hello", src=0, epoch=5, cv=wire.WIRE_VERSION)
+            wire.make_frame(
+                "link.hello", src=0, epoch=5, cv=wire.BATCH_WIRE_VERSION
+            )
         )
         ok = await conn.recv()
-        assert ok["t"] == "link.ok" and ok.get("cv") == wire.WIRE_VERSION
-        conn.negotiate(wire.BINARY_CODEC)
+        assert ok["t"] == "link.ok" and ok.get("cv") == wire.BATCH_WIRE_VERSION
+        conn.negotiate(wire.BINARY_CODEC, wire.BATCH_WIRE_VERSION)
         return conn
 
     def test_contiguous_burst_acked_once_cumulatively(self):

@@ -21,7 +21,7 @@ from repro.errors import WireError
 from repro.service import wire
 from repro.types import WriteId
 
-CODECS = (wire.JSON_CODEC, wire.BINARY_CODEC)
+CODECS = (wire.JSON_CODEC, wire.BINARY_CODEC, wire.BINARY_CODEC_V4)
 
 # bounded to what the protocols produce: small non-negative site ids and
 # clocks, int64-safe masks (the binary intlist packs up to 8-byte ints)
@@ -196,7 +196,8 @@ class TestFrameRoundTrip:
         extra=st.dictionaries(
             st.text(
                 alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
-            ).filter(lambda k: k not in ("t", "v")),  # reserved frame fields
+            # reserved frame fields plus the two explicit kwargs below
+            ).filter(lambda k: k not in ("t", "v", "var", "value")),
             values,
             max_size=4,
         ),
@@ -293,24 +294,79 @@ class TestMixedVersionFallback:
             if k.startswith(f"{name}{{") and f"codec={codec}" in k
         )
 
-    def test_binary_cluster_binary_client(self):
-        counters = self._negotiated_codecs("binary", "binary")
-        assert self._total(counters, "client_wire_negotiations_total", "binary") >= 1
-        assert self._total(counters, "service_wire_negotiations_total", "binary") >= 1
+    # the full profile matrix: every (cluster capability, client
+    # preference) pair settles on the *meet* of the two — json clients
+    # send no hello at all (expected label None)
+    @pytest.mark.parametrize(
+        "cluster_codec,client_codec,expected",
+        [
+            ("json", "json", None),
+            ("json", "binary", "json"),
+            ("json", "delta", "json"),
+            ("binary", "json", None),
+            ("binary", "binary", "binary"),
+            ("binary", "delta", "binary"),
+            ("delta", "json", None),
+            ("delta", "binary", "binary"),
+            ("delta", "delta", "delta"),
+        ],
+    )
+    def test_profile_matrix(self, cluster_codec, client_codec, expected):
+        counters = self._negotiated_codecs(cluster_codec, client_codec)
+        for label in ("json", "binary", "delta"):
+            got = self._total(counters, "client_wire_negotiations_total", label)
+            if label == expected:
+                assert got >= 1, (label, counters)
+            else:
+                assert got == 0, (label, counters)
+        if expected not in (None, "json"):
+            # the server observed the same agreement on its side
+            assert (
+                self._total(
+                    counters, "service_wire_negotiations_total", expected
+                )
+                >= 1
+            )
 
-    def test_json_cluster_downgrades_binary_client(self):
-        # a v3 client against a v2-capability cluster: the hello is
-        # answered with cv=2 and every connection stays JSON
-        counters = self._negotiated_codecs("json", "binary")
-        assert self._total(counters, "client_wire_negotiations_total", "json") >= 1
-        assert self._total(counters, "client_wire_negotiations_total", "binary") == 0
+    def test_mixed_capability_cluster_stays_causal(self):
+        """One cluster, three wire generations: site 0 speaks v4, site 1
+        v3, site 2 v2.  Every peer link lands on the pairwise meet, the
+        workload completes with zero errors, every link drains to zero
+        backlog, and the shadow sanitizer accepts every apply."""
+        import asyncio
 
-    def test_json_client_never_negotiates(self):
-        # a v2 client sends no hello at all — the binary-capable server
-        # just serves it JSON frames forever
-        counters = self._negotiated_codecs("binary", "json")
-        assert self._total(counters, "client_wire_negotiations_total", "json") == 0
-        assert self._total(counters, "client_wire_negotiations_total", "binary") == 0
+        from repro.obs.registry import MetricsRegistry
+        from repro.service.harness import ServiceCluster
+        from repro.service.loadgen import LoadGenerator
+
+        async def run():
+            metrics = MetricsRegistry()
+            cluster = ServiceCluster(
+                3, 6, "opt-track", replication_factor=3,
+                metrics=metrics, sanitize=True, codec="delta",
+            )
+            cluster.servers[1].wire_caps = wire.profile_caps("binary")
+            cluster.servers[2].wire_caps = wire.profile_caps("json")
+            async with cluster:
+                gen = LoadGenerator(
+                    cluster, workload="a", ops_per_site=30, sessions=2,
+                    seed=3, metrics=metrics,
+                )
+                report = await gen.run()
+                await cluster.quiesce()
+                backlogs = [
+                    link.backlog
+                    for server in cluster.servers
+                    for link in server._links.values()
+                ]
+                return report, cluster.sanitizer.checks_run, backlogs
+
+        report, checks, backlogs = asyncio.run(run())
+        assert report.errors == 0 and report.ops > 0
+        assert checks > 0
+        # every replication link drained: the mixed-version links did
+        # deliver (and get acked for) every update they carried
+        assert backlogs and all(b == 0 for b in backlogs)
 
     def test_v2_server_err_downgrades_client(self):
         """A true v2 server has no ``hello`` handler and answers ``err

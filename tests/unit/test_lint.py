@@ -410,6 +410,70 @@ class TestWireCodec:
 
 
 # ----------------------------------------------------------------------
+# wire-delta-state
+# ----------------------------------------------------------------------
+class TestWireDeltaState:
+    def test_stray_write_fires(self):
+        src = "def f(link):\n    link._delta_out = None\n"
+        out = run(src, module="repro.service.transport")
+        assert rules_of(out) == ["wire-delta-state"]
+        assert "delta chain" in out[0].message
+
+    def test_write_in_unlisted_method_fires(self):
+        # right module, wrong path: only the lifecycle sites may touch it
+        src = (
+            "class SiteServer:\n"
+            "    def _handle_fetch(self, src):\n"
+            "        self._delta_in[src] = object()\n"
+        )
+        out = run(src, module="repro.service.server")
+        assert rules_of(out) == ["wire-delta-state"]
+
+    def test_dict_mutator_fires(self):
+        src = "def f(client):\n    client._itabs.clear()\n"
+        assert rules_of(run(src, module="repro.service.harness")) == [
+            "wire-delta-state"
+        ]
+
+    def test_del_fires(self):
+        src = "def f(link):\n    del link._delta_out\n"
+        assert rules_of(run(src, module="repro.service.server")) == [
+            "wire-delta-state"
+        ]
+
+    def test_lifecycle_sites_are_quiet(self):
+        src = (
+            "class PeerLink:\n"
+            "    def _handshake(self):\n"
+            "        self._delta_out = None\n"
+        )
+        assert run(src, module="repro.service.server") == []
+        src = (
+            "class KVClient:\n"
+            "    def _negotiate(self, site, reply):\n"
+            "        self._itabs[site] = reply\n"
+        )
+        assert run(src, module="repro.service.client") == []
+
+    def test_reads_are_quiet(self):
+        src = "def f(link):\n    return link._delta_out\n"
+        assert run(src, module="repro.service.transport") == []
+
+    def test_wire_module_is_exempt(self):
+        src = "def f(conn):\n    conn._delta_out = None\n"
+        assert run(src, module="repro.service.wire") == []
+
+    def test_outside_service_is_quiet(self):
+        src = "def f(x):\n    x._itab = None\n"
+        assert run(src, module="repro.sim.site") == []
+
+    def test_allowlisted_module_is_quiet(self):
+        allow = [AllowEntry("wire-delta-state", "repro.service.debug", "repl aid")]
+        src = "def f(x):\n    x._itab = None\n"
+        assert run(src, module="repro.service.debug", allow=allow) == []
+
+
+# ----------------------------------------------------------------------
 # service layering (the DAG covers the new package)
 # ----------------------------------------------------------------------
 class TestServiceLayering:
@@ -513,6 +577,7 @@ class TestRepositoryIsClean:
             "adhoc-logging",
             "blocking-io",
             "wire-codec",
+            "wire-delta-state",
         }
 
 

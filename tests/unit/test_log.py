@@ -208,3 +208,60 @@ class TestSizeAccounting:
     def test_size_bytes_custom(self):
         d = log_of((0, 1, [1]))
         assert d.size_bytes(id_bytes=2, clock_bytes=4) == 6 + 2
+
+
+class TestPruneKnown:
+    """Condition 1 against the ack-driven known-applies table:
+    ``known[s, z] >= c`` proves site ``s`` applied ``<z, c>``."""
+
+    @staticmethod
+    def known(n, **bounds):
+        import numpy as np
+
+        k = np.zeros((n, n), dtype=np.int64)
+        for key, c in bounds.items():
+            s, z = (int(x) for x in key.removeprefix("k").split("_"))
+            k[s, z] = c
+        return k
+
+    def test_clears_only_proven_bits(self):
+        d = log_of((0, 5, [1, 2]))
+        d.prune_known(self.known(4, k1_0=5))
+        assert d.dests_of(0, 5) == bitsets.singleton(2)
+
+    def test_bound_below_clock_keeps_bit(self):
+        d = log_of((0, 5, [1]))
+        d.prune_known(self.known(4, k1_0=4))
+        assert d.dests_of(0, 5) == bitsets.singleton(1)
+
+    def test_emptied_non_newest_record_deleted(self):
+        d = log_of((0, 5, [1]), (0, 9, [2]))
+        d.prune_known(self.known(4, k1_0=5))
+        assert (0, 5) not in d
+        assert d.dests_of(0, 9) == bitsets.singleton(2)
+
+    def test_emptied_newest_record_retained(self):
+        # same retention rule as purge(): the newest record per sender
+        # survives with empty dests so it can still prune other logs
+        d = log_of((0, 5, [1]))
+        d.prune_known(self.known(4, k1_0=9))
+        assert (0, 5) in d
+        assert d.dests_of(0, 5) == bitsets.EMPTY
+
+    def test_bounds_are_per_origin(self):
+        d = log_of((0, 5, [1]), (2, 5, [1]))
+        d.prune_known(self.known(4, k1_0=5))
+        assert d.dests_of(0, 5) == bitsets.EMPTY
+        assert d.dests_of(2, 5) == bitsets.singleton(1)
+
+    def test_no_hit_is_noop(self):
+        d = log_of((0, 5, [1]), (1, 2, []))
+        before = d.copy()
+        d.prune_known(self.known(4))
+        assert d == before
+
+    def test_shared_copy_unaffected(self):
+        d = log_of((0, 5, [1, 2]))
+        snapshot = d.copy()
+        d.prune_known(self.known(4, k1_0=5))
+        assert snapshot.dests_of(0, 5) == bitsets.mask_of([1, 2])

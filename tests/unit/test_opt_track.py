@@ -240,3 +240,92 @@ class TestFullReplicationSpecialCase:
         deliver(sites, ra.messages)
         for s in sites:
             assert s.read_local("a") == (1, ra.write_id)
+
+
+def log_of(*entries):
+    from repro.core.log import DepLog
+
+    d = DepLog()
+    for sender, clock, dests in entries:
+        d.add(sender, clock, bitsets.mask_of(dests))
+    return d
+
+
+class TestKnownAppliesGC:
+    """The ack-driven Condition-1 seam: ``known_applies[d, z]`` holds
+    proven lower bounds on ``Apply_d[z]``, fed by the service layer's
+    applied watermarks (direct for own writes, transitive through the
+    piggybacked log of each acked update), and swept into the log at
+    write time and into stored logs at serve time."""
+
+    def test_table_stays_unallocated_in_pure_message_flow(self, sites):
+        # simulation runs and v3 links never feed the seam: the O(n^2)
+        # table must cost nothing there
+        deliver(sites, sites[0].write("x", 1).messages)
+        deliver(sites, sites[1].write("y", 2).messages)
+        remote_read(sites, 0, "y")
+        assert all(s.known_applies is None for s in sites)
+
+    def test_self_ack_never_allocates(self, sites):
+        sites[0].write("x", 1)
+        sites[0].note_remote_apply(0, 1)
+        sites[0].note_remote_apply_log(
+            0, OptTrackMeta(1, 0, log_of((1, 3, [0])))
+        )
+        assert sites[0].known_applies is None
+
+    def test_direct_watermark_recorded_and_pruned(self, sites):
+        sites[0].write("x", 1)
+        sites[0].note_remote_apply(1, 1)
+        assert sites[0].known_applies[1, 0] == 1
+        # the acking link's own-write slice is pruned immediately
+        assert not bitsets.contains(sites[0].log.dests_of(0, 1), 1)
+
+    def test_transitive_credit_only_for_named_records(self, sites):
+        meta = OptTrackMeta(9, 0, log_of((2, 7, [1]), (3, 4, [2])))
+        sites[0].note_remote_apply_log(1, meta)
+        known = sites[0].known_applies
+        # site 1 was named by <2,7> (so proved to have applied it) but
+        # not by <3,4> — FIFO applies bound only the named origin
+        assert known[1, 2] == 7
+        assert known[1, 3] == 0
+
+    def test_bounds_are_monotonic(self, sites):
+        sites[0].note_remote_apply_log(1, OptTrackMeta(9, 0, log_of((2, 7, [1]))))
+        sites[0].note_remote_apply_log(1, OptTrackMeta(9, 0, log_of((2, 3, [1]))))
+        sites[0].note_remote_apply(2, 5)
+        sites[0].note_remote_apply(2, 4)
+        known = sites[0].known_applies
+        assert known[1, 2] == 7
+        assert known[2, 0] == 5
+
+    def test_write_sweeps_proven_third_party_bits(self):
+        # y's replica set shares no site with the record's remaining
+        # dests, so Condition 2 alone would never clear them: only the
+        # ack-driven sweep can
+        sites = make_sites("opt-track", 4, {"x": (0, 1, 2), "y": (0, 3)})
+        sites[0].write("x", 1)
+        assert sites[0].log.dests_of(0, 1) == bitsets.mask_of([1, 2])
+        sites[0].note_remote_apply_log(1, OptTrackMeta(9, 0, log_of((0, 1, [1]))))
+        sites[0].write("y", 2)
+        assert sites[0].log.dests_of(0, 1) == bitsets.singleton(2)
+
+    def test_serve_fetch_refreshes_stored_log(self, sites):
+        r = sites[0].write("x", 1)
+        deliver(sites, r.messages)
+        stored = sites[1].last_write_on["x"]
+        assert bitsets.contains(stored.dests_of(0, 1), 2)
+        # proof arrives later that site 2 applied <0,1>; the stored log
+        # was frozen at apply time and only serve_fetch re-prunes it
+        sites[1].note_remote_apply_log(2, OptTrackMeta(9, 0, log_of((0, 1, [2]))))
+        reply = sites[1].serve_fetch(sites[3].make_fetch_request("x", 1))
+        assert not bitsets.contains(reply.meta.dests_of(0, 1), 2)
+        assert not bitsets.contains(
+            sites[1].last_write_on["x"].dests_of(0, 1), 2
+        )
+
+    def test_meta_objects_include_the_table(self, sites):
+        sites[0].note_remote_apply(1, 1)
+        assert any(
+            obj is sites[0].known_applies for obj in sites[0].meta_objects()
+        )
