@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench service-bench service-bench-fast table1 fig4 report trace-smoke serve-smoke
+.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench service-bench service-bench-fast table1 fig4 report trace-smoke serve-smoke interleave-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,10 +10,15 @@ test-fast:
 	$(PYTHON) -m pytest -x -q tests/unit
 
 # Protocol-aware static checks (import layering, DepLog copy-on-write
-# discipline, determinism hazards, protocol hook pairing); rule catalog
-# in docs/static-analysis.md, repo-wide exceptions in .lint-allow
+# discipline, determinism hazards, await-atomicity, protocol hook
+# pairing); rule catalog in docs/static-analysis.md, repo-wide
+# exceptions in .lint-allow.  Two invocations: the full catalog over the
+# library, then the determinism rules over tests and benchmarks.  Both
+# run --strict-allow, so dead suppressions and dead allowlist entries
+# fail the build.
 lint:
-	$(PYTHON) -m repro.lint src/repro
+	$(PYTHON) -m repro.lint src/repro --strict-allow
+	$(PYTHON) -m repro.lint tests benchmarks --select entropy-source,mutable-default,unordered-iteration --strict-allow
 
 # mypy over the typed core (repro.core + repro.verify).  Gated on mypy
 # being importable so offline checkouts without it still pass `make
@@ -44,6 +49,13 @@ trace-smoke:
 # errors), clean shutdown.  Details in docs/service.md
 serve-smoke:
 	$(PYTHON) -m repro.service.cli smoke
+
+# Schedule-exploration smoke: sweep 50 seeded adversarial schedules
+# (shuffled ready queue + preempting loopback) over a 3-site cluster
+# with the causal sanitizer shadowing every apply.  The runtime half of
+# the await-atomicity static rule; details in docs/static-analysis.md
+interleave-smoke:
+	$(PYTHON) -m repro.verify.schedules --seeds 50
 
 # Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops +
 # tracing overhead guardrail: fails if the no-op recorder costs > 3%)

@@ -1,0 +1,485 @@
+"""Per-function control-flow graphs over ``ast`` for interleaving analysis.
+
+The asyncio service layer (:mod:`repro.service`) relies on a
+*single-writer event loop* discipline: protocol state mutations must be
+atomic with respect to task switches, which in asyncio means **no
+``await`` between the read and the write of a read-modify-write**.  To
+check that mechanically we need two things a flat ``ast.walk`` cannot
+give us: the *order* of shared-state accesses along every execution
+path, and the *suspension points* (``await`` / ``async for`` /
+``async with``) those paths cross.  This module builds exactly that — a
+statement-level control-flow graph per function where every node carries
+an ordered list of :class:`Event` records:
+
+* ``read`` / ``write`` of a ``self.<attr>`` (the first attribute above
+  ``self`` names the shared slot: ``self._fetch.popleft()`` touches
+  ``_fetch``);
+* ``suspend`` wherever the coroutine may yield to the event loop.
+
+The graph is deliberately over-approximate where Python is dynamic:
+both branches of a conditional are explored, exception edges go from
+every statement in a ``try`` body to every handler, and short-circuit
+operands are treated as always evaluated.  Over-approximation can only
+*add* interleavings, so the downstream dataflow
+(:mod:`repro.lint.interleave`) stays sound for the hazard it checks.
+
+Known blind spots (shared with the other syntactic rules):
+
+* **aliasing** — ``q = self._fetch; q.popleft()`` is invisible;
+* **self-method calls** — ``self._retire(n)`` may mutate anything, the
+  callee is analyzed on its own instead;
+* **unknown attribute methods** — ``self.transport.listen(...)``
+  records no event for ``transport`` (only the curated reader/mutator
+  method sets below are classified);
+* **nested ``def`` bodies** — closures run at an unknown time and are
+  analyzed as their own functions when ``async``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+#: container/primitive methods that only observe their receiver
+READER_METHODS: Set[str] = {
+    "get",
+    "keys",
+    "values",
+    "items",
+    "copy",
+    "count",
+    "index",
+    "empty",
+    "qsize",
+    "full",
+    "is_set",
+    "locked",
+    "done",
+    "cancelled",
+    "result",
+    "exception",
+    "peer",
+}
+
+#: container/primitive methods that mutate their receiver in place
+MUTATOR_METHODS: Set[str] = {
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "insert",
+    "remove",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "sort",
+    "reverse",
+    "rotate",
+    "put_nowait",
+    "set",
+    "set_result",
+    "set_exception",
+}
+
+AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One ordered access in a CFG node."""
+
+    kind: str  #: ``"read"`` | ``"write"`` | ``"suspend"``
+    attr: str  #: shared slot name (``""`` for ``suspend``)
+    line: int
+
+
+@dataclass
+class Node:
+    """One statement-level basic unit: ordered events + successor ids."""
+
+    index: int
+    line: int
+    events: List[Event] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function (entry node is ``nodes[0]``)."""
+
+    name: str
+    lineno: int
+    nodes: List[Node]
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    def suspension_lines(self) -> List[int]:
+        """Sorted unique lines at which this function may suspend."""
+        lines = {
+            ev.line for node in self.nodes for ev in node.events
+            if ev.kind == "suspend"
+        }
+        return sorted(lines)
+
+
+def self_attr(node: ast.expr) -> Optional[str]:
+    """First attribute above ``self`` in a plain chain, else ``None``.
+
+    ``self.x`` and ``self.x.y.z`` both yield ``"x"``; ``self`` alone
+    yields ``""``; anything not rooted at a plain ``self`` name yields
+    ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self":
+        return parts[-1] if parts else ""
+    return None
+
+
+class _EventWalker:
+    """Collects ordered events from one expression/statement."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def read(self, attr: str, line: int) -> None:
+        self.events.append(Event("read", attr, line))
+
+    def write(self, attr: str, line: int) -> None:
+        self.events.append(Event("write", attr, line))
+
+    def suspend(self, line: int) -> None:
+        self.events.append(Event("suspend", "", line))
+
+    # -- expressions (Load context) ------------------------------------
+    def expr(self, node: Optional[ast.expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            self.expr(node.value)
+            self.suspend(node.lineno)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = self_attr(node)
+            if attr:
+                self.read(attr, node.lineno)
+            elif attr is None:
+                self.expr(node.value)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # runs later, not on this path
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                self.expr(gen.iter)
+                if gen.is_async:
+                    self.suspend(node.lineno)
+                for cond in gen.ifs:
+                    self.expr(cond)
+            if isinstance(node, ast.DictComp):
+                self.expr(node.key)
+                self.expr(node.value)
+            else:
+                self.expr(node.elt)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+            elif isinstance(child, (ast.keyword, ast.FormattedValue)):
+                self.expr(child.value)
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = self_attr(func.value)
+            if owner is None:
+                self.expr(func.value)
+            elif owner:  # self.<attr>.method(...)
+                if func.attr in READER_METHODS:
+                    self.read(owner, func.lineno)
+                elif func.attr in MUTATOR_METHODS:
+                    self.write(owner, func.lineno)
+                # unknown methods: documented blind spot, no event
+            # owner == "": self.method(...) — callee analyzed on its own
+        elif not isinstance(func, ast.Name):
+            self.expr(func)
+        for arg in node.args:
+            self.expr(arg.value if isinstance(arg, ast.Starred) else arg)
+        for kw in node.keywords:
+            self.expr(kw.value)
+
+    # -- store targets -------------------------------------------------
+    def store(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Attribute):
+            attr = self_attr(target)
+            if attr:
+                self.write(attr, target.lineno)
+            elif attr is None:
+                self.expr(target.value)
+        elif isinstance(target, ast.Subscript):
+            self.expr(target.slice)
+            base = target.value
+            attr = self_attr(base) if isinstance(base, ast.Attribute) else None
+            if attr:
+                self.write(attr, target.lineno)
+            else:
+                self.expr(base)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self.store(el)
+        elif isinstance(target, ast.Starred):
+            self.store(target.value)
+        # plain Name: local variable, not shared state
+
+
+def _stmt_events(stmt: ast.stmt) -> List[Event]:
+    """Ordered events of one *simple* statement (no control flow)."""
+    w = _EventWalker()
+    if isinstance(stmt, ast.Expr):
+        w.expr(stmt.value)
+    elif isinstance(stmt, ast.Assign):
+        w.expr(stmt.value)
+        for target in stmt.targets:
+            w.store(target)
+    elif isinstance(stmt, ast.AnnAssign):
+        w.expr(stmt.value)
+        w.store(stmt.target)
+    elif isinstance(stmt, ast.AugAssign):
+        # evaluation order: load target, evaluate value, store target —
+        # a fused read+write with no suspension in between unless the
+        # value itself awaits
+        target = stmt.target
+        attr = (
+            self_attr(target)
+            if isinstance(target, ast.Attribute)
+            else self_attr(target.value)
+            if isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            else None
+        )
+        if attr:
+            w.read(attr, stmt.lineno)
+        w.expr(stmt.value)
+        if attr:
+            w.write(attr, stmt.lineno)
+        elif not isinstance(target, ast.Name):
+            w.store(target)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            w.store(target)
+    elif isinstance(stmt, ast.Assert):
+        w.expr(stmt.test)
+        w.expr(stmt.msg)
+    elif isinstance(stmt, ast.Return):
+        w.expr(stmt.value)
+    elif isinstance(stmt, ast.Raise):
+        w.expr(stmt.exc)
+        w.expr(stmt.cause)
+    # Pass/Break/Continue/Global/Nonlocal/Import*/def/class: no events
+    return w.events
+
+
+def _expr_events(expr: Optional[ast.expr]) -> List[Event]:
+    w = _EventWalker()
+    w.expr(expr)
+    return w.events
+
+
+class _Builder:
+    """Builds the statement-level CFG of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        #: stack of (break_sources, continue_target) for enclosing loops
+        self._loops: List[Tuple[List[int], int]] = []
+
+    def new_node(self, line: int, events: Sequence[Event] = ()) -> int:
+        idx = len(self.nodes)
+        self.nodes.append(Node(idx, line, list(events)))
+        return idx
+
+    def link(self, preds: Set[int], node: int) -> None:
+        for p in preds:
+            succs = self.nodes[p].succs
+            if node not in succs:
+                succs.append(node)
+
+    # ------------------------------------------------------------------
+    def stmts(self, body: Sequence[ast.stmt], preds: Set[int]) -> Set[int]:
+        """Wire ``body`` after ``preds``; returns the fall-through exits."""
+        cur = set(preds)
+        for stmt in body:
+            cur = self.stmt(stmt, cur)
+            if not cur:  # unreachable fall-through (return/raise/...)
+                break
+        return cur
+
+    def stmt(self, stmt: ast.stmt, preds: Set[int]) -> Set[int]:
+        if isinstance(stmt, ast.If):
+            test = self.new_node(stmt.lineno, _expr_events(stmt.test))
+            self.link(preds, test)
+            then_exits = self.stmts(stmt.body, {test})
+            if stmt.orelse:
+                else_exits = self.stmts(stmt.orelse, {test})
+                return then_exits | else_exits
+            return then_exits | {test}
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            events: List[Event] = []
+            for item in stmt.items:
+                events.extend(_expr_events(item.context_expr))
+                if isinstance(stmt, ast.AsyncWith):
+                    events.append(Event("suspend", "", stmt.lineno))
+            enter = self.new_node(stmt.lineno, events)
+            self.link(preds, enter)
+            body_exits = self.stmts(stmt.body, {enter})
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    w = _EventWalker()
+                    w.store(item.optional_vars)
+                    self.nodes[enter].events.extend(w.events)
+            if isinstance(stmt, ast.AsyncWith):
+                # __aexit__ is awaited on the way out
+                leave = self.new_node(
+                    getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno,
+                    [Event("suspend", "", stmt.lineno)],
+                )
+                self.link(body_exits, leave)
+                return {leave}
+            return body_exits
+
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, preds)
+
+        if isinstance(stmt, ast.Match):
+            subject = self.new_node(stmt.lineno, _expr_events(stmt.subject))
+            self.link(preds, subject)
+            exits = {subject}
+            for case in stmt.cases:
+                exits |= self.stmts(case.body, {subject})
+            return exits
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self.new_node(stmt.lineno)
+            self.link(preds, node)
+            if self._loops:
+                breaks, cont = self._loops[-1]
+                if isinstance(stmt, ast.Break):
+                    breaks.append(node)
+                else:
+                    self.link({node}, cont)
+            return set()
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = self.new_node(stmt.lineno, _stmt_events(stmt))
+            self.link(preds, node)
+            return set()
+
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # nested definitions run at an unknown later time; async
+            # ones get their own CFG from build_cfgs
+            node = self.new_node(stmt.lineno)
+            self.link(preds, node)
+            return {node}
+
+        node = self.new_node(stmt.lineno, _stmt_events(stmt))
+        self.link(preds, node)
+        return {node}
+
+    def _loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], preds: Set[int]
+    ) -> Set[int]:
+        if isinstance(stmt, ast.While):
+            events = _expr_events(stmt.test)
+        else:
+            events = _expr_events(stmt.iter)
+            if isinstance(stmt, ast.AsyncFor):
+                # __anext__ is awaited on every iteration
+                events.append(Event("suspend", "", stmt.lineno))
+            w = _EventWalker()
+            w.store(stmt.target)
+            events.extend(w.events)
+        header = self.new_node(stmt.lineno, events)
+        self.link(preds, header)
+        breaks: List[int] = []
+        self._loops.append((breaks, header))
+        body_exits = self.stmts(stmt.body, {header})
+        self._loops.pop()
+        self.link(body_exits, header)  # back edge
+        exits = {header} | set(breaks)
+        if stmt.orelse:
+            exits = self.stmts(stmt.orelse, {header}) | set(breaks)
+        return exits
+
+    def _try(self, stmt: ast.stmt, preds: Set[int]) -> Set[int]:
+        body = stmt.body  # type: ignore[attr-defined]
+        handlers = stmt.handlers  # type: ignore[attr-defined]
+        orelse = stmt.orelse  # type: ignore[attr-defined]
+        finalbody = stmt.finalbody  # type: ignore[attr-defined]
+        before = len(self.nodes)
+        body_exits = self.stmts(body, preds)
+        body_nodes = set(range(before, len(self.nodes)))
+        handler_exits: Set[int] = set()
+        for handler in handlers:
+            # an exception can surface at any point inside the body
+            handler_exits |= self.stmts(handler.body, set(preds) | body_nodes)
+        if orelse:
+            body_exits = self.stmts(orelse, body_exits)
+        exits = body_exits | handler_exits
+        if finalbody:
+            # over-approximate: the finally can follow any body/handler
+            # point (early return, re-raise) as well as the normal exits
+            upto = set(range(before, len(self.nodes)))
+            exits = self.stmts(finalbody, exits | upto | set(preds))
+        return exits
+
+
+def build_cfg(fn: AnyFunction) -> CFG:
+    """Statement-level CFG of ``fn`` (nested ``def`` bodies excluded)."""
+    builder = _Builder()
+    entry = builder.new_node(fn.lineno)
+    builder.stmts(fn.body, {entry})
+    return CFG(name=fn.name, lineno=fn.lineno, nodes=builder.nodes)
+
+
+def build_cfgs(tree: ast.Module, *, async_only: bool = True) -> List[CFG]:
+    """CFGs for every (by default async) function in ``tree``, nested
+    ones included — each gets its own graph."""
+    kinds: Tuple[type, ...] = (
+        (ast.AsyncFunctionDef,) if async_only
+        else (ast.FunctionDef, ast.AsyncFunctionDef)
+    )
+    return [build_cfg(node) for node in ast.walk(tree) if isinstance(node, kinds)]
+
+
+__all__ = [
+    "CFG",
+    "Event",
+    "Node",
+    "READER_METHODS",
+    "MUTATOR_METHODS",
+    "build_cfg",
+    "build_cfgs",
+    "self_attr",
+]

@@ -2,17 +2,26 @@
 
 Usage::
 
-    repro-lint [paths...] [--allowlist FILE] [--select rule,rule] [--list-rules]
+    repro-lint [paths...] [--allowlist FILE] [--select rule,rule]
+               [--strict-allow] [--json] [--list-rules]
 
 Exit status 0 when clean, 1 when any finding is reported, 2 on usage or
 configuration errors (malformed allowlist).  With no paths, lints
 ``src/repro`` relative to the current directory (falling back to
 ``repro`` for installed-layout checkouts).
+
+``--strict-allow`` additionally reports allowlist entries and inline
+``# lint: allow(...)`` suppressions that silenced nothing — dead
+exceptions rot into false documentation, so CI prunes them.  ``--json``
+emits the findings as a JSON array (``rule``/``path``/``line``/
+``message``/``reason``) for tooling; the human lines move to nowhere
+(stdout is the JSON document).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -20,6 +29,22 @@ from typing import List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.lint.engine import lint_paths
 from repro.lint.rules import ALL_RULES, RULES_BY_NAME
+
+#: one-line rationale per engine-level pseudo rule (real rules carry
+#: their ``summary``); the ``reason`` field of ``--json`` output
+_ENGINE_RULE_REASONS = {
+    "syntax": "file must parse before any rule can run",
+    "suppression-format": "inline suppressions must carry their reason",
+    "unused-suppression": "a suppression that silences nothing is stale",
+    "unused-allow": "an allowlist entry that matches nothing is stale",
+}
+
+
+def _reason_for(rule: str) -> str:
+    known = RULES_BY_NAME.get(rule)
+    if known is not None:
+        return known.summary
+    return _ENGINE_RULE_REASONS.get(rule, "")
 
 
 def _default_paths() -> List[Path]:
@@ -52,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RULES",
         help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict-allow",
+        action="store_true",
+        help="also report allowlist entries and inline suppressions "
+        "that matched zero findings in this run",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array of "
+        "{rule, path, line, message, reason} objects",
     )
     parser.add_argument(
         "--list-rules",
@@ -91,13 +129,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     try:
-        findings = lint_paths(paths, rules, allowlist=args.allowlist)
+        findings = lint_paths(
+            paths, rules, allowlist=args.allowlist, strict=args.strict_allow
+        )
     except ConfigurationError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    for finding in findings:
-        print(finding)
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                        "reason": _reason_for(f.rule),
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         n = len(findings)
         print(f"repro-lint: {n} finding{'s' if n != 1 else ''}", file=sys.stderr)

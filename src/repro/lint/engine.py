@@ -69,6 +69,7 @@ class AllowEntry:
     rule: str
     payload: str
     reason: str
+    line: int = 0  #: source line in the allowlist file (for findings)
 
 
 @dataclass
@@ -79,9 +80,15 @@ class Suppressions:
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     #: suppressions missing the mandatory reason (reported as findings)
     malformed: List[Tuple[int, str]] = field(default_factory=list)
+    #: ``(line, rule)`` pairs that actually silenced a finding — the
+    #: ``--strict-allow`` pass flags the rest as dead
+    used: Set[Tuple[int, str]] = field(default_factory=set)
 
     def allows(self, line: int, rule: str) -> bool:
-        return rule in self.by_line.get(line, ())
+        if rule in self.by_line.get(line, ()):
+            self.used.add((line, rule))
+            return True
+        return False
 
 
 def parse_suppressions(source: str) -> Suppressions:
@@ -116,7 +123,9 @@ def parse_allowlist(path: Path) -> List[AllowEntry]:
                 f"is missing its mandatory '# reason' comment"
             )
         entries.append(
-            AllowEntry(m.group("rule"), m.group("payload").strip(), m.group("reason"))
+            AllowEntry(
+                m.group("rule"), m.group("payload").strip(), m.group("reason"), lineno
+            )
         )
     return entries
 
@@ -130,19 +139,39 @@ class ModuleContext:
     tree: ast.Module
     source: str
     allow: Sequence[AllowEntry] = ()
+    #: shared across the run when ``--strict-allow`` is on: the
+    #: ``(rule, payload)`` allowlist entries that suppressed something
+    used_allow: Optional[Set[Tuple[str, str]]] = None
 
     def allowed_payloads(self, rule: str) -> List[str]:
         return [e.payload for e in self.allow if e.rule == rule]
 
+    def mark_allow_used(self, rule: str, payload: str) -> None:
+        if self.used_allow is not None:
+            self.used_allow.add((rule, payload))
+
 
 class Rule:
     """Base class: subclasses set ``name``/``summary`` and implement
-    :meth:`check`."""
+    :meth:`check` (or :meth:`scan` for module-allowlistable rules)."""
 
     name: str = "abstract"
     summary: str = ""
+    #: rules whose allowlist payload is a bare module name set this; the
+    #: engine then still scans allowed modules and marks the entry used
+    #: only when it would actually have suppressed a finding — which is
+    #: what lets ``--strict-allow`` spot dead entries
+    module_allow: bool = False
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self.module_allow and ctx.module in ctx.allowed_payloads(self.name):
+            for _ in self.scan(ctx):
+                ctx.mark_allow_used(self.name, ctx.module)
+                break
+            return
+        yield from self.scan(ctx)
+
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -166,15 +195,32 @@ def lint_source(
     module: str = "<string>",
     path: str = "<string>",
     allow: Sequence[AllowEntry] = (),
+    *,
+    strict: bool = False,
+    used_allow: Optional[Set[Tuple[str, str]]] = None,
 ) -> List[Finding]:
-    """Lint one in-memory source (the fixture-test entry point)."""
+    """Lint one in-memory source (the fixture-test entry point).
+
+    With ``strict=True``, inline suppressions of the *selected* rules
+    that silenced nothing are themselves findings (``unused-suppression``)
+    — a dead suppression documents an exception that no longer exists.
+    ``used_allow`` (shared across a :func:`lint_paths` run) collects the
+    allowlist entries that actually fired.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
         return [
             Finding("syntax", path, exc.lineno or 1, f"not parseable: {exc.msg}")
         ]
-    ctx = ModuleContext(module=module, path=path, tree=tree, source=source, allow=allow)
+    ctx = ModuleContext(
+        module=module,
+        path=path,
+        tree=tree,
+        source=source,
+        allow=allow,
+        used_allow=used_allow,
+    )
     suppressions = parse_suppressions(source)
     findings = [
         Finding(
@@ -190,6 +236,21 @@ def lint_source(
         for f in rule.check(ctx):
             if not suppressions.allows(f.line, f.rule):
                 findings.append(f)
+    if strict:
+        selected = {rule.name for rule in rules}
+        for line in sorted(suppressions.by_line):
+            for rule_name in sorted(suppressions.by_line[line]):
+                if rule_name in selected and (line, rule_name) not in suppressions.used:
+                    findings.append(
+                        Finding(
+                            "unused-suppression",
+                            path,
+                            line,
+                            f"suppression of {rule_name!r} matched no finding "
+                            f"— the exception it documents no longer exists; "
+                            f"delete the comment",
+                        )
+                    )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -218,23 +279,63 @@ def lint_paths(
     paths: Sequence[Path],
     rules: Sequence[Rule],
     allowlist: Optional[Path] = None,
+    *,
+    strict: bool = False,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; findings sorted by
     location.  ``allowlist=None`` auto-discovers ``.lint-allow`` upward
-    from the first path."""
+    from the first path.
+
+    With ``strict=True`` (the ``--strict-allow`` CLI flag), allowlist
+    entries for the selected rules that suppressed nothing across the
+    whole run become ``unused-allow`` findings anchored at their line in
+    the allowlist file, and dead inline suppressions become
+    ``unused-suppression`` findings (see :func:`lint_source`).  An entry
+    is only judged when the module its payload governs was actually
+    scanned in this run — a ``make lint`` that lints ``src/repro`` and
+    ``tests`` in separate invocations must not flag each other's
+    entries.
+    """
     if allowlist is None and paths:
         allowlist = find_allowlist(Path(paths[0]))
     allow: Sequence[AllowEntry] = parse_allowlist(allowlist) if allowlist else ()
+    used_allow: Optional[Set[Tuple[str, str]]] = set() if strict else None
+    visited: Set[str] = set()
     findings: List[Finding] = []
     for file in iter_python_files(Path(p) for p in paths):
+        module = module_name_for(file)
+        visited.add(module)
         findings.extend(
             lint_source(
                 file.read_text(),
                 rules,
-                module=module_name_for(file),
+                module=module,
                 path=str(file),
                 allow=allow,
+                strict=strict,
+                used_allow=used_allow,
             )
         )
+    if strict and used_allow is not None:
+        selected = {rule.name for rule in rules}
+        for entry in allow:
+            # the payload's governing module: the module itself, or the
+            # importing side of an ``a -> b`` edge
+            payload_module = entry.payload.partition("->")[0].strip()
+            if (
+                entry.rule in selected
+                and payload_module in visited
+                and (entry.rule, entry.payload) not in used_allow
+            ):
+                findings.append(
+                    Finding(
+                        "unused-allow",
+                        str(allowlist),
+                        entry.line,
+                        f"allowlist entry '{entry.rule}: {entry.payload}' "
+                        f"matched no finding in this run — the exception it "
+                        f"documents no longer exists; delete the entry",
+                    )
+                )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

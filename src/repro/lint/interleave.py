@@ -1,0 +1,307 @@
+"""The ``await-atomicity`` interleaving-hazard analysis.
+
+The service layer's single-writer discipline (docs/service.md) says:
+between reading a piece of shared per-site state (``self.<attr>`` on
+``SiteServer`` / ``PeerLink`` / ``KVClient`` / the transports / the v4
+delta-codec state) and writing a value derived from that read, an async
+function must not suspend — another task scheduled in the gap sees (or
+mutates) the same state, and the resumed write clobbers it.  That torn
+read-modify-write is precisely the bug class behind double-applied
+parked updates, mis-advanced delta baselines, and torn ack bookkeeping.
+
+The analysis runs a forward dataflow over the per-function CFG of
+:mod:`repro.lint.cfg`.  Per shared attribute the abstract state is a
+three-level lattice::
+
+    FRESH (0)  --read-->  READ (1)  --suspend-->  STALE (2)
+
+* a *read* (re)sets the attribute to ``READ`` — re-reading after an
+  ``await`` is the sanctioned lock-free fix, and the analysis honours
+  it by construction;
+* a *suspension* promotes every ``READ`` attribute to ``STALE``;
+* a *write* while ``STALE`` is the hazard: the value being written was
+  derived from a read on the other side of a suspension point.  Any
+  write resets the attribute to ``FRESH``.
+
+Augmented assignment is a fused read+write (``self._waiting -= 1`` is
+atomic on the event loop), so counters never fire.  Transfer functions
+are monotone on the lattice and the join is a pointwise max, so the
+fixpoint iteration terminates; hazards are collected in a final stable
+pass and reported once per ``(attribute, write line)``.
+
+Two declared-critical-section forms silence a hazard when the read, the
+suspension, and the write all sit inside one region:
+
+* ``async with self.<lock>:`` — a held ``asyncio.Lock``/``Condition``
+  serializes the section against every other task that respects the
+  same lock;
+* a ``# lint: atomic — reason`` comment on the first line of any
+  statement (including an ``async def`` header, which covers the whole
+  function) — for sections that are safe by a protocol argument the
+  analyzer cannot see (e.g. a single consumer task popping exactly the
+  prefix it already sent).  The reason is mandatory; a bare marker is
+  itself reported.
+
+Blind spots are inherited from :mod:`repro.lint.cfg` (aliasing,
+self-method calls, unclassified attribute methods) and documented in
+docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.cfg import CFG, build_cfg, self_attr
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: ``# lint: atomic — reason`` (em dash, hyphen, or colon accepted).
+#: The marker must sit on the first line of the statement it covers.
+_ATOMIC_RE = re.compile(
+    r"#\s*lint:\s*atomic\b\s*(?:[—:-]+\s*(?P<reason>.*\S)?)?"
+)
+
+FRESH, READ, STALE = 0, 1, 2
+
+#: per-attribute abstract value: (level, read_line, suspend_line)
+_AttrState = Tuple[int, int, int]
+_State = Dict[str, _AttrState]
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One torn read-modify-write across a suspension point."""
+
+    function: str
+    attr: str
+    read_line: int
+    suspend_line: int
+    write_line: int
+
+
+@dataclass(frozen=True)
+class Region:
+    """An inclusive line range in which a hazard is declared safe."""
+
+    start: int
+    end: int
+    kind: str  #: ``"atomic"`` | ``"lock"``
+
+    def covers(self, hazard: Hazard) -> bool:
+        return (
+            self.start <= hazard.read_line <= self.end
+            and self.start <= hazard.suspend_line <= self.end
+            and self.start <= hazard.write_line <= self.end
+        )
+
+
+def atomic_regions(
+    tree: ast.Module, source: str
+) -> Tuple[List[Region], List[int]]:
+    """``# lint: atomic — reason`` regions of a module.
+
+    Returns ``(regions, malformed)`` where ``malformed`` lists marker
+    lines missing the mandatory reason.  A marker attaches to the
+    outermost statement whose first line carries it; the region spans
+    that statement's full extent (so a marker on an ``async def`` line
+    declares the whole function atomic).
+    """
+    markers: Dict[int, bool] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _ATOMIC_RE.search(text)
+        if m is not None:
+            markers[lineno] = bool(m.group("reason"))
+    if not markers:
+        return [], []
+    spans: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        line = node.lineno
+        if line in markers:
+            end = getattr(node, "end_lineno", line) or line
+            spans[line] = max(spans.get(line, line), end)
+    regions = [
+        Region(line, spans.get(line, line), "atomic")
+        for line, ok in markers.items()
+        if ok
+    ]
+    malformed = sorted(line for line, ok in markers.items() if not ok)
+    return regions, malformed
+
+
+def lock_regions(fn: ast.AST) -> List[Region]:
+    """``async with self.<lock>:`` critical sections inside ``fn``."""
+    regions: List[Region] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.AsyncWith):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Attribute) and self_attr(expr):
+                end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                regions.append(Region(node.lineno, end, "lock"))
+                break
+    return regions
+
+
+def _join(a: Optional[_State], b: _State) -> _State:
+    if a is None:
+        return dict(b)
+    out = dict(a)
+    for attr, vb in b.items():
+        va = out.get(attr)
+        if va is None or vb[0] > va[0] or (vb[0] == va[0] and vb < va):
+            out[attr] = vb
+    return out
+
+
+def _transfer(
+    node_events: Sequence, state: _State, collect: Optional[List[Tuple[str, int, int, int]]]
+) -> _State:
+    out = dict(state)
+    for ev in node_events:
+        if ev.kind == "read":
+            out[ev.attr] = (READ, ev.line, 0)
+        elif ev.kind == "suspend":
+            for attr, (level, read_line, _) in list(out.items()):
+                if level == READ:
+                    out[attr] = (STALE, read_line, ev.line)
+        elif ev.kind == "write":
+            cur = out.get(ev.attr)
+            if cur is not None and cur[0] == STALE and collect is not None:
+                collect.append((ev.attr, cur[1], cur[2], ev.line))
+            out[ev.attr] = (FRESH, 0, 0)
+    return out
+
+
+def analyze_cfg(cfg: CFG) -> List[Hazard]:
+    """Fixpoint dataflow over one function's CFG; hazards deduplicated
+    by ``(attribute, write line)``."""
+    in_states: Dict[int, _State] = {cfg.entry: {}}
+    worklist: List[int] = [cfg.entry]
+    while worklist:
+        idx = worklist.pop()
+        out = _transfer(cfg.nodes[idx].events, in_states[idx], None)
+        for succ in cfg.nodes[idx].succs:
+            joined = _join(in_states.get(succ), out)
+            if joined != in_states.get(succ):
+                in_states[succ] = joined
+                worklist.append(succ)
+    seen: Set[Tuple[str, int]] = set()
+    hazards: List[Hazard] = []
+    for idx in sorted(in_states):
+        found: List[Tuple[str, int, int, int]] = []
+        _transfer(cfg.nodes[idx].events, in_states[idx], found)
+        for attr, read_line, suspend_line, write_line in found:
+            key = (attr, write_line)
+            if key in seen:
+                continue
+            seen.add(key)
+            hazards.append(
+                Hazard(cfg.name, attr, read_line, suspend_line, write_line)
+            )
+    hazards.sort(key=lambda h: (h.write_line, h.attr))
+    return hazards
+
+
+def analyze_function(
+    fn: ast.AsyncFunctionDef, regions: Sequence[Region] = ()
+) -> List[Hazard]:
+    """Hazards of one async function, minus declared critical sections."""
+    all_regions = list(regions) + lock_regions(fn)
+    out = []
+    for hazard in analyze_cfg(build_cfg(fn)):
+        if not any(region.covers(hazard) for region in all_regions):
+            out.append(hazard)
+    return out
+
+
+def analyze_module(
+    tree: ast.Module, source: str
+) -> Tuple[List[Hazard], List[int]]:
+    """All hazards of a module's async functions + malformed markers."""
+    regions, malformed = atomic_regions(tree, source)
+    hazards: List[Hazard] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            hazards.extend(analyze_function(node, regions))
+    hazards.sort(key=lambda h: (h.write_line, h.attr))
+    return hazards, malformed
+
+
+def suspension_summary(tree: ast.Module) -> Tuple[int, int]:
+    """``(async function count, distinct suspension lines)`` of a module
+    — the schedule explorer prints this next to its sweep so the static
+    and dynamic halves of the check are visibly aligned."""
+    n_funcs = 0
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            n_funcs += 1
+            lines.update(build_cfg(node).suspension_lines())
+    return n_funcs, len(lines)
+
+
+class AwaitAtomicityRule(Rule):
+    """No read-modify-write of shared ``self`` state across an ``await``.
+
+    Scope: :mod:`repro.service` (the asyncio layer; the simulator is
+    single-threaded-synchronous and exempt by construction).  Fires when
+    an async function reads ``self.<attr>``, may suspend, and then
+    writes the same attribute without an intervening re-read — unless
+    read, suspension, and write all sit inside one declared critical
+    section (``async with self.<lock>:`` or ``# lint: atomic — reason``).
+    A marker missing its reason is reported instead of honoured.
+    """
+
+    name = "await-atomicity"
+    summary = (
+        "read-modify-write of shared self.<attr> state across an await "
+        "in repro.service without a declared critical section"
+    )
+    scoped_prefixes = ("repro.service",)
+    module_allow = True
+
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        hazards, malformed = analyze_module(ctx.tree, ctx.source)
+        for line in malformed:
+            yield Finding(
+                self.name,
+                ctx.path,
+                line,
+                "atomic region is missing its mandatory reason "
+                "(write '# lint: atomic — <why this section cannot "
+                "interleave>')",
+            )
+        for h in hazards:
+            yield Finding(
+                self.name,
+                ctx.path,
+                h.write_line,
+                f"in {h.function!r}: self.{h.attr} is read on line "
+                f"{h.read_line} and written here, but the task can "
+                f"suspend at line {h.suspend_line} in between — another "
+                f"task may observe or mutate self.{h.attr} in the gap "
+                f"and this write clobbers it; keep the read-modify-write "
+                f"await-free, re-read after the await, hold a lock "
+                f"(async with) around all three, or declare the block "
+                f"'# lint: atomic — <reason>'",
+            )
+
+
+__all__ = [
+    "AwaitAtomicityRule",
+    "Hazard",
+    "Region",
+    "analyze_cfg",
+    "analyze_function",
+    "analyze_module",
+    "atomic_regions",
+    "lock_regions",
+    "suspension_summary",
+]

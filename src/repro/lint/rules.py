@@ -24,6 +24,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import Finding, ModuleContext, Rule
+from repro.lint.interleave import AwaitAtomicityRule
 
 # ----------------------------------------------------------------------
 # import layering
@@ -123,9 +124,11 @@ class ImportLayeringRule(Rule):
             if LAYERS[tgt_pkg] < src_rank:
                 continue
             target_pkg_name = f"repro.{tgt_pkg}" if tgt_pkg else "repro"
-            edge_ok = any(
-                self._matches(payload, ctx.module, target) for payload in allowed
-            )
+            edge_ok = False
+            for payload in allowed:
+                if self._matches(payload, ctx.module, target):
+                    ctx.mark_allow_used(self.name, payload)
+                    edge_ok = True
             if edge_ok:
                 continue
             yield Finding(
@@ -301,9 +304,12 @@ class UnorderedIterationRule(Rule):
 
     name = "unordered-iteration"
     summary = "iteration over set expressions in repro.sim/repro.core"
-    scoped_prefixes = ("repro.sim", "repro.core")
+    # tests/benchmarks assert on deterministic output, so the same
+    # iteration-order discipline applies there
+    scoped_prefixes = ("repro.sim", "repro.core", "tests", "benchmarks")
+    module_allow = True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.module.startswith(self.scoped_prefixes):
             return
         for node in ast.walk(ctx.tree):
@@ -363,15 +369,19 @@ class EntropySourceRule(Rule):
         "repro.store",
         "repro.verify",
         "repro.metrics",
+        # seeded reproducibility matters just as much in the suites that
+        # assert on simulator output and the benchmarks that feed the
+        # checked-in ledgers
+        "tests",
+        "benchmarks",
     )
     exempt_modules = {"repro.sim.latency"}
+    module_allow = True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.module.startswith(self.scoped_prefixes):
             return
         if ctx.module in self.exempt_modules:
-            return
-        if ctx.module in ctx.allowed_payloads(self.name):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
@@ -490,11 +500,10 @@ class AdHocLoggingRule(Rule):
     name = "adhoc-logging"
     summary = "print()/logging forbidden in repro.core/sim — use repro.obs"
     scoped_prefixes = ("repro.core", "repro.sim")
+    module_allow = True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.module.startswith(self.scoped_prefixes):
-            return
-        if ctx.module in ctx.allowed_payloads(self.name):
             return
         for node in ast.walk(ctx.tree):
             if (
@@ -560,11 +569,10 @@ class BlockingIoRule(Rule):
     name = "blocking-io"
     summary = "time.sleep / sync socket forbidden in repro.service (asyncio)"
     scoped_prefixes = ("repro.service",)
+    module_allow = True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.module.startswith(self.scoped_prefixes):
-            return
-        if ctx.module in ctx.allowed_payloads(self.name):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
@@ -654,13 +662,12 @@ class WireCodecRule(Rule):
     )
     scoped_prefixes = ("repro.service",)
     exempt_modules = _WIRE_EXEMPT
+    module_allow = True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.module.startswith(self.scoped_prefixes):
             return
         if ctx.module in self.exempt_modules:
-            return
-        if ctx.module in ctx.allowed_payloads(self.name):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
@@ -854,13 +861,12 @@ class WireDeltaStateRule(Rule):
     )
     scoped_prefixes = ("repro.service",)
     exempt_modules = {"repro.service.wire"}
+    module_allow = True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.module.startswith(self.scoped_prefixes):
             return
         if ctx.module in self.exempt_modules:
-            return
-        if ctx.module in ctx.allowed_payloads(self.name):
             return
         allowed = _DELTA_STATE_ALLOWED.get(ctx.module, set())
         yield from self._walk(ctx, ctx.tree, None, None, allowed)
@@ -951,6 +957,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BlockingIoRule(),
     WireCodecRule(),
     WireDeltaStateRule(),
+    AwaitAtomicityRule(),
     HookShadowRule(),
 )
 

@@ -123,9 +123,12 @@ class KVClient:
         return frame.get("t") == "kill.ok"
 
     async def close(self) -> None:
-        for conn in self._conns.values():
-            await conn.close()
+        # take-then-clear: a request racing close() must not slip a new
+        # pooled connection in between the closes and the clear
+        conns = list(self._conns.values())
         self._conns.clear()
+        for conn in conns:
+            await conn.close()
 
     # ------------------------------------------------------------------
     # internals
@@ -230,6 +233,12 @@ class KVClient:
             )
             if self.wire_caps >= wire.BATCH_WIRE_VERSION:
                 await self._negotiate(site, conn)
+            racer = self._conns.get(site)
+            if racer is not None:
+                # a concurrent request for this site connected while we
+                # negotiated; keep its pooled connection, drop ours
+                await conn.close()
+                return racer
             self._conns[site] = conn
         return conn
 

@@ -53,6 +53,7 @@ class ServiceCluster:
         seed: int = 0,
         protocol_kwargs: Optional[Dict[str, Any]] = None,
         codec: str = "delta",
+        server_cls: Optional[type] = None,
     ) -> None:
         self.n = n_sites
         self.seed = seed
@@ -85,6 +86,10 @@ class ServiceCluster:
 
             self.sanitizer = CausalSanitizer(n_sites)
         kwargs = dict(protocol_kwargs or {})
+        #: the server class to instantiate — tests substitute seeded
+        #: mutants here (e.g. the schedule explorer's torn-drain server)
+        #: to prove the sanitizer catches a specific interleaving bug
+        self.server_cls: type = server_cls or SiteServer
         self.servers: List[SiteServer] = []
         for site in range(n_sites):
             proto = cls(
@@ -99,7 +104,7 @@ class ServiceCluster:
             if recorder is not None:
                 proto.obs = recorder
             self.servers.append(
-                SiteServer(
+                self.server_cls(
                     proto,
                     self.addresses,
                     self.transport,

@@ -202,13 +202,15 @@ class PeerLink:
     async def close(self) -> None:
         self._closed = True
         self._wakeup.set()
-        if self._task is not None:
-            self._task.cancel()
+        # take-then-clear: concurrent close() calls must not both await
+        # the same task and race on resetting it
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
 
     # ------------------------------------------------------------------
     async def _run(self) -> None:
@@ -362,7 +364,7 @@ class PeerLink:
         sent = acked
         enc = self._delta_out
         while not self._closed:
-            while not self._closed:
+            while not self._closed:  # lint: atomic — single drainer task per link: only this coroutine pops _fetch, and it pops exactly the prefix it captured before the send (new fetches append on the right and stay for the next round)
                 # ``ls`` values are consecutive (assigned at enqueue) and
                 # retired from the left only, so the unsent entries are
                 # exactly the last ``_link_seq - sent`` entries — no scan
@@ -525,16 +527,19 @@ class SiteServer:
 
     async def stop(self) -> None:
         self._stopped.set()
-        if self._listener is not None:
-            await self._listener.close()
-            self._listener = None
+        # take-then-clear before each await: concurrent stop() calls
+        # must not double-close the listener or the links
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            await listener.close()
         # sever established connections so clients see EOF instead of a
         # site that accepts requests it can no longer serve
         for conn in list(self._server_conns):
             await conn.close()
-        for link in self._links.values():
-            await link.close()
+        links = list(self._links.values())
         self._links.clear()
+        for link in links:
+            await link.close()
         for fut in self._fetch_waiters.values():
             if not fut.done():
                 fut.cancel()

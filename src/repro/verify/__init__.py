@@ -5,6 +5,11 @@ from repro.verify.exhaustive import ExhaustiveChecker, check_history_exhaustive
 from repro.verify.history import History
 from repro.verify.sanitizer import CausalSanitizer, CausalTrace, TraceEvent
 
+# repro.verify.schedules (the schedule explorer) is deliberately NOT
+# re-exported here: it doubles as ``python -m repro.verify.schedules``,
+# and importing it at package level would leave a second copy of its
+# module globals when runpy re-executes it as __main__.
+
 __all__ = [
     "CausalChecker",
     "CausalSanitizer",

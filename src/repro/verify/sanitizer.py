@@ -115,6 +115,11 @@ class CausalSanitizer:
         #: Condition-1 dominated-skip gate
         self._pre_stored: Dict[Tuple[SiteId, VarId], Any] = {}
         self.checks_run = 0
+        #: the first violation raised, kept here durably: under the
+        #: service layer a check fires inside a connection-handler task,
+        #: where the raise can be swallowed by connection teardown — the
+        #: schedule explorer re-raises this after the run instead
+        self.first_violation: Optional[SanitizerViolation] = None
 
     # ------------------------------------------------------------------
     # observation hooks (called by the sim layer)
@@ -294,8 +299,11 @@ class CausalSanitizer:
 
     # ------------------------------------------------------------------
     def _fail(self, reason: str) -> None:
-        raise SanitizerViolation(
+        violation = SanitizerViolation(
             f"{reason}\n--- causal trace (last 30 of {len(self.trace)} "
             f"events) ---\n{self.trace.format(tail=30)}",
             trace=self.trace,
         )
+        if self.first_violation is None:
+            self.first_violation = violation
+        raise violation

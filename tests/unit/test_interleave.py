@@ -1,0 +1,294 @@
+"""Unit tests for the CFG builder (:mod:`repro.lint.cfg`) and the
+await-atomicity dataflow (:mod:`repro.lint.interleave`)."""
+
+import ast
+
+import pytest
+
+from repro.lint.cfg import build_cfg, build_cfgs, self_attr
+from repro.lint.interleave import (
+    analyze_module,
+    atomic_regions,
+    lock_regions,
+    suspension_summary,
+)
+
+
+def first_async(source):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            return node
+    raise AssertionError("no async function in fixture")
+
+
+def hazards_of(source):
+    tree = ast.parse(source)
+    hazards, malformed = analyze_module(tree, source)
+    assert malformed == []
+    return hazards
+
+
+class TestSelfAttr:
+    def test_plain(self):
+        expr = ast.parse("self.x", mode="eval").body
+        assert self_attr(expr) == "x"
+
+    def test_chain_names_first_attr(self):
+        expr = ast.parse("self.x.y.z", mode="eval").body
+        assert self_attr(expr) == "x"
+
+    def test_bare_self(self):
+        expr = ast.parse("self", mode="eval").body
+        assert self_attr(expr) == ""
+
+    def test_non_self_root(self):
+        expr = ast.parse("other.x", mode="eval").body
+        assert self_attr(expr) is None
+
+
+class TestCfg:
+    def test_suspension_lines_cover_await_forms(self):
+        fn = first_async(
+            "async def f(self):\n"
+            "    await g()\n"          # line 2
+            "    async for x in it:\n"  # line 3
+            "        pass\n"
+            "    async with cm:\n"      # line 5
+            "        pass\n"
+        )
+        assert build_cfg(fn).suspension_lines() == [2, 3, 5]
+
+    def test_events_ordered_value_before_store(self):
+        fn = first_async(
+            "async def f(self):\n"
+            "    self._a = self._b\n"
+        )
+        events = [
+            (ev.kind, ev.attr)
+            for node in build_cfg(fn).nodes
+            for ev in node.events
+        ]
+        assert events == [("read", "_b"), ("write", "_a")]
+
+    def test_augassign_is_fused_read_write(self):
+        fn = first_async("async def f(self):\n    self._n += 1\n")
+        events = [
+            (ev.kind, ev.attr)
+            for node in build_cfg(fn).nodes
+            for ev in node.events
+        ]
+        assert events == [("read", "_n"), ("write", "_n")]
+
+    def test_mutator_method_is_a_write(self):
+        fn = first_async("async def f(self):\n    self._q.popleft()\n")
+        events = [
+            (ev.kind, ev.attr)
+            for node in build_cfg(fn).nodes
+            for ev in node.events
+        ]
+        assert events == [("write", "_q")]
+
+    def test_reader_method_is_a_read(self):
+        fn = first_async("async def f(self):\n    self._m.get(1)\n")
+        events = [
+            (ev.kind, ev.attr)
+            for node in build_cfg(fn).nodes
+            for ev in node.events
+        ]
+        assert events == [("read", "_m")]
+
+    def test_unknown_method_and_self_call_emit_nothing(self):
+        # documented blind spots: unclassified attribute methods and
+        # calls through self
+        fn = first_async(
+            "async def f(self):\n"
+            "    self.transport.listen(1)\n"
+            "    self._retire(2)\n"
+        )
+        events = [
+            ev for node in build_cfg(fn).nodes for ev in node.events
+        ]
+        assert events == []
+
+    def test_while_loop_has_back_edge(self):
+        fn = first_async(
+            "async def f(self):\n"
+            "    while self._open:\n"
+            "        await g()\n"
+        )
+        cfg = build_cfg(fn)
+        header = next(
+            n.index for n in cfg.nodes if any(e.kind == "read" for e in n.events)
+        )
+        body = next(
+            n.index for n in cfg.nodes if any(e.kind == "suspend" for e in n.events)
+        )
+        assert header in cfg.nodes[body].succs
+
+    def test_nested_defs_get_their_own_cfgs(self):
+        tree = ast.parse(
+            "async def outer(self):\n"
+            "    async def inner(self):\n"
+            "        await g()\n"
+            "    return inner\n"
+        )
+        cfgs = build_cfgs(tree)
+        assert sorted(c.name for c in cfgs) == ["inner", "outer"]
+        by_name = {c.name: c for c in cfgs}
+        # the inner await belongs to inner's CFG, not outer's
+        assert by_name["outer"].suspension_lines() == []
+        assert by_name["inner"].suspension_lines() == [3]
+
+
+class TestAtomicRegions:
+    def test_marker_spans_statement(self):
+        src = (
+            "async def f(self):  # lint: " "atomic — single consumer\n"
+            "    n = self._n\n"
+            "    await g()\n"
+            "    self._n = n\n"
+        )
+        regions, malformed = atomic_regions(ast.parse(src), src)
+        assert malformed == []
+        assert len(regions) == 1
+        assert (regions[0].start, regions[0].end) == (1, 4)
+
+    def test_reasonless_marker_is_malformed(self):
+        src = "async def f(self):  # lint: " "atomic\n    pass\n"
+        regions, malformed = atomic_regions(ast.parse(src), src)
+        assert regions == []
+        assert malformed == [1]
+
+    def test_lock_regions_require_self_attr(self):
+        fn = first_async(
+            "async def f(self):\n"
+            "    async with self._lock:\n"
+            "        pass\n"
+            "    async with external:\n"
+            "        pass\n"
+        )
+        regions = lock_regions(fn)
+        assert [(r.start, r.kind) for r in regions] == [(2, "lock")]
+
+
+class TestDataflow:
+    def test_rmw_across_await_fires(self):
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        n = self._n\n"
+            "        await g()\n"
+            "        self._n = n + 1\n"
+        )
+        assert [(h.attr, h.read_line, h.suspend_line, h.write_line) for h in hz] == [
+            ("_n", 3, 4, 5)
+        ]
+
+    def test_write_before_await_is_clean(self):
+        assert hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        self._n = 1\n"
+            "        await g()\n"
+        ) == []
+
+    def test_blind_write_after_await_is_clean(self):
+        # a write not derived from a pre-await read is not torn
+        assert hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        await g()\n"
+            "        self._n = 1\n"
+        ) == []
+
+    def test_reread_resets(self):
+        assert hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        n = self._n\n"
+            "        await g()\n"
+            "        n = self._n\n"
+            "        self._n = n + 1\n"
+        ) == []
+
+    def test_branch_join_takes_worst_case(self):
+        # one branch suspends, the other does not: the join must keep
+        # the suspended (worst-case) state
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self, cond):\n"
+            "        n = self._n\n"
+            "        if cond:\n"
+            "            await g()\n"
+            "        self._n = n + 1\n"
+        )
+        assert [h.attr for h in hz] == ["_n"]
+
+    def test_await_inside_value_expression_fires(self):
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        self._n = self._n + await g()\n"
+        )
+        assert [h.attr for h in hz] == ["_n"]
+
+    def test_augassign_with_awaited_value_fires(self):
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        self._n += await g()\n"
+        )
+        assert [h.attr for h in hz] == ["_n"]
+
+    def test_try_finally_paths_analyzed(self):
+        # the hazard sits on the exception path: read, await in try,
+        # write in the finally
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        n = self._n\n"
+            "        try:\n"
+            "            await g()\n"
+            "        finally:\n"
+            "            self._n = n\n"
+        )
+        assert [h.attr for h in hz] == ["_n"]
+
+    def test_async_for_header_suspends(self):
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self, it):\n"
+            "        n = self._n\n"
+            "        async for x in it:\n"
+            "            self._n = n + x\n"
+        )
+        assert [h.attr for h in hz] == ["_n"]
+
+    def test_hazard_reported_once_per_write_site(self):
+        # the loop makes read/suspend/write reachable repeatedly; the
+        # final pass still reports one hazard per (attr, write line)
+        hz = hazards_of(
+            "class S:\n"
+            "    async def f(self):\n"
+            "        while True:\n"
+            "            n = self._n\n"
+            "            await g()\n"
+            "            self._n = n + 1\n"
+        )
+        assert len(hz) == 1
+
+    def test_suspension_summary_counts(self):
+        tree = ast.parse(
+            "class S:\n"
+            "    async def a(self):\n"
+            "        await g()\n"
+            "    async def b(self):\n"
+            "        await g()\n"
+            "        await h()\n"
+            "    def sync(self):\n"
+            "        pass\n"
+        )
+        n_funcs, n_lines = suspension_summary(tree)
+        assert n_funcs == 2
+        assert n_lines == 3

@@ -491,15 +491,250 @@ class TestServiceLayering:
 
 
 # ----------------------------------------------------------------------
+# await-atomicity (CFG + dataflow over repro.service async functions)
+# ----------------------------------------------------------------------
+class TestAwaitAtomicity:
+    MODULE = "repro.service.example"
+
+    # -- seeded mutants of real PR-5/6/7 code shapes --------------------
+    def test_torn_ack_bookkeeping_fires(self):
+        # PR-6 shape: ack watermark captured before the coalesced flush,
+        # written back after — acks arriving during the send are lost
+        src = (
+            "class PeerLink:\n"
+            "    async def flush(self, conn):\n"
+            "        batch = list(self._repl)\n"
+            "        acked = self._acked\n"
+            "        await conn.send_many(batch)\n"
+            "        self._acked = acked + len(batch)\n"
+        )
+        out = run(src, module=self.MODULE)
+        assert rules_of(out) == ["await-atomicity"]
+        assert "_acked" in out[0].message
+
+    def test_torn_delta_baseline_fires(self):
+        # PR-7 shape: delta chain baseline advanced only after the send
+        # completes — a reconnect resetting the chain mid-send is lost
+        src = (
+            "class DeltaLink:\n"
+            "    async def send_update(self, conn, msg):\n"
+            "        base = self._delta_base\n"
+            "        frame = delta_encode(base, msg)\n"
+            "        await conn.send(frame)\n"
+            "        self._delta_base = msg\n"
+        )
+        out = run(src, module=self.MODULE)
+        assert rules_of(out) == ["await-atomicity"]
+        assert "_delta_base" in out[0].message
+
+    def test_torn_dedup_state_fires(self):
+        # PR-5/6 shape: per-sender dedup watermark read before an await,
+        # advanced after — a concurrently handled duplicate passes the
+        # check and applies twice
+        src = (
+            "class Site:\n"
+            "    async def handle(self, conn, frame):\n"
+            "        seen = self._seen_ls.get(frame['src'], 0)\n"
+            "        if frame['ls'] <= seen:\n"
+            "            return\n"
+            "        await self.apply_remote(frame)\n"
+            "        self._seen_ls[frame['src']] = frame['ls']\n"
+        )
+        out = run(src, module=self.MODULE)
+        assert rules_of(out) == ["await-atomicity"]
+        assert "_seen_ls" in out[0].message
+
+    # -- quiet shapes ---------------------------------------------------
+    def test_fused_counter_is_quiet(self):
+        # augmented assignment is an atomic read+write on the event loop
+        src = (
+            "class S:\n"
+            "    async def wait(self):\n"
+            "        self._waiting += 1\n"
+            "        try:\n"
+            "            await self.cond()\n"
+            "        finally:\n"
+            "            self._waiting -= 1\n"
+        )
+        assert run(src, module=self.MODULE) == []
+
+    def test_reread_after_await_is_quiet(self):
+        # the sanctioned lock-free fix: re-check shared state after the
+        # suspension before writing
+        src = (
+            "class Pool:\n"
+            "    async def connect(self, site):\n"
+            "        conn = self._conns.get(site)\n"
+            "        if conn is None:\n"
+            "            conn = await self.dial(site)\n"
+            "            if self._conns.get(site) is None:\n"
+            "                self._conns[site] = conn\n"
+            "        return conn\n"
+        )
+        assert run(src, module=self.MODULE) == []
+
+    def test_held_lock_is_quiet(self):
+        src = (
+            "class S:\n"
+            "    async def bump(self):\n"
+            "        async with self._lock:\n"
+            "            n = self._n\n"
+            "            await self.persist(n)\n"
+            "            self._n = n + 1\n"
+        )
+        assert run(src, module=self.MODULE) == []
+
+    def test_read_outside_lock_still_fires(self):
+        # the lock only vouches for what happens under it: a value read
+        # before acquiring and written inside is still torn
+        src = (
+            "class S:\n"
+            "    async def bump(self):\n"
+            "        n = self._n\n"
+            "        async with self._lock:\n"
+            "            await self.persist(n)\n"
+            "            self._n = n + 1\n"
+        )
+        out = run(src, module=self.MODULE)
+        assert rules_of(out) == ["await-atomicity"]
+
+    def test_atomic_marker_is_quiet(self):
+        src = (
+            "class S:\n"
+            "    async def flush(self, conn):  # lint: "
+            "atomic — single flusher task, prefix popped was captured before the send\n"
+            "        n = len(self._fetch)\n"
+            "        await conn.send_many(list(self._fetch))\n"
+            "        for _ in range(n):\n"
+            "            self._fetch.popleft()\n"
+        )
+        assert run(src, module=self.MODULE) == []
+
+    def test_reasonless_atomic_marker_is_a_finding(self):
+        src = (
+            "class S:\n"
+            "    async def flush(self, conn):  # lint: " "atomic\n"
+            "        n = self._n\n"
+            "        await self.persist(n)\n"
+            "        self._n = n + 1\n"
+        )
+        out = run(src, module=self.MODULE)
+        assert "await-atomicity" in rules_of(out)
+        assert any("mandatory reason" in f.message for f in out)
+
+    def test_out_of_scope_module_is_quiet(self):
+        src = (
+            "class S:\n"
+            "    async def f(self):\n"
+            "        n = self._n\n"
+            "        await g()\n"
+            "        self._n = n + 1\n"
+        )
+        assert run(src, module="repro.sim.engine") == []
+
+    def test_loop_carried_hazard_fires(self):
+        # read before the loop, suspension and write inside: the second
+        # iteration writes a value derived from a pre-await read
+        src = (
+            "class S:\n"
+            "    async def drain(self):\n"
+            "        n = self._pending\n"
+            "        for i in range(n):\n"
+            "            await self.step()\n"
+            "            self._pending = n - i\n"
+        )
+        out = run(src, module=self.MODULE)
+        assert rules_of(out) == ["await-atomicity"]
+
+
+# ----------------------------------------------------------------------
+# --strict-allow: dead suppressions and allowlist entries
+# ----------------------------------------------------------------------
+class TestStrictAllow:
+    def test_unused_inline_suppression_flagged(self):
+        src = "x = 1  # lint: " "allow(entropy-source) — stale excuse\n"
+        out = lint_source(
+            src, ALL_RULES, module="repro.sim.engine", path="t.py", strict=True
+        )
+        assert rules_of(out) == ["unused-suppression"]
+
+    def test_used_inline_suppression_not_flagged(self):
+        src = "import random  # lint: " "allow(entropy-source) — fixture\n"
+        out = lint_source(
+            src, ALL_RULES, module="repro.sim.engine", path="t.py", strict=True
+        )
+        assert out == []
+
+    def test_unused_suppression_of_unselected_rule_ignored(self):
+        # a split lint run must not judge suppressions it cannot see fire
+        src = "import random  # lint: " "allow(entropy-source) — fixture\n"
+        rules = [RULES_BY_NAME["bare-except"]]
+        out = lint_source(
+            src, rules, module="repro.sim.engine", path="t.py", strict=True
+        )
+        assert out == []
+
+    def test_unused_allow_entry_flagged(self, tmp_path):
+        allowfile = tmp_path / ".lint-allow"
+        allowfile.write_text(
+            "entropy-source: repro.core.clean  # stale excuse\n"
+        )
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "clean.py").write_text("x = 1\n")
+        out = lint_paths(
+            [pkg], ALL_RULES, allowlist=allowfile, strict=True
+        )
+        assert rules_of(out) == ["unused-allow"]
+        assert out[0].line == 1
+        assert out[0].path == str(allowfile)
+
+    def test_used_allow_entry_not_flagged(self, tmp_path):
+        allowfile = tmp_path / ".lint-allow"
+        allowfile.write_text(
+            "entropy-source: repro.core.dirty  # bench needs wall clock\n"
+        )
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "dirty.py").write_text("import random\n")
+        out = lint_paths([pkg], ALL_RULES, allowlist=allowfile, strict=True)
+        assert out == []
+
+    def test_entry_for_unvisited_module_not_judged(self, tmp_path):
+        # the entry governs a module outside this run's paths: silence
+        allowfile = tmp_path / ".lint-allow"
+        allowfile.write_text(
+            "entropy-source: repro.core.elsewhere  # governs another run\n"
+        )
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "clean.py").write_text("x = 1\n")
+        out = lint_paths([pkg], ALL_RULES, allowlist=allowfile, strict=True)
+        assert out == []
+
+    def test_non_strict_run_ignores_dead_entries(self, tmp_path):
+        allowfile = tmp_path / ".lint-allow"
+        allowfile.write_text("entropy-source: repro.core.clean  # stale\n")
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "clean.py").write_text("x = 1\n")
+        assert lint_paths([pkg], ALL_RULES, allowlist=allowfile) == []
+
+
+# ----------------------------------------------------------------------
 # suppressions and allowlist machinery
 # ----------------------------------------------------------------------
 class TestSuppressions:
     def test_reasoned_suppression_silences(self):
-        src = "import random  # lint: allow(entropy-source) — fixture needs it\n"
+        # split so the scan of THIS file's raw lines does not adopt the
+        # fixture's suppression as its own
+        src = "import random  # lint: " "allow(entropy-source) — fixture needs it\n"
         assert run(src, module="repro.sim.engine") == []
 
     def test_reasonless_suppression_is_its_own_finding(self):
-        src = "import random  # lint: allow(entropy-source)\n"
+        # split so the scan of THIS file's raw lines cannot match the
+        # intentionally malformed marker inside the fixture string
+        src = "import random  # lint: " "allow(entropy-source)\n"
         out = run(src, module="repro.sim.engine")
         assert sorted(rules_of(out)) == ["entropy-source", "suppression-format"]
 
@@ -510,11 +745,13 @@ class TestSuppressions:
 
     def test_colon_and_hyphen_separators_accepted(self):
         for sep in (":", "-", "—"):
-            parsed = parse_suppressions(f"x = 1  # lint: allow(foo) {sep} why\n")
+            parsed = parse_suppressions(
+                "x = 1  # lint: " f"allow(foo) {sep} why\n"
+            )
             assert parsed.allows(1, "foo"), sep
 
     def test_parse_collects_malformed(self):
-        parsed = parse_suppressions("x = 1  # lint: allow(foo)\n")
+        parsed = parse_suppressions("x = 1  # lint: " "allow(foo)\n")
         assert parsed.malformed == [(1, "foo")]
 
 
@@ -526,7 +763,9 @@ class TestAllowlistFile:
             "import-layering: repro.a -> repro.b  # because\n"
         )
         entries = parse_allowlist(f)
-        assert entries == [AllowEntry("import-layering", "repro.a -> repro.b", "because")]
+        assert entries == [
+            AllowEntry("import-layering", "repro.a -> repro.b", "because", line=3)
+        ]
 
     def test_missing_reason_rejected(self, tmp_path):
         f = tmp_path / ".lint-allow"
@@ -578,6 +817,7 @@ class TestRepositoryIsClean:
             "blocking-io",
             "wire-codec",
             "wire-delta-state",
+            "await-atomicity",
         }
 
 
@@ -595,6 +835,46 @@ class TestCli:
         assert rc == 1
         assert "entropy-source" in captured.out
         assert "1 finding" in captured.err
+
+    def test_json_output(self, tmp_path, capsys):
+        import json as json_mod
+
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        rc = lint_main([str(bad), "--json"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        payload = json_mod.loads(captured.out)
+        assert payload == [
+            {
+                "rule": "entropy-source",
+                "path": str(bad),
+                "line": 1,
+                "message": payload[0]["message"],
+                "reason": RULES_BY_NAME["entropy-source"].summary,
+            }
+        ]
+        assert "entropy" in payload[0]["message"]
+
+    def test_json_clean_is_empty_array(self, tmp_path, capsys):
+        ok = tmp_path / "src" / "repro" / "core" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("x = 1\n")
+        rc = lint_main([str(ok), "--json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out.strip() == "[]"
+
+    def test_strict_allow_flag(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1  # lint: " "allow(bare-except) — stale\n")
+        assert lint_main([str(pkg)]) == 0
+        rc = lint_main([str(pkg), "--strict-allow"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "unused-suppression" in captured.out
 
     def test_select_unknown_rule_exits_two(self, capsys):
         rc = lint_main(["--select", "no-such-rule", "."])

@@ -1,0 +1,82 @@
+"""Catalog drift: rules, fixtures, and documentation stay in lockstep.
+
+Three artifacts describe the lint catalog — ``ALL_RULES`` (the code),
+the fixture registry (``lint_fixtures.py``), and the rule table in
+``docs/static-analysis.md``.  These tests fail whenever one of them
+gains or loses a rule the others don't know about, and run every
+registered fixture pair through the real engine.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, RULES_BY_NAME, lint_source
+
+from lint_fixtures import FIXTURES, catalog_rows
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CATALOG_DOC = REPO_ROOT / "docs" / "static-analysis.md"
+
+RULE_NAMES = sorted(r.name for r in ALL_RULES)
+
+
+class TestDrift:
+    def test_every_rule_has_a_fixture_entry(self):
+        missing = sorted(set(RULE_NAMES) - set(FIXTURES))
+        assert not missing, (
+            f"rules without fire/quiet fixtures in lint_fixtures.py: {missing}"
+        )
+
+    def test_no_fixture_for_dead_rules(self):
+        dead = sorted(set(FIXTURES) - set(RULE_NAMES))
+        assert not dead, (
+            f"lint_fixtures.py registers rules that no longer exist: {dead}"
+        )
+
+    def test_every_rule_has_a_catalog_row(self):
+        documented = catalog_rows(CATALOG_DOC.read_text())
+        missing = sorted(set(RULE_NAMES) - set(documented))
+        assert not missing, (
+            f"rules missing a `| \\`name\\` |` row in {CATALOG_DOC.name}: "
+            f"{missing}"
+        )
+
+    def test_no_catalog_row_for_dead_rules(self):
+        documented = catalog_rows(CATALOG_DOC.read_text())
+        dead = sorted(set(documented) - set(RULE_NAMES))
+        assert not dead, (
+            f"{CATALOG_DOC.name} documents rules that no longer exist: {dead}"
+        )
+
+    def test_every_rule_has_a_summary(self):
+        unsummarized = [r.name for r in ALL_RULES if not r.summary.strip()]
+        assert not unsummarized
+
+
+class TestFixturesRun:
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_fire_fixture_fires(self, rule):
+        fx = FIXTURES[rule]
+        findings = lint_source(
+            fx.fire, [RULES_BY_NAME[rule]], module=fx.module, path="fire.py"
+        )
+        assert [f.rule for f in findings] == [rule], findings
+
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_quiet_fixture_is_quiet(self, rule):
+        fx = FIXTURES[rule]
+        findings = lint_source(
+            fx.quiet, [RULES_BY_NAME[rule]], module=fx.module, path="quiet.py"
+        )
+        assert findings == [], findings
+
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_quiet_fixture_is_quiet_under_the_full_catalog(self, rule):
+        # a quiet fixture tripping some *other* rule would make the
+        # by-example catalog misleading
+        fx = FIXTURES[rule]
+        findings = lint_source(
+            fx.quiet, ALL_RULES, module=fx.module, path="quiet.py"
+        )
+        assert findings == [], findings
