@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench service-bench service-bench-fast table1 fig4 report trace-smoke serve-smoke interleave-smoke
+.PHONY: test test-fast lint typecheck check bench bench-fast sweep-bench service-bench service-bench-fast table1 fig4 report trace-smoke serve-smoke interleave-smoke stats-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +50,14 @@ trace-smoke:
 serve-smoke:
 	$(PYTHON) -m repro.service.cli smoke
 
+# Observability smoke: in-process TCP cluster, negotiated sys.stats on
+# every wire version, `repro-kv top --once --json`, a Prometheus scrape
+# that must parse, and a chaos kill that must leave a flight-recorder
+# dump `repro-sim trace` can render.  Details in docs/observability.md
+# ("Live service observability")
+stats-smoke:
+	$(PYTHON) -m repro.service.cli stats-smoke
+
 # Schedule-exploration smoke: sweep 50 seeded adversarial schedules
 # (shuffled ready queue + preempting loopback) over a 3-site cluster
 # with the causal sanitizer shadowing every apply.  The runtime half of
@@ -58,7 +66,8 @@ interleave-smoke:
 	$(PYTHON) -m repro.verify.schedules --seeds 50
 
 # Regenerate BENCH_hot_paths.json (drain strategies + DepLog micro-ops +
-# tracing overhead guardrail: fails if the no-op recorder costs > 3%)
+# tracing overhead guardrails: fails if the no-op recorder costs > 3%
+# or the always-on flight ring costs > 20% over the detached fast path)
 bench:
 	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json
 

@@ -5,7 +5,9 @@ Regenerates ``BENCH_hot_paths.json`` (checked in at the repo root) — the
 measured basis for the before/after table in docs/performance.md and the
 tracing cost table in docs/observability.md.  ``write_report`` (and so
 ``make bench``) fails when an attached no-op recorder costs more than 3%
-over the untraced run — the guardrail keeping tracing zero-cost-off.
+over the untraced run — the guardrail keeping tracing zero-cost-off —
+or when the always-on flight ring costs more than 20% (the guardrail
+keeping the crash recorder cheap enough to leave on).
 
 Run directly::
 
@@ -40,11 +42,12 @@ def test_hot_path_bench_smoke():
     for key, value in micro.items():
         assert value > 0, key
     overhead = report["trace_overhead"]
-    assert set(overhead["wall_s"]) == {"disabled", "noop", "enabled"}
+    assert set(overhead["wall_s"]) == {"disabled", "noop", "flight", "enabled"}
     assert all(w > 0 for w in overhead["wall_s"].values())
-    # the budget itself is asserted by write_report / make bench; the
-    # smoke test only checks the ledger exists and is well-formed
+    # the budgets themselves are asserted by write_report / make bench;
+    # the smoke test only checks the ledger exists and is well-formed
     assert "noop_within_budget" in overhead
+    assert "flight_within_budget" in overhead
 
 
 def main() -> int:

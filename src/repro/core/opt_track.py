@@ -144,7 +144,14 @@ class OptTrackProtocol(CausalProtocol):
         # transitively carry every logged dependency to the replicas of
         # x_h — fused with the PURGE sweep
         obs = self.obs
-        pre = dict(self.log.entries) if obs is not None and obs.enabled else None
+        # the prune diff is an *explanation* argument: skip the pre-image
+        # snapshot for recorders that declared ``needs_reasons`` off
+        # (e.g. the always-on flight ring)
+        pre = (
+            dict(self.log.entries)
+            if obs is not None and obs.enabled and obs.needs_reasons
+            else None
+        )
         self.log.retire(prune_mask)
         if pre is not None:
             self._obs_prune("condition2", var, pre, self.log)
@@ -315,7 +322,11 @@ class OptTrackProtocol(CausalProtocol):
         if self.distributed_prune:
             # receiver-side Condition-2 pruning (sender skipped lines 3-8);
             # the sender's own bit is excluded, as in the sender-side prune
-            pre = dict(stored.entries) if obs is not None and obs.enabled else None
+            pre = (
+                dict(stored.entries)
+                if obs is not None and obs.enabled and obs.needs_reasons
+                else None
+            )
             stored.prune_dests(bitsets.remove(meta.replicas_mask, msg.sender))
             if pre is not None:
                 self._obs_prune("condition2-receiver", msg.var, pre, stored)
@@ -323,7 +334,11 @@ class OptTrackProtocol(CausalProtocol):
         stored.add(msg.sender, meta.clock, meta.replicas_mask)
         # lines 29-30: Condition 1 — this site has now applied everything
         # the stored log mentions as destined to it
-        pre = dict(stored.entries) if obs is not None and obs.enabled else None
+        pre = (
+            dict(stored.entries)
+            if obs is not None and obs.enabled and obs.needs_reasons
+            else None
+        )
         stored.remove_site(self.site)
         if pre is not None:
             self._obs_prune("condition1", msg.var, pre, stored)

@@ -21,6 +21,7 @@ blind spots (``log = msg.meta.log; log.purge()`` is invisible to
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import Finding, ModuleContext, Rule
@@ -945,6 +946,77 @@ class WireDeltaStateRule(Rule):
         return None
 
 
+# ----------------------------------------------------------------------
+# metric naming discipline
+# ----------------------------------------------------------------------
+
+#: registry entry points (and the service layer's thin wrappers around
+#: them) whose first string argument is a metric name
+_METRIC_METHODS = {"counter", "gauge", "histogram", "metric", "_metric"}
+
+#: snake_case with a unit suffix: the exposition layer and the metric
+#: names table in docs/observability.md both key off the suffix telling
+#: readers (and dashboards) what the number *is*
+_METRIC_NAME_RE = re.compile(
+    r"^[a-z][a-z0-9_]*(_total|_ms|_bytes|_count|_ratio)$"
+)
+
+
+class MetricNamingRule(Rule):
+    """Service-layer metric names are snake_case with a unit suffix.
+
+    Every metric the service registers is scraped verbatim by the
+    Prometheus exposition endpoint and documented in the metric names
+    table of ``docs/observability.md`` — a name without a unit suffix
+    (``_total`` for counters, ``_ms``/``_bytes``/``_count``/``_ratio``
+    for measured values) is ambiguous on a dashboard and drifts from the
+    table silently.  Flags, in any ``repro.service`` module: a string
+    literal first argument to ``counter``/``gauge``/``histogram`` (the
+    :class:`~repro.obs.registry.MetricsRegistry` entry points) or to the
+    service's ``metric``/``_metric`` wrappers that does not match
+    ``[a-z][a-z0-9_]*`` + unit suffix.
+
+    Syntactic only: names built at runtime (``registry.counter(name)``)
+    are not checked — keep them out of the service layer.  Allowlist
+    payload: the module name.
+    """
+
+    name = "metric-naming"
+    summary = (
+        "service-layer metric names must be snake_case with a unit "
+        "suffix (_total/_ms/_bytes/_count/_ratio)"
+    )
+    scoped_prefixes = ("repro.service",)
+    module_allow = True
+
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            if _METRIC_NAME_RE.match(first.value):
+                continue
+            yield Finding(
+                self.name,
+                ctx.path,
+                first.lineno,
+                f"metric name {first.value!r} breaks the naming "
+                f"discipline — service metrics are snake_case with a "
+                f"unit suffix (_total for counters, _ms/_bytes/_count/"
+                f"_ratio for values) so the Prometheus exposition and "
+                f"the docs/observability.md table stay unambiguous",
+            )
+
+
 #: the default rule set, in catalog order
 ALL_RULES: Tuple[Rule, ...] = (
     ImportLayeringRule(),
@@ -957,6 +1029,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BlockingIoRule(),
     WireCodecRule(),
     WireDeltaStateRule(),
+    MetricNamingRule(),
     AwaitAtomicityRule(),
     HookShadowRule(),
 )

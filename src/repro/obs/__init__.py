@@ -10,13 +10,28 @@ Three pieces (see docs/observability.md for the full tour):
 * **durable JSONL traces** (:mod:`repro.obs.jsonl`, :mod:`repro.obs.replay`,
   :mod:`repro.obs.timeline`) — record a run with ``ClusterConfig(trace=...)``,
   reload it, re-drive the causal sanitizer, render timelines with
-  ``repro-sim trace``.
+  ``repro-sim trace``;
+* **live-service observability** (:mod:`repro.obs.flight`,
+  :mod:`repro.obs.export`) — the always-on bounded flight-recorder ring
+  that dumps TRACE_VERSION post-mortems, and Prometheus text exposition
+  over a dependency-free asyncio responder.
 
 Layering: ``obs`` sits with ``verify``/``store`` (rank 2) — it may import
 ``core`` and ``types`` freely but reaches ``verify`` only through
 function-local deferred imports.
 """
 
+from repro.obs.export import (
+    parse_exposition,
+    parse_metric_key,
+    prometheus_text,
+    serve_metrics,
+)
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder,
+    TeeRecorder,
+)
 from repro.obs.jsonl import LoadedTrace, load_trace
 from repro.obs.recorder import (
     KINDS,
@@ -47,9 +62,11 @@ from repro.obs.timeline import (
 __all__ = [
     "KINDS",
     "TRACE_VERSION",
+    "DEFAULT_FLIGHT_CAPACITY",
     "DEFAULT_TIME_BUCKETS_MS",
     "Counter",
     "DeliverySpan",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LoadedTrace",
@@ -57,6 +74,7 @@ __all__ = [
     "NullRecorder",
     "Recorder",
     "ReplayReport",
+    "TeeRecorder",
     "TraceRecorder",
     "UpdateSpan",
     "build_spans",
@@ -65,8 +83,12 @@ __all__ = [
     "format_write_id",
     "load_trace",
     "metric_key",
+    "parse_exposition",
+    "parse_metric_key",
     "parse_write_id",
+    "prometheus_text",
     "render_report",
     "render_update",
     "replay_trace",
+    "serve_metrics",
 ]

@@ -1,0 +1,214 @@
+"""Prometheus text exposition for :class:`MetricsRegistry` snapshots.
+
+Real scrapers speak the `Prometheus text format`_ (version 0.0.4), so a
+live site only needs two things to be scrapeable with **zero new
+dependencies**: :func:`prometheus_text`, which renders a registry
+snapshot as exposition text, and :func:`serve_metrics`, a minimal
+asyncio HTTP responder that answers every ``GET`` with it
+(``repro-kv serve --metrics-port N`` wires it up).
+
+The registry's internal metric identity is the canonical
+``name{a=1,b=x}`` string of :func:`repro.obs.registry.metric_key`;
+:func:`parse_metric_key` inverts it (label values in this repo are
+identifiers and small ints — never commas or braces — which is what
+makes the inversion unambiguous).  Exposition details:
+
+* counters and gauges export as-is, ``# TYPE``-announced once per
+  metric name, label values quoted and escaped per the format;
+* histograms export in the Prometheus shape: **cumulative**
+  ``_bucket{le="..."}`` series ending in ``le="+Inf"``, plus ``_sum``
+  and ``_count`` (the registry stores per-bucket counts precisely so
+  that merging stays exact; the cumulative sums are computed here, at
+  the edge).
+
+:func:`parse_exposition` is the round-trip half used by the stats smoke
+and the tests: it validates line shapes strictly and returns the sample
+values, so "the scrape parses as valid exposition" is a checked
+property, not an eyeball.
+
+.. _Prometheus text format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+#: sample-line shape accepted by parse_exposition: a metric name, an
+#: optional {...} label block, one float value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
+)
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`repro.obs.registry.metric_key`:
+    ``"name{a=1,b=x}"`` -> ``("name", {"a": "1", "b": "x"})``."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name = key[:brace]
+    labels: Dict[str, str] = {}
+    inner = key[brace + 1 : -1]
+    if inner:
+        for part in inner.split(","):
+            lkey, _, lval = part.partition("=")
+            labels[lkey] = lval
+    return name, labels
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _fmt_bound(bound: float) -> str:
+    return str(int(bound)) if bound == int(bound) else repr(float(bound))
+
+
+def _grouped(samples: Mapping[str, Any]) -> Dict[str, List[Tuple[Dict[str, str], Any]]]:
+    """Samples keyed by canonical metric key, regrouped per base name
+    (sorted keys do not keep one name's label sets contiguous: ``{``
+    sorts above every identifier character)."""
+    out: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+    for key, value in samples.items():
+        name, labels = parse_metric_key(key)
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
+def prometheus_text(snapshot: Mapping[str, Any]) -> str:
+    """Render one registry snapshot as Prometheus text exposition."""
+    lines: List[str] = []
+    for name, series in sorted(_grouped(snapshot.get("counters", {})).items()):
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in series:
+            lines.append(f"{name}{_label_block(labels)} {_fmt(value)}")
+    for name, series in sorted(_grouped(snapshot.get("gauges", {})).items()):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in series:
+            lines.append(f"{name}{_label_block(labels)} {_fmt(value)}")
+    for name, series in sorted(_grouped(snapshot.get("histograms", {})).items()):
+        lines.append(f"# TYPE {name} histogram")
+        for labels, hist in series:
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["buckets"]):
+                cumulative += count
+                le = _label_block(labels, extra=f'le="{_fmt_bound(bound)}"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            le = _label_block(labels, extra='le="+Inf"')
+            lines.append(f"{name}_bucket{le} {hist['count']}")
+            lines.append(f"{name}_sum{_label_block(labels)} {_fmt(hist['total'])}")
+            lines.append(f"{name}_count{_label_block(labels)} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Strictly parse exposition text back into ``{sample: value}``.
+
+    Raises ``ValueError`` on any malformed line — the validation the
+    stats smoke and the format tests rely on.  Sample keys keep their
+    full rendered form (name plus label block)."""
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(f"malformed comment on line {lineno}: {line!r}")
+            continue
+        if _SAMPLE_RE.match(line) is None:
+            raise ValueError(f"malformed sample on line {lineno}: {line!r}")
+        key, _, value = line.rpartition(" ")
+        try:
+            samples[key] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"unparseable value on line {lineno}: {line!r}"
+            ) from None
+    return samples
+
+
+#: content type answered by the responder (the 0.0.4 text format)
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+async def serve_metrics(
+    registry: Any,
+    port: int = 0,
+    host: str = "127.0.0.1",
+    refresh: Optional[Callable[[], Optional[Awaitable[None]]]] = None,
+) -> asyncio.AbstractServer:
+    """Serve ``registry`` as Prometheus text over a minimal asyncio HTTP
+    responder.  Every request (any method, any path) gets a 200 with the
+    current snapshot; ``refresh`` — when given — runs first, so gauges
+    derived from live structures (link lags, parked depths) are
+    recomputed per scrape.  Returns the listening server; the bound port
+    is ``server.sockets[0].getsockname()[1]`` (useful with ``port=0``).
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=5.0
+                )
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                asyncio.TimeoutError,
+                ConnectionError,
+            ):
+                return
+            if refresh is not None:
+                result = refresh()
+                if asyncio.iscoroutine(result):
+                    await result
+            body = prometheus_text(registry.snapshot()).encode("utf-8")
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"Content-Type: {CONTENT_TYPE}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    return await asyncio.start_server(handle, host, port)
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "parse_metric_key",
+    "parse_exposition",
+    "prometheus_text",
+    "serve_metrics",
+]

@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.log import DepLog
 from repro.core.messages import OptTrackMeta, UpdateMessage
+from repro.obs.export import parse_metric_key
 from repro.obs.registry import MetricsRegistry
 from repro.service import wire
 from repro.service.harness import ServiceCluster
@@ -200,6 +201,16 @@ async def bench_cell(
         )
         row["wire_bytes_sent"] = sent
         row["wire_bytes_per_op"] = sent / row["ops"] if row["ops"] else 0.0
+        # sent bytes attributed per frame kind (sender-side split of the
+        # same traffic) — what lets the v4 metadata-lean ledger show the
+        # savings land on repl frames, not acks or fetches
+        by_kind: Dict[str, int] = {}
+        for key, value in counters.items():
+            if key.startswith("wire_frame_bytes_total"):
+                name, labels = parse_metric_key(key)
+                kind = labels.get("kind", "?")
+                by_kind[kind] = by_kind.get(kind, 0) + value
+        row["bytes_by_kind"] = dict(sorted(by_kind.items()))
         if report.errors:
             raise RuntimeError(
                 f"bench cell {transport}/{codec} surfaced {report.errors} "

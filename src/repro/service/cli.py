@@ -3,18 +3,30 @@
 Subcommands::
 
     serve            run one site's server over TCP until interrupted
+                     (``--metrics-port`` adds a Prometheus text endpoint,
+                     ``--flight-dir`` a crash post-mortem directory)
     put / get        one operation against a running TCP cluster
+    top              polling terminal dashboard over ``sys.stats`` frames:
+                     per-site ops/s and errors, the site×site
+                     replication-lag matrix, parked depths, dep-log and
+                     flight-ring sizes (``--once --json`` for scripts)
     bench            closed-loop YCSB load against a loopback cluster,
                      reporting throughput and latency percentiles
     chaos-kill-site  send the chaos kill frame to one TCP site
     smoke            the CI gate: 3-site loopback cluster per protocol,
                      sanitizer on, one site killed mid-run — asserts zero
                      causal violations and zero surfaced request errors
+    stats-smoke      the observability CI gate: in-process TCP cluster,
+                     Prometheus scrape parsed strictly, ``top``-style
+                     snapshot asserting zero lag after quiesce, then a
+                     chaos kill whose flight post-mortem must replay
 
-``serve``/``put``/``get``/``chaos-kill-site`` speak real TCP (addresses
-are ``host:port``, repeated ``--site`` flags give the cluster map);
-``bench`` and ``smoke`` build the whole cluster in-process over the
-loopback transport, where the causal sanitizer can shadow every site.
+``serve``/``put``/``get``/``top``/``chaos-kill-site`` speak real TCP
+(addresses are ``host:port``, repeated ``--site`` flags give the cluster
+map); ``bench`` and ``smoke`` build the whole cluster in-process over
+the loopback transport, where the causal sanitizer can shadow every
+site; ``stats-smoke`` builds an in-process cluster over real TCP so the
+scrape and stats paths cross actual sockets.
 """
 
 from __future__ import annotations
@@ -26,6 +38,8 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.base import available_protocols
+from repro.errors import ServiceUnavailableError, WireError
+from repro.obs.export import parse_metric_key
 from repro.obs.registry import MetricsRegistry
 from repro.service.client import KVClient
 from repro.service.harness import ServiceCluster
@@ -72,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--replication-factor", type=int, default=None)
     srv.add_argument("--strict", action="store_true", help="strict remote reads")
     srv.add_argument("--seed", type=int, default=0, help="placement seed")
+    srv.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also serve Prometheus text exposition on 127.0.0.1:N "
+        "(0 picks a free port; printed at startup)",
+    )
+    srv.add_argument(
+        "--flight-dir",
+        default=".flight",
+        metavar="DIR",
+        help="where the flight recorder dumps crash post-mortems "
+        "('' disables dumps; the in-memory ring stays on)",
+    )
 
     for name, help_text in (("put", "write VAR VALUE"), ("get", "read VAR")):
         p = sub.add_parser(name, help=help_text)
@@ -87,6 +116,32 @@ def build_parser() -> argparse.ArgumentParser:
     kill = sub.add_parser("chaos-kill-site", help="crash one TCP site")
     _add_cluster_map(kill)
     kill.add_argument("--target", type=int, required=True)
+
+    top = sub.add_parser(
+        "top", help="live cluster dashboard over sys.stats frames"
+    )
+    _add_cluster_map(top)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="poll period, seconds"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="one poll, print, exit"
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once: machine-readable snapshot on stdout",
+    )
+
+    ssmoke = sub.add_parser(
+        "stats-smoke",
+        help="observability CI gate (TCP cluster, scrape, top, flight)",
+    )
+    ssmoke.add_argument("--sites", type=int, default=3)
+    ssmoke.add_argument("--ops-per-site", type=int, default=60)
+    ssmoke.add_argument("--protocol", default="opt-track",
+                        choices=available_protocols())
+    ssmoke.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="YCSB load against a loopback cluster")
     bench.add_argument("--protocol", default="opt-track", choices=available_protocols())
@@ -162,14 +217,34 @@ async def _serve(args: argparse.Namespace) -> int:
             strict_remote_reads=args.strict,
         )
     )
-    server = SiteServer(proto, addresses, TcpTransport(), metrics=MetricsRegistry())
+    server = SiteServer(
+        proto,
+        addresses,
+        TcpTransport(),
+        metrics=MetricsRegistry(),
+        flight_dir=args.flight_dir or None,
+    )
     await server.start()
     print(f"site {args.me} ({args.protocol}) serving at {addresses[args.me]}")
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.export import serve_metrics
+
+        # per-scrape refresh recomputes the lag/depth gauges, so the
+        # scrape always reflects live link state
+        metrics_server = await serve_metrics(
+            server.metrics, port=args.metrics_port, refresh=server.refresh_gauges
+        )
+        port = metrics_server.sockets[0].getsockname()[1]
+        print(f"site {args.me} metrics at http://127.0.0.1:{port}/metrics")
     try:
         await server._stopped.wait()
     except (KeyboardInterrupt, asyncio.CancelledError):
         pass
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
         await server.stop()
     return 0
 
@@ -199,6 +274,184 @@ async def _chaos_kill(args: argparse.Namespace) -> int:
         await client.close()
     print(f"site {args.target}: {'killed' if ok else 'unreachable'}")
     return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# top: the stats-frame dashboard
+# ----------------------------------------------------------------------
+#: server-side counters summed into one per-site "errors" column
+_SERVER_ERROR_COUNTERS = (
+    "service_read_timeouts_total",
+    "service_fetch_failures_total",
+    "service_fetch_defer_timeouts_total",
+)
+
+
+async def _collect_top(
+    client: KVClient, addresses: Dict[SiteId, str]
+) -> Dict[str, object]:
+    """Poll every site's ``sys.stats`` into one dashboard snapshot: the
+    ``--once --json`` output shape, also consumed by the renderer and
+    asserted on by ``stats-smoke``.  A site that refuses or cannot be
+    reached shows as ``{"up": False}`` — the dashboard keeps running
+    through crashes (that is rather the point)."""
+    sites: Dict[str, object] = {}
+    lag: Dict[str, object] = {}
+    for site in sorted(addresses):
+        try:
+            stats = await client.stats(site)
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+            ServiceUnavailableError,
+            WireError,
+        ):
+            sites[str(site)] = {"up": False}
+            continue
+        me = str(stats["site"])
+        metrics = stats.get("metrics") or {}
+        ops: Dict[str, float] = {}
+        errors = 0
+        for key, value in metrics.get("counters", {}).items():
+            name, labels = parse_metric_key(key)
+            if labels.get("site") != me:
+                continue
+            if name == "service_requests_total":
+                op = labels.get("op", "?")
+                ops[op] = ops.get(op, 0) + value
+            elif name in _SERVER_ERROR_COUNTERS:
+                errors += value
+        visibility: Dict[str, object] = {}
+        for key, hist in metrics.get("histograms", {}).items():
+            name, labels = parse_metric_key(key)
+            if name != "visibility_latency_ms" or labels.get("site") != me:
+                continue
+            count = hist["count"]
+            visibility[labels.get("origin", "?")] = {
+                "count": count,
+                "mean_ms": hist["total"] / count if count else None,
+                "max_ms": hist["max"],
+            }
+        sites[me] = {
+            "up": True,
+            "uptime_ms": stats["uptime_ms"],
+            "applies": stats["applies"],
+            "parked": stats["parked"],
+            "store_keys": stats["store_keys"],
+            "dep_log": stats["dep_log"],
+            "flight": stats["flight"],
+            "ops": ops,
+            "errors": errors,
+            "visibility_ms": visibility,
+        }
+        lag[me] = {
+            dest: {
+                "unacked": link["unacked"],
+                "unapplied": (
+                    None
+                    if link["applied"] is None
+                    else link["acked"] - link["applied"]
+                ),
+            }
+            for dest, link in sorted(stats.get("links", {}).items())
+        }
+    return {"sites": sites, "lag": lag}
+
+
+def _ops_rate(cur: Dict, prev: Optional[Dict], dt: Optional[float]) -> float:
+    total = sum(cur["ops"].values())
+    if prev is not None and prev.get("up") and dt:
+        return max(0.0, (total - sum(prev["ops"].values())) / dt)
+    uptime_s = (cur.get("uptime_ms") or 0) / 1000.0
+    return total / uptime_s if uptime_s > 0 else 0.0
+
+
+def _render_top(
+    snap: Dict, prev: Optional[Dict] = None, dt: Optional[float] = None
+) -> str:
+    sites: Dict[str, Dict] = snap["sites"]  # type: ignore[assignment]
+    lag: Dict[str, Dict] = snap["lag"]  # type: ignore[assignment]
+    ids = sorted(sites, key=int)
+    up = [s for s in ids if sites[s].get("up")]
+    lines = [f"repro-kv top — {len(ids)} sites, {len(up)} up"]
+    lines.append(
+        f"{'site':>4} {'state':>5} {'ops/s':>8} {'ops':>7} {'errs':>5} "
+        f"{'applies':>8} {'parked':>6} {'deplog':>7} {'flight':>7}"
+    )
+    for sid in ids:
+        s = sites[sid]
+        if not s.get("up"):
+            lines.append(f"{sid:>4} {'down':>5}")
+            continue
+        prev_site = (prev or {}).get("sites", {}).get(sid)
+        lines.append(
+            f"{sid:>4} {'up':>5} {_ops_rate(s, prev_site, dt):8.1f} "
+            f"{sum(s['ops'].values()):7.0f} {s['errors']:5.0f} "
+            f"{s['applies']:8d} {s['parked']:6d} "
+            f"{s['dep_log']['entries']:7d} {s['flight']['held']:7d}"
+        )
+    lines.append("")
+    lines.append("replication lag  src -> dst, unacked/unapplied (- = no link)")
+    lines.append("     " + "".join(f"{'s' + d:>10}" for d in ids))
+    for src in ids:
+        row = [f"{'s' + src:>5}"]
+        for dst in ids:
+            if src == dst:
+                row.append(f"{'·':>10}")
+                continue
+            link = lag.get(src, {}).get(dst)
+            if link is None:
+                row.append(f"{'-':>10}")
+            else:
+                ua = link["unapplied"]
+                row.append(f"{link['unacked']}/{'-' if ua is None else ua}".rjust(10))
+        lines.append("".join(row))
+    vis_lines = []
+    for sid in up:
+        for origin, h in sorted(sites[sid]["visibility_ms"].items()):
+            if h["count"]:
+                vis_lines.append(
+                    f"  s{origin} -> s{sid}: {h['count']:.0f} applies, "
+                    f"mean {h['mean_ms']:.2f} ms, max {h['max_ms']:.2f} ms"
+                )
+    if vis_lines:
+        lines.append("")
+        lines.append("visibility latency (issue -> remote apply)")
+        lines.extend(vis_lines)
+    return "\n".join(lines)
+
+
+async def _top(args: argparse.Namespace) -> int:
+    addresses = _parse_sites(args.site)
+    client = KVClient(addresses, {}, TcpTransport(), home=min(addresses))
+    try:
+        if args.once:
+            snap = await _collect_top(client, addresses)
+            if args.json:
+                print(json.dumps(snap, indent=2, sort_keys=True))
+            else:
+                print(_render_top(snap))
+            return 0 if any(
+                s.get("up") for s in snap["sites"].values()  # type: ignore[union-attr]
+            ) else 1
+        loop = asyncio.get_running_loop()
+        prev: Optional[Dict] = None
+        prev_t: Optional[float] = None
+        while True:
+            now = loop.time()
+            snap = await _collect_top(client, addresses)
+            dt = None if prev_t is None else now - prev_t
+            sys.stdout.write(
+                "\x1b[2J\x1b[H" + _render_top(snap, prev, dt) + "\n"
+            )
+            sys.stdout.flush()
+            prev, prev_t = snap, now
+            await asyncio.sleep(args.interval)
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        return 0
+    finally:
+        await client.close()
 
 
 # ----------------------------------------------------------------------
@@ -344,15 +597,169 @@ async def _smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _stats_smoke(args: argparse.Namespace) -> int:
+    """The observability CI gate: an in-process cluster over real TCP
+    sockets, exercised end to end —
+
+    1. load through the normal client paths, then ``quiesce()``;
+    2. a ``top``-style snapshot must show every site up and the whole
+       replication-lag matrix at zero;
+    3. the Prometheus endpoint is scraped over HTTP and the body must
+       parse as strict text exposition, with the lag gauges at zero and
+       the per-origin visibility histograms present;
+    4. one site is chaos-killed over the wire; its flight post-mortem
+       must exist and render through the ``repro-sim trace`` pipeline.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.export import parse_exposition, serve_metrics
+    from repro.obs.jsonl import load_trace
+    from repro.obs.timeline import render_report
+
+    failures: List[str] = []
+    metrics = MetricsRegistry()
+    # mint free ports by binding port 0 (same idiom as the service
+    # bench's TCP cells; the window between close and listen is benign)
+    addresses: Dict[SiteId, str] = {}
+    for site in range(args.sites):
+        probe = await asyncio.start_server(
+            lambda r, w: w.close(), "127.0.0.1", 0
+        )
+        port = probe.sockets[0].getsockname()[1]
+        probe.close()
+        await probe.wait_closed()
+        addresses[site] = f"127.0.0.1:{port}"
+    with tempfile.TemporaryDirectory() as flight_dir:
+        cluster = ServiceCluster(
+            args.sites,
+            args.sites * 2,
+            args.protocol,
+            transport=TcpTransport(),
+            addresses=addresses,
+            sanitize=True,
+            metrics=metrics,
+            seed=args.seed,
+            flight_dir=flight_dir,
+        )
+        async with cluster:
+            exporter = await serve_metrics(
+                metrics,
+                port=0,
+                refresh=lambda: [s.refresh_gauges() for s in cluster.servers],
+            )
+            scrape_port = exporter.sockets[0].getsockname()[1]
+            gen = LoadGenerator(
+                cluster,
+                workload="a",
+                ops_per_site=args.ops_per_site,
+                seed=args.seed,
+                metrics=metrics,
+            )
+            report = await gen.run()
+            await cluster.quiesce()
+            if report.errors:
+                failures.append(f"{report.errors} load errors")
+
+            # -- top snapshot: everyone up, lag matrix at zero --------
+            client = cluster.client(0)
+            snap = await _collect_top(client, addresses)
+            sites = snap["sites"]
+            for sid, s in sites.items():  # type: ignore[union-attr]
+                if not s.get("up"):
+                    failures.append(f"site {sid} not answering sys.stats")
+                elif s["parked"]:
+                    failures.append(f"site {sid}: {s['parked']} parked after quiesce")
+            for src, row in snap["lag"].items():  # type: ignore[union-attr]
+                for dst, link in row.items():
+                    if link["unacked"] or link["unapplied"]:
+                        failures.append(
+                            f"lag {src}->{dst} nonzero after quiesce: {link}"
+                        )
+            vis = sum(
+                h["count"]
+                for s in sites.values()  # type: ignore[union-attr]
+                if s.get("up")
+                for h in s["visibility_ms"].values()
+            )
+            if vis == 0:
+                failures.append("no visibility_latency_ms observations")
+
+            # -- Prometheus scrape: strict parse, gauges at zero ------
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", scrape_port
+            )
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            if b"200 OK" not in head.splitlines()[0]:
+                failures.append(f"scrape answered {head.splitlines()[0]!r}")
+            try:
+                samples = parse_exposition(body.decode("utf-8"))
+            except ValueError as exc:
+                failures.append(f"scrape body failed strict parse: {exc}")
+                samples = {}
+            if samples:
+                if not any(
+                    k.startswith("visibility_latency_ms_bucket") for k in samples
+                ):
+                    failures.append("scrape has no visibility histogram")
+                stale = [
+                    k
+                    for k, v in samples.items()
+                    if k.startswith(("link_unacked_count", "link_unapplied_count"))
+                    and v != 0
+                ]
+                if stale:
+                    failures.append(f"scrape shows nonzero lag: {stale}")
+            exporter.close()
+            await exporter.wait_closed()
+
+            # -- chaos kill over the wire -> flight post-mortem -------
+            victim = args.sites - 1
+            if not await client.kill(victim):
+                failures.append(f"kill frame to site {victim} failed")
+            artifact = os.path.join(
+                flight_dir, f"site-{victim}-chaos-kill-site.jsonl"
+            )
+            if not os.path.exists(artifact):
+                failures.append(f"no flight artifact at {artifact}")
+            else:
+                trace = load_trace(artifact)
+                rendered = render_report(trace)
+                if not trace.records or not rendered:
+                    failures.append("flight artifact empty or unrenderable")
+                else:
+                    print(
+                        f"  flight post-mortem: {len(trace.records)} records, "
+                        f"reason={trace.header['flight']['reason']}"
+                    )
+            await client.close()
+    if failures:
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        print(f"stats-smoke: {len(failures)} failure(s)")
+        return 1
+    print(
+        f"stats-smoke: ok ({args.protocol}, {args.sites} TCP sites, "
+        f"{report.ops} ops, scrape parsed, lag zero, flight renders)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "serve": _serve,
         "put": _one_shot,
         "get": _one_shot,
+        "top": _top,
         "chaos-kill-site": _chaos_kill,
         "bench": _bench,
         "smoke": _smoke,
+        "stats-smoke": _stats_smoke,
     }[args.command]
     try:
         return asyncio.run(handler(args))

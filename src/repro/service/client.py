@@ -30,7 +30,7 @@ and latency histograms go to an optional
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -76,6 +76,9 @@ class KVClient:
         self.wire_caps = wire.profile_caps(codec)
         #: per-site intern table from the last ``hello.ok`` (cv >= 4)
         self._itabs: Dict[SiteId, wire.InternTable] = {}
+        #: sites whose last ``hello.ok`` echoed the ``sx`` stats
+        #: capability — :meth:`stats` works against exactly these
+        self._stats_sites: Set[SiteId] = set()
         self.home = home
         self.timeout = timeout
         self.max_rounds = max_rounds
@@ -121,6 +124,24 @@ class KVClient:
         except (ConnectionError, OSError, asyncio.TimeoutError):
             return False
         return frame.get("t") == "kill.ok"
+
+    async def stats(self, site: Optional[SiteId] = None) -> Dict[str, Any]:
+        """One ``sys.stats`` snapshot from ``site`` (default: home).
+
+        Works against any site whose ``hello.ok`` echoed the ``sx``
+        capability — that is orthogonal to the agreed wire version, so
+        a JSON-pinned server still answers.  Raises
+        :class:`ServiceUnavailableError` when the site refuses (an old
+        server, or a connection that never negotiated); connection
+        errors propagate for the caller's own failover policy."""
+        target = self.home if site is None else site
+        frame = await self._roundtrip(target, wire.make_frame("sys.stats"))
+        if frame.get("t") != "sys.stats.ok":
+            raise ServiceUnavailableError(
+                f"site {target} refused sys.stats: "
+                f"{frame.get('code')} ({frame.get('msg')})"
+            )
+        return frame["stats"]
 
     async def close(self) -> None:
         # take-then-clear: a request racing close() must not slip a new
@@ -249,7 +270,11 @@ class KVClient:
         interop costs one extra round trip at connect, nothing after.
         A cv ≥ 4 agreement also delivers the server's intern table."""
         try:
-            await conn.send(wire.make_frame("hello", cv=self.wire_caps))
+            await conn.send(
+                wire.make_frame(
+                    "hello", cv=self.wire_caps, sx=wire.STATS_CAPABILITY
+                )
+            )
             async with asyncio.timeout(self.timeout):
                 reply = await conn.recv()
         except (ConnectionError, OSError, asyncio.TimeoutError, WireError):
@@ -260,6 +285,10 @@ class KVClient:
             raise ConnectionResetError(
                 f"site {site} closed the connection during codec negotiation"
             )
+        if int(reply.get("sx", 0)) >= wire.STATS_CAPABILITY:
+            self._stats_sites.add(site)
+        else:
+            self._stats_sites.discard(site)
         agreed = min(
             int(reply.get("cv", wire.JSON_WIRE_VERSION)), self.wire_caps
         )

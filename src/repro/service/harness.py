@@ -54,6 +54,7 @@ class ServiceCluster:
         protocol_kwargs: Optional[Dict[str, Any]] = None,
         codec: str = "delta",
         server_cls: Optional[type] = None,
+        flight_dir: Optional[str] = None,
     ) -> None:
         self.n = n_sites
         self.seed = seed
@@ -90,6 +91,13 @@ class ServiceCluster:
         #: mutants here (e.g. the schedule explorer's torn-drain server)
         #: to prove the sanitizer catches a specific interleaving bug
         self.server_cls: type = server_cls or SiteServer
+        #: where site flight recorders dump post-mortems (None = ring
+        #: only).  Passed through only when set, so substituted server
+        #: classes with narrower signatures keep working.
+        self.flight_dir = flight_dir
+        extra_kwargs: Dict[str, Any] = {}
+        if flight_dir is not None:
+            extra_kwargs["flight_dir"] = flight_dir
         self.servers: List[SiteServer] = []
         for site in range(n_sites):
             proto = cls(
@@ -114,6 +122,7 @@ class ServiceCluster:
                     read_timeout=read_timeout,
                     seed=seed + site,
                     codec=codec,
+                    **extra_kwargs,
                 )
             )
         self._started = False
@@ -178,6 +187,9 @@ class ServiceCluster:
         transport = self.transport
         if not isinstance(transport, LoopbackTransport):
             raise ServiceError("kill_site needs the loopback transport")
+        # the crash post-mortem: dump the site's flight ring before its
+        # state is torn down (a no-op unless ``flight_dir`` is set)
+        self.servers[site].flight_dump("chaos-kill-site")
         transport.kill(self.addresses[site])
         asyncio.ensure_future(self.servers[site].stop())
 

@@ -88,6 +88,26 @@ sanitizer (when attached) sees the same ``on_write`` / ``before_apply`` /
 ``after_apply`` / ``on_read`` stream, and the lifecycle recorder receives
 ``issue``/``send``/``deliver``/``buffered``/``apply``/``read`` spans, so
 ``repro-sim trace`` renders service runs unchanged.
+
+On top of that sits the **live observability plane**:
+
+* every server keeps an always-on :class:`~repro.obs.flight.
+  FlightRecorder` ring next to any user recorder (fanned out through a
+  :class:`~repro.obs.flight.TeeRecorder`); a ``SanitizerViolation``, an
+  unhandled handler exception, or a chaos ``kill`` dumps the ring as a
+  TRACE_VERSION post-mortem via :meth:`SiteServer.flight_dump`;
+* hellos carry the additive ``sx`` stats capability (orthogonal to the
+  wire version ``cv``); a connection that advertised it may ask
+  ``sys.stats`` and gets a synchronous single-writer snapshot — link
+  lag watermarks, parked depths, dependency-log size, the metrics
+  registry — while any other connection gets the same ``bad-frame``
+  error a pre-stats server would send;
+* when the handshake reply echoes ``sx``, a link stamps outgoing repl
+  frames with their origin issue time (``repl.t`` / ``repl.delta.t``),
+  and the receiver turns issue→apply into the per-origin
+  ``visibility_latency_ms`` histogram.  The stamp is exact on
+  co-hosted clusters (one clock origin via :meth:`set_clock_origin`)
+  and subject to host clock skew across machines.
 """
 
 from __future__ import annotations
@@ -101,8 +121,15 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.base import CausalProtocol
+from repro.core.log import DepLog
 from repro.core.messages import FetchRequest, UpdateMessage, WriteResult
-from repro.errors import ServiceError, ServiceUnavailableError, WireError
+from repro.errors import (
+    SanitizerViolation,
+    ServiceError,
+    ServiceUnavailableError,
+    WireError,
+)
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, TeeRecorder
 from repro.service import wire
 from repro.service.transport import Connection, Listener, Transport
 from repro.types import SiteId, VarId, WriteId
@@ -119,6 +146,10 @@ STALE_RETRY_PAUSE = 0.002
 
 #: bound on waiting for the peer's ``link.ok`` handshake reply, seconds
 LINK_HANDSHAKE_TIMEOUT = 2.0
+
+#: inbound update frames, plain and issue-time-stamped (membership test
+#: on the dispatch hot path)
+_REPL_KINDS = frozenset(wire.REPL_FRAME_KINDS)
 
 
 class PeerLink:
@@ -175,6 +206,15 @@ class PeerLink:
         #: entries at or below ``_gc_ls`` have been consumed
         self._ls_clock: Dict[int, int] = {}
         self._gc_ls = 0
+        #: link sequence -> origin issue time (ms), recorded at enqueue
+        #: and stamped onto frames for peers that negotiated ``sx``;
+        #: survives reconnects with the queue, retired with the acks
+        self._issued_at: Dict[int, float] = {}
+        #: the last handshake reply echoed the ``sx`` stats capability
+        self._peer_stats = False
+        #: the last handshake agreed the v4 profile (applied watermarks
+        #: flow, so ``_gc_ls`` is a meaningful lag baseline)
+        self._v4 = False
         self._closed = False
         self._task: Optional[asyncio.Task] = None
 
@@ -186,6 +226,7 @@ class PeerLink:
         self._link_seq += 1
         self._repl.append((self._link_seq, msg))
         self._ls_clock[self._link_seq] = msg.write_id.seq
+        self._issued_at[self._link_seq] = self.owner.now_ms()
         self._wakeup.set()
 
     def enqueue_fetch(self, req: FetchRequest) -> None:
@@ -198,6 +239,26 @@ class PeerLink:
         until acknowledged, not merely until handed to the transport —
         this is what makes :meth:`ServiceCluster.quiesce` sound."""
         return len(self._repl) + len(self._fetch)
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time lag watermarks, derived from the structures the
+        ack protocol already keeps — no extra hot-path bookkeeping.
+        ``acked == enqueued - unacked`` holds because ``_repl`` is
+        exactly the ``(acked, _link_seq]`` suffix: entries leave only
+        through :meth:`_retire`, which pops a contiguous prefix.
+        ``applied`` is the receiver's applied watermark (v4 acks carry
+        it); ``None`` on links that never agreed the v4 profile, where
+        no watermark flows."""
+        unacked = len(self._repl)
+        acked = self._link_seq - unacked
+        return {
+            "enqueued": self._link_seq,
+            "acked": acked,
+            "unacked": unacked,
+            "applied": self._gc_ls if self._v4 else None,
+            "fetch_queue": len(self._fetch),
+            "backlog": self.backlog,
+        }
 
     async def close(self) -> None:
         self._closed = True
@@ -277,6 +338,7 @@ class PeerLink:
                 src=self.owner.site,
                 epoch=self.owner.epoch,
                 cv=self.owner.wire_caps,
+                sx=wire.STATS_CAPABILITY,
             )
         )
         reply = await asyncio.wait_for(conn.recv(), LINK_HANDSHAKE_TIMEOUT)
@@ -287,6 +349,12 @@ class PeerLink:
         agreed = min(
             int(reply.get("cv", wire.JSON_WIRE_VERSION)), self.owner.wire_caps
         )
+        # the stats capability is orthogonal to the wire version: a peer
+        # that echoed ``sx`` understands issue-time-stamped repl frames
+        # on ANY agreed profile; a pre-stats peer never echoes it and
+        # never sees a ``.t`` frame
+        self._peer_stats = int(reply.get("sx", 0)) >= wire.STATS_CAPABILITY
+        self._v4 = agreed >= wire.DELTA_WIRE_VERSION
         self._delta_out = None
         if agreed >= wire.BATCH_WIRE_VERSION:
             conn.negotiate(wire.codec_for(agreed), agreed)
@@ -328,7 +396,8 @@ class PeerLink:
     def _retire(self, ack: int) -> None:
         """Drop repl entries up to the receiver's cumulative ack."""
         while self._repl and self._repl[0][0] <= ack:
-            self._repl.popleft()
+            ls, _ = self._repl.popleft()
+            self._issued_at.pop(ls, None)
 
     async def _drain_queue(self, conn: Connection, acked: int) -> None:
         # ``sent`` tracks the highest repl seq written to THIS
@@ -343,7 +412,7 @@ class PeerLink:
             frame = self._next_unsent(sent)
             while frame is not None and not self._closed:
                 await conn.send(frame)
-                if frame["t"] == "repl":
+                if frame["t"] in _REPL_KINDS:
                     sent = int(frame["ls"])
                 elif self._fetch and self._fetch[0] is frame:
                     self._fetch.popleft()
@@ -372,14 +441,20 @@ class PeerLink:
                 batch: List[Dict[str, Any]] = []
                 last_ls = sent
                 if n_unsent > 0:
+                    stamp = self._peer_stats
                     for ls, msg in itertools.islice(
                         self._repl, len(self._repl) - n_unsent, None
                     ):
-                        batch.append(
+                        frame = (
                             enc.encode_update(msg, ls)
                             if enc is not None
                             else wire.encode_update(msg, ls)
                         )
+                        if stamp:
+                            issued = self._issued_at.get(ls)
+                            if issued is not None:
+                                wire.stamp_issue(frame, issued)
+                        batch.append(frame)
                         last_ls = ls
                 n_fetch = len(self._fetch)
                 if not batch and not n_fetch:
@@ -401,7 +476,12 @@ class PeerLink:
     def _next_unsent(self, sent: int) -> Optional[Dict[str, Any]]:
         for ls, msg in self._repl:
             if ls > sent:
-                return wire.encode_update(msg, ls)
+                frame = wire.encode_update(msg, ls)
+                if self._peer_stats:
+                    issued = self._issued_at.get(ls)
+                    if issued is not None:
+                        wire.stamp_issue(frame, issued)
+                return frame
         if self._fetch:
             return self._fetch[0]
         return None
@@ -439,6 +519,8 @@ class SiteServer:
         fetch_timeout: float = 2.0,
         seed: int = 0,
         codec: str = "delta",
+        flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
+        flight_dir: Optional[str] = None,
     ) -> None:
         if protocol.site not in addresses:
             raise ServiceError(f"no address for site {protocol.site}")
@@ -452,7 +534,28 @@ class SiteServer:
         self.addresses = dict(addresses)
         self.transport = transport
         self.sanitizer = sanitizer
-        self.recorder = recorder
+        #: the always-on crash ring; ``recorder`` becomes the fan-out of
+        #: the user's recorder (if any) and this ring, so every existing
+        #: hook site feeds both without a second guard
+        self.flight = FlightRecorder(
+            capacity=flight_capacity,
+            meta={
+                "source": "flight",
+                "site": int(protocol.site),
+                "protocol": protocol.name,
+            },
+        )
+        self.flight.bind_clock(self.now_ms)
+        #: where :meth:`flight_dump` writes post-mortems (None = ring
+        #: only: crashes still hold history, nothing lands on disk)
+        self.flight_dir = flight_dir
+        if recorder is not None and recorder.enabled:
+            self.recorder = TeeRecorder(recorder, self.flight)
+        else:
+            self.recorder = self.flight
+        # protocol-internal events (dep-log prunes) follow the same
+        # fan-out; the server owns its protocol instance exclusively
+        protocol.obs = self.recorder
         self.metrics = metrics
         self.read_timeout = read_timeout
         self.fetch_timeout = fetch_timeout
@@ -499,6 +602,17 @@ class SiteServer:
         self._waiting = 0
         self._links: Dict[SiteId, PeerLink] = {}
         self._fetch_waiters: Dict[int, asyncio.Future] = {}
+        #: origin issue time (ms) per in-flight write, stripped from
+        #: ``repl.t`` frames; consumed at apply into the per-origin
+        #: visibility histogram
+        self._issue_ms: Dict[WriteId, float] = {}
+        #: cached per-origin ``visibility_latency_ms`` histogram handles
+        #: (skips the label-formatting lookup on the apply hot path)
+        self._vis_hist: Dict[SiteId, Any] = {}
+        #: connections whose hello advertised the ``sx`` capability —
+        #: the only ones ``sys.stats`` answers (anyone else gets the
+        #: pre-stats ``bad-frame`` error)
+        self._stats_conns: Set[Connection] = set()
         #: established inbound connections, closed on stop()
         self._server_conns: Set[Connection] = set()
         self._listener: Optional[Listener] = None
@@ -609,7 +723,17 @@ class SiteServer:
                 await conn.send(wire.err_frame("bad-frame", str(exc)))
             except (ConnectionError, OSError):
                 pass
+        except SanitizerViolation:
+            # the causal sanitizer refused a transition: dump the flight
+            # ring before this handler task dies — the last moments of
+            # the site are exactly what the post-mortem needs
+            self.flight_dump("sanitizer-violation")
+            raise
+        except Exception:
+            self.flight_dump("handler-error")
+            raise
         finally:
+            self._stats_conns.discard(conn)
             self._server_conns.discard(conn)
             await conn.close()
 
@@ -619,7 +743,7 @@ class SiteServer:
             await self._handle_put(conn, frame)
         elif kind == "get":
             await self._handle_get(conn, frame)
-        elif kind == "repl" or kind == "repl.delta":
+        elif kind in _REPL_KINDS:
             await self._handle_repl(conn, frame)
         elif kind == "link.hello":
             await self._handle_hello(conn, frame)
@@ -631,6 +755,8 @@ class SiteServer:
             # it arrive on this very connection — inline serving would
             # deadlock the link (head-of-line blocking)
             asyncio.ensure_future(self._handle_fetch(conn, frame))
+        elif kind == "sys.stats":
+            await self._handle_stats(conn)
         elif kind == "ping":
             await conn.send(wire.make_frame("ping.ok", site=self.site))
         elif kind == "kill":
@@ -638,6 +764,7 @@ class SiteServer:
             # mark stopped before the async teardown runs so any frame
             # already in flight is refused, not half-served
             self._stopped.set()
+            self.flight_dump("chaos-kill-site")
             asyncio.ensure_future(self.stop())
         else:
             await conn.send(wire.err_frame("bad-frame", f"unknown type {kind!r}"))
@@ -669,7 +796,7 @@ class SiteServer:
                     )
                 )
                 return
-            if frame["t"] in ("repl", "repl.delta"):
+            if frame["t"] in _REPL_KINDS:
                 applied += self._ingest_repl(frame, acks)
             else:
                 applied = await self._flush_repl(conn, acks, applied)
@@ -693,7 +820,12 @@ class SiteServer:
             # for the contiguous prefix, if any, still goes out
             self.metric("service_repl_gaps_total")
             return 0
+        # strip the issue-time stamp BEFORE the chained-delta decode —
+        # the decoder dispatches on the restored base frame type
+        it = wire.strip_issue(frame)
         msg = self._decode_repl(src, frame)
+        if it is not None:
+            self._issue_ms[msg.write_id] = float(it)
         now = self.now_ms()
         self._recv_at[msg.write_id] = now
         rec = self.recorder
@@ -913,6 +1045,11 @@ class SiteServer:
         if agreed >= wire.DELTA_WIRE_VERSION:
             ok["itab"] = list(self._itab.names)
             ok["ap"] = self._applied_ls(src)
+        if int(frame.get("sx", 0)) >= wire.STATS_CAPABILITY:
+            # echo the stats capability (orthogonal to ``cv``): the
+            # sender may now stamp repl frames and ask ``sys.stats``
+            ok["sx"] = wire.STATS_CAPABILITY
+            self._stats_conns.add(conn)
         await conn.send(wire.make_frame("link.ok", **ok))
         self._switch_profile(conn, agreed)
 
@@ -926,6 +1063,9 @@ class SiteServer:
         ok: Dict[str, Any] = {"site": self.site, "cv": agreed}
         if agreed >= wire.DELTA_WIRE_VERSION:
             ok["itab"] = list(self._itab.names)
+        if int(frame.get("sx", 0)) >= wire.STATS_CAPABILITY:
+            ok["sx"] = wire.STATS_CAPABILITY
+            self._stats_conns.add(conn)
         await conn.send(wire.make_frame("hello.ok", **ok))
         self._switch_profile(conn, agreed)
 
@@ -962,7 +1102,10 @@ class SiteServer:
             # the last contiguous ack at its next handshake and resends.
             self.metric("service_repl_gaps_total")
             return
+        it = wire.strip_issue(frame)
         msg = self._decode_repl(src, frame)
+        if it is not None:
+            self._issue_ms[msg.write_id] = float(it)
         now = self.now_ms()
         self._recv_at[msg.write_id] = now
         rec = self.recorder
@@ -1034,6 +1177,133 @@ class SiteServer:
             pass
 
     # ------------------------------------------------------------------
+    # observability plane
+    # ------------------------------------------------------------------
+    async def _handle_stats(self, conn: Connection) -> None:
+        """Answer ``sys.stats`` — but only on connections whose hello
+        advertised the ``sx`` capability.  Anyone else gets exactly the
+        ``bad-frame`` error a pre-stats server sends for an unknown
+        type, so probing an old server and probing a non-negotiated
+        connection are indistinguishable (zero-round-trip negotiation:
+        the capability travels on the hello both sides already send)."""
+        if conn not in self._stats_conns:
+            await conn.send(
+                wire.err_frame("bad-frame", "unknown type 'sys.stats'")
+            )
+            return
+        self.metric("service_requests_total", op="stats")
+        snapshot = self._stats_snapshot()
+        await conn.send(
+            wire.make_frame("sys.stats.ok", site=self.site, stats=snapshot)
+        )
+
+    def _stats_snapshot(self) -> Dict[str, Any]:
+        """One synchronous stats snapshot (single-writer discipline: no
+        awaits, so nothing here sees a half-applied protocol state).
+        Keys of the per-peer maps are stringified site ids so the JSON
+        and binary codecs carry the identical shape."""
+        self.refresh_gauges()
+        links: Dict[str, Any] = {}
+        for dest in sorted(self._links):
+            links[str(int(dest))] = self._links[dest].stats()
+        inbound: Dict[str, Any] = {}
+        for src in sorted(self._seen_ls):
+            inbound[str(int(src))] = {
+                "seen": self._seen_ls[src],
+                "applied": self._applied_ls(src),
+                "parked": len(self._parked_ls.get(src, ())),
+            }
+        snap: Dict[str, Any] = {
+            "site": int(self.site),
+            "epoch": int(self.epoch),
+            "uptime_ms": self.now_ms(),
+            "applies": int(self.applies),
+            "parked": len(self._parked),
+            "store_keys": self._store_keys(),
+            "dep_log": self._dep_log_stats(),
+            "links": links,
+            "inbound": inbound,
+            "flight": {
+                "capacity": self.flight.capacity,
+                "recorded": self.flight.recorded,
+                "dropped": self.flight.dropped,
+                "held": len(self.flight),
+            },
+            "wire": {"profile": self.codec_name, "caps": self.wire_caps},
+        }
+        if self.metrics is not None:
+            snap["metrics"] = self.metrics.snapshot()
+        return snap
+
+    def refresh_gauges(self) -> None:
+        """Recompute the scrape-time gauges from live structures: link
+        replication lag (enqueued−acked and acked−applied), parked
+        depth, dependency-log size, store size.  Runs before every
+        stats reply and as the Prometheus responder's per-scrape
+        refresh — gauges are views, so the request hot paths never pay
+        for them."""
+        m = self.metrics
+        if m is None:
+            return
+        for dest in sorted(self._links):
+            stats = self._links[dest].stats()
+            m.gauge("link_unacked_count", site=self.site, peer=dest).set(
+                stats["unacked"]
+            )
+            if stats["applied"] is not None:
+                m.gauge("link_unapplied_count", site=self.site, peer=dest).set(
+                    stats["acked"] - stats["applied"]
+                )
+        m.gauge("parked_updates_count", site=self.site).set(len(self._parked))
+        dep = self._dep_log_stats()
+        m.gauge("dep_log_entries_count", site=self.site).set(dep["entries"])
+        m.gauge("dep_log_bytes", site=self.site).set(dep["bytes"])
+        m.gauge("store_keys_count", site=self.site).set(self._store_keys())
+
+    def _store_keys(self) -> int:
+        # every protocol stores its local replicas in the base class's
+        # ``_values`` map; sibling-package access beats adding a public
+        # len API to the protocol ABC for one gauge
+        values = getattr(self.protocol, "_values", None)
+        return len(values) if values is not None else 0
+
+    def _dep_log_stats(self) -> Dict[str, int]:
+        """Dependency-log size in entries and wire bytes (the binary
+        encoding of its full metadata — what a fresh connection's first
+        frame would pay).  Zero for protocols without an explicit
+        DepLog (Full-Track's matrix clock, Opt-Track-CRP's scalars)."""
+        log = getattr(self.protocol, "log", None)
+        if not isinstance(log, DepLog) or len(log) == 0:
+            return {"entries": 0, "bytes": 0}
+        encoded = wire.BINARY_CODEC.encode(
+            wire.make_frame("sys.stats.ok", p=wire.encode_meta(log))
+        )
+        return {"entries": len(log), "bytes": len(encoded)}
+
+    def _visibility(self, origin: SiteId) -> Any:
+        hist = self._vis_hist.get(origin)
+        if hist is None:
+            hist = self._vis_hist[origin] = self.metrics.histogram(
+                "visibility_latency_ms", site=self.site, origin=origin
+            )
+        return hist
+
+    def flight_dump(self, reason: str) -> Optional[str]:
+        """Dump the flight ring as a post-mortem JSONL artifact named
+        after this site and the trigger.  A no-op unless ``flight_dir``
+        is configured; dump failures are swallowed — a post-mortem must
+        never turn a dying handler's error into a different one."""
+        if self.flight_dir is None:
+            return None
+        path = os.path.join(
+            self.flight_dir, f"site-{int(self.site)}-{reason}.jsonl"
+        )
+        try:
+            return self.flight.dump(path, reason)
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------
     # apply machinery (single-writer: everything below is synchronous)
     # ------------------------------------------------------------------
     def _apply(self, msg: UpdateMessage) -> None:
@@ -1064,6 +1334,12 @@ class SiteServer:
                 msg.write_id,
                 self._recv_at.pop(msg.write_id, now),
             )
+        issued = self._issue_ms.pop(msg.write_id, None)
+        if issued is not None and self.metrics is not None:
+            # issue→local-apply, as stamped by the origin (clamped: the
+            # two clocks share an origin on co-hosted clusters but may
+            # skew across hosts)
+            self._visibility(msg.write_id.site).observe(max(0.0, now - issued))
         self.metric("service_applies_total")
 
     def _drain(self) -> None:

@@ -44,15 +44,40 @@ class WireMeter:
     ``wire_bytes_received_total{transport=...}``) so the per-frame cost
     is one ``inc`` — connections carry a meter reference (or ``None``,
     the zero-cost-off discipline of the obs layer).
+
+    Sent bytes are additionally attributed *per frame kind* under
+    ``wire_frame_bytes_total{kind=...,transport=...}`` (a deliberately
+    distinct name: three consumers sum every counter prefixed
+    ``wire_bytes_sent_total`` and must not double-count).  The split is
+    sender-side only — a TCP receiver meters raw segments before any
+    frame boundary exists — which loses nothing: every frame some
+    connection received, some connection sent.
     """
 
-    __slots__ = ("sent", "received")
+    __slots__ = ("sent", "received", "_metrics", "_transport", "_kinds")
 
     def __init__(self, metrics: Any, transport: str) -> None:
         self.sent = metrics.counter("wire_bytes_sent_total", transport=transport)
         self.received = metrics.counter(
             "wire_bytes_received_total", transport=transport
         )
+        self._metrics = metrics
+        self._transport = transport
+        self._kinds: Dict[str, Any] = {}
+
+    def kind(self, frame_type: str) -> Any:
+        """The cached ``wire_frame_bytes_total`` counter handle for one
+        frame kind; the cache keeps the steady-state cost at one dict
+        hit + one ``inc`` per frame."""
+        counter = self._kinds.get(frame_type)
+        if counter is None:
+            counter = self._metrics.counter(
+                "wire_frame_bytes_total",
+                transport=self._transport,
+                kind=frame_type,
+            )
+            self._kinds[frame_type] = counter
+        return counter
 
 
 class Connection(ABC):
@@ -210,6 +235,7 @@ class _LoopbackConnection(Connection):
         if meter is not None:
             meter.sent.inc(len(encoded))
             meter.received.inc(len(encoded))
+            meter.kind(frame["t"]).inc(len(encoded))
         peer._enqueue(wire.decode_body(encoded[4:]))
 
     async def send_many(self, frames: List[Dict[str, Any]]) -> None:
@@ -221,12 +247,14 @@ class _LoopbackConnection(Connection):
         # put wakes it, the rest land before it runs)
         codec = self._codec
         enqueue = peer._enqueue
+        meter = self._meter
         total = 0
         for frame in frames:
             encoded = wire.encode_frame(frame, codec=codec)
             total += len(encoded)
+            if meter is not None:
+                meter.kind(frame["t"]).inc(len(encoded))
             enqueue(wire.decode_body(encoded[4:]))
-        meter = self._meter
         if meter is not None:
             meter.sent.inc(total)
             meter.received.inc(total)
@@ -375,6 +403,7 @@ class _TcpConnection(Connection):
         encoded = wire.encode_frame(frame, codec=self._codec)
         if self._meter is not None:
             self._meter.sent.inc(len(encoded))
+            self._meter.kind(frame["t"]).inc(len(encoded))
         self._writer.write(encoded)
         await self._writer.drain()
 
@@ -383,11 +412,19 @@ class _TcpConnection(Connection):
             return
         codec = self._codec
         encode = wire.encode_frame
+        meter = self._meter
         # one writev-style buffer append, ONE drain for the whole batch —
         # this is the flush the per-frame path pays once per frame
-        batch = b"".join(encode(f, codec=codec) for f in frames)
-        if self._meter is not None:
-            self._meter.sent.inc(len(batch))
+        if meter is None:
+            batch = b"".join(encode(f, codec=codec) for f in frames)
+        else:
+            parts = []
+            for frame in frames:
+                encoded = encode(frame, codec=codec)
+                meter.kind(frame["t"]).inc(len(encoded))
+                parts.append(encoded)
+            batch = b"".join(parts)
+            meter.sent.inc(len(batch))
         self._writer.write(batch)
         await self._writer.drain()
 

@@ -105,6 +105,21 @@ Server-to-server (peer links)::
              meta.clock)`` (it always is for opt-track and CRP writes).
     fetch    one FetchRequest, answered by fetch.ok (correlated by ``fid``)
 
+Live observability (the ``sx`` capability, see :data:`STATS_CAPABILITY`)::
+
+    sys.stats   {v, t:"sys.stats"}  -> sys.stats.ok {site, epoch, ...}
+             one internally consistent snapshot of the answering site:
+             per-link watermarks and backlogs, parked-update depths,
+             dep-log size, wire bytes by frame kind, store size, and the
+             site's metrics-registry snapshot.  Only sent to peers that
+             advertised ``sx`` in their hello; anyone else answers
+             ``err bad-frame``, exactly like a pre-stats server would.
+    repl.t / repl.delta.t   the repl frames with the origin's issue time
+             ``it`` (ms on the origin's clock) appended — what feeds the
+             receiver's per-origin visibility-latency histograms.  Only
+             sent on links whose peer advertised ``sx``; field-for-field
+             identical to their base kinds otherwise (strip_issue).
+
 ``err`` frames carry a machine-readable ``code``; codes in
 :data:`RETRIABLE` mark failures the client may retry (elsewhere).
 
@@ -177,6 +192,17 @@ _LEN = struct.Struct(">I")
 
 #: ``err`` codes the client may retry (possibly against another replica)
 RETRIABLE = ("read-timeout", "unavailable", "shutting-down")
+
+#: the live-observability capability, advertised as the additive ``sx``
+#: field on ``hello``/``link.hello`` and echoed on the ok replies — the
+#: same zero-round-trip negotiation pattern as the codec capability
+#: ``cv`` but orthogonal to it (stats negotiate on any agreed wire
+#: version, JSON included).  A peer that advertised ``sx >= 1`` accepts
+#: ``sys.stats`` requests and understands the issue-time-stamped
+#: ``repl.t``/``repl.delta.t`` replication frames; peers that did not
+#: advertise it are never sent any of them.  Additive optional fields
+#: never bump the frame schema version (see module docstring).
+STATS_CAPABILITY = 1
 
 
 def _check_version(version: Any) -> None:
@@ -415,6 +441,10 @@ _FRAME_TYPES: Tuple[str, ...] = (
     "err",
     "repl.delta",
     "repl.ackp",
+    "sys.stats",
+    "sys.stats.ok",
+    "repl.t",
+    "repl.delta.t",
 )
 _FRAME_TAGS: Dict[str, int] = {t: i for i, t in enumerate(_FRAME_TYPES) if i}
 
@@ -431,6 +461,12 @@ _SCHEMA_BIT = 0x80
 _FRAME_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "repl": ("var", "value", "w", "src", "dst", "meta", "ls"),
     "repl.delta": ("var", "value", "w", "src", "dst", "meta", "ls"),
+    # issue-time-stamped repl variants (the sx stats capability): the
+    # same layout with the origin's issue timestamp appended — spelled
+    # as new types rather than new fields so the original layouts stay
+    # byte-frozen for peers that never negotiated the stamp
+    "repl.t": ("var", "value", "w", "src", "dst", "meta", "ls", "it"),
+    "repl.delta.t": ("var", "value", "w", "src", "dst", "meta", "ls", "it"),
     "repl.ack": ("a",),
     # the v4 ack: ``ap`` is the gap ``a - applied`` (usually 0, one byte)
     "repl.ackp": ("a", "ap"),
@@ -1108,6 +1144,35 @@ def decode_update(
         raise WireError(f"malformed repl frame: {exc}") from None
 
 
+#: every frame kind that carries one replicated update; the ``.t``
+#: variants additionally carry the origin's issue stamp
+REPL_FRAME_KINDS = ("repl", "repl.delta", "repl.t", "repl.delta.t")
+
+
+def stamp_issue(frame: Dict[str, Any], issued_ms: float) -> Dict[str, Any]:
+    """Stamp a ``repl``/``repl.delta`` frame with the time its write was
+    issued at the origin (ms on the origin's clock), switching the type
+    to the ``.t`` variant; mutates and returns the frame.  Only valid on
+    links whose peer advertised :data:`STATS_CAPABILITY` — a peer that
+    never negotiated it does not know the stamped types."""
+    frame["t"] = frame["t"] + ".t"
+    frame["it"] = int(issued_ms)
+    return frame
+
+
+def strip_issue(frame: Dict[str, Any]) -> Optional[int]:
+    """Remove an issue stamp in place, restoring the base repl type;
+    returns the stamp (origin-clock ms) or ``None`` for unstamped
+    frames.  After this the frame is field-for-field what the peer
+    would have sent without the stats capability, so every downstream
+    decode path is unchanged."""
+    if frame["t"].endswith(".t"):
+        frame["t"] = frame["t"][:-2]
+        it = frame.pop("it", None)
+        return None if it is None else int(it)
+    return None
+
+
 # ----------------------------------------------------------------------
 # delta metadata codec (v4: repl.delta chaining)
 # ----------------------------------------------------------------------
@@ -1402,6 +1467,10 @@ __all__ = [
     "BINARY_MAGIC",
     "MAX_FRAME_BYTES",
     "RETRIABLE",
+    "STATS_CAPABILITY",
+    "REPL_FRAME_KINDS",
+    "stamp_issue",
+    "strip_issue",
     "JsonCodec",
     "BinaryCodec",
     "JSON_CODEC",

@@ -625,3 +625,168 @@ class TestLoopbackTransport:
 
         (frame,) = run(main())
         assert frame["pair"] == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# sys.stats raw-frame conformance
+# ----------------------------------------------------------------------
+class TestStatsFrames:
+    """Wire-level contract of the observability frames: the ``sx``
+    capability gates ``sys.stats`` per connection, a mid-batch stats
+    snapshot observes the repl frames flushed ahead of it, and a stopped
+    site refuses with the retriable ``shutting-down`` code."""
+
+    def test_stats_without_capability_is_a_bad_frame(self):
+        # a connection that never negotiated sx — whether it sent no
+        # hello at all or a hello without the field — must be refused
+        # exactly like any unknown frame type, so old peers see the
+        # same behaviour they always did
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track") as cluster:
+                # no hello at all (a pure v2 client)
+                conn = await cluster.transport.connect("site-0")
+                await conn.send(wire.make_frame("sys.stats"))
+                bare = await conn.recv()
+                await conn.close()
+                # a hello that did not offer sx
+                conn = await cluster.transport.connect("site-0")
+                await conn.send(
+                    wire.make_frame("hello", cv=wire.BATCH_WIRE_VERSION)
+                )
+                ok = await conn.recv()
+                conn.negotiate(wire.BINARY_CODEC, wire.BATCH_WIRE_VERSION)
+                await conn.send(wire.make_frame("sys.stats"))
+                no_sx = await conn.recv()
+                await conn.close()
+                return bare, ok, no_sx
+
+        bare, ok, no_sx = run(main())
+        assert (bare["t"], bare["code"]) == ("err", "bad-frame")
+        assert ok["t"] == "hello.ok" and "sx" not in ok
+        assert (no_sx["t"], no_sx["code"]) == ("err", "bad-frame")
+
+    def test_hello_echoes_sx_and_answers_stats(self):
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track", replication_factor=2,
+                                      metrics=MetricsRegistry()) as cluster:
+                conn = await cluster.transport.connect("site-0")
+                await conn.send(
+                    wire.make_frame(
+                        "hello",
+                        cv=wire.BATCH_WIRE_VERSION,
+                        sx=wire.STATS_CAPABILITY,
+                    )
+                )
+                ok = await conn.recv()
+                conn.negotiate(wire.BINARY_CODEC, wire.BATCH_WIRE_VERSION)
+                await conn.send(wire.make_frame("sys.stats"))
+                reply = await conn.recv()
+                await conn.close()
+                return ok, reply
+
+        ok, reply = run(main())
+        assert ok.get("sx") == wire.STATS_CAPABILITY
+        assert reply["t"] == "sys.stats.ok" and reply["site"] == 0
+        stats = reply["stats"]
+        assert stats["site"] == 0 and stats["applies"] == 0
+        assert "links" in stats and "flight" in stats and "metrics" in stats
+
+    def test_mid_batch_stats_sees_prior_updates_applied(self):
+        # sys.stats coalesced into one flush behind repl frames: the
+        # batch dispatcher applies (and acks) the repl prefix before
+        # answering the stats probe, so the snapshot can never miss
+        # updates that arrived ahead of it on the same connection
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track",
+                                      replication_factor=2) as cluster:
+                receiver = cluster.servers[1]
+                proto = cluster.servers[0].protocol
+                conn = await cluster.transport.connect("site-1")
+                await conn.send(
+                    wire.make_frame(
+                        "link.hello",
+                        src=0,
+                        epoch=5,
+                        cv=wire.BATCH_WIRE_VERSION,
+                        sx=wire.STATS_CAPABILITY,
+                    )
+                )
+                ok = await conn.recv()
+                assert ok["t"] == "link.ok"
+                conn.negotiate(wire.BINARY_CODEC, wire.BATCH_WIRE_VERSION)
+                frames = []
+                for i in range(2):
+                    m = next(m for m in proto.write("x0", f"v{i}").messages
+                             if m.dest == 1)
+                    frames.append(wire.encode_update(m, i + 1))
+                frames.append(wire.make_frame("sys.stats"))
+                await conn.send_many(frames)
+                ack = await conn.recv()
+                reply = await conn.recv()
+                await conn.close()
+                return ok, ack, reply, receiver.applies
+
+        ok, ack, reply, applies = run(main())
+        assert ok.get("sx") == wire.STATS_CAPABILITY
+        # the repl prefix was applied and acked cumulatively first
+        assert (ack["t"], ack["a"]) == ("repl.ack", 2)
+        assert reply["t"] == "sys.stats.ok"
+        assert applies == 2
+        stats = reply["stats"]
+        assert stats["applies"] == 2
+        assert stats["inbound"]["0"]["seen"] == 2
+
+    def test_stats_after_stop_is_retriable_shutting_down(self):
+        # stop() landing between recv and dispatch: the probe is refused
+        # with the retriable code, so a poller (repro-kv top) fails over
+        # instead of surfacing an error
+        async def main():
+            async with ServiceCluster(2, 2, "opt-track") as cluster:
+                server = cluster.servers[0]
+                conn = await cluster.transport.connect("site-0")
+                await conn.send(
+                    wire.make_frame("hello", sx=wire.STATS_CAPABILITY)
+                )
+                ok = await conn.recv()
+                assert ok.get("sx") == wire.STATS_CAPABILITY
+                server._stopped.set()
+                await conn.send(wire.make_frame("sys.stats"))
+                reply = await conn.recv()
+                await conn.close()
+                return reply
+
+        reply = run(main())
+        assert (reply["t"], reply["code"]) == ("err", "shutting-down")
+        assert reply["code"] in wire.RETRIABLE
+
+    def test_client_stats_reports_lag_and_visibility(self):
+        # the client-facing wrapper end to end: write cross-site, wait
+        # for replication to settle, and read the snapshot back — lag
+        # zero everywhere, the origin's visibility histogram populated
+        async def main():
+            metrics = MetricsRegistry()
+            async with ServiceCluster(3, 6, "opt-track", replication_factor=3,
+                                      sanitize=True, metrics=metrics) as cluster:
+                writer = cluster.client(home=0)
+                for i in range(5):
+                    await writer.put("x0", i)
+                await cluster.quiesce()
+                observer = cluster.client(home=1)
+                stats = await observer.stats()
+                home = await observer.stats(site=0)
+                await writer.close()
+                await observer.close()
+                return stats, home
+
+        stats, home = run(main())
+        assert stats["site"] == 1 and home["site"] == 0
+        for peer_stats in stats["links"].values():
+            assert peer_stats["unacked"] == 0 and peer_stats["backlog"] == 0
+        # site 1 applied updates from origin 0 and timed their visibility
+        hists = stats["metrics"]["histograms"]
+        key = "visibility_latency_ms{origin=0,site=1}"
+        assert key in hists and hists[key]["count"] == 5
+        assert stats["parked"] == 0
+        # the home site applied nothing remotely (its writes are local)
+        # but its store holds the key it wrote
+        assert home["applies"] == 0 and home["store_keys"] >= 1

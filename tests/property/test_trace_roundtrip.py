@@ -81,9 +81,16 @@ def assert_observer_purity_and_roundtrip(
     assert loaded.protocol == protocol and loaded.n_sites == n
     assert loaded.span_tree() == build_spans(cluster.recorder.records)
 
-    # 3. the recorded history replays cleanly through the oracle
+    # 3. the recorded history replays cleanly through the oracle.  A
+    # low write_rate can legitimately draw an all-read workload (~0.5%
+    # at rate 0.125); the oracle then has nothing to check, so gate the
+    # coverage assertions on the run actually containing writes.
     report = replay_trace(loaded)
-    assert report.writes > 0 and report.checks_run > 0
+    wrote = any(r.kind.value == "write" for r in traced.history.records)
+    if wrote:
+        assert report.writes > 0 and report.checks_run > 0
+    else:
+        assert report.writes == 0
 
 
 @st.composite

@@ -90,6 +90,17 @@ FIXTURES: Dict[str, RuleFixture] = {
         fire="def f(link):\n    link._delta_out = None\n",
         quiet="def f(link):\n    return link._delta_out\n",
     ),
+    "metric-naming": RuleFixture(
+        module="repro.service.server",
+        fire=(
+            "def f(metrics, site):\n"
+            "    metrics.counter('applies', site=site).inc()\n"
+        ),
+        quiet=(
+            "def f(metrics, site):\n"
+            "    metrics.counter('service_applies_total', site=site).inc()\n"
+        ),
+    ),
     "await-atomicity": RuleFixture(
         module="repro.service.example",
         fire=(

@@ -817,6 +817,7 @@ class TestRepositoryIsClean:
             "blocking-io",
             "wire-codec",
             "wire-delta-state",
+            "metric-naming",
             "await-atomicity",
         }
 

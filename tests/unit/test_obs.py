@@ -1,11 +1,20 @@
 """Unit tests for ``repro.obs``: registry, recorder, spans, JSONL, replay,
 timeline rendering, and the trace CLI."""
 
+import asyncio
 import json
 
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.obs.export import (
+    CONTENT_TYPE,
+    parse_exposition,
+    parse_metric_key,
+    prometheus_text,
+    serve_metrics,
+)
+from repro.obs.flight import FlightRecorder, TeeRecorder
 from repro.obs.jsonl import LoadedTrace, load_trace
 from repro.obs.recorder import (
     NullRecorder,
@@ -34,6 +43,10 @@ from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.latency import random_wan
 from repro.types import WriteId
 from repro.workload.generator import WorkloadConfig, generate
+
+
+def run(coro):
+    return asyncio.run(coro)
 
 
 # ----------------------------------------------------------------------
@@ -367,3 +380,241 @@ class TestTraceCli:
         assert main(["trace", str(path), "--update", wid]) == 0
         assert "buffered" in capsys.readouterr().out
         assert main(["trace", str(path), "--update", "s9#999"]) == 1
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_counts_dropped(self):
+        fr = FlightRecorder(capacity=4)
+        assert fr.enabled is True and fr.needs_reasons is False
+        for i in range(10):
+            fr.on_deliver(float(i), 0, WriteId(0, i + 1))
+        assert len(fr) == 4
+        assert fr.recorded == 10 and fr.dropped == 6
+        # only the newest history survives, oldest first
+        assert [r["t"] for r in fr.records()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_materialization_matches_trace_recorder(self):
+        # the hook surface is TraceRecorder record for record: the same
+        # lifecycle driven into both must materialize identically
+        trace = TraceRecorder()
+        flight = FlightRecorder()
+        wid = WriteId(0, 1)
+        for rec in (trace, flight):
+            rec.bind_clock(lambda: 42.0)
+            rec.on_issue(0.0, 0, "x", wid, (0, 1))
+            rec.on_send(0.0, 0, 1, wid)
+            rec.on_enqueue(0.0, 0, 1, wid, 5.0)
+            rec.on_hold(0.5, 0, 1, wid)
+            rec.on_drop(0.6, 0, 1, wid)
+            rec.on_deliver(5.0, 1, wid)
+            rec.on_buffered(5.0, 1, wid, ((2, 3),))
+            rec.on_wake(9.0, 1, 2, 3, [wid], [wid])
+            rec.on_apply(9.0, 1, "x", wid, 5.0)
+            rec.on_read(9.5, 1, "x", wid)
+            rec.on_prune(1, "condition1", "x", 2, {0: 1}, 1)
+        assert flight.records() == trace.records
+        assert json.loads(json.dumps(flight.records())) == flight.records()
+
+    def test_dump_is_a_loadable_trace(self, tmp_path):
+        fr = FlightRecorder(capacity=8, meta={"site": 3, "source": "flight"})
+        fr.bind_clock(lambda: 7.0)
+        wid = WriteId(3, 1)
+        fr.on_issue(0.0, 3, "x", wid, (3, 1))
+        fr.on_apply(1.0, 3, "x", wid, 0.0)
+        path = tmp_path / "flight.jsonl"
+        assert fr.dump(str(path), "chaos-kill-site") == str(path)
+        loaded = load_trace(path)
+        head = loaded.header["flight"]
+        assert head["reason"] == "chaos-kill-site"
+        assert head["capacity"] == 8
+        assert head["recorded"] == 2 and head["dropped"] == 0
+        assert head["dumped_at_ms"] == 7.0
+        assert [r["k"] for r in loaded.records] == ["issue", "apply"]
+        # every existing consumer renders a dump unchanged
+        report = render_report(loaded)
+        assert "apply=1" in report and "1 updates" in report
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_dump_is_repeatable(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        wid = WriteId(0, 1)
+        fr.on_deliver(1.0, 0, wid)
+        first = tmp_path / "one.jsonl"
+        fr.dump(str(first), "sanitizer-violation")
+        fr.on_deliver(2.0, 0, WriteId(0, 2))
+        second = tmp_path / "two.jsonl"
+        fr.dump(str(second), "handler-error")
+        assert len(load_trace(first)) == 1
+        assert len(load_trace(second)) == 2
+        assert load_trace(second).header["flight"]["reason"] == "handler-error"
+
+
+class TestTeeRecorder:
+    def test_drops_disabled_members_at_construction(self):
+        tee = TeeRecorder(NullRecorder(), None)
+        assert tee.enabled is False and tee.recorders == ()
+
+    def test_fans_hooks_to_every_member(self):
+        trace = TraceRecorder()
+        flight = FlightRecorder()
+        tee = TeeRecorder(trace, flight)
+        assert tee.enabled is True
+        # reasons propagate: the trace recorder wants them
+        assert tee.needs_reasons is True
+        wid = WriteId(0, 1)
+        tee.on_issue(0.0, 0, "x", wid, (1,))
+        tee.on_apply(1.0, 1, "x", wid, 0.0)
+        assert len(trace.records) == 2 and len(flight) == 2
+        assert flight.records() == trace.records
+
+    def test_flight_only_tee_needs_no_reasons(self):
+        tee = TeeRecorder(NullRecorder(), FlightRecorder())
+        assert tee.enabled is True and tee.needs_reasons is False
+        assert len(tee.recorders) == 1
+
+    def test_bind_clock_reaches_members(self):
+        flight = FlightRecorder()
+        tee = TeeRecorder(flight)
+        tee.bind_clock(lambda: 9.0)
+        tee.on_prune(0, "condition2", "x", 1, {0: 1}, 0)
+        (prune,) = flight.records()
+        assert prune["t"] == 9.0
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("service_applies_total", site=0).inc(3)
+        reg.counter("service_applies_total", site=1).inc(5)
+        reg.gauge("parked_updates_count", site=0).set(2)
+        h = reg.histogram("visibility_latency_ms", bounds=(1.0, 10.0), site=1, origin=0)
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        return reg
+
+    def test_parse_metric_key_inverts_canonical_keys(self):
+        assert parse_metric_key("m") == ("m", {})
+        assert parse_metric_key("m{a=1,b=x}") == ("m", {"a": "1", "b": "x"})
+
+    def test_counters_and_gauges_export_with_type_lines(self):
+        text = prometheus_text(self._registry().snapshot())
+        lines = text.splitlines()
+        assert "# TYPE service_applies_total counter" in lines
+        assert 'service_applies_total{site="0"} 3' in lines
+        assert 'service_applies_total{site="1"} 5' in lines
+        assert "# TYPE parked_updates_count gauge" in lines
+        assert 'parked_updates_count{site="0"} 2.0' in lines
+        # one TYPE line per metric name, not per labelled series
+        assert sum(1 for l in lines if l.startswith("# TYPE service_applies_total")) == 1
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(self._registry().snapshot())
+        lines = text.splitlines()
+        # per-bucket counts 1,1 + overflow 1 -> cumulative 1,2 and +Inf=3
+        assert 'visibility_latency_ms_bucket{origin="0",site="1",le="1"} 1' in lines
+        assert 'visibility_latency_ms_bucket{origin="0",site="1",le="10"} 2' in lines
+        assert 'visibility_latency_ms_bucket{origin="0",site="1",le="+Inf"} 3' in lines
+        assert 'visibility_latency_ms_sum{origin="0",site="1"} 55.5' in lines
+        assert 'visibility_latency_ms_count{origin="0",site="1"} 3' in lines
+
+    def test_exposition_round_trips_through_the_parser(self):
+        text = prometheus_text(self._registry().snapshot())
+        samples = parse_exposition(text)
+        assert samples['service_applies_total{site="0"}'] == 3.0
+        assert samples['visibility_latency_ms_count{origin="0",site="1"}'] == 3.0
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not exposition text\n")
+        with pytest.raises(ValueError):
+            parse_exposition("# BOGUS comment shape here\n")
+        with pytest.raises(ValueError):
+            parse_exposition("metric_name{a=b} not-a-number\n")
+
+    def test_serve_metrics_answers_a_raw_http_get(self):
+        async def main():
+            reg = MetricsRegistry()
+            reg.counter("scrapes_total").inc()
+            refreshed = []
+            server = await serve_metrics(
+                reg, port=0, refresh=lambda: refreshed.append(1)
+            )
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return raw.decode(), refreshed
+
+        raw, refreshed = run(main())
+        head, _, body = raw.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.1 200 OK")
+        assert CONTENT_TYPE in head
+        # the refresh hook ran before the snapshot was rendered
+        assert refreshed == [1]
+        assert parse_exposition(body)["scrapes_total"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# registry snapshots across service epochs
+# ----------------------------------------------------------------------
+class TestRegistryEpochs:
+    def test_snapshots_are_deterministically_sorted(self):
+        reg = MetricsRegistry()
+        # insert in non-sorted order: the snapshot must not leak it
+        reg.counter("b_total", site=2).inc()
+        reg.counter("a_total", site=1).inc()
+        reg.counter("a_total", site=0).inc()
+        reg.gauge("z_count").set(1)
+        reg.gauge("m_count").set(2)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert list(snap["gauges"]) == sorted(snap["gauges"])
+        # same series re-registered in any order: identical snapshot
+        other = MetricsRegistry()
+        other.counter("a_total", site=0).inc()
+        other.gauge("m_count").set(2)
+        other.counter("a_total", site=1).inc()
+        other.gauge("z_count").set(1)
+        other.counter("b_total", site=2).inc()
+        assert other.snapshot() == snap
+
+    def test_absorb_merges_across_epochs(self):
+        # a site restart starts a new registry epoch; absorbing each
+        # epoch's final snapshot must accumulate counters and histograms
+        # without double-counting gauges (last write wins)
+        epochs = []
+        for epoch in (1, 2):
+            reg = MetricsRegistry()
+            reg.counter("service_applies_total", site=0).inc(10 * epoch)
+            reg.gauge("parked_updates_count", site=0).set(epoch)
+            reg.histogram(
+                "visibility_latency_ms", bounds=(1.0, 10.0), site=0
+            ).observe(float(epoch))
+            epochs.append(reg.snapshot())
+        total = MetricsRegistry()
+        for snap in epochs:
+            total.absorb(snap)
+        out = total.snapshot()
+        assert out["counters"]["service_applies_total{site=0}"] == 30
+        assert out["gauges"]["parked_updates_count{site=0}"] == 2
+        hist = out["histograms"]["visibility_latency_ms{site=0}"]
+        assert hist["count"] == 2 and hist["total"] == 3.0
+        # merged() over the same snapshots agrees
+        merged = MetricsRegistry.merged(epochs).snapshot()
+        assert merged["counters"] == out["counters"]
+        assert merged["histograms"] == out["histograms"]
