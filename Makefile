@@ -75,12 +75,16 @@ bench-fast:
 	$(PYTHON) -m repro.cli bench --out BENCH_hot_paths.json --fast
 
 # Regenerate BENCH_service.json (loopback + TCP ops/s and latency
-# percentiles under both wire profiles, plus the codec microbench) and
-# fail unless the WIRE_VERSION 3 binary profile beats the JSON baseline
-# by the codec-speedup floor on the reference loopback cell AND the
+# percentiles under both wire profiles, the codec microbench, and the
+# durability cell: WAL-on vs WAL-off paired runs plus the kill →
+# restart → reconverge recovery microbench) and fail unless the
+# WIRE_VERSION 3 binary profile beats the JSON baseline by the
+# codec-speedup floor on the reference loopback cell AND the
 # WIRE_VERSION 4 delta profile spends at most the bytes-ratio ceiling of
-# the binary profile's bytes/op on the metadata-bound cell.  Details in
+# the binary profile's bytes/op on the metadata-bound cell AND WAL-on
+# throughput stays above the durability floor of WAL-off.  Details in
 # docs/performance.md ("Service throughput", "Metadata on the wire")
+# and docs/durability.md
 service-bench:
 	$(PYTHON) -m repro.service.cli bench --ledger BENCH_service.json
 

@@ -16,6 +16,12 @@ the delta profile's bytes/op on the metadata cell stays under the
 bytes-ratio ceiling of the binary profile's — the guardrails keeping
 the fast wire measurably fast and the lean wire measurably lean.
 
+The durability cell rides in the same ledger: the reference
+loopback/binary config WAL-off and WAL-on in paired back-to-back
+attempts (the guardrail judges the best paired ratio against the
+WAL floor), plus the kill → restart → reconverge recovery microbench
+timed per gap.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--fast] [--out PATH]
@@ -38,6 +44,7 @@ import json
 
 from repro.service.bench import (
     BYTES_RATIO_CEILING,
+    DURABILITY_FLOOR,
     SPEEDUP_FLOOR,
     bench_service,
     write_report,
@@ -68,10 +75,29 @@ def test_service_bench_smoke():
         assert row["wire_bytes_per_op"] > 0
     assert meta["bytes_ratio"] > 0
     assert meta["config"]["workload"] == "a"
+    durability = report["durability_cell"]
+    for side in ("off", "on"):
+        row = durability[side]
+        assert row["ops"] > 0 and row["errors"] == 0, side
+        assert row["latency_ms"]["put"]["p50"] is not None
+        assert row["latency_ms"]["put"]["p99"] is not None
+    assert durability["on"]["wal"] == "on"
+    assert durability["pairs"] and all(
+        p["wal_ratio"] > 0 for p in durability["pairs"]
+    )
+    assert durability["wal_ratio"] == max(
+        p["wal_ratio"] for p in durability["pairs"]
+    )
+    for row in durability["recovery"]:
+        assert row["restart_ms"] > 0
+        assert row["converge_ms"] >= 0
+        assert row["replayed_records"] > 0
     rail = report["guardrail"]
     assert rail["speedup_floor"] == SPEEDUP_FLOOR
     assert rail["bytes_ratio_ceiling"] == BYTES_RATIO_CEILING
     assert rail["bytes_ratio"] == meta["bytes_ratio"]
+    assert rail["durability_floor"] == DURABILITY_FLOOR
+    assert rail["wal_ratio"] == durability["wal_ratio"]
     assert rail["transport"] == "loopback"
     # fast mode reports but does not enforce the rails; the full run
     # (make service-bench) is the enforcing gate

@@ -80,6 +80,22 @@ class AhamadProtocol(CausalProtocol):
         self.vector_clock.merge(msg.meta)
 
     # ------------------------------------------------------------------
+    # durability hooks (plain-data contract: CausalProtocol.state_snapshot)
+    # ------------------------------------------------------------------
+    def state_snapshot(self):
+        snap = super().state_snapshot()
+        snap["vc"] = [int(x) for x in self.vector_clock.v]
+        snap["ac"] = [int(x) for x in self.apply_counts]
+        return snap
+
+    def state_restore(self, snap) -> None:
+        super().state_restore(snap)
+        self.vector_clock = VectorClock(
+            self.n, np.array(snap["vc"], dtype=np.int64)
+        )
+        self.apply_counts = np.array(snap["ac"], dtype=np.int64)
+
+    # ------------------------------------------------------------------
     def meta_objects(self) -> Iterable[Any]:
         yield self.vector_clock
         yield self.apply_counts

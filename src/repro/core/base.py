@@ -373,6 +373,54 @@ class CausalProtocol(ABC):
         """
 
     # ------------------------------------------------------------------
+    # durability (snapshot / restore)
+    # ------------------------------------------------------------------
+    # The service layer's stable-timestamp snapshots (repro.service.
+    # durability) persist protocol state through these two hooks.  The
+    # encoding contract: a snapshot is built from plain dicts, lists,
+    # strings, ints, and the stored client values only — no numpy arrays,
+    # no protocol objects — because it is serialized by whatever codec the
+    # persistence layer chooses and ``core`` must not know about codecs
+    # (the import-layering rule: core never imports service).  Dict keys
+    # must be strings; integer-keyed maps are flattened to lists.
+    # Subclasses extend the base dict via ``super().state_snapshot()`` /
+    # ``super().state_restore(snap)``.
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Capture this site's full protocol state as plain data.
+
+        ``state_restore`` on a *freshly constructed* instance with the
+        same configuration must reproduce the captured state exactly (up
+        to internal caches that rebuild lazily).
+        """
+        return {
+            "values": {
+                var: [value, [wid.site, wid.seq] if wid is not None else None]
+                for var, (value, wid) in self._values.items()
+            },
+            "wseq": self._wseq,
+            "fseq": self._fetch_seq,
+            "conf": self.conflicts_detected,
+        }
+
+    def state_restore(self, snap: Mapping[str, Any]) -> None:
+        """Restore state captured by :meth:`state_snapshot`."""
+        for var, (value, wid) in snap["values"].items():
+            if var not in self._values:
+                raise ProtocolInvariantError(
+                    f"snapshot names variable {var!r} that site {self.site} "
+                    f"does not replicate (placement changed under the "
+                    f"snapshot?)"
+                )
+            self._values[var] = (
+                value,
+                WriteId(int(wid[0]), int(wid[1])) if wid is not None else None,
+            )
+        self._wseq = int(snap["wseq"])
+        self._fetch_seq = int(snap["fseq"])
+        self.conflicts_detected = int(snap["conf"])
+
+    # ------------------------------------------------------------------
     # introspection / accounting
     # ------------------------------------------------------------------
     @abstractmethod

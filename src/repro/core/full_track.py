@@ -262,6 +262,42 @@ class FullTrackProtocol(CausalProtocol):
         return bool(w.m[msg.sender, self.site] <= ceiling[msg.sender])
 
     # ------------------------------------------------------------------
+    # durability hooks (plain-data contract: CausalProtocol.state_snapshot)
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        snap = super().state_snapshot()
+        snap["wc"] = [int(x) for x in self.write_clock.m.ravel()]
+        snap["ac"] = [int(x) for x in self.apply_counts]
+        snap["lw"] = {
+            var: [int(x) for x in clock.m.ravel()]
+            for var, clock in self.last_write_on.items()
+        }
+        snap["ceil"] = {
+            var: [int(x) for x in col] for var, col in self._ceiling.items()
+        }
+        return snap
+
+    def state_restore(self, snap) -> None:
+        super().state_restore(snap)
+        n = self.n
+        self.write_clock = MatrixClock(
+            n, np.array(snap["wc"], dtype=np.int64).reshape(n, n)
+        )
+        self.apply_counts = np.array(snap["ac"], dtype=np.int64)
+        self.last_write_on = {
+            var: MatrixClock(
+                n, np.array(flat, dtype=np.int64).reshape(n, n)
+            )
+            for var, flat in snap["lw"].items()
+        }
+        self._ceiling = {
+            var: np.array(col, dtype=np.int64)
+            for var, col in snap["ceil"].items()
+        }
+        # _rep_idx is a pure cache over the placement map; write() rebuilds
+        # it lazily
+
+    # ------------------------------------------------------------------
     def meta_objects(self) -> Iterable[Any]:
         yield self.write_clock
         yield self.apply_counts

@@ -447,6 +447,63 @@ class OptTrackProtocol(CausalProtocol):
         return known
 
     # ------------------------------------------------------------------
+    # durability hooks (see CausalProtocol.state_snapshot for the
+    # plain-data encoding contract)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _log_flat(log: DepLog) -> list:
+        # flat sorted (sender, clock, dests_mask) triples — canonical and
+        # cheap for the wire codec's int-list fast path
+        return [
+            x
+            for (s, c), d in sorted(log.entries.items())
+            for x in (s, c, d)
+        ]
+
+    @staticmethod
+    def _log_unflat(flat: list) -> DepLog:
+        it = iter(flat)
+        return DepLog(
+            {(int(s), int(c)): int(d) for s, c, d in zip(it, it, it)}
+        )
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        snap = super().state_snapshot()
+        snap["ac"] = [int(c) for c in self.apply_clocks]
+        snap["log"] = self._log_flat(self.log)
+        snap["lw"] = {
+            var: self._log_flat(lw) for var, lw in self.last_write_on.items()
+        }
+        snap["ceil"] = {
+            var: [x for z, c in sorted(ceil.items()) for x in (z, c)]
+            for var, ceil in self._ceiling.items()
+        }
+        snap["known"] = (
+            [int(x) for x in self.known_applies.ravel()]
+            if self.known_applies is not None
+            else None
+        )
+        return snap
+
+    def state_restore(self, snap) -> None:
+        super().state_restore(snap)
+        self.apply_clocks = np.array(snap["ac"], dtype=np.int64)
+        self.log = self._log_unflat(snap["log"])
+        self.last_write_on = {
+            var: self._log_unflat(flat) for var, flat in snap["lw"].items()
+        }
+        self._ceiling = {}
+        for var, flat in snap["ceil"].items():
+            it = iter(flat)
+            self._ceiling[var] = {int(z): int(c) for z, c in zip(it, it)}
+        known = snap["known"]
+        self.known_applies = (
+            np.array(known, dtype=np.int64).reshape(self.n, self.n)
+            if known is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
     def meta_objects(self) -> Iterable[Any]:
         yield self.log
         yield self.apply_clocks

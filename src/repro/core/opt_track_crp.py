@@ -121,6 +121,27 @@ class OptTrackCrpProtocol(CausalProtocol):
         self.last_write_on[msg.var] = (msg.sender, meta.clock)  # line 13
 
     # ------------------------------------------------------------------
+    # durability hooks (plain-data contract: CausalProtocol.state_snapshot)
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        snap = super().state_snapshot()
+        snap["ac"] = [int(c) for c in self.apply_clocks]
+        snap["log"] = [x for z, c in sorted(self.log.items()) for x in (z, c)]
+        snap["lw"] = {
+            var: [int(s), int(c)] for var, (s, c) in self.last_write_on.items()
+        }
+        return snap
+
+    def state_restore(self, snap) -> None:
+        super().state_restore(snap)
+        self.apply_clocks = np.array(snap["ac"], dtype=np.int64)
+        it = iter(snap["log"])
+        self.log = {int(z): int(c) for z, c in zip(it, it)}
+        self.last_write_on = {
+            var: (int(s), int(c)) for var, (s, c) in snap["lw"].items()
+        }
+
+    # ------------------------------------------------------------------
     def meta_objects(self) -> Iterable[Any]:
         yield self.log
         yield self.apply_clocks

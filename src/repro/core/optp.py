@@ -103,6 +103,29 @@ class OptPProtocol(CausalProtocol):
         self.last_write_on[msg.var] = msg.meta
 
     # ------------------------------------------------------------------
+    # durability hooks (plain-data contract: CausalProtocol.state_snapshot)
+    # ------------------------------------------------------------------
+    def state_snapshot(self):
+        snap = super().state_snapshot()
+        snap["wc"] = [int(x) for x in self.write_clock.v]
+        snap["ac"] = [int(x) for x in self.apply_counts]
+        snap["lw"] = {
+            var: [int(x) for x in clock.v]
+            for var, clock in self.last_write_on.items()
+        }
+        return snap
+
+    def state_restore(self, snap) -> None:
+        super().state_restore(snap)
+        n = self.n
+        self.write_clock = VectorClock(n, np.array(snap["wc"], dtype=np.int64))
+        self.apply_counts = np.array(snap["ac"], dtype=np.int64)
+        self.last_write_on = {
+            var: VectorClock(n, np.array(flat, dtype=np.int64))
+            for var, flat in snap["lw"].items()
+        }
+
+    # ------------------------------------------------------------------
     def meta_objects(self) -> Iterable[Any]:
         yield self.write_clock
         yield self.apply_counts

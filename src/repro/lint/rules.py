@@ -620,6 +620,93 @@ class BlockingIoRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# durability seam discipline
+# ----------------------------------------------------------------------
+
+#: ``os`` entry points that create or force file state — only the
+#: durability seam may call them from service code
+_DURABILITY_OS_CALLS = {"open", "fsync", "fdatasync"}
+
+#: service modules allowed raw file I/O: the WAL/snapshot seam itself,
+#: and the bench ledger writer (operator-facing output, not site state)
+_DURABILITY_EXEMPT = {
+    "repro.service.durability",
+    "repro.service.bench",
+}
+
+
+class DurabilityIoRule(Rule):
+    """All file I/O in the service goes through the durability seam.
+
+    Crash safety is argued once, in :mod:`repro.service.durability`: its
+    write paths pair every mutation with the fsync/rename discipline the
+    recovery tests assume (torn-tail truncation, snapshot-then-unlink
+    commit order, directory fsync after rename).  A raw ``open`` or
+    ``os.fsync`` elsewhere in ``repro.service`` creates durable state
+    the recovery path does not know how to replay or repair — and a
+    *synchronous* ``open``/``fsync`` on the event loop stalls every
+    co-hosted site for the duration of the disk flush.  Flags, in any
+    service module other than the seam and the bench ledger writer:
+
+    * calls to the ``open`` builtin;
+    * ``io.open`` / ``os.open`` / ``os.fsync`` / ``os.fdatasync``
+      attribute uses (caught at the attribute, so aliasing
+      ``f = os.fsync`` is reported at the alias site).
+
+    Syntactic only: an aliased ``o = open; o(path)`` is not caught, and
+    ``pathlib``'s ``.open()``/``.write_bytes()`` methods are out of
+    scope.  Allowlist payload: the module name.
+    """
+
+    name = "durability-io"
+    summary = (
+        "raw open/os.fsync in repro.service — file I/O belongs to the "
+        "repro.service.durability seam"
+    )
+    scoped_prefixes = ("repro.service",)
+    exempt_modules = _DURABILITY_EXEMPT
+    module_allow = True
+
+    def scan(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self.scoped_prefixes):
+            return
+        if ctx.module in self.exempt_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+            ):
+                yield Finding(
+                    self.name,
+                    ctx.path,
+                    node.lineno,
+                    "raw open() in the service — durable state must be "
+                    "written through repro.service.durability, where the "
+                    "crash-recovery contract (CRC records, torn-tail "
+                    "truncation, snapshot commit order) is enforced and "
+                    "tested",
+                )
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id in ("os", "io") and node.attr in (
+                    _DURABILITY_OS_CALLS
+                ):
+                    yield Finding(
+                        self.name,
+                        ctx.path,
+                        node.lineno,
+                        f"{node.value.id}.{node.attr} in the service — "
+                        f"file I/O and flush discipline belong to the "
+                        f"repro.service.durability seam (and a synchronous "
+                        f"fsync on the event loop stalls every co-hosted "
+                        f"site)",
+                    )
+
+
+# ----------------------------------------------------------------------
 # wire codec discipline
 # ----------------------------------------------------------------------
 
@@ -1027,6 +1114,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BareExceptRule(),
     AdHocLoggingRule(),
     BlockingIoRule(),
+    DurabilityIoRule(),
     WireCodecRule(),
     WireDeltaStateRule(),
     MetricNamingRule(),

@@ -40,12 +40,27 @@ times for a representative ``repl`` frame and ack, plus the chained
 delta encoding of a representative consecutive-frame pair) rides
 along, tying the end-to-end numbers back to the paper's
 message-overhead argument.
+
+The **durability cell** prices the write-ahead log (docs/durability.md):
+the reference loopback/binary config run WAL-off and WAL-on in paired
+back-to-back attempts (same seed; pairing cancels machine drift that
+two independently-best cells would sample separately), judged on the
+best paired ratio by :data:`DURABILITY_FLOOR` — logging every
+transition may cost at most a quarter of the throughput.  The receive
+path logs raw wire bytes (:meth:`SiteWal.append_raw`), which is what
+keeps the ratio comfortably above the floor.  A recovery microbench
+rides along: kill a
+site, let it fall ``gap`` writes behind, and time the restart
+(constructor-time WAL replay) and reconvergence separately, so the
+ledger documents that catch-up cost scales with the gap, not the
+history.
 """
 
 from __future__ import annotations
 
 import asyncio
 import gc
+import tempfile
 import time
 from typing import Any, Dict, List, Optional
 
@@ -67,6 +82,17 @@ SPEEDUP_FLOOR = 1.25
 #: cell the delta profile's bytes/op must be at most this fraction of
 #: the binary (v3) profile's
 BYTES_RATIO_CEILING = 0.60
+
+#: the CI guardrail for the durability subsystem: WAL-on ops/s must be
+#: at least this fraction of the WAL-off reference loopback cell —
+#: appends are write+flush on the hot path (fsync is batched off-loop),
+#: so logging every transition may cost at most a quarter of the
+#: throughput
+DURABILITY_FLOOR = 0.75
+
+#: revived-site gaps (writes issued while the site was dead) the
+#: recovery microbench times; fast mode uses the first two
+RECOVERY_GAPS = (0, 50, 200)
 
 #: the reference run every ledger row shares: full replication over four
 #: sites (each write fans out to three peer links — the wire path is a
@@ -148,6 +174,14 @@ async def bench_cell(
     for attempt in range(max(1, repeats)):
         metrics = MetricsRegistry()
         kwargs: Dict[str, Any] = {}
+        state_dir: Optional[tempfile.TemporaryDirectory] = None
+        if cfg.get("durable"):
+            # the WAL-on variant: a throwaway data dir per attempt, the
+            # default group-fsync policy, no snapshot/gossip tasks — the
+            # cell prices the append path alone
+            state_dir = tempfile.TemporaryDirectory(prefix="repro-bench-wal-")
+            kwargs["data_dir"] = state_dir.name
+            kwargs["fsync"] = cfg.get("fsync", "group")
         if transport == "tcp":
             kwargs["transport"] = TcpTransport(metrics=metrics)
             kwargs["addresses"] = await _free_tcp_addresses(cfg["sites"])
@@ -189,9 +223,13 @@ async def bench_cell(
             finally:
                 gc.enable()
             await cluster.quiesce()
+        if state_dir is not None:
+            state_dir.cleanup()
         row = report.as_dict()
         row["transport"] = transport
         row["codec"] = codec
+        if cfg.get("durable"):
+            row["wal"] = "on"
         # transport-level byte totals over the whole run including the
         # quiesce tail, so replication traffic is fully accounted
         counters = metrics.snapshot()["counters"]
@@ -305,6 +343,74 @@ def bench_codecs(iterations: int = 20000) -> Dict[str, Any]:
     return out
 
 
+async def bench_recovery(
+    gaps=RECOVERY_GAPS, preload: int = 40
+) -> List[Dict[str, Any]]:
+    """Time kill → restart → reconverge against the revived site's gap.
+
+    One durable 3-site loopback cluster per gap: ``preload`` writes land
+    everywhere, the victim is killed, ``gap`` more writes are issued
+    while it is dead, and the restart is timed in two parts — the
+    synchronous constructor recovery (snapshot + WAL-suffix replay,
+    covering the preload) and the reconvergence tail (link redelivery +
+    gossip closing the gap).  All writes go to one site-0/victim shared
+    variable from one site-0 session, so convergence is exactly "the
+    victim's site-0 watermark reaches preload + gap".
+    """
+    rows: List[Dict[str, Any]] = []
+    loop = asyncio.get_running_loop()
+    for gap in gaps:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-rec-") as root:
+            async with ServiceCluster(
+                3, 6, "opt-track", replication_factor=2, seed=23,
+                codec="binary", data_dir=root, gossip_interval=0.05,
+            ) as cluster:
+                victim = cluster.n - 1
+                var = next(
+                    v for v in cluster.variables
+                    if 0 in cluster.placement[v]
+                    and victim in cluster.placement[v]
+                )
+                client = cluster.client(0)
+                for i in range(preload):
+                    await client.put(var, f"pre-{i}")
+                await cluster.quiesce()
+                cluster.kill_site(victim)
+                for i in range(gap):
+                    await client.put(var, f"gap-{i}")
+                await client.close()
+                await cluster.quiesce()
+                t0 = loop.time()
+                revived = await cluster.restart_site(victim)
+                t_restarted = loop.time()
+                target = preload + gap
+                deadline = t_restarted + 30.0
+                while (
+                    revived._origin_applied.get(0, 0) < target
+                    and loop.time() < deadline
+                ):
+                    await asyncio.sleep(0.002)
+                t_converged = loop.time()
+                converged = revived._origin_applied.get(0, 0) >= target
+                await cluster.quiesce(timeout=10.0)
+            if not converged:
+                raise RuntimeError(
+                    f"recovery bench: revived site never converged at "
+                    f"gap={gap} (watermark "
+                    f"{revived._origin_applied.get(0, 0)}/{target})"
+                )
+            rows.append(
+                {
+                    "gap": gap,
+                    "preload": preload,
+                    "replayed_records": revived.wal_replayed,
+                    "restart_ms": (t_restarted - t0) * 1e3,
+                    "converge_ms": (t_converged - t_restarted) * 1e3,
+                }
+            )
+    return rows
+
+
 async def _run_matrix(
     fast: bool, config: Optional[Dict[str, Any]]
 ) -> Dict[str, Any]:
@@ -343,6 +449,44 @@ async def _run_matrix(
     )
     metadata["bytes_ratio"] = bytes_ratio
     speedup = cells["loopback"]["speedup"]
+    # the durability cell: the loopback/binary reference config re-run
+    # WAL-off and WAL-on in *paired* attempts — off then on back to
+    # back, same seed — judged on the best paired ratio.  Pairing is
+    # the variance control: throughput on a shared machine drifts more
+    # than the WAL costs, and two independently-best cells sample
+    # different moments; adjacent runs sample the same one, so their
+    # ratio isolates the WAL's own cost.
+    pairs: List[Dict[str, Any]] = []
+    best_pair = None
+    for attempt in range(repeats):
+        pair_cfg = dict(cfg)
+        pair_cfg["seed"] = cfg["seed"] + 101 * attempt
+        off = await bench_cell("loopback", "binary", config=pair_cfg, repeats=1)
+        on = await bench_cell(
+            "loopback", "binary",
+            config={**pair_cfg, "durable": True}, repeats=1,
+        )
+        ratio = on["ops_per_s"] / off["ops_per_s"]
+        pairs.append(
+            {
+                "off_ops_per_s": off["ops_per_s"],
+                "on_ops_per_s": on["ops_per_s"],
+                "wal_ratio": ratio,
+            }
+        )
+        if best_pair is None or ratio > best_pair[0]:
+            best_pair = (ratio, off, on)
+    wal_ratio = best_pair[0]
+    durability: Dict[str, Any] = {
+        "off": best_pair[1],
+        "on": best_pair[2],
+        "pairs": pairs,
+        "wal_ratio": wal_ratio,
+        "recovery": await bench_recovery(
+            gaps=RECOVERY_GAPS[:2] if fast else RECOVERY_GAPS,
+            preload=10 if fast else 40,
+        ),
+    }
     return {
         "config": cfg,
         "repeats": repeats,
@@ -353,6 +497,7 @@ async def _run_matrix(
         },
         "cells": cells,
         "metadata_cell": metadata,
+        "durability_cell": durability,
         "codec_micro": bench_codecs(iterations=2000 if fast else 20000),
         "guardrail": {
             "transport": "loopback",
@@ -360,13 +505,19 @@ async def _run_matrix(
             "speedup": speedup,
             "bytes_ratio_ceiling": BYTES_RATIO_CEILING,
             "bytes_ratio": bytes_ratio,
+            "durability_floor": DURABILITY_FLOOR,
+            "wal_ratio": wal_ratio,
             # fast mode shrinks the run below the point where batches
             # form, so it exercises the machinery without judging the
             # throughput rail; the bytes rail is deterministic enough
             # to hold in fast mode too, but is judged only on full runs
             "enforced": not fast,
             "ok": fast
-            or (speedup >= SPEEDUP_FLOOR and bytes_ratio <= BYTES_RATIO_CEILING),
+            or (
+                speedup >= SPEEDUP_FLOOR
+                and bytes_ratio <= BYTES_RATIO_CEILING
+                and wal_ratio >= DURABILITY_FLOOR
+            ),
         },
     }
 
@@ -406,8 +557,14 @@ def write_report(
                 f"profile's bytes/op on the metadata-bound cell (ceiling "
                 f"{rail['bytes_ratio_ceiling']:.2f}x)"
             )
+        if rail["wal_ratio"] < rail["durability_floor"]:
+            problems.append(
+                f"the WAL costs too much: durable ops/s is only "
+                f"{rail['wal_ratio']:.2f}x the memory-only cell (floor "
+                f"{rail['durability_floor']:.2f}x)"
+            )
         raise RuntimeError(
-            "wire profile guardrail failed: " + "; ".join(problems)
+            "service bench guardrail failed: " + "; ".join(problems)
         )
     return report
 
@@ -415,10 +572,13 @@ def write_report(
 __all__ = [
     "SPEEDUP_FLOOR",
     "BYTES_RATIO_CEILING",
+    "DURABILITY_FLOOR",
+    "RECOVERY_GAPS",
     "REFERENCE",
     "METADATA_BOUND",
     "bench_cell",
     "bench_codecs",
+    "bench_recovery",
     "bench_service",
     "write_report",
 ]

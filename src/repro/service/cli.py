@@ -13,9 +13,14 @@ Subcommands::
     bench            closed-loop YCSB load against a loopback cluster,
                      reporting throughput and latency percentiles
     chaos-kill-site  send the chaos kill frame to one TCP site
-    smoke            the CI gate: 3-site loopback cluster per protocol,
-                     sanitizer on, one site killed mid-run — asserts zero
-                     causal violations and zero surfaced request errors
+    recover          offline report of a site's durable state — what a
+                     restart from ``--data-dir`` would replay
+    smoke            the CI gate: durable 3-site loopback cluster per
+                     protocol, sanitizer on, one site killed mid-run,
+                     restarted from its WAL, reconverged via gossip —
+                     asserts zero causal violations, zero surfaced
+                     request errors, and a fresh read of a post-crash
+                     write at the revived site
     stats-smoke      the observability CI gate: in-process TCP cluster,
                      Prometheus scrape parsed strictly, ``top``-style
                      snapshot asserting zero lag after quiesce, then a
@@ -42,6 +47,7 @@ from repro.errors import ServiceUnavailableError, WireError
 from repro.obs.export import parse_metric_key
 from repro.obs.registry import MetricsRegistry
 from repro.service.client import KVClient
+from repro.service.durability import FSYNC_MODES, SiteWal, WalCorruptionError
 from repro.service.harness import ServiceCluster
 from repro.service.loadgen import LoadGenerator
 from repro.service.server import SiteServer
@@ -101,6 +107,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="where the flight recorder dumps crash post-mortems "
         "('' disables dumps; the in-memory ring stays on)",
     )
+    srv.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable site state (WAL + stable-timestamp snapshots); "
+        "re-serving from the same DIR recovers and rejoins under a "
+        "bumped incarnation epoch (see docs/durability.md)",
+    )
+    srv.add_argument(
+        "--fsync",
+        default="group",
+        choices=FSYNC_MODES,
+        help="WAL fsync policy with --data-dir: 'group' batches fsyncs "
+        "off the event loop, 'none' skips them (in-process kills still "
+        "lose nothing; only power loss does)",
+    )
+    srv.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="with --data-dir: period between stable-timestamp "
+        "snapshots, each retiring the WAL prefix it covers",
+    )
+    srv.add_argument(
+        "--gossip-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="enable gossip anti-entropy: period between watermark "
+        "digests to a (rotating) peer",
+    )
 
     for name, help_text in (("put", "write VAR VALUE"), ("get", "read VAR")):
         p = sub.add_parser(name, help=help_text)
@@ -116,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
     kill = sub.add_parser("chaos-kill-site", help="crash one TCP site")
     _add_cluster_map(kill)
     kill.add_argument("--target", type=int, required=True)
+
+    rec = sub.add_parser(
+        "recover",
+        help="inspect a site's durable state offline (no incarnation bump)",
+    )
+    rec.add_argument(
+        "--data-dir", required=True, metavar="DIR", help="the site's WAL dir"
+    )
+    rec.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
 
     top = sub.add_parser(
         "top", help="live cluster dashboard over sys.stats frames"
@@ -223,8 +272,17 @@ async def _serve(args: argparse.Namespace) -> int:
         TcpTransport(),
         metrics=MetricsRegistry(),
         flight_dir=args.flight_dir or None,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_interval=args.snapshot_interval,
+        gossip_interval=args.gossip_interval,
     )
     await server.start()
+    if args.data_dir is not None:
+        print(
+            f"site {args.me} durable at {args.data_dir} "
+            f"(incarnation {server.epoch}, fsync={args.fsync})"
+        )
     print(f"site {args.me} ({args.protocol}) serving at {addresses[args.me]}")
     metrics_server = None
     if args.metrics_port is not None:
@@ -274,6 +332,87 @@ async def _chaos_kill(args: argparse.Namespace) -> int:
         await client.close()
     print(f"site {args.target}: {'killed' if ok else 'unreachable'}")
     return 0 if ok else 1
+
+
+async def _recover(args: argparse.Namespace) -> int:
+    """Offline report of what a restart from ``--data-dir`` would do.
+
+    Read-only (``SiteWal.inspect``): no incarnation bump, no truncation
+    — safe to run against a live site's directory, though the tail it
+    reports is then already stale.
+    """
+    import os
+
+    if not os.path.isdir(args.data_dir):
+        print(f"recover: no data directory at {args.data_dir}")
+        return 1
+    try:
+        info = await asyncio.to_thread(SiteWal.inspect, args.data_dir)
+    except WalCorruptionError as exc:
+        print(f"recover: CORRUPT — {exc}")
+        return 2
+    snapshot = info["snapshot"]
+    kinds: Dict[str, int] = {}
+    for frame in info["records"]:
+        kinds[frame["t"]] = kinds.get(frame["t"], 0) + 1
+    origin: Dict[str, int] = {}
+    if snapshot is not None:
+        it = iter(snapshot.get("origin") or ())
+        origin = {str(int(o)): int(wm) for o, wm in zip(it, it)}
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "data_dir": args.data_dir,
+                    "incarnation": info["incarnation"],
+                    "next_incarnation": info["incarnation"] + 1,
+                    "snapshot": None
+                    if snapshot is None
+                    else {
+                        "site": int(snapshot["site"]),
+                        "incarnation": int(snapshot["inc"]),
+                        "applies": int(snapshot["applies"]),
+                        "covered_segment": info["covered_segment"],
+                        "parked": len(snapshot.get("parked") or ()),
+                        "own_log": len(snapshot.get("own") or ()),
+                        "origin_watermarks": origin,
+                    },
+                    "segments": info["segments"],
+                    "replay_records": len(info["records"]),
+                    "replay_by_kind": kinds,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"data dir     {args.data_dir}")
+    print(
+        f"incarnation  {info['incarnation']} "
+        f"(a restart would run as {info['incarnation'] + 1})"
+    )
+    if snapshot is None:
+        print("snapshot     none (cold log: full WAL replay)")
+    else:
+        print(
+            f"snapshot     site {int(snapshot['site'])}, incarnation "
+            f"{int(snapshot['inc'])}, {int(snapshot['applies'])} applies, "
+            f"{len(snapshot.get('parked') or ())} parked, covers segments "
+            f"<= {info['covered_segment']:06d}"
+        )
+        if origin:
+            marks = ", ".join(
+                f"s{o}:{wm}"
+                for o, wm in sorted(origin.items(), key=lambda kv: int(kv[0]))
+            )
+            print(f"watermarks   {marks}")
+    print(f"segments     {', '.join(info['segments']) or 'none'}")
+    if kinds:
+        by_kind = ", ".join(f"{k} x{v}" for k, v in sorted(kinds.items()))
+        print(f"replay       {len(info['records'])} record(s): {by_kind}")
+    else:
+        print("replay       0 records")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -485,20 +624,33 @@ async def _bench(args: argparse.Namespace) -> int:
             f"   delta {meta['delta']['wire_bytes_per_op']:8.0f} B/op"
             f"   ratio {meta['bytes_ratio']:.2f}x"
         )
+        dur = report["durability_cell"]
+        worst_recovery = max(dur["recovery"], key=lambda r: r["gap"])
+        print(
+            f"  durability  wal-off {dur['off']['ops_per_s']:8.0f} ops/s"
+            f"   wal-on {dur['on']['ops_per_s']:8.0f} ops/s"
+            f"   ratio {dur['wal_ratio']:.2f}x"
+            f"   recovery(gap={worst_recovery['gap']})"
+            f" {worst_recovery['restart_ms']:.1f}ms restart"
+            f" + {worst_recovery['converge_ms']:.1f}ms converge"
+        )
         if rail["enforced"]:
             print(
                 f"ledger {args.ledger}: binary {rail['speedup']:.2f}x >= "
                 f"{rail['speedup_floor']:.2f}x floor on {rail['transport']}; "
                 f"delta bytes/op {rail['bytes_ratio']:.2f}x <= "
                 f"{rail['bytes_ratio_ceiling']:.2f}x ceiling on the "
-                f"metadata cell"
+                f"metadata cell; WAL {rail['wal_ratio']:.2f}x >= "
+                f"{rail['durability_floor']:.2f}x floor"
             )
         else:
             print(
                 f"ledger {args.ledger}: binary {rail['speedup']:.2f}x on "
-                f"{rail['transport']}, delta bytes/op {rail['bytes_ratio']:.2f}x "
+                f"{rail['transport']}, delta bytes/op {rail['bytes_ratio']:.2f}x, "
+                f"WAL {rail['wal_ratio']:.2f}x "
                 f"(fast run — {rail['speedup_floor']:.2f}x floor / "
-                f"{rail['bytes_ratio_ceiling']:.2f}x ceiling not enforced)"
+                f"{rail['bytes_ratio_ceiling']:.2f}x ceiling / "
+                f"{rail['durability_floor']:.2f}x WAL floor not enforced)"
             )
         return 0
     metrics = MetricsRegistry()
@@ -544,56 +696,127 @@ async def _bench(args: argparse.Namespace) -> int:
 
 
 async def _smoke(args: argparse.Namespace) -> int:
-    """The CI gate (see module docstring and docs/service.md)."""
+    """The CI gate (see module docstring and docs/service.md).
+
+    Each protocol runs the full durability cycle: a *durable* loopback
+    cluster under load, one site chaos-killed mid-run (flight
+    post-mortem dumped), a post-crash write issued at a survivor, then
+    the victim restarted in place from its data directory.  The restart
+    must recover from snapshot + WAL suffix, rejoin under a bumped
+    incarnation epoch, reconverge (peer-link redelivery + gossip
+    anti-entropy), and serve a causally-consistent read of the
+    post-crash write — with the sanitizer shadowing every site
+    throughout, the restarted incarnation included.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.jsonl import load_trace
+    from repro.obs.timeline import render_report
+
     failures = 0
     for protocol in args.protocols:
         metrics = MetricsRegistry()
-        async with ServiceCluster(
-            args.sites,
-            args.sites * 2,
-            protocol,
-            # partial replication where the protocol supports it (the
-            # harness widens to full for full-replication-only protocols)
-            replication_factor=2,
-            sanitize=True,
-            metrics=metrics,
-            seed=args.seed,
-        ) as cluster:
-            gen = LoadGenerator(
-                cluster,
-                workload="a",
-                ops_per_site=args.ops_per_site,
-                seed=args.seed,
+        with tempfile.TemporaryDirectory() as state_dir:
+            flight_dir = os.path.join(state_dir, "flight")
+            async with ServiceCluster(
+                args.sites,
+                args.sites * 2,
+                protocol,
+                # partial replication where the protocol supports it (the
+                # harness widens to full for full-replication-only ones)
+                replication_factor=2,
+                sanitize=True,
                 metrics=metrics,
+                seed=args.seed,
+                flight_dir=flight_dir,
+                data_dir=os.path.join(state_dir, "data"),
+                snapshot_interval=0.25,
+                gossip_interval=0.05,
+            ) as cluster:
+                gen = LoadGenerator(
+                    cluster,
+                    workload="a",
+                    ops_per_site=args.ops_per_site,
+                    seed=args.seed,
+                    metrics=metrics,
+                )
+                run = asyncio.ensure_future(gen.run())
+                # kill the highest site once a third of the load is
+                # through; clients homed there must fail over without
+                # surfacing errors
+                while gen.completed < gen.total_ops // 3 and not run.done():
+                    await asyncio.sleep(0.001)
+                victim = args.sites - 1
+                cluster.kill_site(victim)
+                report = await run
+                try:
+                    await cluster.quiesce()
+                except TimeoutError:
+                    print(f"  {protocol}: survivors failed to quiesce")
+                    failures += 1
+                # a write the dead site has never seen, against a
+                # variable it replicates; the survivors have settled, so
+                # every earlier write to it is in this write's causal
+                # past and the restarted victim must converge to ours
+                probe_var = next(
+                    v
+                    for v in cluster.variables
+                    if victim in cluster.placement[v]
+                    and 0 in cluster.placement[v]
+                )
+                probe = cluster.client(0)
+                await probe.put(probe_var, "post-crash")
+                await probe.close()
+                revived = await cluster.restart_site(victim)
+                try:
+                    await cluster.quiesce(timeout=10.0)
+                except TimeoutError:
+                    print(f"  {protocol}: cluster failed to reconverge")
+                    failures += 1
+                reader = cluster.client(victim)
+                value, _, served_by = await reader.get(probe_var)
+                await reader.close()
+                if value != "post-crash":
+                    print(
+                        f"  {protocol}: stale read after recovery — "
+                        f"{probe_var} = {value!r} from s{served_by}"
+                    )
+                    failures += 1
+                checks = (
+                    cluster.sanitizer.checks_run
+                    if cluster.sanitizer is not None
+                    else 0
+                )
+            # the chaos kill must have left a flight post-mortem that
+            # renders through the ``repro-sim trace`` pipeline
+            artifact = os.path.join(
+                flight_dir, f"site-{victim}-chaos-kill-site.jsonl"
             )
-            run = asyncio.ensure_future(gen.run())
-            # kill the highest site once a third of the load is through;
-            # clients homed there must fail over without surfacing errors
-            while gen.completed < gen.total_ops // 3 and not run.done():
-                await asyncio.sleep(0.001)
-            victim = args.sites - 1
-            cluster.kill_site(victim)
-            report = await run
-            try:
-                await cluster.quiesce()
-            except TimeoutError:
-                print(f"  {protocol}: survivors failed to quiesce")
+            if not os.path.exists(artifact):
+                print(f"  {protocol}: no flight artifact at {artifact}")
                 failures += 1
-            checks = (
-                cluster.sanitizer.checks_run if cluster.sanitizer is not None else 0
-            )
+            else:
+                trace = load_trace(artifact)
+                if not trace.records or not render_report(trace):
+                    print(f"  {protocol}: flight artifact unrenderable")
+                    failures += 1
         status = "ok" if report.errors == 0 else "FAIL"
         if report.errors:
             failures += 1
         print(
             f"  {protocol:<14} {status}  {report.ops} ops, "
             f"{report.errors} errors, {report.failovers} failovers, "
-            f"{checks} sanitizer checks, killed s{victim}"
+            f"{checks} sanitizer checks, killed s{victim}, revived as "
+            f"incarnation {revived.epoch}"
         )
     if failures:
         print(f"smoke: {failures} failure(s)")
         return 1
-    print("smoke: all protocols clean (zero violations, zero request errors)")
+    print(
+        "smoke: all protocols clean (zero violations, zero request "
+        "errors, kill -> recover -> reconverge)"
+    )
     return 0
 
 
@@ -757,6 +980,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "get": _one_shot,
         "top": _top,
         "chaos-kill-site": _chaos_kill,
+        "recover": _recover,
         "bench": _bench,
         "smoke": _smoke,
         "stats-smoke": _stats_smoke,

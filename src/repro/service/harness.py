@@ -15,11 +15,20 @@ way a crash would — listener gone, every established connection dropped,
 in-flight frames lost) and :meth:`quiesce`, which waits for replication
 to settle (all peer-link queues drained and parked updates applied at
 the surviving sites) so tests can assert convergence without sleeps.
+
+With a ``data_dir`` the cluster becomes durable: every site gets its own
+``site-N`` subdirectory (WAL + snapshots, see
+:mod:`repro.service.durability`), and :meth:`restart_site` brings a
+killed site back *in place* — a fresh :class:`SiteServer` over the same
+data directory recovers from its snapshot + WAL suffix, rejoins under a
+bumped incarnation epoch, and catches up on whatever it missed through
+gossip anti-entropy (``gossip_interval``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Any, Dict, List, Optional
 
 from repro.core.base import ProtocolConfig, protocol_class
@@ -55,6 +64,10 @@ class ServiceCluster:
         codec: str = "delta",
         server_cls: Optional[type] = None,
         flight_dir: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        fsync: str = "group",
+        gossip_interval: Optional[float] = None,
+        snapshot_interval: Optional[float] = None,
     ) -> None:
         self.n = n_sites
         self.seed = seed
@@ -95,42 +108,68 @@ class ServiceCluster:
         #: only).  Passed through only when set, so substituted server
         #: classes with narrower signatures keep working.
         self.flight_dir = flight_dir
-        extra_kwargs: Dict[str, Any] = {}
-        if flight_dir is not None:
-            extra_kwargs["flight_dir"] = flight_dir
+        #: durability root: each site persists under ``<data_dir>/site-N``
+        #: (None = memory-only cluster, exactly the pre-durability shape)
+        self.data_dir = data_dir
+        self.fsync = fsync
+        self.gossip_interval = gossip_interval
+        self.snapshot_interval = snapshot_interval
+        # remembered so restart_site can rebuild a site from scratch
+        self._protocol_cls = cls
+        self._protocol_kwargs = kwargs
+        self._strict_remote_reads = strict_remote_reads
+        self.read_timeout = read_timeout
+        self._t0: Optional[float] = None
         self.servers: List[SiteServer] = []
         for site in range(n_sites):
-            proto = cls(
-                ProtocolConfig(
-                    n=n_sites,
-                    site=site,
-                    replicas_of=placement,
-                    strict_remote_reads=strict_remote_reads,
-                ),
-                **kwargs,
-            )
-            if recorder is not None:
-                proto.obs = recorder
-            self.servers.append(
-                self.server_cls(
-                    proto,
-                    self.addresses,
-                    self.transport,
-                    sanitizer=self.sanitizer,
-                    recorder=recorder,
-                    metrics=metrics,
-                    read_timeout=read_timeout,
-                    seed=seed + site,
-                    codec=codec,
-                    **extra_kwargs,
-                )
-            )
+            self.servers.append(self._make_server(site))
         self._started = False
+
+    def _make_server(self, site: SiteId) -> SiteServer:
+        """Build one site's server (used at construction and by
+        :meth:`restart_site`).  Optional features travel as kwargs only
+        when enabled, so substituted server classes with narrower
+        signatures keep working."""
+        proto = self._protocol_cls(
+            ProtocolConfig(
+                n=self.n,
+                site=site,
+                replicas_of=self.placement,
+                strict_remote_reads=self._strict_remote_reads,
+            ),
+            **self._protocol_kwargs,
+        )
+        if self.recorder is not None:
+            proto.obs = self.recorder
+        extra_kwargs: Dict[str, Any] = {}
+        if self.flight_dir is not None:
+            extra_kwargs["flight_dir"] = self.flight_dir
+        if self.data_dir is not None:
+            extra_kwargs["data_dir"] = os.path.join(
+                self.data_dir, f"site-{int(site)}"
+            )
+            extra_kwargs["fsync"] = self.fsync
+            if self.snapshot_interval is not None:
+                extra_kwargs["snapshot_interval"] = self.snapshot_interval
+        if self.gossip_interval is not None:
+            extra_kwargs["gossip_interval"] = self.gossip_interval
+        return self.server_cls(
+            proto,
+            self.addresses,
+            self.transport,
+            sanitizer=self.sanitizer,
+            recorder=self.recorder,
+            metrics=self.metrics,
+            read_timeout=self.read_timeout,
+            seed=self.seed + site,
+            codec=self.codec,
+            **extra_kwargs,
+        )
 
     # ------------------------------------------------------------------
     async def start(self) -> "ServiceCluster":
         loop = asyncio.get_running_loop()
-        t0 = loop.time()
+        t0 = self._t0 = loop.time()
         if self.recorder is not None:
             # one shared origin: spans from different sites stay ordered
             self.recorder.bind_clock(lambda: (loop.time() - t0) * 1000.0)
@@ -193,6 +232,30 @@ class ServiceCluster:
         transport.kill(self.addresses[site])
         asyncio.ensure_future(self.servers[site].stop())
 
+    async def restart_site(self, site: SiteId) -> SiteServer:
+        """Bring a killed site back in place from its data directory.
+
+        A fresh :class:`SiteServer` opens the same WAL (which bumps the
+        incarnation epoch durably), recovers snapshot + suffix
+        synchronously in its constructor, and starts listening on the
+        site's old address.  Everything the site missed while dead — and
+        anything it lost that peers still owe it — converges through
+        gossip anti-entropy; call :meth:`quiesce` to wait for it."""
+        if self.data_dir is None:
+            raise ServiceError("restart_site needs a durable cluster (data_dir)")
+        old = self.servers[site]
+        # stop() is idempotent; awaiting it here makes sure the dead
+        # incarnation's WAL handle is closed before the new one opens
+        await old.stop()
+        server = self._make_server(site)
+        if self._t0 is not None:
+            server.set_clock_origin(self._t0)
+        if self.servers[site] is not old:  # re-read: a concurrent restart
+            raise ServiceError(f"site {site} was restarted concurrently")
+        self.servers[site] = server
+        await server.start()
+        return server
+
     @property
     def live_sites(self) -> List[SiteId]:
         return [s.site for s in self.servers if not s.stopped]
@@ -207,8 +270,14 @@ class ServiceCluster:
         counts until the receiving site has *processed* it (acks follow
         the apply/park, see :class:`~repro.service.server.PeerLink`), so
         an update can never be invisible to both the backlog and the
-        receiver at once.  Settlement must additionally hold on two
-        consecutive polls, covering any one-tick scheduling window."""
+        receiver at once.  Gossip control frames are covered by the same
+        invariant: a ``sys.digest``/``sys.range`` counts in the backlog
+        from enqueue until the peer's ``sys.ctrl.ok`` — which the peer
+        sends only *after* enqueueing the repair re-ships on its own
+        links, where they count as ordinary repl backlog — so an
+        anti-entropy round in flight can never look settled.  Settlement
+        must additionally hold on two consecutive polls, covering any
+        one-tick scheduling window."""
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
 

@@ -122,7 +122,12 @@ import numpy as np
 
 from repro.core.base import CausalProtocol
 from repro.core.log import DepLog
-from repro.core.messages import FetchRequest, UpdateMessage, WriteResult
+from repro.core.messages import (
+    FetchReply,
+    FetchRequest,
+    UpdateMessage,
+    WriteResult,
+)
 from repro.errors import (
     SanitizerViolation,
     ServiceError,
@@ -130,7 +135,9 @@ from repro.errors import (
     WireError,
 )
 from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, TeeRecorder
+from repro.service import gossip as gossip_proto
 from repro.service import wire
+from repro.service.durability import SiteWal, WalCorruptionError
 from repro.service.transport import Connection, Listener, Transport
 from repro.types import SiteId, VarId, WriteId
 
@@ -197,6 +204,21 @@ class PeerLink:
         self._repl: Deque[Tuple[int, UpdateMessage]] = deque()
         #: pending fetch requests (retired on send; no ack bookkeeping)
         self._fetch: Deque[Dict[str, Any]] = deque()
+        #: pending gossip control frames (``sys.digest`` / ``sys.range``).
+        #: Retired on send but counted in :attr:`backlog` until the peer
+        #: acks them with ``sys.ctrl.ok`` — control frames trigger repair
+        #: shipping at the peer, so quiesce must not settle while one is
+        #: in flight.  Dropped wholesale when the peer never negotiated
+        #: the ``gx`` capability (idempotent; the next gossip round
+        #: regenerates them).
+        self._ctrl: Deque[Dict[str, Any]] = deque()
+        self._ctrl_unacked = 0
+        #: highest own write clock among acked repl entries — the "peer
+        #: durably holds this write" watermark gossip pushes check first
+        self.acked_seq = 0
+        #: own write clocks currently sitting in ``_repl`` (unacked), so
+        #: a gossip repair never double-enqueues an in-flight update
+        self._queued_seqs: Set[int] = set()
         self._wakeup = asyncio.Event()
         self._link_seq = 0
         #: per-connection delta/intern encoder; None below cv 4
@@ -212,6 +234,8 @@ class PeerLink:
         self._issued_at: Dict[int, float] = {}
         #: the last handshake reply echoed the ``sx`` stats capability
         self._peer_stats = False
+        #: the last handshake reply echoed the ``gx`` gossip capability
+        self._peer_gossip = False
         #: the last handshake agreed the v4 profile (applied watermarks
         #: flow, so ``_gc_ls`` is a meaningful lag baseline)
         self._v4 = False
@@ -227,18 +251,40 @@ class PeerLink:
         self._repl.append((self._link_seq, msg))
         self._ls_clock[self._link_seq] = msg.write_id.seq
         self._issued_at[self._link_seq] = self.owner.now_ms()
+        self._queued_seqs.add(msg.write_id.seq)
         self._wakeup.set()
 
     def enqueue_fetch(self, req: FetchRequest) -> None:
         self._fetch.append(wire.encode_fetch_request(req))
         self._wakeup.set()
 
+    def enqueue_ctrl(self, frame: Dict[str, Any]) -> None:
+        """Queue a gossip control frame, superseding any queued frame of
+        the same kind (and origin): watermark digests and range requests
+        are cumulative, so only the newest of each matters."""
+        key = (frame["t"], frame.get("origin"))
+        for i, queued in enumerate(self._ctrl):
+            if (queued["t"], queued.get("origin")) == key:
+                self._ctrl[i] = frame
+                self._wakeup.set()
+                return
+        self._ctrl.append(frame)
+        self._wakeup.set()
+
     @property
     def backlog(self) -> int:
         """Frames not yet *processed* by the peer: repl frames count
         until acknowledged, not merely until handed to the transport —
-        this is what makes :meth:`ServiceCluster.quiesce` sound."""
-        return len(self._repl) + len(self._fetch)
+        this is what makes :meth:`ServiceCluster.quiesce` sound.  Gossip
+        control frames count both while queued and (via ``sys.ctrl.ok``
+        accounting) while their repair effects may still be materializing
+        at the peer."""
+        return (
+            len(self._repl)
+            + len(self._fetch)
+            + len(self._ctrl)
+            + self._ctrl_unacked
+        )
 
     def stats(self) -> Dict[str, Any]:
         """Point-in-time lag watermarks, derived from the structures the
@@ -257,6 +303,7 @@ class PeerLink:
             "unacked": unacked,
             "applied": self._gc_ls if self._v4 else None,
             "fetch_queue": len(self._fetch),
+            "ctrl_queue": len(self._ctrl) + self._ctrl_unacked,
             "backlog": self.backlog,
         }
 
@@ -339,6 +386,7 @@ class PeerLink:
                 epoch=self.owner.epoch,
                 cv=self.owner.wire_caps,
                 sx=wire.STATS_CAPABILITY,
+                gx=wire.GOSSIP_CAPABILITY,
             )
         )
         reply = await asyncio.wait_for(conn.recv(), LINK_HANDSHAKE_TIMEOUT)
@@ -354,6 +402,13 @@ class PeerLink:
         # on ANY agreed profile; a pre-stats peer never echoes it and
         # never sees a ``.t`` frame
         self._peer_stats = int(reply.get("sx", 0)) >= wire.STATS_CAPABILITY
+        self._peer_gossip = int(reply.get("gx", 0)) >= wire.GOSSIP_CAPABILITY
+        # control frames unacked on the previous connection were either
+        # processed (their repair effects live in the PEER's link
+        # backlogs now) or lost (the next gossip round regenerates
+        # them) — either way the in-flight count restarts with the
+        # connection, unlike repl frames which must survive it
+        self._ctrl_unacked = 0
         self._v4 = agreed >= wire.DELTA_WIRE_VERSION
         self._delta_out = None
         if agreed >= wire.BATCH_WIRE_VERSION:
@@ -394,10 +449,20 @@ class PeerLink:
         proto.note_remote_apply(self.dest, clock)
 
     def _retire(self, ack: int) -> None:
-        """Drop repl entries up to the receiver's cumulative ack."""
+        """Drop repl entries up to the receiver's cumulative ack.  An
+        acked update is durably held by the peer (it WAL-appends before
+        acking), so the ack also advances the gossip watermark
+        ``acked_seq`` and releases the sender's own-log copy for this
+        destination — every entry this link carries is an own write
+        (origins ship only their own updates under partial replication,
+        and gossip repair re-ships own writes only)."""
         while self._repl and self._repl[0][0] <= ack:
-            ls, _ = self._repl.popleft()
+            ls, msg = self._repl.popleft()
             self._issued_at.pop(ls, None)
+            self._queued_seqs.discard(msg.write_id.seq)
+            if msg.write_id.seq > self.acked_seq:
+                self.acked_seq = msg.write_id.seq
+            self.owner._own_retired(msg)
 
     async def _drain_queue(self, conn: Connection, acked: int) -> None:
         # ``sent`` tracks the highest repl seq written to THIS
@@ -416,6 +481,9 @@ class PeerLink:
                     sent = int(frame["ls"])
                 elif self._fetch and self._fetch[0] is frame:
                     self._fetch.popleft()
+                elif self._ctrl and self._ctrl[0] is frame:
+                    self._ctrl.popleft()
+                    self._ctrl_unacked += 1
                 frame = self._next_unsent(sent)
             self._wakeup.clear()
             if self._closed:
@@ -457,16 +525,33 @@ class PeerLink:
                         batch.append(frame)
                         last_ls = ls
                 n_fetch = len(self._fetch)
-                if not batch and not n_fetch:
+                n_ctrl = 0
+                if self._ctrl:
+                    if self._peer_gossip:
+                        n_ctrl = len(self._ctrl)
+                    else:
+                        # the peer never negotiated ``gx``: drop control
+                        # frames instead of queueing them forever, or a
+                        # mixed cluster would never quiesce (the gossip
+                        # loop regenerates digests every round anyway)
+                        self._ctrl.clear()
+                if not batch and not n_fetch and not n_ctrl:
                     break
                 if n_fetch:
                     batch.extend(list(self._fetch)[:n_fetch])
+                if n_ctrl:
+                    batch.extend(list(self._ctrl)[:n_ctrl])
                 await conn.send_many(batch)
                 if n_fetch:
                     # fetches are retired on send (fire-and-forget); new
                     # ones enqueued during the await stay for next round
                     for _ in range(n_fetch):
                         self._fetch.popleft()
+                for _ in range(n_ctrl):
+                    # retired on send but still counted in the backlog
+                    # via ``_ctrl_unacked`` until ``sys.ctrl.ok`` lands
+                    self._ctrl.popleft()
+                    self._ctrl_unacked += 1
                 sent = last_ls
             self._wakeup.clear()
             if self._closed:
@@ -484,6 +569,11 @@ class PeerLink:
                 return frame
         if self._fetch:
             return self._fetch[0]
+        if self._ctrl:
+            if self._peer_gossip:
+                return self._ctrl[0]
+            # non-gx peer: drop rather than hold (see the batched drain)
+            self._ctrl.clear()
         return None
 
     async def _read_replies(self, conn: Connection) -> None:
@@ -499,6 +589,13 @@ class PeerLink:
                 self._retire(ack)
             elif kind == "repl.ack":
                 self._retire(int(frame["a"]))
+            elif kind == "sys.ctrl.ok":
+                # the peer processed a control frame: its repair effects
+                # (if any) are enqueued on the peer's own links now, so
+                # they are visible to quiesce there — stop counting here
+                self._ctrl_unacked = max(
+                    0, self._ctrl_unacked - int(frame.get("n", 1))
+                )
             elif kind in ("fetch.ok", "fetch.err"):
                 self.owner._resolve_fetch(frame)
 
@@ -521,6 +618,10 @@ class SiteServer:
         codec: str = "delta",
         flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
         flight_dir: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        fsync: str = "group",
+        snapshot_interval: Optional[float] = None,
+        gossip_interval: Optional[float] = None,
     ) -> None:
         if protocol.site not in addresses:
             raise ServiceError(f"no address for site {protocol.site}")
@@ -578,7 +679,10 @@ class SiteServer:
 
         #: this incarnation's identity for the link handshake: a
         #: restarted site restarts its link sequence numbers, so it must
-        #: not inherit its predecessor's dedup state at the peers
+        #: not inherit its predecessor's dedup state at the peers.
+        #: Durable sites use the WAL's monotone incarnation counter
+        #: instead of a random epoch (assigned below, after the WAL
+        #: opens), so peers can order incarnations of the same site.
         self.epoch = int.from_bytes(os.urandom(6), "big")
         #: updates whose activation predicate was false on arrival
         self._parked: List[UpdateMessage] = []
@@ -613,12 +717,58 @@ class SiteServer:
         #: the only ones ``sys.stats`` answers (anyone else gets the
         #: pre-stats ``bad-frame`` error)
         self._stats_conns: Set[Connection] = set()
+        #: connections whose hello advertised the ``gx`` capability —
+        #: the only ones whose ``sys.digest``/``sys.range`` frames are
+        #: honoured (same zero-round-trip gating as ``sx``)
+        self._gossip_conns: Set[Connection] = set()
         #: established inbound connections, closed on stop()
         self._server_conns: Set[Connection] = set()
         self._listener: Optional[Listener] = None
         self._stopped = asyncio.Event()
         self._t0 = 0.0
         self.applies = 0
+
+        # ---- durability + gossip state -------------------------------
+        #: highest applied write sequence per origin site (this site's
+        #: own writes included).  Gaps below the watermark are writes
+        #: this site does not replicate; writes destined here apply in
+        #: origin order (program order at the origin is causal order),
+        #: so the maximum doubles as the contiguous floor for
+        #: destined-here traffic — the stable timestamp gossip digests
+        #: and snapshot coverage are built on.
+        self._origin_applied: Dict[SiteId, int] = {}
+        #: own write clock -> this site's update messages for that
+        #: write, kept until every destination acked (then pruned via
+        #: :meth:`_own_retired`) — the corpus gossip repair ships from
+        self._own_log: Dict[int, List[UpdateMessage]] = {}
+        #: parked updates surviving from a PREVIOUS incarnation of their
+        #: sender, per sender (see :meth:`_handle_hello`): while any
+        #: exist, the applied watermark advertised to that sender clamps
+        #: to 0 so its ack-driven GC cannot prune destinations that have
+        #: not actually applied those writes
+        self._stale_parked: Dict[SiteId, int] = {}
+        self.gossip_interval = gossip_interval
+        self.snapshot_interval = snapshot_interval
+        self._gossip_task: Optional[asyncio.Task] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
+        #: the write-ahead log, or None for a memory-only site.  Opening
+        #: it bumps the incarnation counter durably and loads any
+        #: committed snapshot + WAL suffix, which :meth:`_recover`
+        #: replays synchronously before the server takes traffic.
+        self.wal: Optional[SiteWal] = None
+        #: WAL records replayed by this incarnation's recovery
+        self.wal_replayed = 0
+        if data_dir is not None:
+            self.wal = SiteWal(data_dir, fsync=fsync)
+            self.epoch = self.wal.incarnation
+            self.wal_replayed = len(self.wal.records)
+            recovered = self._recover(self.wal.snapshot, self.wal.records)
+            # replayed state is in memory now; drop the parsed copies
+            self.wal.snapshot = None
+            self.wal.records = []
+            if recovered:
+                self.metric("service_recoveries_total")
+                self.flight_dump("recovery")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -630,6 +780,12 @@ class SiteServer:
         self._listener = await self.transport.listen(
             self.addresses[self.site], self._handle_conn
         )
+        if self.wal is not None:
+            self.wal.start()
+            if self.snapshot_interval is not None and self._snapshot_task is None:
+                self._snapshot_task = asyncio.ensure_future(self._snapshot_loop())
+        if self.gossip_interval is not None and self._gossip_task is None:
+            self._gossip_task = asyncio.ensure_future(self._gossip_loop())
 
     def set_clock_origin(self, t0: float) -> None:
         """Share one time origin across a co-hosted cluster so recorder
@@ -643,6 +799,15 @@ class SiteServer:
         self._stopped.set()
         # take-then-clear before each await: concurrent stop() calls
         # must not double-close the listener or the links
+        for attr in ("_gossip_task", "_snapshot_task"):
+            task = getattr(self, attr)
+            setattr(self, attr, None)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         listener, self._listener = self._listener, None
         if listener is not None:
             await listener.close()
@@ -658,6 +823,8 @@ class SiteServer:
             if not fut.done():
                 fut.cancel()
         self._fetch_waiters.clear()
+        if self.wal is not None:
+            self.wal.close()
 
     @property
     def stopped(self) -> bool:
@@ -734,6 +901,7 @@ class SiteServer:
             raise
         finally:
             self._stats_conns.discard(conn)
+            self._gossip_conns.discard(conn)
             self._server_conns.discard(conn)
             await conn.close()
 
@@ -757,6 +925,10 @@ class SiteServer:
             asyncio.ensure_future(self._handle_fetch(conn, frame))
         elif kind == "sys.stats":
             await self._handle_stats(conn)
+        elif kind == "sys.digest":
+            await self._handle_digest(conn, frame)
+        elif kind == "sys.range":
+            await self._handle_range(conn, frame)
         elif kind == "ping":
             await conn.send(wire.make_frame("ping.ok", site=self.site))
         elif kind == "kill":
@@ -823,7 +995,29 @@ class SiteServer:
         # strip the issue-time stamp BEFORE the chained-delta decode —
         # the decoder dispatches on the restored base frame type
         it = wire.strip_issue(frame)
+        raw = frame.pop("_raw", None)
+        if raw is not None and not isinstance(frame.get("var"), str):
+            raw = None  # interned var id: the body needs the link's table
         msg = self._decode_repl(src, frame)
+        if self.wal is not None:
+            # logged before the apply/park decision (and before the
+            # origin-dup guard — the guard still ACKS, and an acked
+            # link-sequence advance must survive a restart or the
+            # sender, which retires on ack, would leave a permanent
+            # gap), in the same synchronous block as both
+            if raw is not None:
+                self.wal.append_raw(raw)
+            else:
+                self.wal.append(self._wal_repl(msg, link_seq))
+        if self._is_origin_dup(msg):
+            # a gossip re-ship (or a recovered sender replaying history)
+            # delivered a write this site's state already covers: ack
+            # and advance the link without touching the protocol —
+            # applying it twice would break exactly-once application
+            self.metric("service_origin_dups_total")
+            self._seen_ls[src] = link_seq
+            acks[src] = max(acks.get(src, 0), link_seq)
+            return 0
         if it is not None:
             self._issue_ms[msg.write_id] = float(it)
         now = self.now_ms()
@@ -844,6 +1038,40 @@ class SiteServer:
         self._seen_ls[src] = link_seq
         acks[src] = max(acks.get(src, 0), link_seq)
         return applied
+
+    def _is_origin_dup(self, msg: UpdateMessage) -> bool:
+        """True when this site already holds the write — applied (at or
+        below the origin watermark) or parked.  The guard is what lets
+        gossip re-ships overlap normal delivery: the protocols either
+        refuse a second apply outright (opt-track's non-monotonic-apply
+        check) or would park the duplicate forever (the dense-order
+        vector protocols), so a duplicate must be absorbed here."""
+        wid = msg.write_id
+        return (
+            wid.seq <= self._origin_applied.get(wid.site, 0)
+            or wid in self._park_of
+        )
+
+    @staticmethod
+    def _wal_repl(msg: UpdateMessage, link_seq: int) -> Dict[str, Any]:
+        """The durable twin of a repl frame: same fields, ``wal.repl``
+        type (never interned, never lean — a WAL record must decode with
+        no connection state)."""
+        frame = wire.encode_update(msg, link_seq)
+        frame["t"] = "wal.repl"
+        return frame
+
+    def _own_retired(self, msg: UpdateMessage) -> None:
+        """A destination acked ``msg`` (it is durable there): release
+        this site's own-log copy for that destination.  The entry — and
+        with it the write's eligibility for gossip repair — disappears
+        once every destination acked."""
+        entry = self._own_log.get(msg.write_id.seq)
+        if entry is None:
+            return
+        entry[:] = [m for m in entry if m.dest != msg.dest]
+        if not entry:
+            del self._own_log[msg.write_id.seq]
 
     def _decode_repl(self, src: SiteId, frame: Dict[str, Any]) -> UpdateMessage:
         """Decode the contiguous next frame from ``src`` through its
@@ -867,7 +1095,14 @@ class SiteServer:
         """Highest contiguous link sequence from ``src`` whose update
         was *applied* — the GC watermark acks advertise.  Everything
         processed is applied unless still parked, so this is ``seen``
-        capped below the oldest parked sequence."""
+        capped below the oldest parked sequence.  While updates from a
+        PREVIOUS incarnation of ``src`` are still parked the watermark
+        clamps to 0: the new incarnation's numbering says nothing about
+        them, and advertising progress would let the sender's
+        Condition-1 GC prune destinations that never applied those
+        writes — a causal-soundness violation, not just a perf bug."""
+        if self._stale_parked.get(src):
+            return 0
         parked = self._parked_ls.get(src)
         if parked:
             return min(parked) - 1
@@ -897,6 +1132,21 @@ class SiteServer:
         now = self.now_ms()
         proto = self.protocol
         result: WriteResult = proto.write(var, value)
+        if self.wal is not None:
+            self.wal.append(
+                wire.make_frame(
+                    "wal.put",
+                    var=var,
+                    value=value,
+                    w=wire.encode_write_id(result.write_id),
+                )
+            )
+        if result.write_id.seq > self._origin_applied.get(self.site, 0):
+            self._origin_applied[self.site] = result.write_id.seq
+        if result.messages:
+            # kept until every destination acks (see _own_retired); the
+            # corpus gossip repair re-ships missing updates from
+            self._own_log[result.write_id.seq] = list(result.messages)
         if self.sanitizer is not None:
             self.sanitizer.on_write(
                 self.site,
@@ -939,6 +1189,12 @@ class SiteServer:
                 )
                 return
             value, wid = proto.read_local(var)
+            if self.wal is not None:
+                # reads mutate protocol state (the deferred ~>co merge
+                # of LastWriteOn metadata), so they are logged: losing a
+                # read-merge across a crash would let post-recovery
+                # writes under-state their causal past
+                self.wal.append(wire.make_frame("wal.read", var=var))
             served_by = self.site
         else:
             try:
@@ -995,6 +1251,20 @@ class SiteServer:
                 frame, enc.itab if enc is not None else self._itab
             )
             if proto.reply_is_fresh(reply):
+                if self.wal is not None:
+                    # same reasoning as wal.read: completing a remote
+                    # read merges the reply's metadata into local state
+                    self.wal.append(
+                        wire.make_frame(
+                            "wal.rfetch",
+                            var=reply.var,
+                            value=reply.value,
+                            w=wire.encode_write_id(reply.write_id),
+                            sv=reply.server,
+                            meta=wire.encode_meta(reply.meta),
+                            applied=wire.encode_meta(reply.applied),
+                        )
+                    )
                 return proto.complete_remote_read(reply)
             # lenient-mode stale reply: discard without merging its
             # metadata and re-issue once the in-flight update had a
@@ -1024,13 +1294,28 @@ class SiteServer:
             # the dedup high-water mark must restart with it, or every
             # frame from the restarted site would be dropped as a dup —
             # and the delta chain and parked-sequence bookkeeping refer
-            # to the old incarnation's numbering, so they restart too
+            # to the old incarnation's numbering, so they restart too.
+            # The parked updates themselves are KEPT: they were acked to
+            # the dead incarnation, which may have pruned them from its
+            # own log, so dropping them here could lose them forever.
+            # They survive re-keyed to the sentinel sequence 0 (their
+            # old numbering is meaningless now) and counted in
+            # ``_stale_parked``, which clamps the applied watermark this
+            # site advertises to the new incarnation (see _applied_ls).
+            if self.wal is not None:
+                self.wal.append(
+                    wire.make_frame("wal.hello", src=src, epoch=epoch)
+                )
             self._peer_epoch[src] = epoch
             self._seen_ls[src] = 0
             self._delta_in.pop(src, None)
-            for wid, (s, _) in list(self._park_of.items()):
-                if s == src:
-                    del self._park_of[wid]
+            stale = 0
+            for wid, (s, ls) in list(self._park_of.items()):
+                if s == src and ls:
+                    self._park_of[wid] = (src, 0)
+                    stale += 1
+            if stale:
+                self._stale_parked[src] = self._stale_parked.get(src, 0) + stale
             self._parked_ls.pop(src, None)
         agreed = self._agree_version(frame)
         # the link.ok itself always travels under the codec the hello
@@ -1050,6 +1335,13 @@ class SiteServer:
             # sender may now stamp repl frames and ask ``sys.stats``
             ok["sx"] = wire.STATS_CAPABILITY
             self._stats_conns.add(conn)
+        if int(frame.get("gx", 0)) >= wire.GOSSIP_CAPABILITY:
+            # echo the gossip capability: this connection may now send
+            # ``sys.digest``/``sys.range`` control frames (same
+            # zero-round-trip pattern as ``sx``; a pre-durability peer
+            # never sees either side of it)
+            ok["gx"] = wire.GOSSIP_CAPABILITY
+            self._gossip_conns.add(conn)
         await conn.send(wire.make_frame("link.ok", **ok))
         self._switch_profile(conn, agreed)
 
@@ -1103,7 +1395,22 @@ class SiteServer:
             self.metric("service_repl_gaps_total")
             return
         it = wire.strip_issue(frame)
+        raw = frame.pop("_raw", None)
+        if raw is not None and not isinstance(frame.get("var"), str):
+            raw = None  # interned var id: the body needs the link's table
         msg = self._decode_repl(src, frame)
+        if self.wal is not None:
+            # see _ingest_repl: before the dup guard, because the guard
+            # acks, and an acked advance must survive a restart
+            if raw is not None:
+                self.wal.append_raw(raw)
+            else:
+                self.wal.append(self._wal_repl(msg, link_seq))
+        if self._is_origin_dup(msg):
+            self.metric("service_origin_dups_total")
+            self._seen_ls[src] = link_seq
+            await self._send_ack(conn, link_seq, src)
+            return
         if it is not None:
             self._issue_ms[msg.write_id] = float(it)
         now = self.now_ms()
@@ -1177,6 +1484,239 @@ class SiteServer:
             pass
 
     # ------------------------------------------------------------------
+    # durability + gossip anti-entropy
+    # ------------------------------------------------------------------
+    async def _handle_digest(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        """Answer a peer's watermark digest — only on connections whose
+        hello advertised ``gx`` (same gating as ``sys.stats``).  The
+        repair itself is synchronous, so every re-shipped update is on a
+        link queue — visible to quiesce — before the ``sys.ctrl.ok``
+        releases the sender's in-flight control accounting."""
+        if conn not in self._gossip_conns:
+            await conn.send(
+                wire.err_frame("bad-frame", "unknown type 'sys.digest'")
+            )
+            return
+        shipped = gossip_proto.handle_digest(self, frame)
+        if shipped:
+            self.metric("service_gossip_pushes_total", shipped)
+        await conn.send(wire.make_frame("sys.ctrl.ok", n=1))
+
+    async def _handle_range(self, conn: Connection, frame: Dict[str, Any]) -> None:
+        """Serve a peer's own-origin range request (see the gossip
+        module); acked with ``sys.ctrl.ok`` after the re-ships are
+        enqueued, like digests."""
+        if conn not in self._gossip_conns:
+            await conn.send(
+                wire.err_frame("bad-frame", "unknown type 'sys.range'")
+            )
+            return
+        shipped = gossip_proto.handle_range(self, frame)
+        self.metric("service_gossip_ranges_total")
+        if shipped:
+            self.metric("service_gossip_pushes_total", shipped)
+        await conn.send(wire.make_frame("sys.ctrl.ok", n=1))
+
+    async def _gossip_loop(self) -> None:
+        """Round-robin one digest per interval (with jitter, so a
+        co-hosted cluster's rounds interleave instead of thundering)."""
+        rng = np.random.default_rng(
+            (self.seed * 9_176_471 + self.site) & 0x7FFFFFFF
+        )
+        peers = sorted(s for s in self.addresses if s != self.site)
+        if not peers:
+            return
+        i = int(rng.integers(0, len(peers)))
+        while not self.stopped:
+            await asyncio.sleep(
+                self.gossip_interval * (0.75 + 0.5 * float(rng.uniform()))
+            )
+            if self.stopped:
+                return
+            try:
+                link = self._link(peers[i % len(peers)])
+            except ServiceUnavailableError:
+                return
+            i += 1
+            link.enqueue_ctrl(gossip_proto.digest_frame(self))
+            self.metric("service_gossip_digests_total")
+
+    async def _snapshot_loop(self) -> None:
+        while not self.stopped:
+            await asyncio.sleep(self.snapshot_interval)
+            if self.stopped:
+                return
+            await self.snapshot_now()
+
+    async def snapshot_now(self) -> None:
+        """Capture a stable-timestamp snapshot and retire the WAL prefix
+        it covers.  Capture and WAL rotation are one synchronous block —
+        the snapshot and the rotation point describe the same instant —
+        and only the durable commit (tmp + fsync + rename, then segment
+        unlink, in that order) runs off-loop."""
+        wal = self.wal
+        if wal is None or self.stopped:
+            return
+        frame = self._snapshot_frame()
+        covered = wal.begin_snapshot()
+        await wal.commit_snapshot(frame, covered)
+        self.metric("service_snapshots_total")
+
+    def _snapshot_frame(self) -> Dict[str, Any]:
+        """Everything a restart needs beyond the WAL suffix, as plain
+        wire-encodable data: protocol state, per-link dedup watermarks
+        and peer epochs, per-origin stable timestamps, parked updates
+        (stale ones under the sentinel sequence 0), and the unacked
+        own-write log."""
+        seen: List[int] = []
+        for s in sorted(self._seen_ls):
+            seen.extend((int(s), int(self._seen_ls[s])))
+        epochs: List[int] = []
+        for s in sorted(self._peer_epoch):
+            epochs.extend((int(s), int(self._peer_epoch[s])))
+        origin: List[int] = []
+        for s in sorted(self._origin_applied):
+            origin.extend((int(s), int(self._origin_applied[s])))
+        parked: List[List[Any]] = []
+        for msg in self._parked:
+            src, ls = self._park_of.get(msg.write_id, (msg.sender, 0))
+            parked.append([int(src), int(ls), wire.encode_update(msg, int(ls))])
+        own: List[Dict[str, Any]] = []
+        for clock in sorted(self._own_log):
+            for msg in self._own_log[clock]:
+                own.append(wire.encode_update(msg, 0))
+        return wire.make_frame(
+            "snap",
+            site=int(self.site),
+            inc=int(self.epoch),
+            applies=int(self.applies),
+            proto=self.protocol.state_snapshot(),
+            seen=seen,
+            epochs=epochs,
+            origin=origin,
+            parked=parked,
+            own=own,
+        )
+
+    def _recover(
+        self,
+        snapshot: Optional[Dict[str, Any]],
+        records: List[Dict[str, Any]],
+    ) -> bool:
+        """Rebuild in-memory state from the committed snapshot plus the
+        WAL suffix.  Runs in ``__init__``, strictly before the server
+        takes traffic, with no observers: the sanitizer, recorder, and
+        metrics already saw these transitions when they happened live.
+        Returns True when there was anything to recover."""
+        if snapshot is None and not records:
+            return False
+        if snapshot is not None:
+            if int(snapshot.get("site", self.site)) != int(self.site):
+                raise WalCorruptionError(
+                    f"snapshot belongs to site {snapshot.get('site')}, "
+                    f"not site {self.site} (wrong data dir?)"
+                )
+            self.protocol.state_restore(snapshot["proto"])
+            it = iter(snapshot.get("seen") or ())
+            self._seen_ls = {int(s): int(v) for s, v in zip(it, it)}
+            it = iter(snapshot.get("epochs") or ())
+            self._peer_epoch = {int(s): int(v) for s, v in zip(it, it)}
+            it = iter(snapshot.get("origin") or ())
+            self._origin_applied = {int(s): int(v) for s, v in zip(it, it)}
+            self.applies = int(snapshot.get("applies", 0))
+            for src, ls, f in snapshot.get("parked") or ():
+                msg = wire.decode_update(f)
+                self._parked.append(msg)
+                self._park_of[msg.write_id] = (int(src), int(ls))
+                if int(ls):
+                    self._parked_ls.setdefault(int(src), set()).add(int(ls))
+                else:
+                    self._stale_parked[int(src)] = (
+                        self._stale_parked.get(int(src), 0) + 1
+                    )
+            for f in snapshot.get("own") or ():
+                msg = wire.decode_update(f)
+                self._own_log.setdefault(msg.write_id.seq, []).append(msg)
+        for frame in records:
+            self._replay(frame)
+        return True
+
+    def _replay(self, frame: Dict[str, Any]) -> None:
+        """Re-run one WAL record against the protocol.  Deterministic
+        relative to the live run: apply/park decisions depend only on
+        the message metadata and the apply clocks, and both are exactly
+        what they were when the record was written.  Ack-driven GC
+        effects (``note_remote_apply``) are NOT replayed — a recovered
+        site carries fatter dependency logs, which is a safe
+        over-approximation."""
+        kind = frame["t"]
+        if kind == "wal.put":
+            var = frame["var"]
+            result = self.protocol.write(var, frame["value"])
+            logged = wire.decode_write_id(frame["w"])
+            if result.write_id != logged:
+                raise WalCorruptionError(
+                    f"replaying the WAL regenerated write {result.write_id} "
+                    f"for {var!r} where the log says {logged} — snapshot "
+                    f"and WAL disagree; refusing to diverge"
+                )
+            if result.write_id.seq > self._origin_applied.get(self.site, 0):
+                self._origin_applied[self.site] = result.write_id.seq
+            if result.messages:
+                self._own_log[result.write_id.seq] = list(result.messages)
+            if result.applied_locally:
+                self._drain(replay=True)
+        elif kind in ("wal.repl", "repl", "repl.t"):
+            # raw-passthrough records (SiteWal.append_raw) keep their
+            # on-wire type and may carry an issue stamp; live frames
+            # never reach the log un-renamed, so a plain repl kind in
+            # the WAL is unambiguously a logged replicated update
+            wire.strip_issue(frame)
+            src = int(frame["src"])
+            ls = int(frame["ls"])
+            msg = wire.decode_update(frame)
+            if not self._is_origin_dup(msg):
+                if self.protocol.can_apply(msg):
+                    self._apply(msg, replay=True)
+                    self._drain(replay=True)
+                else:
+                    self._park(src, ls, msg)
+            if ls > self._seen_ls.get(src, 0):
+                self._seen_ls[src] = ls
+        elif kind == "wal.hello":
+            # mirror of _handle_hello's epoch-change block: reset the
+            # dedup state, keep parked updates under the stale sentinel
+            src = int(frame["src"])
+            self._peer_epoch[src] = int(frame["epoch"])
+            self._seen_ls[src] = 0
+            stale = 0
+            for wid, (s, ls) in list(self._park_of.items()):
+                if s == src and ls:
+                    self._park_of[wid] = (src, 0)
+                    stale += 1
+            if stale:
+                self._stale_parked[src] = self._stale_parked.get(src, 0) + stale
+            self._parked_ls.pop(src, None)
+        elif kind == "wal.read":
+            # reads mutate state (the deferred ~>co merge) — that is the
+            # only reason they are in the log at all
+            self.protocol.read_local(frame["var"])
+        elif kind == "wal.rfetch":
+            reply = FetchReply(
+                var=frame["var"],
+                value=frame["value"],
+                write_id=wire.decode_write_id(frame["w"]),
+                server=int(frame["sv"]),
+                requester=self.site,
+                fetch_id=0,
+                meta=wire.decode_meta(frame["meta"]),
+                applied=wire.decode_meta(frame["applied"]),
+            )
+            self.protocol.complete_remote_read(reply)
+        else:
+            raise WalCorruptionError(f"unknown WAL record type {kind!r}")
+
+    # ------------------------------------------------------------------
     # observability plane
     # ------------------------------------------------------------------
     async def _handle_stats(self, conn: Connection) -> None:
@@ -1230,7 +1770,23 @@ class SiteServer:
                 "held": len(self.flight),
             },
             "wire": {"profile": self.codec_name, "caps": self.wire_caps},
+            "origin_applied": {
+                str(int(s)): int(v)
+                for s, v in sorted(self._origin_applied.items())
+            },
+            "own_log": len(self._own_log),
+            "stale_parked": sum(self._stale_parked.values()),
         }
+        if self.wal is not None:
+            snap["durability"] = {
+                "incarnation": int(self.wal.incarnation),
+                "fsync": self.wal.fsync_mode,
+                "records_appended": self.wal.records_appended,
+                "bytes_appended": self.wal.bytes_appended,
+                "raw_appends": self.wal.raw_appends,
+                "fsyncs": self.wal.fsyncs,
+                "snapshots": self.wal.snapshots,
+            }
         if self.metrics is not None:
             snap["metrics"] = self.metrics.snapshot()
         return snap
@@ -1255,6 +1811,14 @@ class SiteServer:
                     stats["acked"] - stats["applied"]
                 )
         m.gauge("parked_updates_count", site=self.site).set(len(self._parked))
+        m.gauge("own_log_entries_count", site=self.site).set(len(self._own_log))
+        if self.wal is not None:
+            m.gauge("wal_records_count", site=self.site).set(
+                self.wal.records_appended
+            )
+            m.gauge("wal_appended_bytes", site=self.site).set(
+                self.wal.bytes_appended
+            )
         dep = self._dep_log_stats()
         m.gauge("dep_log_entries_count", site=self.site).set(dep["entries"])
         m.gauge("dep_log_bytes", site=self.site).set(dep["bytes"])
@@ -1306,25 +1870,47 @@ class SiteServer:
     # ------------------------------------------------------------------
     # apply machinery (single-writer: everything below is synchronous)
     # ------------------------------------------------------------------
-    def _apply(self, msg: UpdateMessage) -> None:
-        now = self.now_ms()
-        if self.sanitizer is not None:
+    def _apply(self, msg: UpdateMessage, replay: bool = False) -> None:
+        now = 0.0 if replay else self.now_ms()
+        if not replay and self.sanitizer is not None:
             self.sanitizer.before_apply(self.protocol, msg, now=now)
             self.protocol.apply_update(msg)
             self.sanitizer.after_apply(self.protocol, msg, now=now)
         else:
+            # replay bypasses the sanitizer entirely: these transitions
+            # were checked when they happened live, and the sanitizer's
+            # cross-site state still remembers them
             self.protocol.apply_update(msg)
         self.applies += 1
-        park = self._park_of.pop(msg.write_id, None)
+        wid = msg.write_id
+        if wid.seq > self._origin_applied.get(wid.site, 0):
+            # the per-origin stable timestamp: gaps below it are writes
+            # this site does not replicate (writes destined here apply
+            # in origin order, so the max is also the destined-here
+            # contiguous floor) — the unit gossip digests and snapshot
+            # coverage are denominated in
+            self._origin_applied[wid.site] = wid.seq
+        park = self._park_of.pop(wid, None)
         if park is not None:
             # a formerly parked update applied: the applied watermark
             # for its sender may advance past its link sequence now
             src, link_seq = park
-            parked = self._parked_ls.get(src)
-            if parked is not None:
-                parked.discard(link_seq)
-                if not parked:
-                    del self._parked_ls[src]
+            if link_seq == 0:
+                # a stale park from a dead incarnation of its sender
+                # (see _handle_hello): release the GC clamp with it
+                n = self._stale_parked.get(src, 0) - 1
+                if n > 0:
+                    self._stale_parked[src] = n
+                else:
+                    self._stale_parked.pop(src, None)
+            else:
+                parked = self._parked_ls.get(src)
+                if parked is not None:
+                    parked.discard(link_seq)
+                    if not parked:
+                        del self._parked_ls[src]
+        if replay:
+            return
         rec = self.recorder
         if rec is not None and rec.enabled:
             rec.on_apply(
@@ -1342,7 +1928,7 @@ class SiteServer:
             self._visibility(msg.write_id.site).observe(max(0.0, now - issued))
         self.metric("service_applies_total")
 
-    def _drain(self) -> None:
+    def _drain(self, replay: bool = False) -> None:
         """Re-evaluate parked updates to a fixpoint, then wake waiters."""
         progressed = True
         while progressed:
@@ -1350,10 +1936,11 @@ class SiteServer:
             for i, msg in enumerate(self._parked):
                 if self.protocol.can_apply(msg):
                     del self._parked[i]
-                    self._apply(msg)
+                    self._apply(msg, replay)
                     progressed = True
                     break
-        self._notify_progress()
+        if not replay:
+            self._notify_progress()
 
     def _notify_progress(self) -> None:
         # waking waiters needs the condition lock, i.e. a task — skip

@@ -80,6 +80,25 @@ class WireMeter:
         return counter
 
 
+def _decode_annotated(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body, annotating self-contained repl frames
+    with their raw wire bytes under the local ``_raw`` key.
+
+    A durable receiver logs those bytes to its WAL verbatim
+    (:meth:`SiteWal.append_raw`) instead of re-encoding the decoded
+    update — the re-encode is most of a WAL append's CPU cost.  Only
+    the plain repl kinds qualify: a ``repl.delta`` body diffs against
+    per-connection chain state and cannot decode standalone, so it is
+    never annotated.  ``_raw`` is a receive-side annotation, not a wire
+    field — the ingest path pops it before the frame goes anywhere.
+    """
+    frame = wire.decode_body(body)
+    t = frame.get("t")
+    if t == "repl" or t == "repl.t":
+        frame["_raw"] = body
+    return frame
+
+
 class Connection(ABC):
     """One bidirectional, ordered stream of frames.
 
@@ -236,7 +255,7 @@ class _LoopbackConnection(Connection):
             meter.sent.inc(len(encoded))
             meter.received.inc(len(encoded))
             meter.kind(frame["t"]).inc(len(encoded))
-        peer._enqueue(wire.decode_body(encoded[4:]))
+        peer._enqueue(_decode_annotated(encoded[4:]))
 
     async def send_many(self, frames: List[Dict[str, Any]]) -> None:
         peer = self._peer
@@ -254,7 +273,7 @@ class _LoopbackConnection(Connection):
             total += len(encoded)
             if meter is not None:
                 meter.kind(frame["t"]).inc(len(encoded))
-            enqueue(wire.decode_body(encoded[4:]))
+            enqueue(_decode_annotated(encoded[4:]))
         if meter is not None:
             meter.sent.inc(total)
             meter.received.inc(total)
@@ -451,7 +470,7 @@ class _TcpConnection(Connection):
             if end - pos - 4 < body_len:
                 break
             self._frames.append(
-                wire.decode_body(bytes(buf[pos + 4 : pos + 4 + body_len]))
+                _decode_annotated(bytes(buf[pos + 4 : pos + 4 + body_len]))
             )
             pos += 4 + body_len
         if pos:

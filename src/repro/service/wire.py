@@ -204,6 +204,16 @@ RETRIABLE = ("read-timeout", "unavailable", "shutting-down")
 #: never bump the frame schema version (see module docstring).
 STATS_CAPABILITY = 1
 
+#: the gossip/anti-entropy capability, advertised as the additive ``gx``
+#: field on ``link.hello`` and echoed on ``link.ok`` — same zero-round-trip
+#: pattern as ``sx`` and orthogonal to both ``sx`` and the codec capability
+#: ``cv``.  A peer that advertised ``gx >= 1`` accepts ``sys.digest`` /
+#: ``sys.range`` anti-entropy frames and replies with ``sys.ctrl.ok``;
+#: peers that did not advertise it (pre-durability builds) are never sent
+#: any of them, so a mixed cluster degrades to plain exactly-once
+#: replication with no gossip catch-up for the old peer.
+GOSSIP_CAPABILITY = 1
+
 
 def _check_version(version: Any) -> None:
     if not isinstance(version, int) or not (
@@ -445,6 +455,19 @@ _FRAME_TYPES: Tuple[str, ...] = (
     "sys.stats.ok",
     "repl.t",
     "repl.delta.t",
+    # durability subsystem (WAL records are binary-codec frames too, so
+    # they live in the same append-only registry; ``wal.*`` kinds never
+    # cross a connection — they are file-format constants)
+    "wal.put",
+    "wal.repl",
+    "wal.hello",
+    "wal.read",
+    "wal.rfetch",
+    "snap",
+    # gossip anti-entropy (the gx capability)
+    "sys.digest",
+    "sys.range",
+    "sys.ctrl.ok",
 )
 _FRAME_TAGS: Dict[str, int] = {t: i for i, t in enumerate(_FRAME_TYPES) if i}
 
@@ -478,6 +501,19 @@ _FRAME_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "fetch.ok": (
         "var", "value", "w", "sv", "rq", "fid", "meta", "applied",
     ),
+    # WAL record layouts (file-format constants, same append-only rules).
+    # ``snap`` stays map-shaped: snapshots are rare and their field set
+    # is expected to grow.
+    "wal.put": ("var", "value", "w"),
+    "wal.repl": ("var", "value", "w", "src", "dst", "meta", "ls"),
+    "wal.hello": ("src", "epoch"),
+    "wal.read": ("var",),
+    "wal.rfetch": ("var", "value", "w", "sv", "meta", "applied"),
+    # gossip: ``d`` is the flat ``[origin, watermark, ...]`` apply-vector
+    # digest (the ivec idea applied to per-origin watermarks)
+    "sys.digest": ("src", "d"),
+    "sys.range": ("origin", "rq", "lo", "hi"),
+    "sys.ctrl.ok": ("n",),
 }
 
 #: positional layouts for the tagged metadata maps of
@@ -1468,6 +1504,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "RETRIABLE",
     "STATS_CAPABILITY",
+    "GOSSIP_CAPABILITY",
     "REPL_FRAME_KINDS",
     "stamp_issue",
     "strip_issue",

@@ -80,6 +80,18 @@ FIXTURES: Dict[str, RuleFixture] = {
         fire="import time\nasync def f():\n    time.sleep(0.1)\n",
         quiet="import asyncio\nasync def f():\n    await asyncio.sleep(0.1)\n",
     ),
+    "durability-io": RuleFixture(
+        module="repro.service.server",
+        fire=(
+            "def persist(path, frame):\n"
+            "    with open(path, 'wb') as f:\n"
+            "        f.write(frame)\n"
+        ),
+        quiet=(
+            "def persist(wal, frame):\n"
+            "    wal.append(frame)\n"
+        ),
+    ),
     "wire-codec": RuleFixture(
         module="repro.service.transport",
         fire="def send(frame):\n    return json.dumps(frame)\n",

@@ -361,6 +361,63 @@ class TestBlockingIo:
 
 
 # ----------------------------------------------------------------------
+# durability-io
+# ----------------------------------------------------------------------
+class TestDurabilityIo:
+    def test_raw_open_in_service_fires(self):
+        src = "def f(path):\n    with open(path, 'wb') as fh:\n        fh.write(b'x')\n"
+        out = run(src, module="repro.service.server")
+        assert rules_of(out) == ["durability-io"]
+        assert "durability" in out[0].message
+
+    def test_os_fsync_fires(self):
+        src = "import os\ndef f(fd):\n    os.fsync(fd)\n"
+        out = run(src, module="repro.service.harness")
+        # the os import itself is fine; only the fsync attribute fires
+        assert rules_of(out) == ["durability-io"]
+
+    @pytest.mark.parametrize("attr", ["os.open", "os.fdatasync", "io.open"])
+    def test_low_level_file_attrs_fire(self, attr):
+        mod, name = attr.split(".")
+        src = f"import {mod}\ndef f(p):\n    return {attr}(p)\n"
+        assert rules_of(run(src, module="repro.service.gossip")) == [
+            "durability-io"
+        ]
+
+    def test_aliasing_fsync_is_caught_at_the_alias(self):
+        src = "import os\nflush = os.fsync\n"
+        assert rules_of(run(src, module="repro.service.server")) == [
+            "durability-io"
+        ]
+
+    def test_durability_seam_is_exempt(self):
+        src = "import os\ndef f(p):\n    with open(p, 'wb') as fh:\n        os.fsync(fh.fileno())\n"
+        assert run(src, module="repro.service.durability") == []
+
+    def test_bench_ledger_writer_is_exempt(self):
+        src = "def f(p, text):\n    with open(p, 'w') as fh:\n        fh.write(text)\n"
+        assert run(src, module="repro.service.bench") == []
+
+    def test_outside_scope_is_quiet(self):
+        src = "def f(p):\n    return open(p).read()\n"
+        assert run(src, module="repro.analysis.runner") == []
+
+    def test_method_named_open_is_quiet(self):
+        # only the builtin (a bare Name call) counts; attribute calls
+        # like path.open() are a documented blind spot
+        assert run("conn.open()\n", module="repro.service.server") == []
+
+    def test_os_path_helpers_are_quiet(self):
+        src = "import os\ndef f(p):\n    return os.path.isdir(p)\n"
+        assert run(src, module="repro.service.cli") == []
+
+    def test_allowlisted_module_is_quiet(self):
+        allow = [AllowEntry("durability-io", "repro.service.debug", "repl aid")]
+        src = "def f(p):\n    return open(p).read()\n"
+        assert run(src, module="repro.service.debug", allow=allow) == []
+
+
+# ----------------------------------------------------------------------
 # wire-codec
 # ----------------------------------------------------------------------
 class TestWireCodec:
@@ -815,6 +872,7 @@ class TestRepositoryIsClean:
             "hook-shadow",
             "adhoc-logging",
             "blocking-io",
+            "durability-io",
             "wire-codec",
             "wire-delta-state",
             "metric-naming",
